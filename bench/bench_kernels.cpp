@@ -1,0 +1,141 @@
+// Microbenchmarks of the computational kernels (google-benchmark): the
+// per-operation costs that the machine performance model abstracts as
+// hardware throughputs. Useful for profiling the functional engine and
+// for appreciating the gap the ASIC closes (a PPIP does one of these
+// table-driven interactions per 970 MHz cycle; see how long a general-
+// purpose core takes).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "ewald/gse.hpp"
+#include "fft/fft3d.hpp"
+#include "fixed/lattice.hpp"
+#include "htis/match_unit.hpp"
+#include "htis/pair_kernels.hpp"
+#include "pairlist/cell_grid.hpp"
+#include "sysgen/systems.hpp"
+#include "tables/tiered_table.hpp"
+#include "util/rng.hpp"
+
+using anton::PeriodicBox;
+using anton::Vec3d;
+using anton::Vec3i;
+
+static void BM_TieredTableEvalFixed(benchmark::State& state) {
+  auto f = [](double u) { return std::exp(-3.0 * u) / (u + 0.01); };
+  const auto table = anton::tables::TieredTable::build(
+      f, anton::tables::TieredLayout::anton_default(), 22, 0.005);
+  double u = 0.006;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.eval_fixed(u));
+    u += 0.001;
+    if (u >= 1.0) u = 0.006;
+  }
+}
+BENCHMARK(BM_TieredTableEvalFixed);
+
+static void BM_PairKernelNonbonded(benchmark::State& state) {
+  anton::htis::PairKernelParams p;
+  p.cutoff = 13.0;
+  p.beta = 0.24;
+  std::vector<anton::LJType> types{{3.15, 0.152}, {3.4, 0.086}};
+  const anton::htis::PairKernels k(p, types);
+  double r2 = 9.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k.eval_nonbonded(r2, 0.2, 0, 1, false));
+    r2 += 0.37;
+    if (r2 > 160.0) r2 = 9.0;
+  }
+}
+BENCHMARK(BM_PairKernelNonbonded);
+
+static void BM_MatchUnitCheck(benchmark::State& state) {
+  anton::Xoshiro256 rng(1);
+  std::vector<Vec3i> deltas(1024);
+  for (auto& d : deltas)
+    d = {static_cast<std::int32_t>(rng()), static_cast<std::int32_t>(rng()),
+         static_cast<std::int32_t>(rng())};
+  const std::uint64_t limit = 1ull << 50;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(anton::htis::match_plausible(deltas[i], limit));
+    i = (i + 1) & 1023;
+  }
+}
+BENCHMARK(BM_MatchUnitCheck);
+
+static void BM_ExactR2Lattice(benchmark::State& state) {
+  anton::Xoshiro256 rng(2);
+  std::vector<Vec3i> deltas(1024);
+  for (auto& d : deltas)
+    d = {static_cast<std::int32_t>(rng()), static_cast<std::int32_t>(rng()),
+         static_cast<std::int32_t>(rng())};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(anton::htis::exact_r2_lattice(deltas[i]));
+    i = (i + 1) & 1023;
+  }
+}
+BENCHMARK(BM_ExactR2Lattice);
+
+static void BM_Fft3D(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  anton::fft::Fft3D fft(n);
+  std::vector<anton::fft::cplx> grid(fft.total());
+  anton::Xoshiro256 rng(3);
+  for (auto& v : grid) v = {rng.uniform(-1, 1), 0.0};
+  for (auto _ : state) {
+    fft.forward(grid);
+    fft.inverse(grid);
+    benchmark::DoNotOptimize(grid.data());
+  }
+  state.SetItemsProcessed(state.iterations() * fft.total());
+}
+BENCHMARK(BM_Fft3D)->Arg(16)->Arg(32)->Arg(64);
+
+static void BM_GseSpreadPerAtom(benchmark::State& state) {
+  const PeriodicBox box(32.0);
+  anton::ewald::GseParams p = anton::ewald::GseParams::for_cutoff(9.0, 32);
+  anton::ewald::Gse gse(box, p);
+  std::vector<Vec3d> pos{{1.2, -3.4, 5.6}};
+  std::vector<double> q{0.5};
+  std::vector<double> Q(gse.mesh_total(), 0.0);
+  for (auto _ : state) {
+    gse.spread(pos, q, Q);
+    benchmark::DoNotOptimize(Q.data());
+  }
+}
+BENCHMARK(BM_GseSpreadPerAtom);
+
+static void BM_CellGridBinAndSweep(benchmark::State& state) {
+  const PeriodicBox box(30.0);
+  anton::Xoshiro256 rng(4);
+  std::vector<Vec3d> pos(2700);
+  for (auto& r : pos)
+    r = {rng.uniform(-15, 15), rng.uniform(-15, 15), rng.uniform(-15, 15)};
+  anton::pairlist::CellGrid grid(box, 9.0);
+  for (auto _ : state) {
+    grid.bin(pos);
+    std::int64_t count = 0;
+    grid.for_each_pair(pos, 9.0,
+                       [&](std::int32_t, std::int32_t, const Vec3d&,
+                           double) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_CellGridBinAndSweep);
+
+static void BM_LatticeRoundTrip(benchmark::State& state) {
+  const PeriodicBox box(50.0);
+  const anton::fixed::PositionLattice lat(box);
+  Vec3d r{1.0, 2.0, 3.0};
+  for (auto _ : state) {
+    const Vec3i p = lat.to_lattice(r);
+    benchmark::DoNotOptimize(lat.to_phys(p));
+    r.x += 0.001;
+  }
+}
+BENCHMARK(BM_LatticeRoundTrip);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,134 @@
+// Table 2: effect of electrostatics parameters on performance.
+//
+// The x86 column is MEASURED: our conventional (reference) engine runs the
+// DHFR-sized system on this host for both parameter sets and reports
+// per-task wall-clock per time step. The Anton column is MODELLED: the
+// calibrated machine model evaluated on the same workloads. The claim to
+// reproduce is the co-design argument: a larger cutoff with a coarser mesh
+// slows a conventional CPU by ~2x but speeds Anton up by >2x, because
+// Anton's advantage is far larger for range-limited interactions than for
+// the FFT (Section 3.1).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/engine_types.hpp"
+#include "core/reference_engine.hpp"
+#include "ewald/gse.hpp"
+#include "machine/perf_model.hpp"
+#include "machine/timeline.hpp"
+#include "sysgen/systems.hpp"
+
+using anton::core::Phase;
+
+namespace {
+
+struct Config {
+  const char* label;
+  double cutoff;
+  int mesh;
+  // Paper values (ms/step x86; us/step Anton) for side-by-side printing.
+  double paper_x86_ms;
+  double paper_anton_us;
+};
+
+void print_profile(const char* title, const anton::core::PhaseTimes& t,
+                   double steps, double unit, const char* unit_name) {
+  std::printf("%s\n", title);
+  const double total = t.total() / steps / unit;
+  for (int p = 0; p < static_cast<int>(Phase::kCount); ++p) {
+    const double v = t.seconds[p] / steps / unit;
+    std::printf("  %-24s %9.3f %s (%4.1f%%)\n",
+                anton::core::phase_name(static_cast<Phase>(p)), v, unit_name,
+                100.0 * v / total);
+  }
+  std::printf("  %-24s %9.3f %s\n", "Total", total, unit_name);
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::run_scale();
+  const Config configs[] = {
+      {"small cutoff (9 A), fine mesh (64^3)", 9.0, 64, 88.5, 39.2},
+      {"large cutoff (13 A), coarse mesh (32^3)", 13.0, 32, 184.5, 15.4},
+  };
+
+  bench::header(
+      "Table 2 -- execution-time profile for one DHFR time step: measured "
+      "conventional engine (x86 column) vs modelled Anton");
+  std::printf(
+      "DHFR benchmark system: 23558 atoms, 62.2 A box. Note: the paper's\n"
+      "x86 column is GROMACS on a 2.66 GHz Xeon; ours is this library's\n"
+      "reference engine on this host -- compare the per-task FRACTIONS and\n"
+      "the direction of the parameter tradeoff, not absolute ms.\n\n");
+
+  double x86_totals[2] = {0, 0};
+  double anton_totals[2] = {0, 0};
+
+  for (int c = 0; c < 2; ++c) {
+    const Config& cfg = configs[c];
+    // --- measured conventional engine ---
+    anton::System sys =
+        anton::sysgen::build_paper_system(anton::sysgen::spec_by_name("DHFR"),
+                                          2024);
+    anton::core::SimParams p;
+    p.cutoff = cfg.cutoff;
+    p.mesh = cfg.mesh;
+    p.dt = 2.5;
+    p.long_range_every = 2;
+    anton::core::ReferenceEngine ref(std::move(sys), p);
+    ref.reset_phase_times();
+    const int cycles = std::max(1, static_cast<int>(1 * scale));
+    ref.run_cycles(cycles);
+    const double steps = 2.0 * cycles;
+
+    std::printf("== %s ==\n", cfg.label);
+    print_profile("conventional engine on this host (per step):",
+                  ref.phase_times(), steps, 1e-3, "ms");
+    x86_totals[c] = ref.phase_times().total() / steps;
+    std::printf("  (paper x86 total: %.1f ms/step)\n\n", cfg.paper_x86_ms);
+
+    // --- modelled Anton ---
+    anton::machine::WorkloadParams wp;
+    wp.cutoff = cfg.cutoff;
+    wp.gse = anton::ewald::GseParams::for_cutoff(cfg.cutoff, cfg.mesh);
+    wp.subbox_div = {2, 2, 2};
+    const auto w =
+        anton::machine::estimate_workload(23558, 62.2, wp, {8, 8, 8});
+    anton::machine::PerfModel model(
+        anton::machine::MachineConfig::anton_512());
+    const auto r = model.evaluate(w, 2);
+    std::printf("modelled Anton 512-node machine (long-range step):\n");
+    for (const auto& [name, t] : r.table2_rows()) {
+      std::printf("  %-24s %9.3f us (%4.1f%% of step)\n", name.c_str(),
+                  t * 1e6, 100.0 * t / r.long_step_s);
+    }
+    std::printf("  %-24s %9.3f us  (paper: %.1f us; task times overlap, "
+                "so they sum past the total)\n",
+                "Total (long step)", r.long_step_s * 1e6,
+                cfg.paper_anton_us);
+    std::printf("  %-24s %9.3f us\n", "Short (no-FFT) step",
+                r.short_step_s * 1e6);
+    std::printf("  %-24s %9.1f us/day\n\n", "Simulation rate",
+                r.us_per_day(2.5));
+    anton_totals[c] = r.long_step_s;
+
+    // The overlap, made visible: discrete-event schedule of the long step.
+    auto tasks = anton::machine::long_step_tasks(model, w);
+    anton::machine::schedule(tasks);
+    std::printf("long-step schedule (note bonded/correction hiding under "
+                "the HTIS/FFT chain):\n%s\n",
+                anton::machine::render_gantt(tasks).c_str());
+  }
+
+  bench::header("The co-design claim (Section 3.1)");
+  std::printf(
+      "conventional engine: large-cutoff config costs %.2fx the small-cutoff "
+      "config   (paper: 2.08x slower)\n",
+      x86_totals[1] / x86_totals[0]);
+  std::printf(
+      "Anton model:         large-cutoff config runs  %.2fx FASTER          "
+      "          (paper: 2.55x faster)\n",
+      anton_totals[0] / anton_totals[1]);
+  return 0;
+}

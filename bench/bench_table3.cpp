@@ -1,0 +1,47 @@
+// Table 3: match efficiency of the NT method for several box sizes, each
+// divided into 1, 8, or 64 subboxes, at a 13 A cutoff.
+//
+// Both the closed-form estimate over continuous NT regions (what the
+// paper's idealized numbers describe) and a Monte-Carlo measurement over
+// the whole-subbox import regions our engine actually uses (Figure 3f).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "nt/match_efficiency.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  const double paper[3][3] = {
+      // subbox 1x1x1, 2x2x2, 4x4x4 for box sides 8, 16, 32 A
+      {0.25, 0.40, 0.51},
+      {0.12, 0.25, 0.40},
+      {0.04, 0.12, 0.25},
+  };
+  const double sides[3] = {8.0, 16.0, 32.0};
+  const int divs[3] = {1, 2, 4};
+
+  bench::header(
+      "Table 3 -- match efficiency of the NT method (13 A cutoff): "
+      "analytic / Monte-Carlo (paper)");
+  std::printf("%-12s %22s %22s %22s\n", "Box side", "1x1x1 subboxes",
+              "2x2x2 subboxes", "4x4x4 subboxes");
+
+  anton::Xoshiro256 rng(7);
+  for (int b = 0; b < 3; ++b) {
+    std::printf("%-6.0f A     ", sides[b]);
+    for (int d = 0; d < 3; ++d) {
+      const anton::nt::MatchEfficiencyInput in{sides[b], divs[d], 13.0};
+      const double analytic = anton::nt::match_efficiency_analytic(in);
+      const double mc =
+          anton::nt::match_efficiency_monte_carlo(in, 0.05, rng, 2);
+      std::printf("  %4.0f%% / %4.0f%% (%2.0f%%)", 100.0 * analytic,
+                  100.0 * mc, 100.0 * paper[b][d]);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nClaims reproduced: efficiency falls with box size (large systems "
+      "cannot keep the\nPPIPs fed from match units alone) and subboxing "
+      "restores it (Section 3.2.1).\n");
+  return 0;
+}

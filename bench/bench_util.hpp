@@ -1,0 +1,43 @@
+// Shared helpers for the benchmark/reproduction harness: fixed-width table
+// printing and environment-controlled run scaling.
+//
+// Every bench prints the paper's published values next to our measured or
+// modelled values, so the output reads as a paper-vs-reproduction report
+// (EXPERIMENTS.md is generated from these runs).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace bench {
+
+/// ANTON_BENCH_SCALE scales the default (quick) step counts; 1 is the
+/// default, larger values tighten statistics.
+inline double run_scale() {
+  const char* s = std::getenv("ANTON_BENCH_SCALE");
+  if (!s) return 1.0;
+  const double v = std::atof(s);
+  return v > 0 ? v : 1.0;
+}
+
+/// ANTON_BENCH_FULL=1 enables the expensive measurements (energy drift on
+/// the 50k-120k atom systems).
+inline bool full_run() {
+  const char* s = std::getenv("ANTON_BENCH_FULL");
+  return s && std::atoi(s) != 0;
+}
+
+inline void rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+}
+
+inline void header(const std::string& title) {
+  rule();
+  std::printf("%s\n", title.c_str());
+  rule();
+}
+
+}  // namespace bench

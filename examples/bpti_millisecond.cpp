@@ -1,0 +1,74 @@
+// The Section 5.3 scenario: the BPTI system that Anton carried past a
+// millisecond of simulated time.
+//
+// We build the system at the paper's exact composition (17758 particles:
+// 892 protein atoms, 6 ions, 4215 four-site waters in a 51.3 A box, 10.4 A
+// cutoff, 32^3 mesh, 2.5 fs steps, long-range every other step, Berendsen
+// temperature control), run a stretch of real MD on the functional engine,
+// and then let the machine model answer the headline question: how long
+// does a millisecond take?
+#include <chrono>
+#include <cstdio>
+
+#include "core/anton_engine.hpp"
+#include "ewald/gse.hpp"
+#include "machine/perf_model.hpp"
+#include "sysgen/systems.hpp"
+
+int main() {
+  const auto spec = anton::sysgen::spec_by_name("BPTI");
+  std::printf("building the BPTI system: %d particles, %.1f A box "
+              "(4-site water, as in Section 5.3)...\n",
+              spec.atoms, spec.side);
+  anton::System sys = anton::sysgen::build_paper_system(spec, 1977);
+
+  anton::core::AntonConfig cfg;
+  cfg.sim = anton::sysgen::params_for(spec);
+  cfg.sim.thermostat = true;  // the BPTI run used Berendsen control
+  cfg.sim.target_temperature = 300.0;
+  cfg.node_grid = {4, 4, 4};
+  cfg.subbox_div = {2, 2, 2};
+  anton::core::AntonEngine engine(sys, cfg);
+
+  std::printf("running 40 steps (100 fs) of functional MD...\n");
+  const auto t0 = std::chrono::steady_clock::now();
+  engine.run_cycles(20);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const auto e = engine.measure_energy();
+  std::printf("  E_total = %.1f kcal/mol, T = %.1f K, %.2f s/step on this "
+              "host\n",
+              e.total(), e.temperature, secs / 40.0);
+
+  // The machine model's answer for the real hardware.
+  anton::machine::WorkloadParams wp;
+  wp.cutoff = spec.cutoff;
+  wp.gse = cfg.sim.resolved_gse();
+  wp.subbox_div = {2, 2, 2};
+  wp.protein_fraction = 892.0 / spec.atoms;
+  const auto w = anton::machine::estimate_workload(spec.atoms, spec.side, wp,
+                                                   {8, 8, 8});
+  anton::machine::PerfModel model(anton::machine::MachineConfig::anton_512());
+  const auto r = model.evaluate(w, cfg.sim.long_range_every);
+  const double rate = r.us_per_day(cfg.sim.dt);
+
+  std::printf("\n--- the millisecond arithmetic (512-node Anton) ---\n");
+  std::printf("modelled step time      : %.1f us (long) / %.1f us (short)\n",
+              r.long_step_s * 1e6, r.short_step_s * 1e6);
+  std::printf("modelled rate           : %.1f us/day (paper: 9.8 as "
+              "published, 18.2 after tuning)\n",
+              rate);
+  std::printf("time steps per ms       : %.1e (2.5 fs steps)\n",
+              1e12 / 2.5);
+  std::printf("days to 1031 us         : %.0f days at the modelled rate\n",
+              1031.0 / rate);
+  std::printf("same sim on this host   : %.0f YEARS at %.2f s/step\n",
+              (1031.0e-6 / 2.5e-15) * (secs / 40.0) / 86400.0 / 365.0,
+              secs / 40.0);
+  std::printf("\nThat gap -- centuries on a core vs months on the machine -- "
+              "is the paper's\nheadline: two orders of magnitude beyond "
+              "general-purpose supercomputers, and\nthe first millisecond "
+              "of all-atom protein dynamics (Figure 1 / Table 1).\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// The Figure 7 scenario: watching a protein fold and unfold, repeatedly,
+// in one continuous trajectory at the melting temperature.
+//
+// The paper simulated gpW for 236 us at a temperature that equally
+// favours folded and unfolded states. Here the Go-model mini-protein
+// (DESIGN.md substitution) shows the same two-state hopping live, with a
+// running native-contact fraction Q rendered as a bar.
+#include <cstdio>
+
+#include "analysis/analysis.hpp"
+#include "sysgen/go_model.hpp"
+
+int main() {
+  anton::sysgen::GoModelParams p;
+  p.residues = 32;
+  p.temperature = 380.0;  // near the model's melting point
+  p.seed = 236;
+  anton::sysgen::GoModel go(p);
+
+  std::printf("Go-model mini-protein: %d residues, %d native contacts, "
+              "T = %.0f K\n\n",
+              go.residues(), go.native_contact_count(), p.temperature);
+  std::printf("%10s %8s  %s\n", "steps", "Q", "|.....unfolded....folded....|");
+
+  std::vector<double> series;
+  for (int frame = 0; frame < 60; ++frame) {
+    go.step(25000);
+    const double q = go.native_fraction();
+    series.push_back(q);
+    char bar[33];
+    const int fill = static_cast<int>(q * 28.0 + 0.5);
+    for (int i = 0; i < 28; ++i) bar[i] = i < fill ? '#' : ' ';
+    bar[28] = '\0';
+    std::printf("%10lld %8.2f  |%s|\n",
+                static_cast<long long>(go.steps_done()), q, bar);
+  }
+  const int transitions =
+      anton::analysis::count_transitions(series, 0.35, 0.75);
+  std::printf("\nfolding/unfolding transitions in this stretch: %d\n",
+              transitions);
+  std::printf("(Figure 7 of the paper shows exactly this phenomenology for "
+              "gpW over 236 us\non Anton -- behaviour invisible at the "
+              "nanosecond timescales of earlier MD.)\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Water structure and dynamics from the engine's own trajectories: the
+// O-O radial distribution function (the classic liquid-water fingerprint,
+// with its first solvation peak near 2.8 A) and the mean-square
+// displacement of the oxygens (diffusive at long times).
+//
+// This is the kind of baseline validation every MD engine must pass
+// before anyone believes its milliseconds; the paper's Section 5.2 is the
+// same idea at higher stakes (order parameters against NMR).
+#include <cstdio>
+#include <vector>
+
+#include "analysis/structure.hpp"
+#include "core/anton_engine.hpp"
+#include "sysgen/systems.hpp"
+
+using anton::Vec3d;
+
+int main() {
+  anton::System sys = anton::sysgen::build_water_system(
+      900, 20.8, anton::sysgen::WaterModel::k3Site, 7);
+  std::printf("water box: %d molecules at liquid density, 20.8 A box\n",
+              sys.top.natoms / 3);
+
+  anton::core::AntonConfig cfg;
+  cfg.sim.cutoff = 8.0;
+  cfg.sim.mesh = 16;
+  cfg.sim.thermostat = true;
+  cfg.sim.target_temperature = 300.0;
+  cfg.node_grid = {2, 2, 2};
+  anton::core::AntonEngine eng(sys, cfg);
+
+  std::printf("equilibrating...\n");
+  eng.run_cycles(60);
+
+  anton::analysis::Rdf rdf(8.0, 64);
+  anton::analysis::Msd msd(sys.box);
+  const int frames = 30;
+  for (int f = 0; f < frames; ++f) {
+    eng.run_cycles(4);
+    const auto pos = eng.positions();
+    std::vector<Vec3d> oxygens;
+    for (int i = 0; i < sys.top.natoms; i += 3) oxygens.push_back(pos[i]);
+    rdf.add_frame(oxygens, sys.box);
+    msd.add_frame(oxygens);
+  }
+
+  const auto g = rdf.g();
+  const auto r = rdf.r();
+  std::printf("\nO-O radial distribution function g(r):\n");
+  for (std::size_t b = 8; b < g.size(); b += 2) {
+    const int bars = static_cast<int>(g[b] * 18.0 + 0.5);
+    std::printf("%5.2f A %6.2f |", r[b], g[b]);
+    for (int i = 0; i < bars && i < 60; ++i) std::fputc('*', stdout);
+    std::fputc('\n', stdout);
+  }
+  std::printf("\nfirst solvation peak: %.2f A (liquid water: ~2.8 A)\n",
+              rdf.first_peak(2.0));
+  std::printf("oxygen MSD slope: %.3f A^2 per 20 fs frame "
+              "(positive => diffusive liquid, not a glass or a gas)\n",
+              msd.slope_per_frame());
+  return 0;
+}

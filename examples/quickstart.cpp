@@ -1,0 +1,80 @@
+// Quickstart: build a small solvated-peptide system, run it on the
+// fixed-point Anton engine, and watch the properties that make Anton
+// Anton -- deterministic, decomposition-invariant, checkpointable MD.
+//
+//   $ ./quickstart
+//
+// The public API in five steps:
+//   1. sysgen::build_test_system(...)   -> a System (topology + state)
+//   2. core::AntonConfig                -> parameters + decomposition
+//   3. core::AntonEngine                -> the simulator
+//   4. run_cycles(n)                    -> advance time
+//   5. measure_energy()/positions()/... -> observables
+#include <cstdio>
+
+#include "core/anton_engine.hpp"
+#include "io/io.hpp"
+#include "sysgen/systems.hpp"
+
+int main() {
+  // 1. A 25 A box of rigid water around a 60-atom pseudo-peptide.
+  anton::System sys =
+      anton::sysgen::build_test_system(/*n_waters=*/480, /*side=*/25.0,
+                                       /*seed=*/2009, /*constrained=*/true,
+                                       /*protein_atoms=*/60);
+  std::printf("system: %d atoms (%zu constraints, %zu bonded terms)\n",
+              sys.top.natoms, sys.top.constraints.size(),
+              sys.top.bonds.size() + sys.top.angles.size() +
+                  sys.top.dihedrals.size());
+
+  // 2. Simulation parameters: 2.5 fs steps, 8 A cutoff, GSE long-range
+  //    every other step (the paper's MTS schedule), Berendsen at 300 K;
+  //    2x2x2 virtual nodes with 2x2x2 subboxes each.
+  anton::core::AntonConfig cfg;
+  cfg.sim.cutoff = 8.0;
+  cfg.sim.mesh = 16;
+  cfg.sim.dt = 2.5;
+  cfg.sim.long_range_every = 2;
+  cfg.sim.thermostat = true;
+  cfg.sim.target_temperature = 300.0;
+  cfg.node_grid = {2, 2, 2};
+  cfg.subbox_div = {2, 2, 2};
+
+  // 3-4. Run.
+  anton::core::AntonEngine engine(sys, cfg);
+  std::printf("\n%8s %14s %14s %10s\n", "step", "potential", "total E",
+              "T (K)");
+  for (int block = 0; block < 8; ++block) {
+    engine.run_cycles(10);  // 20 steps = 50 fs
+    const auto e = engine.measure_energy();
+    std::printf("%8lld %14.2f %14.2f %10.1f\n",
+                static_cast<long long>(engine.steps_done()), e.potential(),
+                e.total(), e.temperature);
+  }
+
+  // 5. The Anton guarantees, demonstrated.
+  std::printf("\nstate hash after %lld steps: %016llx\n",
+              static_cast<long long>(engine.steps_done()),
+              static_cast<unsigned long long>(engine.state_hash()));
+  anton::core::AntonConfig other = cfg;
+  other.node_grid = {4, 2, 1};
+  other.subbox_div = {1, 2, 4};
+  anton::core::AntonEngine replay(sys, other);
+  replay.run_cycles(80);
+  std::printf("same run on a 4x2x1 decomposition:  %016llx  (%s)\n",
+              static_cast<unsigned long long>(replay.state_hash()),
+              replay.state_hash() == engine.state_hash()
+                  ? "bitwise identical -- parallel invariance"
+                  : "MISMATCH");
+
+  // Save a bit-exact checkpoint.
+  anton::io::Checkpoint ck;
+  ck.step = engine.steps_done();
+  ck.positions.assign(engine.lattice_positions().begin(),
+                      engine.lattice_positions().end());
+  ck.velocities.assign(engine.fixed_velocities().begin(),
+                       engine.fixed_velocities().end());
+  ck.save("quickstart.ckpt");
+  std::printf("wrote bit-exact checkpoint to quickstart.ckpt\n");
+  return 0;
+}

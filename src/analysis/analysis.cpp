@@ -1,0 +1,108 @@
+#include "analysis/analysis.hpp"
+
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace anton::analysis {
+
+void EnergyDrift::add(std::int64_t step, double total_energy) {
+  steps_.push_back(static_cast<double>(step));
+  energy_.push_back(total_energy);
+}
+
+double EnergyDrift::drift(double dof, double dt_fs) const {
+  if (steps_.size() < 2 || dof <= 0.0) return 0.0;
+  const LinearFit f = fit_line(steps_, energy_);
+  // slope: kcal/mol per step -> per fs -> per us (1e9 fs).
+  return std::fabs(f.slope) / dt_fs * 1.0e9 / dof;
+}
+
+double EnergyDrift::fluctuation() const {
+  if (steps_.size() < 2) return 0.0;
+  const LinearFit f = fit_line(steps_, energy_);
+  double s = 0.0;
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const double resid = energy_[i] - (f.intercept + f.slope * steps_[i]);
+    s += resid * resid;
+  }
+  return std::sqrt(s / steps_.size());
+}
+
+double rms_force_error(std::span<const Vec3d> test,
+                       std::span<const Vec3d> ref) {
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    num += (test[i] - ref[i]).norm2();
+    den += ref[i].norm2();
+  }
+  return den > 0.0 ? std::sqrt(num / den) : 0.0;
+}
+
+OrderParameters::OrderParameters(int n_vectors) : n_(n_vectors) {
+  uu_.assign(n_, {0, 0, 0, 0, 0, 0});
+}
+
+void OrderParameters::add_frame(std::span<const Vec3d> u) {
+  for (int i = 0; i < n_; ++i) {
+    const Vec3d& v = u[i];
+    auto& a = uu_[i];
+    a[0] += v.x * v.x;
+    a[1] += v.y * v.y;
+    a[2] += v.z * v.z;
+    a[3] += v.x * v.y;
+    a[4] += v.x * v.z;
+    a[5] += v.y * v.z;
+  }
+  ++frames_;
+}
+
+std::vector<double> OrderParameters::s2() const {
+  std::vector<double> out(n_, 0.0);
+  if (frames_ == 0) return out;
+  const double inv = 1.0 / static_cast<double>(frames_);
+  for (int i = 0; i < n_; ++i) {
+    const auto& a = uu_[i];
+    const double xx = a[0] * inv, yy = a[1] * inv, zz = a[2] * inv;
+    const double xy = a[3] * inv, xz = a[4] * inv, yz = a[5] * inv;
+    const double sum =
+        xx * xx + yy * yy + zz * zz + 2.0 * (xy * xy + xz * xz + yz * yz);
+    out[i] = 0.5 * (3.0 * sum - 1.0);
+  }
+  return out;
+}
+
+double radius_of_gyration(std::span<const Vec3d> pos) {
+  if (pos.empty()) return 0.0;
+  Vec3d c{0, 0, 0};
+  for (const Vec3d& r : pos) c += r;
+  c = c / static_cast<double>(pos.size());
+  double s = 0.0;
+  for (const Vec3d& r : pos) s += (r - c).norm2();
+  return std::sqrt(s / pos.size());
+}
+
+double rmsd_no_superposition(std::span<const Vec3d> a,
+                             std::span<const Vec3d> b) {
+  if (a.empty() || a.size() != b.size()) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += (a[i] - b[i]).norm2();
+  return std::sqrt(s / a.size());
+}
+
+int count_transitions(std::span<const double> series, double lo, double hi) {
+  int transitions = 0;
+  int state = -1;  // -1 unknown, 0 low, 1 high
+  for (double x : series) {
+    if (x <= lo) {
+      if (state == 1) ++transitions;
+      state = 0;
+    } else if (x >= hi) {
+      if (state == 0) ++transitions;
+      state = 1;
+    }
+  }
+  return transitions;
+}
+
+}  // namespace anton::analysis

@@ -1,0 +1,67 @@
+// Trajectory analysis: the observables the paper's evaluation reports.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/vec3.hpp"
+
+namespace anton::analysis {
+
+/// Energy-conservation diagnostic (Table 4's "energy drift" column).
+/// Feed (step, total energy) samples from an unthermostatted run; the
+/// drift is the fitted linear slope, normalized per degree of freedom and
+/// per microsecond of simulated time.
+class EnergyDrift {
+ public:
+  void add(std::int64_t step, double total_energy);
+  std::size_t samples() const { return steps_.size(); }
+
+  /// |slope| in kcal/mol/DoF/us. dt in fs.
+  double drift(double dof, double dt_fs) const;
+
+  /// RMS fluctuation around the fitted line (kcal/mol).
+  double fluctuation() const;
+
+ private:
+  std::vector<double> steps_, energy_;
+};
+
+/// RMS force error as a fraction of the rms force (Table 4):
+/// sqrt(mean |F_test - F_ref|^2) / sqrt(mean |F_ref|^2).
+double rms_force_error(std::span<const Vec3d> test,
+                       std::span<const Vec3d> ref);
+
+/// Backbone amide S^2 order parameters (Figure 6): for each residue's N-H
+/// unit vector u(t), S^2 = (3 sum_ab <u_a u_b>^2 - 1) / 2 over the
+/// trajectory. Feed one call per frame with all residues' unit vectors.
+class OrderParameters {
+ public:
+  explicit OrderParameters(int n_vectors);
+  void add_frame(std::span<const Vec3d> unit_vectors);
+  std::vector<double> s2() const;
+  std::int64_t frames() const { return frames_; }
+
+ private:
+  int n_;
+  std::int64_t frames_ = 0;
+  // Running sums of the 6 distinct components of u (x) u per vector.
+  std::vector<std::array<double, 6>> uu_;
+};
+
+/// Radius of gyration of a point set.
+double radius_of_gyration(std::span<const Vec3d> pos);
+
+/// RMSD without superposition (useful for rigid-lattice comparisons).
+double rmsd_no_superposition(std::span<const Vec3d> a,
+                             std::span<const Vec3d> b);
+
+/// Counts transitions of a scalar time series between two basins with
+/// hysteresis: a transition is recorded each time the series crosses from
+/// below `lo` to above `hi` or vice versa (Figure 7's folding/unfolding
+/// event count).
+int count_transitions(std::span<const double> series, double lo, double hi);
+
+}  // namespace anton::analysis

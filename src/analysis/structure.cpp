@@ -1,0 +1,166 @@
+#include "analysis/structure.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "pairlist/cell_grid.hpp"
+#include "util/stats.hpp"
+
+namespace anton::analysis {
+
+Rdf::Rdf(double r_max, int bins) : r_max_(r_max), bins_(bins) {
+  if (r_max <= 0 || bins <= 0) throw std::invalid_argument("Rdf: bad params");
+  counts_.assign(bins, 0.0);
+}
+
+void Rdf::add_frame(std::span<const Vec3d> pos, const PeriodicBox& box) {
+  pairlist::CellGrid grid(box, std::max(r_max_, 3.0));
+  grid.bin(pos);
+  grid.for_each_pair(pos, r_max_,
+                     [&](std::int32_t, std::int32_t, const Vec3d&,
+                         double r2) {
+                       const double r = std::sqrt(r2);
+                       const int b = static_cast<int>(r / r_max_ * bins_);
+                       if (b >= 0 && b < bins_) counts_[b] += 2.0;  // i and j
+                     });
+  ++frames_;
+  atoms_ = static_cast<std::int64_t>(pos.size());
+  volume_ = box.volume();
+}
+
+std::vector<double> Rdf::g() const {
+  std::vector<double> out(bins_, 0.0);
+  if (frames_ == 0 || atoms_ < 2) return out;
+  const double rho = atoms_ / volume_;
+  const double dr = r_max_ / bins_;
+  for (int b = 0; b < bins_; ++b) {
+    const double r_lo = b * dr, r_hi = r_lo + dr;
+    const double shell =
+        4.0 / 3.0 * M_PI * (r_hi * r_hi * r_hi - r_lo * r_lo * r_lo);
+    const double ideal = rho * shell * atoms_;
+    out[b] = counts_[b] / (frames_ * ideal);
+  }
+  return out;
+}
+
+std::vector<double> Rdf::r() const {
+  std::vector<double> out(bins_);
+  const double dr = r_max_ / bins_;
+  for (int b = 0; b < bins_; ++b) out[b] = (b + 0.5) * dr;
+  return out;
+}
+
+double Rdf::first_peak(double r_min) const {
+  const std::vector<double> gv = g();
+  const std::vector<double> rv = r();
+  int best = -1;
+  for (int b = 1; b + 1 < bins_; ++b) {
+    if (rv[b] < r_min) continue;
+    if (gv[b] >= gv[b - 1] && gv[b] >= gv[b + 1] && gv[b] > 1.2) {
+      best = b;
+      break;
+    }
+  }
+  return best >= 0 ? rv[best] : 0.0;
+}
+
+// ---------------------------------------------------------------------------
+
+double rmsd_kabsch(std::span<const Vec3d> a, std::span<const Vec3d> b) {
+  const std::size_t n = a.size();
+  if (n == 0 || b.size() != n) return 0.0;
+  // Center both sets.
+  Vec3d ca{0, 0, 0}, cb{0, 0, 0};
+  for (std::size_t i = 0; i < n; ++i) {
+    ca += a[i];
+    cb += b[i];
+  }
+  ca = ca / static_cast<double>(n);
+  cb = cb / static_cast<double>(n);
+
+  // Covariance matrix R = sum (a - ca) (b - cb)^T and inner products.
+  double R[3][3] = {{0, 0, 0}, {0, 0, 0}, {0, 0, 0}};
+  double ga = 0, gb = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3d x = a[i] - ca;
+    const Vec3d y = b[i] - cb;
+    const double xv[3] = {x.x, x.y, x.z};
+    const double yv[3] = {y.x, y.y, y.z};
+    for (int p = 0; p < 3; ++p)
+      for (int q = 0; q < 3; ++q) R[p][q] += xv[p] * yv[q];
+    ga += x.norm2();
+    gb += y.norm2();
+  }
+
+  // Quaternion (Kearsley) 4x4 key matrix; its largest eigenvalue lambda
+  // gives rmsd^2 = (ga + gb - 2 lambda) / n.
+  double K[4][4];
+  K[0][0] = R[0][0] + R[1][1] + R[2][2];
+  K[0][1] = K[1][0] = R[1][2] - R[2][1];
+  K[0][2] = K[2][0] = R[2][0] - R[0][2];
+  K[0][3] = K[3][0] = R[0][1] - R[1][0];
+  K[1][1] = R[0][0] - R[1][1] - R[2][2];
+  K[1][2] = K[2][1] = R[0][1] + R[1][0];
+  K[1][3] = K[3][1] = R[0][2] + R[2][0];
+  K[2][2] = -R[0][0] + R[1][1] - R[2][2];
+  K[2][3] = K[3][2] = R[1][2] + R[2][1];
+  K[3][3] = -R[0][0] - R[1][1] + R[2][2];
+
+  // Largest eigenvalue by power iteration with a generous shift (the key
+  // matrix spectrum is bounded by ga+gb in magnitude).
+  const double shift = ga + gb + 1.0;
+  double v[4] = {1, 0.5, 0.25, 0.125};
+  for (int it = 0; it < 200; ++it) {
+    double w[4] = {0, 0, 0, 0};
+    for (int p = 0; p < 4; ++p)
+      for (int q = 0; q < 4; ++q) w[p] += (K[p][q] + (p == q ? shift : 0)) * v[q];
+    double norm = 0;
+    for (double x : w) norm += x * x;
+    norm = std::sqrt(norm);
+    for (int p = 0; p < 4; ++p) v[p] = w[p] / norm;
+  }
+  double lambda = 0;
+  for (int p = 0; p < 4; ++p) {
+    double w = 0;
+    for (int q = 0; q < 4; ++q) w += K[p][q] * v[q];
+    lambda += v[p] * w;
+  }
+  const double msd = std::max(0.0, (ga + gb - 2.0 * lambda) / n);
+  return std::sqrt(msd);
+}
+
+// ---------------------------------------------------------------------------
+
+Msd::Msd(const PeriodicBox& box) : box_(box) {}
+
+void Msd::add_frame(std::span<const Vec3d> pos) {
+  if (origin_.empty()) {
+    origin_.assign(pos.begin(), pos.end());
+    prev_ = origin_;
+    unwrapped_ = origin_;
+    msd_.push_back(0.0);
+    return;
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    const Vec3d step = box_.min_image(pos[i], prev_[i]);
+    unwrapped_[i] += step;
+    prev_[i] = pos[i];
+    sum += (unwrapped_[i] - origin_[i]).norm2();
+  }
+  msd_.push_back(sum / pos.size());
+}
+
+double Msd::slope_per_frame() const {
+  if (msd_.size() < 4) return 0.0;
+  // Fit the second half (diffusive regime).
+  std::vector<double> x, y;
+  for (std::size_t i = msd_.size() / 2; i < msd_.size(); ++i) {
+    x.push_back(static_cast<double>(i));
+    y.push_back(msd_[i]);
+  }
+  return fit_line(x, y).slope;
+}
+
+}  // namespace anton::analysis

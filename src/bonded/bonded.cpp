@@ -1,0 +1,88 @@
+#include "bonded/bonded.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace anton::bonded {
+
+TermForces eval_bond(const BondTerm& b, std::span<const Vec3d> pos,
+                     const PeriodicBox& box) {
+  TermForces out;
+  const Vec3d dr = box.min_image(pos[b.i], pos[b.j]);
+  const double r = dr.norm();
+  const double dev = r - b.r0;
+  out.energy = b.k * dev * dev;
+  // F_i = -dE/dr_i = -2k (r - r0) * dr/r
+  const double coef = (r > 0.0) ? -2.0 * b.k * dev / r : 0.0;
+  const Vec3d fi = coef * dr;
+  out.add(b.i, fi);
+  out.add(b.j, -fi);
+  return out;
+}
+
+TermForces eval_angle(const AngleTerm& a, std::span<const Vec3d> pos,
+                      const PeriodicBox& box) {
+  TermForces out;
+  const Vec3d u = box.min_image(pos[a.i], pos[a.j]);
+  const Vec3d v = box.min_image(pos[a.k], pos[a.j]);
+  const double nu = u.norm(), nv = v.norm();
+  if (nu == 0.0 || nv == 0.0) return out;
+  double cost = u.dot(v) / (nu * nv);
+  cost = std::clamp(cost, -1.0, 1.0);
+  const double theta = std::acos(cost);
+  const double dev = theta - a.theta0;
+  out.energy = a.kf * dev * dev;
+  const double sint = std::sqrt(std::max(1.0 - cost * cost, 1e-12));
+  // F_i = (2 kf dev / sin) * (v/(|u||v|) - cos * u/|u|^2), and symmetrically
+  // for k; j balances.
+  const double pref = 2.0 * a.kf * dev / sint;
+  const Vec3d fi = pref * (v / (nu * nv) - u * (cost / (nu * nu)));
+  const Vec3d fk = pref * (u / (nu * nv) - v * (cost / (nv * nv)));
+  out.add(a.i, fi);
+  out.add(a.k, fk);
+  out.add(a.j, -(fi + fk));
+  return out;
+}
+
+TermForces eval_dihedral(const DihedralTerm& d, std::span<const Vec3d> pos,
+                         const PeriodicBox& box) {
+  TermForces out;
+  const Vec3d b1 = box.min_image(pos[d.j], pos[d.i]);
+  const Vec3d b2 = box.min_image(pos[d.k], pos[d.j]);
+  const Vec3d b3 = box.min_image(pos[d.l], pos[d.k]);
+  const Vec3d n1 = b1.cross(b2);
+  const Vec3d n2 = b2.cross(b3);
+  const double n1sq = n1.norm2(), n2sq = n2.norm2();
+  const double b2n = b2.norm();
+  if (n1sq < 1e-12 || n2sq < 1e-12 || b2n < 1e-12) return out;  // collinear
+  const double phi = std::atan2(n1.cross(n2).dot(b2) / b2n, n1.dot(n2));
+  out.energy = d.kf * (1.0 + std::cos(d.n * phi - d.phase));
+  const double dEdphi = d.kf * d.n * std::sin(d.n * phi - d.phase);
+  // Blondel & Karplus force distribution.
+  const Vec3d fi = n1 * (-dEdphi * b2n / n1sq);
+  const Vec3d fl = n2 * (dEdphi * b2n / n2sq);
+  const double c1 = b1.dot(b2) / (b2n * b2n);
+  const double c2 = b3.dot(b2) / (b2n * b2n);
+  const Vec3d s = fl * c2 - fi * c1;
+  out.add(d.i, fi);
+  out.add(d.l, fl);
+  out.add(d.j, -fi + s);
+  out.add(d.k, -fl - s);
+  return out;
+}
+
+double eval_all_bonded(const Topology& top, std::span<const Vec3d> pos,
+                       const PeriodicBox& box, std::span<Vec3d> forces) {
+  double energy = 0.0;
+  auto apply = [&](const TermForces& t) {
+    energy += t.energy;
+    for (int i = 0; i < t.n; ++i) forces[t.atom[i]] += t.f[i];
+  };
+  for (const BondTerm& b : top.bonds) apply(eval_bond(b, pos, box));
+  for (const AngleTerm& a : top.angles) apply(eval_angle(a, pos, box));
+  for (const DihedralTerm& d : top.dihedrals)
+    apply(eval_dihedral(d, pos, box));
+  return energy;
+}
+
+}  // namespace anton::bonded

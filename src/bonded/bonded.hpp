@@ -1,0 +1,50 @@
+// Bonded-force kernels (bond terms, Section 3.2.3).
+//
+// Each kernel evaluates one term and reports per-atom force contributions
+// separately, because the two engines consume them differently: the
+// double-precision reference engine accumulates them directly, while the
+// Anton engine (geometry-core model) quantizes each contribution onto the
+// fixed-point force grid before the order-invariant wrapping accumulation.
+//
+// All kernels take minimum-image displacements through the periodic box,
+// matching how a bond term whose atoms straddle a box boundary is
+// evaluated on the node that owns the term.
+#pragma once
+
+#include <span>
+
+#include "ff/topology.hpp"
+#include "geom/box.hpp"
+#include "geom/vec3.hpp"
+
+namespace anton::bonded {
+
+/// Per-atom force contributions of a single term (up to 4 atoms).
+struct TermForces {
+  int n = 0;
+  std::int32_t atom[4] = {0, 0, 0, 0};
+  Vec3d f[4];
+  double energy = 0.0;
+
+  void add(std::int32_t a, const Vec3d& fa) {
+    atom[n] = a;
+    f[n] = fa;
+    ++n;
+  }
+};
+
+TermForces eval_bond(const BondTerm& b, std::span<const Vec3d> pos,
+                     const PeriodicBox& box);
+
+TermForces eval_angle(const AngleTerm& a, std::span<const Vec3d> pos,
+                      const PeriodicBox& box);
+
+TermForces eval_dihedral(const DihedralTerm& d, std::span<const Vec3d> pos,
+                         const PeriodicBox& box);
+
+/// Evaluates every bonded term of a topology into a force array (reference
+/// path); returns the total bonded energy.
+double eval_all_bonded(const Topology& top, std::span<const Vec3d> pos,
+                       const PeriodicBox& box, std::span<Vec3d> forces);
+
+}  // namespace anton::bonded

@@ -1,0 +1,47 @@
+// Holonomic constraint solvers (Section 3.2.4).
+//
+// "Most MD simulations can be accelerated by incorporating constraints
+// during integration that fix the lengths of bonds to hydrogen atoms as
+// well as angles between certain bonds." Rigid waters (3- and 4-site) and
+// bonds-to-hydrogen are expressed as distance constraints and solved with
+// SHAKE (positions) and RATTLE (velocities).
+//
+// Determinism: the solvers are pure functions of their inputs -- the
+// iteration, including the convergence test, depends only on the values
+// passed in -- so the Anton engine keeps its bitwise determinism and
+// parallel invariance (every constraint group is solved entirely on its
+// home node, per the paper's design choice).
+#pragma once
+
+#include <span>
+
+#include "ff/topology.hpp"
+#include "geom/box.hpp"
+#include "geom/vec3.hpp"
+
+namespace anton::constraints {
+
+struct SolverParams {
+  int max_iters = 500;
+  double rel_tol = 1e-10;  // on |r|^2 - d^2, relative to d^2
+};
+
+/// SHAKE: adjusts `pos_new` (post-drift positions) so every constraint is
+/// satisfied, using the pre-drift `pos_ref` directions. Returns the
+/// iteration count used, or -1 if the tolerance was not met (the caller
+/// treats that as a fatal integration error).
+int shake(std::span<const ConstraintBond> bonds, std::span<const double> mass,
+          std::span<const Vec3d> pos_ref, std::span<Vec3d> pos_new,
+          const PeriodicBox& box, const SolverParams& p = {});
+
+/// RATTLE velocity stage: removes velocity components along constrained
+/// bonds so that d/dt |r_ij|^2 = 0. Returns iterations or -1.
+int rattle(std::span<const ConstraintBond> bonds, std::span<const double> mass,
+           std::span<const Vec3d> pos, std::span<Vec3d> vel,
+           const PeriodicBox& box, const SolverParams& p = {});
+
+/// Convenience: largest relative constraint violation max |r^2 - d^2| / d^2.
+double max_violation(std::span<const ConstraintBond> bonds,
+                     std::span<const Vec3d> pos, const PeriodicBox& box);
+
+}  // namespace anton::constraints

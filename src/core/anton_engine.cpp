@@ -1,0 +1,809 @@
+#include "core/anton_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "bonded/bonded.hpp"
+#include "constraints/shake.hpp"
+#include "ewald/kernels.hpp"
+#include "fixed/fixed.hpp"
+#include "htis/match_unit.hpp"
+#include "integrate/kinetic.hpp"
+#include "util/units.hpp"
+
+namespace anton::core {
+
+namespace {
+// Fixed-point scales for the mesh quantities. Charge densities on the mesh
+// are O(0.1) e/A^3; potentials are O(100) kcal/mol/e. Both grids leave
+// orders of magnitude of headroom in int64.
+constexpr double kMeshChargeScale = 1099511627776.0;  // 2^40 per e/A^3
+constexpr double kPhiScale = 4294967296.0;            // 2^32 per kcal/mol/e
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+}  // namespace
+
+AntonEngine::AntonEngine(System sys, const AntonConfig& cfg)
+    : sys_(std::move(sys)), cfg_(cfg),
+      gse_params_(cfg.sim.resolved_gse()), lat_(sys_.box),
+      excl_(sys_.top) {
+  sys_.top.validate();
+  if (!sys_.box.is_cubic())
+    throw std::invalid_argument("AntonEngine: requires a cubic box");
+
+  const Topology& top = sys_.top;
+  const std::int32_t n = top.natoms;
+
+  // Quantize the initial conditions onto the fixed-point grids.
+  pos_.resize(n);
+  vel_.resize(n);
+  for (std::int32_t i = 0; i < n; ++i) {
+    pos_[i] = lat_.to_lattice(sys_.positions[i]);
+    vel_[i] = {fixed::quantize(sys_.velocities[i].x, fixed::kVelScale),
+               fixed::quantize(sys_.velocities[i].y, fixed::kVelScale),
+               fixed::quantize(sys_.velocities[i].z, fixed::kVelScale)};
+  }
+  f_short_.assign(n, {0, 0, 0});
+  f_long_.assign(n, {0, 0, 0});
+  pos_phys_.resize(n);
+
+  // Integration coefficients. dv[counts] = F[counts] * kick_coef;
+  // dx[counts] = v[counts] * drift_coef.
+  kick_short_coef_.resize(n);
+  kick_long_coef_.resize(n);
+  const int k = std::max(1, cfg_.sim.long_range_every);
+  for (std::int32_t i = 0; i < n; ++i) {
+    // Massless virtual sites are never kicked; their positions are rebuilt
+    // from their parents after every drift.
+    const double base =
+        top.mass[i] > 0.0
+            ? 0.5 * cfg_.sim.dt * units::kForceToAccel / top.mass[i] *
+                  fixed::kVelScale / fixed::kForceScale
+            : 0.0;
+    kick_short_coef_[i] = base;
+    kick_long_coef_[i] = base * k;
+  }
+  const Vec3d lsb = lat_.lsb();
+  drift_coef_ = {cfg_.sim.dt / (fixed::kVelScale * lsb.x),
+                 cfg_.sim.dt / (fixed::kVelScale * lsb.y),
+                 cfg_.sim.dt / (fixed::kVelScale * lsb.z)};
+
+  // PPIP tables.
+  htis::PairKernelParams tp;
+  tp.cutoff = cfg_.sim.cutoff;
+  tp.beta = gse_params_.beta;
+  tp.sigma_s = gse_params_.sigma_s;
+  tp.rs = gse_params_.rs;
+  tp.mantissa_bits = cfg_.table_mantissa_bits;
+  kernels_ = htis::PairKernels(tp, top.lj_types);
+
+  gse_ = std::make_unique<ewald::Gse>(sys_.box, gse_params_);
+  mesh_q_.assign(gse_->mesh_total(), 0);
+  mesh_phi_.assign(gse_->mesh_total(), 0);
+  scratch_q_.assign(gse_->mesh_total(), 0.0);
+  scratch_phi_.assign(gse_->mesh_total(), 0.0);
+
+  // Cutoff thresholds in lattice units (cubic box: lsb identical per axis).
+  const double cut_lat = cfg_.sim.cutoff / lsb.x;
+  r2_limit_lattice_ = static_cast<std::uint64_t>(cut_lat * cut_lat);
+  lat2_to_phys2_ = lsb.x * lsb.x;
+
+  build_decomposition();
+  refresh_phys_positions();
+  rebuild_virtual_sites();
+  migrate();
+  e_self_ = gse_->self_energy(top.charge);
+
+  compute_short_forces(false);
+  compute_long_forces(false);
+}
+
+void AntonEngine::build_decomposition() {
+  nt::NtConfig nc;
+  nc.node_grid = cfg_.node_grid;
+  nc.subbox_div = cfg_.subbox_div;
+  nc.cutoff = cfg_.sim.cutoff;
+  nc.margin = cfg_.import_margin;
+  nc.box = sys_.box;
+  geom_ = std::make_unique<nt::NtGeometry>(nc);
+
+  const Topology& top = sys_.top;
+  bins_.assign(geom_->subbox_count(), {});
+  assigned_subbox_.assign(top.natoms, 0);
+
+  // Migration units: constraint groups move as one; all other atoms are
+  // singleton units. Unit order follows the lowest atom index so the
+  // decomposition is deterministic.
+  units_.clear();
+  group_constraints_.clear();
+  std::vector<std::int32_t> unit_of(top.natoms, -1);
+  for (const auto& g : top.constraint_groups) {
+    const auto id = static_cast<std::int32_t>(units_.size());
+    units_.push_back(g);
+    for (std::int32_t a : g) unit_of[a] = id;
+  }
+  for (std::int32_t a = 0; a < top.natoms; ++a) {
+    if (unit_of[a] < 0) {
+      unit_of[a] = static_cast<std::int32_t>(units_.size());
+      units_.push_back({a});
+    }
+  }
+  // Constraint lists per unit.
+  group_constraints_.assign(units_.size(), {});
+  for (const ConstraintBond& c : top.constraints) {
+    group_constraints_[unit_of[c.i]].push_back(c);
+  }
+
+  // Per-node import subbox lists (tower / plate, home subboxes removed),
+  // used for the import-volume counters the machine model consumes.
+  const std::int64_t nnodes = std::int64_t{1} * cfg_.node_grid.x *
+                              cfg_.node_grid.y * cfg_.node_grid.z;
+  node_import_subboxes_.assign(nnodes, {});
+  std::vector<std::vector<char>> seen(nnodes);
+  for (auto& s : seen) s.assign(geom_->subbox_count(), 0);
+  for (std::int32_t sb = 0; sb < geom_->subbox_count(); ++sb) {
+    const Vec3i h = geom_->coords_of(sb);
+    const std::int32_t node = geom_->node_index_of(h);
+    auto add = [&](const Vec3i& c) {
+      const std::int32_t idx = geom_->index_of(geom_->wrap_coords(c));
+      if (seen[node][idx]) return;
+      seen[node][idx] = 1;
+      if (geom_->node_index_of(geom_->coords_of(idx)) != node)
+        node_import_subboxes_[node].push_back(idx);
+    };
+    for (std::int32_t dz : geom_->tower_dz()) add({h.x, h.y, h.z + dz});
+    for (const Vec3i& p : geom_->plate_half())
+      add({h.x + p.x, h.y + p.y, h.z});
+  }
+
+  workload_.nodes.assign(nnodes, {});
+  workload_.steps_accumulated = 0;
+}
+
+void AntonEngine::refresh_phys_positions() {
+  for (std::size_t i = 0; i < pos_.size(); ++i)
+    pos_phys_[i] = lat_.to_phys(pos_[i]);
+}
+
+void AntonEngine::rebuild_virtual_sites() {
+  // r_site = r_o + a (r_h1 + r_h2 - 2 r_o), assembled from minimum-image
+  // displacements so molecules straddling the boundary stay intact. A pure
+  // function of the parent lattice positions: bitwise decomposition-
+  // independent.
+  for (const VirtualSite& v : sys_.top.virtual_sites) {
+    const Vec3d o = pos_phys_[v.o];
+    const Vec3d d1 = sys_.box.min_image(pos_phys_[v.h1], o);
+    const Vec3d d2 = sys_.box.min_image(pos_phys_[v.h2], o);
+    const Vec3d m = o + (d1 + d2) * v.a;
+    pos_[v.site] = lat_.to_lattice(m);
+    pos_phys_[v.site] = lat_.to_phys(pos_[v.site]);
+    vel_[v.site] = {0, 0, 0};
+  }
+}
+
+void AntonEngine::redistribute_virtual_site_forces(std::vector<Vec3l>& f) {
+  // F_o += (1-2a) F_m, F_h += a F_m; the oxygen share is computed as the
+  // exact remainder so the redistribution conserves the total force
+  // bit-for-bit.
+  for (const VirtualSite& v : sys_.top.virtual_sites) {
+    const Vec3l fm = f[v.site];
+    const Vec3l fh1{fixed::quantize(static_cast<double>(fm.x) * v.a, 1.0),
+                    fixed::quantize(static_cast<double>(fm.y) * v.a, 1.0),
+                    fixed::quantize(static_cast<double>(fm.z) * v.a, 1.0)};
+    const Vec3l fh2 = fh1;
+    const Vec3l fo{fixed::wrap_sub(fixed::wrap_sub(fm.x, fh1.x), fh2.x),
+                   fixed::wrap_sub(fixed::wrap_sub(fm.y, fh1.y), fh2.y),
+                   fixed::wrap_sub(fixed::wrap_sub(fm.z, fh1.z), fh2.z)};
+    f[v.h1].x = fixed::wrap_add(f[v.h1].x, fh1.x);
+    f[v.h1].y = fixed::wrap_add(f[v.h1].y, fh1.y);
+    f[v.h1].z = fixed::wrap_add(f[v.h1].z, fh1.z);
+    f[v.h2].x = fixed::wrap_add(f[v.h2].x, fh2.x);
+    f[v.h2].y = fixed::wrap_add(f[v.h2].y, fh2.y);
+    f[v.h2].z = fixed::wrap_add(f[v.h2].z, fh2.z);
+    f[v.o].x = fixed::wrap_add(f[v.o].x, fo.x);
+    f[v.o].y = fixed::wrap_add(f[v.o].y, fo.y);
+    f[v.o].z = fixed::wrap_add(f[v.o].z, fo.z);
+    f[v.site] = {0, 0, 0};
+  }
+}
+
+void AntonEngine::migrate() {
+  for (auto& b : bins_) b.clear();
+  for (const auto& unit : units_) {
+    const Vec3i sb = geom_->subbox_of(pos_phys_[unit[0]]);
+    const std::int32_t idx = geom_->index_of(sb);
+    for (std::int32_t a : unit) {
+      assigned_subbox_[a] = idx;
+      bins_[idx].push_back(a);
+    }
+  }
+  // Keep bin contents sorted by atom index: deterministic and independent
+  // of unit enumeration order.
+  for (auto& b : bins_) std::sort(b.begin(), b.end());
+}
+
+void AntonEngine::range_limited_pass(bool with_energy) {
+  const Topology& top = sys_.top;
+  const bool have_mol = !top.molecule.empty();
+  const double inv_force_scale = 1.0;  // forces quantized via llrint below
+  (void)inv_force_scale;
+
+  const std::int64_t nsub = geom_->subbox_count();
+  for (std::int32_t hidx = 0; hidx < nsub; ++hidx) {
+    const Vec3i h = geom_->coords_of(hidx);
+    NodeCounters& nc = workload_.nodes[geom_->node_index_of(h)];
+    for (std::int32_t dz : geom_->tower_dz()) {
+      const std::int32_t tidx =
+          geom_->index_of(geom_->wrap_coords({h.x, h.y, h.z + dz}));
+      const auto& tower = bins_[tidx];
+      if (tower.empty()) continue;
+      for (const Vec3i& poff : geom_->plate_half()) {
+        if (!geom_->owns_pair(h, dz, poff)) continue;
+        const std::int32_t pidx = geom_->index_of(
+            geom_->wrap_coords({h.x + poff.x, h.y + poff.y, h.z}));
+        const auto& plate = bins_[pidx];
+        if (plate.empty()) continue;
+        const bool same = tidx == pidx;
+        for (std::size_t a = 0; a < tower.size(); ++a) {
+          const std::int32_t i0 = tower[a];
+          const Vec3i pi = pos_[i0];
+          const std::size_t b0 = same ? a + 1 : 0;
+          for (std::size_t b = b0; b < plate.size(); ++b) {
+            const std::int32_t j0 = plate[b];
+            ++nc.pairs_considered;
+            // Canonical pair orientation: lower global index first, so the
+            // computed (quantized) force is identical no matter which node
+            // or decomposition evaluates the pair.
+            const std::int32_t i = i0 < j0 ? i0 : j0;
+            const std::int32_t j = i0 < j0 ? j0 : i0;
+            const Vec3i d = fixed::PositionLattice::delta(
+                i == i0 ? pi : pos_[i], i == i0 ? pos_[j] : pi);
+            if (!htis::match_plausible(d, r2_limit_lattice_)) continue;
+            ++nc.ppip_queue;
+            const std::uint64_t r2lat = htis::exact_r2_lattice(d);
+            if (r2lat > r2_limit_lattice_) continue;
+            if (have_mol && top.molecule[i] == top.molecule[j] &&
+                excl_.excluded(i, j))
+              continue;
+            ++nc.interactions;
+            const double r2 = static_cast<double>(r2lat) * lat2_to_phys2_;
+            const double qq = top.charge[i] * top.charge[j];
+            const htis::PairForceEnergy pfe = kernels_.eval_nonbonded(
+                r2, qq, top.type[i], top.type[j], with_energy);
+            const Vec3d drp = lat_.delta_to_phys(d);
+            const Vec3l fq{
+                fixed::quantize(pfe.force_coef * drp.x, fixed::kForceScale),
+                fixed::quantize(pfe.force_coef * drp.y, fixed::kForceScale),
+                fixed::quantize(pfe.force_coef * drp.z, fixed::kForceScale)};
+            f_short_[i].x = fixed::wrap_add(f_short_[i].x, fq.x);
+            f_short_[i].y = fixed::wrap_add(f_short_[i].y, fq.y);
+            f_short_[i].z = fixed::wrap_add(f_short_[i].z, fq.z);
+            f_short_[j].x = fixed::wrap_sub(f_short_[j].x, fq.x);
+            f_short_[j].y = fixed::wrap_sub(f_short_[j].y, fq.y);
+            f_short_[j].z = fixed::wrap_sub(f_short_[j].z, fq.z);
+            if (with_energy) {
+              e_coul_acc_.add(fixed::quantize_energy(pfe.energy_elec));
+              e_lj_acc_.add(fixed::quantize_energy(pfe.energy_lj));
+              // Pair virial trace: r_ij . F_ij = coef * r^2.
+              w_pair_acc_.add(
+                  fixed::quantize(pfe.force_coef * r2, fixed::kVirialScale));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void AntonEngine::bonded_pass(bool with_energy) {
+  const Topology& top = sys_.top;
+  auto apply = [&](const bonded::TermForces& t, NodeCounters& nc) {
+    ++nc.bond_terms;
+    if (with_energy && t.n > 0) {
+      // Term virial: sum F_a . (r_a - r_ref); any reference works because
+      // the term forces sum to zero.
+      const Vec3d ref_pos = pos_phys_[t.atom[0]];
+      double w = 0.0;
+      for (int i = 0; i < t.n; ++i)
+        w += t.f[i].dot(sys_.box.min_image(pos_phys_[t.atom[i]], ref_pos));
+      w_bonded_acc_.add(fixed::quantize(w, fixed::kVirialScale));
+    }
+    for (int i = 0; i < t.n; ++i) {
+      const Vec3l fq{fixed::quantize(t.f[i].x, fixed::kForceScale),
+                     fixed::quantize(t.f[i].y, fixed::kForceScale),
+                     fixed::quantize(t.f[i].z, fixed::kForceScale)};
+      Vec3l& f = f_short_[t.atom[i]];
+      f.x = fixed::wrap_add(f.x, fq.x);
+      f.y = fixed::wrap_add(f.y, fq.y);
+      f.z = fixed::wrap_add(f.z, fq.z);
+    }
+    if (with_energy) e_bonded_acc_.add(fixed::quantize_energy(t.energy));
+  };
+  auto node_of_atom = [&](std::int32_t a) -> NodeCounters& {
+    return workload_.nodes[geom_->node_index_of(
+        geom_->coords_of(assigned_subbox_[a]))];
+  };
+  for (const BondTerm& b : top.bonds)
+    apply(bonded::eval_bond(b, pos_phys_, sys_.box), node_of_atom(b.i));
+  for (const AngleTerm& a : top.angles)
+    apply(bonded::eval_angle(a, pos_phys_, sys_.box), node_of_atom(a.i));
+  for (const DihedralTerm& d : top.dihedrals)
+    apply(bonded::eval_dihedral(d, pos_phys_, sys_.box), node_of_atom(d.i));
+}
+
+void AntonEngine::correction_short_pass(bool with_energy) {
+  // Scaled 1-4 interactions: the stiff, every-step half of the correction
+  // pipeline's work.
+  const Topology& top = sys_.top;
+  for (const ExclusionPair& e : top.exclusions) {
+    if (e.lj_scale == 0.0 && e.coul_scale == 0.0) continue;
+    const Vec3i d = fixed::PositionLattice::delta(pos_[e.i], pos_[e.j]);
+    const Vec3d drp = lat_.delta_to_phys(d);
+    const double r2 = drp.norm2();
+    const double r = std::sqrt(r2);
+    const double A = kernels_.lj_a(top.type[e.i], top.type[e.j]);
+    const double B = kernels_.lj_b(top.type[e.i], top.type[e.j]);
+    const double qq = top.charge[e.i] * top.charge[e.j];
+    const double coef = e.lj_scale * ewald::lj_force(r2, A, B) +
+                        e.coul_scale * qq * ewald::coul_bare_force(r);
+    const Vec3l fq{fixed::quantize(coef * drp.x, fixed::kForceScale),
+                   fixed::quantize(coef * drp.y, fixed::kForceScale),
+                   fixed::quantize(coef * drp.z, fixed::kForceScale)};
+    f_short_[e.i].x = fixed::wrap_add(f_short_[e.i].x, fq.x);
+    f_short_[e.i].y = fixed::wrap_add(f_short_[e.i].y, fq.y);
+    f_short_[e.i].z = fixed::wrap_add(f_short_[e.i].z, fq.z);
+    f_short_[e.j].x = fixed::wrap_sub(f_short_[e.j].x, fq.x);
+    f_short_[e.j].y = fixed::wrap_sub(f_short_[e.j].y, fq.y);
+    f_short_[e.j].z = fixed::wrap_sub(f_short_[e.j].z, fq.z);
+    if (with_energy) {
+      e_corr_acc_.add(fixed::quantize_energy(
+          e.lj_scale * ewald::lj_energy(r2, A, B) +
+          e.coul_scale * qq * ewald::coul_bare_energy(r)));
+      w_pair_acc_.add(fixed::quantize(coef * r2, fixed::kVirialScale));
+    }
+  }
+}
+
+void AntonEngine::correction_long_pass(bool with_energy) {
+  // Reciprocal-space subtraction (-erf terms) for every excluded pair.
+  const Topology& top = sys_.top;
+  const double beta = gse_params_.beta;
+  for (const ExclusionPair& e : top.exclusions) {
+    NodeCounters& nc = workload_.nodes[geom_->node_index_of(
+        geom_->coords_of(assigned_subbox_[e.i]))];
+    ++nc.correction_pairs;
+    const Vec3i d = fixed::PositionLattice::delta(pos_[e.i], pos_[e.j]);
+    const Vec3d drp = lat_.delta_to_phys(d);
+    const double r2 = drp.norm2();
+    const double r = std::sqrt(r2);
+    const double qq = top.charge[e.i] * top.charge[e.j];
+    const double coef = -qq * ewald::coul_recip_force(r, beta);
+    const Vec3l fq{fixed::quantize(coef * drp.x, fixed::kForceScale),
+                   fixed::quantize(coef * drp.y, fixed::kForceScale),
+                   fixed::quantize(coef * drp.z, fixed::kForceScale)};
+    f_long_[e.i].x = fixed::wrap_add(f_long_[e.i].x, fq.x);
+    f_long_[e.i].y = fixed::wrap_add(f_long_[e.i].y, fq.y);
+    f_long_[e.i].z = fixed::wrap_add(f_long_[e.i].z, fq.z);
+    f_long_[e.j].x = fixed::wrap_sub(f_long_[e.j].x, fq.x);
+    f_long_[e.j].y = fixed::wrap_sub(f_long_[e.j].y, fq.y);
+    f_long_[e.j].z = fixed::wrap_sub(f_long_[e.j].z, fq.z);
+    if (with_energy) {
+      e_corr_acc_.add(
+          fixed::quantize_energy(-qq * ewald::coul_recip_energy(r, beta)));
+      w_pair_acc_.add(fixed::quantize(coef * r2, fixed::kVirialScale));
+    }
+  }
+}
+
+void AntonEngine::mesh_pass(bool with_energy) {
+  (void)with_energy;  // reciprocal energy is a by-product of the convolve
+  const Topology& top = sys_.top;
+
+  // Charge spreading: HTIS atom-mesh interactions through the Gaussian
+  // table; each contribution quantized, accumulated with wrapping adds so
+  // the mesh is bitwise independent of traversal order.
+  std::fill(mesh_q_.begin(), mesh_q_.end(), 0);
+  for (std::int32_t i = 0; i < top.natoms; ++i) {
+    const double qi = top.charge[i];
+    if (qi == 0.0) continue;
+    NodeCounters& nc = workload_.nodes[geom_->node_index_of(
+        geom_->coords_of(assigned_subbox_[i]))];
+    gse_->for_each_mesh_point(
+        pos_phys_[i], [&](std::size_t idx, const Vec3d&, double r2) {
+          ++nc.spread_ops;
+          const double g = kernels_.eval_spread(r2);
+          mesh_q_[idx] = fixed::wrap_add(
+              mesh_q_[idx], fixed::quantize(qi * g, kMeshChargeScale));
+        });
+  }
+
+  // FFT + k-space convolution (geometry cores / flexible subsystem): the
+  // canonical line-ordered transform, bitwise identical on any node
+  // decomposition; result quantized back onto the fixed phi grid.
+  for (std::size_t m = 0; m < mesh_q_.size(); ++m)
+    scratch_q_[m] = static_cast<double>(mesh_q_[m]) / kMeshChargeScale;
+  e_recip_ = gse_->convolve(scratch_q_, scratch_phi_);
+  for (std::size_t m = 0; m < mesh_q_.size(); ++m)
+    mesh_phi_[m] = fixed::quantize(scratch_phi_[m], kPhiScale);
+
+  // Force interpolation: the mirrored atom-mesh interaction.
+  const double h3 = std::pow(gse_->mesh_spacing(), 3);
+  const double inv_s2 = 1.0 / (gse_params_.sigma_s * gse_params_.sigma_s);
+  for (std::int32_t i = 0; i < top.natoms; ++i) {
+    const double qi = top.charge[i];
+    if (qi == 0.0) continue;
+    NodeCounters& nc = workload_.nodes[geom_->node_index_of(
+        geom_->coords_of(assigned_subbox_[i]))];
+    const double pref = qi * h3 * inv_s2;
+    Vec3l acc{0, 0, 0};
+    gse_->for_each_mesh_point(
+        pos_phys_[i], [&](std::size_t idx, const Vec3d& dr, double r2) {
+          ++nc.interp_ops;
+          const double g = kernels_.eval_interp(r2);
+          const double phi =
+              static_cast<double>(mesh_phi_[idx]) / kPhiScale;
+          const double c = pref * phi * g;
+          acc.x = fixed::wrap_add(acc.x,
+                                  fixed::quantize(c * dr.x, fixed::kForceScale));
+          acc.y = fixed::wrap_add(acc.y,
+                                  fixed::quantize(c * dr.y, fixed::kForceScale));
+          acc.z = fixed::wrap_add(acc.z,
+                                  fixed::quantize(c * dr.z, fixed::kForceScale));
+        });
+    f_long_[i].x = fixed::wrap_add(f_long_[i].x, acc.x);
+    f_long_[i].y = fixed::wrap_add(f_long_[i].y, acc.y);
+    f_long_[i].z = fixed::wrap_add(f_long_[i].z, acc.z);
+  }
+}
+
+void AntonEngine::compute_short_forces(bool with_energy) {
+  std::fill(f_short_.begin(), f_short_.end(), Vec3l{0, 0, 0});
+  if (with_energy) {
+    e_lj_acc_.reset();
+    e_coul_acc_.reset();
+    e_bonded_acc_.reset();
+    e_corr_acc_.reset();
+    w_pair_acc_ = fixed::Accum128{};
+    w_bonded_acc_ = fixed::Accum128{};
+  }
+  range_limited_pass(with_energy);
+  bonded_pass(with_energy);
+  correction_short_pass(with_energy);
+  redistribute_virtual_site_forces(f_short_);
+}
+
+void AntonEngine::compute_long_forces(bool with_energy) {
+  std::fill(f_long_.begin(), f_long_.end(), Vec3l{0, 0, 0});
+  mesh_pass(with_energy);
+  correction_long_pass(with_energy);
+  redistribute_virtual_site_forces(f_long_);
+}
+
+void AntonEngine::kick(const std::vector<Vec3l>& f, bool long_kick) {
+  const auto& coef = long_kick ? kick_long_coef_ : kick_short_coef_;
+  for (std::size_t i = 0; i < vel_.size(); ++i) {
+    const double c = coef[i];
+    vel_[i].x = fixed::wrap_add(
+        vel_[i].x, std::llrint(static_cast<double>(f[i].x) * c));
+    vel_[i].y = fixed::wrap_add(
+        vel_[i].y, std::llrint(static_cast<double>(f[i].y) * c));
+    vel_[i].z = fixed::wrap_add(
+        vel_[i].z, std::llrint(static_cast<double>(f[i].z) * c));
+  }
+}
+
+void AntonEngine::drift_and_constrain() {
+  const Topology& top = sys_.top;
+  const bool constrained = !top.constraints.empty();
+  std::vector<Vec3d> ref;
+  if (constrained) ref = pos_phys_;
+
+  for (std::size_t i = 0; i < pos_.size(); ++i) {
+    const std::int32_t dx = static_cast<std::int32_t>(
+        static_cast<std::uint64_t>(std::llrint(
+            static_cast<double>(vel_[i].x) * drift_coef_.x)));
+    const std::int32_t dy = static_cast<std::int32_t>(
+        static_cast<std::uint64_t>(std::llrint(
+            static_cast<double>(vel_[i].y) * drift_coef_.y)));
+    const std::int32_t dz = static_cast<std::int32_t>(
+        static_cast<std::uint64_t>(std::llrint(
+            static_cast<double>(vel_[i].z) * drift_coef_.z)));
+    pos_[i] = {fixed::wrap_add32(pos_[i].x, dx),
+               fixed::wrap_add32(pos_[i].y, dy),
+               fixed::wrap_add32(pos_[i].z, dz)};
+  }
+  refresh_phys_positions();
+
+  if (constrained) {
+    const std::vector<Vec3d> unconstrained = pos_phys_;
+    const double inv_dt = 1.0 / cfg_.sim.dt;
+    for (std::size_t g = 0; g < units_.size(); ++g) {
+      if (group_constraints_[g].empty()) continue;
+      if (constraints::shake(group_constraints_[g], top.mass, ref, pos_phys_,
+                             sys_.box) < 0)
+        throw std::runtime_error("AntonEngine: SHAKE failed to converge");
+      // The position correction implies a velocity correction
+      // dv = (x_constrained - x_unconstrained) / dt; without it the
+      // constraints systematically pump energy out of the system.
+      // Re-quantize the group onto the lattice and re-sync the cache so
+      // every consumer sees exactly the lattice-resolved positions.
+      for (std::int32_t a : units_[g]) {
+        if (top.mass[a] == 0.0) continue;  // vsites rebuilt below
+        const Vec3d dv = (pos_phys_[a] - unconstrained[a]) * inv_dt;
+        vel_[a].x = fixed::wrap_add(vel_[a].x,
+                                    fixed::quantize(dv.x, fixed::kVelScale));
+        vel_[a].y = fixed::wrap_add(vel_[a].y,
+                                    fixed::quantize(dv.y, fixed::kVelScale));
+        vel_[a].z = fixed::wrap_add(vel_[a].z,
+                                    fixed::quantize(dv.z, fixed::kVelScale));
+        pos_[a] = lat_.to_lattice(pos_phys_[a]);
+        pos_phys_[a] = lat_.to_phys(pos_[a]);
+      }
+    }
+  }
+}
+
+void AntonEngine::finish_drift() { rebuild_virtual_sites(); }
+
+void AntonEngine::rattle_groups() {
+  const Topology& top = sys_.top;
+  if (top.constraints.empty()) return;
+  std::vector<Vec3d> v(vel_.size());
+  for (std::size_t i = 0; i < vel_.size(); ++i)
+    v[i] = {fixed::vel_to_phys(vel_[i].x), fixed::vel_to_phys(vel_[i].y),
+            fixed::vel_to_phys(vel_[i].z)};
+  for (std::size_t g = 0; g < units_.size(); ++g) {
+    if (group_constraints_[g].empty()) continue;
+    if (constraints::rattle(group_constraints_[g], top.mass, pos_phys_, v,
+                            sys_.box) < 0)
+      throw std::runtime_error("AntonEngine: RATTLE failed to converge");
+    for (std::int32_t a : units_[g]) {
+      vel_[a] = {fixed::quantize(v[a].x, fixed::kVelScale),
+                 fixed::quantize(v[a].y, fixed::kVelScale),
+                 fixed::quantize(v[a].z, fixed::kVelScale)};
+    }
+  }
+}
+
+void AntonEngine::apply_thermostat() {
+  const Topology& top = sys_.top;
+  // Kinetic energy in a canonical (atom-index) order: deterministic and
+  // decomposition-independent.
+  double ke = 0.0;
+  for (std::size_t i = 0; i < vel_.size(); ++i) {
+    const Vec3d v{fixed::vel_to_phys(vel_[i].x), fixed::vel_to_phys(vel_[i].y),
+                  fixed::vel_to_phys(vel_[i].z)};
+    ke += top.mass[i] * v.norm2();
+  }
+  ke *= 0.5 / units::kForceToAccel;
+  const double T = integrate::temperature(ke, top.degrees_of_freedom());
+  const int k = std::max(1, cfg_.sim.long_range_every);
+  const double lambda = integrate::berendsen_lambda(
+      T, cfg_.sim.target_temperature, k * cfg_.sim.dt, cfg_.sim.berendsen_tau);
+  for (auto& v : vel_) {
+    v.x = std::llrint(static_cast<double>(v.x) * lambda);
+    v.y = std::llrint(static_cast<double>(v.y) * lambda);
+    v.z = std::llrint(static_cast<double>(v.z) * lambda);
+  }
+}
+
+void AntonEngine::run_cycles(int ncycles) {
+  const int k = std::max(1, cfg_.sim.long_range_every);
+  for (int c = 0; c < ncycles; ++c) {
+    if (cfg_.migration_interval > 0 &&
+        steps_ % cfg_.migration_interval == 0) {
+      migrate();
+    }
+    kick(f_long_, true);
+    for (int s = 0; s < k; ++s) {
+      kick(f_short_, false);
+      drift_and_constrain();
+      finish_drift();
+      compute_short_forces(false);
+      kick(f_short_, false);
+      rattle_groups();
+      ++steps_;
+      ++workload_.steps_accumulated;
+    }
+    compute_long_forces(false);
+    kick(f_long_, true);
+    rattle_groups();
+    if (cfg_.sim.thermostat) apply_thermostat();
+  }
+}
+
+std::vector<Vec3d> AntonEngine::positions() const {
+  std::vector<Vec3d> out(pos_.size());
+  for (std::size_t i = 0; i < pos_.size(); ++i) out[i] = lat_.to_phys(pos_[i]);
+  return out;
+}
+
+std::vector<Vec3d> AntonEngine::velocities() const {
+  std::vector<Vec3d> out(vel_.size());
+  for (std::size_t i = 0; i < vel_.size(); ++i)
+    out[i] = {fixed::vel_to_phys(vel_[i].x), fixed::vel_to_phys(vel_[i].y),
+              fixed::vel_to_phys(vel_[i].z)};
+  return out;
+}
+
+std::uint64_t AntonEngine::state_hash() const {
+  std::uint64_t h = 14695981039346656037ULL;
+  h = fnv1a(h, pos_.data(), pos_.size() * sizeof(Vec3i));
+  h = fnv1a(h, vel_.data(), vel_.size() * sizeof(Vec3l));
+  return h;
+}
+
+void AntonEngine::negate_velocities() {
+  for (auto& v : vel_) {
+    v.x = fixed::wrap_sub(0, v.x);
+    v.y = fixed::wrap_sub(0, v.y);
+    v.z = fixed::wrap_sub(0, v.z);
+  }
+}
+
+std::vector<Vec3d> AntonEngine::compute_forces_now() {
+  compute_short_forces(false);
+  compute_long_forces(false);
+  std::vector<Vec3d> out(pos_.size());
+  for (std::size_t i = 0; i < pos_.size(); ++i) {
+    out[i] = {
+        fixed::force_to_phys(fixed::wrap_add(f_short_[i].x, f_long_[i].x)),
+        fixed::force_to_phys(fixed::wrap_add(f_short_[i].y, f_long_[i].y)),
+        fixed::force_to_phys(fixed::wrap_add(f_short_[i].z, f_long_[i].z))};
+  }
+  return out;
+}
+
+EnergyReport AntonEngine::measure_energy() {
+  compute_short_forces(true);
+  compute_long_forces(true);
+  EnergyReport r;
+  r.bonded = fixed::energy_to_phys(e_bonded_acc_.value());
+  r.lj = fixed::energy_to_phys(e_lj_acc_.value());
+  r.coul_direct = fixed::energy_to_phys(e_coul_acc_.value());
+  r.coul_recip = e_recip_;
+  r.coul_self = e_self_;
+  r.correction = fixed::energy_to_phys(e_corr_acc_.value());
+  const Topology& top = sys_.top;
+  double ke = 0.0;
+  for (std::size_t i = 0; i < vel_.size(); ++i) {
+    const Vec3d v{fixed::vel_to_phys(vel_[i].x), fixed::vel_to_phys(vel_[i].y),
+                  fixed::vel_to_phys(vel_[i].z)};
+    ke += top.mass[i] * v.norm2();
+  }
+  r.kinetic = 0.5 * ke / units::kForceToAccel;
+  r.temperature =
+      integrate::temperature(r.kinetic, top.degrees_of_freedom());
+  return r;
+}
+
+PressureReport AntonEngine::measure_pressure() {
+  compute_short_forces(true);
+  compute_long_forces(true);
+  PressureReport r;
+  r.volume = sys_.box.volume();
+  r.virial_pair = w_pair_acc_.to_double() / fixed::kVirialScale;
+  r.virial_bonded = w_bonded_acc_.to_double() / fixed::kVirialScale;
+
+  // Reciprocal-space virial: W_rec = -3 V dE_rec/dV, via a symmetric
+  // volume perturbation with atoms at fixed fractional coordinates. Pure
+  // double-precision function of the state: deterministic.
+  const double delta = 1e-4;
+  const Topology& top = sys_.top;
+  auto recip_energy_at = [&](double lambda) {
+    const PeriodicBox scaled_box(sys_.box.side().x * lambda);
+    ewald::GseParams gp = gse_params_;
+    ewald::Gse gse(scaled_box, gp);
+    std::vector<Vec3d> scaled(pos_phys_.size());
+    for (std::size_t i = 0; i < scaled.size(); ++i)
+      scaled[i] = pos_phys_[i] * lambda;
+    std::vector<double> Q(gse.mesh_total(), 0.0), phi(gse.mesh_total(), 0.0);
+    gse.spread(scaled, top.charge, Q);
+    double e = gse.convolve(Q, phi);
+    // Exclusion corrections and self energy also depend on the geometry.
+    for (const ExclusionPair& ex : top.exclusions) {
+      const Vec3d dr = scaled_box.min_image(scaled[ex.i], scaled[ex.j]);
+      e -= top.charge[ex.i] * top.charge[ex.j] *
+           ewald::coul_recip_energy(dr.norm(), gp.beta);
+    }
+    return e;
+  };
+  const double e_plus = recip_energy_at(1.0 + delta);
+  const double e_minus = recip_energy_at(1.0 - delta);
+  const double V = r.volume;
+  const double dV = V * (std::pow(1.0 + delta, 3) - std::pow(1.0 - delta, 3));
+  r.virial_recip = -3.0 * V * (e_plus - e_minus) / dV;
+  // The pairwise -erf corrections were already counted in virial_pair;
+  // remove their double-counted share from the perturbation estimate.
+  // (recip_energy_at included them so the derivative is of the full
+  // reciprocal class; subtract the pair part measured exactly above.)
+  double w_corr_pair = 0.0;
+  for (const ExclusionPair& ex : top.exclusions) {
+    const Vec3i d = fixed::PositionLattice::delta(pos_[ex.i], pos_[ex.j]);
+    const Vec3d drp = lat_.delta_to_phys(d);
+    const double rr = drp.norm();
+    w_corr_pair += -top.charge[ex.i] * top.charge[ex.j] *
+                   ewald::coul_recip_force(rr, gse_params_.beta) * rr * rr;
+  }
+  r.virial_recip -= w_corr_pair;
+
+  double ke = 0.0;
+  for (std::size_t i = 0; i < vel_.size(); ++i) {
+    const Vec3d v{fixed::vel_to_phys(vel_[i].x), fixed::vel_to_phys(vel_[i].y),
+                  fixed::vel_to_phys(vel_[i].z)};
+    ke += top.mass[i] * v.norm2();
+  }
+  r.kinetic = 0.5 * ke / units::kForceToAccel;
+  return r;
+}
+
+const WorkloadProfile& AntonEngine::workload() {
+  // Refresh the per-node snapshots (atoms, imports, static term counts are
+  // instantaneous; the dynamic counters accumulated over
+  // steps_accumulated inner steps).
+  for (auto& nc : workload_.nodes) {
+    nc.atoms = 0;
+    nc.tower_import_atoms = 0;
+    nc.plate_import_atoms = 0;
+    nc.constraint_bonds = 0;
+  }
+  for (std::int32_t sb = 0; sb < geom_->subbox_count(); ++sb) {
+    const std::int32_t node = geom_->node_index_of(geom_->coords_of(sb));
+    workload_.nodes[node].atoms +=
+        static_cast<std::int64_t>(bins_[sb].size());
+  }
+  for (std::size_t node = 0; node < node_import_subboxes_.size(); ++node) {
+    for (std::int32_t sb : node_import_subboxes_[node]) {
+      workload_.nodes[node].tower_import_atoms +=
+          static_cast<std::int64_t>(bins_[sb].size());
+    }
+  }
+  for (std::size_t g = 0; g < units_.size(); ++g) {
+    if (group_constraints_[g].empty()) continue;
+    const std::int32_t node = geom_->node_index_of(
+        geom_->coords_of(assigned_subbox_[units_[g][0]]));
+    workload_.nodes[node].constraint_bonds +=
+        static_cast<std::int64_t>(group_constraints_[g].size());
+  }
+  return workload_;
+}
+
+void AntonEngine::reset_workload() {
+  for (auto& nc : workload_.nodes) nc = NodeCounters{};
+  workload_.steps_accumulated = 0;
+}
+
+double AntonEngine::assignment_slack() const {
+  const Vec3d sb = geom_->subbox_size();
+  double worst = 0.0;
+  for (std::size_t i = 0; i < pos_.size(); ++i) {
+    const Vec3i c = geom_->coords_of(assigned_subbox_[i]);
+    // Subbox bounds in [-L/2, L/2) coordinates.
+    const Vec3d s = sys_.box.side();
+    const Vec3d lo{-0.5 * s.x + c.x * sb.x, -0.5 * s.y + c.y * sb.y,
+                   -0.5 * s.z + c.z * sb.z};
+    const Vec3d r = pos_phys_[i];
+    double d2 = 0.0;
+    for (int a = 0; a < 3; ++a) {
+      // Distance outside the subbox along each axis, periodic-aware.
+      double x = r[a] - lo[a];
+      const double L = s[a];
+      x -= L * std::floor(x / L);  // into [0, L)
+      double gap = 0.0;
+      if (x > sb[a]) gap = std::min(x - sb[a], L - x);
+      d2 += gap * gap;
+    }
+    worst = std::max(worst, std::sqrt(d2));
+  }
+  return worst;
+}
+
+}  // namespace anton::core

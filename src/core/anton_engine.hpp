@@ -1,0 +1,184 @@
+// The Anton engine: a functional emulation of how Anton executes MD.
+//
+// The chemical system is spatially decomposed over a (virtual) torus of
+// nodes, each holding a home box divided into subboxes (Section 3.2).
+// Per time step the engine performs, exactly as Anton choreographs them:
+//
+//   * range-limited interactions via the NT method at subbox granularity,
+//     through a match-unit (low-precision distance check) -> PPIP
+//     (tiered-table piecewise-cubic kernel) datapath, with exclusion tags;
+//   * GSE long-range electrostatics: Gaussian charge spreading onto the
+//     mesh (HTIS atom-mesh interactions), distributed-order 3D FFT,
+//     k-space convolution, inverse FFT, Gaussian force interpolation;
+//   * correction forces for excluded/scaled pairs (correction pipeline);
+//   * bonded terms computed at static "bond destinations" (geometry
+//     cores), each contribution quantized to the fixed-point force grid;
+//   * multiple-time-step velocity-Verlet integration in pure fixed point,
+//     with SHAKE/RATTLE constraint groups kept co-resident on one node and
+//     atom migration performed only every N steps behind an expanded
+//     import margin (Section 3.2.4).
+//
+// Numerics (Section 4): positions are 32-bit lattice coordinates whose
+// two's-complement wrap is the periodic boundary; velocities and force
+// accumulators are 64-bit fixed point with wrapping (hence associative)
+// addition; every force contribution is quantized before accumulation.
+// Consequently the engine is deterministic, bitwise invariant to the
+// node/subbox decomposition, and -- without constraints or thermostat --
+// exactly time reversible. Tests assert all three properties.
+//
+// Substitution note: geometry-core arithmetic (bonded terms, FFT twiddles,
+// k-space multiply, constraint solves) is IEEE double internally, with
+// outputs quantized onto the fixed grids. IEEE ops are deterministic pure
+// functions, so all three headline properties are preserved; only the
+// in-pipeline bit widths differ from the 32-bit GC hardware (DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/engine_types.hpp"
+#include "ewald/gse.hpp"
+#include "ff/topology.hpp"
+#include "fixed/accum.hpp"
+#include "fixed/lattice.hpp"
+#include "htis/pair_kernels.hpp"
+#include "nt/nt_geometry.hpp"
+#include "pairlist/exclusion_table.hpp"
+
+namespace anton::core {
+
+struct AntonConfig {
+  SimParams sim;
+  Vec3i node_grid{2, 2, 2};
+  Vec3i subbox_div{2, 2, 2};
+  /// Migration every N inner steps (paper: N typically 4-8).
+  int migration_interval = 4;
+  /// Import-region expansion covering constraint-group straddle plus
+  /// inter-migration drift (Section 3.2.4).
+  double import_margin = 3.0;
+  /// PPIP table precision.
+  int table_mantissa_bits = 22;
+};
+
+class AntonEngine {
+ public:
+  AntonEngine(System sys, const AntonConfig& cfg);
+
+  const AntonConfig& config() const { return cfg_; }
+  const Topology& topology() const { return sys_.top; }
+  const PeriodicBox& box() const { return sys_.box; }
+  const fixed::PositionLattice& lattice() const { return lat_; }
+
+  /// Runs n MTS cycles (n * long_range_every inner time steps).
+  void run_cycles(int ncycles);
+  std::int64_t steps_done() const { return steps_; }
+
+  /// Physical-unit views of the current state.
+  std::vector<Vec3d> positions() const;
+  std::vector<Vec3d> velocities() const;
+
+  /// Raw fixed-point state (bit-exact checkpointing / comparisons).
+  const std::vector<Vec3i>& lattice_positions() const { return pos_; }
+  const std::vector<Vec3l>& fixed_velocities() const { return vel_; }
+
+  /// FNV-1a hash over the fixed-point state; equal hashes on two runs
+  /// mean bitwise-identical trajectories.
+  std::uint64_t state_hash() const;
+
+  /// Negates all velocities (exact in fixed point); with constraints and
+  /// thermostat off, running forward again retraces the trajectory.
+  void negate_velocities();
+
+  /// Full instantaneous forces (short + long), physical units.
+  std::vector<Vec3d> compute_forces_now();
+
+  /// Energies at the current state (recomputes both force classes with
+  /// energy accumulation on; does not advance time).
+  EnergyReport measure_energy();
+
+  /// Instantaneous pressure. Pairwise and bonded virials are summed in
+  /// wrapping 128-bit fixed-point accumulators (order-invariant -- the
+  /// Figure 4c design); the reciprocal-space virial is a numerical volume
+  /// derivative of the mesh energy (deterministic double arithmetic).
+  PressureReport measure_pressure();
+
+  /// Workload counters accumulated since the last reset.
+  const WorkloadProfile& workload();
+  void reset_workload();
+
+  /// Diagnostics: largest distance between any atom and its assigned
+  /// subbox center, minus half the subbox diagonal (how much of the
+  /// import margin is consumed). Must stay below import_margin.
+  double assignment_slack() const;
+
+  const htis::PairKernels& kernels() const { return kernels_; }
+
+ private:
+  void build_decomposition();
+  void migrate();
+  void refresh_phys_positions();
+  void compute_short_forces(bool with_energy);
+  void compute_long_forces(bool with_energy);
+  void range_limited_pass(bool with_energy);
+  void bonded_pass(bool with_energy);
+  void correction_short_pass(bool with_energy);
+  void correction_long_pass(bool with_energy);
+  void mesh_pass(bool with_energy);
+  void kick(const std::vector<Vec3l>& f, bool long_kick);
+  void drift_and_constrain();
+  void finish_drift();
+  void rebuild_virtual_sites();
+  void redistribute_virtual_site_forces(std::vector<Vec3l>& f);
+  void rattle_groups();
+  void apply_thermostat();
+
+  System sys_;
+  AntonConfig cfg_;
+  ewald::GseParams gse_params_;
+
+  fixed::PositionLattice lat_;
+  std::vector<Vec3i> pos_;       // lattice positions
+  std::vector<Vec3l> vel_;       // fixed-point velocities
+  std::vector<Vec3l> f_short_;   // fixed-point force accumulators
+  std::vector<Vec3l> f_long_;
+  std::vector<Vec3d> pos_phys_;  // cache of lat_.to_phys(pos_)
+
+  // Integration coefficients (pure per-atom constants).
+  std::vector<double> kick_short_coef_;  // dv counts per force count
+  std::vector<double> kick_long_coef_;
+  Vec3d drift_coef_;  // lattice counts per velocity count, per axis
+
+  htis::PairKernels kernels_;
+  std::unique_ptr<ewald::Gse> gse_;
+  pairlist::ExclusionTable excl_;
+  std::unique_ptr<nt::NtGeometry> geom_;
+
+  // Decomposition state.
+  std::vector<std::int32_t> assigned_subbox_;         // per atom
+  std::vector<std::vector<std::int32_t>> bins_;       // per subbox
+  std::vector<std::vector<std::int32_t>> units_;      // migration units
+  std::vector<std::vector<ConstraintBond>> group_constraints_;
+  std::vector<std::vector<std::int32_t>> node_import_subboxes_;
+
+  // Fixed-point mesh state.
+  std::vector<std::int64_t> mesh_q_;    // quantized charge density
+  std::vector<std::int64_t> mesh_phi_;  // quantized potential
+  std::vector<double> scratch_q_, scratch_phi_;
+
+  // Cutoff thresholds in lattice units.
+  std::uint64_t r2_limit_lattice_ = 0;
+  double lat2_to_phys2_ = 0.0;  // lattice r^2 -> A^2
+
+  std::int64_t steps_ = 0;
+  WorkloadProfile workload_;
+
+  // Energy accumulators (fixed point where summation order matters).
+  fixed::Accum64 e_lj_acc_, e_coul_acc_, e_bonded_acc_, e_corr_acc_;
+  double e_recip_ = 0.0, e_self_ = 0.0;
+
+  // Virial accumulators (128-bit wrapping; Figure 4c).
+  fixed::Accum128 w_pair_acc_, w_bonded_acc_;
+};
+
+}  // namespace anton::core

@@ -1,0 +1,414 @@
+#include "core/reference_engine.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "bonded/bonded.hpp"
+#include "ewald/kernels.hpp"
+#include "integrate/kinetic.hpp"
+#include "util/units.hpp"
+
+namespace anton::core {
+
+namespace {
+class ScopedTimer {
+ public:
+  ScopedTimer(PhaseTimes& t, Phase p) : t_(t), p_(p), start_(clock::now()) {}
+  ~ScopedTimer() {
+    t_[p_] += std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  PhaseTimes& t_;
+  Phase p_;
+  clock::time_point start_;
+};
+}  // namespace
+
+namespace {
+void rebuild_vsites(System& sys) {
+  for (const anton::VirtualSite& v : sys.top.virtual_sites) {
+    const Vec3d o = sys.positions[v.o];
+    const Vec3d d1 = sys.box.min_image(sys.positions[v.h1], o);
+    const Vec3d d2 = sys.box.min_image(sys.positions[v.h2], o);
+    sys.positions[v.site] = sys.box.wrap(o + (d1 + d2) * v.a);
+    sys.velocities[v.site] = {0, 0, 0};
+  }
+}
+
+void redistribute_vsite_forces(const Topology& top, std::vector<Vec3d>& f) {
+  for (const anton::VirtualSite& v : top.virtual_sites) {
+    const Vec3d fm = f[v.site];
+    f[v.o] += fm * (1.0 - 2.0 * v.a);
+    f[v.h1] += fm * v.a;
+    f[v.h2] += fm * v.a;
+    f[v.site] = {0, 0, 0};
+  }
+}
+}  // namespace
+
+ReferenceEngine::ReferenceEngine(System sys, const SimParams& p)
+    : sys_(std::move(sys)), p_(p), gse_params_(p.resolved_gse()),
+      excl_(sys_.top) {
+  sys_.top.validate();
+  rebuild_vsites(sys_);
+  gse_ = std::make_unique<ewald::Gse>(sys_.box, gse_params_);
+  if (p_.long_range == LongRangeMethod::kSpme) {
+    spme_ = std::make_unique<ewald::Spme>(
+        sys_.box,
+        ewald::SpmeParams{gse_params_.beta, gse_params_.mesh, p_.spme_order});
+  }
+  ntypes_ = static_cast<int>(sys_.top.lj_types.size());
+  ljA_.resize(static_cast<std::size_t>(ntypes_) * ntypes_);
+  ljB_.resize(ljA_.size());
+  for (int a = 0; a < ntypes_; ++a) {
+    for (int b = 0; b < ntypes_; ++b) {
+      const LJType& ta = sys_.top.lj_types[a];
+      const LJType& tb = sys_.top.lj_types[b];
+      const double sigma = 0.5 * (ta.sigma + tb.sigma);
+      const double eps = std::sqrt(ta.epsilon * tb.epsilon);
+      ljA_[a * ntypes_ + b] = ewald::lj_A(sigma, eps);
+      ljB_[a * ntypes_ + b] = ewald::lj_B(sigma, eps);
+    }
+  }
+  grid_ = std::make_unique<pairlist::CellGrid>(sys_.box, p_.cutoff);
+  f_short_.assign(sys_.top.natoms, {0, 0, 0});
+  f_long_.assign(sys_.top.natoms, {0, 0, 0});
+  Q_.assign(gse_->mesh_total(), 0.0);
+  phi_.assign(gse_->mesh_total(), 0.0);
+  compute_short(false);
+  compute_long(false);
+}
+
+void ReferenceEngine::compute_short(bool with_energy) {
+  const Topology& top = sys_.top;
+  for (auto& f : f_short_) f = {0, 0, 0};
+  double e_lj = 0, e_coul = 0;
+
+  {
+    ScopedTimer t(times_, Phase::kRangeLimited);
+    grid_->bin(sys_.positions);
+    const double beta = gse_params_.beta;
+    const bool have_mol = !top.molecule.empty();
+    // Potential-shifted energies: zero at the cutoff, so pairs crossing
+    // the cutoff cause no energy discontinuity (forces unchanged).
+    const double rc = p_.cutoff;
+    const double rc2 = rc * rc;
+    const double e_elec_rc = ewald::coul_direct_energy(rc, beta);
+    grid_->for_each_pair(
+        sys_.positions, p_.cutoff,
+        [&](std::int32_t i, std::int32_t j, const Vec3d& dr, double r2) {
+          if (!have_mol || top.molecule[i] == top.molecule[j]) {
+            if (excl_.excluded(i, j)) return;
+          }
+          const double r = std::sqrt(r2);
+          const double A = lj_a(i, j);
+          const double B = lj_b(i, j);
+          const double qq = top.charge[i] * top.charge[j];
+          const double coef = qq * ewald::coul_direct_force(r, beta) +
+                              ewald::lj_force(r2, A, B);
+          const Vec3d f = dr * coef;
+          f_short_[i] += f;
+          f_short_[j] -= f;
+          if (with_energy) {
+            e_lj += ewald::lj_energy(r2, A, B) - ewald::lj_energy(rc2, A, B);
+            e_coul +=
+                qq * (ewald::coul_direct_energy(r, beta) - e_elec_rc);
+          }
+        });
+  }
+
+  double e_bonded;
+  {
+    ScopedTimer t(times_, Phase::kBonded);
+    e_bonded = bonded::eval_all_bonded(top, sys_.positions, sys_.box,
+                                       f_short_);
+  }
+
+  // Scaled 1-4 direct interactions (the stiff part of the correction
+  // terms; evaluated every step alongside the bonded forces).
+  double e_corr = 0;
+  {
+    ScopedTimer t(times_, Phase::kCorrection);
+    for (const ExclusionPair& e : top.exclusions) {
+      if (e.lj_scale == 0.0 && e.coul_scale == 0.0) continue;
+      const Vec3d dr = sys_.box.min_image(sys_.positions[e.i],
+                                          sys_.positions[e.j]);
+      const double r2 = dr.norm2();
+      const double r = std::sqrt(r2);
+      const double A = lj_a(e.i, e.j);
+      const double B = lj_b(e.i, e.j);
+      const double qq = top.charge[e.i] * top.charge[e.j];
+      const double coef = e.lj_scale * ewald::lj_force(r2, A, B) +
+                          e.coul_scale * qq * ewald::coul_bare_force(r);
+      f_short_[e.i] += dr * coef;
+      f_short_[e.j] -= dr * coef;
+      if (with_energy) {
+        e_corr += e.lj_scale * ewald::lj_energy(r2, A, B) +
+                  e.coul_scale * qq * ewald::coul_bare_energy(r);
+      }
+    }
+  }
+
+  redistribute_vsite_forces(top, f_short_);
+
+  if (with_energy) {
+    e_lj_ = e_lj;
+    e_coul_dir_ = e_coul;
+    e_bonded_ = e_bonded;
+    e_corr_short_ = e_corr;
+  }
+}
+
+void ReferenceEngine::compute_long(bool with_energy) {
+  const Topology& top = sys_.top;
+  for (auto& f : f_long_) f = {0, 0, 0};
+
+  double e_recip;
+  if (spme_) {
+    // SPME folds assignment, convolution and interpolation into one pass;
+    // attribute it to the FFT/mesh phases by its dominant cost.
+    ScopedTimer t(times_, Phase::kFft);
+    e_recip = spme_->compute(sys_.positions, top.charge, f_long_);
+  } else {
+    {
+      ScopedTimer t(times_, Phase::kMeshInterpolation);
+      std::fill(Q_.begin(), Q_.end(), 0.0);
+      gse_->spread(sys_.positions, top.charge, Q_);
+    }
+    {
+      ScopedTimer t(times_, Phase::kFft);
+      e_recip = gse_->convolve(Q_, phi_);
+    }
+    {
+      ScopedTimer t(times_, Phase::kMeshInterpolation);
+      gse_->interpolate(sys_.positions, top.charge, phi_, f_long_);
+    }
+  }
+
+  // Reciprocal-space subtraction for excluded pairs (the correction
+  // pipeline's -erf terms).
+  double e_corr = 0;
+  {
+    ScopedTimer t(times_, Phase::kCorrection);
+    const double beta = gse_params_.beta;
+    for (const ExclusionPair& e : top.exclusions) {
+      const Vec3d dr = sys_.box.min_image(sys_.positions[e.i],
+                                          sys_.positions[e.j]);
+      const double r2 = dr.norm2();
+      const double r = std::sqrt(r2);
+      const double qq = top.charge[e.i] * top.charge[e.j];
+      const double coef = -qq * ewald::coul_recip_force(r, beta);
+      f_long_[e.i] += dr * coef;
+      f_long_[e.j] -= dr * coef;
+      if (with_energy) e_corr -= qq * ewald::coul_recip_energy(r, beta);
+    }
+  }
+
+  redistribute_vsite_forces(top, f_long_);
+
+  if (with_energy) {
+    e_recip_ = e_recip;
+    e_corr_long_ = e_corr;
+    e_self_ = gse_->self_energy(top.charge);
+  }
+}
+
+void ReferenceEngine::kick(double scale_dt, const std::vector<Vec3d>& f) {
+  ScopedTimer t(times_, Phase::kIntegration);
+  const Topology& top = sys_.top;
+  for (std::int32_t i = 0; i < top.natoms; ++i) {
+    if (top.mass[i] == 0.0) continue;  // massless virtual site
+    const double c = scale_dt * units::kForceToAccel / top.mass[i];
+    sys_.velocities[i] += f[i] * c;
+  }
+}
+
+void ReferenceEngine::drift_and_constrain() {
+  ScopedTimer t(times_, Phase::kIntegration);
+  const Topology& top = sys_.top;
+  std::vector<Vec3d> ref = sys_.positions;
+  for (std::int32_t i = 0; i < top.natoms; ++i)
+    sys_.positions[i] = sys_.box.wrap(sys_.positions[i] +
+                                      sys_.velocities[i] * p_.dt);
+  if (!top.constraints.empty()) {
+    const std::vector<Vec3d> unconstrained = sys_.positions;
+    if (constraints::shake(top.constraints, top.mass, ref, sys_.positions,
+                           sys_.box) < 0)
+      throw std::runtime_error("ReferenceEngine: SHAKE failed to converge");
+    // SHAKE's position correction implies the matching velocity change.
+    const double inv_dt = 1.0 / p_.dt;
+    for (std::int32_t i = 0; i < top.natoms; ++i) {
+      if (top.mass[i] == 0.0) continue;
+      sys_.velocities[i] +=
+          sys_.box.min_image(sys_.positions[i], unconstrained[i]) * inv_dt;
+    }
+  }
+  rebuild_vsites(sys_);
+}
+
+void ReferenceEngine::run_cycles(int ncycles) {
+  const Topology& top = sys_.top;
+  const int k = std::max(1, p_.long_range_every);
+  for (int c = 0; c < ncycles; ++c) {
+    kick(0.5 * k * p_.dt, f_long_);
+    for (int s = 0; s < k; ++s) {
+      kick(0.5 * p_.dt, f_short_);
+      drift_and_constrain();
+      compute_short(false);
+      kick(0.5 * p_.dt, f_short_);
+      if (!top.constraints.empty()) {
+        ScopedTimer t(times_, Phase::kIntegration);
+        if (constraints::rattle(top.constraints, top.mass, sys_.positions,
+                                sys_.velocities, sys_.box) < 0)
+          throw std::runtime_error("ReferenceEngine: RATTLE failed");
+      }
+      ++steps_;
+    }
+    compute_long(false);
+    kick(0.5 * k * p_.dt, f_long_);
+    if (!top.constraints.empty()) {
+      ScopedTimer t(times_, Phase::kIntegration);
+      if (constraints::rattle(top.constraints, top.mass, sys_.positions,
+                              sys_.velocities, sys_.box) < 0)
+        throw std::runtime_error("ReferenceEngine: RATTLE failed");
+    }
+    if (p_.thermostat) {
+      ScopedTimer t(times_, Phase::kIntegration);
+      const double ke =
+          integrate::kinetic_energy(sys_.velocities, top.mass);
+      const double T =
+          integrate::temperature(ke, top.degrees_of_freedom());
+      const double lambda = integrate::berendsen_lambda(
+          T, p_.target_temperature, k * p_.dt, p_.berendsen_tau);
+      for (auto& v : sys_.velocities) v *= lambda;
+    }
+  }
+}
+
+void ReferenceEngine::set_positions(std::span<const Vec3d> pos) {
+  for (std::int32_t i = 0; i < sys_.top.natoms; ++i)
+    sys_.positions[i] = sys_.box.wrap(pos[i]);
+  rebuild_vsites(sys_);
+}
+
+std::vector<Vec3d> ReferenceEngine::compute_forces_now() {
+  compute_short(false);
+  compute_long(false);
+  std::vector<Vec3d> f(sys_.top.natoms);
+  for (std::int32_t i = 0; i < sys_.top.natoms; ++i)
+    f[i] = f_short_[i] + f_long_[i];
+  return f;
+}
+
+PressureReport ReferenceEngine::measure_pressure() {
+  const Topology& top = sys_.top;
+  PressureReport r;
+  r.volume = sys_.box.volume();
+
+  // Pairwise virial: direct nonbonded + scaled 1-4 + (-erf) corrections.
+  grid_->bin(sys_.positions);
+  const double beta = gse_params_.beta;
+  const bool have_mol = !top.molecule.empty();
+  double w_pair = 0.0;
+  grid_->for_each_pair(
+      sys_.positions, p_.cutoff,
+      [&](std::int32_t i, std::int32_t j, const Vec3d&, double r2) {
+        if (!have_mol || top.molecule[i] == top.molecule[j]) {
+          if (excl_.excluded(i, j)) return;
+        }
+        const double rr = std::sqrt(r2);
+        const double coef =
+            top.charge[i] * top.charge[j] * ewald::coul_direct_force(rr, beta) +
+            ewald::lj_force(r2, lj_a(i, j), lj_b(i, j));
+        w_pair += coef * r2;
+      });
+  for (const ExclusionPair& e : top.exclusions) {
+    const Vec3d dr =
+        sys_.box.min_image(sys_.positions[e.i], sys_.positions[e.j]);
+    const double r2 = dr.norm2();
+    const double rr = std::sqrt(r2);
+    const double qq = top.charge[e.i] * top.charge[e.j];
+    double coef = -qq * ewald::coul_recip_force(rr, beta);
+    if (e.lj_scale != 0.0 || e.coul_scale != 0.0) {
+      coef += e.lj_scale * ewald::lj_force(r2, lj_a(e.i, e.j), lj_b(e.i, e.j)) +
+              e.coul_scale * qq * ewald::coul_bare_force(rr);
+    }
+    w_pair += coef * r2;
+  }
+  r.virial_pair = w_pair;
+
+  // Bonded-term virial.
+  double w_bonded = 0.0;
+  auto add_term = [&](const bonded::TermForces& t) {
+    if (t.n == 0) return;
+    const Vec3d ref = sys_.positions[t.atom[0]];
+    for (int i = 0; i < t.n; ++i)
+      w_bonded += t.f[i].dot(
+          sys_.box.min_image(sys_.positions[t.atom[i]], ref));
+  };
+  for (const BondTerm& b : top.bonds)
+    add_term(bonded::eval_bond(b, sys_.positions, sys_.box));
+  for (const AngleTerm& a : top.angles)
+    add_term(bonded::eval_angle(a, sys_.positions, sys_.box));
+  for (const DihedralTerm& d : top.dihedrals)
+    add_term(bonded::eval_dihedral(d, sys_.positions, sys_.box));
+  r.virial_bonded = w_bonded;
+
+  // Reciprocal virial by symmetric volume perturbation (fractional
+  // coordinates held fixed), minus the -erf pair share already counted.
+  const double delta = 1e-4;
+  auto recip_energy_at = [&](double lambda) {
+    const PeriodicBox scaled_box(sys_.box.side().x * lambda);
+    ewald::Gse gse(scaled_box, gse_params_);
+    std::vector<Vec3d> scaled(sys_.positions.size());
+    for (std::size_t i = 0; i < scaled.size(); ++i)
+      scaled[i] = sys_.positions[i] * lambda;
+    std::vector<double> Q(gse.mesh_total(), 0.0), phi(gse.mesh_total(), 0.0);
+    gse.spread(scaled, top.charge, Q);
+    double e = gse.convolve(Q, phi);
+    for (const ExclusionPair& ex : top.exclusions) {
+      const Vec3d dr = scaled_box.min_image(scaled[ex.i], scaled[ex.j]);
+      e -= top.charge[ex.i] * top.charge[ex.j] *
+           ewald::coul_recip_energy(dr.norm(), gse_params_.beta);
+    }
+    return e;
+  };
+  const double V = r.volume;
+  const double dV = V * (std::pow(1.0 + delta, 3) - std::pow(1.0 - delta, 3));
+  r.virial_recip =
+      -3.0 * V * (recip_energy_at(1.0 + delta) - recip_energy_at(1.0 - delta)) /
+      dV;
+  double w_corr_pair = 0.0;
+  for (const ExclusionPair& ex : top.exclusions) {
+    const Vec3d dr =
+        sys_.box.min_image(sys_.positions[ex.i], sys_.positions[ex.j]);
+    const double rr = dr.norm();
+    w_corr_pair += -top.charge[ex.i] * top.charge[ex.j] *
+                   ewald::coul_recip_force(rr, beta) * rr * rr;
+  }
+  r.virial_recip -= w_corr_pair;
+
+  r.kinetic = integrate::kinetic_energy(sys_.velocities, top.mass);
+  return r;
+}
+
+EnergyReport ReferenceEngine::measure_energy() {
+  compute_short(true);
+  compute_long(true);
+  EnergyReport r;
+  r.bonded = e_bonded_;
+  r.lj = e_lj_;
+  r.coul_direct = e_coul_dir_;
+  r.coul_recip = e_recip_;
+  r.coul_self = e_self_;
+  r.correction = e_corr_short_ + e_corr_long_;
+  r.kinetic = integrate::kinetic_energy(sys_.velocities, sys_.top.mass);
+  r.temperature =
+      integrate::temperature(r.kinetic, sys_.top.degrees_of_freedom());
+  return r;
+}
+
+}  // namespace anton::core

@@ -1,0 +1,93 @@
+// The conventional MD engine: double-precision floating point, link-cell
+// pair enumeration, GSE mesh electrostatics evaluated in IEEE arithmetic.
+//
+// This engine plays three roles from the paper:
+//  * the "x86 core" profile of Table 2 (its per-phase wall-clock times are
+//    what bench_table2 reports for the CPU column);
+//  * the Desmond-style double-precision accuracy baseline of Section 5.2
+//    (run with conservative parameters it defines the "total force error",
+//    with matched parameters the "numerical force error");
+//  * the second, independently implemented engine of Figure 6.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "constraints/shake.hpp"
+#include "core/engine_types.hpp"
+#include "ewald/gse.hpp"
+#include "ewald/spme.hpp"
+#include "ff/topology.hpp"
+#include "pairlist/cell_grid.hpp"
+#include "pairlist/exclusion_table.hpp"
+
+namespace anton::core {
+
+class ReferenceEngine {
+ public:
+  ReferenceEngine(System sys, const SimParams& p);
+
+  const System& system() const { return sys_; }
+  const SimParams& params() const { return p_; }
+
+  /// Runs n multiple-time-step cycles (n * long_range_every inner steps).
+  void run_cycles(int ncycles);
+  std::int64_t steps_done() const { return steps_; }
+
+  /// Full instantaneous forces (short + long at weight 1) at the current
+  /// positions; used for force-accuracy comparisons.
+  std::vector<Vec3d> compute_forces_now();
+
+  /// Energies at the current state.
+  EnergyReport measure_energy();
+
+  /// Instantaneous pressure (double-precision virial; reciprocal part by
+  /// numerical volume derivative, matching AntonEngine::measure_pressure).
+  PressureReport measure_pressure();
+
+  /// Per-phase accumulated wall-clock seconds (Table 2 x86 column).
+  const PhaseTimes& phase_times() const { return times_; }
+  void reset_phase_times() { times_ = PhaseTimes{}; }
+
+  const std::vector<Vec3d>& positions() const { return sys_.positions; }
+  const std::vector<Vec3d>& velocities() const { return sys_.velocities; }
+  void set_velocities(std::vector<Vec3d> v) { sys_.velocities = std::move(v); }
+
+  /// Replaces positions (wrapped into the box); used by the minimizer.
+  void set_positions(std::span<const Vec3d> pos);
+
+ private:
+  void compute_short(bool with_energy);
+  void compute_long(bool with_energy);
+  void kick(double scale_dt, const std::vector<Vec3d>& f);
+  void drift_and_constrain();
+
+  double lj_a(std::int32_t i, std::int32_t j) const {
+    return ljA_[sys_.top.type[i] * ntypes_ + sys_.top.type[j]];
+  }
+  double lj_b(std::int32_t i, std::int32_t j) const {
+    return ljB_[sys_.top.type[i] * ntypes_ + sys_.top.type[j]];
+  }
+
+  int ntypes_ = 0;
+  std::vector<double> ljA_, ljB_;  // precombined type-pair LJ coefficients
+
+  System sys_;
+  SimParams p_;
+  ewald::GseParams gse_params_;
+  std::unique_ptr<ewald::Gse> gse_;
+  std::unique_ptr<ewald::Spme> spme_;  // used when long_range == kSpme
+  pairlist::ExclusionTable excl_;
+  std::unique_ptr<pairlist::CellGrid> grid_;
+
+  std::vector<Vec3d> f_short_, f_long_;
+  std::vector<double> Q_, phi_;
+  std::int64_t steps_ = 0;
+  PhaseTimes times_;
+
+  // Energy pieces captured by the last with_energy passes.
+  double e_bonded_ = 0, e_lj_ = 0, e_coul_dir_ = 0, e_corr_short_ = 0;
+  double e_recip_ = 0, e_corr_long_ = 0, e_self_ = 0;
+};
+
+}  // namespace anton::core

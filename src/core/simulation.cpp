@@ -1,0 +1,79 @@
+#include "core/simulation.hpp"
+
+#include <stdexcept>
+
+namespace anton::core {
+
+Simulation::Simulation(System sys, const SimulationConfig& cfg)
+    : Simulation(std::move(sys), cfg, std::nullopt) {}
+
+Simulation Simulation::resume(System sys, const SimulationConfig& cfg,
+                              const std::string& checkpoint_path) {
+  return Simulation(std::move(sys), cfg,
+                    io::Checkpoint::load(checkpoint_path));
+}
+
+Simulation::Simulation(System sys, const SimulationConfig& cfg,
+                       const std::optional<io::Checkpoint>& restore)
+    : cfg_(cfg) {
+  if (restore) {
+    // Seed the engine's fixed-point state bit-exactly: positions and
+    // velocities pass through the same quantization they came from.
+    if (static_cast<std::int32_t>(restore->positions.size()) !=
+        sys.top.natoms)
+      throw std::runtime_error("Simulation::resume: atom count mismatch");
+    const fixed::PositionLattice lat(sys.box);
+    for (std::int32_t i = 0; i < sys.top.natoms; ++i) {
+      sys.positions[i] = lat.to_phys(restore->positions[i]);
+      sys.velocities[i] = {
+          fixed::vel_to_phys(restore->velocities[i].x),
+          fixed::vel_to_phys(restore->velocities[i].y),
+          fixed::vel_to_phys(restore->velocities[i].z)};
+    }
+  }
+  engine_ = std::make_unique<AntonEngine>(std::move(sys), cfg.engine);
+  if (restore) {
+    // Verify the round trip really is bit-exact (to_lattice(to_phys(p))
+    // must return p; quantize(vel_to_phys(v)) must return v).
+    for (std::size_t i = 0; i < restore->positions.size(); ++i) {
+      if (!(engine_->lattice_positions()[i] == restore->positions[i]) ||
+          !(engine_->fixed_velocities()[i] == restore->velocities[i]))
+        throw std::runtime_error(
+            "Simulation::resume: state failed bit-exact restoration");
+    }
+  }
+  if (cfg_.trajectory_every > 0) {
+    traj_ = std::make_unique<io::TrajectoryWriter>(
+        cfg_.trajectory_path, engine_->topology().natoms);
+  }
+}
+
+void Simulation::maybe_output() {
+  const std::int64_t step = engine_->steps_done();
+  if (traj_ && cfg_.trajectory_every > 0 &&
+      step / cfg_.trajectory_every > last_frame_index_) {
+    last_frame_index_ = step / cfg_.trajectory_every;
+    traj_->append(step, engine_->lattice_positions());
+  }
+  if (cfg_.checkpoint_every > 0 &&
+      step / cfg_.checkpoint_every > last_ckpt_index_) {
+    last_ckpt_index_ = step / cfg_.checkpoint_every;
+    io::Checkpoint ck;
+    ck.step = step;
+    ck.positions.assign(engine_->lattice_positions().begin(),
+                        engine_->lattice_positions().end());
+    ck.velocities.assign(engine_->fixed_velocities().begin(),
+                         engine_->fixed_velocities().end());
+    ck.save(cfg_.checkpoint_path);
+  }
+}
+
+void Simulation::run_cycles(int ncycles, const Callback& per_cycle) {
+  for (int c = 0; c < ncycles; ++c) {
+    engine_->run_cycles(1);
+    maybe_output();
+    if (per_cycle && !per_cycle(*engine_)) break;
+  }
+}
+
+}  // namespace anton::core

@@ -1,0 +1,65 @@
+// The simulation driver: the "host computer" role.
+//
+// Anton's ASICs talk to an external host "for input, output, and general
+// control" (Section 2.2); multi-month runs like the BPTI millisecond
+// live and die by periodic checkpoints and streamed trajectory frames.
+// This driver wraps an AntonEngine with that operational shell: run in
+// blocks, write bit-exact checkpoints on a cadence, stream compressed
+// trajectory frames, invoke analysis callbacks, and resume a run from its
+// latest checkpoint with a bitwise-identical continuation.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/anton_engine.hpp"
+#include "io/io.hpp"
+#include "io/trajectory.hpp"
+
+namespace anton::core {
+
+struct SimulationConfig {
+  AntonConfig engine;
+  /// Inner steps between trajectory frames (0 disables output).
+  int trajectory_every = 0;
+  std::string trajectory_path = "trajectory.antj";
+  /// Inner steps between checkpoints (0 disables).
+  int checkpoint_every = 0;
+  std::string checkpoint_path = "simulation.ckpt";
+};
+
+class Simulation {
+ public:
+  /// Starts a fresh simulation from the System's initial conditions.
+  Simulation(System sys, const SimulationConfig& cfg);
+
+  /// Resumes from a checkpoint written by an identically configured
+  /// Simulation over the same System: the continuation is bitwise
+  /// identical to the uninterrupted run.
+  static Simulation resume(System sys, const SimulationConfig& cfg,
+                           const std::string& checkpoint_path);
+
+  AntonEngine& engine() { return *engine_; }
+  std::int64_t steps_done() const { return engine_->steps_done(); }
+
+  /// Called after every MTS cycle; return false to stop the run early.
+  using Callback = std::function<bool(AntonEngine&)>;
+
+  /// Runs n MTS cycles, honoring the trajectory/checkpoint cadences.
+  void run_cycles(int ncycles, const Callback& per_cycle = {});
+
+ private:
+  Simulation(System sys, const SimulationConfig& cfg,
+             const std::optional<io::Checkpoint>& restore);
+  void maybe_output();
+
+  SimulationConfig cfg_;
+  std::unique_ptr<AntonEngine> engine_;
+  std::unique_ptr<io::TrajectoryWriter> traj_;
+  std::int64_t last_frame_index_ = 0;
+  std::int64_t last_ckpt_index_ = 0;
+};
+
+}  // namespace anton::core

@@ -1,0 +1,45 @@
+#include "core/engine_types.hpp"
+
+namespace anton::core {
+
+NodeCounters WorkloadProfile::max_node() const {
+  NodeCounters m;
+  auto mx = [](std::int64_t& a, std::int64_t b) {
+    if (b > a) a = b;
+  };
+  for (const NodeCounters& n : nodes) {
+    mx(m.atoms, n.atoms);
+    mx(m.pairs_considered, n.pairs_considered);
+    mx(m.ppip_queue, n.ppip_queue);
+    mx(m.interactions, n.interactions);
+    mx(m.tower_import_atoms, n.tower_import_atoms);
+    mx(m.plate_import_atoms, n.plate_import_atoms);
+    mx(m.spread_ops, n.spread_ops);
+    mx(m.interp_ops, n.interp_ops);
+    mx(m.bond_terms, n.bond_terms);
+    mx(m.correction_pairs, n.correction_pairs);
+    mx(m.constraint_bonds, n.constraint_bonds);
+  }
+  return m;
+}
+
+NodeCounters WorkloadProfile::mean_node() const {
+  NodeCounters m;
+  if (nodes.empty()) return m;
+  for (const NodeCounters& n : nodes) m += n;
+  const auto d = static_cast<std::int64_t>(nodes.size());
+  m.atoms /= d;
+  m.pairs_considered /= d;
+  m.ppip_queue /= d;
+  m.interactions /= d;
+  m.tower_import_atoms /= d;
+  m.plate_import_atoms /= d;
+  m.spread_ops /= d;
+  m.interp_ops /= d;
+  m.bond_terms /= d;
+  m.correction_pairs /= d;
+  m.constraint_bonds /= d;
+  return m;
+}
+
+}  // namespace anton::core

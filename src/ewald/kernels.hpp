@@ -1,0 +1,88 @@
+// Pairwise interaction kernels: Lennard-Jones and Ewald-split Coulomb.
+//
+// Every kernel is expressed as a radially symmetric coefficient f(r) such
+// that the force vector is f * dr -- the functional form the PPIP computes
+// as "a table-driven function of the distance between two points"
+// (Section 3.1). The Anton engine tabulates these with TieredTable; the
+// reference engine evaluates them directly in double precision.
+//
+// Conventions:
+//   Coulomb:  E = kC q1 q2 / r, Ewald-split with parameter beta (1/A):
+//             direct part erfc(beta r)/r, reciprocal part erf(beta r)/r.
+//   LJ:       E = A/r^12 - B/r^6 with A = 4 eps sigma^12, B = 4 eps sigma^6.
+//   Force coefficient: F_vec = coef(r) * dr_vec with dr = r_i - r_j giving
+//             the force ON atom i (repulsive = positive coef).
+#pragma once
+
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace anton::ewald {
+
+/// Direct-space Coulomb energy per unit charge product: erfc(beta r)/r,
+/// times the Coulomb constant.
+inline double coul_direct_energy(double r, double beta) {
+  return units::kCoulomb * std::erfc(beta * r) / r;
+}
+
+/// Direct-space Coulomb force coefficient per unit charge product:
+/// -(1/r) d/dr [kC erfc(beta r)/r].
+inline double coul_direct_force(double r, double beta) {
+  const double r2 = r * r;
+  const double two_over_sqrt_pi = 1.1283791670955126;
+  return units::kCoulomb *
+         (std::erfc(beta * r) / (r2 * r) +
+          two_over_sqrt_pi * beta * std::exp(-beta * beta * r2) / r2);
+}
+
+/// Reciprocal-space (to be subtracted for excluded pairs) energy per unit
+/// charge product: erf(beta r)/r, times the Coulomb constant.
+inline double coul_recip_energy(double r, double beta) {
+  return units::kCoulomb * std::erf(beta * r) / r;
+}
+
+/// Reciprocal-space force coefficient per unit charge product.
+inline double coul_recip_force(double r, double beta) {
+  const double r2 = r * r;
+  const double two_over_sqrt_pi = 1.1283791670955126;
+  return units::kCoulomb *
+         (std::erf(beta * r) / (r2 * r) -
+          two_over_sqrt_pi * beta * std::exp(-beta * beta * r2) / r2);
+}
+
+/// Bare Coulomb energy / force coefficient per unit charge product.
+inline double coul_bare_energy(double r) { return units::kCoulomb / r; }
+inline double coul_bare_force(double r) {
+  return units::kCoulomb / (r * r * r);
+}
+
+/// LJ A/B coefficients from sigma/epsilon.
+inline double lj_A(double sigma, double eps) {
+  const double s6 = std::pow(sigma, 6);
+  return 4.0 * eps * s6 * s6;
+}
+inline double lj_B(double sigma, double eps) {
+  return 4.0 * eps * std::pow(sigma, 6);
+}
+
+/// LJ energy and force coefficient given A, B.
+inline double lj_energy(double r2, double A, double B) {
+  const double ir2 = 1.0 / r2;
+  const double ir6 = ir2 * ir2 * ir2;
+  return (A * ir6 - B) * ir6;
+}
+inline double lj_force(double r2, double A, double B) {
+  const double ir2 = 1.0 / r2;
+  const double ir6 = ir2 * ir2 * ir2;
+  return (12.0 * A * ir6 - 6.0 * B) * ir6 * ir2;
+}
+
+/// Normalized 3-D Gaussian of width sigma: (2 pi s^2)^{-3/2} e^{-r^2/2s^2}.
+inline double gaussian3d(double r2, double sigma) {
+  const double s2 = sigma * sigma;
+  const double norm = std::pow(2.0 * M_PI * s2, -1.5);
+  return norm * std::exp(-0.5 * r2 / s2);
+}
+
+}  // namespace anton::ewald

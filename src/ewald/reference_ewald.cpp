@@ -1,0 +1,60 @@
+#include "ewald/reference_ewald.hpp"
+
+#include <cmath>
+#include <complex>
+
+#include "util/units.hpp"
+
+namespace anton::ewald {
+
+ReferenceEwald::ReferenceEwald(const PeriodicBox& box, double beta, int kmax)
+    : box_(box), beta_(beta) {
+  const Vec3d L = box.side();
+  const double V = box.volume();
+  for (int nx = -kmax; nx <= kmax; ++nx) {
+    for (int ny = -kmax; ny <= kmax; ++ny) {
+      for (int nz = -kmax; nz <= kmax; ++nz) {
+        if (nx == 0 && ny == 0 && nz == 0) continue;
+        const Vec3d k{2.0 * M_PI * nx / L.x, 2.0 * M_PI * ny / L.y,
+                      2.0 * M_PI * nz / L.z};
+        const double k2 = k.norm2();
+        const double coeff = units::kCoulomb * 4.0 * M_PI / (V * k2) *
+                             std::exp(-k2 / (4.0 * beta * beta));
+        kvecs_.push_back({k, coeff});
+      }
+    }
+  }
+}
+
+double ReferenceEwald::compute(std::span<const Vec3d> pos,
+                               std::span<const double> q,
+                               std::span<Vec3d> force) const {
+  const std::size_t n = pos.size();
+  double energy = 0.0;
+  for (const KVec& kv : kvecs_) {
+    // Structure factor S(k) = sum q_i e^{i k . r_i}.
+    double sr = 0.0, si = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ph = kv.k.dot(pos[i]);
+      sr += q[i] * std::cos(ph);
+      si += q[i] * std::sin(ph);
+    }
+    energy += 0.5 * kv.coeff * (sr * sr + si * si);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ph = kv.k.dot(pos[i]);
+      // F_i = q_i coeff * k * Im(S*(k) e^{i k r_i})
+      //     = q_i coeff * k * (Re S sin(ph) - Im S cos(ph)).
+      const double im = std::sin(ph) * sr - std::cos(ph) * si;
+      force[i] += kv.k * (q[i] * kv.coeff * im);
+    }
+  }
+  return energy;
+}
+
+double ReferenceEwald::self_energy(std::span<const double> q) const {
+  double s = 0.0;
+  for (double qi : q) s += qi * qi;
+  return -units::kCoulomb * beta_ / std::sqrt(M_PI) * s;
+}
+
+}  // namespace anton::ewald

@@ -1,0 +1,41 @@
+// Exact (well-converged) Ewald reciprocal sum, used as the accuracy
+// baseline. This plays the role of the paper's Desmond-with-conservative-
+// parameters reference (Section 5.2): forces computed here in double
+// precision with an explicit structure-factor sum have no mesh or
+// interpolation error, so differences against the mesh methods isolate
+// their approximation error.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/box.hpp"
+#include "geom/vec3.hpp"
+
+namespace anton::ewald {
+
+class ReferenceEwald {
+ public:
+  /// kmax: include reciprocal vectors with |n|_inf <= kmax.
+  ReferenceEwald(const PeriodicBox& box, double beta, int kmax);
+
+  /// Adds reciprocal-space forces to `force` and returns the reciprocal
+  /// energy. O(natoms * kvectors).
+  double compute(std::span<const Vec3d> pos, std::span<const double> q,
+                 std::span<Vec3d> force) const;
+
+  double self_energy(std::span<const double> q) const;
+
+  std::size_t kvector_count() const { return kvecs_.size(); }
+
+ private:
+  struct KVec {
+    Vec3d k;
+    double coeff;  // kC * (4 pi / V k^2) exp(-k^2 / 4 beta^2)
+  };
+  PeriodicBox box_;
+  double beta_;
+  std::vector<KVec> kvecs_;
+};
+
+}  // namespace anton::ewald

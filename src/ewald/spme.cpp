@@ -1,0 +1,156 @@
+#include "ewald/spme.hpp"
+
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace anton::ewald {
+
+double Spme::bspline(int n, double u) {
+  if (u <= 0.0 || u >= n) return 0.0;
+  if (n == 2) return 1.0 - std::fabs(u - 1.0);
+  return u / (n - 1) * bspline(n - 1, u) +
+         (n - u) / (n - 1) * bspline(n - 1, u - 1.0);
+}
+
+double Spme::bspline_deriv(int n, double u) {
+  return bspline(n - 1, u) - bspline(n - 1, u - 1.0);
+}
+
+Spme::Spme(const PeriodicBox& box, const SpmeParams& p)
+    : box_(box), p_(p), fft_(p.mesh) {
+  if (!box.is_cubic()) throw std::invalid_argument("Spme: cubic box only");
+  if (p.order < 3 || p.order > 8)
+    throw std::invalid_argument("Spme: order must be in [3, 8]");
+
+  const int K = p_.mesh;
+  const double L = box.side().x;
+  const double V = box.volume();
+
+  // Euler exponential-spline moduli |b(m)|^2 per axis (identical axes for
+  // a cubic box): b(m) = e^{2 pi i (n-1) m / K} / sum_{j=0}^{n-2}
+  // M_n(j+1) e^{2 pi i m j / K}.
+  std::vector<double> bmod2(K);
+  for (int m = 0; m < K; ++m) {
+    std::complex<double> denom{0.0, 0.0};
+    for (int j = 0; j <= p_.order - 2; ++j) {
+      const double ang = 2.0 * M_PI * m * j / K;
+      denom += bspline(p_.order, j + 1.0) *
+               std::complex<double>{std::cos(ang), std::sin(ang)};
+    }
+    const double d2 = std::norm(denom);
+    // For even orders the denominator vanishes at m = K/2; the standard
+    // remedy is to zero that mode (its weight is negligible).
+    bmod2[m] = d2 > 1e-10 ? 1.0 / d2 : 0.0;
+  }
+
+  influence_.assign(mesh_total(), 0.0);
+  for (int nz = 0; nz < K; ++nz) {
+    const int fz = (nz <= K / 2) ? nz : nz - K;
+    for (int ny = 0; ny < K; ++ny) {
+      const int fy = (ny <= K / 2) ? ny : ny - K;
+      for (int nx = 0; nx < K; ++nx) {
+        const int fx = (nx <= K / 2) ? nx : nx - K;
+        if (fx == 0 && fy == 0 && fz == 0) continue;
+        const double kx = 2.0 * M_PI * fx / L;
+        const double ky = 2.0 * M_PI * fy / L;
+        const double kz = 2.0 * M_PI * fz / L;
+        const double k2 = kx * kx + ky * ky + kz * kz;
+        const std::size_t idx =
+            (static_cast<std::size_t>(nz) * K + ny) * K + nx;
+        influence_[idx] = units::kCoulomb * 4.0 * M_PI / (V * k2) *
+                          std::exp(-k2 / (4.0 * p_.beta * p_.beta)) *
+                          bmod2[nx] * bmod2[ny] * bmod2[nz];
+      }
+    }
+  }
+}
+
+double Spme::compute(std::span<const Vec3d> pos, std::span<const double> q,
+                     std::span<Vec3d> force) const {
+  const int K = p_.mesh;
+  const int n = p_.order;
+  const double L = box_.side().x;
+  const double scale = K / L;  // du/dx
+
+  // Per-atom spline weights along each axis.
+  struct AtomSpline {
+    int base[3];          // first mesh index of the support
+    double w[3][8];       // weights  M_n(u - m)
+    double dw[3][8];      // derivatives dM_n/du
+  };
+  std::vector<AtomSpline> splines(pos.size());
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    AtomSpline& s = splines[i];
+    const double rr[3] = {pos[i].x, pos[i].y, pos[i].z};
+    for (int a = 0; a < 3; ++a) {
+      const double u = (rr[a] / L + 0.5) * K;  // in [0, K)
+      const int fl = static_cast<int>(std::floor(u));
+      s.base[a] = fl - n + 1;
+      for (int j = 0; j < n; ++j) {
+        const double arg = u - (s.base[a] + j);  // in (0, n)
+        s.w[a][j] = bspline(n, arg);
+        s.dw[a][j] = bspline_deriv(n, arg);
+      }
+    }
+  }
+
+  // Charge assignment.
+  std::vector<fft::cplx> grid(mesh_total(), {0.0, 0.0});
+  auto wrap = [K](int m) { return ((m % K) + K) % K; };
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    if (q[i] == 0.0) continue;
+    const AtomSpline& s = splines[i];
+    for (int jz = 0; jz < n; ++jz) {
+      const int mz = wrap(s.base[2] + jz);
+      for (int jy = 0; jy < n; ++jy) {
+        const int my = wrap(s.base[1] + jy);
+        const double wyz = s.w[2][jz] * s.w[1][jy] * q[i];
+        for (int jx = 0; jx < n; ++jx) {
+          const int mx = wrap(s.base[0] + jx);
+          grid[(static_cast<std::size_t>(mz) * K + my) * K + mx] +=
+              wyz * s.w[0][jx];
+        }
+      }
+    }
+  }
+
+  // Convolution: E = 1/2 sum_n C(n) |Q^(n)|^2; phi = K^3 IFFT[C Q^].
+  fft_.forward(grid);
+  double energy = 0.0;
+  for (std::size_t idx = 0; idx < grid.size(); ++idx) {
+    energy += influence_[idx] * std::norm(grid[idx]);
+    grid[idx] *= influence_[idx];
+  }
+  energy *= 0.5;
+  fft_.inverse(grid);
+  const double k3 = static_cast<double>(K) * K * K;
+
+  // Forces: F_i = -q_i sum_m phi(m) grad_i w_i(m).
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    if (q[i] == 0.0) continue;
+    const AtomSpline& s = splines[i];
+    Vec3d f{0, 0, 0};
+    for (int jz = 0; jz < n; ++jz) {
+      const int mz = wrap(s.base[2] + jz);
+      for (int jy = 0; jy < n; ++jy) {
+        const int my = wrap(s.base[1] + jy);
+        for (int jx = 0; jx < n; ++jx) {
+          const int mx = wrap(s.base[0] + jx);
+          const double phi =
+              grid[(static_cast<std::size_t>(mz) * K + my) * K + mx].real() *
+              k3;
+          f.x -= phi * s.dw[0][jx] * s.w[1][jy] * s.w[2][jz];
+          f.y -= phi * s.w[0][jx] * s.dw[1][jy] * s.w[2][jz];
+          f.z -= phi * s.w[0][jx] * s.w[1][jy] * s.dw[2][jz];
+        }
+      }
+    }
+    force[i] += f * (q[i] * scale);
+  }
+  return energy;
+}
+
+}  // namespace anton::ewald

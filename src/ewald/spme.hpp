@@ -1,0 +1,62 @@
+// Smooth Particle Mesh Ewald (Essmann et al. 1995).
+//
+// "Most high-performance codes use the Smooth Particle Mesh Ewald (SPME)
+// algorithm, in which the interaction between an atom and a mesh point is
+// based on B-spline interpolation. Anton's PPIPs, on the other hand,
+// compute interactions between two points as a table-driven function of
+// the distance between them -- a radially symmetric functional form that
+// is incompatible with B-splines." (Section 3.1.)
+//
+// This is that incompatible baseline, implemented in full: cardinal
+// B-spline charge assignment (separable per axis -- NOT a function of
+// |r_atom - r_mesh|), the Euler-spline |b(k)|^2 correction in k-space, and
+// analytic B-spline-derivative forces. It serves two purposes here:
+//  * an independent mesh-Ewald implementation to cross-check GSE against;
+//  * the ablation subject of bench_ablation_gse: what accuracy per mesh
+//    point each method buys, and why only one of them maps onto the HTIS.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fft/fft3d.hpp"
+#include "geom/box.hpp"
+#include "geom/vec3.hpp"
+
+namespace anton::ewald {
+
+struct SpmeParams {
+  double beta = 0.35;  // Ewald splitting (1/A)
+  int mesh = 32;       // mesh points per axis (power of two)
+  int order = 4;       // B-spline order (4 or 6 in production codes)
+};
+
+class Spme {
+ public:
+  Spme(const PeriodicBox& box, const SpmeParams& p);
+
+  const SpmeParams& params() const { return p_; }
+  std::size_t mesh_total() const {
+    return static_cast<std::size_t>(p_.mesh) * p_.mesh * p_.mesh;
+  }
+
+  /// Computes the reciprocal-space energy and adds reciprocal forces.
+  /// Self-energy and exclusion corrections are the caller's business
+  /// (identical to the GSE path; see ewald/kernels.hpp).
+  double compute(std::span<const Vec3d> pos, std::span<const double> q,
+                 std::span<Vec3d> force) const;
+
+  /// Cardinal B-spline M_n(u) for u in [0, n] (exposed for tests).
+  static double bspline(int n, double u);
+
+  /// dM_n/du = M_{n-1}(u) - M_{n-1}(u - 1).
+  static double bspline_deriv(int n, double u);
+
+ private:
+  PeriodicBox box_;
+  SpmeParams p_;
+  fft::Fft3D fft_;
+  std::vector<double> influence_;  // C(n): kC 4pi/(V k^2) e^{-k^2/4b^2} B(n)
+};
+
+}  // namespace anton::ewald

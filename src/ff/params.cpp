@@ -1,0 +1,69 @@
+#include "ff/params.hpp"
+
+#include <stdexcept>
+
+namespace anton::ff {
+
+LJType lj_for(AtomClass c) {
+  switch (c) {
+    case AtomClass::kCarbon:
+      return {3.40, 0.086};
+    case AtomClass::kNitrogen:
+      return {3.25, 0.170};
+    case AtomClass::kOxygen:
+      return {2.96, 0.210};
+    case AtomClass::kHydrogen:
+      return {2.47, 0.016};
+    case AtomClass::kPolarHydrogen:
+      return {1.07, 0.016};
+    case AtomClass::kSidechain:
+      return {3.80, 0.115};
+    case AtomClass::kWaterOxygen:
+      return {3.15, 0.152};
+    case AtomClass::kWaterHydrogen:
+      return {1.00, 0.0};  // LJ on water hydrogens is zero in TIP models
+    case AtomClass::kWaterMSite:
+      return {1.00, 0.0};
+    case AtomClass::kChloride:
+      return {4.40, 0.100};
+    default:
+      throw std::invalid_argument("lj_for: bad atom class");
+  }
+}
+
+double mass_for(AtomClass c) {
+  switch (c) {
+    case AtomClass::kCarbon:
+      return 12.011;
+    case AtomClass::kNitrogen:
+      return 14.007;
+    case AtomClass::kOxygen:
+      return 15.999;
+    case AtomClass::kHydrogen:
+    case AtomClass::kPolarHydrogen:
+      return 1.008;
+    case AtomClass::kSidechain:
+      return 15.0;  // united CH3-like bead
+    case AtomClass::kWaterOxygen:
+      return 15.999;
+    case AtomClass::kWaterHydrogen:
+      return 1.008;
+    case AtomClass::kWaterMSite:
+      return 1.0;  // token mass; see params.hpp
+    case AtomClass::kChloride:
+      return 35.453;
+    default:
+      throw std::invalid_argument("mass_for: bad atom class");
+  }
+}
+
+BondParam backbone_bond() { return {317.0, 1.522}; }
+BondParam sidechain_bond() { return {310.0, 1.526}; }
+BondParam nh_bond() { return {434.0, 1.010}; }
+AngleParam backbone_angle() { return {63.0, 1.939}; }  // ~111.1 degrees
+DihedralParam backbone_dihedral() { return {0.75, 3, 0.0}; }
+
+Water3Site water3() { return {}; }
+Water4Site water4() { return {}; }
+
+}  // namespace anton::ff

@@ -1,0 +1,87 @@
+// Generic protein-like force-field parameter library.
+//
+// The paper's simulations used AMBER99SB and OPLS-AA with TIP3P / TIP4P-Ew
+// water. We cannot redistribute those parameter sets, so this module
+// provides a compact library with the same functional forms and physically
+// representative magnitudes (bond stiffnesses ~300-500 kcal/mol/A^2, LJ
+// well depths ~0.05-0.2 kcal/mol, partial charges ~ +-0.1-0.8 e). The
+// quantities the paper measures -- step rates, force errors, energy drift,
+// invariance properties -- depend on term counts, densities and functional
+// forms, not on which published constants fill the tables (see DESIGN.md,
+// substitution table).
+#pragma once
+
+#include "ff/topology.hpp"
+
+namespace anton::ff {
+
+/// Atom classes used by the synthetic builders.
+enum class AtomClass : std::int32_t {
+  kCarbon = 0,     // aliphatic / backbone carbon
+  kNitrogen,       // backbone amide nitrogen
+  kOxygen,         // carbonyl oxygen
+  kHydrogen,       // nonpolar hydrogen
+  kPolarHydrogen,  // amide hydrogen
+  kSidechain,      // generic united side-chain bead
+  kWaterOxygen,
+  kWaterHydrogen,
+  kWaterMSite,  // 4-site water virtual charge site
+  kChloride,
+  kCount
+};
+
+/// LJ parameters per atom class; combined by Lorentz-Berthelot.
+LJType lj_for(AtomClass c);
+
+/// Atomic mass (amu) per class. The 4-site water M particle carries a
+/// token 1 amu borrowed from its oxygen so the fixed-point integrator can
+/// treat all four particles as atoms (the paper: "each of the four
+/// particles in this water model is treated computationally as an atom").
+double mass_for(AtomClass c);
+
+struct BondParam {
+  double k;   // kcal/mol/A^2
+  double r0;  // A
+};
+struct AngleParam {
+  double kf;      // kcal/mol/rad^2
+  double theta0;  // rad
+};
+struct DihedralParam {
+  double kf;  // kcal/mol
+  int n;
+  double phase;  // rad
+};
+
+/// Representative backbone parameters used by the pseudo-protein builder.
+BondParam backbone_bond();
+BondParam sidechain_bond();
+BondParam nh_bond();  // constrained in simulations (bond-to-hydrogen)
+AngleParam backbone_angle();
+DihedralParam backbone_dihedral();
+
+/// Rigid 3-site water geometry (TIP3P-like): r(OH), angle HOH, charges.
+struct Water3Site {
+  double r_oh = 0.9572;
+  double theta_hoh = 1.82421813;  // 104.52 degrees
+  double q_o = -0.834;
+  double q_h = 0.417;
+};
+Water3Site water3();
+
+/// Rigid 4-site water geometry (TIP4P-Ew-like): adds the M charge site on
+/// the HOH bisector, displaced r_om from the oxygen.
+struct Water4Site {
+  double r_oh = 0.9572;
+  double theta_hoh = 1.82421813;
+  double r_om = 0.125;
+  double q_m = -1.04844;
+  double q_h = 0.52422;
+};
+Water4Site water4();
+
+/// Standard nonbonded 1-4 scaling factors (AMBER convention).
+inline constexpr double kLJ14Scale = 0.5;
+inline constexpr double kCoul14Scale = 1.0 / 1.2;
+
+}  // namespace anton::ff

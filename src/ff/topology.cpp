@@ -1,0 +1,163 @@
+#include "ff/topology.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <tuple>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+namespace anton {
+
+double Topology::degrees_of_freedom() const {
+  return 3.0 * natoms - static_cast<double>(constraints.size()) -
+         3.0 * static_cast<double>(virtual_sites.size()) - 3.0;
+}
+
+double Topology::total_charge() const {
+  double q = 0.0;
+  for (double c : charge) q += c;
+  return q;
+}
+
+void Topology::build_exclusions(double lj14_scale, double coul14_scale) {
+  exclusions.clear();
+  // Adjacency over covalent bonds; constraints replace bonds to hydrogens,
+  // so they count for connectivity too.
+  std::vector<std::vector<std::int32_t>> adj(natoms);
+  auto link = [&](std::int32_t a, std::int32_t b) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  };
+  for (const BondTerm& b : bonds) link(b.i, b.j);
+  for (const ConstraintBond& c : constraints) link(c.i, c.j);
+  for (const VirtualSite& v : virtual_sites) link(v.site, v.o);
+
+  // BFS to depth 3 from every atom; record the minimum bond distance of
+  // each reachable pair.
+  std::map<std::pair<std::int32_t, std::int32_t>, int> dist;
+  for (std::int32_t s = 0; s < natoms; ++s) {
+    std::vector<std::pair<std::int32_t, int>> frontier{{s, 0}};
+    std::set<std::int32_t> seen{s};
+    for (std::size_t qi = 0; qi < frontier.size(); ++qi) {
+      auto [u, d] = frontier[qi];
+      if (d == 3) continue;
+      for (std::int32_t v : adj[u]) {
+        if (seen.count(v)) continue;
+        seen.insert(v);
+        frontier.push_back({v, d + 1});
+        if (v > s) {
+          auto key = std::make_pair(s, v);
+          auto it = dist.find(key);
+          if (it == dist.end() || it->second > d + 1) dist[key] = d + 1;
+        }
+      }
+    }
+  }
+  for (const auto& [pair, d] : dist) {
+    ExclusionPair e;
+    e.i = pair.first;
+    e.j = pair.second;
+    if (d <= 2) {
+      e.lj_scale = 0.0;
+      e.coul_scale = 0.0;
+    } else {
+      e.lj_scale = lj14_scale;
+      e.coul_scale = coul14_scale;
+    }
+    exclusions.push_back(e);
+  }
+  std::sort(exclusions.begin(), exclusions.end(),
+            [](const ExclusionPair& a, const ExclusionPair& b) {
+              return std::tie(a.i, a.j) < std::tie(b.i, b.j);
+            });
+}
+
+void Topology::build_constraint_groups() {
+  constraint_groups.clear();
+  std::vector<std::int32_t> parent(natoms);
+  for (std::int32_t i = 0; i < natoms; ++i) parent[i] = i;
+  std::function<std::int32_t(std::int32_t)> find = [&](std::int32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const ConstraintBond& c : constraints) {
+    const std::int32_t a = find(c.i), b = find(c.j);
+    if (a != b) parent[a] = b;
+  }
+  // Virtual sites migrate with (and are rebuilt from) their parents.
+  for (const VirtualSite& v : virtual_sites) {
+    const std::int32_t a = find(v.site), b = find(v.o);
+    if (a != b) parent[a] = b;
+  }
+  std::map<std::int32_t, std::vector<std::int32_t>> groups;
+  for (std::int32_t i = 0; i < natoms; ++i) groups[find(i)].push_back(i);
+  for (auto& [root, members] : groups) {
+    if (members.size() > 1) constraint_groups.push_back(std::move(members));
+  }
+}
+
+void Topology::validate() const {
+  auto check_atom = [&](std::int32_t a, const char* what) {
+    if (a < 0 || a >= natoms)
+      throw std::runtime_error(std::string("Topology: bad atom index in ") +
+                               what);
+  };
+  if (static_cast<std::int32_t>(mass.size()) != natoms ||
+      static_cast<std::int32_t>(charge.size()) != natoms ||
+      static_cast<std::int32_t>(type.size()) != natoms)
+    throw std::runtime_error("Topology: per-atom array size mismatch");
+  for (std::int32_t t : type)
+    if (t < 0 || t >= static_cast<std::int32_t>(lj_types.size()))
+      throw std::runtime_error("Topology: bad LJ type index");
+  for (const BondTerm& b : bonds) {
+    check_atom(b.i, "bond");
+    check_atom(b.j, "bond");
+    if (b.i == b.j) throw std::runtime_error("Topology: degenerate bond");
+  }
+  for (const AngleTerm& a : angles) {
+    check_atom(a.i, "angle");
+    check_atom(a.j, "angle");
+    check_atom(a.k, "angle");
+  }
+  for (const DihedralTerm& d : dihedrals) {
+    check_atom(d.i, "dihedral");
+    check_atom(d.j, "dihedral");
+    check_atom(d.k, "dihedral");
+    check_atom(d.l, "dihedral");
+  }
+  for (const ExclusionPair& e : exclusions) {
+    check_atom(e.i, "exclusion");
+    check_atom(e.j, "exclusion");
+    if (e.i >= e.j) throw std::runtime_error("Topology: exclusion not i<j");
+  }
+  for (const ConstraintBond& c : constraints) {
+    check_atom(c.i, "constraint");
+    check_atom(c.j, "constraint");
+    if (c.length <= 0.0)
+      throw std::runtime_error("Topology: non-positive constraint length");
+  }
+  for (const VirtualSite& v : virtual_sites) {
+    check_atom(v.site, "virtual site");
+    check_atom(v.o, "virtual site");
+    check_atom(v.h1, "virtual site");
+    check_atom(v.h2, "virtual site");
+    if (mass[v.site] != 0.0)
+      throw std::runtime_error("Topology: virtual site must be massless");
+  }
+  std::vector<char> in_group(natoms, 0);
+  for (const auto& g : constraint_groups) {
+    for (std::int32_t a : g) {
+      check_atom(a, "constraint group");
+      if (in_group[a])
+        throw std::runtime_error("Topology: overlapping constraint groups");
+      in_group[a] = 1;
+    }
+  }
+}
+
+}  // namespace anton

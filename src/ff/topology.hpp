@@ -1,0 +1,140 @@
+// Molecular topology: the static description of a chemical system.
+//
+// This mirrors the structure of the biomolecular force fields the paper
+// simulates (AMBER99SB / OPLS-AA with TIP3P / TIP4P-Ew water): bonded
+// terms over small groups of covalently connected atoms, Lennard-Jones
+// types, point charges, exclusions (electrostatic and van der Waals
+// interactions between atoms separated by 1-3 covalent bonds are
+// eliminated or scaled down -- Section 3.1), holonomic constraints on
+// bonds to hydrogens and rigid waters, and the disjoint constraint groups
+// the integrator keeps co-resident on one node (Section 3.2.4).
+//
+// We do not ship the (proprietary-licence-encumbered) literature parameter
+// sets; src/ff/params.hpp provides a generic protein-like parameter
+// library with the same functional forms, and DESIGN.md documents the
+// substitution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geom/box.hpp"
+#include "geom/vec3.hpp"
+
+namespace anton {
+
+/// Harmonic bond: E = k (r - r0)^2, k in kcal/mol/A^2.
+struct BondTerm {
+  std::int32_t i = 0, j = 0;
+  double k = 0.0;
+  double r0 = 0.0;
+};
+
+/// Harmonic angle: E = k (theta - theta0)^2, k in kcal/mol/rad^2.
+struct AngleTerm {
+  std::int32_t i = 0, j = 0, k = 0;  // j is the vertex
+  double kf = 0.0;
+  double theta0 = 0.0;
+};
+
+/// Periodic dihedral: E = kf (1 + cos(n phi - phase)).
+struct DihedralTerm {
+  std::int32_t i = 0, j = 0, k = 0, l = 0;
+  double kf = 0.0;
+  std::int32_t n = 1;
+  double phase = 0.0;
+};
+
+/// Lennard-Jones type parameters; pairs combine by Lorentz-Berthelot.
+struct LJType {
+  double sigma = 1.0;    // A
+  double epsilon = 0.0;  // kcal/mol
+};
+
+/// An excluded or scaled nonbonded pair (i < j). scale == 0 removes the
+/// interaction entirely (1-2, 1-3); fractional scales implement the 1-4
+/// scaling conventions. The direct-space sum skips these pairs; the
+/// long-range (mesh) contribution for them is removed by the correction
+/// pipeline (Section 3.1, "correction forces").
+struct ExclusionPair {
+  std::int32_t i = 0, j = 0;
+  double lj_scale = 0.0;
+  double coul_scale = 0.0;
+};
+
+/// Holonomic distance constraint |r_i - r_j| = length.
+struct ConstraintBond {
+  std::int32_t i = 0, j = 0;
+  double length = 0.0;
+};
+
+/// A massless interaction site constructed linearly from three parents:
+///   r_site = r_o + a * (r_h1 + r_h2 - 2 r_o).
+/// Used for the M charge site of 4-site water. Because the construction
+/// is linear, forces on the site redistribute exactly:
+///   F_o += (1 - 2a) F_m,  F_h1 += a F_m,  F_h2 += a F_m.
+struct VirtualSite {
+  std::int32_t site = 0, o = 0, h1 = 0, h2 = 0;
+  double a = 0.0;
+};
+
+struct Topology {
+  std::int32_t natoms = 0;
+  std::vector<double> mass;        // amu
+  std::vector<double> charge;      // e
+  std::vector<std::int32_t> type;  // index into lj_types
+  std::vector<LJType> lj_types;
+
+  /// Molecule id per atom. Exclusions only occur within a molecule, so
+  /// engines use this to skip exclusion lookups for inter-molecular pairs.
+  std::vector<std::int32_t> molecule;
+
+  std::vector<BondTerm> bonds;
+  std::vector<AngleTerm> angles;
+  std::vector<DihedralTerm> dihedrals;
+  std::vector<ExclusionPair> exclusions;
+  std::vector<ConstraintBond> constraints;
+  std::vector<VirtualSite> virtual_sites;
+
+  /// Disjoint groups of atoms connected by constraints; every atom appears
+  /// in at most one group. Atoms in a group always share a home node.
+  std::vector<std::vector<std::int32_t>> constraint_groups;
+
+  /// Number of protein (non-water, non-ion) atoms; used by reporting.
+  std::int32_t protein_atoms = 0;
+
+  /// Degrees of freedom after constraints and massless virtual sites
+  /// (3N - n_constraints - 3 n_vsites - 3 for removed center-of-mass
+  /// drift).
+  double degrees_of_freedom() const;
+
+  /// Net charge (e); builders keep systems neutral.
+  double total_charge() const;
+
+  /// Derives `exclusions` from the bond graph: full exclusion at bonded
+  /// distances 1 and 2 (1-2, 1-3 pairs), scaled interaction at distance 3
+  /// (1-4 pairs). Constraint bonds count as bonds for connectivity.
+  void build_exclusions(double lj14_scale, double coul14_scale);
+
+  /// Derives `constraint_groups` as connected components of the constraint
+  /// graph.
+  void build_constraint_groups();
+
+  /// Basic structural validation (index ranges, i < j ordering, disjoint
+  /// groups); throws std::runtime_error on violation.
+  void validate() const;
+};
+
+/// A complete simulation input: topology + box + initial conditions.
+struct System {
+  Topology top;
+  PeriodicBox box;
+  std::vector<Vec3d> positions;   // A, wrapped into [-L/2, L/2)
+  std::vector<Vec3d> velocities;  // A/fs
+  std::string_view name() const { return name_; }
+  std::string name_;
+};
+
+}  // namespace anton

@@ -1,0 +1,55 @@
+#include "fft/dist_plan.hpp"
+
+#include <algorithm>
+
+namespace anton::fft {
+
+FftStageComm DistFftPlan::stage(int axis) const {
+  FftStageComm c;
+  const std::size_t n = mesh;
+  const int pa = (axis == 0) ? nodes.x : (axis == 1 ? nodes.y : nodes.z);
+  const std::size_t nodes_total =
+      static_cast<std::size_t>(nodes.x) * nodes.y * nodes.z;
+  const std::size_t points_total = n * n * n;
+  const std::size_t points_per_node = points_total / nodes_total;
+
+  // Lines along `axis`: n^2 of them, distributed over the (pb * pc) node
+  // columns perpendicular to the axis; each torus row of pa nodes
+  // cooperates on its share of lines. Line ownership within a row is
+  // round-robin, so each node computes lines_per_node full lines.
+  const std::size_t rows = nodes_total / static_cast<std::size_t>(pa);
+  const std::size_t lines_total = n * n;
+  const std::size_t lines_per_row = lines_total / rows;
+  c.lines_per_node = (lines_per_row + pa - 1) / pa;
+  c.points_per_node = c.lines_per_node * n;
+
+  // Gather: each node owns a segment of length n/pa of every line in its
+  // row; it sends each segment that belongs to a line computed elsewhere
+  // (pa-1 of every pa lines) as one message to the computing node, and
+  // symmetrically receives. Scatter reverses the exchange.
+  if (pa > 1) {
+    const std::size_t segments_sent =
+        lines_per_row - c.lines_per_node;  // segments going to other nodes
+    c.messages_per_node = 2 * segments_sent;  // gather + scatter
+    const std::size_t seg_len = n / static_cast<std::size_t>(pa);
+    c.bytes_per_node = c.messages_per_node * seg_len * bytes_per_point;
+    c.max_hops = pa / 2;  // torus: worst case half-way around the ring
+  }
+  (void)points_per_node;
+  return c;
+}
+
+FftStageComm DistFftPlan::one_direction_total() const {
+  FftStageComm t;
+  for (int a = 0; a < 3; ++a) {
+    const FftStageComm s = stage(a);
+    t.messages_per_node += s.messages_per_node;
+    t.bytes_per_node += s.bytes_per_node;
+    t.points_per_node += s.points_per_node;
+    t.lines_per_node += s.lines_per_node;
+    t.max_hops = std::max(t.max_hops, s.max_hops);
+  }
+  return t;
+}
+
+}  // namespace anton::fft

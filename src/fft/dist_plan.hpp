@@ -1,0 +1,52 @@
+// Communication plan for the distributed 3-D FFT (Section 3.2.2 and Young
+// et al., "A 32x32x32, spatially distributed 3D FFT in four microseconds
+// on Anton").
+//
+// The mesh is block-distributed over an nx x ny x nz node torus (the same
+// spatial decomposition as the particles). Each of the three axis stages
+// transforms full 1-D lines; a line along axis A spans every node in that
+// torus row, so before the stage each node exchanges its line segments
+// with the other nodes of the row, and after the stage sends results back.
+// This "straightforward decomposition into sets of one-dimensional FFTs"
+// sends hundreds of small messages per node -- exactly the regime Anton's
+// low-latency links favor (Section 3.2).
+//
+// This class computes, per node and per stage, the message and byte counts
+// that the machine performance model consumes; the numerical transform
+// itself is performed by Fft3D (whose per-line arithmetic is what each
+// node would execute, so results are bitwise decomposition-independent).
+#pragma once
+
+#include <cstddef>
+
+#include "geom/vec3.hpp"
+
+namespace anton::fft {
+
+struct FftStageComm {
+  /// Messages each node sends during the stage (gather + scatter).
+  std::size_t messages_per_node = 0;
+  /// Payload bytes each node sends during the stage.
+  std::size_t bytes_per_node = 0;
+  /// Complex points each node transforms during the stage.
+  std::size_t points_per_node = 0;
+  /// 1-D FFT lines each node computes during the stage.
+  std::size_t lines_per_node = 0;
+  /// Maximum hop distance of any message in the stage (torus hops).
+  int max_hops = 0;
+};
+
+struct DistFftPlan {
+  std::size_t mesh = 0;       // mesh points per axis
+  Vec3i nodes{1, 1, 1};       // torus extent
+  std::size_t bytes_per_point = 16;  // complex<double>-equivalent payload
+
+  /// Plan one axis stage (0 = x, 1 = y, 2 = z) of a forward or inverse
+  /// transform; forward and inverse stages have identical communication.
+  FftStageComm stage(int axis) const;
+
+  /// Sum over the three stages of one transform direction.
+  FftStageComm one_direction_total() const;
+};
+
+}  // namespace anton::fft

@@ -1,0 +1,73 @@
+#include "fft/fft1d.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace anton::fft {
+
+Fft1D::Fft1D(std::size_t n) : n_(n) {
+  if (n == 0 || (n & (n - 1)) != 0)
+    throw std::invalid_argument("Fft1D: length must be a power of two");
+  bitrev_.resize(n);
+  std::size_t bits = 0;
+  while ((std::size_t{1} << bits) < n) ++bits;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t r = 0;
+    for (std::size_t b = 0; b < bits; ++b)
+      if (i & (std::size_t{1} << b)) r |= std::size_t{1} << (bits - 1 - b);
+    bitrev_[i] = r;
+  }
+  twiddle_fwd_.resize(n / 2);
+  twiddle_inv_.resize(n / 2);
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const double ang = -2.0 * M_PI * static_cast<double>(k) / static_cast<double>(n);
+    twiddle_fwd_[k] = {std::cos(ang), std::sin(ang)};
+    twiddle_inv_[k] = {std::cos(ang), -std::sin(ang)};
+  }
+  scratch_.resize(n);
+}
+
+void Fft1D::transform(cplx* data, bool inverse) const {
+  const auto& tw = inverse ? twiddle_inv_ : twiddle_fwd_;
+  // Bit-reversal permutation.
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t j = bitrev_[i];
+    if (j > i) std::swap(data[i], data[j]);
+  }
+  // Fixed-order butterflies.
+  for (std::size_t len = 2; len <= n_; len <<= 1) {
+    const std::size_t half = len >> 1;
+    const std::size_t step = n_ / len;
+    for (std::size_t start = 0; start < n_; start += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const cplx w = tw[k * step];
+        cplx& a = data[start + k];
+        cplx& b = data[start + k + half];
+        const cplx t = b * w;
+        b = a - t;
+        a = a + t;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n_);
+    for (std::size_t i = 0; i < n_; ++i) data[i] *= inv_n;
+  }
+}
+
+void Fft1D::forward(cplx* data) const { transform(data, false); }
+void Fft1D::inverse(cplx* data) const { transform(data, true); }
+
+void Fft1D::forward_strided(cplx* data, std::size_t stride) const {
+  for (std::size_t i = 0; i < n_; ++i) scratch_[i] = data[i * stride];
+  transform(scratch_.data(), false);
+  for (std::size_t i = 0; i < n_; ++i) data[i * stride] = scratch_[i];
+}
+
+void Fft1D::inverse_strided(cplx* data, std::size_t stride) const {
+  for (std::size_t i = 0; i < n_; ++i) scratch_[i] = data[i * stride];
+  transform(scratch_.data(), true);
+  for (std::size_t i = 0; i < n_; ++i) data[i * stride] = scratch_[i];
+}
+
+}  // namespace anton::fft

@@ -1,0 +1,48 @@
+// Iterative radix-2 complex FFT.
+//
+// Anton's 3D FFT (Section 3.2.2, and Young et al. 2009) decomposes into
+// sets of 1-D FFTs along each axis. We implement the 1-D kernel once, with
+// a fixed butterfly order and precomputed twiddles, so that every caller --
+// serial or distributed -- performs bitwise-identical arithmetic on each
+// line. That property is what makes the distributed transform bitwise
+// invariant to the node decomposition.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace anton::fft {
+
+using cplx = std::complex<double>;
+
+/// A cached plan (bit-reversal permutation + twiddle factors) for a fixed
+/// power-of-two length.
+class Fft1D {
+ public:
+  explicit Fft1D(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  /// In-place forward DFT (sign -1 convention), stride-1 data.
+  void forward(cplx* data) const;
+
+  /// In-place inverse DFT, including the 1/n normalization.
+  void inverse(cplx* data) const;
+
+  /// Strided transforms gather into a contiguous scratch line first; the
+  /// arithmetic applied to the line is identical to the stride-1 case.
+  void forward_strided(cplx* data, std::size_t stride) const;
+  void inverse_strided(cplx* data, std::size_t stride) const;
+
+ private:
+  void transform(cplx* data, bool inverse) const;
+
+  std::size_t n_;
+  std::vector<std::size_t> bitrev_;
+  std::vector<cplx> twiddle_fwd_;  // e^{-2 pi i k / n}
+  std::vector<cplx> twiddle_inv_;  // e^{+2 pi i k / n}
+  mutable std::vector<cplx> scratch_;
+};
+
+}  // namespace anton::fft

@@ -1,0 +1,30 @@
+// 3-D FFT over a cubic mesh, expressed as axis-ordered sets of 1-D FFTs
+// (the same decomposition Anton parallelizes across its torus). Data is
+// row-major with x fastest: index = (z * n + y) * n + x.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fft/fft1d.hpp"
+
+namespace anton::fft {
+
+class Fft3D {
+ public:
+  explicit Fft3D(std::size_t n);
+
+  std::size_t size() const { return n_; }
+  std::size_t total() const { return n_ * n_ * n_; }
+
+  void forward(std::vector<cplx>& grid) const;
+  void inverse(std::vector<cplx>& grid) const;
+
+ private:
+  void all_lines(std::vector<cplx>& grid, int axis, bool inverse) const;
+
+  std::size_t n_;
+  Fft1D line_;
+};
+
+}  // namespace anton::fft

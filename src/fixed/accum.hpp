@@ -1,0 +1,59 @@
+// Order-invariant accumulators.
+//
+// Force and energy sums use 64-bit wrapping accumulators; virial (pressure)
+// sums use 128-bit accumulators, mirroring the 86-bit multiply/accumulators
+// in the HTIS (Figure 4c) that let Anton guarantee determinism and parallel
+// invariance for pressure-controlled simulations.
+#pragma once
+
+#include <cstdint>
+
+#include "fixed/fixed.hpp"
+#include "geom/vec3.hpp"
+
+namespace anton::fixed {
+
+/// A wrapping 64-bit accumulator for one fixed-point quantity.
+class Accum64 {
+ public:
+  constexpr Accum64() = default;
+  constexpr void add(std::int64_t v) { sum_ = wrap_add(sum_, v); }
+  constexpr void sub(std::int64_t v) { sum_ = wrap_sub(sum_, v); }
+  constexpr std::int64_t value() const { return sum_; }
+  constexpr void reset() { sum_ = 0; }
+
+ private:
+  std::int64_t sum_ = 0;
+};
+
+/// A wrapping 3-vector of 64-bit accumulators (forces).
+struct ForceAccum {
+  Vec3l f{0, 0, 0};
+  constexpr void add(const Vec3l& v) {
+    f.x = wrap_add(f.x, v.x);
+    f.y = wrap_add(f.y, v.y);
+    f.z = wrap_add(f.z, v.z);
+  }
+  constexpr void sub(const Vec3l& v) {
+    f.x = wrap_sub(f.x, v.x);
+    f.y = wrap_sub(f.y, v.y);
+    f.z = wrap_sub(f.z, v.z);
+  }
+};
+
+/// A wrapping 128-bit accumulator (virial tensor components).
+class Accum128 {
+ public:
+  constexpr Accum128() = default;
+  constexpr void add(__int128 v) {
+    sum_ = static_cast<__int128>(static_cast<unsigned __int128>(sum_) +
+                                 static_cast<unsigned __int128>(v));
+  }
+  constexpr __int128 value() const { return sum_; }
+  double to_double() const { return static_cast<double>(sum_); }
+
+ private:
+  __int128 sum_ = 0;
+};
+
+}  // namespace anton::fixed

@@ -1,0 +1,62 @@
+// The 32-bit position lattice.
+//
+// Each coordinate axis of the periodic box is mapped onto the full range of
+// a signed 32-bit integer: lattice value i represents physical coordinate
+// i * (L / 2^32), so the box [-L/2, L/2) corresponds exactly to
+// [INT32_MIN, INT32_MAX+1). Two's-complement wrap on this lattice IS the
+// periodic boundary condition, and the wrapping difference of two lattice
+// coordinates is the minimum-image displacement whenever the physical
+// separation is below L/2. This mirrors Anton's [-1, 1) fixed-point
+// position convention and gives bit-exact, decomposition-independent PBC.
+#pragma once
+
+#include <cstdint>
+
+#include "fixed/fixed.hpp"
+#include "geom/box.hpp"
+#include "geom/vec3.hpp"
+
+namespace anton::fixed {
+
+class PositionLattice {
+ public:
+  PositionLattice() = default;
+  explicit PositionLattice(const PeriodicBox& box);
+
+  const PeriodicBox& box() const { return box_; }
+
+  /// Physical length of one lattice step on each axis (A).
+  const Vec3d& lsb() const { return lsb_; }
+
+  /// Quantizes a physical coordinate (anywhere in space) onto the lattice;
+  /// wrap into the primary box is implicit in the int32 conversion.
+  Vec3i to_lattice(const Vec3d& r) const;
+
+  /// Physical coordinate in [-L/2, L/2) of a lattice point.
+  Vec3d to_phys(const Vec3i& p) const;
+
+  /// Minimum-image displacement a - b on the lattice (wrapping subtract).
+  static Vec3i delta(const Vec3i& a, const Vec3i& b) {
+    return {wrap_sub32(a.x, b.x), wrap_sub32(a.y, b.y), wrap_sub32(a.z, b.z)};
+  }
+
+  /// Physical displacement vector of a lattice delta (A).
+  Vec3d delta_to_phys(const Vec3i& d) const {
+    return {d.x * lsb_.x, d.y * lsb_.y, d.z * lsb_.z};
+  }
+
+  /// Squared physical distance (A^2) of the minimum-image displacement.
+  double dist2(const Vec3i& a, const Vec3i& b) const;
+
+  /// Advances a lattice position by a physical displacement, quantizing the
+  /// displacement with RNE. Used by the drift step of the integrator; the
+  /// quantization is odd-symmetric, which the reversibility proof needs.
+  Vec3i advance(const Vec3i& p, const Vec3d& dr) const;
+
+ private:
+  PeriodicBox box_;
+  Vec3d lsb_{0, 0, 0};
+  Vec3d inv_lsb_{0, 0, 0};
+};
+
+}  // namespace anton::fixed

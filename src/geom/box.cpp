@@ -1,0 +1,28 @@
+#include "geom/box.hpp"
+
+#include <cmath>
+
+namespace anton {
+
+namespace {
+inline double wrap1(double x, double L) {
+  // Reduce to [-L/2, L/2). std::floor-based reduction is exact enough for
+  // the double-precision reference path; the fixed-point path never calls
+  // this (wrap happens in integer arithmetic).
+  x -= L * std::floor(x / L + 0.5);
+  if (x >= 0.5 * L) x -= L;  // guard against x/L + 0.5 rounding up
+  return x;
+}
+}  // namespace
+
+Vec3d PeriodicBox::wrap(Vec3d r) const {
+  return {wrap1(r.x, side_.x), wrap1(r.y, side_.y), wrap1(r.z, side_.z)};
+}
+
+Vec3d PeriodicBox::min_image(const Vec3d& a, const Vec3d& b) const {
+  return min_image(a - b);
+}
+
+Vec3d PeriodicBox::min_image(Vec3d dr) const { return wrap(dr); }
+
+}  // namespace anton

@@ -1,0 +1,37 @@
+// Orthorhombic periodic simulation box.
+//
+// The box is centered at the origin: physical coordinates live in
+// [-L/2, L/2) per axis. This matches the fixed-point position convention
+// (fixed/position.hpp) where an int32 lattice coordinate spans [-L/2, L/2)
+// and two's-complement wrap implements the periodic boundary.
+#pragma once
+
+#include "geom/vec3.hpp"
+
+namespace anton {
+
+class PeriodicBox {
+ public:
+  PeriodicBox() : side_{0, 0, 0} {}
+  explicit PeriodicBox(double cubic_side)
+      : side_{cubic_side, cubic_side, cubic_side} {}
+  explicit PeriodicBox(const Vec3d& side) : side_(side) {}
+
+  const Vec3d& side() const { return side_; }
+  double volume() const { return side_.x * side_.y * side_.z; }
+  bool is_cubic() const { return side_.x == side_.y && side_.y == side_.z; }
+
+  /// Wraps a physical coordinate into [-L/2, L/2) per axis.
+  Vec3d wrap(Vec3d r) const;
+
+  /// Minimum-image displacement a - b.
+  Vec3d min_image(const Vec3d& a, const Vec3d& b) const;
+
+  /// Minimum-image convention applied to a raw displacement.
+  Vec3d min_image(Vec3d dr) const;
+
+ private:
+  Vec3d side_;
+};
+
+}  // namespace anton

@@ -1,0 +1,82 @@
+// Minimal 3-vector used for both real-valued (double) and lattice
+// (integer) coordinates. Kept deliberately small: the fixed-point engine
+// works on integer lattices where operator semantics (wrapping) are
+// supplied by the fixed/ module, so this type provides only the plain
+// component-wise algebra.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace anton {
+
+template <typename T>
+struct Vec3 {
+  T x{}, y{}, z{};
+
+  constexpr Vec3() = default;
+  constexpr Vec3(T x_, T y_, T z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr T& operator[](int i) { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr const T& operator[](int i) const {
+    return i == 0 ? x : (i == 1 ? y : z);
+  }
+
+  constexpr Vec3 operator+(const Vec3& o) const {
+    return {static_cast<T>(x + o.x), static_cast<T>(y + o.y),
+            static_cast<T>(z + o.z)};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const {
+    return {static_cast<T>(x - o.x), static_cast<T>(y - o.y),
+            static_cast<T>(z - o.z)};
+  }
+  constexpr Vec3 operator-() const {
+    return {static_cast<T>(-x), static_cast<T>(-y), static_cast<T>(-z)};
+  }
+  constexpr Vec3 operator*(T s) const {
+    return {static_cast<T>(x * s), static_cast<T>(y * s),
+            static_cast<T>(z * s)};
+  }
+  constexpr Vec3 operator/(T s) const {
+    return {static_cast<T>(x / s), static_cast<T>(y / s),
+            static_cast<T>(z / s)};
+  }
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(T s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+  constexpr bool operator==(const Vec3&) const = default;
+
+  constexpr T dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  constexpr T norm2() const { return dot(*this); }
+  double norm() const { return std::sqrt(static_cast<double>(norm2())); }
+
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+};
+
+template <typename T>
+constexpr Vec3<T> operator*(T s, const Vec3<T>& v) {
+  return v * s;
+}
+
+using Vec3d = Vec3<double>;
+using Vec3i = Vec3<std::int32_t>;
+using Vec3l = Vec3<std::int64_t>;
+
+}  // namespace anton

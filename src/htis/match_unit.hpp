@@ -1,0 +1,47 @@
+// Match-unit emulation: the low-precision distance check (Figure 4b).
+//
+// Each PPIP is fed by eight match units that "consider pairs of atoms and
+// determine whether they may be required to interact"; pairs that pass
+// move through a concentrator into the PPIP input queue. The check is
+// conservative: it may pass pairs that the exact cutoff test later
+// rejects, but must never reject a pair within the cutoff. We emulate the
+// 8-bit datapath of the hardware by truncating each |delta| component to
+// its top 8 bits (a lower bound), so the squared-distance estimate is a
+// lower bound on the true squared distance.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "geom/vec3.hpp"
+
+namespace anton::htis {
+
+/// Lower-bound squared distance from 8-bit truncated lattice deltas.
+inline std::uint64_t low_precision_r2(const Vec3i& d) {
+  auto lb = [](std::int32_t c) {
+    // |c| truncated to its top 8 bits (floor): a lower bound on |c|.
+    std::uint32_t a = static_cast<std::uint32_t>(c < 0 ? -static_cast<std::int64_t>(c) : c);
+    a &= 0xff000000u;
+    return static_cast<std::uint64_t>(a);
+  };
+  const std::uint64_t x = lb(d.x), y = lb(d.y), z = lb(d.z);
+  return x * x + y * y + z * z;
+}
+
+/// Conservative pass/fail: true if the pair may be within the cutoff
+/// (r2_limit_lattice is the exact lattice-unit squared-cutoff threshold).
+inline bool match_plausible(const Vec3i& d, std::uint64_t r2_limit_lattice) {
+  return low_precision_r2(d) <= r2_limit_lattice;
+}
+
+/// Exact squared distance in lattice units (fits in uint64: each
+/// component squared is at most 2^62).
+inline std::uint64_t exact_r2_lattice(const Vec3i& d) {
+  const std::int64_t x = d.x, y = d.y, z = d.z;
+  return static_cast<std::uint64_t>(x * x) +
+         static_cast<std::uint64_t>(y * y) +
+         static_cast<std::uint64_t>(z * z);
+}
+
+}  // namespace anton::htis

@@ -1,0 +1,110 @@
+#include "htis/pair_kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ewald/kernels.hpp"
+
+namespace anton::htis {
+
+PairKernels::PairKernels(const PairKernelParams& p,
+                         const std::vector<LJType>& types)
+    : p_(p), ntypes_(static_cast<int>(types.size())) {
+  a_.resize(static_cast<std::size_t>(ntypes_) * ntypes_);
+  b_.resize(a_.size());
+  for (int i = 0; i < ntypes_; ++i) {
+    for (int j = 0; j < ntypes_; ++j) {
+      // Lorentz-Berthelot combining.
+      const double sigma = 0.5 * (types[i].sigma + types[j].sigma);
+      const double eps = std::sqrt(types[i].epsilon * types[j].epsilon);
+      a_[idx(i, j)] = ewald::lj_A(sigma, eps);
+      b_[idx(i, j)] = ewald::lj_B(sigma, eps);
+    }
+  }
+
+  const double R = p.cutoff;
+  const double u_min = (p.r_min * p.r_min) / (R * R);
+  auto r_of = [R](double u) { return R * std::sqrt(u); };
+
+  // Energy tables are POTENTIAL-SHIFTED to vanish at the cutoff, so pairs
+  // entering/leaving the range-limited set cause no energy discontinuity
+  // (forces are unaffected; this is the standard truncation treatment and
+  // what keeps NVE drift down).
+  const double e_elec_rc = ewald::coul_direct_energy(R, p_.beta);
+  const double rc2 = R * R;
+  const double e12_rc = 1.0 / std::pow(rc2, 6);
+  const double e6_rc = 1.0 / (rc2 * rc2 * rc2);
+  f_elec_ = tables::TieredTable::build(
+      [&](double u) {
+        const double r = r_of(u);
+        return ewald::coul_direct_force(r, p_.beta);
+      },
+      p.layout, p.mantissa_bits, u_min);
+  e_elec_ = tables::TieredTable::build(
+      [&](double u) {
+        return ewald::coul_direct_energy(r_of(u), p_.beta) - e_elec_rc;
+      },
+      p.layout, p.mantissa_bits, u_min);
+  f_lj12_ = tables::TieredTable::build(
+      [&](double u) {
+        const double r2 = u * R * R;
+        return 12.0 / (r2 * r2 * r2 * r2 * r2 * r2 * r2);
+      },
+      p.layout_vdw, p.mantissa_bits, u_min);
+  e_lj12_ = tables::TieredTable::build(
+      [&](double u) {
+        const double r2 = u * R * R;
+        return 1.0 / (r2 * r2 * r2 * r2 * r2 * r2) - e12_rc;
+      },
+      p.layout_vdw, p.mantissa_bits, u_min);
+  f_lj6_ = tables::TieredTable::build(
+      [&](double u) {
+        const double r2 = u * R * R;
+        return 6.0 / (r2 * r2 * r2 * r2);
+      },
+      p.layout_vdw, p.mantissa_bits, u_min);
+  e_lj6_ = tables::TieredTable::build(
+      [&](double u) {
+        const double r2 = u * R * R;
+        return 1.0 / (r2 * r2 * r2) - e6_rc;
+      },
+      p.layout_vdw, p.mantissa_bits, u_min);
+  g_spread_ = tables::TieredTable::build(
+      [&](double u) {
+        return ewald::gaussian3d(u * p_.rs * p_.rs, p_.sigma_s);
+      },
+      p.layout, p.mantissa_bits, 0.0);
+
+  inv_cut2_ = 1.0 / (R * R);
+  inv_rs2_ = 1.0 / (p.rs * p.rs);
+}
+
+PairForceEnergy PairKernels::eval_nonbonded(double r2, double qiqj, int ti,
+                                            int tj, bool with_energy) const {
+  const double u = r2 * inv_cut2_;
+  const double A = a_[idx(ti, tj)];
+  const double B = b_[idx(ti, tj)];
+  PairForceEnergy out;
+  out.force_coef = qiqj * f_elec_.eval_fixed(u) + A * f_lj12_.eval_fixed(u) -
+                   B * f_lj6_.eval_fixed(u);
+  if (with_energy) {
+    out.energy_elec = qiqj * e_elec_.eval_fixed(u);
+    out.energy_lj = A * e_lj12_.eval_fixed(u) - B * e_lj6_.eval_fixed(u);
+  }
+  return out;
+}
+
+double PairKernels::eval_spread(double r2) const {
+  return g_spread_.eval_fixed(r2 * inv_rs2_);
+}
+
+double PairKernels::eval_interp(double r2) const {
+  return g_spread_.eval_fixed(r2 * inv_rs2_);
+}
+
+double PairKernels::worst_force_table_error() const {
+  return std::max({f_elec_.max_fit_error(), f_lj12_.max_fit_error(),
+                   f_lj6_.max_fit_error(), g_spread_.max_fit_error()});
+}
+
+}  // namespace anton::htis

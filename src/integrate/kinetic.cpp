@@ -1,0 +1,41 @@
+#include "integrate/kinetic.hpp"
+
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace anton::integrate {
+
+double kinetic_energy(std::span<const Vec3d> vel,
+                      std::span<const double> mass) {
+  // KE = 1/2 m v^2; v in A/fs, m in amu -> convert to kcal/mol by
+  // dividing by kForceToAccel (amu A^2/fs^2 -> kcal/mol).
+  double s = 0.0;
+  for (std::size_t i = 0; i < vel.size(); ++i) s += mass[i] * vel[i].norm2();
+  return 0.5 * s / units::kForceToAccel;
+}
+
+double temperature(double kinetic, double dof) {
+  if (dof <= 0.0) return 0.0;
+  return 2.0 * kinetic / (dof * units::kB);
+}
+
+double berendsen_lambda(double current_T, double target_T, double dt,
+                        double tau) {
+  if (current_T <= 0.0) return 1.0;
+  return std::sqrt(1.0 + (dt / tau) * (target_T / current_T - 1.0));
+}
+
+void remove_com_drift(std::span<Vec3d> vel, std::span<const double> mass) {
+  Vec3d p{0, 0, 0};
+  double m = 0.0;
+  for (std::size_t i = 0; i < vel.size(); ++i) {
+    p += vel[i] * mass[i];
+    m += mass[i];
+  }
+  if (m == 0.0) return;
+  const Vec3d v_com = p / m;
+  for (auto& v : vel) v -= v_com;
+}
+
+}  // namespace anton::integrate

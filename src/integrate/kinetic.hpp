@@ -1,0 +1,39 @@
+// Kinetic energy, temperature, thermostats and the multiple-time-step
+// schedule shared by both engines.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "geom/vec3.hpp"
+
+namespace anton::integrate {
+
+/// Kinetic energy (kcal/mol) from velocities (A/fs) and masses (amu).
+double kinetic_energy(std::span<const Vec3d> vel, std::span<const double> mass);
+
+/// Instantaneous temperature (K) given degrees of freedom.
+double temperature(double kinetic, double dof);
+
+/// Berendsen weak-coupling thermostat scale factor for one step:
+/// lambda = sqrt(1 + (dt/tau)(T0/T - 1)). The caller multiplies all
+/// velocities by lambda. (The BPTI run in Section 5.3 used Berendsen
+/// temperature control.)
+double berendsen_lambda(double current_T, double target_T, double dt,
+                        double tau);
+
+/// Multiple-time-step (RESPA-style) schedule: "long-range interactions are
+/// typically evaluated only every two or three time steps" (Table 2 note).
+/// Long-range forces computed on a long step are applied with weight
+/// `long_range_every` so the average impulse matches.
+struct MtsSchedule {
+  int long_range_every = 2;
+  bool is_long_step(std::int64_t step) const {
+    return long_range_every <= 1 || step % long_range_every == 0;
+  }
+};
+
+/// Removes center-of-mass drift (velocity of the total momentum).
+void remove_com_drift(std::span<Vec3d> vel, std::span<const double> mass);
+
+}  // namespace anton::integrate

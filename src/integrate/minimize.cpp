@@ -1,0 +1,85 @@
+#include "integrate/minimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "constraints/shake.hpp"
+#include "core/reference_engine.hpp"
+
+namespace anton::integrate {
+
+MinimizeResult minimize_fire(System& sys, const core::SimParams& params,
+                             const MinimizeParams& mp) {
+  MinimizeResult res;
+  core::ReferenceEngine eng(sys, params);
+  res.initial_energy = eng.measure_energy().potential();
+
+  const std::int32_t n = sys.top.natoms;
+  std::vector<Vec3d> x = eng.positions();
+  std::vector<Vec3d> v(n, {0, 0, 0});
+
+  // FIRE parameters (standard values from Bitzek et al. 2006).
+  double dt = mp.dt_init;
+  double alpha = 0.1;
+  int steps_since_uphill = 0;
+
+  for (res.steps = 0; res.steps < mp.max_steps; ++res.steps) {
+    eng.set_positions(x);
+    const std::vector<Vec3d> f = eng.compute_forces_now();
+
+    double fmax = 0.0, power = 0.0, fnorm = 0.0, vnorm = 0.0;
+    for (std::int32_t i = 0; i < n; ++i) {
+      if (sys.top.mass[i] == 0.0) continue;  // virtual sites follow parents
+      fmax = std::max(fmax, f[i].norm());
+      power += f[i].dot(v[i]);
+      fnorm += f[i].norm2();
+      vnorm += v[i].norm2();
+    }
+    res.max_force = fmax;
+    if (fmax < mp.force_tol) {
+      res.converged = true;
+      break;
+    }
+
+    // FIRE velocity mixing.
+    fnorm = std::sqrt(fnorm);
+    vnorm = std::sqrt(vnorm);
+    if (power > 0.0) {
+      const double mix = alpha * vnorm / std::max(fnorm, 1e-12);
+      for (std::int32_t i = 0; i < n; ++i)
+        v[i] = v[i] * (1.0 - alpha) + f[i] * mix;
+      if (++steps_since_uphill > 5) {
+        dt = std::min(dt * 1.1, mp.dt_max);
+        alpha *= 0.99;
+      }
+    } else {
+      for (auto& vi : v) vi = {0, 0, 0};
+      dt *= 0.5;
+      alpha = 0.1;
+      steps_since_uphill = 0;
+    }
+
+    // Semi-implicit Euler with a per-atom displacement cap.
+    std::vector<Vec3d> ref = x;
+    for (std::int32_t i = 0; i < n; ++i) {
+      if (sys.top.mass[i] == 0.0) continue;
+      v[i] += f[i] * (dt * 1e-3);  // gentle force scaling
+      Vec3d move = v[i] * dt;
+      const double m = move.norm();
+      if (m > mp.max_move) move = move * (mp.max_move / m);
+      x[i] = sys.box.wrap(x[i] + move);
+    }
+    if (!sys.top.constraints.empty()) {
+      constraints::shake(sys.top.constraints, sys.top.mass, ref, x, sys.box,
+                         {200, 1e-8});
+    }
+  }
+
+  eng.set_positions(x);
+  res.final_energy = eng.measure_energy().potential();
+  sys.positions = eng.positions();
+  return res;
+}
+
+}  // namespace anton::integrate

@@ -1,0 +1,36 @@
+// Energy minimization: FIRE (fast inertial relaxation engine) over the
+// reference-engine force field, with constraint re-projection.
+//
+// Used to prepare synthetic systems for dynamics (a structure-preparation
+// step the paper's users performed with their MD packages before handing
+// systems to Anton) and available as a public API for library users.
+#pragma once
+
+#include "core/engine_types.hpp"
+#include "ff/topology.hpp"
+
+namespace anton::integrate {
+
+struct MinimizeParams {
+  int max_steps = 200;
+  double force_tol = 5.0;    // stop when max |F| below this (kcal/mol/A)
+  double dt_init = 0.4;      // fs-like step (FIRE units)
+  double dt_max = 2.0;
+  double max_move = 0.2;     // per-step displacement cap (A)
+};
+
+struct MinimizeResult {
+  int steps = 0;
+  double initial_energy = 0.0;
+  double final_energy = 0.0;
+  double max_force = 0.0;
+  bool converged = false;
+};
+
+/// Minimizes the system's potential energy in place (positions updated;
+/// velocities untouched). Constraints are re-satisfied with SHAKE after
+/// every move, and virtual sites rebuilt.
+MinimizeResult minimize_fire(System& sys, const core::SimParams& params,
+                             const MinimizeParams& mp = {});
+
+}  // namespace anton::integrate

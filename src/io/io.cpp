@@ -1,0 +1,73 @@
+#include "io/io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <stdexcept>
+
+namespace anton::io {
+
+void write_xyz_frame(std::ostream& os, std::span<const Vec3d> pos,
+                     const std::string& comment,
+                     std::span<const std::string> symbols) {
+  os << pos.size() << "\n" << comment << "\n";
+  os << std::setprecision(6) << std::fixed;
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    const std::string& sym = i < symbols.size() ? symbols[i] : "X";
+    os << sym << ' ' << pos[i].x << ' ' << pos[i].y << ' ' << pos[i].z
+       << "\n";
+  }
+}
+
+namespace {
+constexpr std::uint32_t kMagic = 0x414e544eu;  // "ANTN"
+}
+
+void Checkpoint::save(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("Checkpoint::save: cannot open " + path);
+  const std::uint32_t magic = kMagic;
+  const std::uint64_t n = positions.size();
+  f.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+  f.write(reinterpret_cast<const char*>(&step), sizeof step);
+  f.write(reinterpret_cast<const char*>(&n), sizeof n);
+  f.write(reinterpret_cast<const char*>(positions.data()),
+          static_cast<std::streamsize>(n * sizeof(Vec3i)));
+  f.write(reinterpret_cast<const char*>(velocities.data()),
+          static_cast<std::streamsize>(n * sizeof(Vec3l)));
+  if (!f) throw std::runtime_error("Checkpoint::save: write failed");
+}
+
+Checkpoint Checkpoint::load(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("Checkpoint::load: cannot open " + path);
+  std::uint32_t magic = 0;
+  Checkpoint c;
+  std::uint64_t n = 0;
+  f.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  if (magic != kMagic) throw std::runtime_error("Checkpoint::load: bad magic");
+  f.read(reinterpret_cast<char*>(&c.step), sizeof c.step);
+  f.read(reinterpret_cast<char*>(&n), sizeof n);
+  c.positions.resize(n);
+  c.velocities.resize(n);
+  f.read(reinterpret_cast<char*>(c.positions.data()),
+         static_cast<std::streamsize>(n * sizeof(Vec3i)));
+  f.read(reinterpret_cast<char*>(c.velocities.data()),
+         static_cast<std::streamsize>(n * sizeof(Vec3l)));
+  if (!f) throw std::runtime_error("Checkpoint::load: truncated file");
+  return c;
+}
+
+void CsvWriter::header(std::span<const std::string> names) {
+  for (std::size_t i = 0; i < names.size(); ++i)
+    os_ << (i ? "," : "") << names[i];
+  os_ << "\n";
+}
+
+void CsvWriter::row(std::span<const double> values) {
+  os_ << std::setprecision(17);
+  for (std::size_t i = 0; i < values.size(); ++i)
+    os_ << (i ? "," : "") << values[i];
+  os_ << "\n";
+}
+
+}  // namespace anton::io

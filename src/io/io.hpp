@@ -1,0 +1,45 @@
+// Minimal I/O: XYZ trajectory frames, bit-exact binary checkpoints of
+// fixed-point engine state, and CSV tables for the benchmark harness.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geom/vec3.hpp"
+
+namespace anton::io {
+
+/// Writes one XYZ frame (element symbols optional; defaults to "X").
+void write_xyz_frame(std::ostream& os, std::span<const Vec3d> pos,
+                     const std::string& comment = "",
+                     std::span<const std::string> symbols = {});
+
+/// Bit-exact checkpoint of fixed-point state (lattice positions +
+/// velocities). Restoring and resuming reproduces the original
+/// trajectory bitwise -- the property that lets Anton runs span months.
+struct Checkpoint {
+  std::int64_t step = 0;
+  std::vector<Vec3i> positions;
+  std::vector<Vec3l> velocities;
+
+  void save(const std::string& path) const;
+  static Checkpoint load(const std::string& path);
+  bool operator==(const Checkpoint& o) const = default;
+};
+
+/// Streams a CSV row; values are written with enough precision to
+/// round-trip doubles.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+  void header(std::span<const std::string> names);
+  void row(std::span<const double> values);
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace anton::io

@@ -1,0 +1,134 @@
+#include "io/trajectory.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "fixed/fixed.hpp"
+
+namespace anton::io {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x4a544e41u;  // "ANTJ"
+
+template <typename T>
+void put(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+template <typename T>
+bool get(std::istream& is, T& v) {
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  return static_cast<bool>(is);
+}
+
+inline bool fits16(std::int32_t d) { return d >= -32768 && d <= 32767; }
+}  // namespace
+
+TrajectoryWriter::TrajectoryWriter(const std::string& path,
+                                   std::int32_t natoms, int keyframe_every)
+    : out_(path, std::ios::binary), natoms_(natoms),
+      keyframe_every_(keyframe_every) {
+  if (!out_) throw std::runtime_error("TrajectoryWriter: cannot open " + path);
+  put(out_, kMagic);
+  put(out_, natoms_);
+  put(out_, std::uint64_t{0});
+  bytes_ = 16;
+}
+
+TrajectoryWriter::~TrajectoryWriter() = default;
+
+void TrajectoryWriter::append(std::int64_t step,
+                              const std::vector<Vec3i>& positions) {
+  if (static_cast<std::int32_t>(positions.size()) != natoms_)
+    throw std::invalid_argument("TrajectoryWriter: atom count mismatch");
+  put(out_, step);
+  const bool keyframe =
+      prev_.empty() || (frames_ % keyframe_every_ == 0);
+  put(out_, static_cast<std::uint8_t>(keyframe ? 0 : 1));
+  bytes_ += 9;
+  if (keyframe) {
+    out_.write(reinterpret_cast<const char*>(positions.data()),
+               static_cast<std::streamsize>(natoms_ * sizeof(Vec3i)));
+    bytes_ += natoms_ * static_cast<std::int64_t>(sizeof(Vec3i));
+  } else {
+    // Wrapping deltas (the lattice is periodic, so wrap subtraction gives
+    // the short way around the box).
+    std::vector<std::uint8_t> bitmap((natoms_ + 7) / 8, 0);
+    std::vector<Vec3i> deltas(natoms_);
+    for (std::int32_t i = 0; i < natoms_; ++i) {
+      deltas[i] = {fixed::wrap_sub32(positions[i].x, prev_[i].x),
+                   fixed::wrap_sub32(positions[i].y, prev_[i].y),
+                   fixed::wrap_sub32(positions[i].z, prev_[i].z)};
+      if (!(fits16(deltas[i].x) && fits16(deltas[i].y) &&
+            fits16(deltas[i].z)))
+        bitmap[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+    }
+    out_.write(reinterpret_cast<const char*>(bitmap.data()),
+               static_cast<std::streamsize>(bitmap.size()));
+    bytes_ += static_cast<std::int64_t>(bitmap.size());
+    for (std::int32_t i = 0; i < natoms_; ++i) {
+      if (bitmap[i / 8] & (1u << (i % 8))) {
+        put(out_, deltas[i].x);
+        put(out_, deltas[i].y);
+        put(out_, deltas[i].z);
+        bytes_ += 12;
+      } else {
+        put(out_, static_cast<std::int16_t>(deltas[i].x));
+        put(out_, static_cast<std::int16_t>(deltas[i].y));
+        put(out_, static_cast<std::int16_t>(deltas[i].z));
+        bytes_ += 6;
+      }
+    }
+  }
+  prev_ = positions;
+  ++frames_;
+}
+
+TrajectoryReader::TrajectoryReader(const std::string& path)
+    : in_(path, std::ios::binary) {
+  if (!in_) throw std::runtime_error("TrajectoryReader: cannot open " + path);
+  std::uint32_t magic = 0;
+  std::uint64_t reserved = 0;
+  if (!get(in_, magic) || magic != kMagic)
+    throw std::runtime_error("TrajectoryReader: bad magic");
+  get(in_, natoms_);
+  get(in_, reserved);
+}
+
+bool TrajectoryReader::next(std::int64_t& step,
+                            std::vector<Vec3i>& positions) {
+  std::uint8_t kind = 0;
+  if (!get(in_, step)) return false;
+  if (!get(in_, kind)) return false;
+  positions.resize(natoms_);
+  if (kind == 0) {
+    in_.read(reinterpret_cast<char*>(positions.data()),
+             static_cast<std::streamsize>(natoms_ * sizeof(Vec3i)));
+    if (!in_) throw std::runtime_error("TrajectoryReader: truncated keyframe");
+  } else {
+    std::vector<std::uint8_t> bitmap((natoms_ + 7) / 8);
+    in_.read(reinterpret_cast<char*>(bitmap.data()),
+             static_cast<std::streamsize>(bitmap.size()));
+    for (std::int32_t i = 0; i < natoms_; ++i) {
+      Vec3i d;
+      if (bitmap[i / 8] & (1u << (i % 8))) {
+        get(in_, d.x);
+        get(in_, d.y);
+        get(in_, d.z);
+      } else {
+        std::int16_t x, y, z;
+        get(in_, x);
+        get(in_, y);
+        get(in_, z);
+        d = {x, y, z};
+      }
+      positions[i] = {fixed::wrap_add32(prev_[i].x, d.x),
+                      fixed::wrap_add32(prev_[i].y, d.y),
+                      fixed::wrap_add32(prev_[i].z, d.z)};
+    }
+    if (!in_) throw std::runtime_error("TrajectoryReader: truncated frame");
+  }
+  prev_ = positions;
+  return true;
+}
+
+}  // namespace anton::io

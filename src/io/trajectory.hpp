@@ -1,0 +1,63 @@
+// Compact binary trajectory streaming.
+//
+// Anton streams simulation output through its host interface; frames are
+// fixed-point, so they compress naturally. This writer stores lattice
+// positions with per-frame delta encoding against the previous frame:
+// most atoms move a handful of lattice steps between saved frames, so
+// deltas pack into 16-bit components with an escape to full 32-bit when
+// an atom moved far (or wrapped). Reading back is bit-exact.
+//
+// Format (little-endian):
+//   header:  magic 'ANTJ', u32 natoms, u64 reserved
+//   frame:   u64 step, u8 kind (0 = keyframe, 1 = delta)
+//     keyframe: natoms * 3 * i32
+//     delta:    bitmap (natoms bits, padded to bytes) marking escaped
+//               atoms, then for each atom either 3 * i16 (packed delta)
+//               or 3 * i32 (escape)
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "geom/vec3.hpp"
+
+namespace anton::io {
+
+class TrajectoryWriter {
+ public:
+  TrajectoryWriter(const std::string& path, std::int32_t natoms,
+                   int keyframe_every = 50);
+  ~TrajectoryWriter();
+
+  void append(std::int64_t step, const std::vector<Vec3i>& positions);
+  std::int64_t frames_written() const { return frames_; }
+  /// Bytes written so far (for compression-ratio reporting).
+  std::int64_t bytes_written() const { return bytes_; }
+
+ private:
+  std::ofstream out_;
+  std::int32_t natoms_;
+  int keyframe_every_;
+  std::int64_t frames_ = 0;
+  std::int64_t bytes_ = 0;
+  std::vector<Vec3i> prev_;
+};
+
+class TrajectoryReader {
+ public:
+  explicit TrajectoryReader(const std::string& path);
+
+  std::int32_t natoms() const { return natoms_; }
+
+  /// Reads the next frame; returns false at end of stream.
+  bool next(std::int64_t& step, std::vector<Vec3i>& positions);
+
+ private:
+  std::ifstream in_;
+  std::int32_t natoms_ = 0;
+  std::vector<Vec3i> prev_;
+};
+
+}  // namespace anton::io

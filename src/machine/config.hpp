@@ -1,0 +1,80 @@
+// Anton machine configuration (Section 2.2) and the performance-model
+// calibration constants.
+//
+// Hardware constants come straight from the paper: 90-nm ASICs clocked at
+// 485 MHz with the 32-PPIP HTIS array at 970 MHz; each PPIP fed by eight
+// match units (a plate atom tested against eight tower atoms per cycle);
+// a flexible subsystem with eight geometry cores; six 50.6 Gbit/s
+// channels to torus neighbors with tens-of-nanosecond latency; machines
+// of any power-of-two node count from 1 to 32768, with 512 = 8x8x8 the
+// configuration evaluated.
+//
+// Calibration constants (per-task fixed overheads and per-op cycle
+// counts) are free parameters of the model; they are fitted ONCE against
+// the Anton column of Table 2 (DHFR, both parameter sets) and then held
+// fixed for every other experiment -- Table 4 rates, the Figure 5 sweep,
+// and the ablations. EXPERIMENTS.md records the calibration residuals.
+#pragma once
+
+#include "geom/vec3.hpp"
+
+namespace anton::machine {
+
+struct MachineConfig {
+  Vec3i nodes{8, 8, 8};
+
+  // --- hardware constants (from the paper) ---
+  double core_clock_hz = 485e6;
+  double ppip_clock_hz = 970e6;
+  int ppips_per_node = 32;
+  int match_units_per_ppip = 8;
+  double link_gbit_s = 50.6;  // per direction, per channel
+  int links_per_node = 6;
+  double hop_latency_s = 50e-9;
+  int geometry_cores = 8;
+
+  // --- calibration constants (fitted to Table 2, then frozen) ---
+  double msg_overhead_s = 5e-9;        // per-message fixed cost
+  double htis_pass_overhead_s = 0.85e-6; // HTIS fill/drain + import window
+  double mesh_pass_overhead_s = 0.25e-6; // per spreading/interp pass
+  double mesh_op_ppip_cycles = 1.6;     // per (atom, mesh point) op
+  double fft_point_gc_cycles = 14.0;    // per mesh point per 1-D stage
+  double fft_stage_overhead_s = 0.40e-6;
+  double gc_cycles_per_bond_term = 140.0;
+  double bonded_overhead_s = 1.0e-6;    // bond-destination distribution
+  double corr_cycles_per_pair = 3.0;
+  double correction_overhead_s = 2.0e-6;  // single-pipeline serialization
+  double gc_cycles_per_atom_integration = 25.0;
+  double integration_overhead_s = 0.7e-6; // sync + bookkeeping
+  double step_overhead_s = 1.6e-6;      // host/ring/global barrier per step
+
+  int node_count() const { return nodes.x * nodes.y * nodes.z; }
+  double link_bytes_per_s() const { return link_gbit_s * 1e9 / 8.0; }
+  double match_checks_per_s() const {
+    return static_cast<double>(ppips_per_node) * match_units_per_ppip *
+           core_clock_hz;
+  }
+  double ppip_interactions_per_s() const {
+    return static_cast<double>(ppips_per_node) * ppip_clock_hz;
+  }
+
+  /// The 512-node machine evaluated in the paper.
+  static MachineConfig anton_512() { return MachineConfig{}; }
+
+  /// A 128-node partition (Section 5.1: 512 nodes partition into four
+  /// 128-node machines).
+  static MachineConfig anton_128() {
+    MachineConfig m;
+    m.nodes = {8, 4, 4};
+    return m;
+  }
+
+  /// Arbitrary power-of-two torus.
+  static MachineConfig with_nodes(const Vec3i& n) {
+    MachineConfig m;
+    m.nodes = n;
+    return m;
+  }
+};
+
+}  // namespace anton::machine

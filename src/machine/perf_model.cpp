@@ -1,0 +1,133 @@
+#include "machine/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fft/dist_plan.hpp"
+#include "parallel/comm_stats.hpp"
+#include "util/units.hpp"
+
+namespace anton::machine {
+
+double StepTimeReport::us_per_day(double dt_fs) const {
+  if (avg_step_s <= 0) return 0.0;
+  const double steps_per_day = 86400.0 / avg_step_s;
+  return steps_per_day * dt_fs * units::kUsPerFs;
+}
+
+std::vector<std::pair<std::string, double>> StepTimeReport::table2_rows()
+    const {
+  return {
+      {"Range-limited forces", tasks.import_s + tasks.range_limited_s},
+      {"FFT & inverse FFT", tasks.fft_s},
+      {"Mesh interpolation", tasks.mesh_interp_s},
+      {"Correction forces", tasks.correction_s},
+      {"Bonded forces", tasks.bonded_s},
+      {"Integration", tasks.integration_s + tasks.force_reduce_s},
+  };
+}
+
+double PerfModel::comm_time(double bytes, double messages, int hops) const {
+  return messages * cfg_.msg_overhead_s +
+         bytes / (cfg_.links_per_node * cfg_.link_bytes_per_s()) +
+         hops * cfg_.hop_latency_s;
+}
+
+double PerfModel::fft_time(int mesh, const Vec3i& nodes) const {
+  fft::DistFftPlan plan;
+  plan.mesh = static_cast<std::size_t>(mesh);
+  plan.nodes = nodes;
+  plan.bytes_per_point = 8;  // 32-bit fixed-point complex on the wire
+  double t = 0.0;
+  for (int axis = 0; axis < 3; ++axis) {
+    const fft::FftStageComm s = plan.stage(axis);
+    const double comm = comm_time(static_cast<double>(s.bytes_per_node),
+                                  static_cast<double>(s.messages_per_node),
+                                  s.max_hops);
+    const double flops_cycles =
+        static_cast<double>(s.points_per_node) * cfg_.fft_point_gc_cycles;
+    const double compute =
+        flops_cycles / (cfg_.geometry_cores * cfg_.core_clock_hz);
+    t += cfg_.fft_stage_overhead_s + comm + compute;
+  }
+  return 2.0 * t;  // forward + inverse
+}
+
+StepTimeReport PerfModel::evaluate(const StepWorkload& w,
+                                   int long_range_every) const {
+  StepTimeReport r;
+  TaskTimes& t = r.tasks;
+  const parallel::CommConfig cc;
+
+  // Position import / force export around the range-limited phase.
+  const parallel::PhaseComm imp = parallel::position_import(
+      static_cast<std::int64_t>(w.import_atoms),
+      static_cast<int>(w.imported_subboxes), cc);
+  t.import_s = comm_time(static_cast<double>(imp.bytes),
+                         static_cast<double>(imp.messages), imp.max_hops);
+  const parallel::PhaseComm exp = parallel::force_export(
+      static_cast<std::int64_t>(w.import_atoms),
+      static_cast<int>(w.imported_subboxes), cc);
+  t.force_reduce_s = comm_time(static_cast<double>(exp.bytes),
+                               static_cast<double>(exp.messages),
+                               exp.max_hops);
+
+  // Range-limited: match-unit and PPIP throughput race; HTIS fill/drain
+  // overhead on top.
+  const double match_s = w.pairs_considered / cfg_.match_checks_per_s();
+  const double ppip_s = w.interactions / cfg_.ppip_interactions_per_s();
+  t.range_limited_s = cfg_.htis_pass_overhead_s + std::max(match_s, ppip_s);
+
+  // Mesh interactions run on the same HTIS (spreading before the FFT,
+  // interpolation after), plus the mesh charge/potential exchange.
+  const double spread_s =
+      w.spread_ops * cfg_.mesh_op_ppip_cycles / cfg_.ppip_interactions_per_s();
+  const double interp_s =
+      w.interp_ops * cfg_.mesh_op_ppip_cycles / cfg_.ppip_interactions_per_s();
+  const parallel::PhaseComm mex = parallel::mesh_exchange(
+      static_cast<std::int64_t>(w.spread_ops / 8.0), cc);
+  const double mesh_comm = comm_time(static_cast<double>(mex.bytes),
+                                     static_cast<double>(mex.messages),
+                                     mex.max_hops);
+  t.mesh_interp_s =
+      2.0 * cfg_.mesh_pass_overhead_s + spread_s + interp_s + 2.0 * mesh_comm;
+
+  t.fft_s = fft_time(w.mesh, w.node_grid);
+
+  t.correction_s = cfg_.correction_overhead_s +
+                   w.correction_pairs_max * cfg_.corr_cycles_per_pair /
+                       cfg_.core_clock_hz;
+
+  t.bonded_s = cfg_.bonded_overhead_s +
+               w.bond_terms_max * cfg_.gc_cycles_per_bond_term /
+                   (cfg_.geometry_cores * cfg_.core_clock_hz);
+
+  t.integration_s =
+      cfg_.integration_overhead_s +
+      (w.atoms + 2.0 * w.constraint_bonds_max) *
+          cfg_.gc_cycles_per_atom_integration /
+          (cfg_.geometry_cores * cfg_.core_clock_hz);
+
+  // Long step: the HTIS/FFT chain is the critical path; bonded and
+  // correction forces execute on the flexible subsystem in parallel and
+  // only extend the step if they outlast that chain.
+  const double htis_chain = t.import_s + t.range_limited_s +
+                            t.mesh_interp_s + t.fft_s;
+  const double flexible_chain = t.import_s +
+                                std::max(t.bonded_s, t.correction_s);
+  r.long_step_s = std::max(htis_chain, flexible_chain) + t.force_reduce_s +
+                  t.integration_s + cfg_.step_overhead_s;
+
+  // Short step: no mesh work; bonded often dominates (Section 5.1 notes
+  // bond-term computation is sometimes on the critical path).
+  const double short_htis = t.import_s + t.range_limited_s;
+  const double short_flex = t.import_s + t.bonded_s;
+  r.short_step_s = std::max(short_htis, short_flex) + t.force_reduce_s +
+                   t.integration_s + cfg_.step_overhead_s;
+
+  const int k = std::max(1, long_range_every);
+  r.avg_step_s = (r.long_step_s + (k - 1) * r.short_step_s) / k;
+  return r;
+}
+
+}  // namespace anton::machine

@@ -1,0 +1,60 @@
+// The Anton performance model.
+//
+// Produces per-task times (the Anton column of Table 2), long/short step
+// times with the paper's task overlap (bonded and correction forces hide
+// under the HTIS + FFT critical path; "the individual Anton task times
+// sum up to more than the total time per time step"), and simulation
+// rates in us/day under the multiple-time-step schedule.
+//
+// Throughput terms derive from hardware constants (PPIP/match rates, link
+// bandwidth, hop latency); fixed per-task overheads are calibrated once
+// against Table 2 and frozen (see machine/config.hpp).
+#pragma once
+
+#include "core/engine_types.hpp"
+#include "machine/config.hpp"
+#include "machine/workload_model.hpp"
+
+namespace anton::machine {
+
+struct TaskTimes {
+  double import_s = 0;       // position import (part of range-limited row)
+  double range_limited_s = 0;
+  double fft_s = 0;          // forward + inverse
+  double mesh_interp_s = 0;  // charge spreading + force interpolation
+  double correction_s = 0;
+  double bonded_s = 0;
+  double integration_s = 0;
+  double force_reduce_s = 0;
+};
+
+struct StepTimeReport {
+  TaskTimes tasks;
+  double long_step_s = 0;   // step that evaluates long-range forces
+  double short_step_s = 0;  // step that does not
+  double avg_step_s = 0;
+
+  /// Simulated microseconds per wall-clock day at time step dt (fs).
+  double us_per_day(double dt_fs) const;
+
+  /// Table-2-style rows: {name, seconds, fraction of long-step total}.
+  std::vector<std::pair<std::string, double>> table2_rows() const;
+};
+
+class PerfModel {
+ public:
+  explicit PerfModel(const MachineConfig& cfg) : cfg_(cfg) {}
+
+  const MachineConfig& config() const { return cfg_; }
+
+  /// Evaluates the model for a workload under an MTS schedule.
+  StepTimeReport evaluate(const StepWorkload& w, int long_range_every) const;
+
+ private:
+  double comm_time(double bytes, double messages, int hops) const;
+  double fft_time(int mesh, const Vec3i& nodes) const;
+
+  MachineConfig cfg_;
+};
+
+}  // namespace anton::machine

@@ -1,0 +1,113 @@
+#include "machine/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+namespace anton::machine {
+
+double schedule(std::vector<Task>& tasks) {
+  std::map<Resource, double> resource_free;
+  std::vector<char> done(tasks.size(), 0);
+  std::size_t remaining = tasks.size();
+  double makespan = 0.0;
+  while (remaining > 0) {
+    // Pick the ready task with the earliest feasible start (ties by index).
+    int best = -1;
+    double best_start = 0.0;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      if (done[i]) continue;
+      bool ready = true;
+      double dep_end = 0.0;
+      for (int d : tasks[i].deps) {
+        if (!done[d]) {
+          ready = false;
+          break;
+        }
+        dep_end = std::max(dep_end, tasks[d].end_s);
+      }
+      if (!ready) continue;
+      const double start =
+          std::max(dep_end, resource_free[tasks[i].resource]);
+      if (best < 0 || start < best_start) {
+        best = static_cast<int>(i);
+        best_start = start;
+      }
+    }
+    if (best < 0) return -1.0;  // dependency cycle
+    Task& t = tasks[best];
+    t.start_s = best_start;
+    t.end_s = best_start + t.duration_s;
+    resource_free[t.resource] = t.end_s;
+    makespan = std::max(makespan, t.end_s);
+    done[best] = 1;
+    --remaining;
+  }
+  return makespan;
+}
+
+std::vector<Task> long_step_tasks(const PerfModel& model,
+                                  const StepWorkload& w) {
+  const StepTimeReport r = model.evaluate(w, 2);
+  const TaskTimes& t = r.tasks;
+  std::vector<Task> tasks;
+  // 0: position import (multicast over the torus)
+  tasks.push_back({"position import", Resource::kNetwork, t.import_s, {}});
+  // 1: range-limited pass (HTIS)
+  tasks.push_back(
+      {"range-limited (HTIS)", Resource::kHtis, t.range_limited_s, {0}});
+  // 2: charge spreading (HTIS; serializes after range-limited)
+  tasks.push_back({"charge spreading (HTIS)", Resource::kHtis,
+                   0.5 * t.mesh_interp_s, {0}});
+  // 3: FFT forward + inverse (communication-dominated)
+  tasks.push_back({"FFT fwd+inv", Resource::kNetwork, t.fft_s, {2}});
+  // 4: force interpolation (HTIS, after the inverse FFT)
+  tasks.push_back({"force interp (HTIS)", Resource::kHtis,
+                   0.5 * t.mesh_interp_s, {3}});
+  // 5: bonded forces (geometry cores)
+  tasks.push_back({"bonded (GCs)", Resource::kFlexible, t.bonded_s, {0}});
+  // 6: correction forces (dedicated correction pipeline)
+  tasks.push_back({"correction (pipe)", Resource::kHost, t.correction_s, {0}});
+  // 7: force reduction back to home nodes
+  tasks.push_back({"force export/reduce", Resource::kNetwork,
+                   t.force_reduce_s, {1, 4, 5, 6}});
+  // 8: integration + constraints
+  tasks.push_back(
+      {"integration (GCs)", Resource::kFlexible, t.integration_s, {7}});
+  // 9: per-step overheads (host/ring/barrier)
+  tasks.push_back({"sync/host", Resource::kHost,
+                   model.config().step_overhead_s, {8}});
+  return tasks;
+}
+
+std::string render_gantt(const std::vector<Task>& tasks, int width) {
+  double makespan = 0.0;
+  std::size_t name_w = 0;
+  for (const Task& t : tasks) {
+    makespan = std::max(makespan, t.end_s);
+    name_w = std::max(name_w, t.name.size());
+  }
+  if (makespan <= 0.0) return "";
+  std::ostringstream os;
+  for (const Task& t : tasks) {
+    const int a = static_cast<int>(std::floor(t.start_s / makespan * width));
+    const int b = std::max(
+        a + 1, static_cast<int>(std::ceil(t.end_s / makespan * width)));
+    os << t.name;
+    os << std::string(name_w - t.name.size() + 1, ' ') << '|';
+    for (int c = 0; c < width; ++c)
+      os << (c >= a && c < b ? '#' : (c % 8 == 0 ? '.' : ' '));
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "| %6.2f - %6.2f us", t.start_s * 1e6,
+                  t.end_s * 1e6);
+    os << buf << '\n';
+  }
+  char total[64];
+  std::snprintf(total, sizeof total, "%*s makespan: %.2f us\n",
+                static_cast<int>(name_w) + 1, "", makespan * 1e6);
+  os << total;
+  return os.str();
+}
+
+}  // namespace anton::machine

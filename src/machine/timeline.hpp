@@ -1,0 +1,46 @@
+// Discrete-event scheduling of one Anton time step.
+//
+// The closed-form model in perf_model.cpp computes step times from a
+// hand-derived critical path. This module makes the schedule explicit: a
+// small list scheduler over named tasks with dependencies and exclusive
+// resource classes (the HTIS can run one pass at a time; the flexible
+// subsystem's cores are a second resource; the network a third), plus an
+// ASCII Gantt rendering that shows WHY "the individual Anton task times
+// sum up to more than the total time per time step" (Table 2's note) --
+// bonded and correction forces hide under the HTIS/FFT critical path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "machine/perf_model.hpp"
+
+namespace anton::machine {
+
+enum class Resource { kNetwork, kHtis, kFlexible, kHost };
+
+struct Task {
+  std::string name;
+  Resource resource = Resource::kHost;
+  double duration_s = 0.0;
+  std::vector<int> deps;  // indices of prerequisite tasks
+  // Filled by the scheduler:
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
+/// Schedules tasks: each starts at the max of its dependencies' end times
+/// and its resource's free time (tasks on one resource serialize in the
+/// order they become ready; ties break by index). Returns the makespan.
+double schedule(std::vector<Task>& tasks);
+
+/// The long-range step's task graph for a workload, built from the same
+/// component times as PerfModel::evaluate.
+std::vector<Task> long_step_tasks(const PerfModel& model,
+                                  const StepWorkload& w);
+
+/// Renders the scheduled tasks as an ASCII Gantt chart (one row per task,
+/// `width` columns spanning the makespan).
+std::string render_gantt(const std::vector<Task>& tasks, int width = 64);
+
+}  // namespace anton::machine

@@ -1,0 +1,68 @@
+// Per-step, per-node workload quantities that drive the performance model.
+//
+// Two sources produce a StepWorkload:
+//  * from_profile(): measured counters from an actual AntonEngine run
+//    (exact, including load imbalance -- e.g. bond terms concentrate on
+//    the nodes holding the protein);
+//  * estimate(): a closed-form estimator from system size, density and
+//    parameters, used for wide sweeps (Figure 5) where running the
+//    functional engine at every size would be wasteful.
+#pragma once
+
+#include <cstdint>
+
+#include "core/engine_types.hpp"
+#include "ewald/gse.hpp"
+#include "machine/config.hpp"
+
+namespace anton::machine {
+
+struct StepWorkload {
+  // Per-node, per-inner-step quantities. *_max are maxima over nodes (the
+  // machine waits for its slowest node); others are node means.
+  double atoms = 0;
+  double import_atoms = 0;          // tower+plate region atoms
+  double imported_subboxes = 0;     // multicast streams
+  double pairs_considered = 0;      // match-unit checks
+  double interactions = 0;          // PPIP interactions computed
+  double bond_terms_max = 0;
+  double correction_pairs_max = 0;
+  double constraint_bonds_max = 0;
+  // Per-long-step mesh quantities.
+  double spread_ops = 0;
+  double interp_ops = 0;
+  int mesh = 32;
+
+  int natoms_total = 0;
+  Vec3i node_grid{8, 8, 8};
+};
+
+struct WorkloadParams {
+  double cutoff = 13.0;
+  ewald::GseParams gse;
+  int long_range_every = 2;
+  Vec3i subbox_div{2, 2, 2};
+  /// Fraction of total atoms that carry bonded terms (protein fraction);
+  /// bonded work concentrates on the nodes overlapping the solute.
+  double protein_fraction = 0.10;
+  /// Bonded terms per protein atom (bonds+angles+dihedrals; ~2.6 for our
+  /// generic force field and for typical all-atom force fields).
+  double bond_terms_per_protein_atom = 2.6;
+  /// Exclusions per atom (water: 3 per molecule; protein: ~5 per atom).
+  double exclusions_per_atom = 1.3;
+};
+
+/// Builds a workload from engine counters. The profile's dynamic counters
+/// must cover >= 1 inner step; long-step mesh counters are rescaled to
+/// per-long-step values using params.long_range_every.
+StepWorkload workload_from_profile(const core::WorkloadProfile& profile,
+                                   const WorkloadParams& p,
+                                   const Vec3i& node_grid, int natoms,
+                                   int mesh);
+
+/// Closed-form estimate at uniform density for a cubic box of side L.
+StepWorkload estimate_workload(int natoms, double box_side,
+                               const WorkloadParams& p,
+                               const Vec3i& node_grid);
+
+}  // namespace anton::machine

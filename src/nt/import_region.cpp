@@ -1,0 +1,42 @@
+#include "nt/import_region.hpp"
+
+#include <cmath>
+
+namespace anton::nt {
+
+namespace {
+/// Volume of the R-neighborhood of a cube of side b (cube + slabs on the
+/// faces + quarter-cylinders on the edges + sphere octants on corners).
+double neighborhood_volume(double b, double R) {
+  return b * b * b + 6.0 * b * b * R + 3.0 * M_PI * b * R * R +
+         (4.0 / 3.0) * M_PI * R * R * R;
+}
+}  // namespace
+
+double nt_import_volume(const RegionInput& in) {
+  const double b = in.box_side, R = in.cutoff;
+  const double v = b * b * b;
+  const double tower = b * b * (b + 2.0 * R);
+  const double plate = b * (b * b + 2.0 * b * R + 0.5 * M_PI * R * R);
+  // Tower and plate overlap exactly in the home box.
+  return (tower - v) + (plate - v);
+}
+
+double halfshell_import_volume(const RegionInput& in) {
+  const double b = in.box_side, R = in.cutoff;
+  return 0.5 * (neighborhood_volume(b, R) - b * b * b);
+}
+
+double fullshell_import_volume(const RegionInput& in) {
+  const double b = in.box_side, R = in.cutoff;
+  return neighborhood_volume(b, R) - b * b * b;
+}
+
+double mesh_nt_import_volume(const RegionInput& in) {
+  const double b = in.box_side, R = in.cutoff;
+  // Only tower atoms are imported; mesh plate points are generated
+  // locally (Section 3.2.1). The tower import is the column minus home.
+  return b * b * (b + 2.0 * R) - b * b * b;
+}
+
+}  // namespace anton::nt

@@ -1,0 +1,34 @@
+// Import-region volumes for the parallelization methods of Figure 3.
+//
+// The import region is the volume from which a node imports atom
+// positions (and to which it exports computed forces). The NT method's
+// import region is smaller than the traditional half-shell for typical
+// system sizes, "an advantage that grows asymptotically as the level of
+// parallelism increases" (Section 3.2.1).
+#pragma once
+
+namespace anton::nt {
+
+struct RegionInput {
+  double box_side = 16.0;  // home box side (A)
+  double cutoff = 13.0;    // interaction cutoff (A)
+};
+
+/// NT method import volume (tower + plate minus the home box), continuous
+/// regions (Figure 3a).
+double nt_import_volume(const RegionInput& in);
+
+/// Traditional half-shell import volume (Figure 3b): half of the
+/// R-neighborhood shell around the home box.
+double halfshell_import_volume(const RegionInput& in);
+
+/// NT variant for charge spreading / force interpolation (Figure 3c):
+/// the plate is the full (symmetric) disc because atom-mesh interactions
+/// have no Newton-pair symmetry to exploit; mesh points are computed
+/// locally, so only the tower contributes atom imports.
+double mesh_nt_import_volume(const RegionInput& in);
+
+/// Import volume of the full-shell (no symmetry) method, for reference.
+double fullshell_import_volume(const RegionInput& in);
+
+}  // namespace anton::nt

@@ -1,0 +1,97 @@
+#include "nt/match_efficiency.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "nt/nt_geometry.hpp"
+
+namespace anton::nt {
+
+double match_efficiency_analytic(const MatchEfficiencyInput& in) {
+  const double b = in.box_side / in.subbox_div;  // subbox side
+  const double R = in.cutoff;
+  const double v = b * b * b;
+  // Continuous NT regions for one (cubic) subbox:
+  //   tower:  b x b x (b + 2R)
+  //   plate:  thickness b; footprint + half of its R-neighborhood ring
+  const double vol_tower = b * b * (b + 2.0 * R);
+  const double plate_area = b * b + R * (b + b) + 0.5 * M_PI * R * R;
+  const double vol_plate = b * plate_area;
+  // Necessary interactions per subbox: each of the rho*v home atoms pairs
+  // with rho * (4/3) pi R^3 partners, halved for double counting; pairs
+  // considered: all tower-plate combinations.
+  const double necessary = v * (4.0 / 3.0) * M_PI * R * R * R / 2.0;
+  const double considered = vol_tower * vol_plate;
+  return necessary / considered;
+}
+
+double match_efficiency_monte_carlo(const MatchEfficiencyInput& in,
+                                    double density, Xoshiro256& rng,
+                                    int trials) {
+  // Build a grid of boxes large enough that tower/plate offsets never
+  // wrap ambiguously.
+  const double b = in.box_side / in.subbox_div;
+  const int reach = static_cast<int>(std::floor(in.cutoff / b)) + 1;
+  int nodes = 1;
+  while (nodes * in.subbox_div < 2 * reach + 3) ++nodes;
+
+  NtConfig cfg;
+  cfg.node_grid = {nodes, nodes, nodes};
+  cfg.subbox_div = {in.subbox_div, in.subbox_div, in.subbox_div};
+  cfg.cutoff = in.cutoff;
+  cfg.box = PeriodicBox(in.box_side * nodes);
+  NtGeometry geom(cfg);
+
+  const double L = in.box_side * nodes;
+  const std::int64_t natoms =
+      static_cast<std::int64_t>(density * L * L * L + 0.5);
+
+  double considered_total = 0.0;
+  double necessary_total = 0.0;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<Vec3d> pos(natoms);
+    for (auto& r : pos)
+      r = {rng.uniform(-L / 2, L / 2), rng.uniform(-L / 2, L / 2),
+           rng.uniform(-L / 2, L / 2)};
+    // Bin atoms into subboxes.
+    const std::int64_t nsub = geom.subbox_count();
+    std::vector<std::vector<std::int32_t>> bins(nsub);
+    for (std::int64_t i = 0; i < natoms; ++i)
+      bins[geom.index_of(geom.subbox_of(pos[i]))].push_back(
+          static_cast<std::int32_t>(i));
+
+    // Evaluate the home subboxes of node (0,0,0) only (all nodes are
+    // statistically identical); count considered pairs and in-range pairs.
+    const double cut2 = in.cutoff * in.cutoff;
+    for (std::int32_t sz = 0; sz < in.subbox_div; ++sz) {
+      for (std::int32_t sy = 0; sy < in.subbox_div; ++sy) {
+        for (std::int32_t sx = 0; sx < in.subbox_div; ++sx) {
+          const Vec3i h{sx, sy, sz};
+          for (std::int32_t dz : geom.tower_dz()) {
+            const Vec3i tbox = geom.wrap_coords({h.x, h.y, h.z + dz});
+            const auto& tower = bins[geom.index_of(tbox)];
+            for (const Vec3i& p : geom.plate_half()) {
+              if (!geom.owns_pair(h, dz, p)) continue;
+              const Vec3i pbox = geom.wrap_coords({h.x + p.x, h.y + p.y, h.z});
+              const auto& plate = bins[geom.index_of(pbox)];
+              const bool same = geom.index_of(tbox) == geom.index_of(pbox);
+              for (std::size_t a = 0; a < tower.size(); ++a) {
+                const std::size_t b0 = same ? a + 1 : 0;
+                for (std::size_t bi = b0; bi < plate.size(); ++bi) {
+                  ++considered_total;
+                  const Vec3d dr =
+                      cfg.box.min_image(pos[tower[a]], pos[plate[bi]]);
+                  if (dr.norm2() <= cut2) ++necessary_total;
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return considered_total > 0 ? necessary_total / considered_total : 0.0;
+}
+
+}  // namespace anton::nt

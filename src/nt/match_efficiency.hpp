@@ -1,0 +1,35 @@
+// Match efficiency of the NT method (Table 3).
+//
+// "Match efficiency" is the ratio of necessary interactions (atom pairs
+// within the cutoff) to pairs of atoms considered by the match units
+// (tower atoms x plate atoms). As chemical systems grow, efficiency falls
+// until even eight match units per PPIP cannot keep the pipeline fed;
+// dividing each home box into subboxes restores it (Section 3.2.1).
+//
+// Two estimators are provided: a closed-form one over the continuous
+// tower/plate regions (the idealization Table 3 tabulates) and a
+// Monte-Carlo one over the box-granular import regions our engine (and
+// Anton's multicast, Figure 3f) actually uses.
+#pragma once
+
+#include "util/rng.hpp"
+
+namespace anton::nt {
+
+struct MatchEfficiencyInput {
+  double box_side = 16.0;  // home box side (A)
+  int subbox_div = 1;      // subboxes per axis within the home box
+  double cutoff = 13.0;    // interaction cutoff (A)
+};
+
+/// Closed-form estimate over continuous NT regions at uniform density.
+double match_efficiency_analytic(const MatchEfficiencyInput& in);
+
+/// Monte-Carlo estimate over whole-subbox regions: samples uniform atoms
+/// at `density` atoms/A^3 in a periodic grid of boxes and counts pairs
+/// considered vs pairs within the cutoff.
+double match_efficiency_monte_carlo(const MatchEfficiencyInput& in,
+                                    double density, Xoshiro256& rng,
+                                    int trials = 4);
+
+}  // namespace anton::nt

@@ -1,0 +1,195 @@
+#include "nt/nt_geometry.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace anton::nt {
+
+std::int32_t wrap_centered(std::int32_t d, std::int32_t n) {
+  std::int32_t r = ((d % n) + n) % n;
+  if (r > n / 2) r -= n;
+  if (n % 2 == 0 && r == -n / 2) r = n / 2;  // canonical representative
+  return r;
+}
+
+bool wrap_ambiguous(std::int32_t d, std::int32_t n) {
+  if (n % 2 != 0) return false;
+  const std::int32_t r = ((d % n) + n) % n;
+  return r == n / 2;
+}
+
+NtGeometry::NtGeometry(const NtConfig& cfg) : cfg_(cfg) {
+  grid_ = {cfg.node_grid.x * cfg.subbox_div.x,
+           cfg.node_grid.y * cfg.subbox_div.y,
+           cfg.node_grid.z * cfg.subbox_div.z};
+  if (grid_.x < 1 || grid_.y < 1 || grid_.z < 1)
+    throw std::invalid_argument("NtGeometry: bad grid");
+  const Vec3d s = cfg.box.side();
+  sb_size_ = {s.x / grid_.x, s.y / grid_.y, s.z / grid_.z};
+
+  const double reach = cfg.cutoff + cfg.margin;
+
+  // Tower offsets along z: all distinct wrapped residues whose z-gap to
+  // the home subbox can be within reach. Boxes at offset dz have minimum
+  // z separation (|dz| - 1) * sz.
+  {
+    std::set<std::int32_t> seen;
+    const std::int32_t dmax =
+        static_cast<std::int32_t>(std::floor(reach / sb_size_.z)) + 1;
+    for (std::int32_t d = -dmax; d <= dmax; ++d) {
+      seen.insert(wrap_centered(d, grid_.z));
+    }
+    tower_dz_.assign(seen.begin(), seen.end());
+  }
+
+  // Plate xy offsets: distinct wrapped residues whose footprint distance
+  // can be within reach, restricted to the half-disc: lex(dx,dy) > 0, the
+  // home column (0,0), and ambiguous offsets (resolved pairwise later).
+  {
+    const std::int32_t dmax_x =
+        static_cast<std::int32_t>(std::floor(reach / sb_size_.x)) + 1;
+    const std::int32_t dmax_y =
+        static_cast<std::int32_t>(std::floor(reach / sb_size_.y)) + 1;
+    std::set<std::pair<std::int32_t, std::int32_t>> seen;
+    for (std::int32_t dy = -dmax_y; dy <= dmax_y; ++dy) {
+      for (std::int32_t dx = -dmax_x; dx <= dmax_x; ++dx) {
+        const double gx = std::max(0, std::abs(dx) - 1) * sb_size_.x;
+        const double gy = std::max(0, std::abs(dy) - 1) * sb_size_.y;
+        if (gx * gx + gy * gy > reach * reach) continue;
+        const std::int32_t wx = wrap_centered(dx, grid_.x);
+        const std::int32_t wy = wrap_centered(dy, grid_.y);
+        const bool amb_x = wrap_ambiguous(dx, grid_.x);
+        const bool amb_y = wrap_ambiguous(dy, grid_.y);
+        // Half-disc selection on unambiguous offsets.
+        bool keep;
+        if (amb_y || (wy == 0 && amb_x)) {
+          keep = true;  // ambiguous: ownership decided per box pair
+        } else if (wy != 0) {
+          keep = wy > 0;
+        } else {
+          keep = wx >= 0;  // includes the home column (0,0)
+        }
+        if (keep) seen.insert({wx, wy});
+      }
+    }
+    for (const auto& [dx, dy] : seen) plate_half_.push_back({dx, dy, 0});
+  }
+}
+
+Vec3i NtGeometry::coords_of(std::int32_t idx) const {
+  const std::int32_t x = idx % grid_.x;
+  const std::int32_t y = (idx / grid_.x) % grid_.y;
+  const std::int32_t z = idx / (grid_.x * grid_.y);
+  return {x, y, z};
+}
+
+Vec3i NtGeometry::wrap_coords(Vec3i c) const {
+  c.x = ((c.x % grid_.x) + grid_.x) % grid_.x;
+  c.y = ((c.y % grid_.y) + grid_.y) % grid_.y;
+  c.z = ((c.z % grid_.z) + grid_.z) % grid_.z;
+  return c;
+}
+
+Vec3i NtGeometry::node_of(const Vec3i& subbox) const {
+  return {subbox.x / cfg_.subbox_div.x, subbox.y / cfg_.subbox_div.y,
+          subbox.z / cfg_.subbox_div.z};
+}
+
+std::int32_t NtGeometry::node_index_of(const Vec3i& subbox) const {
+  const Vec3i n = node_of(subbox);
+  return (n.z * cfg_.node_grid.y + n.y) * cfg_.node_grid.x + n.x;
+}
+
+Vec3i NtGeometry::subbox_of(const Vec3d& r) const {
+  const Vec3d s = cfg_.box.side();
+  auto coord = [](double x, double L, std::int32_t n) {
+    std::int32_t c = static_cast<std::int32_t>((x / L + 0.5) * n);
+    if (c < 0) c = 0;
+    if (c >= n) c = n - 1;
+    return c;
+  };
+  return {coord(r.x, s.x, grid_.x), coord(r.y, s.y, grid_.y),
+          coord(r.z, s.z, grid_.z)};
+}
+
+std::vector<Vec3i> NtGeometry::plate_full(double radius) const {
+  const std::int32_t dmax_x =
+      static_cast<std::int32_t>(std::floor(radius / sb_size_.x)) + 1;
+  const std::int32_t dmax_y =
+      static_cast<std::int32_t>(std::floor(radius / sb_size_.y)) + 1;
+  std::set<std::pair<std::int32_t, std::int32_t>> seen;
+  for (std::int32_t dy = -dmax_y; dy <= dmax_y; ++dy) {
+    for (std::int32_t dx = -dmax_x; dx <= dmax_x; ++dx) {
+      const double gx = std::max(0, std::abs(dx) - 1) * sb_size_.x;
+      const double gy = std::max(0, std::abs(dy) - 1) * sb_size_.y;
+      if (gx * gx + gy * gy > radius * radius) continue;
+      seen.insert({wrap_centered(dx, grid_.x), wrap_centered(dy, grid_.y)});
+    }
+  }
+  std::vector<Vec3i> out;
+  out.reserve(seen.size());
+  for (const auto& [dx, dy] : seen) out.push_back({dx, dy, 0});
+  return out;
+}
+
+bool NtGeometry::owns_pair(const Vec3i& home, std::int32_t dz,
+                           const Vec3i& dxy) const {
+  const bool amb_x = (grid_.x % 2 == 0) && (dxy.x == grid_.x / 2);
+  const bool amb_y = (grid_.y % 2 == 0) && (dxy.y == grid_.y / 2);
+  const bool amb_z = (grid_.z % 2 == 0) && (dz == grid_.z / 2);
+
+  // Tie-break on the absolute coordinates of the two boxes: the box pair
+  // here is tower A = home + (0,0,dz), plate B = home + (dx,dy,0); the
+  // mirror candidate evaluates the same comparison with roles swapped, so
+  // exactly one side owns the pair.
+  auto tuple_tiebreak = [&]() {
+    const Vec3i A = wrap_coords({home.x, home.y, home.z + dz});
+    const Vec3i B = wrap_coords({home.x + dxy.x, home.y + dxy.y, home.z});
+    const auto ta = std::array<std::int32_t, 3>{A.x, A.y, A.z};
+    const auto tb = std::array<std::int32_t, 3>{B.x, B.y, B.z};
+    return ta < tb;
+  };
+
+  // Lexicographic xy decision (y major, then x).
+  if (amb_y) return tuple_tiebreak();
+  if (dxy.y != 0) return dxy.y > 0;
+  if (amb_x) return tuple_tiebreak();
+  if (dxy.x != 0) return dxy.x > 0;
+  // Home column: decide on dz.
+  if (amb_z) return tuple_tiebreak();
+  if (dz != 0) return dz > 0;
+  return true;  // same box; caller restricts to atom pairs i < j
+}
+
+std::int64_t NtGeometry::imported_subboxes_per_node() const {
+  // Union of tower + plate subboxes over all home subboxes of one node,
+  // minus the node's own subboxes. By symmetry every node is identical, so
+  // evaluate for node (0,0,0).
+  std::set<std::int32_t> region;
+  for (std::int32_t sz = 0; sz < cfg_.subbox_div.z; ++sz) {
+    for (std::int32_t sy = 0; sy < cfg_.subbox_div.y; ++sy) {
+      for (std::int32_t sx = 0; sx < cfg_.subbox_div.x; ++sx) {
+        const Vec3i h{sx, sy, sz};
+        for (std::int32_t dz : tower_dz_)
+          region.insert(index_of(wrap_coords({h.x, h.y, h.z + dz})));
+        for (const Vec3i& p : plate_half_)
+          region.insert(index_of(wrap_coords({h.x + p.x, h.y + p.y, h.z})));
+      }
+    }
+  }
+  std::int64_t imported = 0;
+  for (std::int32_t idx : region) {
+    if (node_index_of(coords_of(idx)) != 0) ++imported;
+  }
+  return imported;
+}
+
+double NtGeometry::import_volume_per_node() const {
+  return static_cast<double>(imported_subboxes_per_node()) * sb_size_.x *
+         sb_size_.y * sb_size_.z;
+}
+
+}  // namespace anton::nt

@@ -1,0 +1,115 @@
+// The NT method (Shaw 2005; Section 3.2.1 of the paper).
+//
+// Anton parallelizes range-limited pairwise interactions with a neutral
+// territory scheme: each node computes interactions between atoms in a
+// *tower* region (its home-box column, extended +-R along z) and atoms in
+// a *plate* region (its home slab, extended through a half-disc in xy).
+// The interaction between two atoms may be computed by a node on which
+// neither resides. To keep PPIP utilization high as systems shrink, each
+// home box is divided into a regular array of subboxes and the NT method
+// is applied to each subbox separately (Table 3, Figure 3e/f).
+//
+// This module provides the geometry: the tower/plate offset sets at subbox
+// granularity, and -- the correctness heart of the engine -- the pair
+// OWNERSHIP predicate deciding which (tower-subbox, plate-subbox) pair of
+// boxes is interacted at which home subbox, such that every atom pair
+// within the cutoff is computed exactly once, on any grid, including tiny
+// and even-sized grids where wrapped offsets are ambiguous.
+//
+// Ownership rule for a box pair (A, B) considered at home subbox
+// H = (A.x, A.y, B.z), with wrapped offsets dxy = B.xy - H.xy and
+// dz = A.z - H.z:
+//   * lex(dxy) > 0                         -> owned here
+//   * lex(dxy) < 0                         -> owned at the mirror node
+//   * dxy == 0 and dz > 0                  -> owned here (upper tower)
+//   * dxy == 0 and dz == 0 (same box)      -> owned here, atom pairs i < j
+//   * any wrapped offset equal to n/2 is its own negation ("ambiguous");
+//     the tie is broken by a total order on the two boxes' coordinate
+//     tuples, which both candidate nodes evaluate identically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/box.hpp"
+#include "geom/vec3.hpp"
+
+namespace anton::nt {
+
+struct NtConfig {
+  Vec3i node_grid{1, 1, 1};   // nodes per axis
+  Vec3i subbox_div{1, 1, 1};  // subboxes per node per axis
+  double cutoff = 0.0;        // interaction cutoff R (A)
+  double margin = 0.0;        // import expansion (constraint groups +
+                              // delayed migration; Section 3.2.4)
+  PeriodicBox box;
+};
+
+/// Centered wrap of an offset on a ring of size n, to (-n/2, n/2]. The
+/// value n/2 (even n) is ambiguous: +n/2 and -n/2 are the same box.
+std::int32_t wrap_centered(std::int32_t d, std::int32_t n);
+
+/// True when |wrap| == n/2 with n even (offset is its own negation).
+bool wrap_ambiguous(std::int32_t d, std::int32_t n);
+
+class NtGeometry {
+ public:
+  explicit NtGeometry(const NtConfig& cfg);
+
+  const NtConfig& config() const { return cfg_; }
+
+  /// Total subbox grid: node_grid * subbox_div per axis.
+  const Vec3i& grid() const { return grid_; }
+  Vec3d subbox_size() const { return sb_size_; }
+  std::int64_t subbox_count() const {
+    return std::int64_t{1} * grid_.x * grid_.y * grid_.z;
+  }
+
+  /// Linear subbox index <-> coordinates.
+  std::int32_t index_of(const Vec3i& c) const {
+    return (c.z * grid_.y + c.y) * grid_.x + c.x;
+  }
+  Vec3i coords_of(std::int32_t idx) const;
+
+  /// Wraps subbox coordinates into the grid.
+  Vec3i wrap_coords(Vec3i c) const;
+
+  /// Node owning a subbox.
+  Vec3i node_of(const Vec3i& subbox) const;
+  std::int32_t node_index_of(const Vec3i& subbox) const;
+
+  /// Subbox containing a physical position in [-L/2, L/2)^3.
+  Vec3i subbox_of(const Vec3d& r) const;
+
+  /// Tower z-offsets: (0, 0, dz) for dz in [-tz, +tz].
+  const std::vector<std::int32_t>& tower_dz() const { return tower_dz_; }
+
+  /// Plate xy-offsets for the pairwise (half-disc) plate, including (0,0).
+  const std::vector<Vec3i>& plate_half() const { return plate_half_; }
+
+  /// Plate xy-offsets for the symmetric (full-disc) plate used by charge
+  /// spreading / force interpolation (Figure 3c), for a given radius.
+  std::vector<Vec3i> plate_full(double radius) const;
+
+  /// The ownership predicate described in the header comment. `home` is
+  /// the home subbox H; `dz` the tower offset (A = H + (0,0,dz)); `dxy`
+  /// the plate offset (B = H + (dx,dy,0)). Returns true if this (A,B) box
+  /// pair is interacted at H. For dz == 0 && dxy == 0 the caller must
+  /// restrict to atom pairs i < j.
+  bool owns_pair(const Vec3i& home, std::int32_t dz, const Vec3i& dxy) const;
+
+  /// Import region statistics at whole-subbox granularity (Figure 3f):
+  /// number of subboxes a node imports (tower + plate of all its home
+  /// subboxes, minus the home subboxes themselves).
+  std::int64_t imported_subboxes_per_node() const;
+  double import_volume_per_node() const;
+
+ private:
+  NtConfig cfg_;
+  Vec3i grid_;
+  Vec3d sb_size_;
+  std::vector<std::int32_t> tower_dz_;
+  std::vector<Vec3i> plate_half_;
+};
+
+}  // namespace anton::nt

@@ -1,0 +1,64 @@
+#include "pairlist/cell_grid.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace anton::pairlist {
+
+const Vec3i CellGrid::kHalfStencil[13] = {
+    {1, 0, 0},  {0, 1, 0},   {1, 1, 0},   {-1, 1, 0}, {0, 0, 1},
+    {1, 0, 1},  {-1, 0, 1},  {0, 1, 1},   {1, 1, 1},  {-1, 1, 1},
+    {0, -1, 1}, {1, -1, 1},  {-1, -1, 1},
+};
+
+CellGrid::CellGrid(const PeriodicBox& box, double min_cell) : box_(box) {
+  if (min_cell <= 0.0) throw std::invalid_argument("CellGrid: bad cell size");
+  const Vec3d s = box.side();
+  dims_ = {static_cast<std::int32_t>(std::floor(s.x / min_cell)),
+           static_cast<std::int32_t>(std::floor(s.y / min_cell)),
+           static_cast<std::int32_t>(std::floor(s.z / min_cell))};
+  if (dims_.x < 3 || dims_.y < 3 || dims_.z < 3) {
+    brute_force_ = true;
+    dims_ = {1, 1, 1};
+  }
+  cells_.resize(static_cast<std::size_t>(dims_.x) * dims_.y * dims_.z);
+}
+
+Vec3i CellGrid::cell_coords(const Vec3d& r) const {
+  const Vec3d s = box_.side();
+  auto coord = [](double x, double L, std::int32_t n) {
+    // x in [-L/2, L/2) -> cell in [0, n)
+    std::int32_t c = static_cast<std::int32_t>((x / L + 0.5) * n);
+    if (c < 0) c = 0;
+    if (c >= n) c = n - 1;
+    return c;
+  };
+  return {coord(r.x, s.x, dims_.x), coord(r.y, s.y, dims_.y),
+          coord(r.z, s.z, dims_.z)};
+}
+
+void CellGrid::bin(std::span<const Vec3d> pos) {
+  for (auto& c : cells_) c.clear();
+  cell_of_.resize(pos.size());
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    const std::int32_t ci =
+        brute_force_ ? 0 : cell_index(cell_coords(pos[i]));
+    cells_[ci].push_back(static_cast<std::int32_t>(i));
+    cell_of_[i] = ci;
+  }
+}
+
+VerletList VerletList::build(const PeriodicBox& box,
+                             std::span<const Vec3d> pos, double cutoff,
+                             double skin) {
+  VerletList list;
+  list.list_cutoff = cutoff + skin;
+  CellGrid grid(box, list.list_cutoff);
+  grid.bin(pos);
+  grid.for_each_pair(pos, list.list_cutoff,
+                     [&](std::int32_t i, std::int32_t j, const Vec3d&,
+                         double) { list.pairs.emplace_back(i, j); });
+  return list;
+}
+
+}  // namespace anton::pairlist

@@ -1,0 +1,36 @@
+#include "pairlist/exclusion_table.hpp"
+
+#include <algorithm>
+
+namespace anton::pairlist {
+
+ExclusionTable::ExclusionTable(const Topology& top) {
+  per_atom_.resize(top.natoms);
+  for (const ExclusionPair& e : top.exclusions) {
+    per_atom_[e.i].push_back({e.j, {e.lj_scale, e.coul_scale}});
+    per_atom_[e.j].push_back({e.i, {e.lj_scale, e.coul_scale}});
+    ++count_;
+  }
+  for (auto& v : per_atom_) {
+    std::sort(v.begin(), v.end(),
+              [](const Entry& a, const Entry& b) { return a.other < b.other; });
+  }
+}
+
+bool ExclusionTable::excluded(std::int32_t i, std::int32_t j) const {
+  return find(i, j).has_value();
+}
+
+std::optional<PairScale> ExclusionTable::find(std::int32_t i,
+                                              std::int32_t j) const {
+  if (i < 0 || i >= static_cast<std::int32_t>(per_atom_.size()))
+    return std::nullopt;
+  const auto& v = per_atom_[i];
+  auto it = std::lower_bound(
+      v.begin(), v.end(), j,
+      [](const Entry& e, std::int32_t x) { return e.other < x; });
+  if (it != v.end() && it->other == j) return it->scale;
+  return std::nullopt;
+}
+
+}  // namespace anton::pairlist

@@ -1,0 +1,46 @@
+// Fast lookup of excluded / scaled nonbonded pairs.
+//
+// The direct (range-limited) sum must skip every excluded pair; both
+// engines query this table inside their pair loops, and the Anton engine's
+// match-unit emulation uses it the way Anton's hardware uses exclusion
+// tags. Lookups are O(log d) in the per-atom exclusion degree (tiny).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ff/topology.hpp"
+
+namespace anton::pairlist {
+
+struct PairScale {
+  double lj = 1.0;
+  double coul = 1.0;
+};
+
+class ExclusionTable {
+ public:
+  ExclusionTable() = default;
+  explicit ExclusionTable(const Topology& top);
+
+  /// True if the (i, j) interaction is removed from the direct sum (i.e.
+  /// the pair appears in the exclusion list with any scale).
+  bool excluded(std::int32_t i, std::int32_t j) const;
+
+  /// The scales for a listed pair, or nullopt if the pair is not listed
+  /// (full interaction).
+  std::optional<PairScale> find(std::int32_t i, std::int32_t j) const;
+
+  std::size_t size() const { return count_; }
+
+ private:
+  struct Entry {
+    std::int32_t other;
+    PairScale scale;
+  };
+  std::vector<std::vector<Entry>> per_atom_;  // sorted by `other`
+  std::size_t count_ = 0;
+};
+
+}  // namespace anton::pairlist

@@ -1,0 +1,37 @@
+#include "parallel/comm_stats.hpp"
+
+namespace anton::parallel {
+
+PhaseComm position_import(std::int64_t import_atoms, int imported_subboxes,
+                          const CommConfig& cfg) {
+  PhaseComm c;
+  c.bytes = static_cast<std::size_t>(import_atoms) * cfg.bytes_per_position;
+  // One multicast stream per imported subbox, chunked.
+  const std::size_t atoms_per_box =
+      imported_subboxes > 0
+          ? static_cast<std::size_t>(import_atoms) / imported_subboxes + 1
+          : 0;
+  c.messages = static_cast<std::size_t>(imported_subboxes) *
+               (atoms_per_box / cfg.atoms_per_message + 1);
+  c.max_hops = 2;  // import regions span at most a couple of node shells
+  return c;
+}
+
+PhaseComm force_export(std::int64_t import_atoms, int imported_subboxes,
+                       const CommConfig& cfg) {
+  PhaseComm c = position_import(import_atoms, imported_subboxes, cfg);
+  c.bytes = static_cast<std::size_t>(import_atoms) * cfg.bytes_per_force;
+  return c;
+}
+
+PhaseComm mesh_exchange(std::int64_t mesh_points_touched,
+                        const CommConfig& cfg) {
+  PhaseComm c;
+  c.bytes = static_cast<std::size_t>(mesh_points_touched) *
+            cfg.bytes_per_mesh_value;
+  c.messages = static_cast<std::size_t>(mesh_points_touched) / 64 + 1;
+  c.max_hops = 2;
+  return c;
+}
+
+}  // namespace anton::parallel

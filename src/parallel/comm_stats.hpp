@@ -1,0 +1,51 @@
+// Communication accounting for the virtual-node runtime (Section 3.2).
+//
+// "A typical time step on Anton involves thousands of inter-node messages
+// per ASIC"; messages as small as four bytes are efficient because
+// inter-node latency is tens of nanoseconds. This module turns the
+// engine's workload counters into per-phase message/byte estimates, which
+// the machine model prices against the torus links. Multicast (a subbox's
+// atoms sent once to the whole set of consuming nodes) is modelled as a
+// per-link replication discount.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "geom/vec3.hpp"
+
+namespace anton::parallel {
+
+struct PhaseComm {
+  std::size_t messages = 0;  // messages sent per node
+  std::size_t bytes = 0;     // payload bytes sent per node
+  int max_hops = 1;          // furthest torus distance
+};
+
+struct CommConfig {
+  /// Payload bytes for one atom position (3 x 32-bit lattice coordinates +
+  /// id/charge tag).
+  std::size_t bytes_per_position = 16;
+  /// Payload for one force contribution (3 x 32-bit fixed point).
+  std::size_t bytes_per_force = 12;
+  /// Payload for one mesh charge/potential value.
+  std::size_t bytes_per_mesh_value = 4;
+  /// Atoms per multicast message (one subbox's worth batched per target).
+  std::size_t atoms_per_message = 16;
+};
+
+/// Position import for the range-limited + spreading phases: the node
+/// receives its (tower + plate) import-region atoms; by symmetry it sends
+/// the same volume. Message count reflects subbox-granular multicast.
+PhaseComm position_import(std::int64_t import_atoms, int imported_subboxes,
+                          const CommConfig& cfg);
+
+/// Force export back to home nodes (equal and opposite of the import).
+PhaseComm force_export(std::int64_t import_atoms, int imported_subboxes,
+                       const CommConfig& cfg);
+
+/// Mesh charge export / potential import around the FFT.
+PhaseComm mesh_exchange(std::int64_t mesh_points_touched,
+                        const CommConfig& cfg);
+
+}  // namespace anton::parallel

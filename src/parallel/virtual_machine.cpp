@@ -1,0 +1,203 @@
+#include "parallel/virtual_machine.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "fixed/fixed.hpp"
+#include "htis/match_unit.hpp"
+
+namespace anton::parallel {
+
+VirtualMachine::VirtualMachine(const System& sys, const VmConfig& cfg)
+    : sys_(sys), cfg_(cfg), lat_(sys.box), excl_(sys.top) {
+  nt::NtConfig nc;
+  nc.node_grid = cfg.node_grid;
+  nc.subbox_div = cfg.subbox_div;
+  nc.cutoff = cfg.cutoff;
+  nc.margin = cfg.margin;
+  nc.box = sys.box;
+  geom_ = std::make_unique<nt::NtGeometry>(nc);
+
+  htis::PairKernelParams tp;
+  tp.cutoff = cfg.cutoff;
+  tp.beta = cfg.beta;
+  tp.mantissa_bits = cfg.table_mantissa_bits;
+  kernels_ = htis::PairKernels(tp, sys.top.lj_types);
+
+  const double cut_lat = cfg.cutoff / lat_.lsb().x;
+  r2_limit_lattice_ = static_cast<std::uint64_t>(cut_lat * cut_lat);
+  lat2_to_phys2_ = lat_.lsb().x * lat_.lsb().x;
+}
+
+int VirtualMachine::node_count() const {
+  return cfg_.node_grid.x * cfg_.node_grid.y * cfg_.node_grid.z;
+}
+
+std::vector<Vec3l> VirtualMachine::evaluate(
+    const std::vector<Vec3i>& positions, VmStats* stats) {
+  const Topology& top = sys_.top;
+  const int nnodes = node_count();
+  const std::int64_t nsub = geom_->subbox_count();
+
+  // --- ownership: bin atoms into subboxes by position ---
+  std::vector<std::vector<std::int32_t>> bins(nsub);
+  for (std::int32_t a = 0; a < top.natoms; ++a) {
+    const Vec3d r = lat_.to_phys(positions[a]);
+    bins[geom_->index_of(geom_->subbox_of(r))].push_back(a);
+  }
+
+  // --- per-node private memories ---
+  // Each node stores the atom records it owns or received, keyed by the
+  // subbox index the data belongs to. No node ever reads another node's
+  // memory; data moves only through the mailboxes below.
+  struct NodeMemory {
+    std::map<std::int32_t, std::vector<AtomRecord>> subbox_atoms;
+    std::vector<ForceRecord> partial_forces;  // for atoms owned elsewhere
+    std::vector<Vec3l> home_accumulators;     // indexed by local slot
+    std::vector<std::int32_t> home_ids;
+  };
+  std::vector<NodeMemory> nodes(nnodes);
+  std::vector<std::int64_t> sent_msgs(nnodes, 0);
+
+  // Home data placement (a node owns its own subboxes' atoms).
+  for (std::int32_t sb = 0; sb < nsub; ++sb) {
+    const int owner = geom_->node_index_of(geom_->coords_of(sb));
+    auto& mem = nodes[owner];
+    auto& recs = mem.subbox_atoms[sb];
+    for (std::int32_t a : bins[sb]) recs.push_back({a, positions[a]});
+  }
+
+  // --- phase 1: position multicast ---
+  // consumers[sb] = sorted set of nodes whose tower/plate imports sb.
+  std::vector<std::vector<int>> consumers(nsub);
+  {
+    std::vector<std::vector<char>> seen(nsub,
+                                        std::vector<char>(nnodes, 0));
+    for (std::int32_t hidx = 0; hidx < nsub; ++hidx) {
+      const Vec3i h = geom_->coords_of(hidx);
+      const int node = geom_->node_index_of(h);
+      auto mark = [&](const Vec3i& c) {
+        const std::int32_t idx = geom_->index_of(geom_->wrap_coords(c));
+        if (!seen[idx][node]) {
+          seen[idx][node] = 1;
+          consumers[idx].push_back(node);
+        }
+      };
+      for (std::int32_t dz : geom_->tower_dz()) mark({h.x, h.y, h.z + dz});
+      for (const Vec3i& p : geom_->plate_half())
+        mark({h.x + p.x, h.y + p.y, h.z});
+    }
+  }
+  VmStats st;
+  for (std::int32_t sb = 0; sb < nsub; ++sb) {
+    const int owner = geom_->node_index_of(geom_->coords_of(sb));
+    const auto& payload = nodes[owner].subbox_atoms[sb];
+    for (int dst : consumers[sb]) {
+      if (dst == owner) continue;
+      // One multicast message per (subbox, consumer): id + 3x32-bit pos.
+      nodes[dst].subbox_atoms[sb] = payload;  // message delivery
+      ++st.position_messages;
+      ++sent_msgs[owner];
+      st.position_bytes += 16 * static_cast<std::int64_t>(payload.size()) + 8;
+    }
+  }
+
+  // --- phase 2: local interactions ---
+  // Partial force accumulators live per node, keyed by atom id; purely
+  // local state.
+  const bool have_mol = !top.molecule.empty();
+  std::vector<std::map<std::int32_t, Vec3l>> partials(nnodes);
+  for (std::int32_t hidx = 0; hidx < nsub; ++hidx) {
+    const Vec3i h = geom_->coords_of(hidx);
+    const int node = geom_->node_index_of(h);
+    NodeMemory& mem = nodes[node];
+    auto& acc = partials[node];
+    for (std::int32_t dz : geom_->tower_dz()) {
+      const std::int32_t tidx =
+          geom_->index_of(geom_->wrap_coords({h.x, h.y, h.z + dz}));
+      const auto t_it = mem.subbox_atoms.find(tidx);
+      if (t_it == mem.subbox_atoms.end() || t_it->second.empty()) continue;
+      const auto& tower = t_it->second;
+      for (const Vec3i& poff : geom_->plate_half()) {
+        if (!geom_->owns_pair(h, dz, poff)) continue;
+        const std::int32_t pidx = geom_->index_of(
+            geom_->wrap_coords({h.x + poff.x, h.y + poff.y, h.z}));
+        const auto p_it = mem.subbox_atoms.find(pidx);
+        if (p_it == mem.subbox_atoms.end() || p_it->second.empty()) continue;
+        const auto& plate = p_it->second;
+        const bool same = tidx == pidx;
+        for (std::size_t a = 0; a < tower.size(); ++a) {
+          for (std::size_t b = same ? a + 1 : 0; b < plate.size(); ++b) {
+            ++st.pairs_considered;
+            const AtomRecord& ra =
+                tower[a].id < plate[b].id ? tower[a] : plate[b];
+            const AtomRecord& rb =
+                tower[a].id < plate[b].id ? plate[b] : tower[a];
+            const Vec3i d = fixed::PositionLattice::delta(ra.pos, rb.pos);
+            if (!htis::match_plausible(d, r2_limit_lattice_)) continue;
+            const std::uint64_t r2lat = htis::exact_r2_lattice(d);
+            if (r2lat > r2_limit_lattice_) continue;
+            if (have_mol && top.molecule[ra.id] == top.molecule[rb.id] &&
+                excl_.excluded(ra.id, rb.id))
+              continue;
+            ++st.interactions;
+            const double r2 = static_cast<double>(r2lat) * lat2_to_phys2_;
+            const double qq = top.charge[ra.id] * top.charge[rb.id];
+            const auto pfe = kernels_.eval_nonbonded(
+                r2, qq, top.type[ra.id], top.type[rb.id], false);
+            const Vec3d drp = lat_.delta_to_phys(d);
+            const Vec3l fq{
+                fixed::quantize(pfe.force_coef * drp.x, fixed::kForceScale),
+                fixed::quantize(pfe.force_coef * drp.y, fixed::kForceScale),
+                fixed::quantize(pfe.force_coef * drp.z, fixed::kForceScale)};
+            Vec3l& fa = acc[ra.id];
+            fa.x = fixed::wrap_add(fa.x, fq.x);
+            fa.y = fixed::wrap_add(fa.y, fq.y);
+            fa.z = fixed::wrap_add(fa.z, fq.z);
+            Vec3l& fb = acc[rb.id];
+            fb.x = fixed::wrap_sub(fb.x, fq.x);
+            fb.y = fixed::wrap_sub(fb.y, fq.y);
+            fb.z = fixed::wrap_sub(fb.z, fq.z);
+          }
+        }
+      }
+    }
+  }
+
+  // --- phase 3 + 4: force return and reduction ---
+  // Home node of each atom (by position binning above).
+  std::vector<int> home_node(top.natoms);
+  for (std::int32_t sb = 0; sb < nsub; ++sb) {
+    const int owner = geom_->node_index_of(geom_->coords_of(sb));
+    for (std::int32_t a : bins[sb]) home_node[a] = owner;
+  }
+  std::vector<Vec3l> total(top.natoms, {0, 0, 0});
+  for (int n = 0; n < nnodes; ++n) {
+    // Group this node's non-home contributions by destination: one force
+    // message per (node, destination) pair with all its records.
+    std::map<int, std::int64_t> batch_count;
+    for (const auto& [id, f] : partials[n]) {
+      const int dst = home_node[id];
+      if (dst != n) {
+        ++batch_count[dst];
+      }
+      // Delivery: the destination's accumulator combines with wrap adds.
+      total[id].x = fixed::wrap_add(total[id].x, f.x);
+      total[id].y = fixed::wrap_add(total[id].y, f.y);
+      total[id].z = fixed::wrap_add(total[id].z, f.z);
+    }
+    for (const auto& [dst, count] : batch_count) {
+      ++st.force_messages;
+      ++sent_msgs[n];
+      st.force_bytes += 28 * count + 8;  // id + 3x64-bit force
+    }
+  }
+
+  for (int n = 0; n < nnodes; ++n)
+    st.max_messages_per_node = std::max(st.max_messages_per_node,
+                                        sent_msgs[n]);
+  if (stats) *stats = st;
+  return total;
+}
+
+}  // namespace anton::parallel

@@ -1,0 +1,136 @@
+#include "sysgen/go_model.hpp"
+
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace anton::sysgen {
+
+GoModel::GoModel(const GoModelParams& p) : p_(p), rng_(p.seed) {
+  // Native structure: a beta-hairpin -- two antiparallel strands joined by
+  // a tight turn. Strand spacing ~5 A gives cross-strand contacts.
+  const int n = p.residues;
+  native_.resize(n);
+  const int half = n / 2;
+  for (int i = 0; i < n; ++i) {
+    if (i < half) {
+      native_[i] = {0.0, i * 3.8, (i % 2) * 0.8};
+    } else {
+      const int k = i - half;
+      native_[i] = {5.0, (half - 1 - k) * 3.8 + 1.9, (k % 2) * 0.8};
+    }
+  }
+
+  // Native contact map: |i - j| >= 3 and native distance < 8 A.
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 3; j < n; ++j) {
+      const double d = (native_[i] - native_[j]).norm();
+      if (d < 8.0) contacts_.push_back({i, j, d});
+    }
+  }
+  bond_r0_.resize(n - 1);
+  for (int i = 0; i + 1 < n; ++i)
+    bond_r0_[i] = (native_[i + 1] - native_[i]).norm();
+
+  pos_ = native_;
+  vel_.assign(n, {0, 0, 0});
+  force_.assign(n, {0, 0, 0});
+  const double sigma_v = std::sqrt(units::kB * p.temperature *
+                                   units::kForceToAccel / p.bead_mass);
+  for (auto& v : vel_)
+    v = {sigma_v * rng_.normal(), sigma_v * rng_.normal(),
+         sigma_v * rng_.normal()};
+  compute_forces();
+}
+
+void GoModel::compute_forces() {
+  const int n = residues();
+  for (auto& f : force_) f = {0, 0, 0};
+  double e = 0.0;
+
+  // Chain bonds (stiff harmonic).
+  const double kb = 40.0;
+  for (int i = 0; i + 1 < n; ++i) {
+    const Vec3d dr = pos_[i] - pos_[i + 1];
+    const double r = dr.norm();
+    const double dev = r - bond_r0_[i];
+    e += kb * dev * dev;
+    const Vec3d f = dr * (-2.0 * kb * dev / r);
+    force_[i] += f;
+    force_[i + 1] -= f;
+  }
+
+  // Native contacts: eps [ (r0/r)^12 - 2 (r0/r)^6 ], minimum -eps at r0.
+  for (const Contact& c : contacts_) {
+    const Vec3d dr = pos_[c.i] - pos_[c.j];
+    const double r2 = dr.norm2();
+    const double s2 = c.r0 * c.r0 / r2;
+    const double s6 = s2 * s2 * s2;
+    e += p_.contact_eps * (s6 * s6 - 2.0 * s6);
+    const double coef = p_.contact_eps * 12.0 * (s6 * s6 - s6) / r2;
+    force_[c.i] += dr * coef;
+    force_[c.j] -= dr * coef;
+  }
+
+  // Non-native repulsion: (sigma/r)^12, sigma = 4 A, for |i-j| >= 3 pairs
+  // that are not native contacts.
+  std::size_t ci = 0;
+  const double sig2 = 16.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 3; j < n; ++j) {
+      while (ci < contacts_.size() &&
+             (contacts_[ci].i < i ||
+              (contacts_[ci].i == i && contacts_[ci].j < j)))
+        ++ci;
+      if (ci < contacts_.size() && contacts_[ci].i == i &&
+          contacts_[ci].j == j)
+        continue;
+      const Vec3d dr = pos_[i] - pos_[j];
+      const double r2 = dr.norm2();
+      if (r2 > 64.0) continue;  // negligible beyond 8 A
+      const double s2 = sig2 / r2;
+      const double s6 = s2 * s2 * s2;
+      e += 0.5 * s6 * s6;
+      const double coef = 0.5 * 12.0 * s6 * s6 / r2;
+      force_[i] += dr * coef;
+      force_[j] -= dr * coef;
+    }
+  }
+  last_potential_ = e;
+}
+
+void GoModel::step(int nsteps) {
+  // BAOAB-like Langevin integration (velocity half-kicks around an
+  // Ornstein-Uhlenbeck velocity refresh).
+  const double dt = p_.dt;
+  const double c_kick = 0.5 * dt * units::kForceToAccel / p_.bead_mass;
+  const double a = std::exp(-p_.gamma * dt);
+  const double sigma_v = std::sqrt(units::kB * p_.temperature *
+                                   units::kForceToAccel / p_.bead_mass *
+                                   (1.0 - a * a));
+  for (int s = 0; s < nsteps; ++s) {
+    for (int i = 0; i < residues(); ++i) vel_[i] += force_[i] * c_kick;
+    for (int i = 0; i < residues(); ++i) pos_[i] += vel_[i] * (0.5 * dt);
+    for (int i = 0; i < residues(); ++i) {
+      vel_[i] = vel_[i] * a +
+                Vec3d{sigma_v * rng_.normal(), sigma_v * rng_.normal(),
+                      sigma_v * rng_.normal()};
+    }
+    for (int i = 0; i < residues(); ++i) pos_[i] += vel_[i] * (0.5 * dt);
+    compute_forces();
+    for (int i = 0; i < residues(); ++i) vel_[i] += force_[i] * c_kick;
+    ++steps_;
+  }
+}
+
+double GoModel::native_fraction() const {
+  if (contacts_.empty()) return 0.0;
+  int formed = 0;
+  for (const Contact& c : contacts_) {
+    const double r = (pos_[c.i] - pos_[c.j]).norm();
+    if (r < 1.2 * c.r0) ++formed;
+  }
+  return static_cast<double>(formed) / contacts_.size();
+}
+
+}  // namespace anton::sysgen

@@ -1,0 +1,198 @@
+#include "sysgen/protein.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "ff/params.hpp"
+
+namespace anton::sysgen {
+
+namespace {
+
+std::int32_t ensure_type(Topology& top, ff::AtomClass c,
+                         std::vector<std::int32_t>& cache) {
+  auto& idx = cache[static_cast<int>(c)];
+  if (idx < 0) {
+    idx = static_cast<std::int32_t>(top.lj_types.size());
+    top.lj_types.push_back(ff::lj_for(c));
+  }
+  return idx;
+}
+
+/// Compact space-filling CA trace: a serpentine (boustrophedon) walk over
+/// a cubic lattice with ~3.8 A spacing, jittered slightly. Consecutive
+/// residues are exactly one lattice step apart (correct bond lengths) and
+/// non-consecutive residues are at least one lattice spacing apart, so the
+/// trace is collision-free BY CONSTRUCTION at any protein size -- a random
+/// self-avoiding walk cannot pack thousands of residues into a globule
+/// without getting stuck.
+std::vector<Vec3d> build_ca_trace(int n, const Vec3d& center, double radius,
+                                  Xoshiro256& rng) {
+  const double spacing = 3.8;
+  int side = 1;
+  while (side * side * side < n) ++side;
+  const double extent = spacing * (side - 1);
+  (void)radius;  // the cube edge is set by the residue count
+
+  std::vector<Vec3d> ca;
+  ca.reserve(n);
+  for (int r = 0; r < n; ++r) {
+    const int iz = r / (side * side);
+    const int rem = r % (side * side);
+    int iy = rem / side;
+    int ix = rem % side;
+    if (iy % 2 == 1) ix = side - 1 - ix;   // serpentine within a layer
+    if (iz % 2 == 1) iy = side - 1 - iy;   // serpentine across layers
+    Vec3d p{center.x - 0.5 * extent + spacing * ix,
+            center.y - 0.5 * extent + spacing * iy,
+            center.z - 0.5 * extent + spacing * iz};
+    p += Vec3d{rng.uniform(-0.25, 0.25), rng.uniform(-0.25, 0.25),
+               rng.uniform(-0.25, 0.25)};
+    ca.push_back(p);
+  }
+  return ca;
+}
+
+}  // namespace
+
+void add_protein(System& sys, const ProteinSpec& spec, Xoshiro256& rng) {
+  Topology& top = sys.top;
+  std::vector<std::int32_t> cache(static_cast<int>(ff::AtomClass::kCount), -1);
+  const std::int32_t tC = ensure_type(top, ff::AtomClass::kCarbon, cache);
+  const std::int32_t tN = ensure_type(top, ff::AtomClass::kNitrogen, cache);
+  const std::int32_t tO = ensure_type(top, ff::AtomClass::kOxygen, cache);
+  const std::int32_t tH = ensure_type(top, ff::AtomClass::kPolarHydrogen, cache);
+  const std::int32_t tS = ensure_type(top, ff::AtomClass::kSidechain, cache);
+
+  const int mol = top.molecule.empty()
+                      ? 0
+                      : 1 + *std::max_element(top.molecule.begin(),
+                                              top.molecule.end());
+
+  // 6 atoms per residue (N, H, CA, CB, C, O); leftover atoms become extra
+  // side-chain beads on the first residues.
+  const int nres = std::max(1, spec.atom_count / 6);
+  const int extra = spec.atom_count - nres * 6;
+
+  const std::vector<Vec3d> ca =
+      build_ca_trace(nres, spec.center, spec.radius, rng);
+
+  const ff::BondParam bb = ff::backbone_bond();
+  const ff::BondParam sb = ff::sidechain_bond();
+  const ff::BondParam nh = ff::nh_bond();
+  const ff::AngleParam ang = ff::backbone_angle();
+  const ff::DihedralParam dih = ff::backbone_dihedral();
+
+  auto push_atom = [&](const Vec3d& r, ff::AtomClass cls, double q,
+                       std::int32_t type) {
+    sys.positions.push_back(sys.box.wrap(r));
+    top.mass.push_back(ff::mass_for(cls));
+    top.charge.push_back(q);
+    top.type.push_back(type);
+    top.molecule.push_back(mol);
+    return top.natoms++;
+  };
+
+  std::vector<std::int32_t> idx_n(nres), idx_ca(nres), idx_c(nres);
+  int extra_left = extra;
+  // Parallel-transported frame: u follows the chain smoothly, so adjacent
+  // residues' substituents point in similar directions and do not collide.
+  Vec3d u_prev{0, 0, 1};
+  for (int r = 0; r < nres; ++r) {
+    Vec3d t = (r + 1 < nres)
+                  ? (ca[r + 1] - ca[r]) / (ca[r + 1] - ca[r]).norm()
+                  : Vec3d{1, 0, 0};
+    Vec3d u = u_prev - t * u_prev.dot(t);
+    if (u.norm() < 0.1) {
+      u = t.cross(Vec3d{0, 0, 1});
+      if (u.norm() < 0.1) u = t.cross(Vec3d{0, 1, 0});
+    }
+    u = u / u.norm();
+    u_prev = u;
+    const Vec3d w = t.cross(u);
+
+    // Geometry: N behind CA, C ahead, O off C, H off N, CB sideways.
+    const Vec3d pN = ca[r] - t * 1.46 + u * 0.3;
+    const Vec3d pH = pN + (u * 0.8 - t * 0.6) * (1.01 / 1.0);
+    const Vec3d pCB = ca[r] + w * 1.53;
+    const Vec3d pC = ca[r] + t * 1.52 - u * 0.3;
+    const Vec3d pO = pC + (u * -0.9 + w * 0.7) * (1.23 / std::sqrt(0.81 + 0.49));
+
+    // Partial charges per residue sum to zero.
+    idx_n[r] = push_atom(pN, ff::AtomClass::kNitrogen, -0.40, tN);
+    const auto iH = push_atom(pH, ff::AtomClass::kPolarHydrogen, 0.25, tH);
+    idx_ca[r] = push_atom(ca[r], ff::AtomClass::kCarbon, 0.05, tC);
+    const auto iCB = push_atom(pCB, ff::AtomClass::kSidechain, 0.10, tS);
+    idx_c[r] = push_atom(pC, ff::AtomClass::kCarbon, 0.50, tC);
+    const auto iO = push_atom(pO, ff::AtomClass::kOxygen, -0.50, tO);
+
+    // Bonds (N-H is constrained rather than bonded: bond-to-hydrogen).
+    top.bonds.push_back({idx_n[r], idx_ca[r], bb.k, 1.46});
+    top.bonds.push_back({idx_ca[r], iCB, sb.k, sb.r0});
+    top.bonds.push_back({idx_ca[r], idx_c[r], bb.k, bb.r0});
+    top.bonds.push_back({idx_c[r], iO, 570.0, 1.23});
+    top.constraints.push_back({idx_n[r], iH, nh.r0});
+
+    // Extra side beads soak up the atom-count remainder.
+    if (extra_left > 0) {
+      const Vec3d pX = pCB + w * 1.53;
+      const auto iX = push_atom(pX, ff::AtomClass::kSidechain, 0.0, tS);
+      top.bonds.push_back({iCB, iX, sb.k, sb.r0});
+      --extra_left;
+    }
+
+    // Angles within the residue.
+    top.angles.push_back({idx_n[r], idx_ca[r], idx_c[r], ang.kf, ang.theta0});
+    top.angles.push_back({idx_n[r], idx_ca[r], iCB, ang.kf, ang.theta0});
+    top.angles.push_back({iCB, idx_ca[r], idx_c[r], ang.kf, ang.theta0});
+    top.angles.push_back({idx_ca[r], idx_c[r], iO, 80.0, 2.10});
+
+    if (r > 0) {
+      // Peptide bond and inter-residue angles/dihedrals.
+      top.bonds.push_back({idx_c[r - 1], idx_n[r], 490.0, 1.335});
+      top.angles.push_back(
+          {idx_ca[r - 1], idx_c[r - 1], idx_n[r], ang.kf, ang.theta0});
+      top.angles.push_back(
+          {idx_c[r - 1], idx_n[r], idx_ca[r], ang.kf, ang.theta0});
+      top.dihedrals.push_back({idx_c[r - 1], idx_n[r], idx_ca[r], idx_c[r],
+                               dih.kf, dih.n, dih.phase});  // phi-like
+      top.dihedrals.push_back({idx_n[r - 1], idx_ca[r - 1], idx_c[r - 1],
+                               idx_n[r], dih.kf, dih.n, dih.phase});  // psi
+      top.dihedrals.push_back({idx_ca[r - 1], idx_c[r - 1], idx_n[r],
+                               idx_ca[r], 2.5, 2, M_PI});  // omega-like
+    }
+  }
+  top.protein_atoms += spec.atom_count;
+}
+
+void add_ion(System& sys, const Vec3d& r, double charge) {
+  Topology& top = sys.top;
+  // Reuse or create the chloride-like LJ type for both ion signs (a
+  // monovalent-ion stand-in; sign only affects the charge).
+  std::int32_t t = -1;
+  const LJType want = ff::lj_for(ff::AtomClass::kChloride);
+  for (std::size_t i = 0; i < top.lj_types.size(); ++i) {
+    if (top.lj_types[i].sigma == want.sigma &&
+        top.lj_types[i].epsilon == want.epsilon) {
+      t = static_cast<std::int32_t>(i);
+      break;
+    }
+  }
+  if (t < 0) {
+    t = static_cast<std::int32_t>(top.lj_types.size());
+    top.lj_types.push_back(want);
+  }
+  const int mol = top.molecule.empty()
+                      ? 0
+                      : 1 + *std::max_element(top.molecule.begin(),
+                                              top.molecule.end());
+  sys.positions.push_back(sys.box.wrap(r));
+  top.mass.push_back(ff::mass_for(ff::AtomClass::kChloride));
+  top.charge.push_back(charge);
+  top.type.push_back(t);
+  top.molecule.push_back(mol);
+  ++top.natoms;
+}
+
+}  // namespace anton::sysgen

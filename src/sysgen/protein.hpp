@@ -1,0 +1,36 @@
+// Synthetic pseudo-protein builder.
+//
+// Generates a protein-like polymer with the term densities of a real
+// protein force field: a backbone of N-CA-C repeats with carbonyl oxygens,
+// amide hydrogens (constrained, as the paper constrains bonds to
+// hydrogen), and side-chain beads; harmonic bonds and angles, periodic
+// dihedrals, 1-2/1-3 exclusions and scaled 1-4 pairs. Per-residue partial
+// charges sum to zero so systems stay neutral. The backbone path is a
+// compact self-avoiding random walk confined to a sphere, giving a
+// globular solute like the paper's systems.
+//
+// This stands in for the PDB structures + AMBER99SB/OPLS-AA parameters we
+// cannot redistribute; see DESIGN.md's substitution table.
+#pragma once
+
+#include "ff/topology.hpp"
+#include "util/rng.hpp"
+
+namespace anton::sysgen {
+
+struct ProteinSpec {
+  int atom_count = 600;    // exact atom count to produce
+  Vec3d center{0, 0, 0};   // placement center
+  double radius = 12.0;    // confinement sphere radius (A)
+};
+
+/// Appends a pseudo-protein to the system (topology + coordinates).
+/// Bond/angle/dihedral terms, constraints (N-H), and molecule ids are
+/// added; exclusions are NOT rebuilt here (call top.build_exclusions once
+/// after all molecules are present).
+void add_protein(System& sys, const ProteinSpec& spec, Xoshiro256& rng);
+
+/// Appends a monatomic ion. charge should be +1 or -1.
+void add_ion(System& sys, const Vec3d& r, double charge);
+
+}  // namespace anton::sysgen

@@ -1,0 +1,62 @@
+// Named benchmark systems matching the paper's Table 4 / Section 5.3,
+// plus generic builders used by tests and parameter sweeps.
+//
+// Each builder reproduces the published particle count, box side, cutoff
+// and mesh size exactly; the coordinates and parameters are synthetic
+// (DESIGN.md substitution table). Simulation parameters follow the paper:
+// 2.5 fs steps, long-range every other step, bonds to hydrogen (and
+// waters) constrained.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/engine_types.hpp"
+#include "ff/topology.hpp"
+#include "sysgen/water.hpp"
+
+namespace anton::sysgen {
+
+struct PaperSystemSpec {
+  std::string name;
+  std::string pdb_id;   // the paper's crystal-structure reference
+  int atoms = 0;        // total particles
+  double side = 0.0;    // cubic box side (A)
+  double cutoff = 0.0;  // range-limited cutoff (A)
+  int mesh = 32;        // FFT mesh per axis
+  double perf_us_day = 0.0;  // paper-reported 512-node rate (for reports)
+  WaterModel water = WaterModel::k3Site;
+  int protein_atoms = 0;  // 0 -> ~10% of total
+};
+
+/// The six protein-in-water systems of Table 4 (gpW, DHFR, aSFP, NADHOx,
+/// FtsZ, T7Lig) and the BPTI system of Section 5.3.
+std::vector<PaperSystemSpec> paper_systems();
+PaperSystemSpec spec_by_name(const std::string& name);
+
+/// Builds a solvated system for a spec (exact atom count). `seed` controls
+/// every random choice.
+System build_paper_system(const PaperSystemSpec& spec, std::uint64_t seed);
+
+/// Water-only system of the same size/parameters (Figure 5's water series).
+System build_water_system(int atoms, double side, WaterModel model,
+                          std::uint64_t seed);
+
+/// A small solvated-peptide test system (fast; used across the test
+/// suite). If `constrained` is false, water is built with harmonic bonds
+/// instead of rigid constraints -- required by the reversibility tests.
+System build_test_system(int n_waters, double side, std::uint64_t seed,
+                         bool constrained = true, int protein_atoms = 0);
+
+/// SimParams matching a paper spec.
+core::SimParams params_for(const PaperSystemSpec& spec);
+
+/// Assigns Maxwell-Boltzmann velocities at T and removes center-of-mass
+/// drift. Deterministic under the seed.
+void init_velocities(System& sys, double temperature, std::uint64_t seed);
+
+/// Pushes apart non-excluded pairs closer than min_dist (removes builder
+/// overlaps that would destabilize the first steps).
+void relax_overlaps(System& sys, double min_dist = 3.2, int iters = 90);
+
+}  // namespace anton::sysgen

@@ -1,0 +1,188 @@
+#include "sysgen/water.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+namespace anton::sysgen {
+
+namespace {
+
+/// Ensures an LJ type for a class exists in the topology; returns its index.
+std::int32_t type_for(Topology& top, ff::AtomClass c,
+                      std::vector<std::int32_t>& cache) {
+  auto& idx = cache[static_cast<int>(c)];
+  if (idx < 0) {
+    idx = static_cast<std::int32_t>(top.lj_types.size());
+    top.lj_types.push_back(ff::lj_for(c));
+  }
+  return idx;
+}
+
+/// Random rotation matrix columns (uniform via random axis + angle is
+/// biased, but orientation uniformity is irrelevant here; we only need
+/// decorrelated orientations).
+void random_frame(Xoshiro256& rng, Vec3d& ex, Vec3d& ey) {
+  // Random unit vector.
+  double z = rng.uniform(-1.0, 1.0);
+  double phi = rng.uniform(0.0, 2.0 * M_PI);
+  double s = std::sqrt(std::max(0.0, 1.0 - z * z));
+  ex = {s * std::cos(phi), s * std::sin(phi), z};
+  // A second vector orthogonal to ex.
+  Vec3d t = std::fabs(ex.x) < 0.9 ? Vec3d{1, 0, 0} : Vec3d{0, 1, 0};
+  ey = ex.cross(t);
+  ey = ey / ey.norm();
+}
+
+}  // namespace
+
+int add_waters(System& sys, int count, WaterModel model, double clearance,
+               Xoshiro256& rng, bool rigid) {
+  Topology& top = sys.top;
+  std::vector<std::int32_t> type_cache(static_cast<int>(ff::AtomClass::kCount),
+                                       -1);
+  const std::int32_t t_o = type_for(top, ff::AtomClass::kWaterOxygen, type_cache);
+  const std::int32_t t_h =
+      type_for(top, ff::AtomClass::kWaterHydrogen, type_cache);
+  const std::int32_t t_m =
+      model == WaterModel::k4Site
+          ? type_for(top, ff::AtomClass::kWaterMSite, type_cache)
+          : -1;
+
+  const ff::Water3Site w3 = ff::water3();
+  const ff::Water4Site w4 = ff::water4();
+  const double r_oh = model == WaterModel::k3Site ? w3.r_oh : w4.r_oh;
+  const double theta = model == WaterModel::k3Site ? w3.theta_hoh : w4.theta_hoh;
+  const double r_hh = 2.0 * r_oh * std::sin(0.5 * theta);
+
+  // Lattice of candidate oxygen sites sized for the requested count.
+  const Vec3d L = sys.box.side();
+  int n_side = 1;
+  while (n_side * n_side * n_side < count * 5 / 4 + 1) ++n_side;
+  const Vec3d spacing{L.x / n_side, L.y / n_side, L.z / n_side};
+
+  // Hash-grid over existing (solute) atoms for O(1) clash rejection.
+  const std::vector<Vec3d> existing = sys.positions;  // snapshot of solute
+  const double cell = std::max(clearance, 1.0);
+  const int gx = std::max(1, static_cast<int>(L.x / cell));
+  const int gy = std::max(1, static_cast<int>(L.y / cell));
+  const int gz = std::max(1, static_cast<int>(L.z / cell));
+  auto cell_key = [&](const Vec3d& r) {
+    int cx = static_cast<int>((r.x / L.x + 0.5) * gx);
+    int cy = static_cast<int>((r.y / L.y + 0.5) * gy);
+    int cz = static_cast<int>((r.z / L.z + 0.5) * gz);
+    cx = std::clamp(cx, 0, gx - 1);
+    cy = std::clamp(cy, 0, gy - 1);
+    cz = std::clamp(cz, 0, gz - 1);
+    return (static_cast<std::int64_t>(cz) * gy + cy) * gx + cx;
+  };
+  std::unordered_map<std::int64_t, std::vector<std::int32_t>> solute_grid;
+  for (std::size_t i = 0; i < existing.size(); ++i)
+    solute_grid[cell_key(existing[i])].push_back(static_cast<std::int32_t>(i));
+  auto clashes = [&](const Vec3d& r) {
+    if (existing.empty()) return false;
+    const double c2 = clearance * clearance;
+    int cx = static_cast<int>((r.x / L.x + 0.5) * gx);
+    int cy = static_cast<int>((r.y / L.y + 0.5) * gy);
+    int cz = static_cast<int>((r.z / L.z + 0.5) * gz);
+    for (int dz = -1; dz <= 1; ++dz) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int nx = ((cx + dx) % gx + gx) % gx;
+          const int ny = ((cy + dy) % gy + gy) % gy;
+          const int nz = ((cz + dz) % gz + gz) % gz;
+          const std::int64_t key =
+              (static_cast<std::int64_t>(nz) * gy + ny) * gx + nx;
+          auto it = solute_grid.find(key);
+          if (it == solute_grid.end()) continue;
+          for (std::int32_t i : it->second) {
+            if (sys.box.min_image(r, existing[i]).norm2() < c2) return true;
+          }
+        }
+      }
+    }
+    return false;
+  };
+
+  int placed = 0;
+  const int mol0 = top.natoms == 0
+                       ? 0
+                       : (top.molecule.empty()
+                              ? 1
+                              : 1 + *std::max_element(top.molecule.begin(),
+                                                      top.molecule.end()));
+  int mol = mol0;
+  for (int iz = 0; iz < n_side && placed < count; ++iz) {
+    for (int iy = 0; iy < n_side && placed < count; ++iy) {
+      for (int ix = 0; ix < n_side && placed < count; ++ix) {
+        Vec3d o{-0.5 * L.x + (ix + 0.5) * spacing.x,
+                -0.5 * L.y + (iy + 0.5) * spacing.y,
+                -0.5 * L.z + (iz + 0.5) * spacing.z};
+        // Small jitter decorrelates the lattice.
+        o += Vec3d{rng.uniform(-0.1, 0.1), rng.uniform(-0.1, 0.1),
+                   rng.uniform(-0.1, 0.1)};
+        if (clashes(o)) continue;
+
+        Vec3d ex, ey;
+        random_frame(rng, ex, ey);
+        const double half = 0.5 * theta;
+        const Vec3d h1 = o + (ex * std::cos(half) + ey * std::sin(half)) * r_oh;
+        const Vec3d h2 = o + (ex * std::cos(half) - ey * std::sin(half)) * r_oh;
+
+        const std::int32_t base = top.natoms;
+        auto push_atom = [&](const Vec3d& r, double mass, double q,
+                             std::int32_t type) {
+          sys.positions.push_back(sys.box.wrap(r));
+          top.mass.push_back(mass);
+          top.charge.push_back(q);
+          top.type.push_back(type);
+          top.molecule.push_back(mol);
+          ++top.natoms;
+        };
+
+        if (model == WaterModel::k3Site) {
+          push_atom(o, ff::mass_for(ff::AtomClass::kWaterOxygen), w3.q_o, t_o);
+          push_atom(h1, ff::mass_for(ff::AtomClass::kWaterHydrogen), w3.q_h,
+                    t_h);
+          push_atom(h2, ff::mass_for(ff::AtomClass::kWaterHydrogen), w3.q_h,
+                    t_h);
+          if (rigid) {
+            top.constraints.push_back({base, base + 1, r_oh});
+            top.constraints.push_back({base, base + 2, r_oh});
+            top.constraints.push_back({base + 1, base + 2, r_hh});
+          } else {
+            top.bonds.push_back({base, base + 1, 450.0, r_oh});
+            top.bonds.push_back({base, base + 2, 450.0, r_oh});
+            top.angles.push_back({base + 1, base, base + 2, 55.0, theta});
+          }
+        } else {
+          // 4-site: rigid O-H-H triangle plus a massless M charge site on
+          // the HOH bisector, built as the linear virtual site
+          // r_M = r_O + a (r_H1 + r_H2 - 2 r_O) with a = r_om / (2 d_bis).
+          // The paper treats all four particles "computationally as an
+          // atom"; the massless-site construction is the standard TIP4P
+          // treatment and is what we substitute (DESIGN.md).
+          const Vec3d m = o + ex * w4.r_om;
+          push_atom(o, ff::mass_for(ff::AtomClass::kWaterOxygen), 0.0, t_o);
+          push_atom(h1, ff::mass_for(ff::AtomClass::kWaterHydrogen), w4.q_h,
+                    t_h);
+          push_atom(h2, ff::mass_for(ff::AtomClass::kWaterHydrogen), w4.q_h,
+                    t_h);
+          push_atom(m, 0.0, w4.q_m, t_m);
+          const double d_bis = r_oh * std::cos(half);
+          top.constraints.push_back({base, base + 1, r_oh});
+          top.constraints.push_back({base, base + 2, r_oh});
+          top.constraints.push_back({base + 1, base + 2, r_hh});
+          top.virtual_sites.push_back(
+              {base + 3, base, base + 1, base + 2, w4.r_om / (2.0 * d_bis)});
+        }
+        ++mol;
+        ++placed;
+      }
+    }
+  }
+  return placed;
+}
+
+}  // namespace anton::sysgen

@@ -1,0 +1,165 @@
+#include "tables/remez.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+
+namespace anton::tables {
+
+double polyval(const std::vector<double>& coeffs, double t) {
+  double acc = 0.0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) acc = acc * t + coeffs[i];
+  return acc;
+}
+
+namespace {
+
+// Solves A x = b in place by Gaussian elimination with partial pivoting.
+// Dimensions are tiny (degree + 2), so no fancier method is warranted.
+std::vector<double> solve(std::vector<std::vector<double>> A,
+                          std::vector<double> b) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t piv = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::fabs(A[r][col]) > std::fabs(A[piv][col])) piv = r;
+    std::swap(A[piv], A[col]);
+    std::swap(b[piv], b[col]);
+    if (A[col][col] == 0.0) throw std::runtime_error("remez: singular system");
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double m = A[r][col] / A[col][col];
+      if (m == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) A[r][c] -= m * A[col][c];
+      b[r] -= m * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double s = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) s -= A[i][c] * x[c];
+    x[i] = s / A[i][i];
+  }
+  return x;
+}
+
+}  // namespace
+
+RemezResult remez_minimax(const std::function<double(double)>& f, double a,
+                          double b, int degree, int iterations,
+                          int grid_points) {
+  if (!(b > a)) throw std::invalid_argument("remez: empty interval");
+  const int n = degree + 2;  // reference points for equioscillation
+
+  // Work in the normalized variable u in [0,1] for conditioning; convert
+  // the coefficients back at the end.
+  auto g = [&](double u) { return f(a + (b - a) * u); };
+
+  // Initial reference: Chebyshev extrema mapped to [0,1].
+  std::vector<double> ref(n);
+  for (int i = 0; i < n; ++i)
+    ref[i] = 0.5 * (1.0 - std::cos(M_PI * i / (n - 1)));
+
+  std::vector<double> coeffs(degree + 1, 0.0);
+  for (int iter = 0; iter < iterations; ++iter) {
+    // Solve for coefficients and the levelled error E:
+    //   sum_k c_k u_i^k + (-1)^i E = g(u_i)
+    std::vector<std::vector<double>> A(n, std::vector<double>(n));
+    std::vector<double> rhs(n);
+    for (int i = 0; i < n; ++i) {
+      double p = 1.0;
+      for (int k = 0; k <= degree; ++k) {
+        A[i][k] = p;
+        p *= ref[i];
+      }
+      A[i][degree + 1] = (i % 2 == 0) ? 1.0 : -1.0;
+      rhs[i] = g(ref[i]);
+    }
+    std::vector<double> sol = solve(std::move(A), std::move(rhs));
+    coeffs.assign(sol.begin(), sol.begin() + degree + 1);
+
+    // Scan a dense grid for the extrema of the error and build the next
+    // reference from local maxima of |err| (classic multi-point exchange).
+    std::vector<double> grid(grid_points + 1), err(grid_points + 1);
+    for (int i = 0; i <= grid_points; ++i) {
+      grid[i] = static_cast<double>(i) / grid_points;
+      err[i] = g(grid[i]) - polyval(coeffs, grid[i]);
+    }
+    std::vector<double> extrema;
+    extrema.push_back(grid.front());
+    for (int i = 1; i < grid_points; ++i) {
+      if ((err[i] - err[i - 1]) * (err[i + 1] - err[i]) <= 0.0)
+        extrema.push_back(grid[i]);
+    }
+    extrema.push_back(grid.back());
+
+    // Keep the n extrema with alternating error signs and largest
+    // magnitudes: greedily walk the list, starting a new run whenever the
+    // sign flips, keeping the best point of each run.
+    std::vector<double> picked;
+    double best_u = extrema[0];
+    double best_e = err[static_cast<int>(best_u * grid_points + 0.5)];
+    for (std::size_t i = 1; i < extrema.size(); ++i) {
+      const double e = err[static_cast<int>(extrema[i] * grid_points + 0.5)];
+      if ((e >= 0) == (best_e >= 0)) {
+        if (std::fabs(e) > std::fabs(best_e)) {
+          best_e = e;
+          best_u = extrema[i];
+        }
+      } else {
+        picked.push_back(best_u);
+        best_u = extrema[i];
+        best_e = e;
+      }
+    }
+    picked.push_back(best_u);
+
+    if (static_cast<int>(picked.size()) >= n) {
+      // Keep the n consecutive points with the largest minimum |err|.
+      // For smooth f a simple choice -- the last n points -- works; prefer
+      // the window containing the global max error.
+      std::size_t best_start = 0;
+      double best_min = -1.0;
+      for (std::size_t s = 0; s + n <= picked.size(); ++s) {
+        double mn = 1e300;
+        for (int k = 0; k < n; ++k) {
+          const double e =
+              err[static_cast<int>(picked[s + k] * grid_points + 0.5)];
+          mn = std::min(mn, std::fabs(e));
+        }
+        if (mn > best_min) {
+          best_min = mn;
+          best_start = s;
+        }
+      }
+      for (int i = 0; i < n; ++i) ref[i] = picked[best_start + i];
+    }
+    // If we found fewer alternations than needed, keep the old reference;
+    // the solve above still improves the fit each iteration.
+  }
+
+  // Final error scan.
+  double max_err = 0.0;
+  for (int i = 0; i <= grid_points; ++i) {
+    const double u = static_cast<double>(i) / grid_points;
+    max_err = std::max(max_err, std::fabs(g(u) - polyval(coeffs, u)));
+  }
+
+  // Convert coefficients from u in [0,1] back to t in [a,b]:
+  // p(u) with u = (t - a) / (b - a).
+  const double inv = 1.0 / (b - a);
+  std::vector<double> out(degree + 1, 0.0);
+  // Expand sum c_k ((t-a)*inv)^k via binomial theorem.
+  for (int k = 0; k <= degree; ++k) {
+    double scale = coeffs[k] * std::pow(inv, k);
+    // (t - a)^k = sum_j C(k,j) t^j (-a)^(k-j)
+    double binom = 1.0;
+    for (int j = 0; j <= k; ++j) {
+      out[j] += scale * binom * std::pow(-a, k - j);
+      binom = binom * (k - j) / (j + 1);
+    }
+  }
+  return {std::move(out), max_err};
+}
+
+}  // namespace anton::tables

@@ -1,0 +1,32 @@
+// Remez exchange algorithm for minimax polynomial approximation.
+//
+// The paper (Section 4): "the Remez exchange algorithm is used to compute
+// the minimax polynomial on each segment, after which the coefficients are
+// adjusted to make the function continuous across segment boundaries."
+// This is that offline fitting step. Degree is small (cubic in the PPIP),
+// so a dense-grid exchange with Gaussian elimination is entirely adequate.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace anton::tables {
+
+struct RemezResult {
+  /// Monomial coefficients c[0..degree] of p(t) = sum c_k t^k on [a, b]
+  /// (t is the raw variable, not rescaled).
+  std::vector<double> coeffs;
+  /// Final equioscillation error estimate (max |f - p| over the grid).
+  double max_error = 0.0;
+};
+
+/// Computes the (approximately) minimax polynomial of the given degree for
+/// f on [a, b]. `grid_points` controls the density of the error scan.
+RemezResult remez_minimax(const std::function<double(double)>& f, double a,
+                          double b, int degree, int iterations = 12,
+                          int grid_points = 512);
+
+/// Evaluates a monomial polynomial via Horner's rule.
+double polyval(const std::vector<double>& coeffs, double t);
+
+}  // namespace anton::tables

@@ -1,0 +1,166 @@
+#include "tables/tiered_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "fixed/fixed.hpp"
+#include "tables/remez.hpp"
+
+namespace anton::tables {
+
+TieredLayout TieredLayout::anton_default() {
+  return TieredLayout{{
+      {0.0, 64},
+      {1.0 / 128.0, 96},
+      {1.0 / 32.0, 56},
+      {1.0 / 4.0, 24},
+  }};
+}
+
+TieredLayout TieredLayout::uniform(int entries) {
+  return TieredLayout{{{0.0, entries}}};
+}
+
+int TieredLayout::total_entries() const {
+  int n = 0;
+  for (const Tier& t : tiers) n += t.entries;
+  return n;
+}
+
+int TieredLayout::find_segment(double u, double& t) const {
+  if (u < 0.0) u = 0.0;
+  if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+  int base = 0;
+  for (std::size_t i = 0; i < tiers.size(); ++i) {
+    const double lo = tiers[i].lo;
+    const double hi = (i + 1 < tiers.size()) ? tiers[i + 1].lo : 1.0;
+    if (u < hi) {
+      const double w = (hi - lo) / tiers[i].entries;
+      int k = static_cast<int>((u - lo) / w);
+      if (k >= tiers[i].entries) k = tiers[i].entries - 1;
+      t = (u - (lo + k * w)) / w;
+      if (t < 0.0) t = 0.0;
+      if (t >= 1.0) t = std::nextafter(1.0, 0.0);
+      return base + k;
+    }
+    base += tiers[i].entries;
+  }
+  // Unreachable: the clamp above guarantees u < 1.
+  t = 0.0;
+  return total_entries() - 1;
+}
+
+void TieredLayout::segment_bounds(int index, double& lo, double& hi) const {
+  int base = 0;
+  for (std::size_t i = 0; i < tiers.size(); ++i) {
+    const double tlo = tiers[i].lo;
+    const double thi = (i + 1 < tiers.size()) ? tiers[i + 1].lo : 1.0;
+    if (index < base + tiers[i].entries) {
+      const double w = (thi - tlo) / tiers[i].entries;
+      lo = tlo + (index - base) * w;
+      hi = lo + w;
+      return;
+    }
+    base += tiers[i].entries;
+  }
+  throw std::out_of_range("TieredLayout::segment_bounds");
+}
+
+namespace {
+
+Segment quantize_segment(const double d[4], int mantissa_bits) {
+  Segment s;
+  double m = 0.0;
+  for (int i = 0; i < 4; ++i) m = std::max(m, std::fabs(d[i]));
+  if (m == 0.0) return s;
+  const double limit = static_cast<double>((1 << (mantissa_bits - 1)) - 1);
+  int e = 0;
+  // Smallest exponent such that all |d_i| / 2^e <= limit.
+  e = static_cast<int>(std::ceil(std::log2(m / limit)));
+  // Guard against log2 rounding.
+  while (m / std::ldexp(1.0, e) > limit) ++e;
+  s.exponent = e;
+  const double inv = std::ldexp(1.0, -e);
+  for (int i = 0; i < 4; ++i)
+    s.c[i] = static_cast<std::int32_t>(std::llrint(d[i] * inv));
+  return s;
+}
+
+}  // namespace
+
+TieredTable TieredTable::build(std::function<double(double)> f,
+                               const TieredLayout& layout, int mantissa_bits,
+                               double u_min) {
+  if (mantissa_bits < 8 || mantissa_bits > 30)
+    throw std::invalid_argument("TieredTable: mantissa bits out of range");
+  TieredTable tbl;
+  tbl.layout_ = layout;
+  tbl.u_min_ = u_min;
+  const int n = layout.total_entries();
+  tbl.segs_.resize(n);
+
+  for (int k = 0; k < n; ++k) {
+    double lo, hi;
+    layout.segment_bounds(k, lo, hi);
+    const double w = hi - lo;
+    // Clamp the sampled domain at u_min; a constant segment below it.
+    auto sample = [&](double t) {
+      const double u = std::max(lo + t * w, u_min);
+      return f(u);
+    };
+    double d[4];
+    if (hi <= u_min) {
+      d[0] = f(u_min);
+      d[1] = d[2] = d[3] = 0.0;
+    } else {
+      RemezResult r = remez_minimax(sample, 0.0, 1.0, 3);
+      for (int i = 0; i < 4; ++i)
+        d[i] = (i < static_cast<int>(r.coeffs.size())) ? r.coeffs[i] : 0.0;
+      // Endpoint adjustment for continuity across segment boundaries
+      // (shifts the fit so p(0) and p(1) match f exactly, at the cost of a
+      // bounded increase in interior error).
+      const double e0 = sample(0.0) - polyval(r.coeffs, 0.0);
+      const double e1 = sample(1.0) - polyval(r.coeffs, 1.0);
+      d[0] += e0;
+      d[1] += e1 - e0;
+    }
+    tbl.segs_[k] = quantize_segment(d, mantissa_bits);
+  }
+
+  // Record the worst-case error of the quantized integer path over a scan.
+  double worst = 0.0;
+  const int scan = 16 * n;
+  for (int i = 0; i < scan; ++i) {
+    const double u = (i + 0.5) / scan;
+    if (u < u_min) continue;
+    worst = std::max(worst, std::fabs(f(u) - tbl.eval_fixed(u)));
+  }
+  tbl.worst_fit_error_ = worst;
+  return tbl;
+}
+
+double TieredTable::eval(double u) const {
+  double t;
+  const int k = layout_.find_segment(std::max(u, u_min_), t);
+  const Segment& s = segs_[k];
+  const double acc =
+      ((s.c[3] * t + s.c[2]) * t + s.c[1]) * t + s.c[0];
+  return std::ldexp(acc, s.exponent);
+}
+
+double TieredTable::eval_fixed(double u) const {
+  double t;
+  const int k = layout_.find_segment(std::max(u, u_min_), t);
+  const Segment& s = segs_[k];
+  // t as a 24-bit fraction; Horner with RNE rounding after each multiply,
+  // mirroring the PPIP datapath of Figure 4a.
+  const std::int64_t tf = std::min<std::int64_t>(
+      static_cast<std::int64_t>(std::llrint(t * 16777216.0)), 16777215);
+  std::int64_t acc = s.c[3];
+  for (int i = 2; i >= 0; --i)
+    acc = fixed::rshift_rne(acc * tf, 24) + s.c[i];
+  return std::ldexp(static_cast<double>(acc), s.exponent);
+}
+
+}  // namespace anton::tables

@@ -1,0 +1,39 @@
+// Small statistics helpers shared by analysis code and benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace anton {
+
+/// Running mean/variance (Welford). Numerically stable for long series.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Ordinary least-squares fit y = a + b*x; returns {intercept, slope}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+};
+LinearFit fit_line(std::span<const double> x, std::span<const double> y);
+
+/// Root-mean-square of a series.
+double rms(std::span<const double> v);
+
+}  // namespace anton

@@ -1,0 +1,34 @@
+// Physical units and constants used throughout the library.
+//
+// Internal unit system (the "academic" MD convention):
+//   length  : angstrom (A)
+//   time    : femtosecond (fs)
+//   mass    : atomic mass unit (amu, g/mol)
+//   energy  : kcal/mol
+//   charge  : elementary charge (e)
+//   temperature : kelvin (K)
+//
+// Derived conversions are provided as constexpr factors so every kernel
+// agrees bit-for-bit on the constants it uses.
+#pragma once
+
+namespace anton::units {
+
+/// Boltzmann constant, kcal/(mol K).
+inline constexpr double kB = 1.987204259e-3;
+
+/// Coulomb constant: E = kCoulomb * q1*q2 / r with q in e, r in A,
+/// E in kcal/mol.
+inline constexpr double kCoulomb = 332.06371;
+
+/// Converts (kcal/mol/A) / amu to acceleration in A/fs^2.
+/// 1 kcal/mol/A / 1 amu = 4.184e26 A/s^2 = 4.184e-4 A/fs^2.
+inline constexpr double kForceToAccel = 4.184e-4;
+
+/// Femtoseconds per day of wall-clock time (used for us/day rate math).
+inline constexpr double kFsPerDay = 86400.0e15;
+
+/// Microseconds of simulated time per femtosecond.
+inline constexpr double kUsPerFs = 1.0e-9;
+
+}  // namespace anton::units

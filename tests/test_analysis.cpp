@@ -1,0 +1,110 @@
+// Analysis observables: drift, force error, order parameters, transitions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/analysis.hpp"
+#include "util/rng.hpp"
+
+using anton::Vec3d;
+namespace an = anton::analysis;
+
+TEST(EnergyDrift, RecoversLinearSlope) {
+  an::EnergyDrift d;
+  // energy = 1000 + 1e-4 kcal/mol per step, dt = 2.5 fs, dof = 100:
+  // drift = 1e-4 / 2.5 * 1e9 / 100 = 400 kcal/mol/DoF/us.
+  for (int s = 0; s <= 1000; s += 10) d.add(s, 1000.0 + 1e-4 * s);
+  EXPECT_NEAR(d.drift(100.0, 2.5), 400.0, 1e-6);
+  EXPECT_NEAR(d.fluctuation(), 0.0, 1e-9);
+}
+
+TEST(EnergyDrift, SignInsensitive) {
+  an::EnergyDrift d;
+  for (int s = 0; s <= 100; ++s) d.add(s, 50.0 - 2e-5 * s);
+  EXPECT_GT(d.drift(10.0, 2.5), 0.0);
+}
+
+TEST(EnergyDrift, FluctuationAroundTrend) {
+  an::EnergyDrift d;
+  anton::Xoshiro256 rng(3);
+  for (int s = 0; s <= 2000; ++s)
+    d.add(s, 10.0 + 0.001 * s + 0.5 * rng.normal());
+  EXPECT_NEAR(d.fluctuation(), 0.5, 0.1);
+}
+
+TEST(ForceError, ZeroForIdentical) {
+  std::vector<Vec3d> f{{1, 2, 3}, {-4, 0, 2}};
+  EXPECT_EQ(an::rms_force_error(f, f), 0.0);
+}
+
+TEST(ForceError, KnownRatio) {
+  std::vector<Vec3d> ref{{3, 0, 0}, {0, 4, 0}};
+  std::vector<Vec3d> test{{3.3, 0, 0}, {0, 4.4, 0}};  // 10% on each
+  EXPECT_NEAR(an::rms_force_error(test, ref), 0.1, 1e-12);
+}
+
+TEST(OrderParameters, RigidVectorGivesOne) {
+  an::OrderParameters op(1);
+  std::vector<Vec3d> u{{0.0, 0.6, 0.8}};
+  for (int f = 0; f < 50; ++f) op.add_frame(u);
+  EXPECT_NEAR(op.s2()[0], 1.0, 1e-12);
+}
+
+TEST(OrderParameters, IsotropicVectorGivesZero) {
+  an::OrderParameters op(1);
+  anton::Xoshiro256 rng(17);
+  for (int f = 0; f < 200000; ++f) {
+    const double z = rng.uniform(-1, 1);
+    const double phi = rng.uniform(0, 2 * M_PI);
+    const double s = std::sqrt(1 - z * z);
+    std::vector<Vec3d> u{{s * std::cos(phi), s * std::sin(phi), z}};
+    op.add_frame(u);
+  }
+  EXPECT_NEAR(op.s2()[0], 0.0, 0.02);
+}
+
+TEST(OrderParameters, WobblingConeIsIntermediate) {
+  // A vector wobbling in a cone of half-angle theta has the classic
+  // S = cos(theta)(1+cos(theta))/2 order parameter.
+  const double theta = 0.4;
+  an::OrderParameters op(1);
+  anton::Xoshiro256 rng(19);
+  for (int f = 0; f < 400000; ++f) {
+    // Uniform within the cone around z.
+    const double c = 1.0 - rng.uniform() * (1.0 - std::cos(theta));
+    const double s = std::sqrt(1 - c * c);
+    const double phi = rng.uniform(0, 2 * M_PI);
+    std::vector<Vec3d> u{{s * std::cos(phi), s * std::sin(phi), c}};
+    op.add_frame(u);
+  }
+  const double S = std::cos(theta) * (1.0 + std::cos(theta)) / 2.0;
+  EXPECT_NEAR(op.s2()[0], S * S, 0.01);
+}
+
+TEST(RadiusOfGyration, KnownConfiguration) {
+  std::vector<Vec3d> pos{{1, 0, 0}, {-1, 0, 0}};
+  EXPECT_NEAR(an::radius_of_gyration(pos), 1.0, 1e-12);
+}
+
+TEST(Rmsd, ZeroForIdentical) {
+  std::vector<Vec3d> a{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(an::rmsd_no_superposition(a, a), 0.0);
+}
+
+TEST(Transitions, CountsWithHysteresis) {
+  // Crossing the middle without reaching the other basin is not counted.
+  std::vector<double> q{0.9, 0.8, 0.5, 0.8, 0.9,   // stays folded
+                        0.4, 0.1,                  // unfolds (1)
+                        0.5, 0.6, 0.1,             // wiggles, stays unfolded
+                        0.9,                       // refolds (2)
+                        0.05, 0.95};               // unfold+fold (3, 4)
+  EXPECT_EQ(an::count_transitions(q, 0.2, 0.8), 4);
+}
+
+TEST(Transitions, EmptyAndFlatSeries) {
+  std::vector<double> empty;
+  EXPECT_EQ(an::count_transitions(empty, 0.2, 0.8), 0);
+  std::vector<double> flat(100, 0.5);
+  EXPECT_EQ(an::count_transitions(flat, 0.2, 0.8), 0);
+}

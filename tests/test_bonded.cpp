@@ -1,0 +1,176 @@
+// Bonded kernels: analytic forces must equal -grad E (finite differences)
+// and obey Newton's third law.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "bonded/bonded.hpp"
+#include "util/rng.hpp"
+
+using anton::AngleTerm;
+using anton::BondTerm;
+using anton::DihedralTerm;
+using anton::PeriodicBox;
+using anton::Vec3d;
+using anton::bonded::TermForces;
+
+namespace {
+
+// Numerically differentiates the term energy with respect to each atom
+// coordinate and compares with the reported forces.
+template <typename EvalFn>
+void check_gradient(EvalFn eval, std::vector<Vec3d> pos,
+                    const PeriodicBox& box, double tol) {
+  const TermForces base = eval(pos, box);
+  // Forces must sum to zero (translation invariance).
+  Vec3d total{0, 0, 0};
+  for (int i = 0; i < base.n; ++i) total += base.f[i];
+  EXPECT_NEAR(total.norm(), 0.0, 1e-9);
+
+  const double h = 1e-6;
+  for (int i = 0; i < base.n; ++i) {
+    const int atom = base.atom[i];
+    for (int axis = 0; axis < 3; ++axis) {
+      std::vector<Vec3d> pp = pos, pm = pos;
+      pp[atom][axis] += h;
+      pm[atom][axis] -= h;
+      const double ep = eval(pp, box).energy;
+      const double em = eval(pm, box).energy;
+      const double fd = -(ep - em) / (2 * h);
+      EXPECT_NEAR(base.f[i][axis], fd, tol)
+          << "atom " << atom << " axis " << axis;
+    }
+  }
+}
+
+}  // namespace
+
+TEST(Bonded, BondEnergyAtEquilibriumIsZero) {
+  const PeriodicBox box(50.0);
+  std::vector<Vec3d> pos{{0, 0, 0}, {1.5, 0, 0}};
+  const BondTerm b{0, 1, 300.0, 1.5};
+  const TermForces t = anton::bonded::eval_bond(b, pos, box);
+  EXPECT_NEAR(t.energy, 0.0, 1e-12);
+  EXPECT_NEAR(t.f[0].norm(), 0.0, 1e-9);
+}
+
+TEST(Bonded, BondEnergyQuadratic) {
+  const PeriodicBox box(50.0);
+  std::vector<Vec3d> pos{{0, 0, 0}, {1.7, 0, 0}};
+  const BondTerm b{0, 1, 300.0, 1.5};
+  const TermForces t = anton::bonded::eval_bond(b, pos, box);
+  EXPECT_NEAR(t.energy, 300.0 * 0.2 * 0.2, 1e-9);
+  // Restoring force pulls atom 0 toward atom 1.
+  EXPECT_GT(t.f[0].x, 0.0);
+}
+
+TEST(Bonded, BondAcrossPeriodicBoundary) {
+  const PeriodicBox box(10.0);
+  std::vector<Vec3d> pos{{4.8, 0, 0}, {-4.7, 0, 0}};  // true distance 0.5
+  const BondTerm b{0, 1, 100.0, 0.5};
+  const TermForces t = anton::bonded::eval_bond(b, pos, box);
+  EXPECT_NEAR(t.energy, 0.0, 1e-9);
+}
+
+class BondedGradient : public ::testing::TestWithParam<int> {};
+
+TEST_P(BondedGradient, BondMatchesFiniteDifference) {
+  anton::Xoshiro256 rng(GetParam());
+  const PeriodicBox box(30.0);
+  std::vector<Vec3d> pos{{rng.uniform(-2, 2), rng.uniform(-2, 2),
+                          rng.uniform(-2, 2)},
+                         {rng.uniform(-2, 2), rng.uniform(-2, 2),
+                          rng.uniform(-2, 2)}};
+  const BondTerm b{0, 1, 250.0, 1.4};
+  check_gradient(
+      [&](const std::vector<Vec3d>& p, const PeriodicBox& bx) {
+        return anton::bonded::eval_bond(b, p, bx);
+      },
+      pos, box, 1e-4);
+}
+
+TEST_P(BondedGradient, AngleMatchesFiniteDifference) {
+  anton::Xoshiro256 rng(100 + GetParam());
+  const PeriodicBox box(30.0);
+  std::vector<Vec3d> pos(3);
+  for (auto& r : pos)
+    r = {rng.uniform(-2, 2), rng.uniform(-2, 2), rng.uniform(-2, 2)};
+  // Keep atoms apart to avoid the degenerate (collinear) configuration.
+  pos[0] = pos[1] + Vec3d{1.5, 0.1 * GetParam(), 0.2};
+  pos[2] = pos[1] + Vec3d{-0.3, 1.4, -0.5};
+  const AngleTerm a{0, 1, 2, 60.0, 1.9};
+  check_gradient(
+      [&](const std::vector<Vec3d>& p, const PeriodicBox& bx) {
+        return anton::bonded::eval_angle(a, p, bx);
+      },
+      pos, box, 1e-4);
+}
+
+TEST_P(BondedGradient, DihedralMatchesFiniteDifference) {
+  anton::Xoshiro256 rng(200 + GetParam());
+  const PeriodicBox box(30.0);
+  std::vector<Vec3d> pos(4);
+  pos[0] = {0, 0, 0};
+  pos[1] = {1.5, 0, 0};
+  pos[2] = {2.0, 1.4, 0};
+  pos[3] = {3.2, 1.6, 1.1};
+  for (auto& r : pos)
+    r += Vec3d{rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3),
+               rng.uniform(-0.3, 0.3)};
+  const DihedralTerm d{0, 1, 2, 3, 1.2, 3, 0.4};
+  check_gradient(
+      [&](const std::vector<Vec3d>& p, const PeriodicBox& bx) {
+        return anton::bonded::eval_dihedral(d, p, bx);
+      },
+      pos, box, 2e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConfigs, BondedGradient,
+                         ::testing::Range(1, 11));
+
+TEST(Bonded, DihedralPeriodicity) {
+  // E = k (1 + cos(n phi - phase)): rotating the last atom by 2 pi / n
+  // around the central bond leaves the energy unchanged.
+  const PeriodicBox box(50.0);
+  std::vector<Vec3d> pos{{0, 0, 0}, {1.5, 0, 0}, {1.5, 1.5, 0},
+                         {1.5 + std::cos(0.7), 1.5, std::sin(0.7)}};
+  const DihedralTerm d{0, 1, 2, 3, 1.0, 3, 0.0};
+  const double e0 = anton::bonded::eval_dihedral(d, pos, box).energy;
+  // Rotate atom 3 about the y axis through (1.5, *, 0) by 2 pi / 3.
+  const double ang = 2.0 * M_PI / 3.0;
+  const Vec3d rel = pos[3] - Vec3d{1.5, 1.5, 0};
+  pos[3] = Vec3d{1.5, 1.5, 0} +
+           Vec3d{rel.x * std::cos(ang) + rel.z * std::sin(ang), rel.y,
+                 -rel.x * std::sin(ang) + rel.z * std::cos(ang)};
+  const double e1 = anton::bonded::eval_dihedral(d, pos, box).energy;
+  EXPECT_NEAR(e0, e1, 1e-9);
+}
+
+TEST(Bonded, CollinearDihedralIsSafe) {
+  const PeriodicBox box(50.0);
+  std::vector<Vec3d> pos{{0, 0, 0}, {1, 0, 0}, {2, 0, 0}, {3, 0, 0}};
+  const DihedralTerm d{0, 1, 2, 3, 1.0, 2, 0.0};
+  const TermForces t = anton::bonded::eval_dihedral(d, pos, box);
+  EXPECT_EQ(t.n, 0);  // degenerate: skipped, no NaNs
+}
+
+TEST(Bonded, EvalAllAccumulates) {
+  anton::Topology top;
+  top.natoms = 3;
+  top.mass.assign(3, 12.0);
+  top.charge.assign(3, 0.0);
+  top.type.assign(3, 0);
+  top.lj_types.push_back({3.0, 0.1});
+  top.bonds.push_back({0, 1, 100.0, 1.0});
+  top.bonds.push_back({1, 2, 100.0, 1.0});
+  top.angles.push_back({0, 1, 2, 50.0, M_PI / 2});
+  const PeriodicBox box(20.0);
+  std::vector<Vec3d> pos{{0, 0, 0}, {1.1, 0, 0}, {1.1, 0.9, 0}};
+  std::vector<Vec3d> f(3, {0, 0, 0});
+  const double e = anton::bonded::eval_all_bonded(top, pos, box, f);
+  EXPECT_GT(e, 0.0);
+  Vec3d sum{0, 0, 0};
+  for (const auto& fi : f) sum += fi;
+  EXPECT_NEAR(sum.norm(), 0.0, 1e-9);
+}

@@ -1,0 +1,173 @@
+// SHAKE/RATTLE constraint solvers (Section 3.2.4).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "constraints/shake.hpp"
+#include "ff/params.hpp"
+#include "util/rng.hpp"
+
+using anton::ConstraintBond;
+using anton::PeriodicBox;
+using anton::Vec3d;
+namespace cn = anton::constraints;
+
+namespace {
+struct Water {
+  std::vector<ConstraintBond> bonds;
+  std::vector<double> mass{15.999, 1.008, 1.008};
+  std::vector<Vec3d> pos;
+  Water() {
+    const auto w = anton::ff::water3();
+    const double half = 0.5 * w.theta_hoh;
+    pos = {{0, 0, 0},
+           {w.r_oh * std::cos(half), w.r_oh * std::sin(half), 0},
+           {w.r_oh * std::cos(half), -w.r_oh * std::sin(half), 0}};
+    const double r_hh = 2.0 * w.r_oh * std::sin(half);
+    bonds = {{0, 1, w.r_oh}, {0, 2, w.r_oh}, {1, 2, r_hh}};
+  }
+};
+}  // namespace
+
+TEST(Shake, AlreadySatisfiedIsNoop) {
+  Water w;
+  const PeriodicBox box(20.0);
+  std::vector<Vec3d> moved = w.pos;
+  const int iters = cn::shake(w.bonds, w.mass, w.pos, moved, box);
+  EXPECT_EQ(iters, 0);  // converged immediately
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(moved[i], w.pos[i]);
+}
+
+TEST(Shake, RestoresPerturbedWater) {
+  Water w;
+  const PeriodicBox box(20.0);
+  anton::Xoshiro256 rng(4);
+  std::vector<Vec3d> moved = w.pos;
+  for (auto& r : moved)
+    r += Vec3d{rng.uniform(-0.05, 0.05), rng.uniform(-0.05, 0.05),
+               rng.uniform(-0.05, 0.05)};
+  const int iters = cn::shake(w.bonds, w.mass, w.pos, moved, box);
+  EXPECT_GE(iters, 0);
+  EXPECT_LT(cn::max_violation(w.bonds, moved, box), 1e-8);
+}
+
+TEST(Shake, ConservesMassWeightedCentroid) {
+  Water w;
+  const PeriodicBox box(20.0);
+  anton::Xoshiro256 rng(5);
+  std::vector<Vec3d> moved = w.pos;
+  for (auto& r : moved)
+    r += Vec3d{rng.uniform(-0.04, 0.04), rng.uniform(-0.04, 0.04),
+               rng.uniform(-0.04, 0.04)};
+  Vec3d before{0, 0, 0};
+  for (int i = 0; i < 3; ++i) before += moved[i] * w.mass[i];
+  cn::shake(w.bonds, w.mass, w.pos, moved, box);
+  Vec3d after{0, 0, 0};
+  for (int i = 0; i < 3; ++i) after += moved[i] * w.mass[i];
+  EXPECT_NEAR((before - after).norm(), 0.0, 1e-10);
+}
+
+TEST(Shake, WorksAcrossPeriodicBoundary) {
+  Water w;
+  const PeriodicBox box(10.0);
+  std::vector<Vec3d> ref(3), moved(3);
+  for (int i = 0; i < 3; ++i) {
+    ref[i] = box.wrap(w.pos[i] + Vec3d{4.95, 0, 0});
+    moved[i] = box.wrap(ref[i] + Vec3d{0.02 * i, -0.01 * i, 0.015});
+  }
+  const int iters = cn::shake(w.bonds, w.mass, ref, moved, box);
+  EXPECT_GE(iters, 0);
+  EXPECT_LT(cn::max_violation(w.bonds, moved, box), 1e-8);
+}
+
+TEST(Shake, IsDeterministic) {
+  Water w;
+  const PeriodicBox box(20.0);
+  anton::Xoshiro256 rng(6);
+  std::vector<Vec3d> moved = w.pos;
+  for (auto& r : moved)
+    r += Vec3d{rng.uniform(-0.03, 0.03), rng.uniform(-0.03, 0.03),
+               rng.uniform(-0.03, 0.03)};
+  std::vector<Vec3d> a = moved, b = moved;
+  cn::shake(w.bonds, w.mass, w.pos, a, box);
+  cn::shake(w.bonds, w.mass, w.pos, b, box);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(a[i], b[i]);  // bitwise
+}
+
+TEST(Rattle, RemovesBondVelocity) {
+  Water w;
+  const PeriodicBox box(20.0);
+  anton::Xoshiro256 rng(7);
+  std::vector<Vec3d> vel(3);
+  for (auto& v : vel)
+    v = {rng.uniform(-0.02, 0.02), rng.uniform(-0.02, 0.02),
+         rng.uniform(-0.02, 0.02)};
+  const int iters = cn::rattle(w.bonds, w.mass, w.pos, vel, box);
+  EXPECT_GE(iters, 0);
+  for (const ConstraintBond& c : w.bonds) {
+    const Vec3d r = box.min_image(w.pos[c.i], w.pos[c.j]);
+    const Vec3d dv = vel[c.i] - vel[c.j];
+    EXPECT_NEAR(r.dot(dv), 0.0, 1e-10);
+  }
+}
+
+TEST(Rattle, PreservesGroupMomentum) {
+  Water w;
+  const PeriodicBox box(20.0);
+  anton::Xoshiro256 rng(8);
+  std::vector<Vec3d> vel(3);
+  for (auto& v : vel)
+    v = {rng.uniform(-0.02, 0.02), rng.uniform(-0.02, 0.02),
+         rng.uniform(-0.02, 0.02)};
+  Vec3d before{0, 0, 0};
+  for (int i = 0; i < 3; ++i) before += vel[i] * w.mass[i];
+  cn::rattle(w.bonds, w.mass, w.pos, vel, box);
+  Vec3d after{0, 0, 0};
+  for (int i = 0; i < 3; ++i) after += vel[i] * w.mass[i];
+  EXPECT_NEAR((before - after).norm(), 0.0, 1e-12);
+}
+
+TEST(Shake, FourSiteWaterTriangle) {
+  // The 4-site (TIP4P-Ew-like) water constrains only its O-H-H triangle;
+  // the planar M site is a massless virtual site (constraining it makes
+  // SHAKE singular -- the reason real codes use virtual sites too).
+  const auto w4 = anton::ff::water4();
+  const double half = 0.5 * w4.theta_hoh;
+  const double r_hh = 2.0 * w4.r_oh * std::sin(half);
+  const double d_bis = w4.r_oh * std::cos(half);
+  std::vector<Vec3d> ref = {{0, 0, 0},
+                            {d_bis, 0.5 * r_hh, 0},
+                            {d_bis, -0.5 * r_hh, 0}};
+  std::vector<double> mass{15.999, 1.008, 1.008};
+  std::vector<ConstraintBond> bonds = {
+      {0, 1, w4.r_oh}, {0, 2, w4.r_oh}, {1, 2, r_hh}};
+  const PeriodicBox box(20.0);
+  EXPECT_LT(cn::max_violation(bonds, ref, box), 1e-10);
+
+  anton::Xoshiro256 rng(9);
+  std::vector<Vec3d> moved = ref;
+  for (auto& r : moved)
+    r += Vec3d{rng.uniform(-0.03, 0.03), rng.uniform(-0.03, 0.03),
+               rng.uniform(-0.03, 0.03)};
+  const int iters = cn::shake(bonds, mass, ref, moved, box);
+  EXPECT_GE(iters, 0);
+  EXPECT_LT(cn::max_violation(bonds, moved, box), 1e-8);
+
+  // Virtual-site reconstruction: M = O + a (H1 + H2 - 2 O) lands at r_om
+  // from the oxygen on the bisector, for any rigid pose.
+  const double a = w4.r_om / (2.0 * d_bis);
+  const Vec3d m = moved[0] + (moved[1] + moved[2] - moved[0] * 2.0) * a;
+  EXPECT_NEAR((m - moved[0]).norm(), w4.r_om, 1e-9);
+  EXPECT_NEAR((m - moved[1]).norm(), (m - moved[2]).norm(), 1e-9);
+}
+
+TEST(Shake, BondToHydrogenGroup) {
+  std::vector<ConstraintBond> bonds{{0, 1, 1.01}};
+  std::vector<double> mass{14.0, 1.008};
+  std::vector<Vec3d> ref{{0, 0, 0}, {1.01, 0, 0}};
+  std::vector<Vec3d> moved{{0.01, 0.02, 0.0}, {1.10, -0.03, 0.05}};
+  const PeriodicBox box(15.0);
+  EXPECT_GE(cn::shake(bonds, mass, ref, moved, box), 0);
+  EXPECT_NEAR(box.min_image(moved[0], moved[1]).norm(), 1.01, 1e-8);
+}

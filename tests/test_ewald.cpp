@@ -1,0 +1,246 @@
+// Electrostatics: GSE (the paper's long-range method) against an exact
+// Ewald reference, kernel identities, and parameter behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ewald/gse.hpp"
+#include "ewald/kernels.hpp"
+#include "ewald/reference_ewald.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+using anton::PeriodicBox;
+using anton::Vec3d;
+namespace ew = anton::ewald;
+
+TEST(Kernels, SplitSumsToBareCoulomb) {
+  // erfc/r + erf/r = 1/r, for both energies and force coefficients.
+  for (double r : {0.8, 1.5, 3.0, 6.0, 11.0}) {
+    const double beta = 0.3;
+    EXPECT_NEAR(ew::coul_direct_energy(r, beta) + ew::coul_recip_energy(r, beta),
+                ew::coul_bare_energy(r), 1e-9 * ew::coul_bare_energy(r));
+    EXPECT_NEAR(ew::coul_direct_force(r, beta) + ew::coul_recip_force(r, beta),
+                ew::coul_bare_force(r), 1e-9 * ew::coul_bare_force(r));
+  }
+}
+
+TEST(Kernels, ForceIsMinusEnergyDerivative) {
+  const double beta = 0.32, h = 1e-6;
+  for (double r : {1.0, 2.5, 5.0, 9.0}) {
+    // F_vec = coef * dr; the radial force magnitude is coef * r and must
+    // equal -dE/dr.
+    const double dEdr = (ew::coul_direct_energy(r + h, beta) -
+                         ew::coul_direct_energy(r - h, beta)) /
+                        (2 * h);
+    EXPECT_NEAR(ew::coul_direct_force(r, beta) * r, -dEdr,
+                1e-5 * std::fabs(dEdr) + 1e-9);
+  }
+}
+
+TEST(Kernels, LJForceIsMinusDerivative) {
+  const double A = ew::lj_A(3.15, 0.15), B = ew::lj_B(3.15, 0.15);
+  const double h = 1e-6;
+  for (double r : {3.0, 3.5, 4.5, 6.0}) {
+    const double dEdr =
+        (ew::lj_energy((r + h) * (r + h), A, B) -
+         ew::lj_energy((r - h) * (r - h), A, B)) /
+        (2 * h);
+    EXPECT_NEAR(ew::lj_force(r * r, A, B) * r, -dEdr,
+                1e-4 * std::fabs(dEdr) + 1e-10);
+  }
+}
+
+TEST(Kernels, LJMinimumAtSigma2Pow16) {
+  const double sigma = 3.15, eps = 0.15;
+  const double A = ew::lj_A(sigma, eps), B = ew::lj_B(sigma, eps);
+  const double r_min = sigma * std::pow(2.0, 1.0 / 6.0);
+  EXPECT_NEAR(ew::lj_energy(r_min * r_min, A, B), -eps, 1e-9);
+  EXPECT_NEAR(ew::lj_force(r_min * r_min, A, B), 0.0, 1e-9);
+}
+
+TEST(Gse, RejectsOversizedSpreadGaussian) {
+  ew::GseParams p;
+  p.beta = 0.5;
+  p.sigma_s = 5.0;  // sigma_s > sigma/sqrt(2)
+  p.mesh = 16;
+  EXPECT_THROW(ew::Gse(PeriodicBox(20.0), p), std::invalid_argument);
+}
+
+TEST(Gse, SpreadConservesCharge) {
+  const PeriodicBox box(24.0);
+  ew::GseParams p = ew::GseParams::for_cutoff(9.0, 32);
+  ew::Gse gse(box, p);
+  anton::Xoshiro256 rng(3);
+  std::vector<Vec3d> pos(20);
+  std::vector<double> q(20);
+  double total_q = 0;
+  for (int i = 0; i < 20; ++i) {
+    pos[i] = {rng.uniform(-12, 12), rng.uniform(-12, 12),
+              rng.uniform(-12, 12)};
+    q[i] = rng.uniform(-1, 1);
+    total_q += q[i];
+  }
+  std::vector<double> Q(gse.mesh_total(), 0.0);
+  gse.spread(pos, q, Q);
+  double mesh_q = 0;
+  const double h3 = std::pow(gse.mesh_spacing(), 3);
+  for (double v : Q) mesh_q += v * h3;
+  // The Gaussian is truncated at rs, so allow a small clipping error.
+  EXPECT_NEAR(mesh_q, total_q, 0.01 * std::max(1.0, std::fabs(total_q)));
+}
+
+namespace {
+
+struct TestCharges {
+  std::vector<Vec3d> pos;
+  std::vector<double> q;
+};
+
+TestCharges neutral_random_charges(int n, double L, std::uint64_t seed) {
+  anton::Xoshiro256 rng(seed);
+  TestCharges tc;
+  tc.pos.resize(n);
+  tc.q.resize(n);
+  for (int i = 0; i < n; ++i) {
+    tc.pos[i] = {rng.uniform(-L / 2, L / 2), rng.uniform(-L / 2, L / 2),
+                 rng.uniform(-L / 2, L / 2)};
+    tc.q[i] = (i % 2 == 0) ? 0.5 : -0.5;
+  }
+  // Enforce a minimum separation so the direct-space part converges fast.
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < i; ++j) {
+      PeriodicBox box(L);
+      if (box.min_image(tc.pos[i], tc.pos[j]).norm() < 1.6) {
+        tc.pos[i].x = box.wrap(tc.pos[i] + Vec3d{1.9, 0.7, 0.3}).x;
+      }
+    }
+  }
+  return tc;
+}
+
+/// Total electrostatic force on each atom: direct erfc within cutoff over
+/// all pairs + reciprocal + exclusion-free corrections. Used to compare
+/// GSE's mesh path against the exact structure-factor sum.
+std::vector<Vec3d> recip_forces_gse(const PeriodicBox& box,
+                                    const ew::GseParams& p,
+                                    const TestCharges& tc) {
+  ew::Gse gse(box, p);
+  std::vector<double> Q(gse.mesh_total(), 0.0), phi(gse.mesh_total(), 0.0);
+  gse.spread(tc.pos, tc.q, Q);
+  gse.convolve(Q, phi);
+  std::vector<Vec3d> f(tc.pos.size(), {0, 0, 0});
+  gse.interpolate(tc.pos, tc.q, phi, f);
+  return f;
+}
+
+}  // namespace
+
+TEST(Gse, ReciprocalForcesMatchExactEwald) {
+  const double L = 24.0;
+  const PeriodicBox box(L);
+  const TestCharges tc = neutral_random_charges(24, L, 77);
+
+  ew::GseParams p = ew::GseParams::for_cutoff(9.0, 32);
+  const std::vector<Vec3d> f_gse = recip_forces_gse(box, p, tc);
+
+  ew::ReferenceEwald ref(box, p.beta, 14);
+  std::vector<Vec3d> f_ref(tc.pos.size(), {0, 0, 0});
+  ref.compute(tc.pos, tc.q, f_ref);
+
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < f_ref.size(); ++i) {
+    num += (f_gse[i] - f_ref[i]).norm2();
+    den += f_ref[i].norm2();
+  }
+  const double rel = std::sqrt(num / den);
+  // Mesh methods at production settings target ~1e-3 relative force
+  // accuracy in the reciprocal component.
+  EXPECT_LT(rel, 2e-2) << "relative reciprocal force error " << rel;
+}
+
+TEST(Gse, ReciprocalEnergyMatchesExactEwald) {
+  const double L = 20.0;
+  const PeriodicBox box(L);
+  const TestCharges tc = neutral_random_charges(16, L, 99);
+
+  ew::GseParams p = ew::GseParams::for_cutoff(8.0, 32);
+  ew::Gse gse(box, p);
+  std::vector<double> Q(gse.mesh_total(), 0.0), phi(gse.mesh_total(), 0.0);
+  gse.spread(tc.pos, tc.q, Q);
+  const double e_gse = gse.convolve(Q, phi);
+
+  ew::ReferenceEwald ref(box, p.beta, 14);
+  std::vector<Vec3d> scratch(tc.pos.size(), {0, 0, 0});
+  const double e_ref = ref.compute(tc.pos, tc.q, scratch);
+
+  EXPECT_NEAR(e_gse, e_ref, 0.02 * std::fabs(e_ref) + 0.01);
+}
+
+TEST(Gse, FinerMeshIsMoreAccurate) {
+  const double L = 20.0;
+  const PeriodicBox box(L);
+  const TestCharges tc = neutral_random_charges(16, L, 13);
+  ew::ReferenceEwald ref(box, ew::GseParams::for_cutoff(8.0, 16).beta, 14);
+  std::vector<Vec3d> f_ref(tc.pos.size(), {0, 0, 0});
+  ref.compute(tc.pos, tc.q, f_ref);
+
+  auto rel_err = [&](int mesh) {
+    ew::GseParams p = ew::GseParams::for_cutoff(8.0, mesh);
+    const std::vector<Vec3d> f = recip_forces_gse(box, p, tc);
+    double num = 0, den = 0;
+    for (std::size_t i = 0; i < f_ref.size(); ++i) {
+      num += (f[i] - f_ref[i]).norm2();
+      den += f_ref[i].norm2();
+    }
+    return std::sqrt(num / den);
+  };
+  EXPECT_LT(rel_err(32), rel_err(8));
+}
+
+TEST(Gse, SelfEnergyFormula) {
+  const PeriodicBox box(20.0);
+  ew::GseParams p = ew::GseParams::for_cutoff(8.0, 16);
+  ew::Gse gse(box, p);
+  std::vector<double> q{1.0, -2.0, 0.5};
+  const double expect = -anton::units::kCoulomb * p.beta / std::sqrt(M_PI) *
+                        (1.0 + 4.0 + 0.25);
+  EXPECT_NEAR(gse.self_energy(q), expect, 1e-9);
+}
+
+TEST(ReferenceEwald, TwoChargeSystemMatchesMadelungStyleSum) {
+  // Two opposite charges: total electrostatic energy from Ewald parts
+  // must be independent of the splitting parameter beta.
+  const double L = 16.0;
+  const PeriodicBox box(L);
+  std::vector<Vec3d> pos{{0, 0, 0}, {3.0, 0, 0}};
+  std::vector<double> q{1.0, -1.0};
+
+  auto total_energy = [&](double beta) {
+    ew::ReferenceEwald ref(box, beta, 16);
+    std::vector<Vec3d> f(2, {0, 0, 0});
+    double e = ref.compute(pos, q, f);
+    e += ref.self_energy(q);
+    // Direct-space part over images within a generous cutoff.
+    for (int ix = -2; ix <= 2; ++ix)
+      for (int iy = -2; iy <= 2; ++iy)
+        for (int iz = -2; iz <= 2; ++iz) {
+          const Vec3d shift{L * ix, L * iy, L * iz};
+          // i-j pair (+ its images)
+          const double r1 = (pos[0] - pos[1] + shift).norm();
+          e += q[0] * q[1] * ew::coul_direct_energy(r1, beta);
+          // self-image interactions (i with its own periodic copies)
+          if (ix || iy || iz) {
+            const double r0 = shift.norm();
+            e += 0.5 * (q[0] * q[0] + q[1] * q[1]) *
+                 ew::coul_direct_energy(r0, beta);
+          }
+        }
+    return e;
+  };
+
+  const double e1 = total_energy(0.35);
+  const double e2 = total_energy(0.5);
+  EXPECT_NEAR(e1, e2, 5e-4 * std::fabs(e1));
+}

@@ -1,0 +1,203 @@
+// Fixed-point arithmetic: the properties Section 4 of the paper builds
+// determinism, parallel invariance and reversibility on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "fixed/accum.hpp"
+#include "fixed/fixed.hpp"
+#include "fixed/lattice.hpp"
+#include "util/rng.hpp"
+
+namespace af = anton::fixed;
+using anton::PeriodicBox;
+using anton::Vec3d;
+using anton::Vec3i;
+
+TEST(Fixed, WrapAddSubRoundTrip) {
+  const std::int64_t vals[] = {0, 1, -1, 123456789, -987654321,
+                               INT64_MAX, INT64_MIN, INT64_MAX - 3};
+  for (std::int64_t a : vals) {
+    for (std::int64_t b : vals) {
+      EXPECT_EQ(af::wrap_sub(af::wrap_add(a, b), b), a);
+    }
+  }
+}
+
+TEST(Fixed, WrapAddAssociativeAndCommutative) {
+  anton::Xoshiro256 rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = static_cast<std::int64_t>(rng());
+    const auto b = static_cast<std::int64_t>(rng());
+    const auto c = static_cast<std::int64_t>(rng());
+    EXPECT_EQ(af::wrap_add(a, b), af::wrap_add(b, a));
+    EXPECT_EQ(af::wrap_add(af::wrap_add(a, b), c),
+              af::wrap_add(a, af::wrap_add(b, c)));
+  }
+}
+
+TEST(Fixed, PaperFootnoteWrapExample) {
+  // Footnote 2: in 4-bit arithmetic, 3/8 + 7/8 + (-5/8) = 5/8 regardless
+  // of order, even though 3/8 + 7/8 wraps. 4-bit values: 3, 7, -5 with
+  // the representable range [-8, 8) standing for [-1, 1).
+  auto wrap4 = [](std::int64_t v) { return af::wrap_to_bits(v, 4); };
+  const std::int64_t x = 3, y = 7, z = -5;
+  EXPECT_EQ(wrap4(wrap4(x + y) + z), 5);
+  EXPECT_EQ(wrap4(wrap4(x + z) + y), 5);
+  EXPECT_EQ(wrap4(wrap4(y + z) + x), 5);
+  EXPECT_EQ(wrap4(x + y), -6);  // the intermediate really does wrap
+}
+
+TEST(Fixed, SumOrderInvarianceProperty) {
+  // Any permutation of wrapped adds produces the same result -- the root
+  // of Anton's parallel invariance.
+  anton::Xoshiro256 rng(7);
+  std::vector<std::int64_t> vals(500);
+  for (auto& v : vals) v = static_cast<std::int64_t>(rng());
+  auto sum_in_order = [](const std::vector<std::int64_t>& v) {
+    std::int64_t s = 0;
+    for (auto x : v) s = af::wrap_add(s, x);
+    return s;
+  };
+  const std::int64_t expected = sum_in_order(vals);
+  std::mt19937_64 shuffler(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::shuffle(vals.begin(), vals.end(), shuffler);
+    EXPECT_EQ(sum_in_order(vals), expected);
+  }
+}
+
+TEST(Fixed, QuantizeRoundsToNearestEven) {
+  EXPECT_EQ(af::quantize(0.5, 1.0), 0);   // tie -> even
+  EXPECT_EQ(af::quantize(1.5, 1.0), 2);   // tie -> even
+  EXPECT_EQ(af::quantize(2.5, 1.0), 2);   // tie -> even
+  EXPECT_EQ(af::quantize(-0.5, 1.0), 0);
+  EXPECT_EQ(af::quantize(-1.5, 1.0), -2);
+  EXPECT_EQ(af::quantize(0.4999, 1.0), 0);
+  EXPECT_EQ(af::quantize(0.5001, 1.0), 1);
+}
+
+TEST(Fixed, QuantizeIsOddSymmetric) {
+  // RNE(-x) == -RNE(x): required for bitwise time reversibility.
+  anton::Xoshiro256 rng(11);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const double x = rng.uniform(-1e6, 1e6);
+    const double s = rng.uniform(0.1, 1e6);
+    EXPECT_EQ(af::quantize(-x, s), -af::quantize(x, s));
+  }
+}
+
+TEST(Fixed, RshiftRneMatchesReference) {
+  anton::Xoshiro256 rng(13);
+  for (int trial = 0; trial < 2000; ++trial) {
+    // Keep |v| below 2^52 so the double reference is exact.
+    std::int64_t v = static_cast<std::int64_t>(rng() >> 12);
+    if (rng() & 1) v = -v;
+    const int k = 1 + static_cast<int>(rng.below(20));
+    const double exact = static_cast<double>(v) / std::ldexp(1.0, k);
+    const std::int64_t expected = std::llrint(exact);  // RNE
+    EXPECT_EQ(af::rshift_rne(v, k), expected) << "v=" << v << " k=" << k;
+  }
+}
+
+TEST(Fixed, RshiftRneOddSymmetric) {
+  anton::Xoshiro256 rng(17);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::int64_t v = static_cast<std::int64_t>(rng() >> 2);
+    if (rng() & 1) v = -v;
+    const int k = 1 + static_cast<int>(rng.below(30));
+    EXPECT_EQ(af::rshift_rne(-v, k), -af::rshift_rne(v, k));
+  }
+}
+
+TEST(Fixed, WrapToBitsAndSaturate) {
+  EXPECT_EQ(af::wrap_to_bits(7, 4), 7);
+  EXPECT_EQ(af::wrap_to_bits(8, 4), -8);
+  EXPECT_EQ(af::wrap_to_bits(-9, 4), 7);
+  EXPECT_EQ(af::saturate_to_bits(100, 4), 7);
+  EXPECT_EQ(af::saturate_to_bits(-100, 4), -8);
+  EXPECT_EQ(af::saturate_to_bits(3, 4), 3);
+}
+
+TEST(Fixed, Accum128Wraps) {
+  af::Accum128 acc;
+  acc.add(static_cast<__int128>(1) << 100);
+  acc.add(-(static_cast<__int128>(1) << 100));
+  EXPECT_EQ(acc.value(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Position lattice: wrap == periodic boundary.
+// ---------------------------------------------------------------------------
+
+TEST(Lattice, RoundTripAccuracy) {
+  const PeriodicBox box(50.0);
+  const af::PositionLattice lat(box);
+  anton::Xoshiro256 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const Vec3d r{rng.uniform(-25, 25), rng.uniform(-25, 25),
+                  rng.uniform(-25, 25)};
+    const Vec3d back = lat.to_phys(lat.to_lattice(r));
+    // LSB is 50/2^32 ~ 1.2e-8 A.
+    EXPECT_NEAR(back.x, r.x, 1e-7);
+    EXPECT_NEAR(back.y, r.y, 1e-7);
+    EXPECT_NEAR(back.z, r.z, 1e-7);
+  }
+}
+
+TEST(Lattice, WrapIsPeriodicBoundary) {
+  const PeriodicBox box(50.0);
+  const af::PositionLattice lat(box);
+  // A coordinate just past +L/2 wraps to just past -L/2.
+  const Vec3i a = lat.to_lattice({25.001, 0, 0});
+  const Vec3d back = lat.to_phys(a);
+  EXPECT_NEAR(back.x, -24.999, 1e-6);
+}
+
+TEST(Lattice, DeltaIsMinimumImage) {
+  const PeriodicBox box(50.0);
+  const af::PositionLattice lat(box);
+  anton::Xoshiro256 rng(6);
+  for (int i = 0; i < 500; ++i) {
+    const Vec3d ra{rng.uniform(-25, 25), rng.uniform(-25, 25),
+                   rng.uniform(-25, 25)};
+    const Vec3d rb{rng.uniform(-25, 25), rng.uniform(-25, 25),
+                   rng.uniform(-25, 25)};
+    const Vec3i d = af::PositionLattice::delta(lat.to_lattice(ra),
+                                               lat.to_lattice(rb));
+    const Vec3d dp = lat.delta_to_phys(d);
+    const Vec3d expect = box.min_image(ra, rb);
+    EXPECT_NEAR(dp.x, expect.x, 1e-6);
+    EXPECT_NEAR(dp.y, expect.y, 1e-6);
+    EXPECT_NEAR(dp.z, expect.z, 1e-6);
+  }
+}
+
+TEST(Lattice, AdvanceIsOddSymmetric) {
+  const PeriodicBox box(64.0);
+  const af::PositionLattice lat(box);
+  anton::Xoshiro256 rng(8);
+  for (int i = 0; i < 500; ++i) {
+    const Vec3i p{static_cast<std::int32_t>(rng()),
+                  static_cast<std::int32_t>(rng()),
+                  static_cast<std::int32_t>(rng())};
+    const Vec3d dr{rng.uniform(-1, 1), rng.uniform(-1, 1),
+                   rng.uniform(-1, 1)};
+    const Vec3i fwd = lat.advance(p, dr);
+    const Vec3i back = lat.advance(fwd, -dr);
+    EXPECT_EQ(back, p);  // exact reversal of a drift sub-step
+  }
+}
+
+TEST(Lattice, Dist2MatchesDouble) {
+  const PeriodicBox box(40.0);
+  const af::PositionLattice lat(box);
+  const Vec3d a{1.0, 2.0, 3.0}, b{-4.0, 19.5, -19.5};
+  const double d2 = lat.dist2(lat.to_lattice(a), lat.to_lattice(b));
+  const double expect = box.min_image(a, b).norm2();
+  EXPECT_NEAR(d2, expect, 1e-5);
+}

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "geom/box.hpp"
+#include "geom/vec3.hpp"
+#include "util/rng.hpp"
+
+using anton::PeriodicBox;
+using anton::Vec3d;
+
+TEST(Vec3, BasicAlgebra) {
+  const Vec3d a{1, 2, 3}, b{4, -5, 6};
+  EXPECT_EQ(a + b, (Vec3d{5, -3, 9}));
+  EXPECT_EQ(a - b, (Vec3d{-3, 7, -3}));
+  EXPECT_EQ(a * 2.0, (Vec3d{2, 4, 6}));
+  EXPECT_DOUBLE_EQ(a.dot(b), 12.0);
+  EXPECT_DOUBLE_EQ(a.norm2(), 14.0);
+}
+
+TEST(Vec3, CrossProduct) {
+  const Vec3d x{1, 0, 0}, y{0, 1, 0};
+  EXPECT_EQ(x.cross(y), (Vec3d{0, 0, 1}));
+  EXPECT_EQ(y.cross(x), (Vec3d{0, 0, -1}));
+  const Vec3d a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(a.cross(b).dot(a), 0.0);
+  EXPECT_DOUBLE_EQ(a.cross(b).dot(b), 0.0);
+}
+
+TEST(Box, WrapStaysInRange) {
+  const PeriodicBox box(20.0);
+  anton::Xoshiro256 rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const Vec3d r{rng.uniform(-100, 100), rng.uniform(-100, 100),
+                  rng.uniform(-100, 100)};
+    const Vec3d w = box.wrap(r);
+    EXPECT_GE(w.x, -10.0);
+    EXPECT_LT(w.x, 10.0);
+    EXPECT_GE(w.y, -10.0);
+    EXPECT_LT(w.y, 10.0);
+    EXPECT_GE(w.z, -10.0);
+    EXPECT_LT(w.z, 10.0);
+    // Wrapping is a lattice translation.
+    EXPECT_NEAR(std::remainder(w.x - r.x, 20.0), 0.0, 1e-9);
+  }
+}
+
+TEST(Box, MinImageIsShortest) {
+  const PeriodicBox box(10.0);
+  anton::Xoshiro256 rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const Vec3d a{rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-5, 5)};
+    const Vec3d b{rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-5, 5)};
+    const Vec3d d = box.min_image(a, b);
+    // No image of (a - b) is shorter.
+    for (int ix = -1; ix <= 1; ++ix)
+      for (int iy = -1; iy <= 1; ++iy)
+        for (int iz = -1; iz <= 1; ++iz) {
+          const Vec3d alt = (a - b) + Vec3d{10.0 * ix, 10.0 * iy, 10.0 * iz};
+          EXPECT_LE(d.norm2(), alt.norm2() + 1e-9);
+        }
+  }
+}
+
+TEST(Box, NonCubicSides) {
+  const PeriodicBox box(Vec3d{10, 20, 40});
+  EXPECT_FALSE(box.is_cubic());
+  EXPECT_DOUBLE_EQ(box.volume(), 8000.0);
+  const Vec3d w = box.wrap({6, 11, 21});
+  EXPECT_NEAR(w.x, -4.0, 1e-12);
+  EXPECT_NEAR(w.y, -9.0, 1e-12);
+  EXPECT_NEAR(w.z, -19.0, 1e-12);  // 21 wraps past L/2 = 20
+}

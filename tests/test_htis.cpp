@@ -1,0 +1,163 @@
+// HTIS emulation: match units (low-precision distance check, Figure 4b)
+// and PPIP pair kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ewald/kernels.hpp"
+#include "fixed/lattice.hpp"
+#include "htis/match_unit.hpp"
+#include "htis/pair_kernels.hpp"
+#include "util/rng.hpp"
+
+using anton::PeriodicBox;
+using anton::Vec3d;
+using anton::Vec3i;
+namespace ht = anton::htis;
+
+TEST(MatchUnit, LowPrecisionIsLowerBound) {
+  anton::Xoshiro256 rng(1);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const Vec3i d{static_cast<std::int32_t>(rng()),
+                  static_cast<std::int32_t>(rng()),
+                  static_cast<std::int32_t>(rng())};
+    EXPECT_LE(ht::low_precision_r2(d), ht::exact_r2_lattice(d));
+  }
+}
+
+TEST(MatchUnit, NeverRejectsInRangePair) {
+  // The conservative property the hardware must guarantee: every pair
+  // within the cutoff passes the match check.
+  const PeriodicBox box(64.0);
+  const anton::fixed::PositionLattice lat(box);
+  const double cutoff = 13.0;
+  const double cut_lat = cutoff / lat.lsb().x;
+  const auto limit = static_cast<std::uint64_t>(cut_lat * cut_lat);
+  anton::Xoshiro256 rng(2);
+  int in_range = 0;
+  for (int trial = 0; trial < 20000; ++trial) {
+    const Vec3d a{rng.uniform(-32, 32), rng.uniform(-32, 32),
+                  rng.uniform(-32, 32)};
+    const Vec3d b = a + Vec3d{rng.uniform(-15, 15), rng.uniform(-15, 15),
+                              rng.uniform(-15, 15)};
+    const Vec3i d = anton::fixed::PositionLattice::delta(
+        lat.to_lattice(a), lat.to_lattice(box.wrap(b)));
+    if (ht::exact_r2_lattice(d) <= limit) {
+      ++in_range;
+      EXPECT_TRUE(ht::match_plausible(d, limit));
+    }
+  }
+  EXPECT_GT(in_range, 1000);  // the test actually exercised the property
+}
+
+TEST(MatchUnit, RejectsFarPairs) {
+  const PeriodicBox box(64.0);
+  const anton::fixed::PositionLattice lat(box);
+  const double cut_lat = 9.0 / lat.lsb().x;
+  const auto limit = static_cast<std::uint64_t>(cut_lat * cut_lat);
+  const Vec3i far = lat.to_lattice({25.0, 20.0, 18.0});
+  EXPECT_FALSE(ht::match_plausible(
+      anton::fixed::PositionLattice::delta(far, lat.to_lattice({0, 0, 0})),
+      limit));
+}
+
+TEST(MatchUnit, FilterRejectsMostFarPairs) {
+  // At a 13 A cutoff in a 64 A box the 8-bit check should reject the
+  // large majority of uniformly random far pairs.
+  const PeriodicBox box(64.0);
+  const anton::fixed::PositionLattice lat(box);
+  const double cut_lat = 13.0 / lat.lsb().x;
+  const auto limit = static_cast<std::uint64_t>(cut_lat * cut_lat);
+  anton::Xoshiro256 rng(3);
+  int far_pairs = 0, passed = 0;
+  for (int trial = 0; trial < 20000; ++trial) {
+    const Vec3i a{static_cast<std::int32_t>(rng()),
+                  static_cast<std::int32_t>(rng()),
+                  static_cast<std::int32_t>(rng())};
+    if (ht::exact_r2_lattice(a) > limit) {
+      ++far_pairs;
+      if (ht::match_plausible(a, limit)) ++passed;
+    }
+  }
+  EXPECT_LT(passed, far_pairs / 10);
+}
+
+namespace {
+ht::PairKernels make_kernels() {
+  ht::PairKernelParams p;
+  p.cutoff = 13.0;
+  p.beta = 0.24;
+  p.sigma_s = 1.2;
+  p.rs = 5.0;
+  std::vector<anton::LJType> types{{3.15, 0.152}, {1.0, 0.0}, {3.4, 0.086}};
+  return ht::PairKernels(p, types);
+}
+}  // namespace
+
+TEST(PairKernels, MatchesAnalyticKernels) {
+  const ht::PairKernels k = make_kernels();
+  namespace ew = anton::ewald;
+  const double A = k.lj_a(0, 0), B = k.lj_b(0, 0);
+  const double rc = 13.0, rc2 = rc * rc;
+  for (double r = 2.8; r < 12.9; r += 0.1) {
+    const double r2 = r * r;
+    const auto out = k.eval_nonbonded(r2, 0.3, 0, 0, true);
+    const double expect_force =
+        0.3 * ew::coul_direct_force(r, 0.24) + ew::lj_force(r2, A, B);
+    // Energies are potential-shifted to vanish at the cutoff.
+    const double expect_e_elec =
+        0.3 * (ew::coul_direct_energy(r, 0.24) -
+               ew::coul_direct_energy(rc, 0.24));
+    const double expect_e_lj =
+        ew::lj_energy(r2, A, B) - ew::lj_energy(rc2, A, B);
+    EXPECT_NEAR(out.force_coef, expect_force,
+                2e-4 * std::fabs(expect_force) + 1e-6)
+        << "r=" << r;
+    EXPECT_NEAR(out.energy_elec, expect_e_elec,
+                1e-4 * std::fabs(expect_e_elec) + 1e-6);
+    EXPECT_NEAR(out.energy_lj, expect_e_lj,
+                2e-3 * std::fabs(expect_e_lj) + 1e-5);
+  }
+}
+
+TEST(PairKernels, LorentzBerthelotCombining) {
+  const ht::PairKernels k = make_kernels();
+  namespace ew = anton::ewald;
+  const double sigma = 0.5 * (3.15 + 3.4);
+  const double eps = std::sqrt(0.152 * 0.086);
+  EXPECT_NEAR(k.lj_a(0, 2), ew::lj_A(sigma, eps), 1e-9);
+  EXPECT_NEAR(k.lj_b(0, 2), ew::lj_B(sigma, eps), 1e-9);
+  EXPECT_DOUBLE_EQ(k.lj_a(0, 2), k.lj_a(2, 0));  // symmetric
+}
+
+TEST(PairKernels, ZeroEpsilonTypeHasNoLJ) {
+  const ht::PairKernels k = make_kernels();
+  EXPECT_EQ(k.lj_a(1, 1), 0.0);
+  const auto out = k.eval_nonbonded(9.0, 0.0, 1, 1, true);
+  EXPECT_EQ(out.force_coef, 0.0);
+  EXPECT_EQ(out.energy_lj, 0.0);
+}
+
+TEST(PairKernels, SpreadKernelIsGaussian) {
+  const ht::PairKernels k = make_kernels();
+  namespace ew = anton::ewald;
+  for (double r = 0.0; r < 4.9; r += 0.05) {
+    const double expect = ew::gaussian3d(r * r, 1.2);
+    EXPECT_NEAR(k.eval_spread(r * r), expect, 5e-5 * expect + 1e-8);
+  }
+}
+
+TEST(PairKernels, Deterministic) {
+  const ht::PairKernels k = make_kernels();
+  const auto a = k.eval_nonbonded(25.0, 0.17, 0, 2, true);
+  const auto b = k.eval_nonbonded(25.0, 0.17, 0, 2, true);
+  EXPECT_EQ(a.force_coef, b.force_coef);  // bitwise
+  EXPECT_EQ(a.energy_elec, b.energy_elec);
+  EXPECT_EQ(a.energy_lj, b.energy_lj);
+}
+
+TEST(PairKernels, TableErrorDiagnosticIsFinite) {
+  const ht::PairKernels k = make_kernels();
+  EXPECT_LT(k.worst_force_table_error(), 1e-1);
+  EXPECT_GT(k.worst_force_table_error(), 0.0);
+}

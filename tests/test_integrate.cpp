@@ -1,0 +1,81 @@
+// Kinetic energy, thermostat, and MTS schedule helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "integrate/kinetic.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+using anton::Vec3d;
+namespace in = anton::integrate;
+
+TEST(Kinetic, SingleParticle) {
+  std::vector<Vec3d> v{{0.01, 0, 0}};
+  std::vector<double> m{10.0};
+  // KE = 0.5 * 10 * 1e-4 amu A^2/fs^2 -> kcal/mol.
+  const double expect = 0.5 * 10.0 * 1e-4 / anton::units::kForceToAccel;
+  EXPECT_NEAR(in::kinetic_energy(v, m), expect, 1e-12);
+}
+
+TEST(Kinetic, TemperatureInverse) {
+  // T = 2 KE / (dof kB): round trip.
+  const double ke = 120.0;
+  const double dof = 300.0;
+  const double T = in::temperature(ke, dof);
+  EXPECT_NEAR(2.0 * ke / (dof * anton::units::kB), T, 1e-12);
+  EXPECT_EQ(in::temperature(ke, 0.0), 0.0);
+}
+
+TEST(Kinetic, MaxwellBoltzmannSampleTemperature) {
+  // Velocities drawn at 300 K must measure ~300 K.
+  anton::Xoshiro256 rng(12);
+  const int n = 20000;
+  std::vector<Vec3d> v(n);
+  std::vector<double> m(n, 18.0);
+  const double sigma =
+      std::sqrt(anton::units::kB * 300.0 * anton::units::kForceToAccel / 18.0);
+  for (auto& vi : v)
+    vi = {sigma * rng.normal(), sigma * rng.normal(), sigma * rng.normal()};
+  const double T = in::temperature(in::kinetic_energy(v, m), 3.0 * n);
+  EXPECT_NEAR(T, 300.0, 5.0);
+}
+
+TEST(Berendsen, ScalesTowardTarget) {
+  // Too cold -> lambda > 1; too hot -> lambda < 1; at target -> 1.
+  EXPECT_GT(in::berendsen_lambda(250.0, 300.0, 2.5, 1000.0), 1.0);
+  EXPECT_LT(in::berendsen_lambda(350.0, 300.0, 2.5, 1000.0), 1.0);
+  EXPECT_DOUBLE_EQ(in::berendsen_lambda(300.0, 300.0, 2.5, 1000.0), 1.0);
+  EXPECT_DOUBLE_EQ(in::berendsen_lambda(0.0, 300.0, 2.5, 1000.0), 1.0);
+}
+
+TEST(Berendsen, WeakCouplingLimit) {
+  // Large tau barely changes velocities in one step.
+  const double l = in::berendsen_lambda(200.0, 300.0, 2.5, 1e6);
+  EXPECT_NEAR(l, 1.0, 1e-5);
+}
+
+TEST(Mts, Schedule) {
+  in::MtsSchedule s{2};
+  EXPECT_TRUE(s.is_long_step(0));
+  EXPECT_FALSE(s.is_long_step(1));
+  EXPECT_TRUE(s.is_long_step(2));
+  in::MtsSchedule every{1};
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(every.is_long_step(i));
+}
+
+TEST(Com, DriftRemoval) {
+  anton::Xoshiro256 rng(13);
+  const int n = 100;
+  std::vector<Vec3d> v(n);
+  std::vector<double> m(n);
+  for (int i = 0; i < n; ++i) {
+    v[i] = {rng.uniform(-1, 1) + 0.5, rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    m[i] = rng.uniform(1.0, 20.0);
+  }
+  in::remove_com_drift(v, m);
+  Vec3d p{0, 0, 0};
+  for (int i = 0; i < n; ++i) p += v[i] * m[i];
+  EXPECT_NEAR(p.norm(), 0.0, 1e-10);
+}

@@ -1,0 +1,93 @@
+// I/O: XYZ frames, bit-exact checkpoints, CSV.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "io/io.hpp"
+#include "util/rng.hpp"
+
+using anton::Vec3d;
+using anton::Vec3i;
+using anton::Vec3l;
+namespace io = anton::io;
+
+TEST(Xyz, FrameFormat) {
+  std::ostringstream os;
+  std::vector<Vec3d> pos{{1.0, 2.0, 3.0}, {-1.5, 0.0, 4.25}};
+  std::vector<std::string> sym{"O", "H"};
+  io::write_xyz_frame(os, pos, "frame 0", sym);
+  std::istringstream is(os.str());
+  int n;
+  is >> n;
+  EXPECT_EQ(n, 2);
+  std::string line;
+  std::getline(is, line);  // rest of count line
+  std::getline(is, line);
+  EXPECT_EQ(line, "frame 0");
+  std::string s;
+  double x, y, z;
+  is >> s >> x >> y >> z;
+  EXPECT_EQ(s, "O");
+  EXPECT_DOUBLE_EQ(x, 1.0);
+  is >> s >> x >> y >> z;
+  EXPECT_EQ(s, "H");
+  EXPECT_DOUBLE_EQ(z, 4.25);
+}
+
+TEST(Xyz, DefaultSymbol) {
+  std::ostringstream os;
+  std::vector<Vec3d> pos{{0, 0, 0}};
+  io::write_xyz_frame(os, pos);
+  EXPECT_NE(os.str().find("X 0"), std::string::npos);
+}
+
+TEST(Checkpoint, RoundTripIsBitExact) {
+  anton::Xoshiro256 rng(23);
+  io::Checkpoint c;
+  c.step = 123456789012345LL;
+  for (int i = 0; i < 1000; ++i) {
+    c.positions.push_back({static_cast<std::int32_t>(rng()),
+                           static_cast<std::int32_t>(rng()),
+                           static_cast<std::int32_t>(rng())});
+    c.velocities.push_back({static_cast<std::int64_t>(rng()),
+                            static_cast<std::int64_t>(rng()),
+                            static_cast<std::int64_t>(rng())});
+  }
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "anton_ckpt_test.bin")
+          .string();
+  c.save(path);
+  const io::Checkpoint back = io::Checkpoint::load(path);
+  EXPECT_EQ(back, c);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsCorruptFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "anton_ckpt_bad.bin")
+          .string();
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "garbage";
+  }
+  EXPECT_THROW(io::Checkpoint::load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsMissingFile) {
+  EXPECT_THROW(io::Checkpoint::load("/nonexistent/path/x.bin"),
+               std::runtime_error);
+}
+
+TEST(Csv, HeaderAndRows) {
+  std::ostringstream os;
+  io::CsvWriter w(os);
+  std::vector<std::string> names{"a", "b", "c"};
+  w.header(names);
+  std::vector<double> row{1.0, 2.5, -3.75};
+  w.row(row);
+  EXPECT_EQ(os.str(), "a,b,c\n1,2.5,-3.75\n");
+}

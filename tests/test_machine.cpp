@@ -1,0 +1,251 @@
+// The machine performance model: calibration against Table 2 shapes and
+// the qualitative claims of Section 5.1 / Figure 5.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ewald/gse.hpp"
+#include "machine/config.hpp"
+#include "machine/perf_model.hpp"
+#include "machine/timeline.hpp"
+#include "machine/workload_model.hpp"
+
+using anton::Vec3i;
+namespace mc = anton::machine;
+
+namespace {
+
+mc::WorkloadParams dhfr_params(double cutoff, int mesh) {
+  mc::WorkloadParams p;
+  p.cutoff = cutoff;
+  p.gse = anton::ewald::GseParams::for_cutoff(cutoff, mesh);
+  p.long_range_every = 2;
+  p.subbox_div = {2, 2, 2};
+  return p;
+}
+
+mc::StepWorkload dhfr_workload(double cutoff, int mesh,
+                               const Vec3i& nodes = {8, 8, 8}) {
+  return mc::estimate_workload(23558, 62.2, dhfr_params(cutoff, mesh), nodes);
+}
+
+}  // namespace
+
+TEST(MachineConfig, HardwareConstantsFromPaper) {
+  const mc::MachineConfig m = mc::MachineConfig::anton_512();
+  EXPECT_EQ(m.node_count(), 512);
+  EXPECT_DOUBLE_EQ(m.core_clock_hz, 485e6);
+  EXPECT_DOUBLE_EQ(m.ppip_clock_hz, 970e6);
+  EXPECT_EQ(m.ppips_per_node, 32);
+  EXPECT_EQ(m.match_units_per_ppip, 8);
+  EXPECT_DOUBLE_EQ(m.link_gbit_s, 50.6);
+  // 32 PPIPs at 970 MHz ~ 31 G interactions/s/node.
+  EXPECT_NEAR(m.ppip_interactions_per_s(), 31.04e9, 1e6);
+}
+
+TEST(PerfModel, DhfrHeadlineRate) {
+  // Section 5.1: DHFR at 16.4 us/day on 512 nodes (13 A / 32^3, 2.5 fs,
+  // long-range every other step). The calibrated model should land within
+  // ~20%.
+  const mc::PerfModel model(mc::MachineConfig::anton_512());
+  const auto r = model.evaluate(dhfr_workload(13.0, 32), 2);
+  const double rate = r.us_per_day(2.5);
+  EXPECT_GT(rate, 13.0) << "rate " << rate;
+  EXPECT_LT(rate, 20.0) << "rate " << rate;
+}
+
+TEST(PerfModel, Table2LongStepTotal) {
+  // Table 2: 15.4 us per long-range step at 13 A / 32^3.
+  const mc::PerfModel model(mc::MachineConfig::anton_512());
+  const auto r = model.evaluate(dhfr_workload(13.0, 32), 2);
+  EXPECT_NEAR(r.long_step_s * 1e6, 15.4, 5.0);
+  // Tasks overlap: the sum of task times exceeds the step total.
+  double task_sum = 0;
+  for (const auto& [name, t] : r.table2_rows()) task_sum += t;
+  EXPECT_GT(task_sum, r.long_step_s);
+}
+
+TEST(PerfModel, CutoffMeshTradeoffMatchesPaper) {
+  // Table 2's central claim: on Anton, the large-cutoff / coarse-mesh
+  // configuration beats small-cutoff / fine-mesh by >2x.
+  const mc::PerfModel model(mc::MachineConfig::anton_512());
+  const auto coarse = model.evaluate(dhfr_workload(13.0, 32), 2);
+  const auto fine = model.evaluate(dhfr_workload(9.0, 64), 2);
+  EXPECT_GT(fine.long_step_s, 1.8 * coarse.long_step_s)
+      << "fine " << fine.long_step_s * 1e6 << "us vs coarse "
+      << coarse.long_step_s * 1e6 << "us";
+  // And the FFT is what blows up on the fine mesh.
+  EXPECT_GT(fine.tasks.fft_s, 2.0 * coarse.tasks.fft_s);
+}
+
+TEST(PerfModel, RateScalesInverselyWithAtoms) {
+  // Figure 5: above ~25k atoms the rate is ~ 1/N.
+  const mc::PerfModel model(mc::MachineConfig::anton_512());
+  auto rate_at = [&](int atoms, double side, double cutoff, int mesh) {
+    const auto w = mc::estimate_workload(atoms, side,
+                                         dhfr_params(cutoff, mesh),
+                                         {8, 8, 8});
+    return model.evaluate(w, 2).us_per_day(2.5);
+  };
+  const double r48k = rate_at(48423, 78.8, 15.5, 32);
+  const double r98k = rate_at(98236, 99.8, 11.0, 64);
+  EXPECT_GT(r48k, 1.5 * r98k);
+  // Ratio roughly ~ inverse atom counts (within 2x bands).
+  const double ratio = r48k / r98k;
+  const double inv = 98236.0 / 48423.0;
+  EXPECT_GT(ratio, 0.5 * inv);
+  EXPECT_LT(ratio, 2.0 * inv);
+}
+
+TEST(PerfModel, SmallSystemsPlateau) {
+  // Figure 5: below ~25k atoms the rate plateaus (communication bound)
+  // instead of growing ~1/N.
+  const mc::PerfModel model(mc::MachineConfig::anton_512());
+  auto rate_at = [&](int atoms, double side) {
+    const auto w =
+        mc::estimate_workload(atoms, side, dhfr_params(11.0, 32), {8, 8, 8});
+    return model.evaluate(w, 2).us_per_day(2.5);
+  };
+  const double r5k = rate_at(5000, 37.0);
+  const double r10k = rate_at(10000, 46.6);
+  // 2x fewer atoms buys much less than 2x speed in the plateau.
+  EXPECT_LT(r5k, 1.5 * r10k);
+  EXPECT_LT(r5k, 30.0);  // the plateau is ~18-20 us/day in the paper
+}
+
+TEST(PerfModel, Partition128RetainsOverQuarterPerformance) {
+  // Section 5.1: a 128-node partition achieves 7.5 us/day on DHFR --
+  // "well over 25%" of the 512-node rate.
+  const mc::PerfModel m512(mc::MachineConfig::anton_512());
+  const mc::PerfModel m128(mc::MachineConfig::anton_128());
+  const double r512 =
+      m512.evaluate(dhfr_workload(13.0, 32, {8, 8, 8}), 2).us_per_day(2.5);
+  const double r128 =
+      m128.evaluate(dhfr_workload(13.0, 32, {8, 4, 4}), 2).us_per_day(2.5);
+  EXPECT_LT(r128, r512);
+  EXPECT_GT(r128, 0.25 * r512);
+  EXPECT_NEAR(r128, 7.5, 3.5);
+}
+
+TEST(PerfModel, ShortStepsCheaperThanLongSteps) {
+  const mc::PerfModel model(mc::MachineConfig::anton_512());
+  const auto r = model.evaluate(dhfr_workload(13.0, 32), 2);
+  EXPECT_LT(r.short_step_s, r.long_step_s);
+  EXPECT_NEAR(r.avg_step_s, 0.5 * (r.long_step_s + r.short_step_s), 1e-12);
+}
+
+TEST(PerfModel, MoreFrequentLongRangeIsSlower) {
+  const mc::PerfModel model(mc::MachineConfig::anton_512());
+  const auto w = dhfr_workload(13.0, 32);
+  EXPECT_GT(model.evaluate(w, 1).avg_step_s,
+            model.evaluate(w, 3).avg_step_s);
+}
+
+TEST(Workload, EstimateIsSane) {
+  const auto w = dhfr_workload(13.0, 32);
+  EXPECT_NEAR(w.atoms, 23558.0 / 512.0, 1.0);
+  EXPECT_GT(w.interactions, 1000.0);  // ~7.6k/node for DHFR at 13 A
+  EXPECT_LT(w.interactions, 25000.0);
+  EXPECT_GT(w.pairs_considered, w.interactions);  // efficiency < 1
+  EXPECT_GT(w.import_atoms, w.atoms);  // import region > home box at 8^3
+  EXPECT_GT(w.bond_terms_max, 2.0 * w.natoms_total * 0.1 * 2.6 / 512.0)
+      << "bonded work concentrates on protein nodes";
+}
+
+TEST(Workload, MeshOpsScaleWithMeshDensity) {
+  const auto coarse = dhfr_workload(13.0, 32);
+  const auto fine = dhfr_workload(13.0, 64);
+  EXPECT_GT(fine.spread_ops, 4.0 * coarse.spread_ops);
+}
+
+TEST(Workload, FromProfileDividesBySteps) {
+  anton::core::WorkloadProfile prof;
+  prof.nodes.resize(8);
+  for (auto& n : prof.nodes) {
+    n.atoms = 100;
+    n.interactions = 4000;  // accumulated over 4 steps
+    n.pairs_considered = 12000;
+    n.spread_ops = 2000;  // accumulated over 2 long steps
+    n.bond_terms = 400;
+  }
+  prof.steps_accumulated = 4;
+  mc::WorkloadParams p = dhfr_params(13.0, 32);
+  const auto w = mc::workload_from_profile(prof, p, {2, 2, 2}, 800, 32);
+  EXPECT_DOUBLE_EQ(w.interactions, 1000.0);
+  EXPECT_DOUBLE_EQ(w.pairs_considered, 3000.0);
+  EXPECT_DOUBLE_EQ(w.spread_ops, 1000.0);
+  EXPECT_DOUBLE_EQ(w.bond_terms_max, 100.0);
+}
+
+TEST(PerfModel, BptiRateBallpark) {
+  // Section 5.3: BPTI (17758 particles, 10.4 A cutoff, 32^3) ran at
+  // 9.8 us/day initially, 18.2 us/day after software/clock improvements.
+  // Our model of the as-published machine should land in that range.
+  const mc::PerfModel model(mc::MachineConfig::anton_512());
+  mc::WorkloadParams p = dhfr_params(10.4, 32);
+  const auto w = mc::estimate_workload(17758, 51.3, p, {8, 8, 8});
+  const double rate = model.evaluate(w, 2).us_per_day(2.5);
+  EXPECT_GT(rate, 9.0);
+  EXPECT_LT(rate, 25.0);
+}
+
+TEST(Timeline, SchedulerRespectsDependenciesAndResources) {
+  using anton::machine::Resource;
+  using anton::machine::Task;
+  std::vector<Task> tasks{
+      {"a", Resource::kNetwork, 2.0, {}},
+      {"b", Resource::kHtis, 3.0, {0}},
+      {"c", Resource::kHtis, 1.0, {0}},   // same resource as b: serializes
+      {"d", Resource::kFlexible, 1.0, {1, 2}},
+  };
+  const double makespan = anton::machine::schedule(tasks);
+  EXPECT_GE(tasks[1].start_s, tasks[0].end_s);
+  EXPECT_GE(tasks[2].start_s, tasks[0].end_s);
+  // b and c cannot overlap (one HTIS).
+  const bool disjoint = tasks[1].end_s <= tasks[2].start_s ||
+                        tasks[2].end_s <= tasks[1].start_s;
+  EXPECT_TRUE(disjoint);
+  EXPECT_DOUBLE_EQ(makespan, tasks[3].end_s);
+  EXPECT_DOUBLE_EQ(makespan, 2.0 + 3.0 + 1.0 + 1.0);
+}
+
+TEST(Timeline, IndependentResourcesOverlap) {
+  using anton::machine::Resource;
+  using anton::machine::Task;
+  std::vector<Task> tasks{
+      {"htis", Resource::kHtis, 5.0, {}},
+      {"flex", Resource::kFlexible, 5.0, {}},
+  };
+  EXPECT_DOUBLE_EQ(anton::machine::schedule(tasks), 5.0);
+}
+
+TEST(Timeline, DetectsCycles) {
+  using anton::machine::Resource;
+  using anton::machine::Task;
+  std::vector<Task> tasks{
+      {"a", Resource::kHost, 1.0, {1}},
+      {"b", Resource::kHost, 1.0, {0}},
+  };
+  EXPECT_LT(anton::machine::schedule(tasks), 0.0);
+}
+
+TEST(Timeline, MatchesClosedFormLongStep) {
+  // The explicit schedule and the closed-form critical path are two
+  // encodings of the same dependency structure; they must agree.
+  const mc::PerfModel model(mc::MachineConfig::anton_512());
+  const auto w = dhfr_workload(13.0, 32);
+  auto tasks = anton::machine::long_step_tasks(model, w);
+  const double makespan = anton::machine::schedule(tasks);
+  const double closed = model.evaluate(w, 2).long_step_s;
+  EXPECT_NEAR(makespan, closed, 0.15 * closed);
+}
+
+TEST(Timeline, GanttRendersEveryTask) {
+  const mc::PerfModel model(mc::MachineConfig::anton_512());
+  auto tasks = anton::machine::long_step_tasks(model, dhfr_workload(13.0, 32));
+  anton::machine::schedule(tasks);
+  const std::string g = anton::machine::render_gantt(tasks);
+  for (const auto& t : tasks)
+    EXPECT_NE(g.find(t.name), std::string::npos) << t.name;
+  EXPECT_NE(g.find("makespan"), std::string::npos);
+}

@@ -1,0 +1,124 @@
+// Cell-grid pair enumeration (the conventional baseline of Section 3.2.1)
+// and the exclusion table.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "pairlist/cell_grid.hpp"
+#include "pairlist/exclusion_table.hpp"
+#include "util/rng.hpp"
+
+using anton::PeriodicBox;
+using anton::Vec3d;
+using anton::pairlist::CellGrid;
+using anton::pairlist::ExclusionTable;
+using anton::pairlist::VerletList;
+
+namespace {
+std::vector<Vec3d> random_points(int n, double L, std::uint64_t seed) {
+  anton::Xoshiro256 rng(seed);
+  std::vector<Vec3d> pos(n);
+  for (auto& r : pos)
+    r = {rng.uniform(-L / 2, L / 2), rng.uniform(-L / 2, L / 2),
+         rng.uniform(-L / 2, L / 2)};
+  return pos;
+}
+
+std::set<std::pair<int, int>> brute_force_pairs(const std::vector<Vec3d>& pos,
+                                                const PeriodicBox& box,
+                                                double cutoff) {
+  std::set<std::pair<int, int>> pairs;
+  for (int i = 0; i < static_cast<int>(pos.size()); ++i)
+    for (int j = i + 1; j < static_cast<int>(pos.size()); ++j)
+      if (box.min_image(pos[i], pos[j]).norm2() <= cutoff * cutoff)
+        pairs.insert({i, j});
+  return pairs;
+}
+}  // namespace
+
+struct GridCase {
+  double box = 20.0;
+  double cutoff = 4.0;
+  int atoms = 200;
+  std::uint64_t seed = 1;
+};
+
+class CellGridPairs : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(CellGridPairs, MatchesBruteForce) {
+  const GridCase c = GetParam();
+  const PeriodicBox box(c.box);
+  const std::vector<Vec3d> pos = random_points(c.atoms, c.box, c.seed);
+  CellGrid grid(box, c.cutoff);
+  grid.bin(pos);
+  std::set<std::pair<int, int>> found;
+  grid.for_each_pair(pos, c.cutoff,
+                     [&](std::int32_t i, std::int32_t j, const Vec3d&,
+                         double) {
+                       auto [it, inserted] = found.insert({i, j});
+                       EXPECT_TRUE(inserted) << "duplicate pair " << i << ","
+                                             << j;
+                     });
+  EXPECT_EQ(found, brute_force_pairs(pos, box, c.cutoff));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CellGridPairs,
+    ::testing::Values(GridCase{20.0, 4.0, 200, 1},   // normal grid
+                      GridCase{20.0, 6.5, 200, 2},   // 3x3x3 cells
+                      GridCase{12.0, 5.0, 100, 3},   // brute-force fallback
+                      GridCase{30.0, 3.0, 500, 4},   // many cells
+                      GridCase{20.0, 9.9, 150, 5},   // cutoff ~ L/2
+                      GridCase{24.0, 4.0, 16, 6}));  // sparse
+
+TEST(CellGrid, SmallBoxFallsBackToBruteForce) {
+  CellGrid grid(PeriodicBox(10.0), 4.0);  // only 2 cells per axis
+  EXPECT_TRUE(grid.brute_force());
+}
+
+TEST(CellGrid, PairOrderIsCanonical) {
+  const PeriodicBox box(20.0);
+  const std::vector<Vec3d> pos = random_points(100, 20.0, 7);
+  CellGrid grid(box, 5.0);
+  grid.bin(pos);
+  grid.for_each_pair(pos, 5.0,
+                     [&](std::int32_t i, std::int32_t j, const Vec3d& dr,
+                         double r2) {
+                       EXPECT_LT(i, j);
+                       // dr is pos[i] - pos[j] (minimum image).
+                       const Vec3d expect = box.min_image(pos[i], pos[j]);
+                       EXPECT_NEAR((dr - expect).norm(), 0.0, 1e-12);
+                       EXPECT_NEAR(r2, expect.norm2(), 1e-9);
+                     });
+}
+
+TEST(VerletList, IncludesSkin) {
+  const PeriodicBox box(20.0);
+  const std::vector<Vec3d> pos = random_points(150, 20.0, 8);
+  const VerletList list = VerletList::build(box, pos, 4.0, 1.0);
+  const auto expect = brute_force_pairs(pos, box, 5.0);
+  std::set<std::pair<int, int>> got(list.pairs.begin(), list.pairs.end());
+  EXPECT_EQ(got, expect);
+  EXPECT_DOUBLE_EQ(list.list_cutoff, 5.0);
+}
+
+TEST(ExclusionTable, LookupBothDirections) {
+  anton::Topology top;
+  top.natoms = 4;
+  top.mass.assign(4, 1.0);
+  top.charge.assign(4, 0.0);
+  top.type.assign(4, 0);
+  top.lj_types.push_back({3.0, 0.1});
+  top.exclusions.push_back({0, 2, 0.5, 0.8});
+  top.exclusions.push_back({1, 3, 0.0, 0.0});
+  const ExclusionTable t(top);
+  EXPECT_TRUE(t.excluded(0, 2));
+  EXPECT_TRUE(t.excluded(2, 0));
+  EXPECT_FALSE(t.excluded(0, 1));
+  ASSERT_TRUE(t.find(2, 0).has_value());
+  EXPECT_DOUBLE_EQ(t.find(2, 0)->lj, 0.5);
+  EXPECT_DOUBLE_EQ(t.find(2, 0)->coul, 0.8);
+  EXPECT_EQ(t.size(), 2u);
+}

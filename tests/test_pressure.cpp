@@ -1,0 +1,144 @@
+// Virial / pressure instrumentation (Figure 4c: the wide accumulators
+// that make pressure-controlled simulations deterministic and parallel-
+// invariant).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/anton_engine.hpp"
+#include "core/reference_engine.hpp"
+#include "sysgen/systems.hpp"
+
+using anton::System;
+using anton::Vec3i;
+using anton::core::AntonConfig;
+using anton::core::AntonEngine;
+using anton::core::PressureReport;
+using anton::core::ReferenceEngine;
+using anton::core::SimParams;
+
+namespace {
+SimParams params() {
+  SimParams p;
+  p.cutoff = 7.0;
+  p.mesh = 16;
+  return p;
+}
+AntonConfig config(const Vec3i& nodes = {2, 2, 2}) {
+  AntonConfig c;
+  c.sim = params();
+  c.node_grid = nodes;
+  return c;
+}
+System system() {
+  return anton::sysgen::build_test_system(70, 14.0, 1234, true, 20);
+}
+}  // namespace
+
+TEST(Pressure, EnginesAgree) {
+  const System sys = system();
+  AntonEngine a(sys, config());
+  ReferenceEngine r(sys, params());
+  const PressureReport pa = a.measure_pressure();
+  const PressureReport pr = r.measure_pressure();
+  EXPECT_NEAR(pa.virial_pair, pr.virial_pair,
+              1e-3 * std::fabs(pr.virial_pair) + 0.5);
+  EXPECT_NEAR(pa.virial_bonded, pr.virial_bonded,
+              1e-3 * std::fabs(pr.virial_bonded) + 0.5);
+  EXPECT_NEAR(pa.virial_recip, pr.virial_recip,
+              2e-2 * std::fabs(pr.virial_recip) + 1.0);
+  EXPECT_NEAR(pa.kinetic, pr.kinetic, 1e-6 * pr.kinetic + 1e-3);
+  EXPECT_NEAR(pa.pressure_atm(), pr.pressure_atm(),
+              0.02 * std::fabs(pr.pressure_atm()) + 50.0);
+}
+
+TEST(Pressure, DecompositionInvariant) {
+  // The 128-bit wrapping virial accumulators make the pressure bitwise
+  // independent of the decomposition -- the Figure 4c guarantee.
+  const System sys = system();
+  AntonEngine a(sys, config({1, 1, 1}));
+  AntonEngine b(sys, config({2, 2, 2}));
+  const PressureReport pa = a.measure_pressure();
+  const PressureReport pb = b.measure_pressure();
+  EXPECT_EQ(pa.virial_pair, pb.virial_pair);      // bitwise
+  EXPECT_EQ(pa.virial_bonded, pb.virial_bonded);  // bitwise
+}
+
+TEST(Pressure, RepulsivePairGivesPositiveVirial) {
+  // Two like charges: r . F > 0 (they push apart).
+  System sys;
+  sys.name_ = "two";
+  sys.box = anton::PeriodicBox(20.0);
+  sys.top.natoms = 2;
+  sys.top.mass = {12.0, 12.0};
+  sys.top.charge = {0.5, 0.5};
+  sys.top.lj_types.push_back({3.0, 0.1});
+  sys.top.type = {0, 0};
+  sys.top.molecule = {0, 1};
+  sys.positions = {{0, 0, 0}, {4.0, 0, 0}};
+  sys.velocities = {{0, 0, 0}, {0, 0, 0}};
+  ReferenceEngine eng(sys, params());
+  const PressureReport p = eng.measure_pressure();
+  EXPECT_GT(p.virial_pair, 0.0);
+  EXPECT_EQ(p.virial_bonded, 0.0);
+}
+
+TEST(Pressure, AttractivePairGivesNegativeVirial) {
+  System sys;
+  sys.name_ = "two";
+  sys.box = anton::PeriodicBox(20.0);
+  sys.top.natoms = 2;
+  sys.top.mass = {12.0, 12.0};
+  sys.top.charge = {0.5, -0.5};
+  sys.top.lj_types.push_back({3.0, 0.001});
+  sys.top.type = {0, 0};
+  sys.top.molecule = {0, 1};
+  sys.positions = {{0, 0, 0}, {5.0, 0, 0}};
+  sys.velocities = {{0, 0, 0}, {0, 0, 0}};
+  ReferenceEngine eng(sys, params());
+  const PressureReport p = eng.measure_pressure();
+  EXPECT_LT(p.virial_pair, 0.0);
+}
+
+TEST(Pressure, IdealGasLimit) {
+  // Non-interacting particles: P V = (2/3) KE = N kT.
+  System sys;
+  sys.name_ = "ideal";
+  sys.box = anton::PeriodicBox(40.0);
+  const int n = 64;
+  sys.top.natoms = n;
+  sys.top.mass.assign(n, 18.0);
+  sys.top.charge.assign(n, 0.0);
+  sys.top.lj_types.push_back({1.0, 0.0});  // no LJ
+  sys.top.type.assign(n, 0);
+  sys.top.molecule.resize(n);
+  for (int i = 0; i < n; ++i) sys.top.molecule[i] = i;
+  anton::Xoshiro256 rng(5);
+  sys.positions.resize(n);
+  for (auto& r : sys.positions)
+    r = {rng.uniform(-20, 20), rng.uniform(-20, 20), rng.uniform(-20, 20)};
+  sys.velocities.assign(n, {0.01, 0.0, 0.0});
+  ReferenceEngine eng(sys, params());
+  const PressureReport p = eng.measure_pressure();
+  EXPECT_NEAR(p.virial_total(), 0.0, 1e-6);
+  EXPECT_NEAR(p.pressure() * p.volume, 2.0 / 3.0 * p.kinetic, 1e-9);
+}
+
+TEST(Pressure, WaterBoxIsPlausible) {
+  // A freshly built (lattice-placed, unequilibrated) water box has a
+  // large positive pressure -- the attractive network hasn't formed. It
+  // must still be finite and physically signed, and relax downward after
+  // some thermostatted dynamics.
+  const System sys =
+      anton::sysgen::build_water_system(600, 18.2, anton::sysgen::WaterModel::k3Site, 4);
+  ReferenceEngine eng(sys, params());
+  const PressureReport p0 = eng.measure_pressure();
+  EXPECT_LT(std::fabs(p0.pressure_atm()), 3e5);
+  EXPECT_GT(p0.kinetic, 0.0);
+  SimParams therm = params();
+  therm.thermostat = true;
+  ReferenceEngine run(sys, therm);
+  run.run_cycles(40);
+  const PressureReport p1 = run.measure_pressure();
+  EXPECT_LT(p1.pressure_atm(), p0.pressure_atm());
+}

@@ -1,0 +1,168 @@
+// The host-side simulation driver and the compressed trajectory format.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/simulation.hpp"
+#include "io/trajectory.hpp"
+#include "sysgen/systems.hpp"
+#include "util/rng.hpp"
+
+using anton::System;
+using anton::Vec3i;
+using anton::core::Simulation;
+using anton::core::SimulationConfig;
+
+namespace {
+std::string tmp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+System small_system() {
+  return anton::sysgen::build_test_system(60, 13.0, 555, true, 12);
+}
+
+SimulationConfig config() {
+  SimulationConfig c;
+  c.engine.sim.cutoff = 6.0;
+  c.engine.sim.mesh = 16;
+  c.engine.node_grid = {2, 2, 2};
+  return c;
+}
+}  // namespace
+
+TEST(Trajectory, RoundTripIsBitExact) {
+  anton::Xoshiro256 rng(42);
+  const int natoms = 500;
+  std::vector<std::vector<Vec3i>> frames;
+  std::vector<Vec3i> cur(natoms);
+  for (auto& p : cur)
+    p = {static_cast<std::int32_t>(rng()), static_cast<std::int32_t>(rng()),
+         static_cast<std::int32_t>(rng())};
+  const std::string path = tmp_path("anton_traj_test.antj");
+  {
+    anton::io::TrajectoryWriter w(path, natoms, /*keyframe_every=*/4);
+    for (int f = 0; f < 12; ++f) {
+      frames.push_back(cur);
+      w.append(f * 10, cur);
+      // Small motions plus an occasional large jump (escape path).
+      for (int i = 0; i < natoms; ++i) {
+        cur[i].x += static_cast<std::int32_t>(rng.below(2001)) - 1000;
+        cur[i].y += static_cast<std::int32_t>(rng.below(2001)) - 1000;
+        cur[i].z += static_cast<std::int32_t>(rng.below(2001)) - 1000;
+      }
+      cur[f % natoms].x += 1 << 20;  // force an escape record
+    }
+  }
+  anton::io::TrajectoryReader r(path);
+  EXPECT_EQ(r.natoms(), natoms);
+  std::int64_t step;
+  std::vector<Vec3i> got;
+  for (int f = 0; f < 12; ++f) {
+    ASSERT_TRUE(r.next(step, got));
+    EXPECT_EQ(step, f * 10);
+    for (int i = 0; i < natoms; ++i)
+      ASSERT_EQ(got[i], frames[f][i]) << "frame " << f << " atom " << i;
+  }
+  EXPECT_FALSE(r.next(step, got));
+  std::remove(path.c_str());
+}
+
+TEST(Trajectory, DeltaFramesCompress) {
+  // MD-scale motion (a few thousand lattice steps per frame) packs into
+  // 16-bit deltas: delta frames must be much smaller than keyframes.
+  anton::Xoshiro256 rng(7);
+  const int natoms = 2000;
+  std::vector<Vec3i> cur(natoms);
+  for (auto& p : cur)
+    p = {static_cast<std::int32_t>(rng()), static_cast<std::int32_t>(rng()),
+         static_cast<std::int32_t>(rng())};
+  const std::string path = tmp_path("anton_traj_size.antj");
+  std::int64_t keyframe_bytes = 0, delta_bytes = 0;
+  {
+    anton::io::TrajectoryWriter w(path, natoms, /*keyframe_every=*/1000);
+    w.append(0, cur);
+    keyframe_bytes = w.bytes_written();
+    for (int f = 1; f <= 8; ++f) {
+      for (auto& p : cur) {
+        p.x += static_cast<std::int32_t>(rng.below(4001)) - 2000;
+        p.y += static_cast<std::int32_t>(rng.below(4001)) - 2000;
+        p.z += static_cast<std::int32_t>(rng.below(4001)) - 2000;
+      }
+      w.append(f, cur);
+    }
+    delta_bytes = (w.bytes_written() - keyframe_bytes) / 8;
+  }
+  EXPECT_LT(delta_bytes, keyframe_bytes * 6 / 10);
+  std::remove(path.c_str());
+}
+
+TEST(Simulation, ResumeContinuesBitwise) {
+  // The property that lets a millisecond run survive months of restarts:
+  // checkpoint + resume == uninterrupted run, bit for bit.
+  const System sys = small_system();
+  SimulationConfig cfg = config();
+  cfg.checkpoint_every = 10;  // inner steps
+  cfg.checkpoint_path = tmp_path("anton_sim_test.ckpt");
+
+  // Uninterrupted run: 10 cycles (20 steps).
+  Simulation full(sys, cfg);
+  full.run_cycles(10);
+  const auto full_hash = full.engine().state_hash();
+
+  // Interrupted: 5 cycles, then resume from the checkpoint and finish.
+  Simulation first(sys, cfg);
+  first.run_cycles(5);
+  Simulation second =
+      Simulation::resume(sys, cfg, cfg.checkpoint_path);
+  EXPECT_EQ(second.steps_done(), 0);  // engine step counter restarts...
+  second.run_cycles(5);
+  // ...but the state picks up exactly where the checkpoint left off.
+  EXPECT_EQ(second.engine().state_hash(), full_hash);
+  std::remove(cfg.checkpoint_path.c_str());
+}
+
+TEST(Simulation, WritesTrajectoryFrames) {
+  const System sys = small_system();
+  SimulationConfig cfg = config();
+  cfg.trajectory_every = 4;
+  cfg.trajectory_path = tmp_path("anton_sim_traj.antj");
+  {
+    Simulation sim(sys, cfg);
+    sim.run_cycles(10);  // 20 inner steps -> frames at 4,8,12,16,20
+  }
+  anton::io::TrajectoryReader r(cfg.trajectory_path);
+  int frames = 0;
+  std::int64_t step;
+  std::vector<Vec3i> pos;
+  while (r.next(step, pos)) ++frames;
+  EXPECT_EQ(frames, 5);
+  std::remove(cfg.trajectory_path.c_str());
+}
+
+TEST(Simulation, CallbackCanStopEarly) {
+  const System sys = small_system();
+  Simulation sim(sys, config());
+  int calls = 0;
+  sim.run_cycles(50, [&](anton::core::AntonEngine&) {
+    return ++calls < 3;
+  });
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(sim.steps_done(), 6);  // 3 cycles x 2 steps
+}
+
+TEST(Simulation, ResumeRejectsWrongSystem) {
+  const System sys = small_system();
+  SimulationConfig cfg = config();
+  cfg.checkpoint_path = tmp_path("anton_sim_bad.ckpt");
+  cfg.checkpoint_every = 2;
+  {
+    Simulation sim(sys, cfg);
+    sim.run_cycles(2);
+  }
+  const System other = anton::sysgen::build_test_system(40, 12.0, 9, true, 6);
+  EXPECT_THROW(Simulation::resume(other, cfg, cfg.checkpoint_path),
+               std::runtime_error);
+  std::remove(cfg.checkpoint_path.c_str());
+}

@@ -1,0 +1,168 @@
+// SPME -- the conventional mesh-Ewald baseline the paper contrasts GSE
+// against (Section 3.1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/analysis.hpp"
+#include "ewald/reference_ewald.hpp"
+#include "ewald/spme.hpp"
+#include "util/rng.hpp"
+
+using anton::PeriodicBox;
+using anton::Vec3d;
+using anton::ewald::ReferenceEwald;
+using anton::ewald::Spme;
+using anton::ewald::SpmeParams;
+
+TEST(BSpline, PartitionOfUnity) {
+  // Cardinal B-splines sum to 1 over the integer lattice for any offset.
+  for (int n : {3, 4, 6}) {
+    for (double frac = 0.05; frac < 1.0; frac += 0.1) {
+      double sum = 0.0;
+      for (int j = 0; j < n; ++j) sum += Spme::bspline(n, frac + j);
+      EXPECT_NEAR(sum, 1.0, 1e-12) << "order " << n << " frac " << frac;
+    }
+  }
+}
+
+TEST(BSpline, SupportAndPositivity) {
+  for (int n : {3, 4, 6}) {
+    EXPECT_EQ(Spme::bspline(n, 0.0), 0.0);
+    EXPECT_EQ(Spme::bspline(n, static_cast<double>(n)), 0.0);
+    for (double u = 0.1; u < n; u += 0.17)
+      EXPECT_GT(Spme::bspline(n, u), 0.0);
+  }
+}
+
+TEST(BSpline, DerivativeMatchesFiniteDifference) {
+  const double h = 1e-6;
+  for (int n : {4, 6}) {
+    for (double u = 0.3; u < n - 0.3; u += 0.21) {
+      const double fd =
+          (Spme::bspline(n, u + h) - Spme::bspline(n, u - h)) / (2 * h);
+      EXPECT_NEAR(Spme::bspline_deriv(n, u), fd, 1e-6);
+    }
+  }
+}
+
+namespace {
+struct Charges {
+  std::vector<Vec3d> pos;
+  std::vector<double> q;
+};
+Charges neutral(int n, double L, std::uint64_t seed) {
+  anton::Xoshiro256 rng(seed);
+  Charges c;
+  c.pos.resize(n);
+  c.q.resize(n);
+  for (int i = 0; i < n; ++i) {
+    c.pos[i] = {rng.uniform(-L / 2, L / 2), rng.uniform(-L / 2, L / 2),
+                rng.uniform(-L / 2, L / 2)};
+    c.q[i] = (i % 2) ? 0.6 : -0.6;
+  }
+  return c;
+}
+}  // namespace
+
+TEST(Spme, EnergyMatchesExactEwald) {
+  const double L = 20.0;
+  const PeriodicBox box(L);
+  const Charges c = neutral(20, L, 3);
+  SpmeParams p{0.4, 32, 6};
+  Spme spme(box, p);
+  std::vector<Vec3d> f(20, {0, 0, 0});
+  const double e = spme.compute(c.pos, c.q, f);
+
+  ReferenceEwald ref(box, p.beta, 14);
+  std::vector<Vec3d> fr(20, {0, 0, 0});
+  const double er = ref.compute(c.pos, c.q, fr);
+  EXPECT_NEAR(e, er, 5e-3 * std::fabs(er) + 1e-3);
+}
+
+class SpmeOrders : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpmeOrders, ForcesMatchExactEwald) {
+  const int order = GetParam();
+  const double L = 20.0;
+  const PeriodicBox box(L);
+  const Charges c = neutral(24, L, 7);
+  SpmeParams p{0.4, 32, order};
+  Spme spme(box, p);
+  std::vector<Vec3d> f(24, {0, 0, 0});
+  spme.compute(c.pos, c.q, f);
+  ReferenceEwald ref(box, p.beta, 14);
+  std::vector<Vec3d> fr(24, {0, 0, 0});
+  ref.compute(c.pos, c.q, fr);
+  const double err = anton::analysis::rms_force_error(f, fr);
+  EXPECT_LT(err, order >= 6 ? 2e-3 : 2e-2) << "order " << order;
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, SpmeOrders, ::testing::Values(4, 6));
+
+TEST(Spme, HigherOrderIsMoreAccurate) {
+  const double L = 20.0;
+  const PeriodicBox box(L);
+  const Charges c = neutral(24, L, 9);
+  ReferenceEwald ref(box, 0.4, 14);
+  std::vector<Vec3d> fr(24, {0, 0, 0});
+  ref.compute(c.pos, c.q, fr);
+  auto err_for = [&](int order) {
+    Spme spme(box, SpmeParams{0.4, 32, order});
+    std::vector<Vec3d> f(24, {0, 0, 0});
+    spme.compute(c.pos, c.q, f);
+    return anton::analysis::rms_force_error(f, fr);
+  };
+  EXPECT_LT(err_for(6), err_for(4));
+}
+
+TEST(Spme, ForceIsMinusGradient) {
+  // Self-consistency: SPME forces vs finite differences of SPME energy.
+  const double L = 16.0;
+  const PeriodicBox box(L);
+  Charges c = neutral(8, L, 11);
+  Spme spme(box, SpmeParams{0.45, 32, 6});
+  std::vector<Vec3d> f(8, {0, 0, 0});
+  spme.compute(c.pos, c.q, f);
+  const double h = 1e-5;
+  for (int axis = 0; axis < 3; ++axis) {
+    Charges cp = c, cm = c;
+    cp.pos[3][axis] += h;
+    cm.pos[3][axis] -= h;
+    std::vector<Vec3d> scratch(8, {0, 0, 0});
+    const double ep = spme.compute(cp.pos, cp.q, scratch);
+    const double em = spme.compute(cm.pos, cm.q, scratch);
+    EXPECT_NEAR(f[3][axis], -(ep - em) / (2 * h), 2e-4);
+  }
+}
+
+TEST(Spme, NetForceIsSmallButNonzero) {
+  // A documented SPME property: with analytic B-spline derivatives the
+  // reciprocal forces do NOT sum exactly to zero (unlike GSE's symmetric
+  // spread/interpolate, which conserves momentum bitwise in our engine).
+  // The residual must be tiny relative to the typical per-atom force.
+  const double L = 18.0;
+  const PeriodicBox box(L);
+  const Charges c = neutral(16, L, 13);
+  Spme spme(box, SpmeParams{0.4, 32, 6});
+  std::vector<Vec3d> f(16, {0, 0, 0});
+  spme.compute(c.pos, c.q, f);
+  Vec3d total{0, 0, 0};
+  double typical = 0.0;
+  for (const auto& fi : f) {
+    total += fi;
+    typical += fi.norm();
+  }
+  typical /= 16.0;
+  EXPECT_LT(total.norm(), 0.05 * typical);
+  EXPECT_GT(total.norm(), 0.0);  // ... and it genuinely is nonzero
+}
+
+TEST(Spme, RejectsBadParameters) {
+  EXPECT_THROW(Spme(PeriodicBox(anton::Vec3d{10, 12, 14}),
+                    SpmeParams{0.4, 32, 4}),
+               std::invalid_argument);
+  EXPECT_THROW(Spme(PeriodicBox(16.0), SpmeParams{0.4, 32, 2}),
+               std::invalid_argument);
+}

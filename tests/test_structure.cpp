@@ -1,0 +1,170 @@
+// Structural observables and the FIRE minimizer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/structure.hpp"
+#include "core/reference_engine.hpp"
+#include "integrate/minimize.hpp"
+#include "sysgen/systems.hpp"
+#include "util/rng.hpp"
+
+using anton::PeriodicBox;
+using anton::Vec3d;
+namespace an = anton::analysis;
+
+TEST(Rdf, IdealGasIsFlat) {
+  anton::Xoshiro256 rng(3);
+  const PeriodicBox box(20.0);
+  an::Rdf rdf(8.0, 40);
+  for (int f = 0; f < 20; ++f) {
+    std::vector<Vec3d> pos(500);
+    for (auto& r : pos)
+      r = {rng.uniform(-10, 10), rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    rdf.add_frame(pos, box);
+  }
+  const auto g = rdf.g();
+  // Skip the first couple of noisy bins; the rest hovers around 1.
+  for (std::size_t b = 4; b < g.size(); ++b)
+    EXPECT_NEAR(g[b], 1.0, 0.15) << "bin " << b;
+}
+
+TEST(Rdf, SimpleCubicLatticePeaks) {
+  // Points on a cubic lattice with spacing a: first peak at r = a.
+  const double a = 4.0;
+  const PeriodicBox box(20.0);
+  std::vector<Vec3d> pos;
+  for (int x = 0; x < 5; ++x)
+    for (int y = 0; y < 5; ++y)
+      for (int z = 0; z < 5; ++z)
+        pos.push_back({-10.0 + a * x, -10.0 + a * y, -10.0 + a * z});
+  an::Rdf rdf(8.0, 80);
+  rdf.add_frame(pos, box);
+  EXPECT_NEAR(rdf.first_peak(2.0), a, 0.15);
+}
+
+TEST(Rdf, WaterOxygenFirstShell) {
+  // Equilibrated-ish water: O-O first peak near 2.7-3.2 A -- the classic
+  // liquid-water signature, from the engine's own dynamics.
+  anton::System sys = anton::sysgen::build_water_system(
+      600, 18.2, anton::sysgen::WaterModel::k3Site, 21);
+  anton::core::SimParams p;
+  p.cutoff = 7.5;
+  p.mesh = 16;
+  p.thermostat = true;
+  anton::core::ReferenceEngine eng(sys, p);
+  eng.run_cycles(40);
+  an::Rdf rdf(7.0, 70);
+  // Oxygens are every third atom.
+  std::vector<Vec3d> ox;
+  for (int i = 0; i < sys.top.natoms; i += 3) ox.push_back(eng.positions()[i]);
+  rdf.add_frame(ox, sys.box);
+  const double peak = rdf.first_peak(2.0);
+  EXPECT_GT(peak, 2.4);
+  EXPECT_LT(peak, 3.4);
+}
+
+TEST(Kabsch, IdenticalSetsGiveZero) {
+  anton::Xoshiro256 rng(5);
+  std::vector<Vec3d> a(30);
+  for (auto& r : a)
+    r = {rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-5, 5)};
+  EXPECT_NEAR(an::rmsd_kabsch(a, a), 0.0, 1e-5);
+}
+
+TEST(Kabsch, RotationAndTranslationInvariant) {
+  anton::Xoshiro256 rng(6);
+  std::vector<Vec3d> a(25), b(25);
+  const double th = 0.7;
+  for (int i = 0; i < 25; ++i) {
+    a[i] = {rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-5, 5)};
+    // Rotate about z, then translate.
+    b[i] = {a[i].x * std::cos(th) - a[i].y * std::sin(th) + 3.0,
+            a[i].x * std::sin(th) + a[i].y * std::cos(th) - 1.0,
+            a[i].z + 2.0};
+  }
+  EXPECT_NEAR(an::rmsd_kabsch(a, b), 0.0, 1e-6);
+}
+
+TEST(Kabsch, DetectsRealDeformation) {
+  anton::Xoshiro256 rng(7);
+  std::vector<Vec3d> a(25), b(25);
+  for (int i = 0; i < 25; ++i) {
+    a[i] = {rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-5, 5)};
+    b[i] = a[i] + Vec3d{rng.uniform(-1, 1), rng.uniform(-1, 1),
+                        rng.uniform(-1, 1)};
+  }
+  const double r = an::rmsd_kabsch(a, b);
+  EXPECT_GT(r, 0.3);
+  EXPECT_LT(r, 1.2);
+}
+
+TEST(Msd, BallisticParticleIsQuadratic) {
+  const PeriodicBox box(20.0);
+  an::Msd msd(box);
+  for (int f = 0; f < 10; ++f) {
+    std::vector<Vec3d> pos{box.wrap({0.5 * f, 0.0, 0.0})};
+    msd.add_frame(pos);
+  }
+  const auto& m = msd.msd();
+  EXPECT_NEAR(m[2], 1.0, 1e-9);   // (0.5*2)^2
+  EXPECT_NEAR(m[4], 4.0, 1e-9);   // unwrapping across the boundary works
+  EXPECT_NEAR(m[8], 16.0, 1e-9);  // 4.0 A moved, box is 20 A
+}
+
+TEST(Msd, UnwrapsAcrossBoundary) {
+  const PeriodicBox box(10.0);
+  an::Msd msd(box);
+  // Steps of 3 A walk straight through the boundary.
+  for (int f = 0; f < 8; ++f) {
+    std::vector<Vec3d> pos{box.wrap({3.0 * f, 0.0, 0.0})};
+    msd.add_frame(pos);
+  }
+  EXPECT_NEAR(msd.msd()[7], 21.0 * 21.0, 1e-9);
+}
+
+TEST(Minimizer, ReducesEnergyAndForces) {
+  anton::System sys = anton::sysgen::build_test_system(120, 16.0, 77, true, 24);
+  // Roughen it a bit.
+  anton::Xoshiro256 rng(8);
+  for (auto& r : sys.positions)
+    r = sys.box.wrap(r + Vec3d{rng.uniform(-0.05, 0.05),
+                               rng.uniform(-0.05, 0.05),
+                               rng.uniform(-0.05, 0.05)});
+  anton::core::SimParams p;
+  p.cutoff = 7.0;
+  p.mesh = 16;
+  anton::integrate::MinimizeParams mp;
+  mp.max_steps = 60;
+  const auto res = anton::integrate::minimize_fire(sys, p, mp);
+  EXPECT_LT(res.final_energy, res.initial_energy);
+  // Constraints stay satisfied.
+  EXPECT_LT(anton::constraints::max_violation(sys.top.constraints,
+                                              sys.positions, sys.box),
+            1e-6);
+}
+
+TEST(Minimizer, ConvergedFlagOnEasyCase) {
+  // A dimer slightly off its LJ minimum converges quickly.
+  anton::System sys;
+  sys.box = anton::PeriodicBox(20.0);
+  sys.top.natoms = 2;
+  sys.top.mass = {12.0, 12.0};
+  sys.top.charge = {0.0, 0.0};
+  sys.top.lj_types.push_back({3.0, 0.2});
+  sys.top.type = {0, 0};
+  sys.top.molecule = {0, 1};
+  sys.positions = {{0, 0, 0}, {3.2, 0, 0}};
+  sys.velocities = {{0, 0, 0}, {0, 0, 0}};
+  anton::core::SimParams p;
+  p.cutoff = 8.0;
+  p.mesh = 16;
+  anton::integrate::MinimizeParams mp;
+  mp.max_steps = 150;
+  mp.force_tol = 0.05;
+  const auto res = anton::integrate::minimize_fire(sys, p, mp);
+  EXPECT_TRUE(res.converged);
+  // Near the LJ minimum at 2^(1/6) sigma ~ 3.37 A.
+  const double d = sys.box.min_image(sys.positions[0], sys.positions[1]).norm();
+  EXPECT_NEAR(d, 3.0 * std::pow(2.0, 1.0 / 6.0), 0.1);
+}

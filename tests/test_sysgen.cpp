@@ -1,0 +1,225 @@
+// System builders: exact particle counts, neutrality, sane geometry, and
+// the Go-model's two-state behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "integrate/kinetic.hpp"
+#include "pairlist/cell_grid.hpp"
+#include "pairlist/exclusion_table.hpp"
+#include "sysgen/go_model.hpp"
+#include "sysgen/protein.hpp"
+#include "sysgen/systems.hpp"
+#include "sysgen/water.hpp"
+
+using anton::System;
+using anton::Vec3d;
+namespace sg = anton::sysgen;
+
+TEST(Water, ThreeSiteCountsAndNeutrality) {
+  System sys;
+  sys.box = anton::PeriodicBox(20.0);
+  anton::Xoshiro256 rng(1);
+  const int placed = sg::add_waters(sys, 200, sg::WaterModel::k3Site, 2.3, rng);
+  EXPECT_EQ(placed, 200);
+  EXPECT_EQ(sys.top.natoms, 600);
+  EXPECT_NEAR(sys.top.total_charge(), 0.0, 1e-9);
+  EXPECT_EQ(sys.top.constraints.size(), 600u);  // 3 per molecule
+  EXPECT_TRUE(sys.top.bonds.empty());  // rigid water has no bond terms
+}
+
+TEST(Water, FourSiteGeometry) {
+  System sys;
+  sys.box = anton::PeriodicBox(16.0);
+  anton::Xoshiro256 rng(2);
+  sg::add_waters(sys, 50, sg::WaterModel::k4Site, 2.3, rng);
+  EXPECT_EQ(sys.top.natoms, 200);
+  EXPECT_EQ(sys.top.constraints.size(), 150u);     // rigid O-H-H triangle
+  EXPECT_EQ(sys.top.virtual_sites.size(), 50u);    // one M site each
+  EXPECT_NEAR(sys.top.total_charge(), 0.0, 1e-6);
+  // M sites sit on the bisector r_om from O.
+  const auto w4 = anton::ff::water4();
+  for (int m = 0; m < 50; ++m) {
+    const Vec3d o = sys.positions[4 * m];
+    const Vec3d msite = sys.positions[4 * m + 3];
+    EXPECT_NEAR(sys.box.min_image(o, msite).norm(), w4.r_om, 1e-9);
+  }
+}
+
+TEST(Water, FlexibleVariantUsesBonds) {
+  System sys;
+  sys.box = anton::PeriodicBox(16.0);
+  anton::Xoshiro256 rng(3);
+  sg::add_waters(sys, 40, sg::WaterModel::k3Site, 2.3, rng, /*rigid=*/false);
+  EXPECT_TRUE(sys.top.constraints.empty());
+  EXPECT_EQ(sys.top.bonds.size(), 80u);
+  EXPECT_EQ(sys.top.angles.size(), 40u);
+}
+
+TEST(Water, RespectsClearance) {
+  System sys;
+  sys.box = anton::PeriodicBox(18.0);
+  anton::Xoshiro256 rng(4);
+  // A fake solute atom at the center.
+  sys.top.natoms = 1;
+  sys.top.mass = {12.0};
+  sys.top.charge = {0.0};
+  sys.top.lj_types.push_back({3.4, 0.1});
+  sys.top.type = {0};
+  sys.top.molecule = {0};
+  sys.positions.push_back({0, 0, 0});
+  sg::add_waters(sys, 100, sg::WaterModel::k3Site, 3.0, rng);
+  for (int i = 1; i < sys.top.natoms; i += 3) {  // oxygens
+    EXPECT_GT(sys.box.min_image(sys.positions[i], {0, 0, 0}).norm(), 2.8);
+  }
+}
+
+TEST(Protein, ExactAtomCount) {
+  for (int count : {60, 123, 600}) {
+    System sys;
+    sys.box = anton::PeriodicBox(60.0);
+    anton::Xoshiro256 rng(5);
+    sg::ProteinSpec spec;
+    spec.atom_count = count;
+    spec.radius = 14.0;
+    sg::add_protein(sys, spec, rng);
+    EXPECT_EQ(sys.top.natoms, count);
+    EXPECT_NEAR(sys.top.total_charge(), 0.0, 1e-9);
+  }
+}
+
+TEST(Protein, HasAllTermKinds) {
+  System sys;
+  sys.box = anton::PeriodicBox(60.0);
+  anton::Xoshiro256 rng(6);
+  sg::ProteinSpec spec;
+  spec.atom_count = 300;
+  sg::add_protein(sys, spec, rng);
+  EXPECT_GT(sys.top.bonds.size(), 200u);
+  EXPECT_GT(sys.top.angles.size(), 250u);
+  EXPECT_GT(sys.top.dihedrals.size(), 100u);
+  EXPECT_EQ(sys.top.constraints.size(), 50u);  // one N-H per residue
+}
+
+TEST(PaperSystems, TableFourRoster) {
+  const auto specs = sg::paper_systems();
+  ASSERT_EQ(specs.size(), 7u);
+  EXPECT_EQ(specs[1].name, "DHFR");
+  EXPECT_EQ(specs[1].atoms, 23558);
+  EXPECT_DOUBLE_EQ(specs[1].side, 62.2);
+  EXPECT_DOUBLE_EQ(specs[1].cutoff, 13.0);
+  EXPECT_DOUBLE_EQ(specs[1].perf_us_day, 16.4);
+  // BPTI: 17758 particles (Section 5.3).
+  EXPECT_EQ(specs[6].atoms, 17758);
+  EXPECT_EQ(specs[6].protein_atoms, 892);
+  EXPECT_EQ(specs[6].water, sg::WaterModel::k4Site);
+}
+
+TEST(PaperSystems, GpwBuildsExactly) {
+  const System sys = sg::build_paper_system(sg::spec_by_name("gpW"), 42);
+  EXPECT_EQ(sys.top.natoms, 9865);
+  EXPECT_NEAR(sys.top.total_charge(), 0.0, 1e-6);
+  EXPECT_GT(sys.top.protein_atoms, 900);
+  sys.top.validate();
+  // No catastrophic overlaps after relaxation (non-excluded pairs).
+  anton::pairlist::CellGrid grid(sys.box, 3.0);
+  grid.bin(sys.positions);
+  anton::pairlist::ExclusionTable excl(sys.top);
+  int severe = 0;
+  grid.for_each_pair(sys.positions, 1.0,
+                     [&](std::int32_t i, std::int32_t j, const Vec3d&,
+                         double) {
+                       if (sys.top.molecule[i] == sys.top.molecule[j]) return;
+                       if (!excl.excluded(i, j)) ++severe;
+                     });
+  EXPECT_EQ(severe, 0);
+}
+
+TEST(PaperSystems, BptiBuildsWithFourSiteWater) {
+  const System sys = sg::build_paper_system(sg::spec_by_name("BPTI"), 7);
+  EXPECT_EQ(sys.top.natoms, 17758);
+  // 4215 waters x 3 constraints + 892-atom protein N-H constraints.
+  EXPECT_GT(sys.top.constraints.size(), 4215u * 3);
+  EXPECT_EQ(sys.top.virtual_sites.size(), 4215u);
+  EXPECT_NEAR(sys.top.total_charge(), 0.0, 1e-6);
+}
+
+TEST(PaperSystems, InitialTemperatureIsRight) {
+  const System sys = sg::build_test_system(300, 22.0, 11);
+  const double ke =
+      anton::integrate::kinetic_energy(sys.velocities, sys.top.mass);
+  // Velocities are drawn for 3N dof; constrained dof make the measured
+  // temperature read slightly high, so compare against 3N.
+  const double T =
+      anton::integrate::temperature(ke, 3.0 * sys.top.natoms - 3.0);
+  EXPECT_NEAR(T, 300.0, 20.0);
+}
+
+TEST(PaperSystems, BuilderIsDeterministic) {
+  const System a = sg::build_test_system(100, 16.0, 99);
+  const System b = sg::build_test_system(100, 16.0, 99);
+  ASSERT_EQ(a.top.natoms, b.top.natoms);
+  for (int i = 0; i < a.top.natoms; ++i) {
+    EXPECT_EQ(a.positions[i], b.positions[i]);  // bitwise
+    EXPECT_EQ(a.velocities[i], b.velocities[i]);
+  }
+}
+
+TEST(PaperSystems, WaterSystemMatchesAtomCount) {
+  const System sys = sg::build_water_system(9865, 46.8,
+                                            sg::WaterModel::k3Site, 3);
+  EXPECT_EQ(sys.top.natoms, 9865);
+  EXPECT_NEAR(sys.top.total_charge(), 0.0, 1e-9);
+  EXPECT_TRUE(sys.top.bonds.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Go model (Figure 7 substitution).
+// ---------------------------------------------------------------------------
+
+TEST(GoModel, StartsFolded) {
+  sg::GoModelParams p;
+  p.temperature = 100.0;  // cold
+  sg::GoModel go(p);
+  EXPECT_GT(go.native_contact_count(), 10);
+  EXPECT_GT(go.native_fraction(), 0.9);
+}
+
+TEST(GoModel, StaysFoldedWhenCold) {
+  sg::GoModelParams p;
+  p.temperature = 150.0;
+  sg::GoModel go(p);
+  go.step(20000);
+  EXPECT_GT(go.native_fraction(), 0.7);
+}
+
+TEST(GoModel, UnfoldsWhenHot) {
+  sg::GoModelParams p;
+  p.temperature = 800.0;
+  sg::GoModel go(p);
+  go.step(40000);
+  EXPECT_LT(go.native_fraction(), 0.5);
+}
+
+TEST(GoModel, DeterministicUnderSeed) {
+  sg::GoModelParams p;
+  p.seed = 5;
+  sg::GoModel a(p), b(p);
+  a.step(500);
+  b.step(500);
+  for (int i = 0; i < a.residues(); ++i)
+    EXPECT_EQ(a.positions()[i], b.positions()[i]);
+}
+
+TEST(GoModel, BondsStayIntact) {
+  sg::GoModelParams p;
+  p.temperature = 700.0;
+  sg::GoModel go(p);
+  go.step(20000);
+  const auto& pos = go.positions();
+  for (int i = 0; i + 1 < go.residues(); ++i) {
+    const double d = (pos[i + 1] - pos[i]).norm();
+    EXPECT_GT(d, 2.0);
+    EXPECT_LT(d, 6.5);
+  }
+}

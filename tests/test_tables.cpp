@@ -1,0 +1,190 @@
+// Remez fitting and the tiered-index block-floating-point tables
+// (Section 4: PPIP function evaluators).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tables/remez.hpp"
+#include "tables/tiered_table.hpp"
+
+using anton::tables::RemezResult;
+using anton::tables::TieredLayout;
+using anton::tables::TieredTable;
+
+TEST(Remez, ExactForPolynomials) {
+  // A cubic is reproduced (near) exactly by a cubic minimax fit.
+  auto f = [](double t) { return 2.0 + 3.0 * t - t * t + 0.5 * t * t * t; };
+  const RemezResult r = anton::tables::remez_minimax(f, 0.0, 1.0, 3);
+  EXPECT_LT(r.max_error, 1e-12);
+  EXPECT_NEAR(anton::tables::polyval(r.coeffs, 0.3), f(0.3), 1e-12);
+}
+
+TEST(Remez, ExpAccuracy) {
+  const RemezResult r = anton::tables::remez_minimax(
+      [](double t) { return std::exp(t); }, 0.0, 1.0, 3);
+  // Known minimax error of cubic fit to e^x on [0,1] is ~5.5e-4; allow 2x.
+  EXPECT_LT(r.max_error, 1.2e-3);
+  // Error should be roughly equioscillating: check it beats a naive
+  // Taylor fit by a wide margin.
+  double taylor_worst = 0.0;
+  for (int i = 0; i <= 100; ++i) {
+    const double t = i / 100.0;
+    const double taylor = 1 + t + t * t / 2 + t * t * t / 6;
+    taylor_worst = std::max(taylor_worst, std::fabs(std::exp(t) - taylor));
+  }
+  EXPECT_LT(r.max_error, 0.25 * taylor_worst);
+}
+
+TEST(Remez, SteepFunction) {
+  // 1/x-like behaviour over a narrow segment (what the LJ tables see).
+  const RemezResult r = anton::tables::remez_minimax(
+      [](double t) { return 1.0 / (0.1 + t * 0.01); }, 0.0, 1.0, 3);
+  EXPECT_LT(r.max_error / 10.0, 1e-6);  // relative to f ~ 10
+}
+
+TEST(TieredLayout, AntonDefaultMatchesPaperExample) {
+  // Section 4: 64 entries on [0,1/128), 96 on [1/128,1/32), 56 on
+  // [1/32,1/4), 24 on [1/4,1) -- 240 total.
+  const TieredLayout lay = TieredLayout::anton_default();
+  EXPECT_EQ(lay.total_entries(), 240);
+  ASSERT_EQ(lay.tiers.size(), 4u);
+  EXPECT_EQ(lay.tiers[0].entries, 64);
+  EXPECT_EQ(lay.tiers[1].entries, 96);
+  EXPECT_EQ(lay.tiers[2].entries, 56);
+  EXPECT_EQ(lay.tiers[3].entries, 24);
+}
+
+TEST(TieredLayout, SegmentLookupIsConsistent) {
+  const TieredLayout lay = TieredLayout::anton_default();
+  for (int k = 0; k < lay.total_entries(); ++k) {
+    double lo, hi;
+    lay.segment_bounds(k, lo, hi);
+    ASSERT_LT(lo, hi);
+    double t;
+    // Midpoint maps back to segment k with t ~ 0.5.
+    EXPECT_EQ(lay.find_segment(0.5 * (lo + hi), t), k);
+    EXPECT_NEAR(t, 0.5, 1e-9);
+    // Left edge maps to k with t ~ 0.
+    EXPECT_EQ(lay.find_segment(lo, t), k);
+    EXPECT_NEAR(t, 0.0, 1e-9);
+  }
+}
+
+TEST(TieredLayout, SegmentsAreContiguous) {
+  const TieredLayout lay = TieredLayout::anton_default();
+  double prev_hi = 0.0;
+  for (int k = 0; k < lay.total_entries(); ++k) {
+    double lo, hi;
+    lay.segment_bounds(k, lo, hi);
+    EXPECT_DOUBLE_EQ(lo, prev_hi);
+    prev_hi = hi;
+  }
+  EXPECT_DOUBLE_EQ(prev_hi, 1.0);
+}
+
+TEST(TieredLayout, NarrowerSegmentsNearZero) {
+  // The tiered scheme allows "narrower segments where the function is
+  // rapidly varying" -- near r^2 = 0.
+  const TieredLayout lay = TieredLayout::anton_default();
+  double lo0, hi0, loN, hiN;
+  lay.segment_bounds(0, lo0, hi0);
+  lay.segment_bounds(lay.total_entries() - 1, loN, hiN);
+  EXPECT_LT(hi0 - lo0, (hiN - loN) / 100.0);
+}
+
+TEST(TieredTable, SmoothFunctionAccuracy) {
+  auto f = [](double u) { return std::exp(-3.0 * u) * std::cos(4.0 * u); };
+  const TieredTable t =
+      TieredTable::build(f, TieredLayout::anton_default(), 22);
+  for (int i = 1; i < 1000; ++i) {
+    const double u = i / 1000.0;
+    EXPECT_NEAR(t.eval_fixed(u), f(u), 5e-6) << "u=" << u;
+  }
+}
+
+TEST(TieredTable, ErfcKernelAccuracy) {
+  // The electrostatic kernel shape: erfc(beta R sqrt(u)) / (R sqrt(u)).
+  const double R = 13.0, beta = 0.24;
+  auto f = [&](double u) {
+    const double r = R * std::sqrt(u);
+    return std::erfc(beta * r) / r;
+  };
+  const TieredTable t =
+      TieredTable::build(f, TieredLayout::anton_default(), 22, 0.003);
+  for (int i = 0; i < 2000; ++i) {
+    const double u = 0.003 + (1.0 - 0.004) * i / 2000.0;
+    const double exact = f(u);
+    EXPECT_NEAR(t.eval_fixed(u), exact, 4e-6 * std::max(1.0, exact))
+        << "u=" << u;
+  }
+}
+
+TEST(TieredTable, SteepLJKernelRelativeAccuracy) {
+  // 12/r^14 over the table domain spans ~16 decades; block floating
+  // point must hold per-segment relative accuracy.
+  const double R = 13.0;
+  const double u_min = 0.005;
+  auto f = [&](double u) {
+    const double r2 = u * R * R;
+    return 12.0 / std::pow(r2, 7);
+  };
+  const TieredTable t =
+      TieredTable::build(f, anton::tables::TieredLayout::anton_default(), 22,
+                         u_min);
+  // Start the scan one segment above the u_min clamp kink; the fit in the
+  // segment containing the kink is intentionally degraded (the engine
+  // clamps there anyway).
+  for (int i = 0; i <= 500; ++i) {
+    const double u = 1.15 * u_min + (0.999 - 1.15 * u_min) * i / 500.0;
+    const double exact = f(u);
+    const double got = t.eval_fixed(u);
+    EXPECT_NEAR(got, exact, 1e-3 * exact + 1e-15) << "u=" << u;
+  }
+}
+
+TEST(TieredTable, ClampsBelowUMin) {
+  auto f = [](double u) { return 1.0 / u; };
+  const TieredTable t =
+      TieredTable::build(f, TieredLayout::uniform(64), 22, 0.1);
+  EXPECT_NEAR(t.eval_fixed(0.01), t.eval_fixed(0.1), 1e-3 * f(0.1));
+}
+
+TEST(TieredTable, FixedPathIsDeterministic) {
+  auto f = [](double u) { return std::sin(6.0 * u) + 2.0; };
+  const TieredTable t =
+      TieredTable::build(f, TieredLayout::anton_default(), 22);
+  for (int i = 0; i < 100; ++i) {
+    const double u = (i + 0.5) / 100.0;
+    const double a = t.eval_fixed(u);
+    const double b = t.eval_fixed(u);
+    EXPECT_EQ(a, b);  // bitwise
+  }
+}
+
+TEST(TieredTable, MantissaBitsControlAccuracy) {
+  auto f = [](double u) { return std::exp(-2.0 * u); };
+  const TieredTable t12 =
+      TieredTable::build(f, TieredLayout::uniform(64), 12);
+  const TieredTable t22 =
+      TieredTable::build(f, TieredLayout::uniform(64), 22);
+  EXPECT_GT(t12.max_fit_error(), 4.0 * t22.max_fit_error());
+}
+
+TEST(TieredTable, UniformVsTieredForSteepFunctions) {
+  // Ablation: the tiered layout beats a uniform layout with the same
+  // entry count on a steep kernel (the design rationale in Section 4).
+  const double u_min = 0.004;
+  auto f = [&](double u) { return 1.0 / (u * u * u); };
+  const TieredTable tiered =
+      TieredTable::build(f, TieredLayout::anton_default(), 22, u_min);
+  const TieredTable uniform =
+      TieredTable::build(f, TieredLayout::uniform(240), 22, u_min);
+  double worst_t = 0, worst_u = 0;
+  for (int i = 0; i <= 2000; ++i) {
+    const double u = u_min + (0.999 - u_min) * i / 2000.0;
+    worst_t = std::max(worst_t, std::fabs(tiered.eval_fixed(u) - f(u)) / f(u));
+    worst_u =
+        std::max(worst_u, std::fabs(uniform.eval_fixed(u) - f(u)) / f(u));
+  }
+  EXPECT_LT(worst_t, 0.2 * worst_u);
+}

@@ -1,0 +1,126 @@
+// Topology: exclusion generation and constraint groups (Sections 3.1,
+// 3.2.4).
+#include <gtest/gtest.h>
+
+#include "ff/params.hpp"
+#include "ff/topology.hpp"
+
+using anton::ConstraintBond;
+using anton::Topology;
+
+namespace {
+Topology chain_of(int n) {
+  // Linear chain 0-1-2-...-(n-1).
+  Topology t;
+  t.natoms = n;
+  t.mass.assign(n, 12.0);
+  t.charge.assign(n, 0.0);
+  t.type.assign(n, 0);
+  t.lj_types.push_back({3.4, 0.1});
+  for (int i = 0; i + 1 < n; ++i)
+    t.bonds.push_back({i, i + 1, 300.0, 1.5});
+  return t;
+}
+}  // namespace
+
+TEST(Topology, ExclusionsOnLinearChain) {
+  Topology t = chain_of(6);
+  t.build_exclusions(0.5, 0.8);
+  // Pairs at bond distance 1 and 2 fully excluded; distance 3 scaled.
+  auto find = [&](int i, int j) -> const anton::ExclusionPair* {
+    for (const auto& e : t.exclusions)
+      if (e.i == i && e.j == j) return &e;
+    return nullptr;
+  };
+  ASSERT_NE(find(0, 1), nullptr);
+  EXPECT_EQ(find(0, 1)->lj_scale, 0.0);
+  ASSERT_NE(find(0, 2), nullptr);
+  EXPECT_EQ(find(0, 2)->coul_scale, 0.0);
+  ASSERT_NE(find(0, 3), nullptr);
+  EXPECT_DOUBLE_EQ(find(0, 3)->lj_scale, 0.5);
+  EXPECT_DOUBLE_EQ(find(0, 3)->coul_scale, 0.8);
+  EXPECT_EQ(find(0, 4), nullptr);  // beyond 1-4: full interaction
+  // Count: distance-1 pairs: 5, distance-2: 4, distance-3: 3.
+  EXPECT_EQ(t.exclusions.size(), 12u);
+}
+
+TEST(Topology, ConstraintsCountForConnectivity) {
+  Topology t = chain_of(3);
+  t.bonds.clear();
+  t.constraints.push_back({0, 1, 1.0});
+  t.constraints.push_back({1, 2, 1.0});
+  t.build_exclusions(0.5, 0.8);
+  EXPECT_EQ(t.exclusions.size(), 3u);  // (0,1),(1,2) 1-2 and (0,2) 1-3
+}
+
+TEST(Topology, RingExclusionsUseShortestPath) {
+  // 6-ring: opposite atoms are at distance 3 (scaled 1-4).
+  Topology t = chain_of(6);
+  t.bonds.push_back({5, 0, 300.0, 1.5});
+  t.build_exclusions(0.5, 0.8);
+  for (const auto& e : t.exclusions) {
+    if (e.i == 0 && e.j == 3) {
+      EXPECT_DOUBLE_EQ(e.lj_scale, 0.5);  // distance 3 both ways round
+    }
+    if (e.i == 0 && e.j == 5) {
+      EXPECT_EQ(e.lj_scale, 0.0);  // direct bond via the ring closure
+    }
+  }
+}
+
+TEST(Topology, ConstraintGroupsAreConnectedComponents) {
+  Topology t = chain_of(8);
+  t.bonds.clear();
+  t.constraints.push_back({0, 1, 1.0});
+  t.constraints.push_back({1, 2, 1.0});
+  t.constraints.push_back({4, 5, 1.0});
+  t.build_constraint_groups();
+  ASSERT_EQ(t.constraint_groups.size(), 2u);
+  EXPECT_EQ(t.constraint_groups[0],
+            (std::vector<std::int32_t>{0, 1, 2}));
+  EXPECT_EQ(t.constraint_groups[1], (std::vector<std::int32_t>{4, 5}));
+}
+
+TEST(Topology, ValidateCatchesBadIndices) {
+  Topology t = chain_of(4);
+  t.bonds.push_back({2, 9, 300.0, 1.5});
+  EXPECT_THROW(t.validate(), std::runtime_error);
+}
+
+TEST(Topology, ValidateCatchesOverlappingGroups) {
+  Topology t = chain_of(4);
+  t.constraint_groups = {{0, 1}, {1, 2}};
+  EXPECT_THROW(t.validate(), std::runtime_error);
+}
+
+TEST(Topology, ValidateCatchesUnorderedExclusion) {
+  Topology t = chain_of(4);
+  t.exclusions.push_back({3, 1, 0.0, 0.0});
+  EXPECT_THROW(t.validate(), std::runtime_error);
+}
+
+TEST(Topology, DegreesOfFreedom) {
+  Topology t = chain_of(10);
+  t.constraints.push_back({0, 1, 1.0});
+  EXPECT_DOUBLE_EQ(t.degrees_of_freedom(), 30.0 - 1.0 - 3.0);
+}
+
+TEST(Params, LJTypesArePhysical) {
+  for (int c = 0; c < static_cast<int>(anton::ff::AtomClass::kCount); ++c) {
+    const auto lj = anton::ff::lj_for(static_cast<anton::ff::AtomClass>(c));
+    EXPECT_GT(lj.sigma, 0.5);
+    EXPECT_LT(lj.sigma, 6.0);
+    EXPECT_GE(lj.epsilon, 0.0);
+    EXPECT_LT(lj.epsilon, 1.0);
+    EXPECT_GT(anton::ff::mass_for(static_cast<anton::ff::AtomClass>(c)), 0.5);
+  }
+}
+
+TEST(Params, WaterGeometry) {
+  const auto w3 = anton::ff::water3();
+  EXPECT_NEAR(w3.q_o + 2 * w3.q_h, 0.0, 1e-12);  // neutral molecule
+  const auto w4 = anton::ff::water4();
+  EXPECT_NEAR(w4.q_m + 2 * w4.q_h, 0.0, 1e-5);
+  EXPECT_GT(w4.r_om, 0.0);
+  EXPECT_LT(w4.r_om, w4.r_oh);
+}

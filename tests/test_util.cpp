@@ -1,0 +1,118 @@
+// Utility substrate: deterministic RNG, statistics, units, comm stats.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "parallel/comm_stats.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+using anton::RunningStats;
+using anton::Xoshiro256;
+
+TEST(Rng, DeterministicUnderSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMomentsAreRight) {
+  Xoshiro256 rng(11);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.uniform());
+  EXPECT_NEAR(s.mean(), 0.5, 0.005);
+  EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.002);
+}
+
+TEST(Rng, NormalMomentsAreRight) {
+  Xoshiro256 rng(13);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.01);
+  EXPECT_NEAR(s.variance(), 1.0, 0.02);
+}
+
+TEST(Rng, BelowIsUnbiased) {
+  Xoshiro256 rng(17);
+  int counts[5] = {0, 0, 0, 0, 0};
+  for (int i = 0; i < 50000; ++i) ++counts[rng.below(5)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 400);
+}
+
+TEST(Stats, RunningStatsBasics) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, LinearFitExact) {
+  std::vector<double> x{0, 1, 2, 3, 4};
+  std::vector<double> y{1, 3, 5, 7, 9};  // y = 1 + 2x
+  const auto f = anton::fit_line(x, y);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+}
+
+TEST(Stats, FitDegenerateInputs) {
+  std::vector<double> one{1.0};
+  EXPECT_EQ(anton::fit_line(one, one).slope, 0.0);
+  std::vector<double> same{2.0, 2.0, 2.0};
+  std::vector<double> y{1.0, 2.0, 3.0};
+  EXPECT_EQ(anton::fit_line(same, y).slope, 0.0);  // vertical: no fit
+}
+
+TEST(Stats, Rms) {
+  std::vector<double> v{3.0, 4.0};
+  EXPECT_NEAR(anton::rms(v), std::sqrt(12.5), 1e-12);
+  EXPECT_EQ(anton::rms({}), 0.0);
+}
+
+TEST(Units, ThermalVelocityOfWaterAt300K) {
+  // v_rms per component for 18 amu at 300 K is ~0.0037 A/fs x sqrt(3).
+  const double v2 = anton::units::kB * 300.0 * anton::units::kForceToAccel /
+                    18.0;
+  EXPECT_NEAR(std::sqrt(v2), 0.00372, 2e-4);
+}
+
+TEST(Units, CoulombConstantMagnitude) {
+  // Two unit charges at 1 A: 332 kcal/mol -- the textbook number.
+  EXPECT_NEAR(anton::units::kCoulomb, 332.06, 0.1);
+}
+
+TEST(CommStats, PositionImportScalesWithAtoms) {
+  anton::parallel::CommConfig cfg;
+  const auto small = anton::parallel::position_import(100, 10, cfg);
+  const auto large = anton::parallel::position_import(1000, 10, cfg);
+  EXPECT_EQ(small.bytes, 100u * cfg.bytes_per_position);
+  EXPECT_GT(large.messages, small.messages);
+}
+
+TEST(CommStats, ForceExportMirrorsImport) {
+  anton::parallel::CommConfig cfg;
+  const auto imp = anton::parallel::position_import(500, 20, cfg);
+  const auto exp = anton::parallel::force_export(500, 20, cfg);
+  EXPECT_EQ(imp.messages, exp.messages);
+  EXPECT_EQ(exp.bytes, 500u * cfg.bytes_per_force);
+}

@@ -1,0 +1,154 @@
+// The message-passing virtual-node runtime: distributed-memory discipline
+// with bitwise-identical results on every decomposition, and the paper's
+// messaging claims.
+#include <gtest/gtest.h>
+
+#include "htis/match_unit.hpp"
+#include "parallel/virtual_machine.hpp"
+#include "sysgen/systems.hpp"
+
+using anton::System;
+using anton::Vec3i;
+using anton::Vec3l;
+using anton::parallel::VirtualMachine;
+using anton::parallel::VmConfig;
+using anton::parallel::VmStats;
+
+namespace {
+
+System test_system() {
+  return anton::sysgen::build_test_system(250, 20.0, 777, true, 36);
+}
+
+std::vector<anton::Vec3i> lattice_positions(const System& sys) {
+  anton::fixed::PositionLattice lat(sys.box);
+  std::vector<anton::Vec3i> out(sys.top.natoms);
+  for (int i = 0; i < sys.top.natoms; ++i)
+    out[i] = lat.to_lattice(sys.positions[i]);
+  return out;
+}
+
+VmConfig config(const Vec3i& nodes, const Vec3i& sub = {1, 1, 1}) {
+  VmConfig c;
+  c.node_grid = nodes;
+  c.subbox_div = sub;
+  c.cutoff = 7.0;
+  c.beta = 3.1 / 7.0;
+  return c;
+}
+
+}  // namespace
+
+TEST(VirtualMachine, BitwiseIdenticalAcrossDecompositions) {
+  const System sys = test_system();
+  const auto pos = lattice_positions(sys);
+  VirtualMachine base(sys, config({1, 1, 1}));
+  const std::vector<Vec3l> ref = base.evaluate(pos);
+
+  const Vec3i grids[][2] = {{{2, 1, 1}, {1, 1, 1}},
+                            {{2, 2, 2}, {1, 1, 1}},
+                            {{2, 2, 2}, {2, 2, 2}},
+                            {{4, 2, 1}, {1, 2, 4}},
+                            {{5, 1, 1}, {1, 3, 2}}};
+  for (const auto& g : grids) {
+    VirtualMachine vm(sys, config(g[0], g[1]));
+    const std::vector<Vec3l> f = vm.evaluate(pos);
+    for (int a = 0; a < sys.top.natoms; ++a) {
+      ASSERT_EQ(f[a], ref[a]) << "atom " << a << " on grid " << g[0].x << "x"
+                              << g[0].y << "x" << g[0].z;
+    }
+  }
+}
+
+TEST(VirtualMachine, SingleNodeSendsNoPositions) {
+  const System sys = test_system();
+  VirtualMachine vm(sys, config({1, 1, 1}));
+  VmStats st;
+  vm.evaluate(lattice_positions(sys), &st);
+  EXPECT_EQ(st.position_messages, 0);
+  EXPECT_EQ(st.force_messages, 0);
+  EXPECT_GT(st.interactions, 0);
+}
+
+TEST(VirtualMachine, MessageCountGrowsWithNodes) {
+  const System sys = test_system();
+  const auto pos = lattice_positions(sys);
+  VmStats s2, s8;
+  VirtualMachine vm2(sys, config({2, 1, 1}));
+  vm2.evaluate(pos, &s2);
+  VirtualMachine vm8(sys, config({2, 2, 2}));
+  vm8.evaluate(pos, &s8);
+  EXPECT_GT(s2.position_messages, 0);
+  EXPECT_GT(s8.position_messages, s2.position_messages);
+  EXPECT_GT(s8.force_messages, 0);
+}
+
+TEST(VirtualMachine, SubboxMulticastUsesManySmallMessages) {
+  // Finer subboxes = more multicast streams (Figure 3f granularity) --
+  // the "many short messages" regime Anton's network is built for.
+  const System sys = test_system();
+  const auto pos = lattice_positions(sys);
+  VmStats coarse, fine;
+  VirtualMachine a(sys, config({2, 2, 2}, {1, 1, 1}));
+  a.evaluate(pos, &coarse);
+  VirtualMachine b(sys, config({2, 2, 2}, {2, 2, 2}));
+  b.evaluate(pos, &fine);
+  EXPECT_GT(fine.position_messages, coarse.position_messages);
+  // Same physics either way: identical interaction counts.
+  EXPECT_EQ(fine.interactions, coarse.interactions);
+}
+
+TEST(VirtualMachine, InteractionCountMatchesBruteForce) {
+  const System sys = test_system();
+  const auto pos = lattice_positions(sys);
+  VirtualMachine vm(sys, config({2, 2, 2}));
+  VmStats st;
+  vm.evaluate(pos, &st);
+
+  anton::fixed::PositionLattice lat(sys.box);
+  anton::pairlist::ExclusionTable excl(sys.top);
+  const double cut_lat = 7.0 / lat.lsb().x;
+  const auto limit = static_cast<std::uint64_t>(cut_lat * cut_lat);
+  std::int64_t expect = 0;
+  for (int i = 0; i < sys.top.natoms; ++i) {
+    for (int j = i + 1; j < sys.top.natoms; ++j) {
+      const anton::Vec3i d =
+          anton::fixed::PositionLattice::delta(pos[i], pos[j]);
+      if (anton::htis::exact_r2_lattice(d) > limit) continue;
+      if (sys.top.molecule[i] == sys.top.molecule[j] && excl.excluded(i, j))
+        continue;
+      ++expect;
+    }
+  }
+  EXPECT_EQ(st.interactions, expect);
+}
+
+TEST(VirtualMachine, ForcesSumToZero) {
+  // Wrapping sums of equal-and-opposite quantized pair forces cancel
+  // exactly over the whole system.
+  const System sys = test_system();
+  VirtualMachine vm(sys, config({2, 2, 2}));
+  const auto f = vm.evaluate(lattice_positions(sys));
+  Vec3l total{0, 0, 0};
+  for (const auto& fi : f) {
+    total.x = anton::fixed::wrap_add(total.x, fi.x);
+    total.y = anton::fixed::wrap_add(total.y, fi.y);
+    total.z = anton::fixed::wrap_add(total.z, fi.z);
+  }
+  EXPECT_EQ(total.x, 0);
+  EXPECT_EQ(total.y, 0);
+  EXPECT_EQ(total.z, 0);
+}
+
+TEST(VirtualMachine, ThousandsOfMessagesAtScale) {
+  // The Section 3.2 claim, at the scale this host can hold: a 4x4x4 grid
+  // with subboxes pushes the per-evaluation message count into the
+  // thousands.
+  const System sys = anton::sysgen::build_test_system(900, 30.0, 31, true, 60);
+  VmConfig c = config({4, 4, 4}, {2, 2, 2});
+  VirtualMachine vm(sys, c);
+  VmStats st;
+  vm.evaluate(lattice_positions(sys), &st);
+  EXPECT_GT(st.position_messages + st.force_messages, 2000);
+  EXPECT_GT(st.max_messages_per_node, 30);
+}
