@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gse.dir/bench_ablation_gse.cpp.o"
+  "CMakeFiles/bench_ablation_gse.dir/bench_ablation_gse.cpp.o.d"
+  "bench_ablation_gse"
+  "bench_ablation_gse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

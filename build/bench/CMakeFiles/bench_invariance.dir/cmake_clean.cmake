@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_invariance.dir/bench_invariance.cpp.o"
+  "CMakeFiles/bench_invariance.dir/bench_invariance.cpp.o.d"
+  "bench_invariance"
+  "bench_invariance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_invariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpti_millisecond.dir/bpti_millisecond.cpp.o"
+  "CMakeFiles/bpti_millisecond.dir/bpti_millisecond.cpp.o.d"
+  "bpti_millisecond"
+  "bpti_millisecond.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpti_millisecond.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

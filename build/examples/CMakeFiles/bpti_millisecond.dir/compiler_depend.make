@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bpti_millisecond.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bpti_millisecond.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpw_folding.dir/gpw_folding.cpp.o"
+  "CMakeFiles/gpw_folding.dir/gpw_folding.cpp.o.d"
+  "gpw_folding"
+  "gpw_folding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpw_folding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

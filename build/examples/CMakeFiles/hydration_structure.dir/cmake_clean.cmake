@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydration_structure.dir/hydration_structure.cpp.o"
+  "CMakeFiles/hydration_structure.dir/hydration_structure.cpp.o.d"
+  "hydration_structure"
+  "hydration_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydration_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_parameters.dir/order_parameters.cpp.o"
+  "CMakeFiles/order_parameters.dir/order_parameters.cpp.o.d"
+  "order_parameters"
+  "order_parameters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/analysis.cpp" "src/CMakeFiles/anton.dir/analysis/analysis.cpp.o" "gcc" "src/CMakeFiles/anton.dir/analysis/analysis.cpp.o.d"
+  "/root/repo/src/analysis/structure.cpp" "src/CMakeFiles/anton.dir/analysis/structure.cpp.o" "gcc" "src/CMakeFiles/anton.dir/analysis/structure.cpp.o.d"
+  "/root/repo/src/bonded/bonded.cpp" "src/CMakeFiles/anton.dir/bonded/bonded.cpp.o" "gcc" "src/CMakeFiles/anton.dir/bonded/bonded.cpp.o.d"
+  "/root/repo/src/constraints/shake.cpp" "src/CMakeFiles/anton.dir/constraints/shake.cpp.o" "gcc" "src/CMakeFiles/anton.dir/constraints/shake.cpp.o.d"
+  "/root/repo/src/core/anton_engine.cpp" "src/CMakeFiles/anton.dir/core/anton_engine.cpp.o" "gcc" "src/CMakeFiles/anton.dir/core/anton_engine.cpp.o.d"
+  "/root/repo/src/core/reference_engine.cpp" "src/CMakeFiles/anton.dir/core/reference_engine.cpp.o" "gcc" "src/CMakeFiles/anton.dir/core/reference_engine.cpp.o.d"
+  "/root/repo/src/core/simulation.cpp" "src/CMakeFiles/anton.dir/core/simulation.cpp.o" "gcc" "src/CMakeFiles/anton.dir/core/simulation.cpp.o.d"
+  "/root/repo/src/core/workload.cpp" "src/CMakeFiles/anton.dir/core/workload.cpp.o" "gcc" "src/CMakeFiles/anton.dir/core/workload.cpp.o.d"
+  "/root/repo/src/ewald/gse.cpp" "src/CMakeFiles/anton.dir/ewald/gse.cpp.o" "gcc" "src/CMakeFiles/anton.dir/ewald/gse.cpp.o.d"
+  "/root/repo/src/ewald/reference_ewald.cpp" "src/CMakeFiles/anton.dir/ewald/reference_ewald.cpp.o" "gcc" "src/CMakeFiles/anton.dir/ewald/reference_ewald.cpp.o.d"
+  "/root/repo/src/ewald/spme.cpp" "src/CMakeFiles/anton.dir/ewald/spme.cpp.o" "gcc" "src/CMakeFiles/anton.dir/ewald/spme.cpp.o.d"
+  "/root/repo/src/ff/params.cpp" "src/CMakeFiles/anton.dir/ff/params.cpp.o" "gcc" "src/CMakeFiles/anton.dir/ff/params.cpp.o.d"
+  "/root/repo/src/ff/topology.cpp" "src/CMakeFiles/anton.dir/ff/topology.cpp.o" "gcc" "src/CMakeFiles/anton.dir/ff/topology.cpp.o.d"
+  "/root/repo/src/fft/dist_plan.cpp" "src/CMakeFiles/anton.dir/fft/dist_plan.cpp.o" "gcc" "src/CMakeFiles/anton.dir/fft/dist_plan.cpp.o.d"
+  "/root/repo/src/fft/fft1d.cpp" "src/CMakeFiles/anton.dir/fft/fft1d.cpp.o" "gcc" "src/CMakeFiles/anton.dir/fft/fft1d.cpp.o.d"
+  "/root/repo/src/fft/fft3d.cpp" "src/CMakeFiles/anton.dir/fft/fft3d.cpp.o" "gcc" "src/CMakeFiles/anton.dir/fft/fft3d.cpp.o.d"
+  "/root/repo/src/fixed/lattice.cpp" "src/CMakeFiles/anton.dir/fixed/lattice.cpp.o" "gcc" "src/CMakeFiles/anton.dir/fixed/lattice.cpp.o.d"
+  "/root/repo/src/geom/box.cpp" "src/CMakeFiles/anton.dir/geom/box.cpp.o" "gcc" "src/CMakeFiles/anton.dir/geom/box.cpp.o.d"
+  "/root/repo/src/htis/pair_kernels.cpp" "src/CMakeFiles/anton.dir/htis/pair_kernels.cpp.o" "gcc" "src/CMakeFiles/anton.dir/htis/pair_kernels.cpp.o.d"
+  "/root/repo/src/integrate/kinetic.cpp" "src/CMakeFiles/anton.dir/integrate/kinetic.cpp.o" "gcc" "src/CMakeFiles/anton.dir/integrate/kinetic.cpp.o.d"
+  "/root/repo/src/integrate/minimize.cpp" "src/CMakeFiles/anton.dir/integrate/minimize.cpp.o" "gcc" "src/CMakeFiles/anton.dir/integrate/minimize.cpp.o.d"
+  "/root/repo/src/io/io.cpp" "src/CMakeFiles/anton.dir/io/io.cpp.o" "gcc" "src/CMakeFiles/anton.dir/io/io.cpp.o.d"
+  "/root/repo/src/io/trajectory.cpp" "src/CMakeFiles/anton.dir/io/trajectory.cpp.o" "gcc" "src/CMakeFiles/anton.dir/io/trajectory.cpp.o.d"
+  "/root/repo/src/machine/perf_model.cpp" "src/CMakeFiles/anton.dir/machine/perf_model.cpp.o" "gcc" "src/CMakeFiles/anton.dir/machine/perf_model.cpp.o.d"
+  "/root/repo/src/machine/timeline.cpp" "src/CMakeFiles/anton.dir/machine/timeline.cpp.o" "gcc" "src/CMakeFiles/anton.dir/machine/timeline.cpp.o.d"
+  "/root/repo/src/machine/workload_model.cpp" "src/CMakeFiles/anton.dir/machine/workload_model.cpp.o" "gcc" "src/CMakeFiles/anton.dir/machine/workload_model.cpp.o.d"
+  "/root/repo/src/nt/import_region.cpp" "src/CMakeFiles/anton.dir/nt/import_region.cpp.o" "gcc" "src/CMakeFiles/anton.dir/nt/import_region.cpp.o.d"
+  "/root/repo/src/nt/match_efficiency.cpp" "src/CMakeFiles/anton.dir/nt/match_efficiency.cpp.o" "gcc" "src/CMakeFiles/anton.dir/nt/match_efficiency.cpp.o.d"
+  "/root/repo/src/nt/nt_geometry.cpp" "src/CMakeFiles/anton.dir/nt/nt_geometry.cpp.o" "gcc" "src/CMakeFiles/anton.dir/nt/nt_geometry.cpp.o.d"
+  "/root/repo/src/pairlist/cell_grid.cpp" "src/CMakeFiles/anton.dir/pairlist/cell_grid.cpp.o" "gcc" "src/CMakeFiles/anton.dir/pairlist/cell_grid.cpp.o.d"
+  "/root/repo/src/pairlist/exclusion_table.cpp" "src/CMakeFiles/anton.dir/pairlist/exclusion_table.cpp.o" "gcc" "src/CMakeFiles/anton.dir/pairlist/exclusion_table.cpp.o.d"
+  "/root/repo/src/parallel/comm_stats.cpp" "src/CMakeFiles/anton.dir/parallel/comm_stats.cpp.o" "gcc" "src/CMakeFiles/anton.dir/parallel/comm_stats.cpp.o.d"
+  "/root/repo/src/parallel/virtual_machine.cpp" "src/CMakeFiles/anton.dir/parallel/virtual_machine.cpp.o" "gcc" "src/CMakeFiles/anton.dir/parallel/virtual_machine.cpp.o.d"
+  "/root/repo/src/sysgen/go_model.cpp" "src/CMakeFiles/anton.dir/sysgen/go_model.cpp.o" "gcc" "src/CMakeFiles/anton.dir/sysgen/go_model.cpp.o.d"
+  "/root/repo/src/sysgen/protein.cpp" "src/CMakeFiles/anton.dir/sysgen/protein.cpp.o" "gcc" "src/CMakeFiles/anton.dir/sysgen/protein.cpp.o.d"
+  "/root/repo/src/sysgen/systems.cpp" "src/CMakeFiles/anton.dir/sysgen/systems.cpp.o" "gcc" "src/CMakeFiles/anton.dir/sysgen/systems.cpp.o.d"
+  "/root/repo/src/sysgen/water.cpp" "src/CMakeFiles/anton.dir/sysgen/water.cpp.o" "gcc" "src/CMakeFiles/anton.dir/sysgen/water.cpp.o.d"
+  "/root/repo/src/tables/remez.cpp" "src/CMakeFiles/anton.dir/tables/remez.cpp.o" "gcc" "src/CMakeFiles/anton.dir/tables/remez.cpp.o.d"
+  "/root/repo/src/tables/tiered_table.cpp" "src/CMakeFiles/anton.dir/tables/tiered_table.cpp.o" "gcc" "src/CMakeFiles/anton.dir/tables/tiered_table.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/anton.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/anton.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/anton.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/anton.dir/util/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("geom")
+subdirs("fixed")
+subdirs("tables")
+subdirs("fft")
+subdirs("ff")
+subdirs("bonded")
+subdirs("pairlist")
+subdirs("ewald")
+subdirs("nt")
+subdirs("htis")
+subdirs("constraints")
+subdirs("integrate")
+subdirs("sysgen")
+subdirs("parallel")
+subdirs("core")
+subdirs("machine")
+subdirs("analysis")
+subdirs("io")

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/anton_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/anton_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_bonded.cpp" "tests/CMakeFiles/anton_tests.dir/test_bonded.cpp.o" "gcc" "tests/CMakeFiles/anton_tests.dir/test_bonded.cpp.o.d"
+  "/root/repo/tests/test_constraints.cpp" "tests/CMakeFiles/anton_tests.dir/test_constraints.cpp.o" "gcc" "tests/CMakeFiles/anton_tests.dir/test_constraints.cpp.o.d"
+  "/root/repo/tests/test_engines.cpp" "tests/CMakeFiles/anton_tests.dir/test_engines.cpp.o" "gcc" "tests/CMakeFiles/anton_tests.dir/test_engines.cpp.o.d"
+  "/root/repo/tests/test_ewald.cpp" "tests/CMakeFiles/anton_tests.dir/test_ewald.cpp.o" "gcc" "tests/CMakeFiles/anton_tests.dir/test_ewald.cpp.o.d"
+  "/root/repo/tests/test_fft.cpp" "tests/CMakeFiles/anton_tests.dir/test_fft.cpp.o" "gcc" "tests/CMakeFiles/anton_tests.dir/test_fft.cpp.o.d"
+  "/root/repo/tests/test_fixed.cpp" "tests/CMakeFiles/anton_tests.dir/test_fixed.cpp.o" "gcc" "tests/CMakeFiles/anton_tests.dir/test_fixed.cpp.o.d"
+  "/root/repo/tests/test_geom.cpp" "tests/CMakeFiles/anton_tests.dir/test_geom.cpp.o" "gcc" "tests/CMakeFiles/anton_tests.dir/test_geom.cpp.o.d"
+  "/root/repo/tests/test_htis.cpp" "tests/CMakeFiles/anton_tests.dir/test_htis.cpp.o" "gcc" "tests/CMakeFiles/anton_tests.dir/test_htis.cpp.o.d"
+  "/root/repo/tests/test_integrate.cpp" "tests/CMakeFiles/anton_tests.dir/test_integrate.cpp.o" "gcc" "tests/CMakeFiles/anton_tests.dir/test_integrate.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/anton_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/anton_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_machine.cpp" "tests/CMakeFiles/anton_tests.dir/test_machine.cpp.o" "gcc" "tests/CMakeFiles/anton_tests.dir/test_machine.cpp.o.d"
+  "/root/repo/tests/test_nt.cpp" "tests/CMakeFiles/anton_tests.dir/test_nt.cpp.o" "gcc" "tests/CMakeFiles/anton_tests.dir/test_nt.cpp.o.d"
+  "/root/repo/tests/test_pairlist.cpp" "tests/CMakeFiles/anton_tests.dir/test_pairlist.cpp.o" "gcc" "tests/CMakeFiles/anton_tests.dir/test_pairlist.cpp.o.d"
+  "/root/repo/tests/test_pressure.cpp" "tests/CMakeFiles/anton_tests.dir/test_pressure.cpp.o" "gcc" "tests/CMakeFiles/anton_tests.dir/test_pressure.cpp.o.d"
+  "/root/repo/tests/test_simulation.cpp" "tests/CMakeFiles/anton_tests.dir/test_simulation.cpp.o" "gcc" "tests/CMakeFiles/anton_tests.dir/test_simulation.cpp.o.d"
+  "/root/repo/tests/test_spme.cpp" "tests/CMakeFiles/anton_tests.dir/test_spme.cpp.o" "gcc" "tests/CMakeFiles/anton_tests.dir/test_spme.cpp.o.d"
+  "/root/repo/tests/test_structure.cpp" "tests/CMakeFiles/anton_tests.dir/test_structure.cpp.o" "gcc" "tests/CMakeFiles/anton_tests.dir/test_structure.cpp.o.d"
+  "/root/repo/tests/test_sysgen.cpp" "tests/CMakeFiles/anton_tests.dir/test_sysgen.cpp.o" "gcc" "tests/CMakeFiles/anton_tests.dir/test_sysgen.cpp.o.d"
+  "/root/repo/tests/test_tables.cpp" "tests/CMakeFiles/anton_tests.dir/test_tables.cpp.o" "gcc" "tests/CMakeFiles/anton_tests.dir/test_tables.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/anton_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/anton_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/anton_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/anton_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_virtual_machine.cpp" "tests/CMakeFiles/anton_tests.dir/test_virtual_machine.cpp.o" "gcc" "tests/CMakeFiles/anton_tests.dir/test_virtual_machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/anton.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
