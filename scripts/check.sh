@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# CI-style gate: tier-1 verify (configure + build + full ctest), then a
+# ThreadSanitizer pass over the deterministic-parallelism surface (the
+# thread pool and the threaded engine tests).
+#
+# Usage: scripts/check.sh [--tsan-only|--tier1-only]
+#   JOBS=N         parallelism for build/test (default: nproc)
+#   TSAN_FILTER=…  override the gtest filter for the TSan pass
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+MODE="${1:-all}"
+
+tier1() {
+  echo "== tier-1: configure + build + ctest =="
+  cmake -B build -S .
+  cmake --build build -j"$JOBS"
+  (cd build && ctest --output-on-failure -j"$JOBS")
+}
+
+tsan() {
+  echo "== TSan: engine + thread pool under -fsanitize=thread =="
+  cmake -B build-tsan -S . -DANTON_SANITIZE=thread
+  cmake --build build-tsan -j"$JOBS" --target anton_tests
+  # The threaded surface: the pool itself, the thread-invariance and
+  # decomposition-invariance engine tests, the threaded workload counters,
+  # and the checkpoint-restart-with-different-thread-count driver test.
+  local filter="${TSAN_FILTER:-ThreadPool.*:ThreadCounts/*:AntonEngine.*:ParallelInvariance*:Decompositions/*:Workload.CountersAggregatedFromThreadShardsMatchSingleThread:Simulation.ResumeContinuesBitwise}"
+  TSAN_OPTIONS="halt_on_error=1 history_size=7" \
+    ./build-tsan/tests/anton_tests --gtest_filter="$filter"
+}
+
+case "$MODE" in
+  --tier1-only) tier1 ;;
+  --tsan-only) tsan ;;
+  all|"") tier1; tsan ;;
+  *) echo "unknown mode: $MODE" >&2; exit 2 ;;
+esac
+
+echo "== all checks passed =="

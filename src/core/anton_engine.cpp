@@ -34,7 +34,7 @@ std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t bytes) {
 AntonEngine::AntonEngine(System sys, const AntonConfig& cfg)
     : sys_(std::move(sys)), cfg_(cfg),
       gse_params_(cfg.sim.resolved_gse()), lat_(sys_.box),
-      excl_(sys_.top) {
+      excl_(sys_.top), pool_(cfg.nthreads) {
   sys_.top.validate();
   if (!sys_.box.is_cubic())
     throw std::invalid_argument("AntonEngine: requires a cubic box");
@@ -90,6 +90,14 @@ AntonEngine::AntonEngine(System sys, const AntonConfig& cfg)
   mesh_phi_.assign(gse_->mesh_total(), 0);
   scratch_q_.assign(gse_->mesh_total(), 0.0);
   scratch_phi_.assign(gse_->mesh_total(), 0.0);
+
+  // Per-lane accumulator shards (wl_shards_ is sized per node count in
+  // build_decomposition below).
+  const int lanes = pool_.lanes();
+  f_shards_.assign(lanes, std::vector<Vec3l>(n, Vec3l{0, 0, 0}));
+  mesh_shards_.assign(lanes,
+                      std::vector<std::int64_t>(gse_->mesh_total(), 0));
+  acc_shards_.assign(lanes, LaneAccums{});
 
   // Cutoff thresholds in lattice units (cubic box: lsb identical per axis).
   const double cut_lat = cfg_.sim.cutoff / lsb.x;
@@ -166,6 +174,55 @@ void AntonEngine::build_decomposition() {
 
   workload_.nodes.assign(nnodes, {});
   workload_.steps_accumulated = 0;
+  wl_shards_.assign(pool_.lanes(),
+                    std::vector<NodeCounters>(nnodes, NodeCounters{}));
+}
+
+void AntonEngine::zero_force_shards() {
+  pool_.run_lanes([&](int lane) {
+    std::fill(f_shards_[lane].begin(), f_shards_[lane].end(),
+              Vec3l{0, 0, 0});
+    acc_shards_[lane] = LaneAccums{};
+  });
+}
+
+void AntonEngine::reduce_force_shards(std::vector<Vec3l>& into) {
+  // Each destination atom is reduced by exactly one lane; wrapping adds
+  // make the sum independent of shard order.
+  pool_.parallel_for(
+      static_cast<std::int64_t>(into.size()),
+      [&](int, std::int64_t a0, std::int64_t a1) {
+        for (std::int64_t i = a0; i < a1; ++i) {
+          Vec3l s{0, 0, 0};
+          for (const auto& fsh : f_shards_) {
+            s.x = fixed::wrap_add(s.x, fsh[i].x);
+            s.y = fixed::wrap_add(s.y, fsh[i].y);
+            s.z = fixed::wrap_add(s.z, fsh[i].z);
+          }
+          into[i] = s;
+        }
+      });
+}
+
+void AntonEngine::reduce_energy_shards() {
+  for (LaneAccums& a : acc_shards_) {
+    e_lj_acc_.add(a.lj.value());
+    e_coul_acc_.add(a.coul.value());
+    e_bonded_acc_.add(a.bonded.value());
+    e_corr_acc_.add(a.corr.value());
+    w_pair_acc_.add(a.w_pair.value());
+    w_bonded_acc_.add(a.w_bonded.value());
+    a = LaneAccums{};
+  }
+}
+
+void AntonEngine::flush_counter_shards() {
+  for (auto& lane : wl_shards_) {
+    for (std::size_t node = 0; node < lane.size(); ++node) {
+      workload_.nodes[node] += lane[node];
+      lane[node] = NodeCounters{};
+    }
+  }
 }
 
 void AntonEngine::refresh_phys_positions() {
@@ -233,80 +290,93 @@ void AntonEngine::migrate() {
 void AntonEngine::range_limited_pass(bool with_energy) {
   const Topology& top = sys_.top;
   const bool have_mol = !top.molecule.empty();
-  const double inv_force_scale = 1.0;  // forces quantized via llrint below
-  (void)inv_force_scale;
 
+  // Parallel over home subboxes. Each lane owns a force shard, a counter
+  // shard and an energy shard; a pair's quantized force is a pure function
+  // of the two lattice positions, so which lane computes it cannot change
+  // the value, and the wrapping shard reduction cannot change the sum.
   const std::int64_t nsub = geom_->subbox_count();
-  for (std::int32_t hidx = 0; hidx < nsub; ++hidx) {
-    const Vec3i h = geom_->coords_of(hidx);
-    NodeCounters& nc = workload_.nodes[geom_->node_index_of(h)];
-    for (std::int32_t dz : geom_->tower_dz()) {
-      const std::int32_t tidx =
-          geom_->index_of(geom_->wrap_coords({h.x, h.y, h.z + dz}));
-      const auto& tower = bins_[tidx];
-      if (tower.empty()) continue;
-      for (const Vec3i& poff : geom_->plate_half()) {
-        if (!geom_->owns_pair(h, dz, poff)) continue;
-        const std::int32_t pidx = geom_->index_of(
-            geom_->wrap_coords({h.x + poff.x, h.y + poff.y, h.z}));
-        const auto& plate = bins_[pidx];
-        if (plate.empty()) continue;
-        const bool same = tidx == pidx;
-        for (std::size_t a = 0; a < tower.size(); ++a) {
-          const std::int32_t i0 = tower[a];
-          const Vec3i pi = pos_[i0];
-          const std::size_t b0 = same ? a + 1 : 0;
-          for (std::size_t b = b0; b < plate.size(); ++b) {
-            const std::int32_t j0 = plate[b];
-            ++nc.pairs_considered;
-            // Canonical pair orientation: lower global index first, so the
-            // computed (quantized) force is identical no matter which node
-            // or decomposition evaluates the pair.
-            const std::int32_t i = i0 < j0 ? i0 : j0;
-            const std::int32_t j = i0 < j0 ? j0 : i0;
-            const Vec3i d = fixed::PositionLattice::delta(
-                i == i0 ? pi : pos_[i], i == i0 ? pos_[j] : pi);
-            if (!htis::match_plausible(d, r2_limit_lattice_)) continue;
-            ++nc.ppip_queue;
-            const std::uint64_t r2lat = htis::exact_r2_lattice(d);
-            if (r2lat > r2_limit_lattice_) continue;
-            if (have_mol && top.molecule[i] == top.molecule[j] &&
-                excl_.excluded(i, j))
-              continue;
-            ++nc.interactions;
-            const double r2 = static_cast<double>(r2lat) * lat2_to_phys2_;
-            const double qq = top.charge[i] * top.charge[j];
-            const htis::PairForceEnergy pfe = kernels_.eval_nonbonded(
-                r2, qq, top.type[i], top.type[j], with_energy);
-            const Vec3d drp = lat_.delta_to_phys(d);
-            const Vec3l fq{
-                fixed::quantize(pfe.force_coef * drp.x, fixed::kForceScale),
-                fixed::quantize(pfe.force_coef * drp.y, fixed::kForceScale),
-                fixed::quantize(pfe.force_coef * drp.z, fixed::kForceScale)};
-            f_short_[i].x = fixed::wrap_add(f_short_[i].x, fq.x);
-            f_short_[i].y = fixed::wrap_add(f_short_[i].y, fq.y);
-            f_short_[i].z = fixed::wrap_add(f_short_[i].z, fq.z);
-            f_short_[j].x = fixed::wrap_sub(f_short_[j].x, fq.x);
-            f_short_[j].y = fixed::wrap_sub(f_short_[j].y, fq.y);
-            f_short_[j].z = fixed::wrap_sub(f_short_[j].z, fq.z);
-            if (with_energy) {
-              e_coul_acc_.add(fixed::quantize_energy(pfe.energy_elec));
-              e_lj_acc_.add(fixed::quantize_energy(pfe.energy_lj));
-              // Pair virial trace: r_ij . F_ij = coef * r^2.
-              w_pair_acc_.add(
-                  fixed::quantize(pfe.force_coef * r2, fixed::kVirialScale));
+  pool_.parallel_for(nsub, [&](int lane, std::int64_t h0, std::int64_t h1) {
+    std::vector<Vec3l>& fsh = f_shards_[lane];
+    LaneAccums& acc = acc_shards_[lane];
+    for (std::int64_t hidx = h0; hidx < h1; ++hidx) {
+      const Vec3i h = geom_->coords_of(static_cast<std::int32_t>(hidx));
+      NodeCounters& nc = wl_shards_[lane][geom_->node_index_of(h)];
+      for (std::int32_t dz : geom_->tower_dz()) {
+        const std::int32_t tidx =
+            geom_->index_of(geom_->wrap_coords({h.x, h.y, h.z + dz}));
+        const auto& tower = bins_[tidx];
+        if (tower.empty()) continue;
+        for (const Vec3i& poff : geom_->plate_half()) {
+          if (!geom_->owns_pair(h, dz, poff)) continue;
+          const std::int32_t pidx = geom_->index_of(
+              geom_->wrap_coords({h.x + poff.x, h.y + poff.y, h.z}));
+          const auto& plate = bins_[pidx];
+          if (plate.empty()) continue;
+          const bool same = tidx == pidx;
+          for (std::size_t a = 0; a < tower.size(); ++a) {
+            const std::int32_t i0 = tower[a];
+            const Vec3i pi = pos_[i0];
+            const std::size_t b0 = same ? a + 1 : 0;
+            for (std::size_t b = b0; b < plate.size(); ++b) {
+              const std::int32_t j0 = plate[b];
+              ++nc.pairs_considered;
+              // Canonical pair orientation: lower global index first, so
+              // the computed (quantized) force is identical no matter
+              // which node or decomposition evaluates the pair.
+              const std::int32_t i = i0 < j0 ? i0 : j0;
+              const std::int32_t j = i0 < j0 ? j0 : i0;
+              const Vec3i d = fixed::PositionLattice::delta(
+                  i == i0 ? pi : pos_[i], i == i0 ? pos_[j] : pi);
+              if (!htis::match_plausible(d, r2_limit_lattice_)) continue;
+              ++nc.ppip_queue;
+              const std::uint64_t r2lat = htis::exact_r2_lattice(d);
+              if (r2lat > r2_limit_lattice_) continue;
+              if (have_mol && top.molecule[i] == top.molecule[j] &&
+                  excl_.excluded(i, j))
+                continue;
+              ++nc.interactions;
+              const double r2 = static_cast<double>(r2lat) * lat2_to_phys2_;
+              const double qq = top.charge[i] * top.charge[j];
+              const htis::PairForceEnergy pfe = kernels_.eval_nonbonded(
+                  r2, qq, top.type[i], top.type[j], with_energy);
+              const Vec3d drp = lat_.delta_to_phys(d);
+              const Vec3l fq{
+                  fixed::quantize(pfe.force_coef * drp.x, fixed::kForceScale),
+                  fixed::quantize(pfe.force_coef * drp.y, fixed::kForceScale),
+                  fixed::quantize(pfe.force_coef * drp.z, fixed::kForceScale)};
+              fsh[i].x = fixed::wrap_add(fsh[i].x, fq.x);
+              fsh[i].y = fixed::wrap_add(fsh[i].y, fq.y);
+              fsh[i].z = fixed::wrap_add(fsh[i].z, fq.z);
+              fsh[j].x = fixed::wrap_sub(fsh[j].x, fq.x);
+              fsh[j].y = fixed::wrap_sub(fsh[j].y, fq.y);
+              fsh[j].z = fixed::wrap_sub(fsh[j].z, fq.z);
+              if (with_energy) {
+                acc.coul.add(fixed::quantize_energy(pfe.energy_elec));
+                acc.lj.add(fixed::quantize_energy(pfe.energy_lj));
+                // Pair virial trace: r_ij . F_ij = coef * r^2.
+                acc.w_pair.add(
+                    fixed::quantize(pfe.force_coef * r2, fixed::kVirialScale));
+              }
             }
           }
         }
       }
     }
-  }
+  });
 }
 
 void AntonEngine::bonded_pass(bool with_energy) {
   const Topology& top = sys_.top;
-  auto apply = [&](const bonded::TermForces& t, NodeCounters& nc) {
+  // Parallel over bond destinations: each term's quantized forces are a
+  // pure function of its atoms' positions and land in the evaluating
+  // lane's shard, so the totals are lane-count invariant.
+  auto apply = [&](const bonded::TermForces& t, int lane,
+                   std::int32_t dest_atom) {
+    NodeCounters& nc = wl_shards_[lane][geom_->node_index_of(
+        geom_->coords_of(assigned_subbox_[dest_atom]))];
     ++nc.bond_terms;
+    LaneAccums& acc = acc_shards_[lane];
     if (with_energy && t.n > 0) {
       // Term virial: sum F_a . (r_a - r_ref); any reference works because
       // the term forces sum to zero.
@@ -314,158 +384,222 @@ void AntonEngine::bonded_pass(bool with_energy) {
       double w = 0.0;
       for (int i = 0; i < t.n; ++i)
         w += t.f[i].dot(sys_.box.min_image(pos_phys_[t.atom[i]], ref_pos));
-      w_bonded_acc_.add(fixed::quantize(w, fixed::kVirialScale));
+      acc.w_bonded.add(fixed::quantize(w, fixed::kVirialScale));
     }
+    std::vector<Vec3l>& fsh = f_shards_[lane];
     for (int i = 0; i < t.n; ++i) {
       const Vec3l fq{fixed::quantize(t.f[i].x, fixed::kForceScale),
                      fixed::quantize(t.f[i].y, fixed::kForceScale),
                      fixed::quantize(t.f[i].z, fixed::kForceScale)};
-      Vec3l& f = f_short_[t.atom[i]];
+      Vec3l& f = fsh[t.atom[i]];
       f.x = fixed::wrap_add(f.x, fq.x);
       f.y = fixed::wrap_add(f.y, fq.y);
       f.z = fixed::wrap_add(f.z, fq.z);
     }
-    if (with_energy) e_bonded_acc_.add(fixed::quantize_energy(t.energy));
+    if (with_energy) acc.bonded.add(fixed::quantize_energy(t.energy));
   };
-  auto node_of_atom = [&](std::int32_t a) -> NodeCounters& {
-    return workload_.nodes[geom_->node_index_of(
-        geom_->coords_of(assigned_subbox_[a]))];
-  };
-  for (const BondTerm& b : top.bonds)
-    apply(bonded::eval_bond(b, pos_phys_, sys_.box), node_of_atom(b.i));
-  for (const AngleTerm& a : top.angles)
-    apply(bonded::eval_angle(a, pos_phys_, sys_.box), node_of_atom(a.i));
-  for (const DihedralTerm& d : top.dihedrals)
-    apply(bonded::eval_dihedral(d, pos_phys_, sys_.box), node_of_atom(d.i));
+  pool_.parallel_for(
+      static_cast<std::int64_t>(top.bonds.size()),
+      [&](int lane, std::int64_t k0, std::int64_t k1) {
+        for (std::int64_t k = k0; k < k1; ++k) {
+          const BondTerm& b = top.bonds[k];
+          apply(bonded::eval_bond(b, pos_phys_, sys_.box), lane, b.i);
+        }
+      });
+  pool_.parallel_for(
+      static_cast<std::int64_t>(top.angles.size()),
+      [&](int lane, std::int64_t k0, std::int64_t k1) {
+        for (std::int64_t k = k0; k < k1; ++k) {
+          const AngleTerm& a = top.angles[k];
+          apply(bonded::eval_angle(a, pos_phys_, sys_.box), lane, a.i);
+        }
+      });
+  pool_.parallel_for(
+      static_cast<std::int64_t>(top.dihedrals.size()),
+      [&](int lane, std::int64_t k0, std::int64_t k1) {
+        for (std::int64_t k = k0; k < k1; ++k) {
+          const DihedralTerm& d = top.dihedrals[k];
+          apply(bonded::eval_dihedral(d, pos_phys_, sys_.box), lane, d.i);
+        }
+      });
 }
 
 void AntonEngine::correction_short_pass(bool with_energy) {
   // Scaled 1-4 interactions: the stiff, every-step half of the correction
-  // pipeline's work.
+  // pipeline's work. Parallel over exclusion pairs, sharded like the
+  // range-limited pass.
   const Topology& top = sys_.top;
-  for (const ExclusionPair& e : top.exclusions) {
-    if (e.lj_scale == 0.0 && e.coul_scale == 0.0) continue;
-    const Vec3i d = fixed::PositionLattice::delta(pos_[e.i], pos_[e.j]);
-    const Vec3d drp = lat_.delta_to_phys(d);
-    const double r2 = drp.norm2();
-    const double r = std::sqrt(r2);
-    const double A = kernels_.lj_a(top.type[e.i], top.type[e.j]);
-    const double B = kernels_.lj_b(top.type[e.i], top.type[e.j]);
-    const double qq = top.charge[e.i] * top.charge[e.j];
-    const double coef = e.lj_scale * ewald::lj_force(r2, A, B) +
-                        e.coul_scale * qq * ewald::coul_bare_force(r);
-    const Vec3l fq{fixed::quantize(coef * drp.x, fixed::kForceScale),
-                   fixed::quantize(coef * drp.y, fixed::kForceScale),
-                   fixed::quantize(coef * drp.z, fixed::kForceScale)};
-    f_short_[e.i].x = fixed::wrap_add(f_short_[e.i].x, fq.x);
-    f_short_[e.i].y = fixed::wrap_add(f_short_[e.i].y, fq.y);
-    f_short_[e.i].z = fixed::wrap_add(f_short_[e.i].z, fq.z);
-    f_short_[e.j].x = fixed::wrap_sub(f_short_[e.j].x, fq.x);
-    f_short_[e.j].y = fixed::wrap_sub(f_short_[e.j].y, fq.y);
-    f_short_[e.j].z = fixed::wrap_sub(f_short_[e.j].z, fq.z);
-    if (with_energy) {
-      e_corr_acc_.add(fixed::quantize_energy(
-          e.lj_scale * ewald::lj_energy(r2, A, B) +
-          e.coul_scale * qq * ewald::coul_bare_energy(r)));
-      w_pair_acc_.add(fixed::quantize(coef * r2, fixed::kVirialScale));
-    }
-  }
+  pool_.parallel_for(
+      static_cast<std::int64_t>(top.exclusions.size()),
+      [&](int lane, std::int64_t k0, std::int64_t k1) {
+        std::vector<Vec3l>& fsh = f_shards_[lane];
+        LaneAccums& acc = acc_shards_[lane];
+        for (std::int64_t k = k0; k < k1; ++k) {
+          const ExclusionPair& e = top.exclusions[k];
+          if (e.lj_scale == 0.0 && e.coul_scale == 0.0) continue;
+          const Vec3i d =
+              fixed::PositionLattice::delta(pos_[e.i], pos_[e.j]);
+          const Vec3d drp = lat_.delta_to_phys(d);
+          const double r2 = drp.norm2();
+          const double r = std::sqrt(r2);
+          const double A = kernels_.lj_a(top.type[e.i], top.type[e.j]);
+          const double B = kernels_.lj_b(top.type[e.i], top.type[e.j]);
+          const double qq = top.charge[e.i] * top.charge[e.j];
+          const double coef = e.lj_scale * ewald::lj_force(r2, A, B) +
+                              e.coul_scale * qq * ewald::coul_bare_force(r);
+          const Vec3l fq{fixed::quantize(coef * drp.x, fixed::kForceScale),
+                         fixed::quantize(coef * drp.y, fixed::kForceScale),
+                         fixed::quantize(coef * drp.z, fixed::kForceScale)};
+          fsh[e.i].x = fixed::wrap_add(fsh[e.i].x, fq.x);
+          fsh[e.i].y = fixed::wrap_add(fsh[e.i].y, fq.y);
+          fsh[e.i].z = fixed::wrap_add(fsh[e.i].z, fq.z);
+          fsh[e.j].x = fixed::wrap_sub(fsh[e.j].x, fq.x);
+          fsh[e.j].y = fixed::wrap_sub(fsh[e.j].y, fq.y);
+          fsh[e.j].z = fixed::wrap_sub(fsh[e.j].z, fq.z);
+          if (with_energy) {
+            acc.corr.add(fixed::quantize_energy(
+                e.lj_scale * ewald::lj_energy(r2, A, B) +
+                e.coul_scale * qq * ewald::coul_bare_energy(r)));
+            acc.w_pair.add(fixed::quantize(coef * r2, fixed::kVirialScale));
+          }
+        }
+      });
 }
 
 void AntonEngine::correction_long_pass(bool with_energy) {
-  // Reciprocal-space subtraction (-erf terms) for every excluded pair.
+  // Reciprocal-space subtraction (-erf terms) for every excluded pair;
+  // parallel over exclusion pairs.
   const Topology& top = sys_.top;
   const double beta = gse_params_.beta;
-  for (const ExclusionPair& e : top.exclusions) {
-    NodeCounters& nc = workload_.nodes[geom_->node_index_of(
-        geom_->coords_of(assigned_subbox_[e.i]))];
-    ++nc.correction_pairs;
-    const Vec3i d = fixed::PositionLattice::delta(pos_[e.i], pos_[e.j]);
-    const Vec3d drp = lat_.delta_to_phys(d);
-    const double r2 = drp.norm2();
-    const double r = std::sqrt(r2);
-    const double qq = top.charge[e.i] * top.charge[e.j];
-    const double coef = -qq * ewald::coul_recip_force(r, beta);
-    const Vec3l fq{fixed::quantize(coef * drp.x, fixed::kForceScale),
-                   fixed::quantize(coef * drp.y, fixed::kForceScale),
-                   fixed::quantize(coef * drp.z, fixed::kForceScale)};
-    f_long_[e.i].x = fixed::wrap_add(f_long_[e.i].x, fq.x);
-    f_long_[e.i].y = fixed::wrap_add(f_long_[e.i].y, fq.y);
-    f_long_[e.i].z = fixed::wrap_add(f_long_[e.i].z, fq.z);
-    f_long_[e.j].x = fixed::wrap_sub(f_long_[e.j].x, fq.x);
-    f_long_[e.j].y = fixed::wrap_sub(f_long_[e.j].y, fq.y);
-    f_long_[e.j].z = fixed::wrap_sub(f_long_[e.j].z, fq.z);
-    if (with_energy) {
-      e_corr_acc_.add(
-          fixed::quantize_energy(-qq * ewald::coul_recip_energy(r, beta)));
-      w_pair_acc_.add(fixed::quantize(coef * r2, fixed::kVirialScale));
-    }
-  }
+  pool_.parallel_for(
+      static_cast<std::int64_t>(top.exclusions.size()),
+      [&](int lane, std::int64_t k0, std::int64_t k1) {
+        std::vector<Vec3l>& fsh = f_shards_[lane];
+        LaneAccums& acc = acc_shards_[lane];
+        for (std::int64_t k = k0; k < k1; ++k) {
+          const ExclusionPair& e = top.exclusions[k];
+          NodeCounters& nc = wl_shards_[lane][geom_->node_index_of(
+              geom_->coords_of(assigned_subbox_[e.i]))];
+          ++nc.correction_pairs;
+          const Vec3i d =
+              fixed::PositionLattice::delta(pos_[e.i], pos_[e.j]);
+          const Vec3d drp = lat_.delta_to_phys(d);
+          const double r2 = drp.norm2();
+          const double r = std::sqrt(r2);
+          const double qq = top.charge[e.i] * top.charge[e.j];
+          const double coef = -qq * ewald::coul_recip_force(r, beta);
+          const Vec3l fq{fixed::quantize(coef * drp.x, fixed::kForceScale),
+                         fixed::quantize(coef * drp.y, fixed::kForceScale),
+                         fixed::quantize(coef * drp.z, fixed::kForceScale)};
+          fsh[e.i].x = fixed::wrap_add(fsh[e.i].x, fq.x);
+          fsh[e.i].y = fixed::wrap_add(fsh[e.i].y, fq.y);
+          fsh[e.i].z = fixed::wrap_add(fsh[e.i].z, fq.z);
+          fsh[e.j].x = fixed::wrap_sub(fsh[e.j].x, fq.x);
+          fsh[e.j].y = fixed::wrap_sub(fsh[e.j].y, fq.y);
+          fsh[e.j].z = fixed::wrap_sub(fsh[e.j].z, fq.z);
+          if (with_energy) {
+            acc.corr.add(fixed::quantize_energy(
+                -qq * ewald::coul_recip_energy(r, beta)));
+            acc.w_pair.add(fixed::quantize(coef * r2, fixed::kVirialScale));
+          }
+        }
+      });
 }
 
 void AntonEngine::mesh_pass(bool with_energy) {
   (void)with_energy;  // reciprocal energy is a by-product of the convolve
   const Topology& top = sys_.top;
+  const std::int64_t mesh_total =
+      static_cast<std::int64_t>(mesh_q_.size());
 
   // Charge spreading: HTIS atom-mesh interactions through the Gaussian
-  // table; each contribution quantized, accumulated with wrapping adds so
-  // the mesh is bitwise independent of traversal order.
-  std::fill(mesh_q_.begin(), mesh_q_.end(), 0);
-  for (std::int32_t i = 0; i < top.natoms; ++i) {
-    const double qi = top.charge[i];
-    if (qi == 0.0) continue;
-    NodeCounters& nc = workload_.nodes[geom_->node_index_of(
-        geom_->coords_of(assigned_subbox_[i]))];
-    gse_->for_each_mesh_point(
-        pos_phys_[i], [&](std::size_t idx, const Vec3d&, double r2) {
-          ++nc.spread_ops;
-          const double g = kernels_.eval_spread(r2);
-          mesh_q_[idx] = fixed::wrap_add(
-              mesh_q_[idx], fixed::quantize(qi * g, kMeshChargeScale));
-        });
-  }
+  // table; each contribution quantized, accumulated with wrapping adds
+  // into per-lane mesh shards so the mesh is bitwise independent of
+  // traversal order AND of which lane spread which atom.
+  pool_.run_lanes([&](int lane) {
+    std::fill(mesh_shards_[lane].begin(), mesh_shards_[lane].end(), 0);
+  });
+  pool_.parallel_for(
+      top.natoms, [&](int lane, std::int64_t i0, std::int64_t i1) {
+        std::vector<std::int64_t>& msh = mesh_shards_[lane];
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const double qi = top.charge[i];
+          if (qi == 0.0) continue;
+          NodeCounters& nc = wl_shards_[lane][geom_->node_index_of(
+              geom_->coords_of(assigned_subbox_[i]))];
+          gse_->for_each_mesh_point(
+              pos_phys_[i], [&](std::size_t idx, const Vec3d&, double r2) {
+                ++nc.spread_ops;
+                const double g = kernels_.eval_spread(r2);
+                msh[idx] = fixed::wrap_add(
+                    msh[idx], fixed::quantize(qi * g, kMeshChargeScale));
+              });
+        }
+      });
+  // Mesh-slab reduction: each lane reduces a disjoint slab of mesh points
+  // across all shards (wrap adds: shard order is irrelevant).
+  pool_.parallel_for(mesh_total,
+                     [&](int, std::int64_t m0, std::int64_t m1) {
+                       for (std::int64_t m = m0; m < m1; ++m) {
+                         std::int64_t s = 0;
+                         for (const auto& msh : mesh_shards_)
+                           s = fixed::wrap_add(s, msh[m]);
+                         mesh_q_[m] = s;
+                         scratch_q_[m] =
+                             static_cast<double>(s) / kMeshChargeScale;
+                       }
+                     });
 
   // FFT + k-space convolution (geometry cores / flexible subsystem): the
   // canonical line-ordered transform, bitwise identical on any node
-  // decomposition; result quantized back onto the fixed phi grid.
-  for (std::size_t m = 0; m < mesh_q_.size(); ++m)
-    scratch_q_[m] = static_cast<double>(mesh_q_[m]) / kMeshChargeScale;
+  // decomposition; result quantized back onto the fixed phi grid. Kept
+  // serial: the transform's value is already decomposition-invariant.
   e_recip_ = gse_->convolve(scratch_q_, scratch_phi_);
-  for (std::size_t m = 0; m < mesh_q_.size(); ++m)
-    mesh_phi_[m] = fixed::quantize(scratch_phi_[m], kPhiScale);
+  pool_.parallel_for(mesh_total,
+                     [&](int, std::int64_t m0, std::int64_t m1) {
+                       for (std::int64_t m = m0; m < m1; ++m)
+                         mesh_phi_[m] =
+                             fixed::quantize(scratch_phi_[m], kPhiScale);
+                     });
 
-  // Force interpolation: the mirrored atom-mesh interaction.
+  // Force interpolation: the mirrored atom-mesh interaction. Atoms are
+  // partitioned disjointly, and each atom's whole contribution is
+  // accumulated locally, so lanes write disjoint shard entries.
   const double h3 = std::pow(gse_->mesh_spacing(), 3);
   const double inv_s2 = 1.0 / (gse_params_.sigma_s * gse_params_.sigma_s);
-  for (std::int32_t i = 0; i < top.natoms; ++i) {
-    const double qi = top.charge[i];
-    if (qi == 0.0) continue;
-    NodeCounters& nc = workload_.nodes[geom_->node_index_of(
-        geom_->coords_of(assigned_subbox_[i]))];
-    const double pref = qi * h3 * inv_s2;
-    Vec3l acc{0, 0, 0};
-    gse_->for_each_mesh_point(
-        pos_phys_[i], [&](std::size_t idx, const Vec3d& dr, double r2) {
-          ++nc.interp_ops;
-          const double g = kernels_.eval_interp(r2);
-          const double phi =
-              static_cast<double>(mesh_phi_[idx]) / kPhiScale;
-          const double c = pref * phi * g;
-          acc.x = fixed::wrap_add(acc.x,
-                                  fixed::quantize(c * dr.x, fixed::kForceScale));
-          acc.y = fixed::wrap_add(acc.y,
-                                  fixed::quantize(c * dr.y, fixed::kForceScale));
-          acc.z = fixed::wrap_add(acc.z,
-                                  fixed::quantize(c * dr.z, fixed::kForceScale));
-        });
-    f_long_[i].x = fixed::wrap_add(f_long_[i].x, acc.x);
-    f_long_[i].y = fixed::wrap_add(f_long_[i].y, acc.y);
-    f_long_[i].z = fixed::wrap_add(f_long_[i].z, acc.z);
-  }
+  pool_.parallel_for(
+      top.natoms, [&](int lane, std::int64_t i0, std::int64_t i1) {
+        std::vector<Vec3l>& fsh = f_shards_[lane];
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const double qi = top.charge[i];
+          if (qi == 0.0) continue;
+          NodeCounters& nc = wl_shards_[lane][geom_->node_index_of(
+              geom_->coords_of(assigned_subbox_[i]))];
+          const double pref = qi * h3 * inv_s2;
+          Vec3l acc{0, 0, 0};
+          gse_->for_each_mesh_point(
+              pos_phys_[i],
+              [&](std::size_t idx, const Vec3d& dr, double r2) {
+                ++nc.interp_ops;
+                const double g = kernels_.eval_interp(r2);
+                const double phi =
+                    static_cast<double>(mesh_phi_[idx]) / kPhiScale;
+                const double c = pref * phi * g;
+                acc.x = fixed::wrap_add(
+                    acc.x, fixed::quantize(c * dr.x, fixed::kForceScale));
+                acc.y = fixed::wrap_add(
+                    acc.y, fixed::quantize(c * dr.y, fixed::kForceScale));
+                acc.z = fixed::wrap_add(
+                    acc.z, fixed::quantize(c * dr.z, fixed::kForceScale));
+              });
+          fsh[i].x = fixed::wrap_add(fsh[i].x, acc.x);
+          fsh[i].y = fixed::wrap_add(fsh[i].y, acc.y);
+          fsh[i].z = fixed::wrap_add(fsh[i].z, acc.z);
+        }
+      });
 }
 
 void AntonEngine::compute_short_forces(bool with_energy) {
-  std::fill(f_short_.begin(), f_short_.end(), Vec3l{0, 0, 0});
   if (with_energy) {
     e_lj_acc_.reset();
     e_coul_acc_.reset();
@@ -474,16 +608,23 @@ void AntonEngine::compute_short_forces(bool with_energy) {
     w_pair_acc_ = fixed::Accum128{};
     w_bonded_acc_ = fixed::Accum128{};
   }
+  zero_force_shards();
   range_limited_pass(with_energy);
   bonded_pass(with_energy);
   correction_short_pass(with_energy);
+  reduce_force_shards(f_short_);
+  if (with_energy) reduce_energy_shards();
+  flush_counter_shards();
   redistribute_virtual_site_forces(f_short_);
 }
 
 void AntonEngine::compute_long_forces(bool with_energy) {
-  std::fill(f_long_.begin(), f_long_.end(), Vec3l{0, 0, 0});
+  zero_force_shards();
   mesh_pass(with_energy);
   correction_long_pass(with_energy);
+  reduce_force_shards(f_long_);
+  if (with_energy) reduce_energy_shards();
+  flush_counter_shards();
   redistribute_virtual_site_forces(f_long_);
 }
 
@@ -778,6 +919,8 @@ const WorkloadProfile& AntonEngine::workload() {
 
 void AntonEngine::reset_workload() {
   for (auto& nc : workload_.nodes) nc = NodeCounters{};
+  for (auto& lane : wl_shards_)
+    for (auto& nc : lane) nc = NodeCounters{};
   workload_.steps_accumulated = 0;
 }
 

@@ -45,6 +45,7 @@
 #include "htis/pair_kernels.hpp"
 #include "nt/nt_geometry.hpp"
 #include "pairlist/exclusion_table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace anton::core {
 
@@ -59,6 +60,11 @@ struct AntonConfig {
   double import_margin = 3.0;
   /// PPIP table precision.
   int table_mantissa_bits = 22;
+  /// Worker threads for the force passes (clamped to >= 1). Because every
+  /// contribution is quantized before wrapping (associative) accumulation
+  /// into per-thread shards, the trajectory is bitwise identical for any
+  /// value -- the same invariance the paper claims across node counts.
+  int nthreads = 1;
 };
 
 class AntonEngine {
@@ -115,9 +121,23 @@ class AntonEngine {
   const htis::PairKernels& kernels() const { return kernels_; }
 
  private:
+  /// Per-lane accumulator shards for one parallel pass group. Every lane
+  /// writes only its own shard; shards are reduced with wrapping adds,
+  /// which are associative and commutative, so the reduced totals are
+  /// bitwise independent of the lane count and of which lane computed
+  /// which contribution.
+  struct LaneAccums {
+    fixed::Accum64 lj, coul, bonded, corr;
+    fixed::Accum128 w_pair, w_bonded;
+  };
+
   void build_decomposition();
   void migrate();
   void refresh_phys_positions();
+  void zero_force_shards();
+  void reduce_force_shards(std::vector<Vec3l>& into);
+  void reduce_energy_shards();
+  void flush_counter_shards();
   void compute_short_forces(bool with_energy);
   void compute_long_forces(bool with_energy);
   void range_limited_pass(bool with_energy);
@@ -172,6 +192,14 @@ class AntonEngine {
 
   std::int64_t steps_ = 0;
   WorkloadProfile workload_;
+
+  // Deterministic task parallelism: the pool plus the per-lane shards the
+  // parallel passes accumulate into (see LaneAccums above).
+  util::ThreadPool pool_;
+  std::vector<std::vector<Vec3l>> f_shards_;            // [lane][atom]
+  std::vector<std::vector<std::int64_t>> mesh_shards_;  // [lane][mesh pt]
+  std::vector<std::vector<NodeCounters>> wl_shards_;    // [lane][node]
+  std::vector<LaneAccums> acc_shards_;                  // [lane]
 
   // Energy accumulators (fixed point where summation order matters).
   fixed::Accum64 e_lj_acc_, e_coul_acc_, e_bonded_acc_, e_corr_acc_;

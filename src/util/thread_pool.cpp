@@ -1,0 +1,119 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace anton::util {
+
+namespace {
+// True while the current thread is executing a lane body (of any pool);
+// used to run nested submits inline instead of deadlocking on the
+// fork-join barrier.
+thread_local bool tls_in_lane = false;
+}  // namespace
+
+ThreadPool::ThreadPool(int nthreads) : nlanes_(std::max(1, nthreads)) {
+  errors_.assign(nlanes_, nullptr);
+  workers_.reserve(nlanes_ - 1);
+  for (int lane = 1; lane < nlanes_; ++lane)
+    workers_.emplace_back([this, lane] { worker_loop(lane); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop(int lane) {
+  std::unique_lock<std::mutex> lk(mu_);
+  std::uint64_t seen = 0;
+  for (;;) {
+    cv_start_.wait(lk, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    const auto* job = job_;
+    lk.unlock();
+    std::exception_ptr err;
+    tls_in_lane = true;
+    try {
+      (*job)(lane);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    tls_in_lane = false;
+    lk.lock();
+    errors_[lane] = err;
+    if (--pending_ == 0) cv_done_.notify_one();
+  }
+}
+
+void ThreadPool::run_lanes(const std::function<void(int)>& fn) {
+  if (nlanes_ == 1 || tls_in_lane) {
+    // Single lane, or a nested submit from inside a lane body: execute
+    // every lane inline on this thread. The order-invariant accumulation
+    // contract makes the result identical to the threaded execution.
+    std::exception_ptr first;
+    for (int lane = 0; lane < nlanes_; ++lane) {
+      try {
+        fn(lane);
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::fill(errors_.begin(), errors_.end(), nullptr);
+    job_ = &fn;
+    pending_ = nlanes_ - 1;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+
+  std::exception_ptr err0;
+  tls_in_lane = true;
+  try {
+    fn(0);
+  } catch (...) {
+    err0 = std::current_exception();
+  }
+  tls_in_lane = false;
+
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] { return pending_ == 0; });
+  job_ = nullptr;
+  errors_[0] = err0;
+  // Deterministic propagation: the lowest faulting lane wins, independent
+  // of which lane hit its exception first in wall-clock time.
+  for (int lane = 0; lane < nlanes_; ++lane)
+    if (errors_[lane]) std::rethrow_exception(errors_[lane]);
+}
+
+void ThreadPool::parallel_for(
+    std::int64_t n,
+    const std::function<void(int, std::int64_t, std::int64_t)>& body) {
+  if (n <= 0) return;
+  run_lanes([&](int lane) {
+    const auto [begin, end] = partition(n, nlanes_, lane);
+    if (begin < end) body(lane, begin, end);
+  });
+}
+
+std::pair<std::int64_t, std::int64_t> ThreadPool::partition(std::int64_t n,
+                                                            int nlanes,
+                                                            int lane) {
+  const std::int64_t chunk = n / nlanes;
+  const std::int64_t rem = n % nlanes;
+  const std::int64_t begin =
+      lane * chunk + std::min<std::int64_t>(lane, rem);
+  const std::int64_t end = begin + chunk + (lane < rem ? 1 : 0);
+  return {begin, end};
+}
+
+}  // namespace anton::util

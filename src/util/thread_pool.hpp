@@ -1,0 +1,82 @@
+// Deterministic fork-join thread pool.
+//
+// The engine's parallelism contract (Section 4 of the paper) is that the
+// *results* of a parallel pass are bitwise independent of how the work is
+// split, because every shared quantity is accumulated with wrapping
+// fixed-point adds (associative and commutative) into per-lane shards.
+// The pool therefore only has to guarantee memory safety, not any
+// particular execution order. It still uses a static block partition so
+// that per-lane intermediate state (shards, counters) is reproducible
+// run-to-run, which makes failures debuggable.
+//
+// Structure: a pool of `lanes() - 1` worker threads plus the calling
+// thread, which participates as lane 0. run_lanes(fn) invokes fn(lane)
+// once per lane and blocks until all lanes finish (a fork-join barrier).
+// Exceptions thrown by lane bodies are captured per lane and the
+// lowest-lane exception is rethrown -- a deterministic choice no matter
+// which lane faulted first in wall-clock time.
+//
+// Nested submits (run_lanes from inside a lane body) execute all lanes
+// inline on the calling thread instead of deadlocking on the barrier;
+// results are identical because of the order-invariance contract above.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace anton::util {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `nthreads` lanes (clamped to >= 1). One lane is
+  /// the calling thread; nthreads - 1 worker threads are spawned.
+  explicit ThreadPool(int nthreads = 1);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int lanes() const { return nlanes_; }
+
+  /// Runs fn(lane) once for every lane in [0, lanes()) and waits for all
+  /// of them. Lane 0 runs on the calling thread. Rethrows the lowest-lane
+  /// exception after the barrier.
+  void run_lanes(const std::function<void(int)>& fn);
+
+  /// Static block partition of [0, n): body(lane, begin, end) is invoked
+  /// with disjoint contiguous ranges that cover [0, n) exactly once.
+  /// Lanes whose range is empty are not invoked.
+  void parallel_for(
+      std::int64_t n,
+      const std::function<void(int, std::int64_t, std::int64_t)>& body);
+
+  /// The half-open range lane `lane` owns in a static partition of [0, n)
+  /// over `nlanes` lanes: sizes differ by at most one, earlier lanes get
+  /// the remainder. Pure function -- the partition depends only on
+  /// (n, nlanes), never on timing.
+  static std::pair<std::int64_t, std::int64_t> partition(std::int64_t n,
+                                                         int nlanes,
+                                                         int lane);
+
+ private:
+  void worker_loop(int lane);
+
+  int nlanes_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_start_, cv_done_;
+  const std::function<void(int)>* job_ = nullptr;  // valid while pending_ > 0
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+  std::vector<std::exception_ptr> errors_;
+};
+
+}  // namespace anton::util

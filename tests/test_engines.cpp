@@ -136,6 +136,115 @@ INSTANTIATE_TEST_SUITE_P(
                       DecompCase{{2, 2, 2}, {1, 1, 1}, 2},
                       DecompCase{{2, 2, 2}, {1, 1, 1}, 1000000}));
 
+struct ThreadCase {
+  int nthreads;
+};
+
+class ThreadInvariance : public ::testing::TestWithParam<ThreadCase> {};
+
+TEST_P(ThreadInvariance, StateHashIdenticalAcrossThreadCounts) {
+  // Section 4 extended to intra-step task parallelism: per-thread force
+  // shards reduced with wrapping (associative) adds make the trajectory
+  // bitwise invariant to the thread count. Asserted on two generated
+  // systems: waters + peptide with constraints, and pure water.
+  const System systems[] = {
+      small_system(),
+      sg::build_water_system(220, 14.0, sg::WaterModel::k3Site, 77)};
+  for (const System& sys : systems) {
+    AntonConfig base_cfg = small_config();
+    base_cfg.nthreads = 1;
+    AntonEngine base(sys, base_cfg);
+    base.run_cycles(20);
+
+    AntonConfig cfg = small_config();
+    cfg.nthreads = GetParam().nthreads;
+    AntonEngine threaded(sys, cfg);
+    threaded.run_cycles(20);
+
+    EXPECT_EQ(base.state_hash(), threaded.state_hash())
+        << "nthreads=" << cfg.nthreads;
+    // And not just the hash: every lattice coordinate and velocity.
+    for (int i = 0; i < sys.top.natoms; ++i) {
+      ASSERT_EQ(base.lattice_positions()[i], threaded.lattice_positions()[i])
+          << "atom " << i;
+      ASSERT_EQ(base.fixed_velocities()[i], threaded.fixed_velocities()[i])
+          << "atom " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ThreadInvariance,
+                         ::testing::Values(ThreadCase{2}, ThreadCase{4},
+                                           ThreadCase{8}));
+
+TEST(AntonEngine, ThreadCountAndDecompositionInvarianceCompose) {
+  // Varying both axes at once -- node/subbox decomposition AND thread
+  // count -- must still land on the single-node single-thread hash.
+  const System sys = small_system();
+  AntonEngine base(sys, small_config({1, 1, 1}, {1, 1, 1}));
+  AntonConfig cfg = small_config({2, 2, 2}, {2, 2, 2});
+  cfg.nthreads = 4;
+  AntonEngine other(sys, cfg);
+  base.run_cycles(8);
+  other.run_cycles(8);
+  EXPECT_EQ(base.state_hash(), other.state_hash());
+}
+
+TEST(AntonEngine, ThreadedEnergiesAndForcesBitwiseMatchSingleThread) {
+  // The with_energy path shards the energy and virial accumulators too;
+  // the reduced fixed-point sums must be bitwise equal, so the physical
+  // readouts are exactly equal doubles.
+  const System sys = small_system();
+  AntonConfig cfg1 = small_config();
+  cfg1.nthreads = 1;
+  AntonConfig cfg4 = small_config();
+  cfg4.nthreads = 4;
+  AntonEngine a(sys, cfg1);
+  AntonEngine b(sys, cfg4);
+  a.run_cycles(3);
+  b.run_cycles(3);
+  const auto ea = a.measure_energy();
+  const auto eb = b.measure_energy();
+  EXPECT_EQ(ea.bonded, eb.bonded);
+  EXPECT_EQ(ea.lj, eb.lj);
+  EXPECT_EQ(ea.coul_direct, eb.coul_direct);
+  EXPECT_EQ(ea.coul_recip, eb.coul_recip);
+  EXPECT_EQ(ea.correction, eb.correction);
+  EXPECT_EQ(ea.kinetic, eb.kinetic);
+  const auto pa = a.measure_pressure();
+  const auto pb = b.measure_pressure();
+  EXPECT_EQ(pa.virial_pair, pb.virial_pair);
+  EXPECT_EQ(pa.virial_bonded, pb.virial_bonded);
+  const auto fa = a.compute_forces_now();
+  const auto fb = b.compute_forces_now();
+  for (int i = 0; i < sys.top.natoms; ++i) {
+    ASSERT_EQ(fa[i].x, fb[i].x) << "atom " << i;
+    ASSERT_EQ(fa[i].y, fb[i].y) << "atom " << i;
+    ASSERT_EQ(fa[i].z, fb[i].z) << "atom " << i;
+  }
+}
+
+TEST(AntonEngine, BitwiseTimeReversibleWithFourThreads) {
+  // Reversibility must survive threading: the threaded force computation
+  // produces the same quantized forces, and the integrator is untouched.
+  const System sys = small_system(/*constrained=*/false);
+  AntonConfig cfg = small_config();
+  cfg.nthreads = 4;
+  AntonEngine eng(sys, cfg);
+  const auto pos0 = eng.lattice_positions();
+  const auto vel0 = eng.fixed_velocities();
+
+  eng.run_cycles(25);
+  eng.negate_velocities();
+  eng.run_cycles(25);
+  eng.negate_velocities();
+
+  for (int i = 0; i < sys.top.natoms; ++i) {
+    ASSERT_EQ(eng.lattice_positions()[i], pos0[i]) << "atom " << i;
+    ASSERT_EQ(eng.fixed_velocities()[i], vel0[i]) << "atom " << i;
+  }
+}
+
 TEST(AntonEngine, BitwiseTimeReversible) {
   // Section 4: run forward, negate velocities, run forward again, recover
   // the initial state bit-for-bit. Constraints and thermostat off.

@@ -4,11 +4,13 @@
 
 #include <cmath>
 
+#include "core/anton_engine.hpp"
 #include "ewald/gse.hpp"
 #include "machine/config.hpp"
 #include "machine/perf_model.hpp"
 #include "machine/timeline.hpp"
 #include "machine/workload_model.hpp"
+#include "sysgen/systems.hpp"
 
 using anton::Vec3i;
 namespace mc = anton::machine;
@@ -156,6 +158,47 @@ TEST(Workload, MeshOpsScaleWithMeshDensity) {
   const auto coarse = dhfr_workload(13.0, 32);
   const auto fine = dhfr_workload(13.0, 64);
   EXPECT_GT(fine.spread_ops, 4.0 * coarse.spread_ops);
+}
+
+TEST(Workload, CountersAggregatedFromThreadShardsMatchSingleThread) {
+  // The engine's dynamic counters are accumulated in per-thread locals
+  // and reduced after each pass group; every per-node total -- the
+  // machine model's input -- must be identical to the single-threaded
+  // counts, not merely close.
+  const anton::System sys =
+      anton::sysgen::build_test_system(70, 14.0, 1234, true, 20);
+  anton::core::AntonConfig cfg;
+  cfg.sim.cutoff = 7.0;
+  cfg.sim.mesh = 16;
+  cfg.node_grid = {2, 2, 2};
+  auto profile_with = [&](int nthreads) {
+    anton::core::AntonConfig c = cfg;
+    c.nthreads = nthreads;
+    anton::core::AntonEngine eng(sys, c);
+    eng.reset_workload();
+    eng.run_cycles(3);
+    return eng.workload();
+  };
+  const anton::core::WorkloadProfile p1 = profile_with(1);
+  for (int nthreads : {2, 4, 8}) {
+    const anton::core::WorkloadProfile pn = profile_with(nthreads);
+    ASSERT_EQ(p1.nodes.size(), pn.nodes.size());
+    EXPECT_EQ(p1.steps_accumulated, pn.steps_accumulated);
+    for (std::size_t n = 0; n < p1.nodes.size(); ++n) {
+      const auto& a = p1.nodes[n];
+      const auto& b = pn.nodes[n];
+      EXPECT_EQ(a.atoms, b.atoms) << "node " << n;
+      EXPECT_EQ(a.pairs_considered, b.pairs_considered) << "node " << n;
+      EXPECT_EQ(a.ppip_queue, b.ppip_queue) << "node " << n;
+      EXPECT_EQ(a.interactions, b.interactions) << "node " << n;
+      EXPECT_EQ(a.tower_import_atoms, b.tower_import_atoms) << "node " << n;
+      EXPECT_EQ(a.spread_ops, b.spread_ops) << "node " << n;
+      EXPECT_EQ(a.interp_ops, b.interp_ops) << "node " << n;
+      EXPECT_EQ(a.bond_terms, b.bond_terms) << "node " << n;
+      EXPECT_EQ(a.correction_pairs, b.correction_pairs) << "node " << n;
+      EXPECT_EQ(a.constraint_bonds, b.constraint_bonds) << "node " << n;
+    }
+  }
 }
 
 TEST(Workload, FromProfileDividesBySteps) {

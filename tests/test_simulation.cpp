@@ -112,10 +112,14 @@ TEST(Simulation, ResumeContinuesBitwise) {
   const auto full_hash = full.engine().state_hash();
 
   // Interrupted: 5 cycles, then resume from the checkpoint and finish.
+  // The restarted leg runs with a different thread count: thread-count
+  // invariance means the continuation is still bitwise identical.
   Simulation first(sys, cfg);
   first.run_cycles(5);
+  SimulationConfig resumed_cfg = cfg;
+  resumed_cfg.engine.nthreads = 4;
   Simulation second =
-      Simulation::resume(sys, cfg, cfg.checkpoint_path);
+      Simulation::resume(sys, resumed_cfg, cfg.checkpoint_path);
   EXPECT_EQ(second.steps_done(), 0);  // engine step counter restarts...
   second.run_cycles(5);
   // ...but the state picks up exactly where the checkpoint left off.
