@@ -16,6 +16,7 @@
 #include "ewald/gse.hpp"
 #include "machine/perf_model.hpp"
 #include "machine/timeline.hpp"
+#include "obs/trace.hpp"
 #include "sysgen/systems.hpp"
 
 using anton::core::Phase;
@@ -30,19 +31,6 @@ struct Config {
   double paper_x86_ms;
   double paper_anton_us;
 };
-
-void print_profile(const char* title, const anton::core::PhaseTimes& t,
-                   double steps, double unit, const char* unit_name) {
-  std::printf("%s\n", title);
-  const double total = t.total() / steps / unit;
-  for (int p = 0; p < static_cast<int>(Phase::kCount); ++p) {
-    const double v = t.seconds[p] / steps / unit;
-    std::printf("  %-24s %9.3f %s (%4.1f%%)\n",
-                anton::core::phase_name(static_cast<Phase>(p)), v, unit_name,
-                100.0 * v / total);
-  }
-  std::printf("  %-24s %9.3f %s\n", "Total", total, unit_name);
-}
 
 }  // namespace
 
@@ -77,14 +65,18 @@ int main() {
     p.dt = 2.5;
     p.long_range_every = 2;
     anton::core::ReferenceEngine ref(std::move(sys), p);
+    anton::obs::Tracer tracer;
+    ref.set_tracer(&tracer);  // spans share the phase_times clock reads
     ref.reset_phase_times();
     const int cycles = std::max(1, static_cast<int>(1 * scale));
-    ref.run_cycles(cycles);
+    bench::timed("bench_table2.run_cycles",
+                 [&] { ref.run_cycles(cycles); });
     const double steps = 2.0 * cycles;
 
     std::printf("== %s ==\n", cfg.label);
-    print_profile("conventional engine on this host (per step):",
-                  ref.phase_times(), steps, 1e-3, "ms");
+    bench::print_profile("conventional engine on this host (per step):",
+                         ref.phase_times(), steps, 1e-3, "ms");
+    if (c == 0) bench::maybe_write_trace(tracer);
     x86_totals[c] = ref.phase_times().total() / steps;
     std::printf("  (paper x86 total: %.1f ms/step)\n\n", cfg.paper_x86_ms);
 
@@ -130,5 +122,6 @@ int main() {
       "Anton model:         large-cutoff config runs  %.2fx FASTER          "
       "          (paper: 2.55x faster)\n",
       anton_totals[0] / anton_totals[1]);
+  bench::print_timings();
   return 0;
 }

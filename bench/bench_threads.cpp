@@ -8,12 +8,12 @@
 // Hardware note: the speedup column only shows > 1 when the host actually
 // has multiple cores available (run `nproc` first); the hash column must
 // read BITWISE IDENTICAL everywhere regardless.
-#include <chrono>
 #include <cstdio>
 #include <thread>
 
 #include "bench_util.hpp"
 #include "core/anton_engine.hpp"
+#include "obs/trace.hpp"
 #include "sysgen/systems.hpp"
 
 using anton::System;
@@ -42,11 +42,8 @@ struct Row {
 
 Row run_one(const System& sys, int nthreads, int cycles) {
   AntonEngine eng(sys, config_for(nthreads));
-  const auto t0 = std::chrono::steady_clock::now();
-  eng.run_cycles(cycles);
-  const double secs =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  const double secs = bench::timed("bench_threads.run_cycles",
+                                   [&] { eng.run_cycles(cycles); });
   return {nthreads, secs, eng.state_hash()};
 }
 
@@ -110,5 +107,18 @@ int main() {
   if (hw < 4)
     std::printf("note: this host exposes fewer than 4 cores; thread-count "
                 "invariance is still asserted, speedup is not expected.\n");
+
+  // Optional trace export (separate pass so the timing rows above stay
+  // untouched): ANTON_TRACE_JSON=/path/trace.json bench_threads
+  if (std::getenv("ANTON_TRACE_JSON")) {
+    System sys =
+        anton::sysgen::build_test_system(230, 19.0, 2718, true, 30);
+    AntonEngine eng(sys, config_for(2));
+    anton::obs::Tracer tracer;
+    eng.set_tracer(&tracer);
+    eng.run_cycles(4);
+    bench::maybe_write_trace(tracer);
+  }
+  bench::print_timings();
   return all_ok ? 0 : 1;
 }

@@ -6,10 +6,16 @@
 // (EXPERIMENTS.md is generated from these runs).
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
+
+#include "core/engine_types.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace bench {
 
@@ -38,6 +44,72 @@ inline void header(const std::string& title) {
   rule();
   std::printf("%s\n", title.c_str());
   rule();
+}
+
+/// The process-wide bench metrics registry. All bench wall-clock numbers
+/// flow through here (via timed() below) so every bench shares one timing
+/// convention and one summary format.
+inline anton::obs::MetricsRegistry& registry() {
+  static anton::obs::MetricsRegistry reg(1);
+  return reg;
+}
+
+/// Times fn() with the one bench clock (steady_clock) and records the
+/// duration in seconds on the shared registry histogram `name`. Returns
+/// seconds, for in-line table printing.
+template <class Fn>
+double timed(const std::string& name, Fn&& fn) {
+  auto& reg = registry();
+  const int h = reg.histogram(name, {1e-3, 1e-2, 1e-1, 1.0, 10.0});
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  reg.observe(h, secs);
+  return secs;
+}
+
+/// Prints every timing recorded through timed() since process start.
+inline void print_timings() {
+  const std::string s = registry().summary();
+  if (s.empty()) return;
+  header("recorded timings (seconds)");
+  std::fputs(s.c_str(), stdout);
+}
+
+/// Per-phase table for a PhaseTimes profile (the Table 2 x86 column
+/// format); shared by bench_table2 and any bench that prints phase
+/// breakdowns, so the column conventions cannot drift.
+inline void print_profile(const char* title,
+                          const anton::core::PhaseTimes& t, double steps,
+                          double unit, const char* unit_name) {
+  std::printf("%s\n", title);
+  const double total = t.total() / steps / unit;
+  for (int p = 0; p < static_cast<int>(anton::core::Phase::kCount); ++p) {
+    const double v = t.seconds[p] / steps / unit;
+    std::printf("  %-24s %9.3f %s (%4.1f%%)\n",
+                anton::core::phase_name(static_cast<anton::core::Phase>(p)),
+                v, unit_name, 100.0 * v / total);
+  }
+  std::printf("  %-24s %9.3f %s\n", "Total", total, unit_name);
+}
+
+/// If ANTON_TRACE_JSON names a path, writes the tracer's chrome://tracing
+/// JSON there (load via chrome://tracing or https://ui.perfetto.dev).
+/// Returns true when a file was written.
+inline bool maybe_write_trace(const anton::obs::Tracer& tracer) {
+  const char* path = std::getenv("ANTON_TRACE_JSON");
+  if (!path || !*path) return false;
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "ANTON_TRACE_JSON: cannot open %s\n", path);
+    return false;
+  }
+  out << tracer.chrome_json();
+  std::printf("wrote chrome trace (%zu spans) to %s\n",
+              tracer.spans().size(), path);
+  return true;
 }
 
 }  // namespace bench

@@ -3,7 +3,7 @@
 # ThreadSanitizer pass over the deterministic-parallelism surface (the
 # thread pool and the threaded engine tests).
 #
-# Usage: scripts/check.sh [--tsan-only|--tier1-only]
+# Usage: scripts/check.sh [--unit-only|--tier1-only|--tsan-only]
 #   JOBS=N         parallelism for build/test (default: nproc)
 #   TSAN_FILTER=…  override the gtest filter for the TSan pass
 set -euo pipefail
@@ -11,6 +11,16 @@ cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 MODE="${1:-all}"
+
+# Fast gate: build + the `unit`-labelled tests only (no engine
+# construction, no golden matrix). Run this on every edit; run tier1
+# before pushing.
+unit() {
+  echo "== unit gate: configure + build + ctest -L unit =="
+  cmake -B build -S .
+  cmake --build build -j"$JOBS"
+  (cd build && ctest -L unit --output-on-failure -j"$JOBS")
+}
 
 tier1() {
   echo "== tier-1: configure + build + ctest =="
@@ -32,6 +42,7 @@ tsan() {
 }
 
 case "$MODE" in
+  --unit-only) unit ;;
   --tier1-only) tier1 ;;
   --tsan-only) tsan ;;
   all|"") tier1; tsan ;;

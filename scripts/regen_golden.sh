@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerates the golden-trajectory fixtures in tests/golden/.
+#
+# Run this ONLY when a change intentionally alters the trajectory (new
+# kernel tables, different quantization, reordered integration); commit
+# the regenerated fixtures together with that change. Do not run it to
+# silence an unexplained test_golden failure -- an unexplained bitwise
+# divergence is exactly what the fixtures exist to catch.
+#
+# Usage: scripts/regen_golden.sh [build-dir]   (default: build)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+cmake --build "$build" --target anton_golden_gen -j "$(nproc)"
+"$build/tests/anton_golden_gen" "$repo/tests/golden"
+
+echo "Fixtures regenerated. Review the diff and commit them with the"
+echo "change that made the trajectory move:"
+git -C "$repo" --no-pager diff --stat -- tests/golden || true

@@ -216,12 +216,46 @@ void AntonEngine::reduce_energy_shards() {
   }
 }
 
+void AntonEngine::set_metrics(obs::MetricsRegistry* m) {
+  if (m && m->lanes() < pool_.lanes())
+    throw std::invalid_argument(
+        "AntonEngine::set_metrics: registry has fewer lanes than the "
+        "engine's thread pool");
+  metrics_ = m;
+  if (!m) return;
+  mid_.steps = m->counter("engine.steps");
+  mid_.cycles = m->counter("engine.mts_cycles");
+  mid_.migrations = m->counter("engine.migrations");
+  mid_.lane_chunks = m->counter("engine.lane_chunks");
+  mid_.pairs_considered = m->counter("engine.pairs_considered");
+  mid_.ppip_queue = m->counter("engine.ppip_queue");
+  mid_.interactions = m->counter("engine.interactions");
+  mid_.spread_ops = m->counter("engine.spread_ops");
+  mid_.interp_ops = m->counter("engine.interp_ops");
+  mid_.bond_terms = m->counter("engine.bond_terms");
+  mid_.correction_pairs = m->counter("engine.correction_pairs");
+}
+
 void AntonEngine::flush_counter_shards() {
+  // Single source of truth: the metrics registry's per-phase counters are
+  // published from the exact same lane shards the workload profile
+  // aggregates, at the same (serial) flush point.
+  NodeCounters delta;
   for (auto& lane : wl_shards_) {
     for (std::size_t node = 0; node < lane.size(); ++node) {
+      delta += lane[node];
       workload_.nodes[node] += lane[node];
       lane[node] = NodeCounters{};
     }
+  }
+  if (metrics_) {
+    metrics_->count(mid_.pairs_considered, 0, delta.pairs_considered);
+    metrics_->count(mid_.ppip_queue, 0, delta.ppip_queue);
+    metrics_->count(mid_.interactions, 0, delta.interactions);
+    metrics_->count(mid_.spread_ops, 0, delta.spread_ops);
+    metrics_->count(mid_.interp_ops, 0, delta.interp_ops);
+    metrics_->count(mid_.bond_terms, 0, delta.bond_terms);
+    metrics_->count(mid_.correction_pairs, 0, delta.correction_pairs);
   }
 }
 
@@ -297,6 +331,9 @@ void AntonEngine::range_limited_pass(bool with_energy) {
   // the value, and the wrapping shard reduction cannot change the sum.
   const std::int64_t nsub = geom_->subbox_count();
   pool_.parallel_for(nsub, [&](int lane, std::int64_t h0, std::int64_t h1) {
+    // Lane-tagged, lock-free: each lane writes only its own registry
+    // shard, reduced at the next flush (never on the hot pair path).
+    if (metrics_) metrics_->count(mid_.lane_chunks, lane, 1);
     std::vector<Vec3l>& fsh = f_shards_[lane];
     LaneAccums& acc = acc_shards_[lane];
     for (std::int64_t hidx = h0; hidx < h1; ++hidx) {
@@ -516,6 +553,7 @@ void AntonEngine::mesh_pass(bool with_energy) {
   // table; each contribution quantized, accumulated with wrapping adds
   // into per-lane mesh shards so the mesh is bitwise independent of
   // traversal order AND of which lane spread which atom.
+  if (tracer_) tracer_->begin("gse.spread");
   pool_.run_lanes([&](int lane) {
     std::fill(mesh_shards_[lane].begin(), mesh_shards_[lane].end(), 0);
   });
@@ -549,11 +587,13 @@ void AntonEngine::mesh_pass(bool with_energy) {
                              static_cast<double>(s) / kMeshChargeScale;
                        }
                      });
+  if (tracer_) tracer_->end();  // gse.spread
 
   // FFT + k-space convolution (geometry cores / flexible subsystem): the
   // canonical line-ordered transform, bitwise identical on any node
   // decomposition; result quantized back onto the fixed phi grid. Kept
   // serial: the transform's value is already decomposition-invariant.
+  if (tracer_) tracer_->begin("gse.fft");
   e_recip_ = gse_->convolve(scratch_q_, scratch_phi_);
   pool_.parallel_for(mesh_total,
                      [&](int, std::int64_t m0, std::int64_t m1) {
@@ -561,10 +601,12 @@ void AntonEngine::mesh_pass(bool with_energy) {
                          mesh_phi_[m] =
                              fixed::quantize(scratch_phi_[m], kPhiScale);
                      });
+  if (tracer_) tracer_->end();  // gse.fft
 
   // Force interpolation: the mirrored atom-mesh interaction. Atoms are
   // partitioned disjointly, and each atom's whole contribution is
   // accumulated locally, so lanes write disjoint shard entries.
+  obs::Tracer::Span interp_span(tracer_, "gse.interpolate");
   const double h3 = std::pow(gse_->mesh_spacing(), 3);
   const double inv_s2 = 1.0 / (gse_params_.sigma_s * gse_params_.sigma_s);
   pool_.parallel_for(
@@ -609,9 +651,19 @@ void AntonEngine::compute_short_forces(bool with_energy) {
     w_bonded_acc_ = fixed::Accum128{};
   }
   zero_force_shards();
-  range_limited_pass(with_energy);
-  bonded_pass(with_energy);
-  correction_short_pass(with_energy);
+  {
+    obs::Tracer::Span sp(tracer_, "range_limited");
+    range_limited_pass(with_energy);
+  }
+  {
+    obs::Tracer::Span sp(tracer_, "bonded");
+    bonded_pass(with_energy);
+  }
+  {
+    obs::Tracer::Span sp(tracer_, "correction");
+    correction_short_pass(with_energy);
+  }
+  obs::Tracer::Span sp(tracer_, "force_reduce");
   reduce_force_shards(f_short_);
   if (with_energy) reduce_energy_shards();
   flush_counter_shards();
@@ -621,7 +673,11 @@ void AntonEngine::compute_short_forces(bool with_energy) {
 void AntonEngine::compute_long_forces(bool with_energy) {
   zero_force_shards();
   mesh_pass(with_energy);
-  correction_long_pass(with_energy);
+  {
+    obs::Tracer::Span sp(tracer_, "correction");
+    correction_long_pass(with_energy);
+  }
+  obs::Tracer::Span sp(tracer_, "force_reduce");
   reduce_force_shards(f_long_);
   if (with_energy) reduce_energy_shards();
   flush_counter_shards();
@@ -739,26 +795,52 @@ void AntonEngine::apply_thermostat() {
 void AntonEngine::run_cycles(int ncycles) {
   const int k = std::max(1, cfg_.sim.long_range_every);
   for (int c = 0; c < ncycles; ++c) {
+    // All spans begin/end on this thread in program order: the span
+    // sequence is deterministic and independent of nthreads.
+    obs::Tracer::Span cycle_span(tracer_, "mts_cycle");
     if (cfg_.migration_interval > 0 &&
         steps_ % cfg_.migration_interval == 0) {
+      obs::Tracer::Span sp(tracer_, "migrate");
       migrate();
+      if (metrics_) metrics_->count(mid_.migrations, 0, 1);
     }
-    kick(f_long_, true);
+    {
+      obs::Tracer::Span sp(tracer_, "integrate");
+      kick(f_long_, true);
+    }
     for (int s = 0; s < k; ++s) {
-      kick(f_short_, false);
-      drift_and_constrain();
-      finish_drift();
+      obs::Tracer::Span step_span(tracer_, "step");
+      {
+        obs::Tracer::Span sp(tracer_, "integrate");
+        kick(f_short_, false);
+        drift_and_constrain();
+        finish_drift();
+      }
       compute_short_forces(false);
-      kick(f_short_, false);
-      rattle_groups();
+      {
+        obs::Tracer::Span sp(tracer_, "integrate");
+        kick(f_short_, false);
+        rattle_groups();
+      }
       ++steps_;
       ++workload_.steps_accumulated;
+      if (metrics_) metrics_->count(mid_.steps, 0, 1);
     }
     compute_long_forces(false);
-    kick(f_long_, true);
-    rattle_groups();
-    if (cfg_.sim.thermostat) apply_thermostat();
+    {
+      obs::Tracer::Span sp(tracer_, "integrate");
+      kick(f_long_, true);
+      rattle_groups();
+      if (cfg_.sim.thermostat) apply_thermostat();
+    }
+    if (metrics_) {
+      metrics_->count(mid_.cycles, 0, 1);
+      metrics_->flush();  // step-boundary shard reduction
+    }
   }
+  // The tracer carries the measured counters to the perf model
+  // (obs::cross_validate); snapshot them exactly as workload() reports.
+  if (tracer_ && ncycles > 0) tracer_->capture_workload(workload());
 }
 
 std::vector<Vec3d> AntonEngine::positions() const {

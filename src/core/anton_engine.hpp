@@ -44,6 +44,8 @@
 #include "fixed/lattice.hpp"
 #include "htis/pair_kernels.hpp"
 #include "nt/nt_geometry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pairlist/exclusion_table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -112,6 +114,22 @@ class AntonEngine {
   /// Workload counters accumulated since the last reset.
   const WorkloadProfile& workload();
   void reset_workload();
+
+  /// Attaches a phase tracer (nullptr detaches). The tracer receives one
+  /// nested span per phase per step, plus a workload snapshot at the end
+  /// of every run_cycles call. Tracing writes only to tracer-owned
+  /// memory, never engine state: the trajectory with a tracer attached is
+  /// bitwise identical to without (asserted in test_obs).
+  void set_tracer(obs::Tracer* t) { tracer_ = t; }
+  obs::Tracer* tracer() const { return tracer_; }
+
+  /// Attaches a metrics registry (nullptr detaches). Per-phase work
+  /// counters are published from the same per-lane counter shards the
+  /// workload profile aggregates; lane-tagged counts are written
+  /// lock-free from worker lanes, reduced at step boundaries. The
+  /// registry must have at least as many lanes as the engine's pool.
+  void set_metrics(obs::MetricsRegistry* m);
+  obs::MetricsRegistry* metrics() const { return metrics_; }
 
   /// Diagnostics: largest distance between any atom and its assigned
   /// subbox center, minus half the subbox diagonal (how much of the
@@ -192,6 +210,16 @@ class AntonEngine {
 
   std::int64_t steps_ = 0;
   WorkloadProfile workload_;
+
+  // Observability (optional, borrowed; see set_tracer/set_metrics).
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  struct MetricIds {
+    int steps = -1, cycles = -1, migrations = -1, lane_chunks = -1;
+    int pairs_considered = -1, ppip_queue = -1, interactions = -1;
+    int spread_ops = -1, interp_ops = -1, bond_terms = -1;
+    int correction_pairs = -1;
+  } mid_;
 
   // Deterministic task parallelism: the pool plus the per-lane shards the
   // parallel passes accumulate into (see LaneAccums above).

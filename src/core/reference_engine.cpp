@@ -1,6 +1,5 @@
 #include "core/reference_engine.hpp"
 
-#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
@@ -11,21 +10,9 @@
 
 namespace anton::core {
 
-namespace {
-class ScopedTimer {
- public:
-  ScopedTimer(PhaseTimes& t, Phase p) : t_(t), p_(p), start_(clock::now()) {}
-  ~ScopedTimer() {
-    t_[p_] += std::chrono::duration<double>(clock::now() - start_).count();
-  }
-
- private:
-  using clock = std::chrono::steady_clock;
-  PhaseTimes& t_;
-  Phase p_;
-  clock::time_point start_;
-};
-}  // namespace
+// Phase timing goes through the shared obs::PhaseTimer: it accumulates
+// into times_ (the Table 2 x86 column) AND emits the matching tracer span
+// when a tracer is attached -- one timing source for tables and traces.
 
 namespace {
 void rebuild_vsites(System& sys) {
@@ -88,7 +75,7 @@ void ReferenceEngine::compute_short(bool with_energy) {
   double e_lj = 0, e_coul = 0;
 
   {
-    ScopedTimer t(times_, Phase::kRangeLimited);
+    obs::PhaseTimer t(times_, Phase::kRangeLimited, tracer_);
     grid_->bin(sys_.positions);
     const double beta = gse_params_.beta;
     const bool have_mol = !top.molecule.empty();
@@ -122,7 +109,7 @@ void ReferenceEngine::compute_short(bool with_energy) {
 
   double e_bonded;
   {
-    ScopedTimer t(times_, Phase::kBonded);
+    obs::PhaseTimer t(times_, Phase::kBonded, tracer_);
     e_bonded = bonded::eval_all_bonded(top, sys_.positions, sys_.box,
                                        f_short_);
   }
@@ -131,7 +118,7 @@ void ReferenceEngine::compute_short(bool with_energy) {
   // terms; evaluated every step alongside the bonded forces).
   double e_corr = 0;
   {
-    ScopedTimer t(times_, Phase::kCorrection);
+    obs::PhaseTimer t(times_, Phase::kCorrection, tracer_);
     for (const ExclusionPair& e : top.exclusions) {
       if (e.lj_scale == 0.0 && e.coul_scale == 0.0) continue;
       const Vec3d dr = sys_.box.min_image(sys_.positions[e.i],
@@ -170,20 +157,20 @@ void ReferenceEngine::compute_long(bool with_energy) {
   if (spme_) {
     // SPME folds assignment, convolution and interpolation into one pass;
     // attribute it to the FFT/mesh phases by its dominant cost.
-    ScopedTimer t(times_, Phase::kFft);
+    obs::PhaseTimer t(times_, Phase::kFft, tracer_);
     e_recip = spme_->compute(sys_.positions, top.charge, f_long_);
   } else {
     {
-      ScopedTimer t(times_, Phase::kMeshInterpolation);
+      obs::PhaseTimer t(times_, Phase::kMeshInterpolation, tracer_);
       std::fill(Q_.begin(), Q_.end(), 0.0);
       gse_->spread(sys_.positions, top.charge, Q_);
     }
     {
-      ScopedTimer t(times_, Phase::kFft);
+      obs::PhaseTimer t(times_, Phase::kFft, tracer_);
       e_recip = gse_->convolve(Q_, phi_);
     }
     {
-      ScopedTimer t(times_, Phase::kMeshInterpolation);
+      obs::PhaseTimer t(times_, Phase::kMeshInterpolation, tracer_);
       gse_->interpolate(sys_.positions, top.charge, phi_, f_long_);
     }
   }
@@ -192,7 +179,7 @@ void ReferenceEngine::compute_long(bool with_energy) {
   // pipeline's -erf terms).
   double e_corr = 0;
   {
-    ScopedTimer t(times_, Phase::kCorrection);
+    obs::PhaseTimer t(times_, Phase::kCorrection, tracer_);
     const double beta = gse_params_.beta;
     for (const ExclusionPair& e : top.exclusions) {
       const Vec3d dr = sys_.box.min_image(sys_.positions[e.i],
@@ -217,7 +204,7 @@ void ReferenceEngine::compute_long(bool with_energy) {
 }
 
 void ReferenceEngine::kick(double scale_dt, const std::vector<Vec3d>& f) {
-  ScopedTimer t(times_, Phase::kIntegration);
+  obs::PhaseTimer t(times_, Phase::kIntegration, tracer_);
   const Topology& top = sys_.top;
   for (std::int32_t i = 0; i < top.natoms; ++i) {
     if (top.mass[i] == 0.0) continue;  // massless virtual site
@@ -227,7 +214,7 @@ void ReferenceEngine::kick(double scale_dt, const std::vector<Vec3d>& f) {
 }
 
 void ReferenceEngine::drift_and_constrain() {
-  ScopedTimer t(times_, Phase::kIntegration);
+  obs::PhaseTimer t(times_, Phase::kIntegration, tracer_);
   const Topology& top = sys_.top;
   std::vector<Vec3d> ref = sys_.positions;
   for (std::int32_t i = 0; i < top.natoms; ++i)
@@ -260,7 +247,7 @@ void ReferenceEngine::run_cycles(int ncycles) {
       compute_short(false);
       kick(0.5 * p_.dt, f_short_);
       if (!top.constraints.empty()) {
-        ScopedTimer t(times_, Phase::kIntegration);
+        obs::PhaseTimer t(times_, Phase::kIntegration, tracer_);
         if (constraints::rattle(top.constraints, top.mass, sys_.positions,
                                 sys_.velocities, sys_.box) < 0)
           throw std::runtime_error("ReferenceEngine: RATTLE failed");
@@ -270,13 +257,13 @@ void ReferenceEngine::run_cycles(int ncycles) {
     compute_long(false);
     kick(0.5 * k * p_.dt, f_long_);
     if (!top.constraints.empty()) {
-      ScopedTimer t(times_, Phase::kIntegration);
+      obs::PhaseTimer t(times_, Phase::kIntegration, tracer_);
       if (constraints::rattle(top.constraints, top.mass, sys_.positions,
                               sys_.velocities, sys_.box) < 0)
         throw std::runtime_error("ReferenceEngine: RATTLE failed");
     }
     if (p_.thermostat) {
-      ScopedTimer t(times_, Phase::kIntegration);
+      obs::PhaseTimer t(times_, Phase::kIntegration, tracer_);
       const double ke =
           integrate::kinetic_energy(sys_.velocities, top.mass);
       const double T =

@@ -18,6 +18,7 @@
 #include "ewald/gse.hpp"
 #include "ewald/spme.hpp"
 #include "ff/topology.hpp"
+#include "obs/trace.hpp"
 #include "pairlist/cell_grid.hpp"
 #include "pairlist/exclusion_table.hpp"
 
@@ -46,8 +47,15 @@ class ReferenceEngine {
   PressureReport measure_pressure();
 
   /// Per-phase accumulated wall-clock seconds (Table 2 x86 column).
+  /// Accumulated by the same obs::PhaseTimer that emits tracer spans, so
+  /// this table and an attached tracer always agree.
   const PhaseTimes& phase_times() const { return times_; }
   void reset_phase_times() { times_ = PhaseTimes{}; }
+
+  /// Attaches a phase tracer (nullptr detaches); spans mirror the
+  /// phase_times() rows plus mts_cycle/step structure.
+  void set_tracer(obs::Tracer* t) { tracer_ = t; }
+  obs::Tracer* tracer() const { return tracer_; }
 
   const std::vector<Vec3d>& positions() const { return sys_.positions; }
   const std::vector<Vec3d>& velocities() const { return sys_.velocities; }
@@ -84,6 +92,7 @@ class ReferenceEngine {
   std::vector<double> Q_, phi_;
   std::int64_t steps_ = 0;
   PhaseTimes times_;
+  obs::Tracer* tracer_ = nullptr;
 
   // Energy pieces captured by the last with_energy passes.
   double e_bonded_ = 0, e_lj_ = 0, e_coul_dir_ = 0, e_corr_short_ = 0;

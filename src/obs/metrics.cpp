@@ -1,0 +1,110 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace anton::obs {
+
+MetricsRegistry::MetricsRegistry(int lanes) {
+  if (lanes < 1) lanes = 1;
+  shards_.resize(lanes);
+}
+
+int MetricsRegistry::counter(const std::string& name) {
+  for (std::size_t i = 0; i < counters_.size(); ++i)
+    if (counters_[i].name == name) return static_cast<int>(i);
+  counters_.push_back({name, 0});
+  for (auto& shard : shards_) shard.push_back(0);
+  return static_cast<int>(counters_.size()) - 1;
+}
+
+int MetricsRegistry::gauge(const std::string& name) {
+  for (std::size_t i = 0; i < gauges_.size(); ++i)
+    if (gauges_[i].name == name) return static_cast<int>(i);
+  gauges_.push_back({name, 0.0});
+  return static_cast<int>(gauges_.size()) - 1;
+}
+
+int MetricsRegistry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  for (std::size_t i = 0; i < histograms_.size(); ++i)
+    if (histograms_[i].name == name) return static_cast<int>(i);
+  if (!std::is_sorted(bounds.begin(), bounds.end()))
+    throw std::invalid_argument("histogram bounds must be ascending");
+  Histogram h;
+  h.name = name;
+  h.data.bounds = std::move(bounds);
+  h.data.counts.assign(h.data.bounds.size() + 1, 0);
+  histograms_.push_back(std::move(h));
+  return static_cast<int>(histograms_.size()) - 1;
+}
+
+void MetricsRegistry::observe(int id, double value) {
+  HistogramData& d = histograms_[id].data;
+  const auto it =
+      std::upper_bound(d.bounds.begin(), d.bounds.end(), value);
+  ++d.counts[static_cast<std::size_t>(it - d.bounds.begin())];
+  ++d.total_count;
+  d.sum += value;
+}
+
+void MetricsRegistry::flush() {
+  for (auto& shard : shards_) {
+    for (std::size_t id = 0; id < shard.size(); ++id) {
+      counters_[id].total += shard[id];
+      shard[id] = 0;
+    }
+  }
+}
+
+std::int64_t MetricsRegistry::counter_by_name(const std::string& name) const {
+  for (const Counter& c : counters_)
+    if (c.name == name) return c.total;
+  throw std::out_of_range("no counter named " + name);
+}
+
+std::vector<std::pair<std::string, std::int64_t>> MetricsRegistry::counters()
+    const {
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(counters_.size());
+  for (const Counter& c : counters_) out.emplace_back(c.name, c.total);
+  return out;
+}
+
+std::string MetricsRegistry::summary() const {
+  std::string out;
+  char buf[192];
+  for (const Counter& c : counters_) {
+    std::snprintf(buf, sizeof buf, "counter   %-32s %20lld\n",
+                  c.name.c_str(), static_cast<long long>(c.total));
+    out += buf;
+  }
+  for (const Gauge& g : gauges_) {
+    std::snprintf(buf, sizeof buf, "gauge     %-32s %20.6g\n",
+                  g.name.c_str(), g.value);
+    out += buf;
+  }
+  for (const Histogram& h : histograms_) {
+    std::snprintf(buf, sizeof buf,
+                  "histogram %-32s count=%lld sum=%.6g mean=%.6g\n",
+                  h.name.c_str(),
+                  static_cast<long long>(h.data.total_count), h.data.sum,
+                  h.data.total_count ? h.data.sum / h.data.total_count : 0.0);
+    out += buf;
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  for (Counter& c : counters_) c.total = 0;
+  for (auto& shard : shards_) std::fill(shard.begin(), shard.end(), 0);
+  for (Gauge& g : gauges_) g.value = 0.0;
+  for (Histogram& h : histograms_) {
+    std::fill(h.data.counts.begin(), h.data.counts.end(), 0);
+    h.data.total_count = 0;
+    h.data.sum = 0.0;
+  }
+}
+
+}  // namespace anton::obs

@@ -1,0 +1,93 @@
+// Metrics registry: named counters, gauges and histograms with lock-free
+// per-lane counter shards.
+//
+// Counters follow the same sharding discipline as the engine's force and
+// workload accumulators (PR 1): each pool lane increments only its own
+// shard slot, and the shards are reduced serially at step boundaries
+// (flush()). Two consequences:
+//
+//  * the hot path is a plain add to lane-private memory -- no locks, no
+//    atomics, no cross-lane cache traffic;
+//  * metrics touch only registry-owned memory, never engine state, so an
+//    attached registry cannot perturb the trajectory, exactly as the
+//    per-thread force shards cannot (asserted in test_obs).
+//
+// Registration is serial-phase only (before the parallel passes start);
+// ids are dense ints so the hot path indexes, never hashes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace anton::obs {
+
+struct HistogramData {
+  std::vector<double> bounds;        // ascending upper bounds
+  std::vector<std::int64_t> counts;  // bounds.size() + 1 buckets
+  std::int64_t total_count = 0;
+  double sum = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  /// `lanes` must cover every lane id that will write counters (the
+  /// engine's thread-pool lane count).
+  explicit MetricsRegistry(int lanes = 1);
+
+  int lanes() const { return static_cast<int>(shards_.size()); }
+
+  // --- registration (serial phase only; idempotent by name) ---
+  int counter(const std::string& name);
+  int gauge(const std::string& name);
+  int histogram(const std::string& name, std::vector<double> bounds);
+
+  // --- hot path ---
+  /// Adds `delta` to lane `lane`'s shard of counter `id`. Lock-free:
+  /// lanes write disjoint slots.
+  void count(int id, int lane, std::int64_t delta = 1) {
+    shards_[lane][id] += delta;
+  }
+  void set_gauge(int id, double value) { gauges_[id].value = value; }
+  /// Serial contexts only (per-step timings observed by the driver).
+  void observe(int id, double value);
+
+  /// Step-boundary reduction: folds every lane shard into the counter
+  /// totals and zeroes the shards.
+  void flush();
+
+  // --- readout (after flush) ---
+  std::int64_t counter_value(int id) const { return counters_[id].total; }
+  double gauge_value(int id) const { return gauges_[id].value; }
+  const HistogramData& histogram_data(int id) const {
+    return histograms_[id].data;
+  }
+  std::int64_t counter_by_name(const std::string& name) const;
+
+  std::vector<std::pair<std::string, std::int64_t>> counters() const;
+  std::string summary() const;
+
+  /// Zeroes every counter total, shard, gauge and histogram.
+  void reset();
+
+ private:
+  struct Counter {
+    std::string name;
+    std::int64_t total = 0;
+  };
+  struct Gauge {
+    std::string name;
+    double value = 0.0;
+  };
+  struct Histogram {
+    std::string name;
+    HistogramData data;
+  };
+
+  std::vector<Counter> counters_;
+  std::vector<Gauge> gauges_;
+  std::vector<Histogram> histograms_;
+  std::vector<std::vector<std::int64_t>> shards_;  // [lane][counter id]
+};
+
+}  // namespace anton::obs

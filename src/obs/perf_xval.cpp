@@ -1,0 +1,78 @@
+#include "obs/perf_xval.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace anton::obs {
+
+std::string CrossValidation::summary() const {
+  std::string out;
+  char buf[192];
+  std::snprintf(buf, sizeof buf, "%-24s %14s %8s %14s %8s %9s\n", "phase",
+                "model (us)", "model %", "traced (us)", "traced %",
+                "d(frac)");
+  out += buf;
+  for (const PhaseDelta& d : phases) {
+    std::snprintf(buf, sizeof buf,
+                  "%-24s %14.3f %7.1f%% %14.3f %7.1f%% %+8.1f%%\n",
+                  core::phase_name(d.phase), d.predicted_s * 1e6,
+                  100.0 * d.predicted_frac, d.measured_s * 1e6,
+                  100.0 * d.measured_frac, 100.0 * d.frac_delta());
+    out += buf;
+  }
+  return out;
+}
+
+CrossValidation cross_validate(const Tracer& tracer,
+                               const machine::WorkloadParams& wp,
+                               const machine::MachineConfig& mc,
+                               const Vec3i& node_grid, int natoms,
+                               int mesh) {
+  if (!tracer.has_workload())
+    throw std::logic_error(
+        "cross_validate: tracer holds no workload snapshot (attach it to "
+        "an engine and run at least one cycle)");
+
+  CrossValidation cv;
+  cv.long_range_every = std::max(1, wp.long_range_every);
+  cv.workload = machine::workload_from_profile(tracer.workload(), wp,
+                                               node_grid, natoms, mesh);
+  cv.predicted =
+      machine::PerfModel(mc).evaluate(cv.workload, cv.long_range_every);
+  cv.measured = tracer.phase_times();
+  cv.steps_measured = tracer.workload().steps_accumulated;
+
+  // Per-MTS-cycle seconds on both sides. Measured: total traced phase
+  // seconds over the cycles covered. Predicted: every-step tasks occur
+  // long_range_every times per cycle; mesh/FFT/correction tasks once.
+  const double cycles = std::max<double>(
+      1.0, static_cast<double>(cv.steps_measured) / cv.long_range_every);
+  const double k = cv.long_range_every;
+  const machine::TaskTimes& t = cv.predicted.tasks;
+  const double pred[static_cast<int>(core::Phase::kCount)] = {
+      k * (t.import_s + t.range_limited_s),          // range-limited
+      t.fft_s,                                       // FFT
+      t.mesh_interp_s,                               // mesh interpolation
+      t.correction_s,                                // correction
+      k * t.bonded_s,                                // bonded
+      k * (t.integration_s + t.force_reduce_s),      // integration
+  };
+  double pred_total = 0.0;
+  for (double v : pred) pred_total += v;
+  const double meas_total = cv.measured.total();
+
+  for (int p = 0; p < static_cast<int>(core::Phase::kCount); ++p) {
+    PhaseDelta d;
+    d.phase = static_cast<core::Phase>(p);
+    d.predicted_s = pred[p];
+    d.measured_s = cv.measured.seconds[p] / cycles;
+    d.predicted_frac = pred_total > 0 ? pred[p] / pred_total : 0.0;
+    d.measured_frac =
+        meas_total > 0 ? cv.measured.seconds[p] / meas_total : 0.0;
+    cv.phases.push_back(d);
+  }
+  return cv;
+}
+
+}  // namespace anton::obs

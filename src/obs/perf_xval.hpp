@@ -1,0 +1,57 @@
+// Perf-model cross-validation: the bridge between the functional engine
+// (repro point 1) and the cycle-approximate machine model (repro point 2).
+//
+// A traced AntonEngine run leaves two artifacts in the Tracer: the
+// measured per-phase wall-clock spans, and a snapshot of the measured
+// per-node workload counters (captured at the end of run_cycles). This
+// module feeds those measured counters straight into
+// machine::workload_from_profile -- the exact same path
+// AntonEngine::workload() consumers use, asserted bit-for-bit equal in
+// test_obs -- evaluates the calibrated PerfModel on them, and reports
+// predicted-vs-measured per-phase numbers side by side.
+//
+// The two columns are different machines (modelled Anton vs this host),
+// so the meaningful delta is the *fraction* of a step each phase takes:
+// the Table 2 comparison. Absolute seconds are reported too.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/engine_types.hpp"
+#include "machine/perf_model.hpp"
+#include "machine/workload_model.hpp"
+#include "obs/trace.hpp"
+
+namespace anton::obs {
+
+struct PhaseDelta {
+  core::Phase phase = core::Phase::kRangeLimited;
+  double predicted_s = 0.0;  // modelled Anton seconds per MTS cycle
+  double measured_s = 0.0;   // traced host seconds per MTS cycle
+  double predicted_frac = 0.0;  // share of the summed per-cycle phase time
+  double measured_frac = 0.0;
+  double frac_delta() const { return predicted_frac - measured_frac; }
+};
+
+struct CrossValidation {
+  machine::StepWorkload workload;    // from the tracer-captured counters
+  machine::StepTimeReport predicted; // PerfModel on that workload
+  core::PhaseTimes measured;         // tracer spans folded onto phases
+  std::int64_t steps_measured = 0;   // inner steps the spans cover
+  int long_range_every = 1;
+  std::vector<PhaseDelta> phases;    // one row per Table 2 phase
+
+  std::string summary() const;
+};
+
+/// Requires tracer.has_workload() (run the engine with the tracer
+/// attached through at least one run_cycles call). `node_grid`, `natoms`
+/// and `mesh` describe the traced engine, as for workload_from_profile.
+CrossValidation cross_validate(const Tracer& tracer,
+                               const machine::WorkloadParams& wp,
+                               const machine::MachineConfig& mc,
+                               const Vec3i& node_grid, int natoms,
+                               int mesh);
+
+}  // namespace anton::obs

@@ -1,0 +1,146 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace anton::obs {
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+double Tracer::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Tracer::begin(const char* name, int tid) {
+  auto& stack = open_[tid];
+  SpanRecord r;
+  r.name = name;
+  r.tid = tid;
+  r.depth = static_cast<int>(stack.size());
+  r.seq = next_seq_++;
+  r.t0_us = now_us();
+  stack.push_back(spans_.size());
+  spans_.push_back(std::move(r));
+}
+
+void Tracer::end(int tid) {
+  auto it = open_.find(tid);
+  if (it == open_.end() || it->second.empty())
+    throw std::logic_error("Tracer::end with no open span on track");
+  SpanRecord& r = spans_[it->second.back()];
+  it->second.pop_back();
+  r.dur_us = now_us() - r.t0_us;
+}
+
+std::map<std::string, double> Tracer::totals_by_name() const {
+  std::map<std::string, double> totals;
+  for (const SpanRecord& s : spans_) totals[s.name] += s.dur_us * 1e-6;
+  return totals;
+}
+
+core::PhaseTimes Tracer::phase_times() const {
+  core::PhaseTimes t;
+  core::Phase p;
+  for (const SpanRecord& s : spans_)
+    if (phase_of_span(s.name, &p)) t[p] += s.dur_us * 1e-6;
+  return t;
+}
+
+std::string Tracer::chrome_json() const {
+  // Trace-event format: https://chromium.googlesource.com/catapult --
+  // complete events carry ts + dur in microseconds; pid/tid place them on
+  // tracks. Span names contain only [A-Za-z0-9._] so no escaping needed.
+  std::string out = "[\n";
+  char buf[256];
+  bool first = true;
+  for (const SpanRecord& s : spans_) {
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"name\":\"%s\",\"cat\":\"anton\",\"ph\":\"X\","
+                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d,"
+                  "\"args\":{\"seq\":%lld,\"depth\":%d}}",
+                  first ? "" : ",\n", s.name.c_str(), s.t0_us, s.dur_us,
+                  s.tid, static_cast<long long>(s.seq), s.depth);
+    out += buf;
+    first = false;
+  }
+  out += "\n]\n";
+  return out;
+}
+
+std::string Tracer::summary() const {
+  struct Agg {
+    std::int64_t count = 0;
+    double total_s = 0;
+  };
+  std::map<std::string, Agg> agg;
+  for (const SpanRecord& s : spans_) {
+    Agg& a = agg[s.name];
+    ++a.count;
+    a.total_s += s.dur_us * 1e-6;
+  }
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%-24s %10s %14s %14s\n", "span", "count",
+                "total (ms)", "mean (us)");
+  out += buf;
+  for (const auto& [name, a] : agg) {
+    std::snprintf(buf, sizeof buf, "%-24s %10lld %14.3f %14.3f\n",
+                  name.c_str(), static_cast<long long>(a.count),
+                  a.total_s * 1e3, a.count ? a.total_s * 1e6 / a.count : 0.0);
+    out += buf;
+  }
+  return out;
+}
+
+void Tracer::reset() {
+  spans_.clear();
+  open_.clear();
+  next_seq_ = 0;
+  workload_ = core::WorkloadProfile{};
+  has_workload_ = false;
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+bool phase_of_span(const std::string& name, core::Phase* p) {
+  using core::Phase;
+  if (name == "range_limited") {
+    *p = Phase::kRangeLimited;
+  } else if (name == "gse.fft") {
+    *p = Phase::kFft;
+  } else if (name == "gse.spread" || name == "gse.interpolate" ||
+             name == "mesh_interpolation") {
+    *p = Phase::kMeshInterpolation;
+  } else if (name == "correction") {
+    *p = Phase::kCorrection;
+  } else if (name == "bonded") {
+    *p = Phase::kBonded;
+  } else if (name == "integrate" || name == "constraints") {
+    *p = Phase::kIntegration;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* span_name(core::Phase p) {
+  switch (p) {
+    case core::Phase::kRangeLimited:
+      return "range_limited";
+    case core::Phase::kFft:
+      return "gse.fft";
+    case core::Phase::kMeshInterpolation:
+      return "mesh_interpolation";
+    case core::Phase::kCorrection:
+      return "correction";
+    case core::Phase::kBonded:
+      return "bonded";
+    case core::Phase::kIntegration:
+      return "integrate";
+    default:
+      return "unknown";
+  }
+}
+
+}  // namespace anton::obs

@@ -1,0 +1,177 @@
+// Phase tracer: nested wall-clock spans over the engines' per-step phases.
+//
+// The paper's performance claims (Tables 1-4, Figures 5-7) are statements
+// about *per-phase* time -- range-limited vs. GSE vs. bonded vs.
+// integration vs. communication -- so the engines emit one span per phase
+// per step through this tracer. Spans nest (an MTS cycle contains steps,
+// a step contains force phases), export to chrome://tracing JSON, and
+// aggregate into the Table 2 phase taxonomy for the perf-model
+// cross-validation (obs/perf_xval.hpp).
+//
+// Determinism contract: spans are begun and ended only from the thread
+// driving the engine, in program order, so the span *sequence* (names,
+// nesting, per-step structure) is identical for any nthreads or node
+// decomposition; only the wall-clock timestamps vary run to run. Tracing
+// writes exclusively to tracer-owned memory, never to engine state, so an
+// attached tracer cannot perturb the trajectory (asserted in test_obs).
+//
+// Disabled cost: engines hold a `Tracer*` that defaults to nullptr; the
+// RAII `Tracer::Span` guard is a no-op through a null pointer. For code
+// that wants tracing compiled out entirely, `BasicSpan<NullSink>` is a
+// compile-time-checked empty type (static_asserts below).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "core/engine_types.hpp"
+
+namespace anton::obs {
+
+/// A sink that discards every span at compile time. Kept empty and
+/// trivial -- the static_asserts are the "zero-cost when disabled" check.
+struct NullSink {
+  static constexpr bool kEnabled = false;
+  void begin(const char*, int) {}
+  void end(int) {}
+};
+static_assert(std::is_empty_v<NullSink>);
+static_assert(std::is_trivially_destructible_v<NullSink>);
+
+/// RAII span against any sink type. With NullSink it is an empty type the
+/// optimizer erases; with Tracer (below) it brackets a real span.
+template <class Sink>
+class BasicSpan {
+ public:
+  BasicSpan(Sink& sink, const char* name, int tid = 0) : sink_(sink),
+                                                         tid_(tid) {
+    sink_.begin(name, tid_);
+  }
+  ~BasicSpan() { sink_.end(tid_); }
+  BasicSpan(const BasicSpan&) = delete;
+  BasicSpan& operator=(const BasicSpan&) = delete;
+
+ private:
+  [[no_unique_address]] Sink& sink_;
+  int tid_;
+};
+static_assert(!NullSink::kEnabled, "NullSink must advertise disabled");
+
+/// One completed (or still-open) span. `seq` is the begin order -- the
+/// deterministic part of the record; t0/dur are wall-clock measurements.
+struct SpanRecord {
+  std::string name;
+  int tid = 0;    // track id (0 = engine main; VM uses node index + 1)
+  int depth = 0;  // nesting depth within its track
+  std::int64_t seq = 0;
+  double t0_us = 0.0;   // begin, relative to the tracer epoch
+  double dur_us = 0.0;  // 0 while open
+};
+
+class Tracer {
+ public:
+  static constexpr bool kEnabled = true;
+
+  Tracer();
+
+  /// Begin/end a span on track `tid`. Spans on one track must nest.
+  void begin(const char* name, int tid = 0);
+  void end(int tid = 0);
+
+  /// RAII guard that is a no-op when `t` is nullptr, so instrumented code
+  /// needs no branches at the call sites.
+  class Span {
+   public:
+    Span(Tracer* t, const char* name, int tid = 0) : t_(t), tid_(tid) {
+      if (t_) t_->begin(name, tid_);
+    }
+    ~Span() {
+      if (t_) t_->end(tid_);
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+   private:
+    Tracer* t_;
+    int tid_;
+  };
+
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+
+  /// Wall-clock seconds summed per span name (all tracks).
+  std::map<std::string, double> totals_by_name() const;
+
+  /// Wall-clock seconds folded onto the Table 2 phase taxonomy via
+  /// phase_of_span(); spans with no phase mapping are dropped.
+  core::PhaseTimes phase_times() const;
+
+  /// Snapshot of the engine's measured workload counters, captured by
+  /// AntonEngine::run_cycles when a tracer is attached; the bridge that
+  /// feeds measured counters into machine::WorkloadModel (perf_xval).
+  void capture_workload(const core::WorkloadProfile& p) {
+    workload_ = p;
+    has_workload_ = true;
+  }
+  bool has_workload() const { return has_workload_; }
+  const core::WorkloadProfile& workload() const { return workload_; }
+
+  /// chrome://tracing "trace event" JSON: an array of complete ("X")
+  /// events in begin (seq) order. Load via chrome://tracing or Perfetto.
+  std::string chrome_json() const;
+
+  /// Plain-text per-phase summary (name, count, total, mean).
+  std::string summary() const;
+
+  void reset();
+
+ private:
+  double now_us() const;
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<SpanRecord> spans_;
+  std::map<int, std::vector<std::size_t>> open_;  // per-track span stack
+  std::int64_t next_seq_ = 0;
+  core::WorkloadProfile workload_;
+  bool has_workload_ = false;
+};
+
+/// Maps a span name onto the Table 2 phase taxonomy. Returns true and
+/// sets `p` for force/integration phases; returns false for structural
+/// spans ("mts_cycle", "step", "migrate", "force_reduce", "vm.*").
+bool phase_of_span(const std::string& name, core::Phase* p);
+
+/// Canonical span name the instrumented engines use for each phase.
+const char* span_name(core::Phase p);
+
+/// Accumulates one phase interval into a PhaseTimes AND emits the
+/// matching span when `tracer` is non-null: the single timing primitive
+/// shared by ReferenceEngine and the benches, so phase tables and traces
+/// always agree.
+class PhaseTimer {
+ public:
+  PhaseTimer(core::PhaseTimes& t, core::Phase p, Tracer* tracer)
+      : t_(t), p_(p), tracer_(tracer),
+        start_(std::chrono::steady_clock::now()) {
+    if (tracer_) tracer_->begin(span_name(p_));
+  }
+  ~PhaseTimer() {
+    t_[p_] += std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count();
+    if (tracer_) tracer_->end();
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  core::PhaseTimes& t_;
+  core::Phase p_;
+  Tracer* tracer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace anton::obs

@@ -88,17 +88,33 @@ std::vector<Vec3l> VirtualMachine::evaluate(
         mark({h.x + p.x, h.y + p.y, h.z});
     }
   }
+  // Owner-node grouping: the multicast and compute phases below run node
+  // by node so a tracer sees one span per virtual node. Within a node the
+  // subbox order is preserved, and all accumulation is per-node state
+  // combined with wrapping adds, so the regrouping is unobservable in the
+  // returned forces.
+  std::vector<std::vector<std::int32_t>> node_subboxes(nnodes);
+  for (std::int32_t sb = 0; sb < nsub; ++sb)
+    node_subboxes[geom_->node_index_of(geom_->coords_of(sb))].push_back(sb);
+
   VmStats st;
-  for (std::int32_t sb = 0; sb < nsub; ++sb) {
-    const int owner = geom_->node_index_of(geom_->coords_of(sb));
-    const auto& payload = nodes[owner].subbox_atoms[sb];
-    for (int dst : consumers[sb]) {
-      if (dst == owner) continue;
-      // One multicast message per (subbox, consumer): id + 3x32-bit pos.
-      nodes[dst].subbox_atoms[sb] = payload;  // message delivery
-      ++st.position_messages;
-      ++sent_msgs[owner];
-      st.position_bytes += 16 * static_cast<std::int64_t>(payload.size()) + 8;
+  {
+    obs::Tracer::Span phase_span(tracer_, "vm.position_multicast");
+    for (int owner = 0; owner < nnodes; ++owner) {
+      obs::Tracer::Span node_span(tracer_, "vm.node.multicast", owner + 1);
+      for (std::int32_t sb : node_subboxes[owner]) {
+        const auto& payload = nodes[owner].subbox_atoms[sb];
+        for (int dst : consumers[sb]) {
+          if (dst == owner) continue;
+          // One multicast message per (subbox, consumer): id + 3x32-bit
+          // pos.
+          nodes[dst].subbox_atoms[sb] = payload;  // message delivery
+          ++st.position_messages;
+          ++sent_msgs[owner];
+          st.position_bytes +=
+              16 * static_cast<std::int64_t>(payload.size()) + 8;
+        }
+      }
     }
   }
 
@@ -107,11 +123,14 @@ std::vector<Vec3l> VirtualMachine::evaluate(
   // local state.
   const bool have_mol = !top.molecule.empty();
   std::vector<std::map<std::int32_t, Vec3l>> partials(nnodes);
-  for (std::int32_t hidx = 0; hidx < nsub; ++hidx) {
+  {
+  obs::Tracer::Span compute_span(tracer_, "vm.compute");
+  for (int node = 0; node < nnodes; ++node) {
+  obs::Tracer::Span node_span(tracer_, "vm.node.compute", node + 1);
+  NodeMemory& mem = nodes[node];
+  auto& acc = partials[node];
+  for (std::int32_t hidx : node_subboxes[node]) {
     const Vec3i h = geom_->coords_of(hidx);
-    const int node = geom_->node_index_of(h);
-    NodeMemory& mem = nodes[node];
-    auto& acc = partials[node];
     for (std::int32_t dz : geom_->tower_dz()) {
       const std::int32_t tidx =
           geom_->index_of(geom_->wrap_coords({h.x, h.y, h.z + dz}));
@@ -163,6 +182,8 @@ std::vector<Vec3l> VirtualMachine::evaluate(
       }
     }
   }
+  }
+  }
 
   // --- phase 3 + 4: force return and reduction ---
   // Home node of each atom (by position binning above).
@@ -172,7 +193,9 @@ std::vector<Vec3l> VirtualMachine::evaluate(
     for (std::int32_t a : bins[sb]) home_node[a] = owner;
   }
   std::vector<Vec3l> total(top.natoms, {0, 0, 0});
+  obs::Tracer::Span return_span(tracer_, "vm.force_return");
   for (int n = 0; n < nnodes; ++n) {
+    obs::Tracer::Span node_span(tracer_, "vm.node.force_return", n + 1);
     // Group this node's non-home contributions by destination: one force
     // message per (node, destination) pair with all its records.
     std::map<int, std::int64_t> batch_count;

@@ -34,6 +34,7 @@
 #include "fixed/lattice.hpp"
 #include "htis/pair_kernels.hpp"
 #include "nt/nt_geometry.hpp"
+#include "obs/trace.hpp"
 #include "pairlist/exclusion_table.hpp"
 
 namespace anton::parallel {
@@ -71,6 +72,14 @@ class VirtualMachine {
   std::vector<Vec3l> evaluate(const std::vector<Vec3i>& positions,
                               VmStats* stats = nullptr);
 
+  /// Attaches a phase tracer (nullptr detaches). evaluate() then emits a
+  /// span per choreography phase on track 0 plus one child span per
+  /// virtual node on track (node index + 1), making the per-node comm
+  /// pattern visible in the exported trace. Tracing never touches the
+  /// node memories, so the returned forces are unchanged.
+  void set_tracer(obs::Tracer* t) { tracer_ = t; }
+  obs::Tracer* tracer() const { return tracer_; }
+
  private:
   struct AtomRecord {
     std::int32_t id;
@@ -89,6 +98,7 @@ class VirtualMachine {
   pairlist::ExclusionTable excl_;
   std::uint64_t r2_limit_lattice_ = 0;
   double lat2_to_phys2_ = 0.0;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace anton::parallel

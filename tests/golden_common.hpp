@@ -1,0 +1,85 @@
+// Shared definitions for the golden-trajectory fixtures: which systems,
+// which engine configuration, and which step counts the committed hashes
+// in tests/golden/ were generated with. Used by test_golden.cpp (compare)
+// and golden_gen.cpp (regenerate via scripts/regen_golden.sh).
+//
+// The engine is bitwise invariant to thread count and node decomposition,
+// so each (system, steps) pair has exactly ONE golden hash; the test runs
+// every {threads} x {node grid} combination against the same fixture line.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/anton_engine.hpp"
+#include "sysgen/systems.hpp"
+
+namespace anton::golden {
+
+/// Step counts the fixtures record. long_range_every is 1 in the golden
+/// config, so MTS cycles == inner steps and any step count is reachable.
+inline const std::vector<int>& golden_steps() {
+  static const std::vector<int> s = {1, 8, 32};
+  return s;
+}
+
+struct GoldenCase {
+  std::string name;  // fixture file is tests/golden/<name>.txt
+  System (*build)();
+};
+
+inline System build_peptide_solvated() {
+  // ~230 atoms: 70 waters + a 20-atom peptide in a 14 A box.
+  return sysgen::build_test_system(70, 14.0, 1234, true, 20);
+}
+
+inline System build_water_3site() {
+  return sysgen::build_water_system(220, 14.0, sysgen::WaterModel::k3Site,
+                                    77);
+}
+
+inline const std::vector<GoldenCase>& golden_cases() {
+  static const std::vector<GoldenCase> cases = {
+      {"peptide_solvated", &build_peptide_solvated},
+      {"water_3site", &build_water_3site},
+  };
+  return cases;
+}
+
+/// The one configuration all fixtures use. Thread count and node grid are
+/// parameters of the RUN, not the fixture: the hash must not depend on
+/// them (that is the point of the test).
+inline core::AntonConfig golden_config(const Vec3i& node_grid,
+                                       int nthreads) {
+  core::AntonConfig c;
+  c.sim.cutoff = 7.0;
+  c.sim.mesh = 16;
+  c.sim.dt = 2.5;
+  c.sim.long_range_every = 1;
+  c.node_grid = node_grid;
+  c.subbox_div = {1, 1, 1};
+  c.migration_interval = 4;
+  c.import_margin = 3.0;
+  c.nthreads = nthreads;
+  return c;
+}
+
+/// Runs one case at (node_grid, nthreads) and returns the state hash after
+/// each entry of golden_steps(), hashing incrementally (1 -> 8 -> 32 steps
+/// is one trajectory, not three).
+inline std::vector<std::uint64_t> run_case(const GoldenCase& gc,
+                                           const Vec3i& node_grid,
+                                           int nthreads) {
+  core::AntonEngine eng(gc.build(), golden_config(node_grid, nthreads));
+  std::vector<std::uint64_t> hashes;
+  int done = 0;
+  for (int target : golden_steps()) {
+    eng.run_cycles(target - done);
+    done = target;
+    hashes.push_back(eng.state_hash());
+  }
+  return hashes;
+}
+
+}  // namespace anton::golden

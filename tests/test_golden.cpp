@@ -1,0 +1,104 @@
+// Golden-trajectory regression tests: the committed fixtures in
+// tests/golden/ pin the exact fixed-point trajectory of two seed systems.
+// Any change to kernel tables, quantization, pair enumeration or
+// integration order that alters even one bit of state shows up here.
+//
+// Each (system, steps) pair has ONE golden hash; the engine's bitwise
+// invariance to thread count and node decomposition means every
+// {1,2,4}-thread x {1x1x1, 2x2x2}-grid combination must reproduce it.
+// If a change is *intended* to alter the trajectory, regenerate with
+// scripts/regen_golden.sh and commit the new fixtures with the change.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "golden_common.hpp"
+
+#ifndef ANTON_GOLDEN_DIR
+#error "ANTON_GOLDEN_DIR must point at the committed fixture directory"
+#endif
+
+namespace {
+
+using anton::Vec3i;
+
+// Parses "steps N hash HEX" lines; '#' lines are comments.
+std::map<int, std::uint64_t> load_fixture(const std::string& name) {
+  const std::string path = std::string(ANTON_GOLDEN_DIR) + "/" + name +
+                           ".txt";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path
+                         << " (run scripts/regen_golden.sh)";
+  std::map<int, std::uint64_t> fx;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string kw_steps, kw_hash, hex;
+    int steps = 0;
+    ls >> kw_steps >> steps >> kw_hash >> hex;
+    if (kw_steps != "steps" || kw_hash != "hash" || hex.empty()) {
+      ADD_FAILURE() << "malformed fixture line: " << line;
+      continue;
+    }
+    fx[steps] = std::stoull(hex, nullptr, 16);
+  }
+  return fx;
+}
+
+struct RunConfig {
+  Vec3i grid;
+  int nthreads;
+};
+
+class GoldenTrajectory
+    : public ::testing::TestWithParam<std::tuple<int, RunConfig>> {};
+
+// One test per (case index, run configuration): runs the trajectory and
+// compares every recorded step count against the committed hash.
+TEST_P(GoldenTrajectory, MatchesFixture) {
+  const auto& gc =
+      anton::golden::golden_cases()[std::get<0>(GetParam())];
+  const RunConfig rc = std::get<1>(GetParam());
+  const auto fixture = load_fixture(gc.name);
+  ASSERT_EQ(fixture.size(), anton::golden::golden_steps().size());
+
+  const auto hashes = anton::golden::run_case(gc, rc.grid, rc.nthreads);
+  const auto& steps = anton::golden::golden_steps();
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const auto it = fixture.find(steps[i]);
+    ASSERT_NE(it, fixture.end())
+        << gc.name << ": fixture lacks steps=" << steps[i];
+    EXPECT_EQ(hashes[i], it->second)
+        << gc.name << " diverged from golden trajectory at steps="
+        << steps[i] << " (grid " << rc.grid.x << "x" << rc.grid.y << "x"
+        << rc.grid.z << ", " << rc.nthreads << " threads)";
+  }
+}
+
+std::string param_name(
+    const ::testing::TestParamInfo<std::tuple<int, RunConfig>>& info) {
+  const auto& gc = anton::golden::golden_cases()[std::get<0>(info.param)];
+  const RunConfig rc = std::get<1>(info.param);
+  std::ostringstream os;
+  os << gc.name << "_grid" << rc.grid.x << rc.grid.y << rc.grid.z << "_t"
+     << rc.nthreads;
+  return os.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCases, GoldenTrajectory,
+    ::testing::Combine(::testing::Values(0, 1),
+                       ::testing::Values(RunConfig{{1, 1, 1}, 1},
+                                         RunConfig{{1, 1, 1}, 2},
+                                         RunConfig{{1, 1, 1}, 4},
+                                         RunConfig{{2, 2, 2}, 1},
+                                         RunConfig{{2, 2, 2}, 2},
+                                         RunConfig{{2, 2, 2}, 4})),
+    param_name);
+
+}  // namespace

@@ -1,0 +1,469 @@
+// The observability layer's contract, from the outside in:
+//
+//  * Zero cost disabled: the NullSink span is a compile-time empty no-op,
+//    and an engine with no tracer/metrics attached takes no obs branches
+//    that could change behavior.
+//  * Zero perturbation enabled: the trajectory with tracing AND metrics
+//    attached is bitwise identical to a bare run, at any thread count --
+//    observation writes only to observer-owned memory.
+//  * Deterministic spans: the span sequence (names, tracks, nesting) is
+//    identical for 1 and 4 threads; only timestamps differ.
+//  * Structure: every MTS cycle span contains its k step spans plus the
+//    long-range phases; every step span contains the short-range phases.
+//  * Metrics = workload: per-phase counter totals equal the engine's
+//    WorkloadProfile aggregates -- same shards, same flush discipline.
+//  * Cross-validation: the tracer-captured counters fed through
+//    machine::workload_from_profile reproduce AntonEngine::workload()'s
+//    StepWorkload exactly, so the perf model sees the measured machine.
+//  * Export: chrome://tracing JSON round-trips through a parser.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "core/anton_engine.hpp"
+#include "core/reference_engine.hpp"
+#include "fixed/lattice.hpp"
+#include "machine/config.hpp"
+#include "machine/workload_model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/perf_xval.hpp"
+#include "obs/trace.hpp"
+#include "parallel/virtual_machine.hpp"
+#include "sysgen/systems.hpp"
+
+using anton::System;
+using anton::Vec3i;
+using anton::core::AntonConfig;
+using anton::core::AntonEngine;
+using anton::core::Phase;
+namespace obs = anton::obs;
+namespace sg = anton::sysgen;
+
+namespace {
+
+// --- compile-time zero-cost checks -----------------------------------
+static_assert(std::is_empty_v<obs::NullSink>);
+static_assert(std::is_trivially_destructible_v<obs::NullSink>);
+static_assert(!obs::NullSink::kEnabled);
+static_assert(obs::Tracer::kEnabled);
+
+System small_system() {
+  return sg::build_test_system(70, 14.0, 1234, true, 20);
+}
+
+AntonConfig obs_config(int nthreads) {
+  AntonConfig c;
+  c.sim.cutoff = 7.0;
+  c.sim.mesh = 16;
+  c.sim.dt = 2.5;
+  c.sim.long_range_every = 2;
+  c.node_grid = {2, 2, 2};
+  c.subbox_div = {1, 1, 1};
+  c.migration_interval = 4;
+  c.import_margin = 3.0;
+  c.nthreads = nthreads;
+  return c;
+}
+
+// Reconstructs (parent -> children names) for one track from the begin
+// order + depth; within a track this determines the span tree.
+struct TreeNode {
+  std::string name;
+  std::vector<int> children;  // indices into nodes
+};
+std::vector<TreeNode> span_tree(const std::vector<obs::SpanRecord>& spans,
+                                int tid) {
+  std::vector<TreeNode> nodes;
+  std::vector<int> stack;
+  for (const auto& s : spans) {
+    if (s.tid != tid) continue;
+    while (static_cast<int>(stack.size()) > s.depth) stack.pop_back();
+    const int idx = static_cast<int>(nodes.size());
+    nodes.push_back({s.name, {}});
+    if (!stack.empty()) nodes[stack.back()].children.push_back(idx);
+    stack.push_back(idx);
+  }
+  return nodes;
+}
+
+std::vector<std::string> child_names(const std::vector<TreeNode>& nodes,
+                                     const TreeNode& n) {
+  std::vector<std::string> out;
+  for (int c : n.children) out.push_back(nodes[c].name);
+  return out;
+}
+
+// --- tracer / metrics unit behavior ----------------------------------
+
+TEST(Tracer, NestsAndAggregates) {
+  obs::Tracer tr;
+  {
+    obs::Tracer::Span a(&tr, "outer");
+    obs::Tracer::Span b(&tr, "inner");
+  }
+  ASSERT_EQ(tr.spans().size(), 2u);
+  EXPECT_EQ(tr.spans()[0].name, "outer");
+  EXPECT_EQ(tr.spans()[0].depth, 0);
+  EXPECT_EQ(tr.spans()[1].name, "inner");
+  EXPECT_EQ(tr.spans()[1].depth, 1);
+  EXPECT_THROW(tr.end(), std::logic_error);
+
+  // Null tracer: the guard is a no-op, not a crash.
+  obs::Tracer::Span none(nullptr, "ignored");
+}
+
+TEST(Tracer, PhaseMappingRoundTrips) {
+  // Every Table 2 phase has a canonical span name that maps back to it.
+  for (int p = 0; p < static_cast<int>(Phase::kCount); ++p) {
+    const Phase ph = static_cast<Phase>(p);
+    Phase back;
+    ASSERT_TRUE(obs::phase_of_span(obs::span_name(ph), &back));
+    EXPECT_EQ(back, ph);
+  }
+  Phase ignored;
+  EXPECT_FALSE(obs::phase_of_span("mts_cycle", &ignored));
+  EXPECT_FALSE(obs::phase_of_span("step", &ignored));
+  EXPECT_FALSE(obs::phase_of_span("force_reduce", &ignored));
+  EXPECT_FALSE(obs::phase_of_span("vm.compute", &ignored));
+}
+
+TEST(Metrics, ShardedCountersFlushAndAggregate) {
+  obs::MetricsRegistry reg(4);
+  const int id = reg.counter("test.ops");
+  EXPECT_EQ(reg.counter("test.ops"), id);  // idempotent registration
+  for (int lane = 0; lane < 4; ++lane) reg.count(id, lane, lane + 1);
+  EXPECT_EQ(reg.counter_value(id), 0);  // not yet flushed
+  reg.flush();
+  EXPECT_EQ(reg.counter_value(id), 1 + 2 + 3 + 4);
+  EXPECT_EQ(reg.counter_by_name("test.ops"), 10);
+  EXPECT_THROW(reg.counter_by_name("nope"), std::out_of_range);
+
+  const int g = reg.gauge("test.level");
+  reg.set_gauge(g, 2.5);
+  EXPECT_DOUBLE_EQ(reg.gauge_value(g), 2.5);
+
+  const int h = reg.histogram("test.lat", {1.0, 10.0});
+  reg.observe(h, 0.5);
+  reg.observe(h, 5.0);
+  reg.observe(h, 50.0);
+  const auto& d = reg.histogram_data(h);
+  EXPECT_EQ(d.counts[0], 1);
+  EXPECT_EQ(d.counts[1], 1);
+  EXPECT_EQ(d.counts[2], 1);
+  EXPECT_EQ(d.total_count, 3);
+  EXPECT_THROW(reg.histogram("bad", {3.0, 1.0}), std::invalid_argument);
+}
+
+// --- the central invariant: observation cannot move the trajectory ----
+
+TEST(ObsInvariance, TracedAndMeteredRunIsBitwiseIdentical) {
+  AntonEngine plain(small_system(), obs_config(1));
+  plain.run_cycles(3);
+  const std::uint64_t golden = plain.state_hash();
+
+  for (int nthreads : {1, 4}) {
+    AntonEngine eng(small_system(), obs_config(nthreads));
+    obs::Tracer tracer;
+    obs::MetricsRegistry metrics(4);
+    eng.set_tracer(&tracer);
+    eng.set_metrics(&metrics);
+    eng.run_cycles(3);
+    EXPECT_EQ(eng.state_hash(), golden)
+        << "observability perturbed the trajectory at " << nthreads
+        << " threads";
+    EXPECT_FALSE(tracer.spans().empty());
+  }
+}
+
+TEST(ObsInvariance, RegistryMustCoverEveryLane) {
+  AntonEngine eng(small_system(), obs_config(4));
+  obs::MetricsRegistry too_small(2);
+  EXPECT_THROW(eng.set_metrics(&too_small), std::invalid_argument);
+}
+
+// --- span structure ---------------------------------------------------
+
+TEST(ObsSpans, EveryCycleAndStepHasItsPhases) {
+  AntonEngine eng(small_system(), obs_config(2));
+  obs::Tracer tracer;
+  eng.set_tracer(&tracer);
+  const int ncycles = 3;
+  eng.run_cycles(ncycles);
+  const int k = eng.config().sim.long_range_every;
+
+  const auto nodes = span_tree(tracer.spans(), 0);
+  int cycles_seen = 0, steps_seen = 0;
+  for (const auto& n : nodes) {
+    if (n.name == "mts_cycle") {
+      ++cycles_seen;
+      auto kids = child_names(nodes, n);
+      // Optional leading migrate; then the fixed cycle skeleton.
+      std::vector<std::string> want;
+      if (!kids.empty() && kids[0] == "migrate") want.push_back("migrate");
+      want.push_back("integrate");
+      for (int s = 0; s < k; ++s) want.push_back("step");
+      want.insert(want.end(), {"gse.spread", "gse.fft", "gse.interpolate",
+                               "correction", "force_reduce", "integrate"});
+      EXPECT_EQ(kids, want);
+    } else if (n.name == "step") {
+      ++steps_seen;
+      const std::vector<std::string> want = {
+          "integrate", "range_limited", "bonded",
+          "correction", "force_reduce", "integrate"};
+      EXPECT_EQ(child_names(nodes, n), want);
+    }
+  }
+  EXPECT_EQ(cycles_seen, ncycles);
+  EXPECT_EQ(steps_seen, static_cast<int>(eng.steps_done()));
+  // All spans were closed: the open-span stack is empty, so a stray end()
+  // has nothing to pop.
+  EXPECT_THROW(tracer.end(), std::logic_error);
+}
+
+TEST(ObsSpans, ReferenceEngineSharesTheTimingPrimitive) {
+  anton::core::ReferenceEngine ref(small_system(), obs_config(1).sim);
+  obs::Tracer tracer;
+  ref.set_tracer(&tracer);
+  ref.run_cycles(2);
+  // The obs::PhaseTimer feeds phase_times() and the tracer from one
+  // clock read pair, so every phase the table reports has spans too.
+  const auto traced = tracer.phase_times();
+  const auto& table = ref.phase_times();
+  for (int p = 0; p < static_cast<int>(Phase::kCount); ++p) {
+    if (table.seconds[p] > 0) {
+      EXPECT_GT(traced.seconds[p], 0.0)
+          << "no spans for phase " << anton::core::phase_name(
+                 static_cast<Phase>(p));
+    }
+  }
+}
+
+TEST(ObsSpans, SequenceIsThreadCountInvariant) {
+  auto sequence = [](int nthreads) {
+    AntonEngine eng(small_system(), obs_config(nthreads));
+    obs::Tracer tracer;
+    eng.set_tracer(&tracer);
+    eng.run_cycles(2);
+    std::vector<std::tuple<std::string, int, int>> seq;
+    for (const auto& s : tracer.spans())
+      seq.emplace_back(s.name, s.tid, s.depth);
+    return seq;
+  };
+  EXPECT_EQ(sequence(1), sequence(4));
+}
+
+// --- metrics vs. workload profile ------------------------------------
+
+TEST(ObsMetrics, CounterTotalsEqualWorkloadAggregates) {
+  AntonEngine eng(small_system(), obs_config(2));
+  obs::MetricsRegistry metrics(2);
+  eng.set_metrics(&metrics);
+  eng.reset_workload();  // align both windows: from here on
+  eng.run_cycles(3);
+
+  const auto& profile = eng.workload();
+  anton::core::NodeCounters sum;
+  for (const auto& nc : profile.nodes) sum += nc;
+
+  EXPECT_EQ(metrics.counter_by_name("engine.pairs_considered"),
+            sum.pairs_considered);
+  EXPECT_EQ(metrics.counter_by_name("engine.ppip_queue"), sum.ppip_queue);
+  EXPECT_EQ(metrics.counter_by_name("engine.interactions"),
+            sum.interactions);
+  EXPECT_EQ(metrics.counter_by_name("engine.spread_ops"), sum.spread_ops);
+  EXPECT_EQ(metrics.counter_by_name("engine.interp_ops"), sum.interp_ops);
+  EXPECT_EQ(metrics.counter_by_name("engine.bond_terms"), sum.bond_terms);
+  EXPECT_EQ(metrics.counter_by_name("engine.correction_pairs"),
+            sum.correction_pairs);
+
+  EXPECT_EQ(metrics.counter_by_name("engine.steps"),
+            profile.steps_accumulated);
+  EXPECT_EQ(metrics.counter_by_name("engine.mts_cycles"), 3);
+  EXPECT_GT(metrics.counter_by_name("engine.lane_chunks"), 0);
+}
+
+// --- perf-model cross-validation --------------------------------------
+
+TEST(ObsXval, TracerCountersReproduceEngineWorkloadExactly) {
+  AntonConfig cfg = obs_config(1);
+  AntonEngine eng(small_system(), cfg);
+  obs::Tracer tracer;
+  eng.set_tracer(&tracer);
+  eng.reset_workload();
+  eng.run_cycles(4);
+  ASSERT_TRUE(tracer.has_workload());
+
+  anton::machine::WorkloadParams wp;
+  wp.cutoff = cfg.sim.cutoff;
+  wp.gse = cfg.sim.resolved_gse();
+  wp.long_range_every = cfg.sim.long_range_every;
+  wp.subbox_div = cfg.subbox_div;
+  const int natoms = eng.topology().natoms;
+  const int mesh = cfg.sim.resolved_gse().mesh;
+
+  const auto cv = obs::cross_validate(
+      tracer, wp, anton::machine::MachineConfig::anton_512(),
+      cfg.node_grid, natoms, mesh);
+
+  // The tracer snapshot must feed the model the EXACT workload the
+  // engine's own profile produces -- the two paths share every bit.
+  const auto direct = anton::machine::workload_from_profile(
+      eng.workload(), wp, cfg.node_grid, natoms, mesh);
+  EXPECT_EQ(cv.workload.atoms, direct.atoms);
+  EXPECT_EQ(cv.workload.import_atoms, direct.import_atoms);
+  EXPECT_EQ(cv.workload.imported_subboxes, direct.imported_subboxes);
+  EXPECT_EQ(cv.workload.pairs_considered, direct.pairs_considered);
+  EXPECT_EQ(cv.workload.interactions, direct.interactions);
+  EXPECT_EQ(cv.workload.bond_terms_max, direct.bond_terms_max);
+  EXPECT_EQ(cv.workload.correction_pairs_max, direct.correction_pairs_max);
+  EXPECT_EQ(cv.workload.constraint_bonds_max, direct.constraint_bonds_max);
+  EXPECT_EQ(cv.workload.spread_ops, direct.spread_ops);
+  EXPECT_EQ(cv.workload.interp_ops, direct.interp_ops);
+  EXPECT_EQ(cv.workload.mesh, direct.mesh);
+  EXPECT_EQ(cv.workload.natoms_total, direct.natoms_total);
+
+  // Sanity of the report itself: every phase present, fractions sum to 1.
+  ASSERT_EQ(cv.phases.size(),
+            static_cast<std::size_t>(Phase::kCount));
+  double pf = 0, mf = 0;
+  for (const auto& d : cv.phases) {
+    EXPECT_GE(d.predicted_s, 0.0);
+    EXPECT_GE(d.measured_s, 0.0);
+    pf += d.predicted_frac;
+    mf += d.measured_frac;
+  }
+  EXPECT_NEAR(pf, 1.0, 1e-9);
+  EXPECT_NEAR(mf, 1.0, 1e-9);
+  EXPECT_FALSE(cv.summary().empty());
+
+  obs::Tracer empty;
+  EXPECT_THROW(obs::cross_validate(empty, wp,
+                                   anton::machine::MachineConfig::anton_512(),
+                                   cfg.node_grid, natoms, mesh),
+               std::logic_error);
+}
+
+// --- chrome trace JSON round trip -------------------------------------
+
+// Minimal parser for the exact event format chrome_json() emits: one
+// complete event object per line, flat string/number fields.
+struct TraceEvent {
+  std::string name, ph;
+  double ts = -1, dur = -1;
+  int tid = -1;
+  long long seq = -1;
+};
+
+std::string get_str(const std::string& obj, const std::string& key) {
+  const std::string pat = "\"" + key + "\":\"";
+  const auto p = obj.find(pat);
+  if (p == std::string::npos) return {};
+  const auto e = obj.find('"', p + pat.size());
+  return obj.substr(p + pat.size(), e - p - pat.size());
+}
+
+double get_num(const std::string& obj, const std::string& key) {
+  const std::string pat = "\"" + key + "\":";
+  const auto p = obj.find(pat);
+  if (p == std::string::npos) return -1;
+  return std::stod(obj.substr(p + pat.size()));
+}
+
+std::vector<TraceEvent> parse_chrome_trace(const std::string& json) {
+  std::vector<TraceEvent> events;
+  std::istringstream in(json);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto b = line.find('{');
+    if (b == std::string::npos) continue;  // "[" / "]" framing lines
+    TraceEvent ev;
+    ev.name = get_str(line, "name");
+    ev.ph = get_str(line, "ph");
+    ev.ts = get_num(line, "ts");
+    ev.dur = get_num(line, "dur");
+    ev.tid = static_cast<int>(get_num(line, "tid"));
+    ev.seq = static_cast<long long>(get_num(line, "seq"));
+    events.push_back(ev);
+  }
+  return events;
+}
+
+TEST(ObsExport, ChromeJsonRoundTripsEverySpan) {
+  AntonEngine eng(small_system(), obs_config(1));
+  obs::Tracer tracer;
+  eng.set_tracer(&tracer);
+  eng.run_cycles(2);
+
+  // Through a file, exactly as the benches write it.
+  const std::string path =
+      ::testing::TempDir() + "/anton_test_trace.json";
+  {
+    std::ofstream out(path);
+    out << tracer.chrome_json();
+  }
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  const auto events = parse_chrome_trace(buf.str());
+  const auto& spans = tracer.spans();
+  ASSERT_EQ(events.size(), spans.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].name, spans[i].name);
+    EXPECT_EQ(events[i].ph, "X");
+    EXPECT_EQ(events[i].tid, spans[i].tid);
+    EXPECT_EQ(events[i].seq, spans[i].seq);
+    EXPECT_GE(events[i].ts, 0.0);
+    EXPECT_GE(events[i].dur, 0.0);
+    if (i > 0) EXPECT_GT(events[i].seq, events[i - 1].seq);
+  }
+}
+
+// --- VM per-node spans -------------------------------------------------
+
+TEST(ObsSpans, VirtualMachineEmitsPerNodeSpans) {
+  const System sys = small_system();
+  anton::parallel::VmConfig vc;
+  vc.node_grid = {2, 2, 2};
+  vc.cutoff = 7.0;
+  anton::parallel::VirtualMachine vm(sys, vc);
+
+  anton::fixed::PositionLattice lat(sys.box);
+  std::vector<Vec3i> pos(sys.positions.size());
+  for (std::size_t i = 0; i < pos.size(); ++i)
+    pos[i] = lat.to_lattice(sys.positions[i]);
+
+  const auto bare = vm.evaluate(pos);
+  obs::Tracer tracer;
+  vm.set_tracer(&tracer);
+  const auto traced = vm.evaluate(pos);
+  ASSERT_EQ(traced.size(), bare.size());
+  for (std::size_t i = 0; i < traced.size(); ++i)
+    ASSERT_EQ(traced[i], bare[i]) << "tracing changed VM forces";
+
+  // One span per phase on track 0; one child span per node per phase.
+  const auto totals = tracer.totals_by_name();
+  ASSERT_TRUE(totals.count("vm.position_multicast"));
+  ASSERT_TRUE(totals.count("vm.compute"));
+  ASSERT_TRUE(totals.count("vm.force_return"));
+  int multicast = 0, compute = 0, freturn = 0;
+  for (const auto& s : tracer.spans()) {
+    if (s.name == "vm.node.multicast") ++multicast;
+    if (s.name == "vm.node.compute") ++compute;
+    if (s.name == "vm.node.force_return") ++freturn;
+    if (s.name.rfind("vm.node.", 0) == 0) {
+      EXPECT_GE(s.tid, 1);
+      EXPECT_LE(s.tid, vm.node_count());
+    }
+  }
+  EXPECT_EQ(multicast, vm.node_count());
+  EXPECT_EQ(compute, vm.node_count());
+  EXPECT_EQ(freturn, vm.node_count());
+}
+
+}  // namespace
