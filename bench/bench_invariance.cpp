@@ -13,12 +13,14 @@
 #include "bench_util.hpp"
 #include "core/anton_engine.hpp"
 #include "io/io.hpp"
+#include "parallel/virtual_machine.hpp"
 #include "sysgen/systems.hpp"
 
 using anton::System;
 using anton::Vec3i;
 using anton::core::AntonConfig;
 using anton::core::AntonEngine;
+using anton::parallel::VirtualMachine;
 
 namespace {
 AntonConfig config_for(const Vec3i& nodes, const Vec3i& sub) {
@@ -77,6 +79,28 @@ int main() {
                 ok ? "BITWISE IDENTICAL" : "MISMATCH");
   }
 
+  bench::header("VirtualMachine runtime: same trajectory over node grids");
+  // The message-passing runtime (per-node memories, explicit mailboxes,
+  // distributed FFT) must land on the engine's hash on every grid; the
+  // ledger shows what the distribution cost in messages.
+  bool vm_ok = true;
+  const Vec3i vm_grids[] = {{1, 1, 1}, {2, 2, 2}, {4, 2, 1}};
+  for (const Vec3i& g : vm_grids) {
+    VirtualMachine vm(sys, config_for(g, {1, 1, 1}));
+    vm.reset_ledger();
+    vm.run_cycles(cycles);
+    const bool ok = vm.state_hash() == ref_hash;
+    vm_ok = vm_ok && ok;
+    const auto& led = vm.ledger();
+    std::printf(
+        "%dx%dx%d nodes: %s  (%lld msgs, %.2f MB over %d steps; "
+        "max %lld msgs/node/cycle)\n",
+        g.x, g.y, g.z, ok ? "BITWISE IDENTICAL" : "MISMATCH",
+        static_cast<long long>(led.total_messages()),
+        static_cast<double>(led.total_bytes()) / (1024.0 * 1024.0),
+        2 * cycles, static_cast<long long>(led.max_messages_per_node));
+  }
+
   bench::header("Exact time reversibility (no constraints / thermostat)");
   System flex = anton::sysgen::build_test_system(500, 25.0, 31415, false, 60);
   AntonEngine r(flex, config_for({2, 2, 2}, {1, 1, 1}));
@@ -108,5 +132,5 @@ int main() {
               back == ck ? "BIT-EXACT" : "MISMATCH");
   std::remove("/tmp/anton_bench_ckpt.bin");
 
-  return all_ok && mismatches == 0 ? 0 : 1;
+  return all_ok && vm_ok && mismatches == 0 ? 0 : 1;
 }

@@ -1,0 +1,125 @@
+// Per-phase cost of the message-passing VirtualMachine time step vs the
+// shared-memory AntonEngine on the two golden systems. Both drive the
+// SAME NodeProgram kernels; the delta is the cost of distributed-memory
+// discipline (mailbox copies, per-node loops, serial choreography).
+//
+// For each system and node grid this prints:
+//   * engine and VM wall-clock per step;
+//   * the VM's per-phase time breakdown (tracer span totals);
+//   * the measured CommLedger: messages and bytes per step per phase --
+//     the paper's "thousands of inter-node messages per ASIC" regime,
+//     measured rather than modelled (compare bench_table3).
+//
+// ANTON_TRACE_JSON=/tmp/vm.json writes the per-node chrome trace of the
+// last VM run (track 0 = phases, track n+1 = virtual node n).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/anton_engine.hpp"
+#include "parallel/virtual_machine.hpp"
+#include "sysgen/systems.hpp"
+
+using anton::System;
+using anton::Vec3i;
+using anton::core::AntonConfig;
+using anton::core::AntonEngine;
+using anton::parallel::CommLedger;
+using anton::parallel::PhaseComm;
+using anton::parallel::VirtualMachine;
+
+namespace {
+
+AntonConfig bench_config(const Vec3i& nodes) {
+  AntonConfig c;
+  c.sim.cutoff = 7.0;
+  c.sim.mesh = 16;
+  c.sim.dt = 2.5;
+  c.sim.long_range_every = 2;
+  c.node_grid = nodes;
+  c.subbox_div = {1, 1, 1};
+  c.migration_interval = 4;
+  c.import_margin = 3.0;
+  return c;
+}
+
+void print_phase(const char* name, const PhaseComm& pc, double steps) {
+  if (pc.messages == 0) return;
+  std::printf("  %-12s %10.1f msg/step %12.1f B/step  (max %d hops)\n",
+              name, pc.messages / steps, pc.bytes / steps, pc.max_hops);
+}
+
+void run_system(const char* name, const System& sys, int cycles) {
+  bench::header(std::string("system: ") + name);
+  const int steps = 2 * cycles;
+
+  AntonEngine eng(sys, bench_config({1, 1, 1}));
+  const double eng_secs = bench::timed(std::string(name) + ".engine", [&] {
+    eng.run_cycles(cycles);
+  });
+  std::printf("engine (1 node, 1 thread): %8.1f us/step\n",
+              1e6 * eng_secs / steps);
+
+  const Vec3i grids[] = {{1, 1, 1}, {2, 2, 2}, {4, 2, 1}};
+  for (const Vec3i& g : grids) {
+    VirtualMachine vm(sys, bench_config(g));
+    anton::obs::Tracer tracer;
+    vm.set_tracer(&tracer);
+    vm.reset_ledger();
+    const double secs = bench::timed(
+        std::string(name) + ".vm" + std::to_string(g.x * g.y * g.z), [&] {
+          vm.run_cycles(cycles);
+        });
+    const bool ok = vm.state_hash() == eng.state_hash();
+    std::printf("\nVM %dx%dx%d (%d virtual nodes): %8.1f us/step  -> %s\n",
+                g.x, g.y, g.z, g.x * g.y * g.z, 1e6 * secs / steps,
+                ok ? "BITWISE IDENTICAL to engine" : "MISMATCH");
+
+    const auto totals = tracer.totals_by_name();
+    std::printf("  per-phase time (us/step):\n");
+    for (const char* phase :
+         {"vm.position_multicast", "vm.compute", "vm.bond_dispatch",
+          "vm.bond_terms", "vm.force_return", "vm.gse.spread", "vm.gse.fft",
+          "vm.gse.interpolate", "vm.correction", "vm.integrate",
+          "vm.migrate"}) {
+      const auto it = totals.find(phase);
+      if (it == totals.end()) continue;
+      std::printf("    %-22s %9.2f\n", phase, 1e6 * it->second / steps);
+    }
+
+    const CommLedger& led = vm.ledger();
+    std::printf("  measured comm ledger:\n");
+    print_phase("position", led.position, steps);
+    print_phase("force", led.force, steps);
+    print_phase("bond", led.bond, steps);
+    print_phase("mesh", led.mesh, steps);
+    print_phase("fft", led.fft, steps);
+    print_phase("migration", led.migration, steps);
+    print_phase("reduce", led.reduce, steps);
+    std::printf("  total: %lld messages, %.2f MB over %d steps; "
+                "max %lld msgs/node/cycle\n",
+                static_cast<long long>(led.total_messages()),
+                static_cast<double>(led.total_bytes()) / (1024.0 * 1024.0),
+                steps, static_cast<long long>(led.max_messages_per_node));
+    bench::maybe_write_trace(tracer);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::run_scale();
+  const int cycles = static_cast<int>(10 * scale);
+
+  run_system("peptide_solvated",
+             anton::sysgen::build_test_system(70, 14.0, 1234, true, 20),
+             cycles);
+  run_system("water_3site",
+             anton::sysgen::build_water_system(
+                 220, 14.0, anton::sysgen::WaterModel::k3Site, 77),
+             cycles);
+
+  bench::print_timings();
+  return 0;
+}

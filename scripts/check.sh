@@ -3,7 +3,9 @@
 # ThreadSanitizer pass over the deterministic-parallelism surface (the
 # thread pool and the threaded engine tests).
 #
-# Usage: scripts/check.sh [--unit-only|--tier1-only|--tsan-only]
+# Usage: scripts/check.sh [--unit-only|--tier1-only|--tsan-only|--vm]
+#   --vm           build + the VirtualMachine runtime surface only (the
+#                  distributed time-step tests and the VM golden matrix)
 #   JOBS=N         parallelism for build/test (default: nproc)
 #   TSAN_FILTER=…  override the gtest filter for the TSan pass
 set -euo pipefail
@@ -29,6 +31,16 @@ tier1() {
   (cd build && ctest --output-on-failure -j"$JOBS")
 }
 
+# VM-focused gate: the message-passing runtime's own tests plus the
+# engine-vs-VM golden matrix. Run after touching src/parallel/.
+vm() {
+  echo "== VM gate: build + VirtualMachine + VM golden matrix =="
+  cmake -B build -S .
+  cmake --build build -j"$JOBS"
+  (cd build && ctest -R 'VirtualMachine|VmGoldenTrajectory' \
+    --output-on-failure -j"$JOBS")
+}
+
 tsan() {
   echo "== TSan: engine + thread pool under -fsanitize=thread =="
   cmake -B build-tsan -S . -DANTON_SANITIZE=thread
@@ -36,7 +48,7 @@ tsan() {
   # The threaded surface: the pool itself, the thread-invariance and
   # decomposition-invariance engine tests, the threaded workload counters,
   # and the checkpoint-restart-with-different-thread-count driver test.
-  local filter="${TSAN_FILTER:-ThreadPool.*:ThreadCounts/*:AntonEngine.*:ParallelInvariance*:Decompositions/*:Workload.CountersAggregatedFromThreadShardsMatchSingleThread:Simulation.ResumeContinuesBitwise}"
+  local filter="${TSAN_FILTER:-ThreadPool.*:ThreadCounts/*:AntonEngine.*:ParallelInvariance*:Decompositions/*:Workload.CountersAggregatedFromThreadShardsMatchSingleThread:Simulation.ResumeContinuesBitwise:VirtualMachine.RunCyclesMatchesEngineEveryCycle}"
   TSAN_OPTIONS="halt_on_error=1 history_size=7" \
     ./build-tsan/tests/anton_tests --gtest_filter="$filter"
 }
@@ -45,6 +57,7 @@ case "$MODE" in
   --unit-only) unit ;;
   --tier1-only) tier1 ;;
   --tsan-only) tsan ;;
+  --vm) vm ;;
   all|"") tier1; tsan ;;
   *) echo "unknown mode: $MODE" >&2; exit 2 ;;
 esac

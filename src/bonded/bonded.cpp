@@ -5,10 +5,10 @@
 
 namespace anton::bonded {
 
-TermForces eval_bond(const BondTerm& b, std::span<const Vec3d> pos,
+TermForces eval_bond(const BondTerm& b, const Vec3d& ri, const Vec3d& rj,
                      const PeriodicBox& box) {
   TermForces out;
-  const Vec3d dr = box.min_image(pos[b.i], pos[b.j]);
+  const Vec3d dr = box.min_image(ri, rj);
   const double r = dr.norm();
   const double dev = r - b.r0;
   out.energy = b.k * dev * dev;
@@ -20,11 +20,11 @@ TermForces eval_bond(const BondTerm& b, std::span<const Vec3d> pos,
   return out;
 }
 
-TermForces eval_angle(const AngleTerm& a, std::span<const Vec3d> pos,
-                      const PeriodicBox& box) {
+TermForces eval_angle(const AngleTerm& a, const Vec3d& ri, const Vec3d& rj,
+                      const Vec3d& rk, const PeriodicBox& box) {
   TermForces out;
-  const Vec3d u = box.min_image(pos[a.i], pos[a.j]);
-  const Vec3d v = box.min_image(pos[a.k], pos[a.j]);
+  const Vec3d u = box.min_image(ri, rj);
+  const Vec3d v = box.min_image(rk, rj);
   const double nu = u.norm(), nv = v.norm();
   if (nu == 0.0 || nv == 0.0) return out;
   double cost = u.dot(v) / (nu * nv);
@@ -44,12 +44,13 @@ TermForces eval_angle(const AngleTerm& a, std::span<const Vec3d> pos,
   return out;
 }
 
-TermForces eval_dihedral(const DihedralTerm& d, std::span<const Vec3d> pos,
+TermForces eval_dihedral(const DihedralTerm& d, const Vec3d& ri,
+                         const Vec3d& rj, const Vec3d& rk, const Vec3d& rl,
                          const PeriodicBox& box) {
   TermForces out;
-  const Vec3d b1 = box.min_image(pos[d.j], pos[d.i]);
-  const Vec3d b2 = box.min_image(pos[d.k], pos[d.j]);
-  const Vec3d b3 = box.min_image(pos[d.l], pos[d.k]);
+  const Vec3d b1 = box.min_image(rj, ri);
+  const Vec3d b2 = box.min_image(rk, rj);
+  const Vec3d b3 = box.min_image(rl, rk);
   const Vec3d n1 = b1.cross(b2);
   const Vec3d n2 = b2.cross(b3);
   const double n1sq = n1.norm2(), n2sq = n2.norm2();

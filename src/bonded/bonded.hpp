@@ -33,14 +33,37 @@ struct TermForces {
   }
 };
 
-TermForces eval_bond(const BondTerm& b, std::span<const Vec3d> pos,
+// Explicit-position kernels: positions are passed term-locally (ri is
+// t.atom i's position, etc.), so a caller that holds only a node-local
+// window of atoms -- the message-passing VirtualMachine -- can evaluate a
+// term from its mailbox without a global array. The span overloads below
+// delegate here; there is exactly one implementation of each functional
+// form.
+TermForces eval_bond(const BondTerm& b, const Vec3d& ri, const Vec3d& rj,
                      const PeriodicBox& box);
 
-TermForces eval_angle(const AngleTerm& a, std::span<const Vec3d> pos,
-                      const PeriodicBox& box);
+TermForces eval_angle(const AngleTerm& a, const Vec3d& ri, const Vec3d& rj,
+                      const Vec3d& rk, const PeriodicBox& box);
 
-TermForces eval_dihedral(const DihedralTerm& d, std::span<const Vec3d> pos,
+TermForces eval_dihedral(const DihedralTerm& d, const Vec3d& ri,
+                         const Vec3d& rj, const Vec3d& rk, const Vec3d& rl,
                          const PeriodicBox& box);
+
+inline TermForces eval_bond(const BondTerm& b, std::span<const Vec3d> pos,
+                            const PeriodicBox& box) {
+  return eval_bond(b, pos[b.i], pos[b.j], box);
+}
+
+inline TermForces eval_angle(const AngleTerm& a, std::span<const Vec3d> pos,
+                             const PeriodicBox& box) {
+  return eval_angle(a, pos[a.i], pos[a.j], pos[a.k], box);
+}
+
+inline TermForces eval_dihedral(const DihedralTerm& d,
+                                std::span<const Vec3d> pos,
+                                const PeriodicBox& box) {
+  return eval_dihedral(d, pos[d.i], pos[d.j], pos[d.k], pos[d.l], box);
+}
 
 /// Evaluates every bonded term of a topology into a force array (reference
 /// path); returns the total bonded energy.

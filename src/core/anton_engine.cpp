@@ -14,22 +14,8 @@
 
 namespace anton::core {
 
-namespace {
-// Fixed-point scales for the mesh quantities. Charge densities on the mesh
-// are O(0.1) e/A^3; potentials are O(100) kcal/mol/e. Both grids leave
-// orders of magnitude of headroom in int64.
-constexpr double kMeshChargeScale = 1099511627776.0;  // 2^40 per e/A^3
-constexpr double kPhiScale = 4294967296.0;            // 2^32 per kcal/mol/e
-
-std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t bytes) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < bytes; ++i) {
-    h ^= p[i];
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-}  // namespace
+using parallel::kMeshChargeScale;
+using parallel::kPhiScale;
 
 AntonEngine::AntonEngine(System sys, const AntonConfig& cfg)
     : sys_(std::move(sys)), cfg_(cfg),
@@ -57,24 +43,9 @@ AntonEngine::AntonEngine(System sys, const AntonConfig& cfg)
 
   // Integration coefficients. dv[counts] = F[counts] * kick_coef;
   // dx[counts] = v[counts] * drift_coef.
-  kick_short_coef_.resize(n);
-  kick_long_coef_.resize(n);
-  const int k = std::max(1, cfg_.sim.long_range_every);
-  for (std::int32_t i = 0; i < n; ++i) {
-    // Massless virtual sites are never kicked; their positions are rebuilt
-    // from their parents after every drift.
-    const double base =
-        top.mass[i] > 0.0
-            ? 0.5 * cfg_.sim.dt * units::kForceToAccel / top.mass[i] *
-                  fixed::kVelScale / fixed::kForceScale
-            : 0.0;
-    kick_short_coef_[i] = base;
-    kick_long_coef_[i] = base * k;
-  }
+  coefs_ = parallel::make_integration_coefs(top, cfg_.sim.dt,
+                                            cfg_.sim.long_range_every, lat_);
   const Vec3d lsb = lat_.lsb();
-  drift_coef_ = {cfg_.sim.dt / (fixed::kVelScale * lsb.x),
-                 cfg_.sim.dt / (fixed::kVelScale * lsb.y),
-                 cfg_.sim.dt / (fixed::kVelScale * lsb.z)};
 
   // PPIP tables.
   htis::PairKernelParams tp;
@@ -104,6 +75,17 @@ AntonEngine::AntonEngine(System sys, const AntonConfig& cfg)
   r2_limit_lattice_ = static_cast<std::uint64_t>(cut_lat * cut_lat);
   lat2_to_phys2_ = lsb.x * lsb.x;
 
+  np_.top = &sys_.top;
+  np_.box = &sys_.box;
+  np_.lat = &lat_;
+  np_.kernels = &kernels_;
+  np_.excl = &excl_;
+  np_.gse = gse_.get();
+  np_.gse_params = gse_params_;
+  np_.r2_limit_lattice = r2_limit_lattice_;
+  np_.lat2_to_phys2 = lat2_to_phys2_;
+  np_.have_molecules = !top.molecule.empty();
+
   build_decomposition();
   refresh_phys_positions();
   rebuild_virtual_sites();
@@ -127,28 +109,11 @@ void AntonEngine::build_decomposition() {
   bins_.assign(geom_->subbox_count(), {});
   assigned_subbox_.assign(top.natoms, 0);
 
-  // Migration units: constraint groups move as one; all other atoms are
-  // singleton units. Unit order follows the lowest atom index so the
-  // decomposition is deterministic.
-  units_.clear();
-  group_constraints_.clear();
-  std::vector<std::int32_t> unit_of(top.natoms, -1);
-  for (const auto& g : top.constraint_groups) {
-    const auto id = static_cast<std::int32_t>(units_.size());
-    units_.push_back(g);
-    for (std::int32_t a : g) unit_of[a] = id;
-  }
-  for (std::int32_t a = 0; a < top.natoms; ++a) {
-    if (unit_of[a] < 0) {
-      unit_of[a] = static_cast<std::int32_t>(units_.size());
-      units_.push_back({a});
-    }
-  }
-  // Constraint lists per unit.
-  group_constraints_.assign(units_.size(), {});
-  for (const ConstraintBond& c : top.constraints) {
-    group_constraints_[unit_of[c.i]].push_back(c);
-  }
+  // Migration units (shared with the VM): constraint groups move as one;
+  // all other atoms are singleton units.
+  parallel::MigrationUnits mu = parallel::build_migration_units(top);
+  units_ = std::move(mu.atoms);
+  group_constraints_ = std::move(mu.constraints);
 
   // Per-node import subbox lists (tower / plate, home subboxes removed),
   // used for the import-volume counters the machine model consumes.
@@ -270,11 +235,8 @@ void AntonEngine::rebuild_virtual_sites() {
   // function of the parent lattice positions: bitwise decomposition-
   // independent.
   for (const VirtualSite& v : sys_.top.virtual_sites) {
-    const Vec3d o = pos_phys_[v.o];
-    const Vec3d d1 = sys_.box.min_image(pos_phys_[v.h1], o);
-    const Vec3d d2 = sys_.box.min_image(pos_phys_[v.h2], o);
-    const Vec3d m = o + (d1 + d2) * v.a;
-    pos_[v.site] = lat_.to_lattice(m);
+    pos_[v.site] = parallel::rebuild_virtual_site(
+        np_, v, pos_phys_[v.o], pos_phys_[v.h1], pos_phys_[v.h2]);
     pos_phys_[v.site] = lat_.to_phys(pos_[v.site]);
     vel_[v.site] = {0, 0, 0};
   }
@@ -285,23 +247,17 @@ void AntonEngine::redistribute_virtual_site_forces(std::vector<Vec3l>& f) {
   // exact remainder so the redistribution conserves the total force
   // bit-for-bit.
   for (const VirtualSite& v : sys_.top.virtual_sites) {
-    const Vec3l fm = f[v.site];
-    const Vec3l fh1{fixed::quantize(static_cast<double>(fm.x) * v.a, 1.0),
-                    fixed::quantize(static_cast<double>(fm.y) * v.a, 1.0),
-                    fixed::quantize(static_cast<double>(fm.z) * v.a, 1.0)};
-    const Vec3l fh2 = fh1;
-    const Vec3l fo{fixed::wrap_sub(fixed::wrap_sub(fm.x, fh1.x), fh2.x),
-                   fixed::wrap_sub(fixed::wrap_sub(fm.y, fh1.y), fh2.y),
-                   fixed::wrap_sub(fixed::wrap_sub(fm.z, fh1.z), fh2.z)};
-    f[v.h1].x = fixed::wrap_add(f[v.h1].x, fh1.x);
-    f[v.h1].y = fixed::wrap_add(f[v.h1].y, fh1.y);
-    f[v.h1].z = fixed::wrap_add(f[v.h1].z, fh1.z);
-    f[v.h2].x = fixed::wrap_add(f[v.h2].x, fh2.x);
-    f[v.h2].y = fixed::wrap_add(f[v.h2].y, fh2.y);
-    f[v.h2].z = fixed::wrap_add(f[v.h2].z, fh2.z);
-    f[v.o].x = fixed::wrap_add(f[v.o].x, fo.x);
-    f[v.o].y = fixed::wrap_add(f[v.o].y, fo.y);
-    f[v.o].z = fixed::wrap_add(f[v.o].z, fo.z);
+    const parallel::VsiteForceShare s =
+        parallel::split_virtual_site_force(v, f[v.site]);
+    f[v.h1].x = fixed::wrap_add(f[v.h1].x, s.fh.x);
+    f[v.h1].y = fixed::wrap_add(f[v.h1].y, s.fh.y);
+    f[v.h1].z = fixed::wrap_add(f[v.h1].z, s.fh.z);
+    f[v.h2].x = fixed::wrap_add(f[v.h2].x, s.fh.x);
+    f[v.h2].y = fixed::wrap_add(f[v.h2].y, s.fh.y);
+    f[v.h2].z = fixed::wrap_add(f[v.h2].z, s.fh.z);
+    f[v.o].x = fixed::wrap_add(f[v.o].x, s.fo.x);
+    f[v.o].y = fixed::wrap_add(f[v.o].y, s.fo.y);
+    f[v.o].z = fixed::wrap_add(f[v.o].z, s.fo.z);
     f[v.site] = {0, 0, 0};
   }
 }
@@ -322,9 +278,6 @@ void AntonEngine::migrate() {
 }
 
 void AntonEngine::range_limited_pass(bool with_energy) {
-  const Topology& top = sys_.top;
-  const bool have_mol = !top.molecule.empty();
-
   // Parallel over home subboxes. Each lane owns a force shard, a counter
   // shard and an energy shard; a pair's quantized force is a pure function
   // of the two lattice positions, so which lane computes it cannot change
@@ -358,42 +311,22 @@ void AntonEngine::range_limited_pass(bool with_energy) {
             for (std::size_t b = b0; b < plate.size(); ++b) {
               const std::int32_t j0 = plate[b];
               ++nc.pairs_considered;
-              // Canonical pair orientation: lower global index first, so
-              // the computed (quantized) force is identical no matter
-              // which node or decomposition evaluates the pair.
-              const std::int32_t i = i0 < j0 ? i0 : j0;
-              const std::int32_t j = i0 < j0 ? j0 : i0;
-              const Vec3i d = fixed::PositionLattice::delta(
-                  i == i0 ? pi : pos_[i], i == i0 ? pos_[j] : pi);
-              if (!htis::match_plausible(d, r2_limit_lattice_)) continue;
+              const parallel::PairResult pr = parallel::eval_pair(
+                  np_, i0, j0, pi, pos_[j0], with_energy);
+              if (pr.status == parallel::PairStatus::kFailedMatch) continue;
               ++nc.ppip_queue;
-              const std::uint64_t r2lat = htis::exact_r2_lattice(d);
-              if (r2lat > r2_limit_lattice_) continue;
-              if (have_mol && top.molecule[i] == top.molecule[j] &&
-                  excl_.excluded(i, j))
-                continue;
+              if (pr.status != parallel::PairStatus::kComputed) continue;
               ++nc.interactions;
-              const double r2 = static_cast<double>(r2lat) * lat2_to_phys2_;
-              const double qq = top.charge[i] * top.charge[j];
-              const htis::PairForceEnergy pfe = kernels_.eval_nonbonded(
-                  r2, qq, top.type[i], top.type[j], with_energy);
-              const Vec3d drp = lat_.delta_to_phys(d);
-              const Vec3l fq{
-                  fixed::quantize(pfe.force_coef * drp.x, fixed::kForceScale),
-                  fixed::quantize(pfe.force_coef * drp.y, fixed::kForceScale),
-                  fixed::quantize(pfe.force_coef * drp.z, fixed::kForceScale)};
-              fsh[i].x = fixed::wrap_add(fsh[i].x, fq.x);
-              fsh[i].y = fixed::wrap_add(fsh[i].y, fq.y);
-              fsh[i].z = fixed::wrap_add(fsh[i].z, fq.z);
-              fsh[j].x = fixed::wrap_sub(fsh[j].x, fq.x);
-              fsh[j].y = fixed::wrap_sub(fsh[j].y, fq.y);
-              fsh[j].z = fixed::wrap_sub(fsh[j].z, fq.z);
+              fsh[pr.lo].x = fixed::wrap_add(fsh[pr.lo].x, pr.f.x);
+              fsh[pr.lo].y = fixed::wrap_add(fsh[pr.lo].y, pr.f.y);
+              fsh[pr.lo].z = fixed::wrap_add(fsh[pr.lo].z, pr.f.z);
+              fsh[pr.hi].x = fixed::wrap_sub(fsh[pr.hi].x, pr.f.x);
+              fsh[pr.hi].y = fixed::wrap_sub(fsh[pr.hi].y, pr.f.y);
+              fsh[pr.hi].z = fixed::wrap_sub(fsh[pr.hi].z, pr.f.z);
               if (with_energy) {
-                acc.coul.add(fixed::quantize_energy(pfe.energy_elec));
-                acc.lj.add(fixed::quantize_energy(pfe.energy_lj));
-                // Pair virial trace: r_ij . F_ij = coef * r^2.
-                acc.w_pair.add(
-                    fixed::quantize(pfe.force_coef * r2, fixed::kVirialScale));
+                acc.coul.add(pr.e_coul_q);
+                acc.lj.add(pr.e_lj_q);
+                acc.w_pair.add(pr.virial_q);
               }
             }
           }
@@ -414,26 +347,19 @@ void AntonEngine::bonded_pass(bool with_energy) {
         geom_->coords_of(assigned_subbox_[dest_atom]))];
     ++nc.bond_terms;
     LaneAccums& acc = acc_shards_[lane];
-    if (with_energy && t.n > 0) {
-      // Term virial: sum F_a . (r_a - r_ref); any reference works because
-      // the term forces sum to zero.
-      const Vec3d ref_pos = pos_phys_[t.atom[0]];
-      double w = 0.0;
-      for (int i = 0; i < t.n; ++i)
-        w += t.f[i].dot(sys_.box.min_image(pos_phys_[t.atom[i]], ref_pos));
-      acc.w_bonded.add(fixed::quantize(w, fixed::kVirialScale));
-    }
+    Vec3d tp[4];
+    for (int i = 0; i < t.n; ++i) tp[i] = pos_phys_[t.atom[i]];
+    const parallel::QuantizedTerm qt =
+        parallel::quantize_term(np_, t, tp, with_energy);
+    if (with_energy) acc.w_bonded.add(qt.virial_q);
     std::vector<Vec3l>& fsh = f_shards_[lane];
-    for (int i = 0; i < t.n; ++i) {
-      const Vec3l fq{fixed::quantize(t.f[i].x, fixed::kForceScale),
-                     fixed::quantize(t.f[i].y, fixed::kForceScale),
-                     fixed::quantize(t.f[i].z, fixed::kForceScale)};
-      Vec3l& f = fsh[t.atom[i]];
-      f.x = fixed::wrap_add(f.x, fq.x);
-      f.y = fixed::wrap_add(f.y, fq.y);
-      f.z = fixed::wrap_add(f.z, fq.z);
+    for (int i = 0; i < qt.n; ++i) {
+      Vec3l& f = fsh[qt.atom[i]];
+      f.x = fixed::wrap_add(f.x, qt.f[i].x);
+      f.y = fixed::wrap_add(f.y, qt.f[i].y);
+      f.z = fixed::wrap_add(f.z, qt.f[i].z);
     }
-    if (with_energy) acc.bonded.add(fixed::quantize_energy(t.energy));
+    if (with_energy) acc.bonded.add(qt.energy_q);
   };
   pool_.parallel_for(
       static_cast<std::int64_t>(top.bonds.size()),
@@ -473,31 +399,18 @@ void AntonEngine::correction_short_pass(bool with_energy) {
         LaneAccums& acc = acc_shards_[lane];
         for (std::int64_t k = k0; k < k1; ++k) {
           const ExclusionPair& e = top.exclusions[k];
-          if (e.lj_scale == 0.0 && e.coul_scale == 0.0) continue;
-          const Vec3i d =
-              fixed::PositionLattice::delta(pos_[e.i], pos_[e.j]);
-          const Vec3d drp = lat_.delta_to_phys(d);
-          const double r2 = drp.norm2();
-          const double r = std::sqrt(r2);
-          const double A = kernels_.lj_a(top.type[e.i], top.type[e.j]);
-          const double B = kernels_.lj_b(top.type[e.i], top.type[e.j]);
-          const double qq = top.charge[e.i] * top.charge[e.j];
-          const double coef = e.lj_scale * ewald::lj_force(r2, A, B) +
-                              e.coul_scale * qq * ewald::coul_bare_force(r);
-          const Vec3l fq{fixed::quantize(coef * drp.x, fixed::kForceScale),
-                         fixed::quantize(coef * drp.y, fixed::kForceScale),
-                         fixed::quantize(coef * drp.z, fixed::kForceScale)};
-          fsh[e.i].x = fixed::wrap_add(fsh[e.i].x, fq.x);
-          fsh[e.i].y = fixed::wrap_add(fsh[e.i].y, fq.y);
-          fsh[e.i].z = fixed::wrap_add(fsh[e.i].z, fq.z);
-          fsh[e.j].x = fixed::wrap_sub(fsh[e.j].x, fq.x);
-          fsh[e.j].y = fixed::wrap_sub(fsh[e.j].y, fq.y);
-          fsh[e.j].z = fixed::wrap_sub(fsh[e.j].z, fq.z);
+          const parallel::CorrectionResult cr = parallel::eval_correction_short(
+              np_, e, pos_[e.i], pos_[e.j], with_energy);
+          if (!cr.computed) continue;
+          fsh[e.i].x = fixed::wrap_add(fsh[e.i].x, cr.f.x);
+          fsh[e.i].y = fixed::wrap_add(fsh[e.i].y, cr.f.y);
+          fsh[e.i].z = fixed::wrap_add(fsh[e.i].z, cr.f.z);
+          fsh[e.j].x = fixed::wrap_sub(fsh[e.j].x, cr.f.x);
+          fsh[e.j].y = fixed::wrap_sub(fsh[e.j].y, cr.f.y);
+          fsh[e.j].z = fixed::wrap_sub(fsh[e.j].z, cr.f.z);
           if (with_energy) {
-            acc.corr.add(fixed::quantize_energy(
-                e.lj_scale * ewald::lj_energy(r2, A, B) +
-                e.coul_scale * qq * ewald::coul_bare_energy(r)));
-            acc.w_pair.add(fixed::quantize(coef * r2, fixed::kVirialScale));
+            acc.corr.add(cr.energy_q);
+            acc.w_pair.add(cr.virial_q);
           }
         }
       });
@@ -507,7 +420,6 @@ void AntonEngine::correction_long_pass(bool with_energy) {
   // Reciprocal-space subtraction (-erf terms) for every excluded pair;
   // parallel over exclusion pairs.
   const Topology& top = sys_.top;
-  const double beta = gse_params_.beta;
   pool_.parallel_for(
       static_cast<std::int64_t>(top.exclusions.size()),
       [&](int lane, std::int64_t k0, std::int64_t k1) {
@@ -518,26 +430,17 @@ void AntonEngine::correction_long_pass(bool with_energy) {
           NodeCounters& nc = wl_shards_[lane][geom_->node_index_of(
               geom_->coords_of(assigned_subbox_[e.i]))];
           ++nc.correction_pairs;
-          const Vec3i d =
-              fixed::PositionLattice::delta(pos_[e.i], pos_[e.j]);
-          const Vec3d drp = lat_.delta_to_phys(d);
-          const double r2 = drp.norm2();
-          const double r = std::sqrt(r2);
-          const double qq = top.charge[e.i] * top.charge[e.j];
-          const double coef = -qq * ewald::coul_recip_force(r, beta);
-          const Vec3l fq{fixed::quantize(coef * drp.x, fixed::kForceScale),
-                         fixed::quantize(coef * drp.y, fixed::kForceScale),
-                         fixed::quantize(coef * drp.z, fixed::kForceScale)};
-          fsh[e.i].x = fixed::wrap_add(fsh[e.i].x, fq.x);
-          fsh[e.i].y = fixed::wrap_add(fsh[e.i].y, fq.y);
-          fsh[e.i].z = fixed::wrap_add(fsh[e.i].z, fq.z);
-          fsh[e.j].x = fixed::wrap_sub(fsh[e.j].x, fq.x);
-          fsh[e.j].y = fixed::wrap_sub(fsh[e.j].y, fq.y);
-          fsh[e.j].z = fixed::wrap_sub(fsh[e.j].z, fq.z);
+          const parallel::CorrectionResult cr = parallel::eval_correction_long(
+              np_, e, pos_[e.i], pos_[e.j], with_energy);
+          fsh[e.i].x = fixed::wrap_add(fsh[e.i].x, cr.f.x);
+          fsh[e.i].y = fixed::wrap_add(fsh[e.i].y, cr.f.y);
+          fsh[e.i].z = fixed::wrap_add(fsh[e.i].z, cr.f.z);
+          fsh[e.j].x = fixed::wrap_sub(fsh[e.j].x, cr.f.x);
+          fsh[e.j].y = fixed::wrap_sub(fsh[e.j].y, cr.f.y);
+          fsh[e.j].z = fixed::wrap_sub(fsh[e.j].z, cr.f.z);
           if (with_energy) {
-            acc.corr.add(fixed::quantize_energy(
-                -qq * ewald::coul_recip_energy(r, beta)));
-            acc.w_pair.add(fixed::quantize(coef * r2, fixed::kVirialScale));
+            acc.corr.add(cr.energy_q);
+            acc.w_pair.add(cr.virial_q);
           }
         }
       });
@@ -565,13 +468,11 @@ void AntonEngine::mesh_pass(bool with_energy) {
           if (qi == 0.0) continue;
           NodeCounters& nc = wl_shards_[lane][geom_->node_index_of(
               geom_->coords_of(assigned_subbox_[i]))];
-          gse_->for_each_mesh_point(
-              pos_phys_[i], [&](std::size_t idx, const Vec3d&, double r2) {
-                ++nc.spread_ops;
-                const double g = kernels_.eval_spread(r2);
-                msh[idx] = fixed::wrap_add(
-                    msh[idx], fixed::quantize(qi * g, kMeshChargeScale));
-              });
+          parallel::spread_atom(np_, qi, pos_phys_[i],
+                                [&](std::size_t idx, std::int64_t dq) {
+                                  ++nc.spread_ops;
+                                  msh[idx] = fixed::wrap_add(msh[idx], dq);
+                                });
         }
       });
   // Mesh-slab reduction: each lane reduces a disjoint slab of mesh points
@@ -607,8 +508,6 @@ void AntonEngine::mesh_pass(bool with_energy) {
   // partitioned disjointly, and each atom's whole contribution is
   // accumulated locally, so lanes write disjoint shard entries.
   obs::Tracer::Span interp_span(tracer_, "gse.interpolate");
-  const double h3 = std::pow(gse_->mesh_spacing(), 3);
-  const double inv_s2 = 1.0 / (gse_params_.sigma_s * gse_params_.sigma_s);
   pool_.parallel_for(
       top.natoms, [&](int lane, std::int64_t i0, std::int64_t i1) {
         std::vector<Vec3l>& fsh = f_shards_[lane];
@@ -617,23 +516,10 @@ void AntonEngine::mesh_pass(bool with_energy) {
           if (qi == 0.0) continue;
           NodeCounters& nc = wl_shards_[lane][geom_->node_index_of(
               geom_->coords_of(assigned_subbox_[i]))];
-          const double pref = qi * h3 * inv_s2;
-          Vec3l acc{0, 0, 0};
-          gse_->for_each_mesh_point(
-              pos_phys_[i],
-              [&](std::size_t idx, const Vec3d& dr, double r2) {
-                ++nc.interp_ops;
-                const double g = kernels_.eval_interp(r2);
-                const double phi =
-                    static_cast<double>(mesh_phi_[idx]) / kPhiScale;
-                const double c = pref * phi * g;
-                acc.x = fixed::wrap_add(
-                    acc.x, fixed::quantize(c * dr.x, fixed::kForceScale));
-                acc.y = fixed::wrap_add(
-                    acc.y, fixed::quantize(c * dr.y, fixed::kForceScale));
-                acc.z = fixed::wrap_add(
-                    acc.z, fixed::quantize(c * dr.z, fixed::kForceScale));
-              });
+          const Vec3l acc = parallel::interpolate_atom(
+              np_, qi, pos_phys_[i],
+              [&](std::size_t idx) { return mesh_phi_[idx]; },
+              &nc.interp_ops);
           fsh[i].x = fixed::wrap_add(fsh[i].x, acc.x);
           fsh[i].y = fixed::wrap_add(fsh[i].y, acc.y);
           fsh[i].z = fixed::wrap_add(fsh[i].z, acc.z);
@@ -685,16 +571,9 @@ void AntonEngine::compute_long_forces(bool with_energy) {
 }
 
 void AntonEngine::kick(const std::vector<Vec3l>& f, bool long_kick) {
-  const auto& coef = long_kick ? kick_long_coef_ : kick_short_coef_;
-  for (std::size_t i = 0; i < vel_.size(); ++i) {
-    const double c = coef[i];
-    vel_[i].x = fixed::wrap_add(
-        vel_[i].x, std::llrint(static_cast<double>(f[i].x) * c));
-    vel_[i].y = fixed::wrap_add(
-        vel_[i].y, std::llrint(static_cast<double>(f[i].y) * c));
-    vel_[i].z = fixed::wrap_add(
-        vel_[i].z, std::llrint(static_cast<double>(f[i].z) * c));
-  }
+  const auto& coef = long_kick ? coefs_.kick_long : coefs_.kick_short;
+  for (std::size_t i = 0; i < vel_.size(); ++i)
+    parallel::kick_atom(vel_[i], f[i], coef[i]);
 }
 
 void AntonEngine::drift_and_constrain() {
@@ -703,46 +582,39 @@ void AntonEngine::drift_and_constrain() {
   std::vector<Vec3d> ref;
   if (constrained) ref = pos_phys_;
 
-  for (std::size_t i = 0; i < pos_.size(); ++i) {
-    const std::int32_t dx = static_cast<std::int32_t>(
-        static_cast<std::uint64_t>(std::llrint(
-            static_cast<double>(vel_[i].x) * drift_coef_.x)));
-    const std::int32_t dy = static_cast<std::int32_t>(
-        static_cast<std::uint64_t>(std::llrint(
-            static_cast<double>(vel_[i].y) * drift_coef_.y)));
-    const std::int32_t dz = static_cast<std::int32_t>(
-        static_cast<std::uint64_t>(std::llrint(
-            static_cast<double>(vel_[i].z) * drift_coef_.z)));
-    pos_[i] = {fixed::wrap_add32(pos_[i].x, dx),
-               fixed::wrap_add32(pos_[i].y, dy),
-               fixed::wrap_add32(pos_[i].z, dz)};
-  }
+  for (std::size_t i = 0; i < pos_.size(); ++i)
+    pos_[i] = parallel::drift_atom(pos_[i], vel_[i], coefs_.drift);
   refresh_phys_positions();
 
   if (constrained) {
-    const std::vector<Vec3d> unconstrained = pos_phys_;
-    const double inv_dt = 1.0 / cfg_.sim.dt;
+    // Unit-local gather/scatter around shake_unit. Constraint groups are
+    // disjoint, so the unit-local views read exactly the doubles a global
+    // solve would read: bitwise-neutral, and identical to what a VM node
+    // computes for a co-resident unit it hosts.
+    std::vector<Vec3d> uref, upos;
+    std::vector<Vec3i> ulat;
+    std::vector<Vec3l> uvel;
     for (std::size_t g = 0; g < units_.size(); ++g) {
       if (group_constraints_[g].empty()) continue;
-      if (constraints::shake(group_constraints_[g], top.mass, ref, pos_phys_,
-                             sys_.box) < 0)
+      const auto& unit = units_[g];
+      const std::size_t n = unit.size();
+      uref.resize(n);
+      upos.resize(n);
+      ulat.resize(n);
+      uvel.resize(n);
+      for (std::size_t k = 0; k < n; ++k) {
+        uref[k] = ref[unit[k]];
+        upos[k] = pos_phys_[unit[k]];
+        ulat[k] = pos_[unit[k]];
+        uvel[k] = vel_[unit[k]];
+      }
+      if (!parallel::shake_unit(np_, unit, group_constraints_[g], cfg_.sim.dt,
+                                uref, upos, ulat, uvel))
         throw std::runtime_error("AntonEngine: SHAKE failed to converge");
-      // The position correction implies a velocity correction
-      // dv = (x_constrained - x_unconstrained) / dt; without it the
-      // constraints systematically pump energy out of the system.
-      // Re-quantize the group onto the lattice and re-sync the cache so
-      // every consumer sees exactly the lattice-resolved positions.
-      for (std::int32_t a : units_[g]) {
-        if (top.mass[a] == 0.0) continue;  // vsites rebuilt below
-        const Vec3d dv = (pos_phys_[a] - unconstrained[a]) * inv_dt;
-        vel_[a].x = fixed::wrap_add(vel_[a].x,
-                                    fixed::quantize(dv.x, fixed::kVelScale));
-        vel_[a].y = fixed::wrap_add(vel_[a].y,
-                                    fixed::quantize(dv.y, fixed::kVelScale));
-        vel_[a].z = fixed::wrap_add(vel_[a].z,
-                                    fixed::quantize(dv.z, fixed::kVelScale));
-        pos_[a] = lat_.to_lattice(pos_phys_[a]);
-        pos_phys_[a] = lat_.to_phys(pos_[a]);
+      for (std::size_t k = 0; k < n; ++k) {
+        pos_phys_[unit[k]] = upos[k];
+        pos_[unit[k]] = ulat[k];
+        vel_[unit[k]] = uvel[k];
       }
     }
   }
@@ -751,22 +623,22 @@ void AntonEngine::drift_and_constrain() {
 void AntonEngine::finish_drift() { rebuild_virtual_sites(); }
 
 void AntonEngine::rattle_groups() {
-  const Topology& top = sys_.top;
-  if (top.constraints.empty()) return;
-  std::vector<Vec3d> v(vel_.size());
-  for (std::size_t i = 0; i < vel_.size(); ++i)
-    v[i] = {fixed::vel_to_phys(vel_[i].x), fixed::vel_to_phys(vel_[i].y),
-            fixed::vel_to_phys(vel_[i].z)};
+  if (sys_.top.constraints.empty()) return;
+  std::vector<Vec3d> upos;
+  std::vector<Vec3l> uvel;
   for (std::size_t g = 0; g < units_.size(); ++g) {
     if (group_constraints_[g].empty()) continue;
-    if (constraints::rattle(group_constraints_[g], top.mass, pos_phys_, v,
-                            sys_.box) < 0)
-      throw std::runtime_error("AntonEngine: RATTLE failed to converge");
-    for (std::int32_t a : units_[g]) {
-      vel_[a] = {fixed::quantize(v[a].x, fixed::kVelScale),
-                 fixed::quantize(v[a].y, fixed::kVelScale),
-                 fixed::quantize(v[a].z, fixed::kVelScale)};
+    const auto& unit = units_[g];
+    const std::size_t n = unit.size();
+    upos.resize(n);
+    uvel.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      upos[k] = pos_phys_[unit[k]];
+      uvel[k] = vel_[unit[k]];
     }
+    if (!parallel::rattle_unit(np_, unit, group_constraints_[g], upos, uvel))
+      throw std::runtime_error("AntonEngine: RATTLE failed to converge");
+    for (std::size_t k = 0; k < n; ++k) vel_[unit[k]] = uvel[k];
   }
 }
 
@@ -774,22 +646,15 @@ void AntonEngine::apply_thermostat() {
   const Topology& top = sys_.top;
   // Kinetic energy in a canonical (atom-index) order: deterministic and
   // decomposition-independent.
-  double ke = 0.0;
-  for (std::size_t i = 0; i < vel_.size(); ++i) {
-    const Vec3d v{fixed::vel_to_phys(vel_[i].x), fixed::vel_to_phys(vel_[i].y),
-                  fixed::vel_to_phys(vel_[i].z)};
-    ke += top.mass[i] * v.norm2();
-  }
-  ke *= 0.5 / units::kForceToAccel;
-  const double T = integrate::temperature(ke, top.degrees_of_freedom());
+  double mv2 = 0.0;
+  for (std::size_t i = 0; i < vel_.size(); ++i)
+    mv2 += parallel::kinetic_term(top.mass[i], vel_[i]);
   const int k = std::max(1, cfg_.sim.long_range_every);
-  const double lambda = integrate::berendsen_lambda(
-      T, cfg_.sim.target_temperature, k * cfg_.sim.dt, cfg_.sim.berendsen_tau);
-  for (auto& v : vel_) {
-    v.x = std::llrint(static_cast<double>(v.x) * lambda);
-    v.y = std::llrint(static_cast<double>(v.y) * lambda);
-    v.z = std::llrint(static_cast<double>(v.z) * lambda);
-  }
+  const double lambda =
+      parallel::thermostat_lambda(top, mv2, k * cfg_.sim.dt,
+                                  cfg_.sim.target_temperature,
+                                  cfg_.sim.berendsen_tau);
+  for (auto& v : vel_) parallel::scale_velocity(v, lambda);
 }
 
 void AntonEngine::run_cycles(int ncycles) {
@@ -858,10 +723,7 @@ std::vector<Vec3d> AntonEngine::velocities() const {
 }
 
 std::uint64_t AntonEngine::state_hash() const {
-  std::uint64_t h = 14695981039346656037ULL;
-  h = fnv1a(h, pos_.data(), pos_.size() * sizeof(Vec3i));
-  h = fnv1a(h, vel_.data(), vel_.size() * sizeof(Vec3l));
-  return h;
+  return parallel::state_hash(pos_, vel_);
 }
 
 void AntonEngine::negate_velocities() {

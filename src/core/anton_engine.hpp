@@ -47,6 +47,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pairlist/exclusion_table.hpp"
+#include "parallel/node_program.hpp"
 #include "util/thread_pool.hpp"
 
 namespace anton::core {
@@ -182,15 +183,18 @@ class AntonEngine {
   std::vector<Vec3l> f_long_;
   std::vector<Vec3d> pos_phys_;  // cache of lat_.to_phys(pos_)
 
-  // Integration coefficients (pure per-atom constants).
-  std::vector<double> kick_short_coef_;  // dv counts per force count
-  std::vector<double> kick_long_coef_;
-  Vec3d drift_coef_;  // lattice counts per velocity count, per axis
+  // Integration coefficients (pure per-atom constants; shared with the
+  // VM through the node-program layer).
+  parallel::IntegrationCoefs coefs_;
 
   htis::PairKernels kernels_;
   std::unique_ptr<ewald::Gse> gse_;
   pairlist::ExclusionTable excl_;
   std::unique_ptr<nt::NtGeometry> geom_;
+
+  /// The node-program context both runtimes execute phase kernels
+  /// against (pointers into the members above).
+  parallel::NodeProgram np_;
 
   // Decomposition state.
   std::vector<std::int32_t> assigned_subbox_;         // per atom

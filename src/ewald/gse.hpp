@@ -79,6 +79,11 @@ class Gse {
   /// Ewald self-energy (constant per configuration): -kC beta/sqrt(pi) sum q^2.
   double self_energy(std::span<const double> q) const;
 
+  /// The k-space kernel G(k) on the DFT index grid. Exposed so a
+  /// distributed convolution (the VM's block-owned slabs) applies exactly
+  /// the per-point multiply convolve() applies.
+  const std::vector<double>& green() const { return green_; }
+
   /// Enumerates (index, weight) of mesh points within rs of a position;
   /// used by both the double path above and the Anton engine's HTIS-style
   /// mesh interaction pass. f(mesh_index, dr, r2) with dr = r_atom - r_mesh.

@@ -5,13 +5,13 @@ namespace anton::parallel {
 PhaseComm position_import(std::int64_t import_atoms, int imported_subboxes,
                           const CommConfig& cfg) {
   PhaseComm c;
-  c.bytes = static_cast<std::size_t>(import_atoms) * cfg.bytes_per_position;
+  c.bytes = static_cast<std::int64_t>(import_atoms) * cfg.bytes_per_position;
   // One multicast stream per imported subbox, chunked.
-  const std::size_t atoms_per_box =
+  const std::int64_t atoms_per_box =
       imported_subboxes > 0
-          ? static_cast<std::size_t>(import_atoms) / imported_subboxes + 1
+          ? static_cast<std::int64_t>(import_atoms) / imported_subboxes + 1
           : 0;
-  c.messages = static_cast<std::size_t>(imported_subboxes) *
+  c.messages = static_cast<std::int64_t>(imported_subboxes) *
                (atoms_per_box / cfg.atoms_per_message + 1);
   c.max_hops = 2;  // import regions span at most a couple of node shells
   return c;
@@ -20,16 +20,16 @@ PhaseComm position_import(std::int64_t import_atoms, int imported_subboxes,
 PhaseComm force_export(std::int64_t import_atoms, int imported_subboxes,
                        const CommConfig& cfg) {
   PhaseComm c = position_import(import_atoms, imported_subboxes, cfg);
-  c.bytes = static_cast<std::size_t>(import_atoms) * cfg.bytes_per_force;
+  c.bytes = static_cast<std::int64_t>(import_atoms) * cfg.bytes_per_force;
   return c;
 }
 
 PhaseComm mesh_exchange(std::int64_t mesh_points_touched,
                         const CommConfig& cfg) {
   PhaseComm c;
-  c.bytes = static_cast<std::size_t>(mesh_points_touched) *
+  c.bytes = static_cast<std::int64_t>(mesh_points_touched) *
             cfg.bytes_per_mesh_value;
-  c.messages = static_cast<std::size_t>(mesh_points_touched) / 64 + 1;
+  c.messages = static_cast<std::int64_t>(mesh_points_touched) / 64 + 1;
   c.max_hops = 2;
   return c;
 }

@@ -2,14 +2,20 @@
 //
 // "A typical time step on Anton involves thousands of inter-node messages
 // per ASIC"; messages as small as four bytes are efficient because
-// inter-node latency is tens of nanoseconds. This module turns the
-// engine's workload counters into per-phase message/byte estimates, which
-// the machine model prices against the torus links. Multicast (a subbox's
-// atoms sent once to the whole set of consuming nodes) is modelled as a
-// per-link replication discount.
+// inter-node latency is tens of nanoseconds. This module holds the ONE
+// message/byte accounting vocabulary shared by both producers:
+//
+//  * the estimators below turn the engine's workload counters into
+//    per-phase message/byte estimates, which the machine model prices
+//    against the torus links;
+//  * the VirtualMachine's explicit mailbox choreography MEASURES the same
+//    quantities per phase into a CommLedger, which tests cross-validate
+//    against the estimators and fft::DistFftPlan.
+//
+// Multicast (a subbox's atoms sent once to the whole set of consuming
+// nodes) is modelled as a per-link replication discount.
 #pragma once
 
-#include <cstddef>
 #include <cstdint>
 
 #include "geom/vec3.hpp"
@@ -17,21 +23,62 @@
 namespace anton::parallel {
 
 struct PhaseComm {
-  std::size_t messages = 0;  // messages sent per node
-  std::size_t bytes = 0;     // payload bytes sent per node
-  int max_hops = 1;          // furthest torus distance
+  std::int64_t messages = 0;  // messages sent per node (estimators) or
+                              // total across nodes (measured ledger)
+  std::int64_t bytes = 0;     // payload bytes sent
+  int max_hops = 1;           // furthest torus distance
+
+  PhaseComm& operator+=(const PhaseComm& o) {
+    messages += o.messages;
+    bytes += o.bytes;
+    if (o.max_hops > max_hops) max_hops = o.max_hops;
+    return *this;
+  }
+};
+
+/// Measured message/byte accounting for one distributed execution,
+/// per choreography phase. This is the single stats struct the
+/// VirtualMachine reports (it replaced the old VmStats): the range-limited
+/// phases fill `position`/`force`, the full time-step runtime additionally
+/// fills `bond` (bond-destination and correction dispatch), `mesh` (charge
+/// halo + potential halo-back), `fft` (distributed-transform segment
+/// exchange), `migration` (unit moves + directory announcements) and
+/// `reduce` (ordered diagnostic gathers: thermostat, reciprocal energy).
+struct CommLedger {
+  PhaseComm position;   // subbox position multicast
+  PhaseComm force;      // force return to home nodes
+  PhaseComm bond;       // bond-destination + correction position dispatch
+  PhaseComm mesh;       // mesh charge export / potential import
+  PhaseComm fft;        // distributed-FFT line segment exchange
+  PhaseComm migration;  // migration units + directory announcements
+  PhaseComm reduce;     // ordered scalar reductions (thermostat, energy)
+
+  std::int64_t interactions = 0;
+  std::int64_t pairs_considered = 0;
+  /// Maximum over nodes of messages sent in one evaluation/cycle window.
+  std::int64_t max_messages_per_node = 0;
+
+  std::int64_t total_messages() const {
+    return position.messages + force.messages + bond.messages +
+           mesh.messages + fft.messages + migration.messages +
+           reduce.messages;
+  }
+  std::int64_t total_bytes() const {
+    return position.bytes + force.bytes + bond.bytes + mesh.bytes +
+           fft.bytes + migration.bytes + reduce.bytes;
+  }
 };
 
 struct CommConfig {
   /// Payload bytes for one atom position (3 x 32-bit lattice coordinates +
   /// id/charge tag).
-  std::size_t bytes_per_position = 16;
+  std::int64_t bytes_per_position = 16;
   /// Payload for one force contribution (3 x 32-bit fixed point).
-  std::size_t bytes_per_force = 12;
+  std::int64_t bytes_per_force = 12;
   /// Payload for one mesh charge/potential value.
-  std::size_t bytes_per_mesh_value = 4;
+  std::int64_t bytes_per_mesh_value = 4;
   /// Atoms per multicast message (one subbox's worth batched per target).
-  std::size_t atoms_per_message = 16;
+  std::int64_t atoms_per_message = 16;
 };
 
 /// Position import for the range-limited + spreading phases: the node

@@ -1,0 +1,277 @@
+#include "parallel/node_program.hpp"
+
+#include <cmath>
+
+#include "constraints/shake.hpp"
+#include "ewald/kernels.hpp"
+#include "htis/match_unit.hpp"
+#include "integrate/kinetic.hpp"
+#include "util/units.hpp"
+
+namespace anton::parallel {
+
+namespace {
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+}  // namespace
+
+PairResult eval_pair(const NodeProgram& np, std::int32_t i0, std::int32_t j0,
+                     const Vec3i& p0, const Vec3i& p1, bool with_energy) {
+  const Topology& top = *np.top;
+  PairResult out;
+  // Canonical pair orientation: lower global index first, so the computed
+  // (quantized) force is identical no matter which node or decomposition
+  // evaluates the pair.
+  const bool in_order = i0 < j0;
+  out.lo = in_order ? i0 : j0;
+  out.hi = in_order ? j0 : i0;
+  const Vec3i d = fixed::PositionLattice::delta(in_order ? p0 : p1,
+                                                in_order ? p1 : p0);
+  if (!htis::match_plausible(d, np.r2_limit_lattice)) return out;
+  out.status = PairStatus::kBeyondCutoff;
+  const std::uint64_t r2lat = htis::exact_r2_lattice(d);
+  if (r2lat > np.r2_limit_lattice) return out;
+  if (np.have_molecules && top.molecule[out.lo] == top.molecule[out.hi] &&
+      np.excl->excluded(out.lo, out.hi)) {
+    out.status = PairStatus::kExcluded;
+    return out;
+  }
+  out.status = PairStatus::kComputed;
+  const double r2 = static_cast<double>(r2lat) * np.lat2_to_phys2;
+  const double qq = top.charge[out.lo] * top.charge[out.hi];
+  const htis::PairForceEnergy pfe = np.kernels->eval_nonbonded(
+      r2, qq, top.type[out.lo], top.type[out.hi], with_energy);
+  const Vec3d drp = np.lat->delta_to_phys(d);
+  out.f = {fixed::quantize(pfe.force_coef * drp.x, fixed::kForceScale),
+           fixed::quantize(pfe.force_coef * drp.y, fixed::kForceScale),
+           fixed::quantize(pfe.force_coef * drp.z, fixed::kForceScale)};
+  if (with_energy) {
+    out.e_coul_q = fixed::quantize_energy(pfe.energy_elec);
+    out.e_lj_q = fixed::quantize_energy(pfe.energy_lj);
+    // Pair virial trace: r_ij . F_ij = coef * r^2.
+    out.virial_q = fixed::quantize(pfe.force_coef * r2, fixed::kVirialScale);
+  }
+  return out;
+}
+
+CorrectionResult eval_correction_short(const NodeProgram& np,
+                                       const ExclusionPair& e, const Vec3i& pi,
+                                       const Vec3i& pj, bool with_energy) {
+  CorrectionResult out;
+  if (e.lj_scale == 0.0 && e.coul_scale == 0.0) return out;
+  out.computed = true;
+  const Topology& top = *np.top;
+  const Vec3i d = fixed::PositionLattice::delta(pi, pj);
+  const Vec3d drp = np.lat->delta_to_phys(d);
+  const double r2 = drp.norm2();
+  const double r = std::sqrt(r2);
+  const double A = np.kernels->lj_a(top.type[e.i], top.type[e.j]);
+  const double B = np.kernels->lj_b(top.type[e.i], top.type[e.j]);
+  const double qq = top.charge[e.i] * top.charge[e.j];
+  const double coef = e.lj_scale * ewald::lj_force(r2, A, B) +
+                      e.coul_scale * qq * ewald::coul_bare_force(r);
+  out.f = {fixed::quantize(coef * drp.x, fixed::kForceScale),
+           fixed::quantize(coef * drp.y, fixed::kForceScale),
+           fixed::quantize(coef * drp.z, fixed::kForceScale)};
+  if (with_energy) {
+    out.energy_q =
+        fixed::quantize_energy(e.lj_scale * ewald::lj_energy(r2, A, B) +
+                               e.coul_scale * qq * ewald::coul_bare_energy(r));
+    out.virial_q = fixed::quantize(coef * r2, fixed::kVirialScale);
+  }
+  return out;
+}
+
+CorrectionResult eval_correction_long(const NodeProgram& np,
+                                      const ExclusionPair& e, const Vec3i& pi,
+                                      const Vec3i& pj, bool with_energy) {
+  CorrectionResult out;
+  out.computed = true;
+  const Topology& top = *np.top;
+  const double beta = np.gse_params.beta;
+  const Vec3i d = fixed::PositionLattice::delta(pi, pj);
+  const Vec3d drp = np.lat->delta_to_phys(d);
+  const double r2 = drp.norm2();
+  const double r = std::sqrt(r2);
+  const double qq = top.charge[e.i] * top.charge[e.j];
+  const double coef = -qq * ewald::coul_recip_force(r, beta);
+  out.f = {fixed::quantize(coef * drp.x, fixed::kForceScale),
+           fixed::quantize(coef * drp.y, fixed::kForceScale),
+           fixed::quantize(coef * drp.z, fixed::kForceScale)};
+  if (with_energy) {
+    out.energy_q =
+        fixed::quantize_energy(-qq * ewald::coul_recip_energy(r, beta));
+    out.virial_q = fixed::quantize(coef * r2, fixed::kVirialScale);
+  }
+  return out;
+}
+
+QuantizedTerm quantize_term(const NodeProgram& np, const bonded::TermForces& t,
+                            const Vec3d* term_pos, bool with_energy) {
+  QuantizedTerm out;
+  out.n = t.n;
+  if (with_energy) {
+    out.energy_q = fixed::quantize_energy(t.energy);
+    if (t.n > 0) {
+      // Term virial: sum F_a . (r_a - r_ref); any reference works because
+      // the term forces sum to zero.
+      const Vec3d ref_pos = term_pos[0];
+      double w = 0.0;
+      for (int i = 0; i < t.n; ++i)
+        w += t.f[i].dot(np.box->min_image(term_pos[i], ref_pos));
+      out.virial_q = fixed::quantize(w, fixed::kVirialScale);
+    }
+  }
+  for (int i = 0; i < t.n; ++i) {
+    out.atom[i] = t.atom[i];
+    out.f[i] = {fixed::quantize(t.f[i].x, fixed::kForceScale),
+                fixed::quantize(t.f[i].y, fixed::kForceScale),
+                fixed::quantize(t.f[i].z, fixed::kForceScale)};
+  }
+  return out;
+}
+
+IntegrationCoefs make_integration_coefs(const Topology& top, double dt,
+                                        int long_range_every,
+                                        const fixed::PositionLattice& lat) {
+  IntegrationCoefs c;
+  const std::int32_t n = top.natoms;
+  c.kick_short.resize(n);
+  c.kick_long.resize(n);
+  const int k = long_range_every < 1 ? 1 : long_range_every;
+  for (std::int32_t i = 0; i < n; ++i) {
+    // Massless virtual sites are never kicked; their positions are rebuilt
+    // from their parents after every drift.
+    const double base =
+        top.mass[i] > 0.0
+            ? 0.5 * dt * units::kForceToAccel / top.mass[i] *
+                  fixed::kVelScale / fixed::kForceScale
+            : 0.0;
+    c.kick_short[i] = base;
+    c.kick_long[i] = base * k;
+  }
+  const Vec3d lsb = lat.lsb();
+  c.drift = {dt / (fixed::kVelScale * lsb.x), dt / (fixed::kVelScale * lsb.y),
+             dt / (fixed::kVelScale * lsb.z)};
+  return c;
+}
+
+bool shake_unit(const NodeProgram& np, std::span<const std::int32_t> atoms,
+                std::span<const ConstraintBond> bonds, double dt,
+                std::span<const Vec3d> ref, std::span<Vec3d> pos_phys,
+                std::span<Vec3i> pos, std::span<Vec3l> vel) {
+  const Topology& top = *np.top;
+  const std::size_t n = atoms.size();
+  // Remap the bonds' global atom ids onto unit-local slots. The solver
+  // then reads exactly the same doubles in the same order as a solve over
+  // global arrays would, so the remap is bitwise-neutral.
+  std::vector<ConstraintBond> local(bonds.begin(), bonds.end());
+  std::vector<double> mass(n);
+  auto slot = [&](std::int32_t a) {
+    for (std::size_t k = 0; k < n; ++k)
+      if (atoms[k] == a) return static_cast<std::int32_t>(k);
+    return std::int32_t{-1};
+  };
+  for (std::size_t k = 0; k < n; ++k) mass[k] = top.mass[atoms[k]];
+  for (ConstraintBond& c : local) {
+    c.i = slot(c.i);
+    c.j = slot(c.j);
+  }
+  const std::vector<Vec3d> unconstrained(pos_phys.begin(), pos_phys.end());
+  if (constraints::shake(local, mass, ref, pos_phys, *np.box) < 0)
+    return false;
+  // The position correction implies a velocity correction
+  // dv = (x_constrained - x_unconstrained) / dt; without it the
+  // constraints systematically pump energy out of the system.
+  // Re-quantize the unit onto the lattice and re-sync the phys view so
+  // every consumer sees exactly the lattice-resolved positions.
+  const double inv_dt = 1.0 / dt;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (top.mass[atoms[k]] == 0.0) continue;  // vsites rebuilt separately
+    const Vec3d dv = (pos_phys[k] - unconstrained[k]) * inv_dt;
+    vel[k].x =
+        fixed::wrap_add(vel[k].x, fixed::quantize(dv.x, fixed::kVelScale));
+    vel[k].y =
+        fixed::wrap_add(vel[k].y, fixed::quantize(dv.y, fixed::kVelScale));
+    vel[k].z =
+        fixed::wrap_add(vel[k].z, fixed::quantize(dv.z, fixed::kVelScale));
+    pos[k] = np.lat->to_lattice(pos_phys[k]);
+    pos_phys[k] = np.lat->to_phys(pos[k]);
+  }
+  return true;
+}
+
+bool rattle_unit(const NodeProgram& np, std::span<const std::int32_t> atoms,
+                 std::span<const ConstraintBond> bonds,
+                 std::span<const Vec3d> pos_phys, std::span<Vec3l> vel) {
+  const Topology& top = *np.top;
+  const std::size_t n = atoms.size();
+  std::vector<ConstraintBond> local(bonds.begin(), bonds.end());
+  std::vector<double> mass(n);
+  auto slot = [&](std::int32_t a) {
+    for (std::size_t k = 0; k < n; ++k)
+      if (atoms[k] == a) return static_cast<std::int32_t>(k);
+    return std::int32_t{-1};
+  };
+  for (std::size_t k = 0; k < n; ++k) mass[k] = top.mass[atoms[k]];
+  for (ConstraintBond& c : local) {
+    c.i = slot(c.i);
+    c.j = slot(c.j);
+  }
+  std::vector<Vec3d> v(n);
+  for (std::size_t k = 0; k < n; ++k)
+    v[k] = {fixed::vel_to_phys(vel[k].x), fixed::vel_to_phys(vel[k].y),
+            fixed::vel_to_phys(vel[k].z)};
+  if (constraints::rattle(local, mass, pos_phys, v, *np.box) < 0)
+    return false;
+  for (std::size_t k = 0; k < n; ++k) {
+    vel[k] = {fixed::quantize(v[k].x, fixed::kVelScale),
+              fixed::quantize(v[k].y, fixed::kVelScale),
+              fixed::quantize(v[k].z, fixed::kVelScale)};
+  }
+  return true;
+}
+
+double thermostat_lambda(const Topology& top, double mv2_sum, double dt_long,
+                         double target_temperature, double tau) {
+  double ke = mv2_sum;
+  ke *= 0.5 / units::kForceToAccel;
+  const double T = integrate::temperature(ke, top.degrees_of_freedom());
+  return integrate::berendsen_lambda(T, target_temperature, dt_long, tau);
+}
+
+MigrationUnits build_migration_units(const Topology& top) {
+  MigrationUnits u;
+  std::vector<std::int32_t> unit_of(top.natoms, -1);
+  for (const auto& g : top.constraint_groups) {
+    const auto id = static_cast<std::int32_t>(u.atoms.size());
+    u.atoms.push_back(g);
+    for (std::int32_t a : g) unit_of[a] = id;
+  }
+  for (std::int32_t a = 0; a < top.natoms; ++a) {
+    if (unit_of[a] < 0) {
+      unit_of[a] = static_cast<std::int32_t>(u.atoms.size());
+      u.atoms.push_back({a});
+    }
+  }
+  u.constraints.assign(u.atoms.size(), {});
+  for (const ConstraintBond& c : top.constraints)
+    u.constraints[unit_of[c.i]].push_back(c);
+  return u;
+}
+
+std::uint64_t state_hash(std::span<const Vec3i> pos,
+                         std::span<const Vec3l> vel) {
+  std::uint64_t h = 14695981039346656037ULL;
+  h = fnv1a(h, pos.data(), pos.size() * sizeof(Vec3i));
+  h = fnv1a(h, vel.data(), vel.size() * sizeof(Vec3l));
+  return h;
+}
+
+}  // namespace anton::parallel

@@ -1,40 +1,1293 @@
 #include "parallel/virtual_machine.hpp"
 
 #include <algorithm>
-#include <map>
+#include <cmath>
+#include <stdexcept>
 
+#include "bonded/bonded.hpp"
 #include "fixed/fixed.hpp"
-#include "htis/match_unit.hpp"
 
 namespace anton::parallel {
 
+namespace {
+
+inline void acc3(Vec3l& a, const Vec3l& d) {
+  a.x = fixed::wrap_add(a.x, d.x);
+  a.y = fixed::wrap_add(a.y, d.y);
+  a.z = fixed::wrap_add(a.z, d.z);
+}
+
+inline void sub3(Vec3l& a, const Vec3l& d) {
+  a.x = fixed::wrap_sub(a.x, d.x);
+  a.y = fixed::wrap_sub(a.y, d.y);
+  a.z = fixed::wrap_sub(a.z, d.z);
+}
+
+// Message payload model (bytes): every batched message carries an 8-byte
+// header plus fixed-size records. Positions are id + 3x32-bit lattice
+// coordinates; forces id + 3x64-bit fixed point; mesh values a 32-bit mesh
+// index + 64-bit quantized value; migration one full AtomState; directory
+// announcements and scalar reductions 8 bytes per entry.
+constexpr std::int64_t kMsgHeader = 8;
+constexpr std::int64_t kPosRecord = 16;
+constexpr std::int64_t kForceRecord = 28;
+constexpr std::int64_t kMeshRecord = 12;
+constexpr std::int64_t kReduceRecord = 12;
+constexpr std::int64_t kAtomStateRecord = 88;
+constexpr std::int64_t kFftPointBytes = 16;  // one complex double
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Construction.
+// ---------------------------------------------------------------------------
+
 VirtualMachine::VirtualMachine(const System& sys, const VmConfig& cfg)
-    : sys_(sys), cfg_(cfg), lat_(sys.box), excl_(sys.top) {
-  nt::NtConfig nc;
-  nc.node_grid = cfg.node_grid;
-  nc.subbox_div = cfg.subbox_div;
-  nc.cutoff = cfg.cutoff;
-  nc.margin = cfg.margin;
-  nc.box = sys.box;
-  geom_ = std::make_unique<nt::NtGeometry>(nc);
+    : sys_(sys), cfg_(cfg), lat_(sys_.box), excl_(sys_.top) {
+  build_geometry(cfg.node_grid, cfg.subbox_div, cfg.cutoff, cfg.margin);
 
   htis::PairKernelParams tp;
   tp.cutoff = cfg.cutoff;
   tp.beta = cfg.beta;
   tp.mantissa_bits = cfg.table_mantissa_bits;
-  kernels_ = htis::PairKernels(tp, sys.top.lj_types);
+  kernels_ = htis::PairKernels(tp, sys_.top.lj_types);
 
-  const double cut_lat = cfg.cutoff / lat_.lsb().x;
+  init_pair_tables(cfg.cutoff, cfg.beta, 0.0, 0.0, cfg.table_mantissa_bits);
+}
+
+VirtualMachine::VirtualMachine(System sys, const core::AntonConfig& cfg)
+    : sys_(std::move(sys)), acfg_(cfg), dynamic_(true), lat_(sys_.box),
+      excl_(sys_.top) {
+  sys_.top.validate();
+  if (!sys_.box.is_cubic())
+    throw std::invalid_argument("VirtualMachine: requires a cubic box");
+
+  const Topology& top = sys_.top;
+  const std::int32_t n = top.natoms;
+  gse_params_ = acfg_.sim.resolved_gse();
+
+  // Quantize the initial conditions onto the fixed-point grids (identical
+  // to the engine's quantization).
+  std::vector<Vec3i> gpos(n);
+  std::vector<Vec3l> gvel(n);
+  for (std::int32_t i = 0; i < n; ++i) {
+    gpos[i] = lat_.to_lattice(sys_.positions[i]);
+    gvel[i] = {fixed::quantize(sys_.velocities[i].x, fixed::kVelScale),
+               fixed::quantize(sys_.velocities[i].y, fixed::kVelScale),
+               fixed::quantize(sys_.velocities[i].z, fixed::kVelScale)};
+  }
+
+  coefs_ = parallel::make_integration_coefs(top, acfg_.sim.dt,
+                                            acfg_.sim.long_range_every, lat_);
+
+  htis::PairKernelParams tp;
+  tp.cutoff = acfg_.sim.cutoff;
+  tp.beta = gse_params_.beta;
+  tp.sigma_s = gse_params_.sigma_s;
+  tp.rs = gse_params_.rs;
+  tp.mantissa_bits = acfg_.table_mantissa_bits;
+  kernels_ = htis::PairKernels(tp, top.lj_types);
+
+  gse_ = std::make_unique<ewald::Gse>(sys_.box, gse_params_);
+  fft1_ = std::make_unique<fft::Fft1D>(
+      static_cast<std::size_t>(gse_params_.mesh));
+
+  init_pair_tables(acfg_.sim.cutoff, gse_params_.beta, gse_params_.sigma_s,
+                   gse_params_.rs, acfg_.table_mantissa_bits);
+  np_.gse = gse_.get();
+  np_.gse_params = gse_params_;
+
+  build_geometry(acfg_.node_grid, acfg_.subbox_div, acfg_.sim.cutoff,
+                 acfg_.import_margin);
+
+  parallel::MigrationUnits mu = parallel::build_migration_units(top);
+  units_ = std::move(mu.atoms);
+  group_constraints_ = std::move(mu.constraints);
+
+  build_consumers();
+  build_feeds();
+
+  const int nnodes = node_count();
+  nodes_.assign(nnodes, NodeState{});
+  for (NodeState& nd : nodes_) {
+    nd.rpos.assign(n, Vec3i{0, 0, 0});
+    nd.partial.assign(n, Vec3l{0, 0, 0});
+    nd.ptouched.assign(n, 0);
+  }
+  build_mesh_blocks();
+  workload_.nodes.assign(nnodes, {});
+
+  // Virtual sites are rebuilt globally once before distribution, so the
+  // initial binning sees the same site positions the engine's does.
+  for (const VirtualSite& v : top.virtual_sites) {
+    gpos[v.site] = parallel::rebuild_virtual_site(
+        np_, v, lat_.to_phys(gpos[v.o]), lat_.to_phys(gpos[v.h1]),
+        lat_.to_phys(gpos[v.h2]));
+    gvel[v.site] = {0, 0, 0};
+  }
+
+  initial_distribution(gpos, gvel);
+  rebuild_bins_and_terms();
+
+  compute_short_forces();
+  compute_long_forces();
+}
+
+void VirtualMachine::init_pair_tables(double cutoff, double beta,
+                                      double sigma_s, double rs,
+                                      int mantissa_bits) {
+  (void)beta;
+  (void)sigma_s;
+  (void)rs;
+  (void)mantissa_bits;
+  const double cut_lat = cutoff / lat_.lsb().x;
   r2_limit_lattice_ = static_cast<std::uint64_t>(cut_lat * cut_lat);
   lat2_to_phys2_ = lat_.lsb().x * lat_.lsb().x;
+
+  np_.top = &sys_.top;
+  np_.box = &sys_.box;
+  np_.lat = &lat_;
+  np_.kernels = &kernels_;
+  np_.excl = &excl_;
+  np_.r2_limit_lattice = r2_limit_lattice_;
+  np_.lat2_to_phys2 = lat2_to_phys2_;
+  np_.have_molecules = !sys_.top.molecule.empty();
+}
+
+void VirtualMachine::build_geometry(const Vec3i& node_grid,
+                                    const Vec3i& subbox_div, double cutoff,
+                                    double margin) {
+  nt::NtConfig nc;
+  nc.node_grid = node_grid;
+  nc.subbox_div = subbox_div;
+  nc.cutoff = cutoff;
+  nc.margin = margin;
+  nc.box = sys_.box;
+  geom_ = std::make_unique<nt::NtGeometry>(nc);
 }
 
 int VirtualMachine::node_count() const {
-  return cfg_.node_grid.x * cfg_.node_grid.y * cfg_.node_grid.z;
+  const Vec3i& g = geom_->config().node_grid;
+  return g.x * g.y * g.z;
 }
 
+void VirtualMachine::build_consumers() {
+  const int nnodes = node_count();
+  const std::int64_t nsub = geom_->subbox_count();
+  consumers_.assign(nsub, {});
+  node_subboxes_.assign(nnodes, {});
+  node_import_subboxes_.assign(nnodes, {});
+  std::vector<std::vector<char>> seen(nnodes);
+  for (auto& s : seen) s.assign(nsub, 0);
+  for (std::int32_t hidx = 0; hidx < nsub; ++hidx) {
+    const Vec3i h = geom_->coords_of(hidx);
+    const int node = geom_->node_index_of(h);
+    node_subboxes_[node].push_back(hidx);
+    auto mark = [&](const Vec3i& c) {
+      const std::int32_t idx = geom_->index_of(geom_->wrap_coords(c));
+      if (seen[node][idx]) return;
+      seen[node][idx] = 1;
+      consumers_[idx].push_back(node);
+      if (geom_->node_index_of(geom_->coords_of(idx)) != node)
+        node_import_subboxes_[node].push_back(idx);
+    };
+    for (std::int32_t dz : geom_->tower_dz()) mark({h.x, h.y, h.z + dz});
+    for (const Vec3i& p : geom_->plate_half())
+      mark({h.x + p.x, h.y + p.y, h.z});
+  }
+}
+
+void VirtualMachine::build_feeds() {
+  const Topology& top = sys_.top;
+  dest_feed_.assign(top.natoms, {});
+  vsite_feed_.assign(top.natoms, {});
+  auto feed = [&](std::int32_t from, std::int32_t dest) {
+    if (from != dest) dest_feed_[from].push_back(dest);
+  };
+  for (const BondTerm& b : top.bonds) feed(b.j, b.i);
+  for (const AngleTerm& a : top.angles) {
+    feed(a.j, a.i);
+    feed(a.k, a.i);
+  }
+  for (const DihedralTerm& d : top.dihedrals) {
+    feed(d.j, d.i);
+    feed(d.k, d.i);
+    feed(d.l, d.i);
+  }
+  for (const ExclusionPair& e : top.exclusions) feed(e.j, e.i);
+  for (auto& f : dest_feed_) {
+    std::sort(f.begin(), f.end());
+    f.erase(std::unique(f.begin(), f.end()), f.end());
+  }
+  for (const VirtualSite& v : top.virtual_sites) {
+    vsite_feed_[v.o].push_back(v.site);
+    vsite_feed_[v.h1].push_back(v.site);
+    vsite_feed_[v.h2].push_back(v.site);
+  }
+  for (auto& f : vsite_feed_) {
+    std::sort(f.begin(), f.end());
+    f.erase(std::unique(f.begin(), f.end()), f.end());
+  }
+}
+
+void VirtualMachine::build_mesh_blocks() {
+  const int M = gse_params_.mesh;
+  const Vec3i pg = geom_->config().node_grid;
+  const int p[3] = {pg.x, pg.y, pg.z};
+  for (int a = 0; a < 3; ++a) {
+    mesh_start_[a].assign(p[a] + 1, 0);
+    for (int c = 0; c <= p[a]; ++c)
+      mesh_start_[a][c] =
+          static_cast<int>((static_cast<std::int64_t>(M) * c) / p[a]);
+    mesh_owner_[a].assign(M, 0);
+    int c = 0;
+    for (int m = 0; m < M; ++m) {
+      while (m >= mesh_start_[a][c + 1]) ++c;
+      mesh_owner_[a][m] = c;
+    }
+  }
+  const std::size_t mesh_total =
+      static_cast<std::size_t>(M) * M * M;
+  const int nnodes = node_count();
+  for (int n = 0; n < nnodes; ++n) {
+    NodeState& nd = nodes_[n];
+    const int gx = n % pg.x;
+    const int gy = (n / pg.x) % pg.y;
+    const int gz = n / (pg.x * pg.y);
+    nd.block_lo = {mesh_start_[0][gx], mesh_start_[1][gy],
+                   mesh_start_[2][gz]};
+    nd.block_sz = {mesh_start_[0][gx + 1] - mesh_start_[0][gx],
+                   mesh_start_[1][gy + 1] - mesh_start_[1][gy],
+                   mesh_start_[2][gz + 1] - mesh_start_[2][gz]};
+    const std::size_t vol = static_cast<std::size_t>(nd.block_sz.x) *
+                            nd.block_sz.y * nd.block_sz.z;
+    nd.mesh_q.assign(vol, 0);
+    nd.scratch_q.assign(vol, 0.0);
+    nd.fft_grid.assign(vol, fft::cplx{});
+    nd.mesh_phi.assign(vol, 0);
+    nd.spread_q.assign(mesh_total, 0);
+    nd.stouched.assign(mesh_total, 0);
+    nd.halo_phi.assign(mesh_total, 0);
+    nd.halo_req.assign(nnodes, {});
+  }
+}
+
+void VirtualMachine::initial_distribution(const std::vector<Vec3i>& gpos,
+                                          const std::vector<Vec3l>& gvel) {
+  unit_sb_.assign(units_.size(), 0);
+  directory_.assign(sys_.top.natoms, 0);
+  for (std::size_t u = 0; u < units_.size(); ++u) {
+    const std::int32_t head = units_[u][0];
+    const Vec3i sb = geom_->subbox_of(lat_.to_phys(gpos[head]));
+    const std::int32_t idx = geom_->index_of(sb);
+    unit_sb_[u] = idx;
+    const int node = geom_->node_index_of(sb);
+    nodes_[node].units.push_back(static_cast<std::int32_t>(u));
+    for (std::int32_t a : units_[u]) {
+      directory_[a] = node;
+      AtomState st;
+      st.pos = gpos[a];
+      st.vel = gvel[a];
+      nodes_[node].atoms[a] = st;
+    }
+  }
+}
+
+void VirtualMachine::rebuild_bins_and_terms() {
+  const Topology& top = sys_.top;
+  for (NodeState& nd : nodes_) {
+    nd.bins.clear();
+    nd.bonds.clear();
+    nd.angles.clear();
+    nd.dihedrals.clear();
+    nd.exclusions.clear();
+    nd.vsites.clear();
+  }
+  for (NodeState& nd : nodes_) {
+    for (std::int32_t u : nd.units) {
+      auto& bin = nd.bins[unit_sb_[u]];
+      for (std::int32_t a : units_[u]) bin.push_back(a);
+    }
+    for (auto& [sb, ids] : nd.bins) std::sort(ids.begin(), ids.end());
+  }
+  for (std::size_t k = 0; k < top.bonds.size(); ++k)
+    nodes_[directory_[top.bonds[k].i]].bonds.push_back(
+        static_cast<std::int32_t>(k));
+  for (std::size_t k = 0; k < top.angles.size(); ++k)
+    nodes_[directory_[top.angles[k].i]].angles.push_back(
+        static_cast<std::int32_t>(k));
+  for (std::size_t k = 0; k < top.dihedrals.size(); ++k)
+    nodes_[directory_[top.dihedrals[k].i]].dihedrals.push_back(
+        static_cast<std::int32_t>(k));
+  for (std::size_t k = 0; k < top.exclusions.size(); ++k)
+    nodes_[directory_[top.exclusions[k].i]].exclusions.push_back(
+        static_cast<std::int32_t>(k));
+  for (std::size_t k = 0; k < top.virtual_sites.size(); ++k)
+    nodes_[directory_[top.virtual_sites[k].site]].vsites.push_back(
+        static_cast<std::int32_t>(k));
+}
+
+// ---------------------------------------------------------------------------
+// Message accounting.
+// ---------------------------------------------------------------------------
+
+int VirtualMachine::torus_hops(int src, int dst) const {
+  const Vec3i p = geom_->config().node_grid;
+  auto ring = [](int a, int b, int n) {
+    const int d = std::abs(a - b);
+    return std::min(d, n - d);
+  };
+  const int sx = src % p.x, sy = (src / p.x) % p.y, sz = src / (p.x * p.y);
+  const int dx = dst % p.x, dy = (dst / p.x) % p.y, dz = dst / (p.x * p.y);
+  return ring(sx, dx, p.x) + ring(sy, dy, p.y) + ring(sz, dz, p.z);
+}
+
+void VirtualMachine::account(PhaseComm& phase, int src, int dst,
+                             std::int64_t bytes) {
+  ++phase.messages;
+  phase.bytes += bytes;
+  const int h = torus_hops(src, dst);
+  if (h > phase.max_hops) phase.max_hops = h;
+  ++nodes_[src].sent;
+}
+
+// ---------------------------------------------------------------------------
+// Helpers.
+// ---------------------------------------------------------------------------
+
+std::vector<VirtualMachine::AtomRecord>& VirtualMachine::records_of(
+    NodeState& nd, std::int32_t sb) {
+  return nd.recs[sb];
+}
+
+void VirtualMachine::touch_partial(NodeState& nd, std::int32_t id) {
+  if (!nd.ptouched[id]) {
+    nd.ptouched[id] = 1;
+    nd.partial[id] = {0, 0, 0};
+    nd.plist.push_back(id);
+  }
+}
+
+Vec3i VirtualMachine::pos_of(const NodeState& nd, std::int32_t id) const {
+  const auto it = nd.atoms.find(id);
+  return it != nd.atoms.end() ? it->second.pos : nd.rpos[id];
+}
+
+// ---------------------------------------------------------------------------
+// Range-limited choreography (shared by both compute passes).
+// ---------------------------------------------------------------------------
+
+void VirtualMachine::position_multicast() {
+  obs::Tracer::Span phase_span(tracer_, "vm.position_multicast");
+  const int nnodes = node_count();
+  for (NodeState& nd : nodes_) nd.recs.clear();
+  for (int n = 0; n < nnodes; ++n) {
+    obs::Tracer::Span node_span(tracer_, "vm.node.multicast", n + 1);
+    NodeState& nd = nodes_[n];
+    for (const auto& [sb, ids] : nd.bins) {
+      std::vector<AtomRecord> payload;
+      payload.reserve(ids.size());
+      for (std::int32_t a : ids) payload.push_back({a, nd.atoms.at(a).pos});
+      for (int dst : consumers_[sb]) {
+        records_of(nodes_[dst], sb) = payload;  // message delivery
+        if (dst != n)
+          account(ledger_.position, n, dst,
+                  kPosRecord * static_cast<std::int64_t>(payload.size()) +
+                      kMsgHeader);
+      }
+    }
+  }
+}
+
+void VirtualMachine::pair_phase() {
+  obs::Tracer::Span phase_span(tracer_, "vm.compute");
+  const int nnodes = node_count();
+  for (int n = 0; n < nnodes; ++n) {
+    obs::Tracer::Span node_span(tracer_, "vm.node.compute", n + 1);
+    NodeState& nd = nodes_[n];
+    core::NodeCounters& nc = workload_.nodes[n];
+    for (std::int32_t hidx : node_subboxes_[n]) {
+      const Vec3i h = geom_->coords_of(hidx);
+      for (std::int32_t dz : geom_->tower_dz()) {
+        const std::int32_t tidx =
+            geom_->index_of(geom_->wrap_coords({h.x, h.y, h.z + dz}));
+        const auto t_it = nd.recs.find(tidx);
+        if (t_it == nd.recs.end() || t_it->second.empty()) continue;
+        const auto& tower = t_it->second;
+        for (const Vec3i& poff : geom_->plate_half()) {
+          if (!geom_->owns_pair(h, dz, poff)) continue;
+          const std::int32_t pidx = geom_->index_of(
+              geom_->wrap_coords({h.x + poff.x, h.y + poff.y, h.z}));
+          const auto p_it = nd.recs.find(pidx);
+          if (p_it == nd.recs.end() || p_it->second.empty()) continue;
+          const auto& plate = p_it->second;
+          const bool same = tidx == pidx;
+          for (std::size_t a = 0; a < tower.size(); ++a) {
+            const std::size_t b0 = same ? a + 1 : 0;
+            for (std::size_t b = b0; b < plate.size(); ++b) {
+              ++nc.pairs_considered;
+              ++ledger_.pairs_considered;
+              const PairResult pr =
+                  eval_pair(np_, tower[a].id, plate[b].id, tower[a].pos,
+                            plate[b].pos, false);
+              if (pr.status == PairStatus::kFailedMatch) continue;
+              ++nc.ppip_queue;
+              if (pr.status != PairStatus::kComputed) continue;
+              ++nc.interactions;
+              ++ledger_.interactions;
+              touch_partial(nd, pr.lo);
+              acc3(nd.partial[pr.lo], pr.f);
+              touch_partial(nd, pr.hi);
+              sub3(nd.partial[pr.hi], pr.f);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void VirtualMachine::bond_dispatch_and_terms(bool long_range) {
+  const Topology& top = sys_.top;
+  const int nnodes = node_count();
+  if (!long_range) {
+    // Bond-destination position dispatch: each node sends the positions
+    // of its home atoms to every node evaluating a term (bonded or
+    // correction) whose destination atom reads them. The long-range
+    // correction pass reuses these mailboxes: positions have not changed
+    // since the cycle's last short-range dispatch.
+    obs::Tracer::Span sp(tracer_, "vm.bond_dispatch");
+    for (int n = 0; n < nnodes; ++n) {
+      NodeState& nd = nodes_[n];
+      std::vector<std::int64_t> cnt(nnodes, 0);
+      std::vector<int> dsts;
+      for (const auto& [sb, ids] : nd.bins) {
+        for (std::int32_t a : ids) {
+          if (dest_feed_[a].empty()) continue;
+          dsts.clear();
+          for (std::int32_t dest : dest_feed_[a]) {
+            const int dst = directory_[dest];
+            if (dst == n) continue;
+            if (std::find(dsts.begin(), dsts.end(), dst) == dsts.end())
+              dsts.push_back(dst);
+          }
+          const Vec3i p = nd.atoms.at(a).pos;
+          for (int dst : dsts) {
+            nodes_[dst].rpos[a] = p;  // message delivery
+            ++cnt[dst];
+          }
+        }
+      }
+      for (int dst = 0; dst < nnodes; ++dst)
+        if (cnt[dst])
+          account(ledger_.bond, n, dst, kPosRecord * cnt[dst] + kMsgHeader);
+    }
+  }
+
+  obs::Tracer::Span sp(tracer_,
+                       long_range ? "vm.correction" : "vm.bond_terms");
+  for (int n = 0; n < nnodes; ++n) {
+    NodeState& nd = nodes_[n];
+    core::NodeCounters& nc = workload_.nodes[n];
+    if (!long_range) {
+      auto apply = [&](const bonded::TermForces& t) {
+        ++nc.bond_terms;
+        Vec3d tp[4];
+        for (int i = 0; i < t.n; ++i)
+          tp[i] = lat_.to_phys(pos_of(nd, t.atom[i]));
+        const QuantizedTerm qt = quantize_term(np_, t, tp, false);
+        for (int i = 0; i < qt.n; ++i) {
+          touch_partial(nd, qt.atom[i]);
+          acc3(nd.partial[qt.atom[i]], qt.f[i]);
+        }
+      };
+      for (std::int32_t k : nd.bonds) {
+        const BondTerm& b = top.bonds[k];
+        apply(bonded::eval_bond(b, lat_.to_phys(pos_of(nd, b.i)),
+                                lat_.to_phys(pos_of(nd, b.j)), sys_.box));
+      }
+      for (std::int32_t k : nd.angles) {
+        const AngleTerm& a = top.angles[k];
+        apply(bonded::eval_angle(a, lat_.to_phys(pos_of(nd, a.i)),
+                                 lat_.to_phys(pos_of(nd, a.j)),
+                                 lat_.to_phys(pos_of(nd, a.k)), sys_.box));
+      }
+      for (std::int32_t k : nd.dihedrals) {
+        const DihedralTerm& d = top.dihedrals[k];
+        apply(bonded::eval_dihedral(d, lat_.to_phys(pos_of(nd, d.i)),
+                                    lat_.to_phys(pos_of(nd, d.j)),
+                                    lat_.to_phys(pos_of(nd, d.k)),
+                                    lat_.to_phys(pos_of(nd, d.l)),
+                                    sys_.box));
+      }
+      for (std::int32_t k : nd.exclusions) {
+        const ExclusionPair& e = top.exclusions[k];
+        const CorrectionResult cr = eval_correction_short(
+            np_, e, pos_of(nd, e.i), pos_of(nd, e.j), false);
+        if (!cr.computed) continue;
+        touch_partial(nd, e.i);
+        acc3(nd.partial[e.i], cr.f);
+        touch_partial(nd, e.j);
+        sub3(nd.partial[e.j], cr.f);
+      }
+    } else {
+      for (std::int32_t k : nd.exclusions) {
+        const ExclusionPair& e = top.exclusions[k];
+        ++nc.correction_pairs;
+        const CorrectionResult cr = eval_correction_long(
+            np_, e, pos_of(nd, e.i), pos_of(nd, e.j), false);
+        touch_partial(nd, e.i);
+        acc3(nd.partial[e.i], cr.f);
+        touch_partial(nd, e.j);
+        sub3(nd.partial[e.j], cr.f);
+      }
+    }
+  }
+}
+
+void VirtualMachine::force_return(bool long_range) {
+  obs::Tracer::Span phase_span(tracer_, "vm.force_return");
+  const int nnodes = node_count();
+  for (int n = 0; n < nnodes; ++n) {
+    obs::Tracer::Span node_span(tracer_, "vm.node.force_return", n + 1);
+    NodeState& nd = nodes_[n];
+    std::sort(nd.plist.begin(), nd.plist.end());
+    std::vector<std::int64_t> cnt(nnodes, 0);
+    for (std::int32_t id : nd.plist) {
+      const Vec3l f = nd.partial[id];
+      const int dst = directory_[id];
+      AtomState& st = nodes_[dst].atoms.at(id);
+      acc3(long_range ? st.f_long : st.f_short, f);  // message delivery
+      if (dst != n) ++cnt[dst];
+      nd.partial[id] = {0, 0, 0};
+      nd.ptouched[id] = 0;
+    }
+    nd.plist.clear();
+    for (int dst = 0; dst < nnodes; ++dst)
+      if (cnt[dst])
+        account(ledger_.force, n, dst, kForceRecord * cnt[dst] + kMsgHeader);
+  }
+}
+
+void VirtualMachine::vsite_force_round(bool long_range) {
+  const Topology& top = sys_.top;
+  if (top.virtual_sites.empty()) return;
+  const int nnodes = node_count();
+  for (int n = 0; n < nnodes; ++n) {
+    NodeState& nd = nodes_[n];
+    if (nd.vsites.empty()) continue;
+    std::vector<std::int64_t> cnt(nnodes, 0);
+    auto deliver = [&](std::int32_t target, const Vec3l& f) {
+      const int dst = directory_[target];
+      AtomState& st = nodes_[dst].atoms.at(target);
+      acc3(long_range ? st.f_long : st.f_short, f);
+      if (dst != n) ++cnt[dst];
+    };
+    for (std::int32_t k : nd.vsites) {
+      const VirtualSite& v = top.virtual_sites[k];
+      AtomState& site = nd.atoms.at(v.site);
+      Vec3l& f = long_range ? site.f_long : site.f_short;
+      const VsiteForceShare s = split_virtual_site_force(v, f);
+      f = {0, 0, 0};
+      deliver(v.h1, s.fh);
+      deliver(v.h2, s.fh);
+      deliver(v.o, s.fo);
+    }
+    for (int dst = 0; dst < nnodes; ++dst)
+      if (cnt[dst])
+        account(ledger_.force, n, dst, kForceRecord * cnt[dst] + kMsgHeader);
+  }
+}
+
+void VirtualMachine::compute_short_forces() {
+  for (NodeState& nd : nodes_)
+    for (auto& [id, st] : nd.atoms) st.f_short = {0, 0, 0};
+  position_multicast();
+  pair_phase();
+  bond_dispatch_and_terms(false);
+  force_return(false);
+  vsite_force_round(false);
+}
+
+// ---------------------------------------------------------------------------
+// Long-range (GSE) choreography.
+// ---------------------------------------------------------------------------
+
+void VirtualMachine::spread_and_halo() {
+  obs::Tracer::Span sp(tracer_, "vm.gse.spread");
+  const Topology& top = sys_.top;
+  const int nnodes = node_count();
+  const int M = gse_params_.mesh;
+  const Vec3i pg = geom_->config().node_grid;
+
+  for (NodeState& nd : nodes_) {
+    for (std::int32_t idx : nd.touched) {
+      nd.spread_q[idx] = 0;
+      nd.stouched[idx] = 0;
+    }
+    nd.touched.clear();
+    for (auto& l : nd.halo_req) l.clear();
+    std::fill(nd.mesh_q.begin(), nd.mesh_q.end(), 0);
+  }
+
+  // Node-local spreading of each node's home atoms.
+  for (int n = 0; n < nnodes; ++n) {
+    obs::Tracer::Span node_span(tracer_, "vm.node.spread", n + 1);
+    NodeState& nd = nodes_[n];
+    core::NodeCounters& nc = workload_.nodes[n];
+    for (const auto& [sb, ids] : nd.bins) {
+      for (std::int32_t a : ids) {
+        const double qi = top.charge[a];
+        if (qi == 0.0) continue;
+        const Vec3d r = lat_.to_phys(nd.atoms.at(a).pos);
+        spread_atom(np_, qi, r, [&](std::size_t idx, std::int64_t dq) {
+          ++nc.spread_ops;
+          const auto i32 = static_cast<std::int32_t>(idx);
+          if (!nd.stouched[idx]) {
+            nd.stouched[idx] = 1;
+            nd.touched.push_back(i32);
+          }
+          nd.spread_q[idx] = fixed::wrap_add(nd.spread_q[idx], dq);
+        });
+      }
+    }
+  }
+
+  // Charge halo: each node's touched mesh points, grouped by owning node,
+  // are wrap-added into the owners' block accumulators. The owner records
+  // which points each source touched -- the same lists route the
+  // potential halo back after the convolution.
+  auto owner_of_mesh = [&](std::int32_t idx) {
+    const int x = idx % M;
+    const int y = (idx / M) % M;
+    const int z = idx / (M * M);
+    return (mesh_owner_[2][z] * pg.y + mesh_owner_[1][y]) * pg.x +
+           mesh_owner_[0][x];
+  };
+  for (int n = 0; n < nnodes; ++n) {
+    NodeState& nd = nodes_[n];
+    std::sort(nd.touched.begin(), nd.touched.end());
+    std::map<int, std::vector<std::int32_t>> by_owner;
+    for (std::int32_t idx : nd.touched)
+      by_owner[owner_of_mesh(idx)].push_back(idx);
+    for (auto& [o, list] : by_owner) {
+      NodeState& od = nodes_[o];
+      for (std::int32_t idx : list) {
+        const int x = idx % M;
+        const int y = (idx / M) % M;
+        const int z = idx / (M * M);
+        const std::size_t l =
+            (static_cast<std::size_t>(z - od.block_lo.z) * od.block_sz.y +
+             (y - od.block_lo.y)) *
+                od.block_sz.x +
+            (x - od.block_lo.x);
+        od.mesh_q[l] = fixed::wrap_add(od.mesh_q[l], nd.spread_q[idx]);
+      }
+      od.halo_req[n] = list;
+      if (o != n)
+        account(ledger_.mesh, n, o,
+                kMeshRecord * static_cast<std::int64_t>(list.size()) +
+                    kMsgHeader);
+    }
+  }
+
+  for (NodeState& nd : nodes_) {
+    for (std::size_t l = 0; l < nd.mesh_q.size(); ++l) {
+      nd.scratch_q[l] =
+          static_cast<double>(nd.mesh_q[l]) / kMeshChargeScale;
+      nd.fft_grid[l] = fft::cplx{nd.scratch_q[l], 0.0};
+    }
+  }
+}
+
+void VirtualMachine::distributed_fft_stage(int axis, bool inverse) {
+  // One axis pass of the distributed 3D FFT (the fft::DistFftPlan
+  // pattern): every mesh line along `axis` is assigned round-robin to one
+  // node of the torus row holding its segments; the owner gathers the
+  // segments, runs the shared 1-D plan, and scatters them back. The
+  // gathered line is contiguous in ascending axis coordinate, so the
+  // arithmetic is bitwise identical to fft::Fft3D's strided transform.
+  const int M = gse_params_.mesh;
+  const Vec3i pg = geom_->config().node_grid;
+  const int pa = axis == 0 ? pg.x : axis == 1 ? pg.y : pg.z;
+  std::vector<int> row_ord;
+  if (axis == 0)
+    row_ord.assign(static_cast<std::size_t>(pg.y) * pg.z, 0);
+  else if (axis == 1)
+    row_ord.assign(static_cast<std::size_t>(pg.x) * pg.z, 0);
+  else
+    row_ord.assign(static_cast<std::size_t>(pg.x) * pg.y, 0);
+  std::vector<fft::cplx> line(M);
+
+  for (int a = 0; a < M; ++a) {
+    for (int b = 0; b < M; ++b) {
+      // axis 0: (y, z) = (a, b); axis 1: (x, z) = (a, b);
+      // axis 2: (x, y) = (a, b).
+      int rid, owner;
+      if (axis == 0) {
+        const int gy = mesh_owner_[1][a], gz = mesh_owner_[2][b];
+        rid = gz * pg.y + gy;
+        const int oc = row_ord[rid]++ % pa;
+        owner = (gz * pg.y + gy) * pg.x + oc;
+      } else if (axis == 1) {
+        const int gx = mesh_owner_[0][a], gz = mesh_owner_[2][b];
+        rid = gz * pg.x + gx;
+        const int oc = row_ord[rid]++ % pa;
+        owner = (gz * pg.y + oc) * pg.x + gx;
+      } else {
+        const int gx = mesh_owner_[0][a], gy = mesh_owner_[1][b];
+        rid = gy * pg.x + gx;
+        const int oc = row_ord[rid]++ % pa;
+        owner = (oc * pg.y + gy) * pg.x + gx;
+      }
+
+      auto point = [&](const NodeState& nd, int k) -> std::size_t {
+        int x, y, z;
+        if (axis == 0) {
+          x = k; y = a; z = b;
+        } else if (axis == 1) {
+          x = a; y = k; z = b;
+        } else {
+          x = a; y = b; z = k;
+        }
+        return (static_cast<std::size_t>(z - nd.block_lo.z) * nd.block_sz.y +
+                (y - nd.block_lo.y)) *
+                   nd.block_sz.x +
+               (x - nd.block_lo.x);
+      };
+      auto holder_index = [&](int hc) {
+        if (axis == 0) return owner - owner % pg.x + hc;
+        if (axis == 1) {
+          const int gx = owner % pg.x;
+          const int gz = owner / (pg.x * pg.y);
+          return (gz * pg.y + hc) * pg.x + gx;
+        }
+        const int gx = owner % pg.x;
+        const int gy = (owner / pg.x) % pg.y;
+        return (hc * pg.y + gy) * pg.x + gx;
+      };
+
+      // Gather segments to the owner.
+      for (int hc = 0; hc < pa; ++hc) {
+        const int s0 = mesh_start_[axis][hc];
+        const int s1 = mesh_start_[axis][hc + 1];
+        if (s0 == s1) continue;
+        const int holder = holder_index(hc);
+        const NodeState& hd = nodes_[holder];
+        for (int k = s0; k < s1; ++k) line[k] = hd.fft_grid[point(hd, k)];
+        if (holder != owner)
+          account(ledger_.fft, holder, owner,
+                  static_cast<std::int64_t>(s1 - s0) * kFftPointBytes);
+      }
+
+      if (inverse)
+        fft1_->inverse(line.data());
+      else
+        fft1_->forward(line.data());
+
+      // Scatter segments back to their holders.
+      for (int hc = 0; hc < pa; ++hc) {
+        const int s0 = mesh_start_[axis][hc];
+        const int s1 = mesh_start_[axis][hc + 1];
+        if (s0 == s1) continue;
+        const int holder = holder_index(hc);
+        NodeState& hd = nodes_[holder];
+        for (int k = s0; k < s1; ++k) hd.fft_grid[point(hd, k)] = line[k];
+        if (holder != owner)
+          account(ledger_.fft, owner, holder,
+                  static_cast<std::int64_t>(s1 - s0) * kFftPointBytes);
+      }
+    }
+  }
+}
+
+void VirtualMachine::convolve_and_energy() {
+  // Quantize the block-owned potentials, then gather (Q, phi) to the
+  // master node for the ordered reciprocal-energy reduction -- the sum
+  // must run in global mesh-index order to match the engine's serial
+  // convolve bit for bit.
+  const int M = gse_params_.mesh;
+  const int nnodes = node_count();
+  const std::size_t mesh_total = static_cast<std::size_t>(M) * M * M;
+  std::vector<double> q_full(mesh_total, 0.0), phi_full(mesh_total, 0.0);
+  for (int n = 0; n < nnodes; ++n) {
+    NodeState& nd = nodes_[n];
+    std::size_t l = 0;
+    for (int z = nd.block_lo.z; z < nd.block_lo.z + nd.block_sz.z; ++z)
+      for (int y = nd.block_lo.y; y < nd.block_lo.y + nd.block_sz.y; ++y)
+        for (int x = nd.block_lo.x; x < nd.block_lo.x + nd.block_sz.x;
+             ++x, ++l) {
+          const double phi = nd.fft_grid[l].real();
+          nd.mesh_phi[l] = fixed::quantize(phi, kPhiScale);
+          const std::size_t g =
+              (static_cast<std::size_t>(z) * M + y) * M + x;
+          q_full[g] = nd.scratch_q[l];
+          phi_full[g] = phi;
+        }
+    if (n != 0 && !nd.mesh_q.empty())
+      account(ledger_.reduce, n, 0,
+              16 * static_cast<std::int64_t>(nd.mesh_q.size()) + kMsgHeader);
+  }
+  double energy = 0.0;
+  for (std::size_t i = 0; i < mesh_total; ++i)
+    energy += phi_full[i] * q_full[i];
+  const double h = gse_->mesh_spacing();
+  e_recip_ = 0.5 * h * h * h * energy;
+}
+
+void VirtualMachine::phi_halo_back_and_interpolate() {
+  obs::Tracer::Span sp(tracer_, "vm.gse.interpolate");
+  const Topology& top = sys_.top;
+  const int nnodes = node_count();
+  const int M = gse_params_.mesh;
+
+  // Potential halo-back: every owner returns phi at exactly the points
+  // each source spread to (recorded in halo_req during the charge halo).
+  for (int o = 0; o < nnodes; ++o) {
+    NodeState& od = nodes_[o];
+    for (int src = 0; src < nnodes; ++src) {
+      const auto& list = od.halo_req[src];
+      if (list.empty()) continue;
+      NodeState& sd = nodes_[src];
+      for (std::int32_t idx : list) {
+        const int x = idx % M;
+        const int y = (idx / M) % M;
+        const int z = idx / (M * M);
+        const std::size_t l =
+            (static_cast<std::size_t>(z - od.block_lo.z) * od.block_sz.y +
+             (y - od.block_lo.y)) *
+                od.block_sz.x +
+            (x - od.block_lo.x);
+        sd.halo_phi[idx] = od.mesh_phi[l];  // message delivery
+      }
+      if (src != o)
+        account(ledger_.mesh, o, src,
+                kMeshRecord * static_cast<std::int64_t>(list.size()) +
+                    kMsgHeader);
+    }
+  }
+
+  // Force interpolation against the node-local phi halo; each atom's
+  // contribution lands directly on the home atom.
+  for (int n = 0; n < nnodes; ++n) {
+    obs::Tracer::Span node_span(tracer_, "vm.node.interpolate", n + 1);
+    NodeState& nd = nodes_[n];
+    core::NodeCounters& nc = workload_.nodes[n];
+    for (const auto& [sb, ids] : nd.bins) {
+      for (std::int32_t a : ids) {
+        const double qi = top.charge[a];
+        if (qi == 0.0) continue;
+        AtomState& st = nd.atoms.at(a);
+        const Vec3l acc = interpolate_atom(
+            np_, qi, lat_.to_phys(st.pos),
+            [&](std::size_t idx) { return nd.halo_phi[idx]; },
+            &nc.interp_ops);
+        acc3(st.f_long, acc);
+      }
+    }
+  }
+}
+
+void VirtualMachine::compute_long_forces() {
+  for (NodeState& nd : nodes_)
+    for (auto& [id, st] : nd.atoms) st.f_long = {0, 0, 0};
+  spread_and_halo();
+  {
+    obs::Tracer::Span sp(tracer_, "vm.gse.fft");
+    distributed_fft_stage(0, false);
+    distributed_fft_stage(1, false);
+    distributed_fft_stage(2, false);
+    const int M = gse_params_.mesh;
+    const std::vector<double>& green = gse_->green();
+    for (NodeState& nd : nodes_) {
+      std::size_t l = 0;
+      for (int z = nd.block_lo.z; z < nd.block_lo.z + nd.block_sz.z; ++z)
+        for (int y = nd.block_lo.y; y < nd.block_lo.y + nd.block_sz.y; ++y)
+          for (int x = nd.block_lo.x; x < nd.block_lo.x + nd.block_sz.x;
+               ++x, ++l)
+            nd.fft_grid[l] *=
+                green[(static_cast<std::size_t>(z) * M + y) * M + x];
+    }
+    distributed_fft_stage(2, true);
+    distributed_fft_stage(1, true);
+    distributed_fft_stage(0, true);
+    convolve_and_energy();
+  }
+  phi_halo_back_and_interpolate();
+  bond_dispatch_and_terms(true);
+  force_return(true);
+  vsite_force_round(true);
+}
+
+// ---------------------------------------------------------------------------
+// Integration, constraints, thermostat.
+// ---------------------------------------------------------------------------
+
+void VirtualMachine::kick_all(bool long_kick) {
+  const auto& coef = long_kick ? coefs_.kick_long : coefs_.kick_short;
+  for (NodeState& nd : nodes_)
+    for (auto& [id, st] : nd.atoms)
+      kick_atom(st.vel, long_kick ? st.f_long : st.f_short, coef[id]);
+}
+
+void VirtualMachine::drift_and_constrain() {
+  const bool constrained = !sys_.top.constraints.empty();
+  for (NodeState& nd : nodes_) {
+    // Pre-drift references for the co-resident constraint units.
+    std::vector<std::int32_t> cunits;
+    std::vector<std::vector<Vec3d>> refs;
+    if (constrained) {
+      for (std::int32_t u : nd.units) {
+        if (group_constraints_[u].empty()) continue;
+        cunits.push_back(u);
+        std::vector<Vec3d> ref(units_[u].size());
+        for (std::size_t k = 0; k < units_[u].size(); ++k)
+          ref[k] = lat_.to_phys(nd.atoms.at(units_[u][k]).pos);
+        refs.push_back(std::move(ref));
+      }
+    }
+    for (auto& [id, st] : nd.atoms)
+      st.pos = drift_atom(st.pos, st.vel, coefs_.drift);
+    for (std::size_t c = 0; c < cunits.size(); ++c) {
+      const std::int32_t u = cunits[c];
+      const auto& unit = units_[u];
+      const std::size_t nu = unit.size();
+      std::vector<Vec3d> upos(nu);
+      std::vector<Vec3i> ulat(nu);
+      std::vector<Vec3l> uvel(nu);
+      for (std::size_t k = 0; k < nu; ++k) {
+        AtomState& st = nd.atoms.at(unit[k]);
+        ulat[k] = st.pos;
+        upos[k] = lat_.to_phys(st.pos);
+        uvel[k] = st.vel;
+      }
+      if (!shake_unit(np_, unit, group_constraints_[u], acfg_.sim.dt,
+                      refs[c], upos, ulat, uvel))
+        throw std::runtime_error("VirtualMachine: SHAKE failed to converge");
+      for (std::size_t k = 0; k < nu; ++k) {
+        AtomState& st = nd.atoms.at(unit[k]);
+        st.pos = ulat[k];
+        st.vel = uvel[k];
+      }
+    }
+  }
+}
+
+void VirtualMachine::finish_drift() {
+  const Topology& top = sys_.top;
+  if (top.virtual_sites.empty()) return;
+  const int nnodes = node_count();
+  // Parent position dispatch for off-node virtual sites.
+  for (int n = 0; n < nnodes; ++n) {
+    NodeState& nd = nodes_[n];
+    std::vector<std::int64_t> cnt(nnodes, 0);
+    std::vector<int> dsts;
+    for (const auto& [sb, ids] : nd.bins) {
+      for (std::int32_t a : ids) {
+        if (vsite_feed_[a].empty()) continue;
+        dsts.clear();
+        for (std::int32_t site : vsite_feed_[a]) {
+          const int dst = directory_[site];
+          if (dst == n) continue;
+          if (std::find(dsts.begin(), dsts.end(), dst) == dsts.end())
+            dsts.push_back(dst);
+        }
+        const Vec3i p = nd.atoms.at(a).pos;
+        for (int dst : dsts) {
+          nodes_[dst].rpos[a] = p;  // message delivery
+          ++cnt[dst];
+        }
+      }
+    }
+    for (int dst = 0; dst < nnodes; ++dst)
+      if (cnt[dst])
+        account(ledger_.bond, n, dst, kPosRecord * cnt[dst] + kMsgHeader);
+  }
+  for (int n = 0; n < nnodes; ++n) {
+    NodeState& nd = nodes_[n];
+    for (std::int32_t k : nd.vsites) {
+      const VirtualSite& v = top.virtual_sites[k];
+      AtomState& st = nd.atoms.at(v.site);
+      st.pos = rebuild_virtual_site(np_, v, lat_.to_phys(pos_of(nd, v.o)),
+                                    lat_.to_phys(pos_of(nd, v.h1)),
+                                    lat_.to_phys(pos_of(nd, v.h2)));
+      st.vel = {0, 0, 0};
+    }
+  }
+}
+
+void VirtualMachine::rattle_groups() {
+  if (sys_.top.constraints.empty()) return;
+  for (NodeState& nd : nodes_) {
+    for (std::int32_t u : nd.units) {
+      if (group_constraints_[u].empty()) continue;
+      const auto& unit = units_[u];
+      const std::size_t nu = unit.size();
+      std::vector<Vec3d> upos(nu);
+      std::vector<Vec3l> uvel(nu);
+      for (std::size_t k = 0; k < nu; ++k) {
+        const AtomState& st = nd.atoms.at(unit[k]);
+        upos[k] = lat_.to_phys(st.pos);
+        uvel[k] = st.vel;
+      }
+      if (!rattle_unit(np_, unit, group_constraints_[u], upos, uvel))
+        throw std::runtime_error("VirtualMachine: RATTLE failed to converge");
+      for (std::size_t k = 0; k < nu; ++k)
+        nd.atoms.at(unit[k]).vel = uvel[k];
+    }
+  }
+}
+
+void VirtualMachine::apply_thermostat() {
+  // The one order-sensitive double reduction of the cycle: per-atom
+  // kinetic terms are gathered to the master node and summed in global
+  // atom-index order, exactly the engine's loop order.
+  const Topology& top = sys_.top;
+  const int nnodes = node_count();
+  std::vector<double> term(top.natoms, 0.0);
+  for (int n = 0; n < nnodes; ++n) {
+    const NodeState& nd = nodes_[n];
+    std::int64_t c = 0;
+    for (const auto& [id, st] : nd.atoms) {
+      term[id] = kinetic_term(top.mass[id], st.vel);  // message delivery
+      ++c;
+    }
+    if (n != 0 && c)
+      account(ledger_.reduce, n, 0, kReduceRecord * c + kMsgHeader);
+  }
+  double mv2 = 0.0;
+  for (std::int32_t i = 0; i < top.natoms; ++i) mv2 += term[i];
+  const int k = std::max(1, acfg_.sim.long_range_every);
+  const double lambda = thermostat_lambda(top, mv2, k * acfg_.sim.dt,
+                                          acfg_.sim.target_temperature,
+                                          acfg_.sim.berendsen_tau);
+  for (int n = 1; n < nnodes; ++n) account(ledger_.reduce, 0, n, kMsgHeader);
+  for (NodeState& nd : nodes_)
+    for (auto& [id, st] : nd.atoms) scale_velocity(st.vel, lambda);
+}
+
+// ---------------------------------------------------------------------------
+// Migration by message.
+// ---------------------------------------------------------------------------
+
+void VirtualMachine::migrate_by_message() {
+  const int nnodes = node_count();
+  for (int n = 0; n < nnodes; ++n) {
+    NodeState& nd = nodes_[n];
+    std::vector<std::vector<std::int32_t>> move_units(nnodes);
+    std::int64_t moved_atoms = 0;
+    for (std::int32_t u : nd.units) {
+      const std::int32_t head = units_[u][0];
+      const Vec3i sb = geom_->subbox_of(lat_.to_phys(nd.atoms.at(head).pos));
+      unit_sb_[u] = geom_->index_of(sb);
+      const int dst = geom_->node_index_of(sb);
+      if (dst != n) move_units[dst].push_back(u);
+    }
+    for (int dst = 0; dst < nnodes; ++dst) {
+      if (move_units[dst].empty()) continue;
+      std::int64_t atoms_moved = 0;
+      for (std::int32_t u : move_units[dst]) {
+        for (std::int32_t a : units_[u]) {
+          nodes_[dst].atoms[a] = nd.atoms.at(a);  // unit move message
+          nd.atoms.erase(a);
+          directory_[a] = dst;
+          ++atoms_moved;
+        }
+      }
+      account(ledger_.migration, n, dst,
+              kAtomStateRecord * atoms_moved + kMsgHeader);
+      moved_atoms += atoms_moved;
+    }
+    // Directory announcement: every other node learns the new homes.
+    if (moved_atoms > 0)
+      for (int o = 0; o < nnodes; ++o)
+        if (o != n)
+          account(ledger_.migration, n, o, 8 * moved_atoms + kMsgHeader);
+  }
+  for (NodeState& nd : nodes_) nd.units.clear();
+  for (std::size_t u = 0; u < units_.size(); ++u)
+    nodes_[directory_[units_[u][0]]].units.push_back(
+        static_cast<std::int32_t>(u));
+  rebuild_bins_and_terms();
+}
+
+// ---------------------------------------------------------------------------
+// The distributed MTS cycle.
+// ---------------------------------------------------------------------------
+
+void VirtualMachine::run_cycles(int ncycles) {
+  if (!dynamic_)
+    throw std::logic_error(
+        "VirtualMachine::run_cycles: requires the dynamics-mode "
+        "constructor");
+  const int k = std::max(1, acfg_.sim.long_range_every);
+  for (int c = 0; c < ncycles; ++c) {
+    obs::Tracer::Span cycle_span(tracer_, "vm.mts_cycle");
+    for (NodeState& nd : nodes_) nd.sent = 0;
+    if (acfg_.migration_interval > 0 &&
+        steps_ % acfg_.migration_interval == 0) {
+      obs::Tracer::Span sp(tracer_, "vm.migrate");
+      migrate_by_message();
+      if (metrics_) metrics_->count(mid_.migrations, 0, 1);
+    }
+    {
+      obs::Tracer::Span sp(tracer_, "vm.integrate");
+      kick_all(true);
+    }
+    for (int s = 0; s < k; ++s) {
+      obs::Tracer::Span step_span(tracer_, "vm.step");
+      {
+        obs::Tracer::Span sp(tracer_, "vm.integrate");
+        kick_all(false);
+        drift_and_constrain();
+        finish_drift();
+      }
+      compute_short_forces();
+      {
+        obs::Tracer::Span sp(tracer_, "vm.integrate");
+        kick_all(false);
+        rattle_groups();
+      }
+      ++steps_;
+      ++workload_.steps_accumulated;
+      if (metrics_) metrics_->count(mid_.steps, 0, 1);
+    }
+    compute_long_forces();
+    {
+      obs::Tracer::Span sp(tracer_, "vm.integrate");
+      kick_all(true);
+      rattle_groups();
+      if (acfg_.sim.thermostat) apply_thermostat();
+    }
+    std::int64_t mx = 0;
+    for (const NodeState& nd : nodes_) mx = std::max(mx, nd.sent);
+    ledger_.max_messages_per_node =
+        std::max(ledger_.max_messages_per_node, mx);
+    publish_metrics();
+  }
+  if (tracer_ && ncycles > 0) tracer_->capture_workload(workload());
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics (global gathers; not part of the choreography).
+// ---------------------------------------------------------------------------
+
+std::vector<Vec3i> VirtualMachine::lattice_positions() const {
+  std::vector<Vec3i> out(sys_.top.natoms, Vec3i{0, 0, 0});
+  for (const NodeState& nd : nodes_)
+    for (const auto& [id, st] : nd.atoms) out[id] = st.pos;
+  return out;
+}
+
+std::vector<Vec3l> VirtualMachine::fixed_velocities() const {
+  std::vector<Vec3l> out(sys_.top.natoms, Vec3l{0, 0, 0});
+  for (const NodeState& nd : nodes_)
+    for (const auto& [id, st] : nd.atoms) out[id] = st.vel;
+  return out;
+}
+
+std::uint64_t VirtualMachine::state_hash() const {
+  return parallel::state_hash(lattice_positions(), fixed_velocities());
+}
+
+void VirtualMachine::negate_velocities() {
+  for (NodeState& nd : nodes_) {
+    for (auto& [id, st] : nd.atoms) {
+      st.vel.x = fixed::wrap_sub(0, st.vel.x);
+      st.vel.y = fixed::wrap_sub(0, st.vel.y);
+      st.vel.z = fixed::wrap_sub(0, st.vel.z);
+    }
+  }
+}
+
+const core::WorkloadProfile& VirtualMachine::workload() {
+  for (auto& nc : workload_.nodes) {
+    nc.atoms = 0;
+    nc.tower_import_atoms = 0;
+    nc.plate_import_atoms = 0;
+    nc.constraint_bonds = 0;
+  }
+  std::vector<std::int64_t> bin_sz(geom_->subbox_count(), 0);
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    for (const auto& [sb, ids] : nodes_[n].bins) {
+      bin_sz[sb] = static_cast<std::int64_t>(ids.size());
+      workload_.nodes[n].atoms += static_cast<std::int64_t>(ids.size());
+    }
+  }
+  for (std::size_t n = 0; n < node_import_subboxes_.size(); ++n)
+    for (std::int32_t sb : node_import_subboxes_[n])
+      workload_.nodes[n].tower_import_atoms += bin_sz[sb];
+  for (std::size_t u = 0; u < units_.size(); ++u) {
+    if (group_constraints_[u].empty()) continue;
+    workload_.nodes[directory_[units_[u][0]]].constraint_bonds +=
+        static_cast<std::int64_t>(group_constraints_[u].size());
+  }
+  return workload_;
+}
+
+void VirtualMachine::reset_workload() {
+  for (auto& nc : workload_.nodes) nc = core::NodeCounters{};
+  workload_.steps_accumulated = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Metrics.
+// ---------------------------------------------------------------------------
+
+void VirtualMachine::set_metrics(obs::MetricsRegistry* m) {
+  metrics_ = m;
+  if (!m) return;
+  mid_.steps = m->counter("vm.steps");
+  mid_.cycles = m->counter("vm.mts_cycles");
+  mid_.migrations = m->counter("vm.migrations");
+  mid_.position_messages = m->counter("vm.position_messages");
+  mid_.position_bytes = m->counter("vm.position_bytes");
+  mid_.force_messages = m->counter("vm.force_messages");
+  mid_.force_bytes = m->counter("vm.force_bytes");
+  mid_.bond_messages = m->counter("vm.bond_messages");
+  mid_.bond_bytes = m->counter("vm.bond_bytes");
+  mid_.mesh_messages = m->counter("vm.mesh_messages");
+  mid_.mesh_bytes = m->counter("vm.mesh_bytes");
+  mid_.fft_messages = m->counter("vm.fft_messages");
+  mid_.fft_bytes = m->counter("vm.fft_bytes");
+  mid_.migration_messages = m->counter("vm.migration_messages");
+  mid_.migration_bytes = m->counter("vm.migration_bytes");
+  mid_.reduce_messages = m->counter("vm.reduce_messages");
+  mid_.reduce_bytes = m->counter("vm.reduce_bytes");
+  pub_base_ = ledger_;
+}
+
+void VirtualMachine::publish_metrics() {
+  if (!metrics_) {
+    pub_base_ = ledger_;
+    return;
+  }
+  metrics_->count(mid_.cycles, 0, 1);
+  auto pub = [&](int mid_msgs, int mid_bytes, const PhaseComm& cur,
+                 const PhaseComm& base) {
+    metrics_->count(mid_msgs, 0, cur.messages - base.messages);
+    metrics_->count(mid_bytes, 0, cur.bytes - base.bytes);
+  };
+  pub(mid_.position_messages, mid_.position_bytes, ledger_.position,
+      pub_base_.position);
+  pub(mid_.force_messages, mid_.force_bytes, ledger_.force, pub_base_.force);
+  pub(mid_.bond_messages, mid_.bond_bytes, ledger_.bond, pub_base_.bond);
+  pub(mid_.mesh_messages, mid_.mesh_bytes, ledger_.mesh, pub_base_.mesh);
+  pub(mid_.fft_messages, mid_.fft_bytes, ledger_.fft, pub_base_.fft);
+  pub(mid_.migration_messages, mid_.migration_bytes, ledger_.migration,
+      pub_base_.migration);
+  pub(mid_.reduce_messages, mid_.reduce_bytes, ledger_.reduce,
+      pub_base_.reduce);
+  metrics_->flush();
+  pub_base_ = ledger_;
+}
+
+// ---------------------------------------------------------------------------
+// Legacy one-shot distributed evaluation.
+// ---------------------------------------------------------------------------
+
 std::vector<Vec3l> VirtualMachine::evaluate(
-    const std::vector<Vec3i>& positions, VmStats* stats) {
+    const std::vector<Vec3i>& positions, CommLedger* stats) {
   const Topology& top = sys_.top;
   const int nnodes = node_count();
   const std::int64_t nsub = geom_->subbox_count();
@@ -52,9 +1305,6 @@ std::vector<Vec3l> VirtualMachine::evaluate(
   // memory; data moves only through the mailboxes below.
   struct NodeMemory {
     std::map<std::int32_t, std::vector<AtomRecord>> subbox_atoms;
-    std::vector<ForceRecord> partial_forces;  // for atoms owned elsewhere
-    std::vector<Vec3l> home_accumulators;     // indexed by local slot
-    std::vector<std::int32_t> home_ids;
   };
   std::vector<NodeMemory> nodes(nnodes);
   std::vector<std::int64_t> sent_msgs(nnodes, 0);
@@ -62,8 +1312,7 @@ std::vector<Vec3l> VirtualMachine::evaluate(
   // Home data placement (a node owns its own subboxes' atoms).
   for (std::int32_t sb = 0; sb < nsub; ++sb) {
     const int owner = geom_->node_index_of(geom_->coords_of(sb));
-    auto& mem = nodes[owner];
-    auto& recs = mem.subbox_atoms[sb];
+    auto& recs = nodes[owner].subbox_atoms[sb];
     for (std::int32_t a : bins[sb]) recs.push_back({a, positions[a]});
   }
 
@@ -71,8 +1320,7 @@ std::vector<Vec3l> VirtualMachine::evaluate(
   // consumers[sb] = sorted set of nodes whose tower/plate imports sb.
   std::vector<std::vector<int>> consumers(nsub);
   {
-    std::vector<std::vector<char>> seen(nsub,
-                                        std::vector<char>(nnodes, 0));
+    std::vector<std::vector<char>> seen(nsub, std::vector<char>(nnodes, 0));
     for (std::int32_t hidx = 0; hidx < nsub; ++hidx) {
       const Vec3i h = geom_->coords_of(hidx);
       const int node = geom_->node_index_of(h);
@@ -97,7 +1345,7 @@ std::vector<Vec3l> VirtualMachine::evaluate(
   for (std::int32_t sb = 0; sb < nsub; ++sb)
     node_subboxes[geom_->node_index_of(geom_->coords_of(sb))].push_back(sb);
 
-  VmStats st;
+  CommLedger st;
   {
     obs::Tracer::Span phase_span(tracer_, "vm.position_multicast");
     for (int owner = 0; owner < nnodes; ++owner) {
@@ -109,10 +1357,11 @@ std::vector<Vec3l> VirtualMachine::evaluate(
           // One multicast message per (subbox, consumer): id + 3x32-bit
           // pos.
           nodes[dst].subbox_atoms[sb] = payload;  // message delivery
-          ++st.position_messages;
+          ++st.position.messages;
           ++sent_msgs[owner];
-          st.position_bytes +=
-              16 * static_cast<std::int64_t>(payload.size()) + 8;
+          st.position.bytes +=
+              kPosRecord * static_cast<std::int64_t>(payload.size()) +
+              kMsgHeader;
         }
       }
     }
@@ -120,69 +1369,51 @@ std::vector<Vec3l> VirtualMachine::evaluate(
 
   // --- phase 2: local interactions ---
   // Partial force accumulators live per node, keyed by atom id; purely
-  // local state.
-  const bool have_mol = !top.molecule.empty();
+  // local state. The pairs run through the same match-unit -> PPIP kernel
+  // the engine and the dynamics runtime execute.
   std::vector<std::map<std::int32_t, Vec3l>> partials(nnodes);
   {
-  obs::Tracer::Span compute_span(tracer_, "vm.compute");
-  for (int node = 0; node < nnodes; ++node) {
-  obs::Tracer::Span node_span(tracer_, "vm.node.compute", node + 1);
-  NodeMemory& mem = nodes[node];
-  auto& acc = partials[node];
-  for (std::int32_t hidx : node_subboxes[node]) {
-    const Vec3i h = geom_->coords_of(hidx);
-    for (std::int32_t dz : geom_->tower_dz()) {
-      const std::int32_t tidx =
-          geom_->index_of(geom_->wrap_coords({h.x, h.y, h.z + dz}));
-      const auto t_it = mem.subbox_atoms.find(tidx);
-      if (t_it == mem.subbox_atoms.end() || t_it->second.empty()) continue;
-      const auto& tower = t_it->second;
-      for (const Vec3i& poff : geom_->plate_half()) {
-        if (!geom_->owns_pair(h, dz, poff)) continue;
-        const std::int32_t pidx = geom_->index_of(
-            geom_->wrap_coords({h.x + poff.x, h.y + poff.y, h.z}));
-        const auto p_it = mem.subbox_atoms.find(pidx);
-        if (p_it == mem.subbox_atoms.end() || p_it->second.empty()) continue;
-        const auto& plate = p_it->second;
-        const bool same = tidx == pidx;
-        for (std::size_t a = 0; a < tower.size(); ++a) {
-          for (std::size_t b = same ? a + 1 : 0; b < plate.size(); ++b) {
-            ++st.pairs_considered;
-            const AtomRecord& ra =
-                tower[a].id < plate[b].id ? tower[a] : plate[b];
-            const AtomRecord& rb =
-                tower[a].id < plate[b].id ? plate[b] : tower[a];
-            const Vec3i d = fixed::PositionLattice::delta(ra.pos, rb.pos);
-            if (!htis::match_plausible(d, r2_limit_lattice_)) continue;
-            const std::uint64_t r2lat = htis::exact_r2_lattice(d);
-            if (r2lat > r2_limit_lattice_) continue;
-            if (have_mol && top.molecule[ra.id] == top.molecule[rb.id] &&
-                excl_.excluded(ra.id, rb.id))
+    obs::Tracer::Span compute_span(tracer_, "vm.compute");
+    for (int node = 0; node < nnodes; ++node) {
+      obs::Tracer::Span node_span(tracer_, "vm.node.compute", node + 1);
+      NodeMemory& mem = nodes[node];
+      auto& acc = partials[node];
+      for (std::int32_t hidx : node_subboxes[node]) {
+        const Vec3i h = geom_->coords_of(hidx);
+        for (std::int32_t dz : geom_->tower_dz()) {
+          const std::int32_t tidx =
+              geom_->index_of(geom_->wrap_coords({h.x, h.y, h.z + dz}));
+          const auto t_it = mem.subbox_atoms.find(tidx);
+          if (t_it == mem.subbox_atoms.end() || t_it->second.empty())
+            continue;
+          const auto& tower = t_it->second;
+          for (const Vec3i& poff : geom_->plate_half()) {
+            if (!geom_->owns_pair(h, dz, poff)) continue;
+            const std::int32_t pidx = geom_->index_of(
+                geom_->wrap_coords({h.x + poff.x, h.y + poff.y, h.z}));
+            const auto p_it = mem.subbox_atoms.find(pidx);
+            if (p_it == mem.subbox_atoms.end() || p_it->second.empty())
               continue;
-            ++st.interactions;
-            const double r2 = static_cast<double>(r2lat) * lat2_to_phys2_;
-            const double qq = top.charge[ra.id] * top.charge[rb.id];
-            const auto pfe = kernels_.eval_nonbonded(
-                r2, qq, top.type[ra.id], top.type[rb.id], false);
-            const Vec3d drp = lat_.delta_to_phys(d);
-            const Vec3l fq{
-                fixed::quantize(pfe.force_coef * drp.x, fixed::kForceScale),
-                fixed::quantize(pfe.force_coef * drp.y, fixed::kForceScale),
-                fixed::quantize(pfe.force_coef * drp.z, fixed::kForceScale)};
-            Vec3l& fa = acc[ra.id];
-            fa.x = fixed::wrap_add(fa.x, fq.x);
-            fa.y = fixed::wrap_add(fa.y, fq.y);
-            fa.z = fixed::wrap_add(fa.z, fq.z);
-            Vec3l& fb = acc[rb.id];
-            fb.x = fixed::wrap_sub(fb.x, fq.x);
-            fb.y = fixed::wrap_sub(fb.y, fq.y);
-            fb.z = fixed::wrap_sub(fb.z, fq.z);
+            const auto& plate = p_it->second;
+            const bool same = tidx == pidx;
+            for (std::size_t a = 0; a < tower.size(); ++a) {
+              for (std::size_t b = same ? a + 1 : 0; b < plate.size(); ++b) {
+                ++st.pairs_considered;
+                const PairResult pr =
+                    eval_pair(np_, tower[a].id, plate[b].id, tower[a].pos,
+                              plate[b].pos, false);
+                if (pr.status != PairStatus::kComputed) continue;
+                ++st.interactions;
+                Vec3l& fa = acc[pr.lo];
+                acc3(fa, pr.f);
+                Vec3l& fb = acc[pr.hi];
+                sub3(fb, pr.f);
+              }
+            }
           }
         }
       }
     }
-  }
-  }
   }
 
   // --- phase 3 + 4: force return and reduction ---
@@ -201,18 +1432,14 @@ std::vector<Vec3l> VirtualMachine::evaluate(
     std::map<int, std::int64_t> batch_count;
     for (const auto& [id, f] : partials[n]) {
       const int dst = home_node[id];
-      if (dst != n) {
-        ++batch_count[dst];
-      }
+      if (dst != n) ++batch_count[dst];
       // Delivery: the destination's accumulator combines with wrap adds.
-      total[id].x = fixed::wrap_add(total[id].x, f.x);
-      total[id].y = fixed::wrap_add(total[id].y, f.y);
-      total[id].z = fixed::wrap_add(total[id].z, f.z);
+      acc3(total[id], f);
     }
     for (const auto& [dst, count] : batch_count) {
-      ++st.force_messages;
+      ++st.force.messages;
       ++sent_msgs[n];
-      st.force_bytes += 28 * count + 8;  // id + 3x64-bit force
+      st.force.bytes += kForceRecord * count + kMsgHeader;
     }
   }
 

@@ -1,44 +1,64 @@
-// An explicit message-passing execution of Anton's range-limited phase.
+// An explicit message-passing execution of Anton's time step.
 //
 // The AntonEngine computes with global arrays (its bitwise invariants make
 // the decomposition unobservable). This runtime is the stricter
 // demonstration: every virtual node gets its OWN storage, holding only the
 // atoms it owns plus what arrives in messages, and the time step's data
-// choreography (Section 3.2) happens through explicit mailboxes:
+// choreography (Section 3.2) happens through explicit mailboxes. Two modes:
 //
-//   phase 1  position multicast -- each node sends each of its home
-//            subboxes' atoms, as one multicast message per (subbox,
-//            consumer-node), to every node whose tower or plate imports
-//            that subbox;
-//   phase 2  local interaction -- each node runs the match-unit/PPIP pair
-//            loop over exactly the atoms it holds (never reaching into
-//            any other node's memory);
-//   phase 3  force return -- per-atom force contributions for non-home
-//            atoms are sent back to their home nodes ("the resulting
-//            forces on atoms in the tower and plate are sent back to the
-//            nodes on which those atoms reside");
-//   phase 4  reduction -- home nodes combine contributions with wrapping
-//            adds (order-invariant).
+//  * the legacy one-shot evaluate(): a single distributed range-limited
+//    force evaluation (position multicast -> NT pair phase -> force
+//    return), kept as the minimal demonstration and unit-test surface;
 //
-// The result is bitwise identical to the monolithic engine's range-limited
-// forces on ANY node grid -- asserted in tests -- and the mailbox
-// statistics substantiate the paper's "a typical time step on Anton
-// involves thousands of inter-node messages per ASIC".
+//  * the full distributed time-step runtime (construct from a
+//    core::AntonConfig, then run_cycles()): each node owns its home atoms'
+//    positions/velocities/forces and advances the complete MTS cycle --
+//      - subbox position multicast to tower/plate consumers,
+//      - node-local match/PPIP pair phase over home + imported subboxes,
+//      - bond-destination position dispatch, bonded + correction terms
+//        evaluated where their destination atom lives,
+//      - GSE charge spreading into node-local mesh accumulators, a charge
+//        halo exchange into block-owned FFT slabs, the distributed 3D FFT
+//        (per-torus-row line exchange, the fft::DistFftPlan pattern),
+//        k-space convolution, potential halo-back, force interpolation,
+//      - force return to home nodes, virtual-site force splitting,
+//      - fixed-point kick/drift with SHAKE/RATTLE solved on co-resident
+//        constraint units, ordered thermostat reduction,
+//      - migration-by-message every migration_interval steps with
+//        directory announcements.
+//    Every phase drives the SAME parallel::NodeProgram kernels the engine
+//    runs, and every accumulation is quantize-then-wrapping-add, so the
+//    distributed trajectory is bitwise identical to AntonEngine's on any
+//    node grid -- asserted step for step on the golden fixtures.
+//
+// All message and byte counts are measured into a parallel::CommLedger
+// (per phase), substantiating the paper's "a typical time step on Anton
+// involves thousands of inter-node messages per ASIC", and cross-validated
+// in tests against the comm_stats estimators and fft::DistFftPlan.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
+#include "core/anton_engine.hpp"
+#include "ewald/gse.hpp"
 #include "ff/topology.hpp"
+#include "fft/fft1d.hpp"
 #include "fixed/lattice.hpp"
 #include "htis/pair_kernels.hpp"
 #include "nt/nt_geometry.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pairlist/exclusion_table.hpp"
+#include "parallel/comm_stats.hpp"
+#include "parallel/node_program.hpp"
 
 namespace anton::parallel {
 
+/// Configuration for the legacy one-shot range-limited evaluate() mode.
 struct VmConfig {
   Vec3i node_grid{2, 2, 2};
   Vec3i subbox_div{1, 1, 1};
@@ -48,57 +68,224 @@ struct VmConfig {
   int table_mantissa_bits = 22;
 };
 
-struct VmStats {
-  std::int64_t position_messages = 0;
-  std::int64_t position_bytes = 0;
-  std::int64_t force_messages = 0;
-  std::int64_t force_bytes = 0;
-  std::int64_t interactions = 0;
-  std::int64_t pairs_considered = 0;
-  /// Maximum over nodes of messages sent in one evaluation.
-  std::int64_t max_messages_per_node = 0;
-};
-
 class VirtualMachine {
  public:
+  /// Legacy mode: a one-shot distributed range-limited evaluator.
   VirtualMachine(const System& sys, const VmConfig& cfg);
+
+  /// Full distributed time-step runtime, configured exactly like the
+  /// engine (same kernels, geometry, integrator and migration cadence).
+  VirtualMachine(System sys, const core::AntonConfig& cfg);
 
   int node_count() const;
 
   /// One distributed range-limited force evaluation from the given
-  /// lattice positions. Returns per-atom fixed-point forces (global
-  /// indexing for the caller's convenience; internally every node only
-  /// ever touched its own mailbox).
+  /// lattice positions (legacy mode; usable in dynamics mode too, but
+  /// does not touch the per-node dynamic state). Returns per-atom
+  /// fixed-point forces in global indexing for the caller's convenience;
+  /// internally every node only ever touched its own mailbox.
   std::vector<Vec3l> evaluate(const std::vector<Vec3i>& positions,
-                              VmStats* stats = nullptr);
+                              CommLedger* stats = nullptr);
 
-  /// Attaches a phase tracer (nullptr detaches). evaluate() then emits a
-  /// span per choreography phase on track 0 plus one child span per
-  /// virtual node on track (node index + 1), making the per-node comm
-  /// pattern visible in the exported trace. Tracing never touches the
-  /// node memories, so the returned forces are unchanged.
+  // --- distributed time-step runtime (dynamics mode only) ---
+
+  /// Runs n MTS cycles (n * long_range_every inner time steps) through
+  /// the mailbox choreography. Bitwise identical to AntonEngine.
+  void run_cycles(int ncycles);
+  std::int64_t steps_done() const { return steps_; }
+
+  /// FNV-1a hash over the fixed-point state in global atom order
+  /// (diagnostic gather; equal to AntonEngine::state_hash() on the same
+  /// trajectory).
+  std::uint64_t state_hash() const;
+
+  /// Raw fixed-point state assembled from the node memories in global
+  /// atom order (diagnostic gather, not part of the choreography).
+  std::vector<Vec3i> lattice_positions() const;
+  std::vector<Vec3l> fixed_velocities() const;
+
+  /// Negates all velocities (exact in fixed point); with constraints and
+  /// thermostat off, running forward again retraces the trajectory.
+  void negate_velocities();
+
+  /// Reciprocal-space energy from the most recent long-range phase
+  /// (computed by the ordered reduce on the master node).
+  double reciprocal_energy() const { return e_recip_; }
+
+  /// Measured message/byte accounting accumulated since the last reset.
+  const CommLedger& ledger() const { return ledger_; }
+  void reset_ledger() { ledger_ = CommLedger{}; }
+
+  /// Workload counters accumulated since the last reset, attributed to
+  /// virtual nodes exactly as the engine attributes them (so the VM's
+  /// profile cross-validates against machine::WorkloadModel the same way
+  /// the engine's does).
+  const core::WorkloadProfile& workload();
+  void reset_workload();
+
+  /// Attaches a phase tracer (nullptr detaches). Phases emit spans on
+  /// track 0 plus one child span per virtual node on track (node index
+  /// + 1), making the per-node comm pattern visible in the exported
+  /// trace. Tracing never touches the node memories: the trajectory with
+  /// a tracer attached is bitwise identical to without.
   void set_tracer(obs::Tracer* t) { tracer_ = t; }
   obs::Tracer* tracer() const { return tracer_; }
+
+  /// Attaches a metrics registry (nullptr detaches). The ledger's
+  /// per-phase message/byte counters are published under "vm.*" at every
+  /// cycle boundary.
+  void set_metrics(obs::MetricsRegistry* m);
+  obs::MetricsRegistry* metrics() const { return metrics_; }
 
  private:
   struct AtomRecord {
     std::int32_t id;
     Vec3i pos;
   };
-  struct ForceRecord {
-    std::int32_t id;
-    Vec3l f;
+
+  /// Dynamic state of one home atom, owned by exactly one node at a time
+  /// and moved whole during migration.
+  struct AtomState {
+    Vec3i pos{0, 0, 0};
+    Vec3l vel{0, 0, 0};
+    Vec3l f_short{0, 0, 0};
+    Vec3l f_long{0, 0, 0};
   };
 
+  /// One virtual node's private memory. Nothing here is ever read by
+  /// another node: inter-node data flow happens only through the
+  /// deliver_* helpers, which model messages (count/bytes into the
+  /// ledger) and append into the RECEIVER's mailbox fields.
+  struct NodeState {
+    // Home ownership.
+    std::vector<std::int32_t> units;  // unit ids homed here
+    std::unordered_map<std::int32_t, AtomState> atoms;
+    std::map<std::int32_t, std::vector<std::int32_t>> bins;  // sb -> ids
+
+    // Mailboxes (refilled every step).
+    std::map<std::int32_t, std::vector<AtomRecord>> recs;  // pair phase
+    std::vector<Vec3i> rpos;         // dispatched positions, by atom id
+    std::vector<Vec3l> partial;      // force partials, by atom id
+    std::vector<char> ptouched;      // partial[i] valid flags
+    std::vector<std::int32_t> plist; // touched partial ids
+
+    // Term ownership (rebuilt at migration; destination atom lives here).
+    std::vector<std::int32_t> bonds, angles, dihedrals, exclusions, vsites;
+
+    // Mesh state: node-local spread accumulator over the full mesh plus
+    // the block-owned FFT slab (block origin/extent in the members below).
+    std::vector<std::int64_t> spread_q;   // full mesh, wrapping accum
+    std::vector<char> stouched;           // spread_q[i] touched flags
+    std::vector<std::int32_t> touched;    // touched mesh indices
+    std::vector<std::int64_t> mesh_q;     // owned block, quantized charge
+    std::vector<double> scratch_q;        // owned block, double charge
+    std::vector<fft::cplx> fft_grid;      // owned block, transform state
+    std::vector<std::int64_t> mesh_phi;   // owned block, quantized phi
+    std::vector<std::int64_t> halo_phi;   // full mesh, phi at touched pts
+    std::vector<std::vector<std::int32_t>> halo_req;  // per src: indices
+
+    Vec3i block_lo{0, 0, 0};  // owned mesh block origin
+    Vec3i block_sz{0, 0, 0};  // owned mesh block extent
+
+    std::int64_t sent = 0;  // messages sent in the current cycle window
+  };
+
+  // --- construction helpers ---
+  void init_pair_tables(double cutoff, double beta, double sigma_s,
+                        double rs, int mantissa_bits);
+  void build_geometry(const Vec3i& node_grid, const Vec3i& subbox_div,
+                      double cutoff, double margin);
+  void build_consumers();
+  void build_feeds();
+  void build_mesh_blocks();
+  void initial_distribution(const std::vector<Vec3i>& gpos,
+                            const std::vector<Vec3l>& gvel);
+  void rebuild_bins_and_terms();
+
+  // --- message accounting ---
+  int torus_hops(int src, int dst) const;
+  void account(PhaseComm& phase, int src, int dst, std::int64_t bytes);
+
+  // --- choreography phases ---
+  std::vector<AtomRecord>& records_of(NodeState& nd, std::int32_t sb);
+  void position_multicast();
+  void pair_phase();
+  void bond_dispatch_and_terms(bool long_range);
+  void force_return(bool long_range);
+  void vsite_force_round(bool long_range);
+  void compute_short_forces();
+  void compute_long_forces();
+  void spread_and_halo();
+  void distributed_fft_stage(int axis, bool inverse);
+  void convolve_and_energy();
+  void phi_halo_back_and_interpolate();
+  void kick_all(bool long_kick);
+  void drift_and_constrain();
+  void finish_drift();
+  void rattle_groups();
+  void apply_thermostat();
+  void migrate_by_message();
+  void publish_metrics();
+
+  void touch_partial(NodeState& nd, std::int32_t id);
+  Vec3i pos_of(const NodeState& nd, std::int32_t id) const;
+
+  // --- static replicated context (every node holds a copy) ---
   System sys_;
-  VmConfig cfg_;
+  VmConfig cfg_;              // legacy mode parameters
+  core::AntonConfig acfg_;    // dynamics mode parameters
+  bool dynamic_ = false;
   fixed::PositionLattice lat_;
   std::unique_ptr<nt::NtGeometry> geom_;
   htis::PairKernels kernels_;
   pairlist::ExclusionTable excl_;
+  ewald::GseParams gse_params_;
+  std::unique_ptr<ewald::Gse> gse_;
+  std::unique_ptr<fft::Fft1D> fft1_;
+  NodeProgram np_;
+  IntegrationCoefs coefs_;
   std::uint64_t r2_limit_lattice_ = 0;
   double lat2_to_phys2_ = 0.0;
+
+  // Shared decomposition structure (replicated, static between builds).
+  std::vector<std::vector<std::int32_t>> units_;
+  std::vector<std::vector<ConstraintBond>> group_constraints_;
+  std::vector<std::int32_t> unit_sb_;    // unit -> assigned subbox
+  std::vector<std::int32_t> directory_;  // atom -> home node (replicated)
+  std::vector<std::vector<int>> consumers_;  // subbox -> consumer nodes
+  std::vector<std::vector<std::int32_t>> node_subboxes_;
+  std::vector<std::vector<std::int32_t>> node_import_subboxes_;
+  /// Static bond-destination feeds: dest_feed_[x] lists the destination
+  /// atoms whose terms read atom x's position; vsite_feed_[x] lists the
+  /// virtual sites x parents.
+  std::vector<std::vector<std::int32_t>> dest_feed_;
+  std::vector<std::vector<std::int32_t>> vsite_feed_;
+
+  // Mesh block partition (per axis: coordinate -> owning node coord).
+  std::vector<int> mesh_owner_[3];
+  std::vector<int> mesh_start_[3];
+
+  // The virtual nodes.
+  std::vector<NodeState> nodes_;
+
+  std::int64_t steps_ = 0;
+  double e_recip_ = 0.0;
+  CommLedger ledger_;
+  CommLedger pub_base_;  // ledger snapshot at last metrics publish
+  core::WorkloadProfile workload_;
+
   obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  struct MetricIds {
+    int steps = -1, cycles = -1, migrations = -1;
+    int position_messages = -1, position_bytes = -1;
+    int force_messages = -1, force_bytes = -1;
+    int bond_messages = -1, bond_bytes = -1;
+    int mesh_messages = -1, mesh_bytes = -1;
+    int fft_messages = -1, fft_bytes = -1;
+    int migration_messages = -1, migration_bytes = -1;
+    int reduce_messages = -1, reduce_bytes = -1;
+  } mid_;
 };
 
 }  // namespace anton::parallel

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/anton_engine.hpp"
+#include "parallel/virtual_machine.hpp"
 #include "sysgen/systems.hpp"
 
 namespace anton::golden {
@@ -78,6 +79,23 @@ inline std::vector<std::uint64_t> run_case(const GoldenCase& gc,
     eng.run_cycles(target - done);
     done = target;
     hashes.push_back(eng.state_hash());
+  }
+  return hashes;
+}
+
+/// Same trajectory, executed by the message-passing VirtualMachine
+/// runtime instead of the engine: the distributed choreography must land
+/// on the SAME committed hashes (nthreads is not a VM parameter; the node
+/// grid is). This is the cross-implementation half of the golden matrix.
+inline std::vector<std::uint64_t> run_case_vm(const GoldenCase& gc,
+                                              const Vec3i& node_grid) {
+  parallel::VirtualMachine vm(gc.build(), golden_config(node_grid, 1));
+  std::vector<std::uint64_t> hashes;
+  int done = 0;
+  for (int target : golden_steps()) {
+    vm.run_cycles(target - done);
+    done = target;
+    hashes.push_back(vm.state_hash());
   }
   return hashes;
 }

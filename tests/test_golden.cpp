@@ -101,4 +101,48 @@ INSTANTIATE_TEST_SUITE_P(
                                          RunConfig{{2, 2, 2}, 4})),
     param_name);
 
+// The message-passing VirtualMachine runtime against the SAME fixtures:
+// a completely different execution (per-node memories, explicit
+// mailboxes, distributed FFT) must land on the engine's committed hashes
+// on every node grid, including across the migration boundary at step 4.
+class VmGoldenTrajectory
+    : public ::testing::TestWithParam<std::tuple<int, Vec3i>> {};
+
+TEST_P(VmGoldenTrajectory, MatchesFixture) {
+  const auto& gc =
+      anton::golden::golden_cases()[std::get<0>(GetParam())];
+  const Vec3i grid = std::get<1>(GetParam());
+  const auto fixture = load_fixture(gc.name);
+  ASSERT_EQ(fixture.size(), anton::golden::golden_steps().size());
+
+  const auto hashes = anton::golden::run_case_vm(gc, grid);
+  const auto& steps = anton::golden::golden_steps();
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const auto it = fixture.find(steps[i]);
+    ASSERT_NE(it, fixture.end())
+        << gc.name << ": fixture lacks steps=" << steps[i];
+    EXPECT_EQ(hashes[i], it->second)
+        << gc.name << " (VM) diverged from golden trajectory at steps="
+        << steps[i] << " (grid " << grid.x << "x" << grid.y << "x"
+        << grid.z << ")";
+  }
+}
+
+std::string vm_param_name(
+    const ::testing::TestParamInfo<std::tuple<int, Vec3i>>& info) {
+  const auto& gc = anton::golden::golden_cases()[std::get<0>(info.param)];
+  const Vec3i g = std::get<1>(info.param);
+  std::ostringstream os;
+  os << gc.name << "_grid" << g.x << g.y << g.z;
+  return os.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCases, VmGoldenTrajectory,
+                         ::testing::Combine(::testing::Values(0, 1),
+                                            ::testing::Values(
+                                                Vec3i{1, 1, 1},
+                                                Vec3i{2, 2, 2},
+                                                Vec3i{4, 2, 1})),
+                         vm_param_name);
+
 }  // namespace
