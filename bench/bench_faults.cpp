@@ -1,0 +1,123 @@
+// Cost of fault tolerance in the VirtualMachine runtime.
+//
+// Three regimes on the solvated-peptide golden system (2x2x2 virtual
+// torus), all verified bitwise against the fault-free engine trajectory:
+//
+//   * baseline      -- injector detached (the reliable transport in its
+//                      pass-through mode); the price of routing every
+//                      message through closures vs PR 3's direct writes;
+//   * armed, quiet  -- injector attached with all probabilities zero plus
+//                      per-cycle checkpoint capture; isolates checkpoint
+//                      cost (must show zero retry traffic);
+//   * faulted       -- seeded drop/duplicate/reorder/delay schedule plus
+//                      a mid-run node crash; shows recovery wall-clock
+//                      and the retransmit traffic the CommLedger isolates
+//                      in its `retransmit` phase.
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hpp"
+#include "core/anton_engine.hpp"
+#include "parallel/fault.hpp"
+#include "parallel/virtual_machine.hpp"
+#include "sysgen/systems.hpp"
+
+using anton::System;
+using anton::Vec3i;
+using anton::core::AntonConfig;
+using anton::core::AntonEngine;
+using anton::parallel::FaultConfig;
+using anton::parallel::FaultCounters;
+using anton::parallel::VirtualMachine;
+
+namespace {
+
+AntonConfig bench_config() {
+  AntonConfig c;
+  c.sim.cutoff = 7.0;
+  c.sim.mesh = 16;
+  c.sim.dt = 2.5;
+  c.sim.long_range_every = 2;
+  c.node_grid = {2, 2, 2};
+  c.subbox_div = {1, 1, 1};
+  c.migration_interval = 4;
+  c.import_margin = 3.0;
+  return c;
+}
+
+void report(const char* name, double secs, int steps, const VirtualMachine& vm,
+            std::uint64_t ref_hash) {
+  const FaultCounters& fc = vm.fault_counters();
+  const bool ok = vm.state_hash() == ref_hash;
+  std::printf(
+      "%-14s %8.1f us/step  -> %s\n"
+      "  injected: %lld drops, %lld dups, %lld reorders, %lld delays, "
+      "%lld crashes\n"
+      "  recovery: %lld retransmits (%lld B), %lld dups suppressed, "
+      "%lld rollbacks, %lld cycles replayed\n",
+      name, 1e6 * secs / steps,
+      ok ? "BITWISE IDENTICAL to engine" : "MISMATCH",
+      static_cast<long long>(fc.drops), static_cast<long long>(fc.duplicates),
+      static_cast<long long>(fc.reorders), static_cast<long long>(fc.delays),
+      static_cast<long long>(fc.crashes),
+      static_cast<long long>(fc.retransmits),
+      static_cast<long long>(fc.retransmit_bytes),
+      static_cast<long long>(fc.dups_suppressed),
+      static_cast<long long>(fc.rollbacks),
+      static_cast<long long>(fc.replayed_cycles));
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::run_scale();
+  const int cycles = static_cast<int>(10 * scale);
+  const int steps = 2 * cycles;
+
+  const System sys =
+      anton::sysgen::build_test_system(70, 14.0, 1234, true, 20);
+  AntonEngine eng(sys, bench_config());
+  eng.run_cycles(cycles);
+  const std::uint64_t ref_hash = eng.state_hash();
+
+  bench::header("fault tolerance: VM 2x2x2, solvated peptide");
+
+  {
+    VirtualMachine vm(sys, bench_config());
+    const double secs =
+        bench::timed("faults.baseline", [&] { vm.run_cycles(cycles); });
+    report("baseline", secs, steps, vm, ref_hash);
+  }
+  {
+    VirtualMachine vm(sys, bench_config());
+    FaultConfig f;  // all probabilities zero: isolates checkpoint cost
+    f.checkpoint_cycles = 1;
+    vm.set_fault_config(f);
+    const double secs =
+        bench::timed("faults.armed_quiet", [&] { vm.run_cycles(cycles); });
+    report("armed, quiet", secs, steps, vm, ref_hash);
+  }
+  {
+    VirtualMachine vm(sys, bench_config());
+    FaultConfig f;
+    f.seed = 7;
+    f.drop = 0.05;
+    f.duplicate = 0.05;
+    f.reorder = 0.05;
+    f.delay = 0.05;
+    f.crash_node = 2;
+    f.crash_cycles = {cycles / 2};
+    f.checkpoint_cycles = 1;
+    vm.set_fault_config(f);
+    const double secs =
+        bench::timed("faults.faulted", [&] { vm.run_cycles(cycles); });
+    report("faulted", secs, steps, vm, ref_hash);
+    const auto& led = vm.ledger();
+    std::printf("  retransmit ledger phase: %lld msgs, %lld B\n",
+                static_cast<long long>(led.retransmit.messages),
+                static_cast<long long>(led.retransmit.bytes));
+  }
+
+  bench::print_timings();
+  return 0;
+}

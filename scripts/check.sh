@@ -3,9 +3,12 @@
 # ThreadSanitizer pass over the deterministic-parallelism surface (the
 # thread pool and the threaded engine tests).
 #
-# Usage: scripts/check.sh [--unit-only|--tier1-only|--tsan-only|--vm]
+# Usage: scripts/check.sh [--unit-only|--tier1-only|--tsan-only|--vm|--faults]
 #   --vm           build + the VirtualMachine runtime surface only (the
 #                  distributed time-step tests and the VM golden matrix)
+#   --faults       build + the fault-tolerance surface (reliable transport,
+#                  fault-matrix bitwise recovery, crash rollback, the
+#                  corrupted-checkpoint torture tests, checkpoint/resume)
 #   JOBS=N         parallelism for build/test (default: nproc)
 #   TSAN_FILTER=…  override the gtest filter for the TSan pass
 set -euo pipefail
@@ -41,6 +44,18 @@ vm() {
     --output-on-failure -j"$JOBS")
 }
 
+# Fault-tolerance gate: the reliable-delivery transport, the seeded
+# fault matrix (every fault kind recovered bitwise), coordinated crash
+# rollback, and the corrupted-checkpoint torture suite. Run after
+# touching src/parallel/fault.*, the VM recovery path or io::Checkpoint.
+faults() {
+  echo "== faults gate: build + fault-tolerance + checkpoint torture =="
+  cmake -B build -S .
+  cmake --build build -j"$JOBS"
+  (cd build && ctest -R 'FaultTransport|FaultToleranceVm|CheckpointTorture|Checkpoint\.|Simulation\.Resume' \
+    --output-on-failure -j"$JOBS")
+}
+
 tsan() {
   echo "== TSan: engine + thread pool under -fsanitize=thread =="
   cmake -B build-tsan -S . -DANTON_SANITIZE=thread
@@ -58,6 +73,7 @@ case "$MODE" in
   --tier1-only) tier1 ;;
   --tsan-only) tsan ;;
   --vm) vm ;;
+  --faults) faults ;;
   all|"") tier1; tsan ;;
   *) echo "unknown mode: $MODE" >&2; exit 2 ;;
 esac

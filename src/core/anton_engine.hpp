@@ -83,6 +83,12 @@ class AntonEngine {
   void run_cycles(int ncycles);
   std::int64_t steps_done() const { return steps_; }
 
+  /// Resets the step counter to a checkpointed value (resume path). The
+  /// counter gates migration cadence and labels output frames; migration
+  /// is bitwise-unobservable, so restoring it does not perturb the
+  /// trajectory -- it keeps step numbering continuous across restarts.
+  void restore_step_counter(std::int64_t steps) { steps_ = steps; }
+
   /// Physical-unit views of the current state.
   std::vector<Vec3d> positions() const;
   std::vector<Vec3d> velocities() const;

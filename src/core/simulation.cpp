@@ -41,6 +41,15 @@ Simulation::Simulation(System sys, const SimulationConfig& cfg,
         throw std::runtime_error(
             "Simulation::resume: state failed bit-exact restoration");
     }
+    // Continue the run's step numbering where the checkpoint left it:
+    // the engine counter, frame labels and the output cursors must all
+    // pick up at Checkpoint::step, or a resumed run would relabel (and
+    // rewrite) frames the original leg already emitted.
+    engine_->restore_step_counter(restore->step);
+    if (cfg_.trajectory_every > 0)
+      last_frame_index_ = restore->step / cfg_.trajectory_every;
+    if (cfg_.checkpoint_every > 0)
+      last_ckpt_index_ = restore->step / cfg_.checkpoint_every;
   }
   if (cfg_.trajectory_every > 0) {
     traj_ = std::make_unique<io::TrajectoryWriter>(

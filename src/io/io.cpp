@@ -1,5 +1,8 @@
 #include "io/io.hpp"
 
+#include <array>
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <stdexcept>
@@ -9,6 +12,8 @@ namespace anton::io {
 void write_xyz_frame(std::ostream& os, std::span<const Vec3d> pos,
                      const std::string& comment,
                      std::span<const std::string> symbols) {
+  const std::ios::fmtflags flags = os.flags();
+  const std::streamsize prec = os.precision();
   os << pos.size() << "\n" << comment << "\n";
   os << std::setprecision(6) << std::fixed;
   for (std::size_t i = 0; i < pos.size(); ++i) {
@@ -16,37 +21,115 @@ void write_xyz_frame(std::ostream& os, std::span<const Vec3d> pos,
     os << sym << ' ' << pos[i].x << ' ' << pos[i].y << ' ' << pos[i].z
        << "\n";
   }
+  os.flags(flags);
+  os.precision(prec);
 }
 
 namespace {
+
 constexpr std::uint32_t kMagic = 0x414e544eu;  // "ANTN"
+/// v1 had no version/CRC fields; v2 = versioned header + payload CRC32 +
+/// atomic tmp-then-rename persistence.
+constexpr std::uint32_t kVersion = 2;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the standard
+/// zlib/PNG checksum. Table-driven, byte at a time.
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    t[i] = c;
+  }
+  return t;
 }
 
+std::uint32_t crc32(std::uint32_t crc, const void* data, std::size_t len) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc ^= 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i)
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace
+
 void Checkpoint::save(const std::string& path) const {
-  std::ofstream f(path, std::ios::binary);
-  if (!f) throw std::runtime_error("Checkpoint::save: cannot open " + path);
-  const std::uint32_t magic = kMagic;
-  const std::uint64_t n = positions.size();
-  f.write(reinterpret_cast<const char*>(&magic), sizeof magic);
-  f.write(reinterpret_cast<const char*>(&step), sizeof step);
-  f.write(reinterpret_cast<const char*>(&n), sizeof n);
-  f.write(reinterpret_cast<const char*>(positions.data()),
-          static_cast<std::streamsize>(n * sizeof(Vec3i)));
-  f.write(reinterpret_cast<const char*>(velocities.data()),
-          static_cast<std::streamsize>(n * sizeof(Vec3l)));
-  if (!f) throw std::runtime_error("Checkpoint::save: write failed");
+  // Write the whole file to a sibling temp path, then atomically rename
+  // over the target: a crash mid-write can never leave a torn checkpoint
+  // at `path` (the previous complete checkpoint survives).
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f)
+      throw std::runtime_error("Checkpoint::save: cannot open " + tmp);
+    const std::uint32_t magic = kMagic;
+    const std::uint32_t version = kVersion;
+    const std::uint64_t n = positions.size();
+    // The CRC covers everything after the version field: step, count and
+    // both payload arrays, so any single corrupted byte fails the load.
+    std::uint32_t crc = 0;
+    crc = crc32(crc, &step, sizeof step);
+    crc = crc32(crc, &n, sizeof n);
+    crc = crc32(crc, positions.data(), n * sizeof(Vec3i));
+    crc = crc32(crc, velocities.data(), n * sizeof(Vec3l));
+    f.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+    f.write(reinterpret_cast<const char*>(&version), sizeof version);
+    f.write(reinterpret_cast<const char*>(&step), sizeof step);
+    f.write(reinterpret_cast<const char*>(&n), sizeof n);
+    f.write(reinterpret_cast<const char*>(&crc), sizeof crc);
+    f.write(reinterpret_cast<const char*>(positions.data()),
+            static_cast<std::streamsize>(n * sizeof(Vec3i)));
+    f.write(reinterpret_cast<const char*>(velocities.data()),
+            static_cast<std::streamsize>(n * sizeof(Vec3l)));
+    f.flush();
+    if (!f) {
+      std::remove(tmp.c_str());
+      throw std::runtime_error("Checkpoint::save: write failed");
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("Checkpoint::save: rename to " + path +
+                             " failed: " + ec.message());
+  }
 }
 
 Checkpoint Checkpoint::load(const std::string& path) {
   std::ifstream f(path, std::ios::binary);
   if (!f) throw std::runtime_error("Checkpoint::load: cannot open " + path);
-  std::uint32_t magic = 0;
+  std::uint32_t magic = 0, version = 0, crc = 0;
   Checkpoint c;
   std::uint64_t n = 0;
   f.read(reinterpret_cast<char*>(&magic), sizeof magic);
-  if (magic != kMagic) throw std::runtime_error("Checkpoint::load: bad magic");
+  if (!f || magic != kMagic)
+    throw std::runtime_error("Checkpoint::load: bad magic");
+  f.read(reinterpret_cast<char*>(&version), sizeof version);
+  if (!f || version != kVersion)
+    throw std::runtime_error("Checkpoint::load: unsupported version");
   f.read(reinterpret_cast<char*>(&c.step), sizeof c.step);
   f.read(reinterpret_cast<char*>(&n), sizeof n);
+  f.read(reinterpret_cast<char*>(&crc), sizeof crc);
+  if (!f) throw std::runtime_error("Checkpoint::load: truncated header");
+  // Validate the declared atom count against what the file actually
+  // holds BEFORE allocating: a corrupt header must throw, not trigger a
+  // multi-gigabyte resize.
+  const std::streampos payload_start = f.tellg();
+  f.seekg(0, std::ios::end);
+  const std::streampos file_end = f.tellg();
+  if (payload_start < 0 || file_end < payload_start)
+    throw std::runtime_error("Checkpoint::load: cannot size file");
+  const std::uint64_t remaining =
+      static_cast<std::uint64_t>(file_end - payload_start);
+  const std::uint64_t record = sizeof(Vec3i) + sizeof(Vec3l);
+  if (n > remaining / record || n * record != remaining)
+    throw std::runtime_error(
+        "Checkpoint::load: atom count inconsistent with file size");
+  f.seekg(payload_start);
   c.positions.resize(n);
   c.velocities.resize(n);
   f.read(reinterpret_cast<char*>(c.positions.data()),
@@ -54,6 +137,13 @@ Checkpoint Checkpoint::load(const std::string& path) {
   f.read(reinterpret_cast<char*>(c.velocities.data()),
          static_cast<std::streamsize>(n * sizeof(Vec3l)));
   if (!f) throw std::runtime_error("Checkpoint::load: truncated file");
+  std::uint32_t actual = 0;
+  actual = crc32(actual, &c.step, sizeof c.step);
+  actual = crc32(actual, &n, sizeof n);
+  actual = crc32(actual, c.positions.data(), n * sizeof(Vec3i));
+  actual = crc32(actual, c.velocities.data(), n * sizeof(Vec3l));
+  if (actual != crc)
+    throw std::runtime_error("Checkpoint::load: payload CRC mismatch");
   return c;
 }
 
@@ -64,10 +154,14 @@ void CsvWriter::header(std::span<const std::string> names) {
 }
 
 void CsvWriter::row(std::span<const double> values) {
+  const std::ios::fmtflags flags = os_.flags();
+  const std::streamsize prec = os_.precision();
   os_ << std::setprecision(17);
   for (std::size_t i = 0; i < values.size(); ++i)
     os_ << (i ? "," : "") << values[i];
   os_ << "\n";
+  os_.flags(flags);
+  os_.precision(prec);
 }
 
 }  // namespace anton::io

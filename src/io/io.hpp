@@ -20,6 +20,13 @@ void write_xyz_frame(std::ostream& os, std::span<const Vec3d> pos,
 /// Bit-exact checkpoint of fixed-point state (lattice positions +
 /// velocities). Restoring and resuming reproduces the original
 /// trajectory bitwise -- the property that lets Anton runs span months.
+///
+/// On-disk format (v2): magic | version | step | atom count | payload
+/// CRC32 | positions | velocities. save() writes `<path>.tmp` and then
+/// atomically renames it over `path`, so a crash mid-save never corrupts
+/// the previous checkpoint; load() validates magic, version, the declared
+/// atom count against the file size (before allocating) and the payload
+/// CRC, throwing std::runtime_error on any mismatch.
 struct Checkpoint {
   std::int64_t step = 0;
   std::vector<Vec3i> positions;

@@ -52,6 +52,11 @@ struct CommLedger {
   PhaseComm fft;        // distributed-FFT line segment exchange
   PhaseComm migration;  // migration units + directory announcements
   PhaseComm reduce;     // ordered scalar reductions (thermostat, energy)
+  /// Extra transmissions the reliable-delivery layer sent to mask injected
+  /// faults (timeout retransmits, across all phases). Zero on a healthy
+  /// network: the phase counters above count each logical message once, so
+  /// this phase isolates the price of recovery.
+  PhaseComm retransmit;
 
   std::int64_t interactions = 0;
   std::int64_t pairs_considered = 0;
@@ -61,11 +66,11 @@ struct CommLedger {
   std::int64_t total_messages() const {
     return position.messages + force.messages + bond.messages +
            mesh.messages + fft.messages + migration.messages +
-           reduce.messages;
+           reduce.messages + retransmit.messages;
   }
   std::int64_t total_bytes() const {
     return position.bytes + force.bytes + bond.bytes + mesh.bytes +
-           fft.bytes + migration.bytes + reduce.bytes;
+           fft.bytes + migration.bytes + reduce.bytes + retransmit.bytes;
   }
 };
 

@@ -1,0 +1,150 @@
+#include "parallel/fault.hpp"
+
+#include <utility>
+
+namespace anton::parallel {
+
+FaultCounters& FaultCounters::operator+=(const FaultCounters& o) {
+  drops += o.drops;
+  duplicates += o.duplicates;
+  reorders += o.reorders;
+  delays += o.delays;
+  crashes += o.crashes;
+  retransmits += o.retransmits;
+  retransmit_bytes += o.retransmit_bytes;
+  dups_suppressed += o.dups_suppressed;
+  out_of_order_held += o.out_of_order_held;
+  rollbacks += o.rollbacks;
+  replayed_cycles += o.replayed_cycles;
+  return *this;
+}
+
+void ReliableTransport::receive(Channel& c, std::uint64_t seq,
+                                const Apply& apply) {
+  // Any arriving copy acknowledges the message: the sender stops
+  // retransmitting it (cumulative-ack model; a later retransmit racing a
+  // delayed original is caught by the sequence check below).
+  for (std::size_t i = 0; i < c.unacked.size(); ++i) {
+    if (c.unacked[i].first == seq) {
+      c.unacked.erase(c.unacked.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  if (seq < c.expect_seq) {
+    ++counters_.dups_suppressed;  // stale copy of an applied message
+    return;
+  }
+  if (seq > c.expect_seq) {
+    // Arrived ahead of a gap: park until the gap fills. A second copy of
+    // a parked message is a duplicate too.
+    auto [it, inserted] = c.reorder_buf.emplace(seq, apply);
+    (void)it;
+    if (inserted)
+      ++counters_.out_of_order_held;
+    else
+      ++counters_.dups_suppressed;
+    return;
+  }
+  apply();
+  ++c.expect_seq;
+  // The gap closed: drain the consecutive prefix of the reorder buffer.
+  auto it = c.reorder_buf.begin();
+  while (it != c.reorder_buf.end() && it->first == c.expect_seq) {
+    it->second();
+    ++c.expect_seq;
+    it = c.reorder_buf.erase(it);
+  }
+}
+
+bool ReliableTransport::transmit(std::uint64_t ch, std::uint64_t seq,
+                                 std::int64_t bytes, const Apply& apply) {
+  (void)bytes;
+  Channel& c = channels_[ch];
+  const WireFault f =
+      injector_ ? injector_->next_fault() : WireFault::kNone;
+  switch (f) {
+    case WireFault::kNone:
+      receive(c, seq, apply);
+      return true;
+    case WireFault::kDrop:
+      ++counters_.drops;
+      return false;  // stays unacked; flush() retransmits
+    case WireFault::kDuplicate:
+      ++counters_.duplicates;
+      receive(c, seq, apply);
+      receive(c, seq, apply);
+      return true;
+    case WireFault::kReorder:
+      ++counters_.reorders;
+      break;
+    case WireFault::kDelay:
+      ++counters_.delays;
+      break;
+  }
+  // kReorder / kDelay: the copy is in flight but parked; later
+  // transmissions overtake it. It lands during the flush sweep (and the
+  // sender, having seen no ack, may race it with a retransmit -- the
+  // sequence check deduplicates).
+  parked_.emplace_back(ch, seq, apply);
+  return false;
+}
+
+void ReliableTransport::send(std::uint64_t ch, std::int64_t bytes,
+                             Apply apply) {
+  Channel& c = channels_[ch];
+  const std::uint64_t seq = c.next_seq++;
+  c.unacked.emplace_back(seq, std::make_pair(bytes, apply));
+  transmit(ch, seq, bytes, apply);
+}
+
+void ReliableTransport::flush() {
+  const int max_attempts =
+      injector_ ? injector_->config().max_attempts : 1;
+  for (int round = 0;; ++round) {
+    // Parked copies finally arrive (in the order the wire held them).
+    if (!parked_.empty()) {
+      auto parked = std::move(parked_);
+      parked_.clear();
+      for (auto& [ch, seq, apply] : parked)
+        receive(channels_[ch], seq, apply);
+    }
+    bool pending = false;
+    for (auto& [id, c] : channels_)
+      if (!c.unacked.empty()) pending = true;
+    if (!pending && parked_.empty()) break;
+    if (round >= max_attempts)
+      throw std::runtime_error(
+          "ReliableTransport: message exceeded retry budget (link dead)");
+    // Timeout fired: retransmit every unacknowledged message, oldest
+    // first, per channel in deterministic channel order. Each attempt
+    // faces the injector again.
+    std::vector<std::uint64_t> ids;
+    ids.reserve(channels_.size());
+    for (auto& [id, c] : channels_) ids.push_back(id);
+    for (std::uint64_t id : ids) {
+      // receive() mutates unacked; walk a snapshot.
+      auto snapshot = channels_[id].unacked;
+      for (auto& [seq, payload] : snapshot) {
+        ++counters_.retransmits;
+        counters_.retransmit_bytes += payload.first;
+        transmit(id, seq, payload.first, payload.second);
+      }
+    }
+  }
+  if (!quiescent())
+    throw std::logic_error("ReliableTransport: flush left residual state");
+}
+
+void ReliableTransport::reset_channels() {
+  channels_.clear();
+  parked_.clear();
+}
+
+bool ReliableTransport::quiescent() const {
+  if (!parked_.empty()) return false;
+  for (const auto& [id, c] : channels_)
+    if (!c.unacked.empty() || !c.reorder_buf.empty()) return false;
+  return true;
+}
+
+}  // namespace anton::parallel

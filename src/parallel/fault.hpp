@@ -1,0 +1,213 @@
+// Fault injection and reliable end-to-end message delivery for the
+// virtual-node runtime.
+//
+// Anton's millisecond runs only exist because the machine survives faults:
+// the network layer provides reliable end-to-end delivery over lossy links
+// (the Anton 3 network paper devotes a whole layer to it), and the
+// determinism guarantees of Section 2.5 make checkpoint/restart recovery
+// *bitwise verifiable*. This module supplies both halves for the
+// VirtualMachine:
+//
+//  * FaultInjector -- a seeded, deterministic adversary that perturbs
+//    individual message transmissions (drop / duplicate / reorder / delay)
+//    and schedules whole-node crashes at MTS-cycle boundaries. Same seed,
+//    same fault schedule, every run.
+//
+//  * ReliableTransport -- per-channel sequence numbers, receiver-side
+//    reorder buffers, duplicate suppression and bounded retransmit over an
+//    unreliable "wire" driven by the injector. The physics phases above it
+//    observe exactly-once, in-order delivery regardless of what the
+//    injector does, so the recovered trajectory is bitwise identical to
+//    the fault-free run. With no injector attached the transport is a
+//    pass-through: zero retries, zero retransmit bytes, and delivery order
+//    identical to the direct-write choreography (bitwise-neutral).
+//
+// A "channel" is one (src node, dst node, phase) stream; each carries its
+// own monotonically increasing sequence number, mirroring the per-channel
+// ordering guarantee of Anton's communication subsystem.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace anton::parallel {
+
+/// Configuration for one seeded fault schedule.
+struct FaultConfig {
+  std::uint64_t seed = 1;
+  /// Per-transmission perturbation probabilities in [0, 1). Evaluated in
+  /// this order; at most one fault fires per transmission attempt.
+  double drop = 0.0;       // transmission lost; sender must retransmit
+  double duplicate = 0.0;  // delivered twice; receiver must suppress one
+  double reorder = 0.0;    // held back behind the next transmission
+  double delay = 0.0;      // held until the end-of-phase retry sweep
+  /// Retransmission attempts per message before the transport declares the
+  /// link dead and throws (end-to-end delivery is *reliable*, not
+  /// best-effort: a healthy schedule always completes under this bound).
+  int max_attempts = 64;
+  /// Whole-node crash schedule: node `crash_node` crashes at the boundary
+  /// of each listed absolute MTS cycle (before the cycle executes). The
+  /// runtime recovers by coordinated rollback to its last checkpoint.
+  std::vector<std::int64_t> crash_cycles;
+  int crash_node = 0;
+  /// Distributed checkpoint cadence in MTS cycles (per-node state capture
+  /// at cycle boundaries; the rollback target after a crash).
+  int checkpoint_cycles = 1;
+};
+
+/// Counters describing what the adversary did and what the reliable layer
+/// paid to hide it. Published by the VM as vm.fault.* / vm.retry.*.
+struct FaultCounters {
+  // Injected faults (vm.fault.*).
+  std::int64_t drops = 0;
+  std::int64_t duplicates = 0;
+  std::int64_t reorders = 0;
+  std::int64_t delays = 0;
+  std::int64_t crashes = 0;
+  // Recovery work (vm.retry.*).
+  std::int64_t retransmits = 0;        // extra transmissions sent
+  std::int64_t retransmit_bytes = 0;   // payload bytes retransmitted
+  std::int64_t dups_suppressed = 0;    // deliveries discarded by seq check
+  std::int64_t out_of_order_held = 0;  // deliveries parked in reorder bufs
+  std::int64_t rollbacks = 0;          // coordinated checkpoint restores
+  std::int64_t replayed_cycles = 0;    // cycles re-executed after rollback
+
+  FaultCounters& operator+=(const FaultCounters& o);
+};
+
+/// What the wire does to one transmission attempt.
+enum class WireFault : std::uint8_t {
+  kNone,       // delivered as sent
+  kDrop,       // lost
+  kDuplicate,  // delivered, then delivered again
+  kReorder,    // swapped behind the next transmission on the wire
+  kDelay,      // parked until the end-of-phase sweep
+};
+
+/// Seeded deterministic fault source. All randomness the fault layer ever
+/// consumes flows through this one generator, in transmission order, so a
+/// (seed, trajectory) pair fully determines the fault schedule.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultConfig& cfg)
+      : cfg_(cfg), rng_(cfg.seed) {}
+
+  const FaultConfig& config() const { return cfg_; }
+
+  /// Decides the fate of one transmission attempt.
+  WireFault next_fault() {
+    const bool any = cfg_.drop > 0.0 || cfg_.duplicate > 0.0 ||
+                     cfg_.reorder > 0.0 || cfg_.delay > 0.0;
+    if (!any) return WireFault::kNone;
+    const double u = rng_.uniform();
+    if (u < cfg_.drop) return WireFault::kDrop;
+    if (u < cfg_.drop + cfg_.duplicate) return WireFault::kDuplicate;
+    if (u < cfg_.drop + cfg_.duplicate + cfg_.reorder)
+      return WireFault::kReorder;
+    if (u < cfg_.drop + cfg_.duplicate + cfg_.reorder + cfg_.delay)
+      return WireFault::kDelay;
+    return WireFault::kNone;
+  }
+
+  /// True if `node` is scheduled to crash at the boundary of absolute
+  /// cycle `cycle` (each scheduled crash fires once).
+  bool crash_due(int node, std::int64_t cycle) {
+    if (node != cfg_.crash_node) return false;
+    for (std::int64_t& c : cfg_.crash_cycles) {
+      if (c == cycle) {
+        c = -1;  // consume
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  FaultConfig cfg_;
+  Xoshiro256 rng_;
+};
+
+/// Reliable in-order exactly-once delivery over an injector-perturbed
+/// wire. Payload application is a closure so every phase of the VM
+/// choreography (position records, force partials, mesh halos, FFT
+/// segments, migration units, reductions) rides the same layer.
+///
+/// Usage per communication phase:
+///   transport.send(channel-id, bytes, apply);   // any number of times
+///   transport.flush();                          // barrier: all delivered
+///
+/// send() transmits eagerly: an unperturbed message applies immediately
+/// (in sequence order), so with no injector the delivery order is exactly
+/// the direct-write order of the original choreography. flush() runs the
+/// bounded retransmit sweep until every channel has delivered its full
+/// prefix, then asserts quiescence.
+class ReliableTransport {
+ public:
+  using Apply = std::function<void()>;
+
+  /// Channel key: (src << 20 | dst << 8 | phase) packed by the caller via
+  /// channel(). 4096 nodes and 256 phases are plenty for this host.
+  static std::uint64_t channel(int src, int dst, int phase) {
+    return (static_cast<std::uint64_t>(src) << 20) |
+           (static_cast<std::uint64_t>(dst) << 8) |
+           static_cast<std::uint64_t>(phase);
+  }
+
+  void set_injector(FaultInjector* inj) { injector_ = inj; }
+  FaultInjector* injector() const { return injector_; }
+
+  FaultCounters& counters() { return counters_; }
+  const FaultCounters& counters() const { return counters_; }
+
+  /// Sends one message on `ch`; `apply` commits the payload to the
+  /// receiver's state. Delivery (possibly deferred) is exactly-once and
+  /// per-channel FIFO.
+  void send(std::uint64_t ch, std::int64_t bytes, Apply apply);
+
+  /// Delivers everything still in flight: retransmits lost/parked
+  /// messages (bounded by max_attempts) until every channel's receive
+  /// window is closed. Throws if a message exceeds its retry budget.
+  void flush();
+
+  /// Discards all in-flight and sequencing state (coordinated rollback:
+  /// both ends of every channel restart from sequence zero).
+  void reset_channels();
+
+  /// True when nothing is buffered anywhere (post-flush invariant).
+  bool quiescent() const;
+
+ private:
+  struct Channel {
+    std::uint64_t next_seq = 0;    // sender side
+    std::uint64_t expect_seq = 0;  // receiver side (cumulative ack)
+    /// Sent but not yet acknowledged, in sequence order.
+    std::vector<std::pair<std::uint64_t, std::pair<std::int64_t, Apply>>>
+        unacked;
+    /// Received out of order, parked until the gap fills.
+    std::map<std::uint64_t, Apply> reorder_buf;
+  };
+
+  /// One transmission attempt of (ch, seq). Returns true if the wire
+  /// delivered it (possibly twice); false if it was lost or parked.
+  bool transmit(std::uint64_t ch, std::uint64_t seq, std::int64_t bytes,
+                const Apply& apply);
+  /// Hands one arriving copy to the receiver (seq check + reorder buffer).
+  void receive(Channel& c, std::uint64_t seq, const Apply& apply);
+  void ack_delivered(Channel& c);
+
+  std::map<std::uint64_t, Channel> channels_;
+  /// Transmissions the injector parked (kDelay) or displaced (kReorder),
+  /// delivered by the next transmission or the flush sweep.
+  std::vector<std::tuple<std::uint64_t, std::uint64_t, Apply>> parked_;
+  FaultInjector* injector_ = nullptr;
+  FaultCounters counters_;
+};
+
+}  // namespace anton::parallel

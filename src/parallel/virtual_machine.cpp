@@ -351,6 +351,27 @@ void VirtualMachine::account(PhaseComm& phase, int src, int dst,
   ++nodes_[src].sent;
 }
 
+void VirtualMachine::deliver(PhaseComm& phase, int channel_phase, int src,
+                             int dst, std::int64_t bytes,
+                             std::function<void()> apply) {
+  if (src == dst) {
+    // Node-local handoff: never touches the wire (and is never counted).
+    apply();
+    return;
+  }
+  account(phase, src, dst, bytes);
+  transport_.send(ReliableTransport::channel(src, dst, channel_phase),
+                  bytes, std::move(apply));
+}
+
+void VirtualMachine::sync_retransmit_ledger() {
+  const FaultCounters& fc = transport_.counters();
+  ledger_.retransmit.messages += fc.retransmits - retrans_synced_msgs_;
+  ledger_.retransmit.bytes += fc.retransmit_bytes - retrans_synced_bytes_;
+  retrans_synced_msgs_ = fc.retransmits;
+  retrans_synced_bytes_ = fc.retransmit_bytes;
+}
+
 // ---------------------------------------------------------------------------
 // Helpers.
 // ---------------------------------------------------------------------------
@@ -389,14 +410,16 @@ void VirtualMachine::position_multicast() {
       payload.reserve(ids.size());
       for (std::int32_t a : ids) payload.push_back({a, nd.atoms.at(a).pos});
       for (int dst : consumers_[sb]) {
-        records_of(nodes_[dst], sb) = payload;  // message delivery
-        if (dst != n)
-          account(ledger_.position, n, dst,
-                  kPosRecord * static_cast<std::int64_t>(payload.size()) +
-                      kMsgHeader);
+        deliver(ledger_.position, kChPosition, n, dst,
+                kPosRecord * static_cast<std::int64_t>(payload.size()) +
+                    kMsgHeader,
+                [this, dst, sb, payload] {
+                  records_of(nodes_[dst], sb) = payload;
+                });
       }
     }
   }
+  transport_.flush();  // pair phase reads the consumer mailboxes
 }
 
 void VirtualMachine::pair_phase() {
@@ -459,7 +482,7 @@ void VirtualMachine::bond_dispatch_and_terms(bool long_range) {
     obs::Tracer::Span sp(tracer_, "vm.bond_dispatch");
     for (int n = 0; n < nnodes; ++n) {
       NodeState& nd = nodes_[n];
-      std::vector<std::int64_t> cnt(nnodes, 0);
+      std::vector<std::vector<AtomRecord>> out(nnodes);
       std::vector<int> dsts;
       for (const auto& [sb, ids] : nd.bins) {
         for (std::int32_t a : ids) {
@@ -472,16 +495,21 @@ void VirtualMachine::bond_dispatch_and_terms(bool long_range) {
               dsts.push_back(dst);
           }
           const Vec3i p = nd.atoms.at(a).pos;
-          for (int dst : dsts) {
-            nodes_[dst].rpos[a] = p;  // message delivery
-            ++cnt[dst];
-          }
+          for (int dst : dsts) out[dst].push_back({a, p});
         }
       }
-      for (int dst = 0; dst < nnodes; ++dst)
-        if (cnt[dst])
-          account(ledger_.bond, n, dst, kPosRecord * cnt[dst] + kMsgHeader);
+      for (int dst = 0; dst < nnodes; ++dst) {
+        if (out[dst].empty()) continue;
+        deliver(
+            ledger_.bond, kChBond, n, dst,
+            kPosRecord * static_cast<std::int64_t>(out[dst].size()) +
+                kMsgHeader,
+            [this, dst, recs = std::move(out[dst])] {
+              for (const AtomRecord& r : recs) nodes_[dst].rpos[r.id] = r.pos;
+            });
+      }
     }
+    transport_.flush();  // term evaluation reads the rpos mailboxes
   }
 
   obs::Tracer::Span sp(tracer_,
@@ -552,21 +580,28 @@ void VirtualMachine::force_return(bool long_range) {
     obs::Tracer::Span node_span(tracer_, "vm.node.force_return", n + 1);
     NodeState& nd = nodes_[n];
     std::sort(nd.plist.begin(), nd.plist.end());
-    std::vector<std::int64_t> cnt(nnodes, 0);
+    std::vector<std::vector<std::pair<std::int32_t, Vec3l>>> out(nnodes);
     for (std::int32_t id : nd.plist) {
-      const Vec3l f = nd.partial[id];
-      const int dst = directory_[id];
-      AtomState& st = nodes_[dst].atoms.at(id);
-      acc3(long_range ? st.f_long : st.f_short, f);  // message delivery
-      if (dst != n) ++cnt[dst];
+      out[directory_[id]].emplace_back(id, nd.partial[id]);
       nd.partial[id] = {0, 0, 0};
       nd.ptouched[id] = 0;
     }
     nd.plist.clear();
-    for (int dst = 0; dst < nnodes; ++dst)
-      if (cnt[dst])
-        account(ledger_.force, n, dst, kForceRecord * cnt[dst] + kMsgHeader);
+    for (int dst = 0; dst < nnodes; ++dst) {
+      if (out[dst].empty()) continue;
+      deliver(
+          ledger_.force, kChForce, n, dst,
+          kForceRecord * static_cast<std::int64_t>(out[dst].size()) +
+              kMsgHeader,
+          [this, dst, long_range, recs = std::move(out[dst])] {
+            for (const auto& [id, f] : recs) {
+              AtomState& st = nodes_[dst].atoms.at(id);
+              acc3(long_range ? st.f_long : st.f_short, f);
+            }
+          });
+    }
   }
+  transport_.flush();  // the vsite round reads the home accumulators
 }
 
 void VirtualMachine::vsite_force_round(bool long_range) {
@@ -576,12 +611,9 @@ void VirtualMachine::vsite_force_round(bool long_range) {
   for (int n = 0; n < nnodes; ++n) {
     NodeState& nd = nodes_[n];
     if (nd.vsites.empty()) continue;
-    std::vector<std::int64_t> cnt(nnodes, 0);
-    auto deliver = [&](std::int32_t target, const Vec3l& f) {
-      const int dst = directory_[target];
-      AtomState& st = nodes_[dst].atoms.at(target);
-      acc3(long_range ? st.f_long : st.f_short, f);
-      if (dst != n) ++cnt[dst];
+    std::vector<std::vector<std::pair<std::int32_t, Vec3l>>> out(nnodes);
+    auto share = [&](std::int32_t target, const Vec3l& f) {
+      out[directory_[target]].emplace_back(target, f);
     };
     for (std::int32_t k : nd.vsites) {
       const VirtualSite& v = top.virtual_sites[k];
@@ -589,14 +621,25 @@ void VirtualMachine::vsite_force_round(bool long_range) {
       Vec3l& f = long_range ? site.f_long : site.f_short;
       const VsiteForceShare s = split_virtual_site_force(v, f);
       f = {0, 0, 0};
-      deliver(v.h1, s.fh);
-      deliver(v.h2, s.fh);
-      deliver(v.o, s.fo);
+      share(v.h1, s.fh);
+      share(v.h2, s.fh);
+      share(v.o, s.fo);
     }
-    for (int dst = 0; dst < nnodes; ++dst)
-      if (cnt[dst])
-        account(ledger_.force, n, dst, kForceRecord * cnt[dst] + kMsgHeader);
+    for (int dst = 0; dst < nnodes; ++dst) {
+      if (out[dst].empty()) continue;
+      deliver(
+          ledger_.force, kChForce, n, dst,
+          kForceRecord * static_cast<std::int64_t>(out[dst].size()) +
+              kMsgHeader,
+          [this, dst, long_range, recs = std::move(out[dst])] {
+            for (const auto& [id, f] : recs) {
+              AtomState& st = nodes_[dst].atoms.at(id);
+              acc3(long_range ? st.f_long : st.f_short, f);
+            }
+          });
+    }
   }
+  transport_.flush();
 }
 
 void VirtualMachine::compute_short_forces() {
@@ -671,25 +714,32 @@ void VirtualMachine::spread_and_halo() {
     for (std::int32_t idx : nd.touched)
       by_owner[owner_of_mesh(idx)].push_back(idx);
     for (auto& [o, list] : by_owner) {
-      NodeState& od = nodes_[o];
-      for (std::int32_t idx : list) {
-        const int x = idx % M;
-        const int y = (idx / M) % M;
-        const int z = idx / (M * M);
-        const std::size_t l =
-            (static_cast<std::size_t>(z - od.block_lo.z) * od.block_sz.y +
-             (y - od.block_lo.y)) *
-                od.block_sz.x +
-            (x - od.block_lo.x);
-        od.mesh_q[l] = fixed::wrap_add(od.mesh_q[l], nd.spread_q[idx]);
-      }
-      od.halo_req[n] = list;
-      if (o != n)
-        account(ledger_.mesh, n, o,
-                kMeshRecord * static_cast<std::int64_t>(list.size()) +
-                    kMsgHeader);
+      std::vector<std::int64_t> charge;
+      charge.reserve(list.size());
+      for (std::int32_t idx : list) charge.push_back(nd.spread_q[idx]);
+      deliver(ledger_.mesh, kChMesh, n, o,
+              kMeshRecord * static_cast<std::int64_t>(list.size()) +
+                  kMsgHeader,
+              [this, o, n, M, list, charge = std::move(charge)] {
+                NodeState& od = nodes_[o];
+                for (std::size_t i = 0; i < list.size(); ++i) {
+                  const std::int32_t idx = list[i];
+                  const int x = idx % M;
+                  const int y = (idx / M) % M;
+                  const int z = idx / (M * M);
+                  const std::size_t l =
+                      (static_cast<std::size_t>(z - od.block_lo.z) *
+                           od.block_sz.y +
+                       (y - od.block_lo.y)) *
+                          od.block_sz.x +
+                      (x - od.block_lo.x);
+                  od.mesh_q[l] = fixed::wrap_add(od.mesh_q[l], charge[i]);
+                }
+                od.halo_req[n] = list;
+              });
     }
   }
+  transport_.flush();  // the owned-block accumulators are read below
 
   for (NodeState& nd : nodes_) {
     for (std::size_t l = 0; l < nd.mesh_q.size(); ++l) {
@@ -774,11 +824,16 @@ void VirtualMachine::distributed_fft_stage(int axis, bool inverse) {
         if (s0 == s1) continue;
         const int holder = holder_index(hc);
         const NodeState& hd = nodes_[holder];
-        for (int k = s0; k < s1; ++k) line[k] = hd.fft_grid[point(hd, k)];
-        if (holder != owner)
-          account(ledger_.fft, holder, owner,
-                  static_cast<std::int64_t>(s1 - s0) * kFftPointBytes);
+        std::vector<fft::cplx> seg(static_cast<std::size_t>(s1 - s0));
+        for (int k = s0; k < s1; ++k)
+          seg[static_cast<std::size_t>(k - s0)] = hd.fft_grid[point(hd, k)];
+        deliver(ledger_.fft, kChFft, holder, owner,
+                static_cast<std::int64_t>(s1 - s0) * kFftPointBytes,
+                [&line, s0, seg = std::move(seg)] {
+                  std::copy(seg.begin(), seg.end(), line.begin() + s0);
+                });
       }
+      transport_.flush();  // the owner transforms the assembled line
 
       if (inverse)
         fft1_->inverse(line.data());
@@ -791,12 +846,18 @@ void VirtualMachine::distributed_fft_stage(int axis, bool inverse) {
         const int s1 = mesh_start_[axis][hc + 1];
         if (s0 == s1) continue;
         const int holder = holder_index(hc);
-        NodeState& hd = nodes_[holder];
-        for (int k = s0; k < s1; ++k) hd.fft_grid[point(hd, k)] = line[k];
-        if (holder != owner)
-          account(ledger_.fft, owner, holder,
-                  static_cast<std::int64_t>(s1 - s0) * kFftPointBytes);
+        std::vector<fft::cplx> seg(line.begin() + s0, line.begin() + s1);
+        deliver(ledger_.fft, kChFft, owner, holder,
+                static_cast<std::int64_t>(s1 - s0) * kFftPointBytes,
+                [this, holder, s0, s1, point, seg = std::move(seg)] {
+                  NodeState& hd = nodes_[holder];
+                  for (int k = s0; k < s1; ++k)
+                    hd.fft_grid[point(hd, k)] =
+                        seg[static_cast<std::size_t>(k - s0)];
+                });
       }
+      // The next line may read any holder's slab: settle this one first.
+      transport_.flush();
     }
   }
 }
@@ -812,6 +873,13 @@ void VirtualMachine::convolve_and_energy() {
   std::vector<double> q_full(mesh_total, 0.0), phi_full(mesh_total, 0.0);
   for (int n = 0; n < nnodes; ++n) {
     NodeState& nd = nodes_[n];
+    // Local quantization of the owned potentials, plus the (q, phi) block
+    // payload for the master's ordered energy reduction.
+    std::vector<std::size_t> gidx;
+    std::vector<double> qv, phiv;
+    gidx.reserve(nd.mesh_q.size());
+    qv.reserve(nd.mesh_q.size());
+    phiv.reserve(nd.mesh_q.size());
     std::size_t l = 0;
     for (int z = nd.block_lo.z; z < nd.block_lo.z + nd.block_sz.z; ++z)
       for (int y = nd.block_lo.y; y < nd.block_lo.y + nd.block_sz.y; ++y)
@@ -819,15 +887,22 @@ void VirtualMachine::convolve_and_energy() {
              ++x, ++l) {
           const double phi = nd.fft_grid[l].real();
           nd.mesh_phi[l] = fixed::quantize(phi, kPhiScale);
-          const std::size_t g =
-              (static_cast<std::size_t>(z) * M + y) * M + x;
-          q_full[g] = nd.scratch_q[l];
-          phi_full[g] = phi;
+          gidx.push_back((static_cast<std::size_t>(z) * M + y) * M + x);
+          qv.push_back(nd.scratch_q[l]);
+          phiv.push_back(phi);
         }
-    if (n != 0 && !nd.mesh_q.empty())
-      account(ledger_.reduce, n, 0,
-              16 * static_cast<std::int64_t>(nd.mesh_q.size()) + kMsgHeader);
+    if (gidx.empty()) continue;
+    deliver(ledger_.reduce, kChReduce, n, 0,
+            16 * static_cast<std::int64_t>(nd.mesh_q.size()) + kMsgHeader,
+            [&q_full, &phi_full, gidx = std::move(gidx), qv = std::move(qv),
+             phiv = std::move(phiv)] {
+              for (std::size_t i = 0; i < gidx.size(); ++i) {
+                q_full[gidx[i]] = qv[i];
+                phi_full[gidx[i]] = phiv[i];
+              }
+            });
   }
+  transport_.flush();  // the ordered reduction reads the gathered blocks
   double energy = 0.0;
   for (std::size_t i = 0; i < mesh_total; ++i)
     energy += phi_full[i] * q_full[i];
@@ -848,7 +923,8 @@ void VirtualMachine::phi_halo_back_and_interpolate() {
     for (int src = 0; src < nnodes; ++src) {
       const auto& list = od.halo_req[src];
       if (list.empty()) continue;
-      NodeState& sd = nodes_[src];
+      std::vector<std::int64_t> phis;
+      phis.reserve(list.size());
       for (std::int32_t idx : list) {
         const int x = idx % M;
         const int y = (idx / M) % M;
@@ -858,14 +934,19 @@ void VirtualMachine::phi_halo_back_and_interpolate() {
              (y - od.block_lo.y)) *
                 od.block_sz.x +
             (x - od.block_lo.x);
-        sd.halo_phi[idx] = od.mesh_phi[l];  // message delivery
+        phis.push_back(od.mesh_phi[l]);
       }
-      if (src != o)
-        account(ledger_.mesh, o, src,
-                kMeshRecord * static_cast<std::int64_t>(list.size()) +
-                    kMsgHeader);
+      deliver(ledger_.mesh, kChMesh, o, src,
+              kMeshRecord * static_cast<std::int64_t>(list.size()) +
+                  kMsgHeader,
+              [this, src, list, phis = std::move(phis)] {
+                NodeState& sd = nodes_[src];
+                for (std::size_t i = 0; i < list.size(); ++i)
+                  sd.halo_phi[list[i]] = phis[i];
+              });
     }
   }
+  transport_.flush();  // interpolation reads the node-local phi halos
 
   // Force interpolation against the node-local phi halo; each atom's
   // contribution lands directly on the home atom.
@@ -980,7 +1061,7 @@ void VirtualMachine::finish_drift() {
   // Parent position dispatch for off-node virtual sites.
   for (int n = 0; n < nnodes; ++n) {
     NodeState& nd = nodes_[n];
-    std::vector<std::int64_t> cnt(nnodes, 0);
+    std::vector<std::vector<AtomRecord>> out(nnodes);
     std::vector<int> dsts;
     for (const auto& [sb, ids] : nd.bins) {
       for (std::int32_t a : ids) {
@@ -993,16 +1074,21 @@ void VirtualMachine::finish_drift() {
             dsts.push_back(dst);
         }
         const Vec3i p = nd.atoms.at(a).pos;
-        for (int dst : dsts) {
-          nodes_[dst].rpos[a] = p;  // message delivery
-          ++cnt[dst];
-        }
+        for (int dst : dsts) out[dst].push_back({a, p});
       }
     }
-    for (int dst = 0; dst < nnodes; ++dst)
-      if (cnt[dst])
-        account(ledger_.bond, n, dst, kPosRecord * cnt[dst] + kMsgHeader);
+    for (int dst = 0; dst < nnodes; ++dst) {
+      if (out[dst].empty()) continue;
+      deliver(
+          ledger_.bond, kChBond, n, dst,
+          kPosRecord * static_cast<std::int64_t>(out[dst].size()) +
+              kMsgHeader,
+          [this, dst, recs = std::move(out[dst])] {
+            for (const AtomRecord& r : recs) nodes_[dst].rpos[r.id] = r.pos;
+          });
+    }
   }
+  transport_.flush();  // site rebuild reads the parent positions
   for (int n = 0; n < nnodes; ++n) {
     NodeState& nd = nodes_[n];
     for (std::int32_t k : nd.vsites) {
@@ -1047,23 +1133,31 @@ void VirtualMachine::apply_thermostat() {
   std::vector<double> term(top.natoms, 0.0);
   for (int n = 0; n < nnodes; ++n) {
     const NodeState& nd = nodes_[n];
-    std::int64_t c = 0;
-    for (const auto& [id, st] : nd.atoms) {
-      term[id] = kinetic_term(top.mass[id], st.vel);  // message delivery
-      ++c;
-    }
-    if (n != 0 && c)
-      account(ledger_.reduce, n, 0, kReduceRecord * c + kMsgHeader);
+    std::vector<std::pair<std::int32_t, double>> out;
+    out.reserve(nd.atoms.size());
+    for (const auto& [id, st] : nd.atoms)
+      out.emplace_back(id, kinetic_term(top.mass[id], st.vel));
+    if (out.empty()) continue;
+    deliver(ledger_.reduce, kChReduce, n, 0,
+            kReduceRecord * static_cast<std::int64_t>(out.size()) +
+                kMsgHeader,
+            [&term, recs = std::move(out)] {
+              for (const auto& [id, t] : recs) term[id] = t;
+            });
   }
+  transport_.flush();  // the master sums in global atom-index order
   double mv2 = 0.0;
   for (std::int32_t i = 0; i < top.natoms; ++i) mv2 += term[i];
   const int k = std::max(1, acfg_.sim.long_range_every);
   const double lambda = thermostat_lambda(top, mv2, k * acfg_.sim.dt,
                                           acfg_.sim.target_temperature,
                                           acfg_.sim.berendsen_tau);
-  for (int n = 1; n < nnodes; ++n) account(ledger_.reduce, 0, n, kMsgHeader);
-  for (NodeState& nd : nodes_)
-    for (auto& [id, st] : nd.atoms) scale_velocity(st.vel, lambda);
+  for (int n = 0; n < nnodes; ++n) {
+    deliver(ledger_.reduce, kChReduce, 0, n, kMsgHeader, [this, n, lambda] {
+      for (auto& [id, st] : nodes_[n].atoms) scale_velocity(st.vel, lambda);
+    });
+  }
+  transport_.flush();
 }
 
 // ---------------------------------------------------------------------------
@@ -1085,17 +1179,23 @@ void VirtualMachine::migrate_by_message() {
     }
     for (int dst = 0; dst < nnodes; ++dst) {
       if (move_units[dst].empty()) continue;
-      std::int64_t atoms_moved = 0;
+      // The sender evicts the unit and updates the (replicated) directory
+      // immediately; the receiver's copy lands via the reliable channel.
+      std::vector<std::pair<std::int32_t, AtomState>> payload;
       for (std::int32_t u : move_units[dst]) {
         for (std::int32_t a : units_[u]) {
-          nodes_[dst].atoms[a] = nd.atoms.at(a);  // unit move message
+          payload.emplace_back(a, nd.atoms.at(a));
           nd.atoms.erase(a);
           directory_[a] = dst;
-          ++atoms_moved;
         }
       }
-      account(ledger_.migration, n, dst,
-              kAtomStateRecord * atoms_moved + kMsgHeader);
+      const std::int64_t atoms_moved =
+          static_cast<std::int64_t>(payload.size());
+      deliver(ledger_.migration, kChMigration, n, dst,
+              kAtomStateRecord * atoms_moved + kMsgHeader,
+              [this, dst, recs = std::move(payload)] {
+                for (const auto& [a, st] : recs) nodes_[dst].atoms[a] = st;
+              });
       moved_atoms += atoms_moved;
     }
     // Directory announcement: every other node learns the new homes.
@@ -1104,6 +1204,7 @@ void VirtualMachine::migrate_by_message() {
         if (o != n)
           account(ledger_.migration, n, o, 8 * moved_atoms + kMsgHeader);
   }
+  transport_.flush();  // unit reassignment reads the migrated atom states
   for (NodeState& nd : nodes_) nd.units.clear();
   for (std::size_t u = 0; u < units_.size(); ++u)
     nodes_[directory_[units_[u][0]]].units.push_back(
@@ -1115,57 +1216,170 @@ void VirtualMachine::migrate_by_message() {
 // The distributed MTS cycle.
 // ---------------------------------------------------------------------------
 
+void VirtualMachine::run_one_cycle() {
+  const int k = std::max(1, acfg_.sim.long_range_every);
+  obs::Tracer::Span cycle_span(tracer_, "vm.mts_cycle");
+  for (NodeState& nd : nodes_) nd.sent = 0;
+  if (acfg_.migration_interval > 0 &&
+      steps_ % acfg_.migration_interval == 0) {
+    obs::Tracer::Span sp(tracer_, "vm.migrate");
+    migrate_by_message();
+    if (metrics_) metrics_->count(mid_.migrations, 0, 1);
+  }
+  {
+    obs::Tracer::Span sp(tracer_, "vm.integrate");
+    kick_all(true);
+  }
+  for (int s = 0; s < k; ++s) {
+    obs::Tracer::Span step_span(tracer_, "vm.step");
+    {
+      obs::Tracer::Span sp(tracer_, "vm.integrate");
+      kick_all(false);
+      drift_and_constrain();
+      finish_drift();
+    }
+    compute_short_forces();
+    {
+      obs::Tracer::Span sp(tracer_, "vm.integrate");
+      kick_all(false);
+      rattle_groups();
+    }
+    ++steps_;
+    ++workload_.steps_accumulated;
+    if (metrics_) metrics_->count(mid_.steps, 0, 1);
+  }
+  compute_long_forces();
+  {
+    obs::Tracer::Span sp(tracer_, "vm.integrate");
+    kick_all(true);
+    rattle_groups();
+    if (acfg_.sim.thermostat) apply_thermostat();
+  }
+  std::int64_t mx = 0;
+  for (const NodeState& nd : nodes_) mx = std::max(mx, nd.sent);
+  ledger_.max_messages_per_node =
+      std::max(ledger_.max_messages_per_node, mx);
+  sync_retransmit_ledger();
+  publish_metrics();
+}
+
 void VirtualMachine::run_cycles(int ncycles) {
   if (!dynamic_)
     throw std::logic_error(
         "VirtualMachine::run_cycles: requires the dynamics-mode "
         "constructor");
   const int k = std::max(1, acfg_.sim.long_range_every);
-  for (int c = 0; c < ncycles; ++c) {
-    obs::Tracer::Span cycle_span(tracer_, "vm.mts_cycle");
-    for (NodeState& nd : nodes_) nd.sent = 0;
-    if (acfg_.migration_interval > 0 &&
-        steps_ % acfg_.migration_interval == 0) {
-      obs::Tracer::Span sp(tracer_, "vm.migrate");
-      migrate_by_message();
-      if (metrics_) metrics_->count(mid_.migrations, 0, 1);
-    }
-    {
-      obs::Tracer::Span sp(tracer_, "vm.integrate");
-      kick_all(true);
-    }
-    for (int s = 0; s < k; ++s) {
-      obs::Tracer::Span step_span(tracer_, "vm.step");
-      {
-        obs::Tracer::Span sp(tracer_, "vm.integrate");
-        kick_all(false);
-        drift_and_constrain();
-        finish_drift();
+  // steps_ only ever advances in whole cycles, so steps_ / k is the
+  // absolute cycle index -- stable across run_cycles calls and rollbacks,
+  // which is what the crash schedule is keyed on.
+  const std::int64_t target = steps_ / k + ncycles;
+  while (steps_ / k < target) {
+    const std::int64_t cycle = steps_ / k;
+    if (injector_) {
+      bool crashed = false;
+      for (int n = 0; n < node_count(); ++n)
+        if (injector_->crash_due(n, cycle)) crashed = true;
+      if (crashed) {
+        // A node died at this cycle boundary: its volatile state (and
+        // every in-flight message) is gone. Recovery is coordinated
+        // rollback -- all nodes restore the last distributed checkpoint,
+        // every channel restarts from sequence zero, and the replay is
+        // bitwise identical to the fault-free execution by the
+        // determinism invariants.
+        obs::Tracer::Span sp(tracer_, "vm.rollback");
+        FaultCounters& fc = transport_.counters();
+        ++fc.crashes;
+        ++fc.rollbacks;
+        const std::int64_t restored_cycle = ckpt_.steps / k;
+        restore_vm_checkpoint();
+        fc.replayed_cycles += cycle - restored_cycle;
+        continue;
       }
-      compute_short_forces();
-      {
-        obs::Tracer::Span sp(tracer_, "vm.integrate");
-        kick_all(false);
-        rattle_groups();
-      }
-      ++steps_;
-      ++workload_.steps_accumulated;
-      if (metrics_) metrics_->count(mid_.steps, 0, 1);
+      const int cadence =
+          std::max(1, injector_->config().checkpoint_cycles);
+      if (ft_enabled_ && (!have_ckpt_ || cycle % cadence == 0))
+        capture_vm_checkpoint();
     }
-    compute_long_forces();
-    {
-      obs::Tracer::Span sp(tracer_, "vm.integrate");
-      kick_all(true);
-      rattle_groups();
-      if (acfg_.sim.thermostat) apply_thermostat();
-    }
-    std::int64_t mx = 0;
-    for (const NodeState& nd : nodes_) mx = std::max(mx, nd.sent);
-    ledger_.max_messages_per_node =
-        std::max(ledger_.max_messages_per_node, mx);
-    publish_metrics();
+    run_one_cycle();
   }
   if (tracer_ && ncycles > 0) tracer_->capture_workload(workload());
+}
+
+// ---------------------------------------------------------------------------
+// Fault tolerance: distributed checkpoint, coordinated rollback.
+// ---------------------------------------------------------------------------
+
+void VirtualMachine::capture_vm_checkpoint() {
+  ckpt_.steps = steps_;
+  ckpt_.e_recip = e_recip_;
+  ckpt_.unit_sb = unit_sb_;
+  ckpt_.directory = directory_;
+  ckpt_.nodes.assign(nodes_.size(), NodeSnapshot{});
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    NodeSnapshot& s = ckpt_.nodes[n];
+    s.units = nodes_[n].units;
+    s.atoms.assign(nodes_[n].atoms.begin(), nodes_[n].atoms.end());
+    std::sort(s.atoms.begin(), s.atoms.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+  have_ckpt_ = true;
+}
+
+void VirtualMachine::restore_vm_checkpoint() {
+  if (!have_ckpt_)
+    throw std::logic_error(
+        "VirtualMachine: rollback requested with no checkpoint captured");
+  steps_ = ckpt_.steps;
+  e_recip_ = ckpt_.e_recip;
+  unit_sb_ = ckpt_.unit_sb;
+  directory_ = ckpt_.directory;
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    NodeState& nd = nodes_[n];
+    nd.units = ckpt_.nodes[n].units;
+    nd.atoms.clear();
+    for (const auto& [id, st] : ckpt_.nodes[n].atoms) nd.atoms.emplace(id, st);
+    // Scrub per-step mailbox residue (checkpoints are taken at quiescent
+    // cycle boundaries, but the replay must not see partial sums).
+    nd.recs.clear();
+    for (std::int32_t id : nd.plist) {
+      nd.partial[id] = {0, 0, 0};
+      nd.ptouched[id] = 0;
+    }
+    nd.plist.clear();
+  }
+  // Both ends of every channel restart from sequence zero; anything the
+  // wire still held is gone with the crashed node.
+  transport_.reset_channels();
+  rebuild_bins_and_terms();
+}
+
+void VirtualMachine::set_fault_config(const FaultConfig& cfg) {
+  if (!dynamic_)
+    throw std::logic_error(
+        "VirtualMachine::set_fault_config: requires the dynamics-mode "
+        "constructor");
+  injector_ = std::make_unique<FaultInjector>(cfg);
+  transport_.set_injector(injector_.get());
+  ft_enabled_ = true;
+  // Arm-time capture: a crash scheduled before the first cadence boundary
+  // still has a rollback target.
+  capture_vm_checkpoint();
+}
+
+void VirtualMachine::clear_fault_config() {
+  transport_.set_injector(nullptr);
+  injector_.reset();
+  ft_enabled_ = false;
+  have_ckpt_ = false;
+  ckpt_ = VmCheckpoint{};
+}
+
+io::Checkpoint VirtualMachine::export_checkpoint() const {
+  io::Checkpoint ck;
+  ck.step = steps_;
+  ck.positions = lattice_positions();
+  ck.velocities = fixed_velocities();
+  return ck;
 }
 
 // ---------------------------------------------------------------------------
@@ -1254,12 +1468,25 @@ void VirtualMachine::set_metrics(obs::MetricsRegistry* m) {
   mid_.migration_bytes = m->counter("vm.migration_bytes");
   mid_.reduce_messages = m->counter("vm.reduce_messages");
   mid_.reduce_bytes = m->counter("vm.reduce_bytes");
+  mid_.fault_drops = m->counter("vm.fault.drops");
+  mid_.fault_duplicates = m->counter("vm.fault.duplicates");
+  mid_.fault_reorders = m->counter("vm.fault.reorders");
+  mid_.fault_delays = m->counter("vm.fault.delays");
+  mid_.fault_crashes = m->counter("vm.fault.crashes");
+  mid_.retry_retransmits = m->counter("vm.retry.retransmits");
+  mid_.retry_retransmit_bytes = m->counter("vm.retry.retransmit_bytes");
+  mid_.retry_dups_suppressed = m->counter("vm.retry.dups_suppressed");
+  mid_.retry_out_of_order = m->counter("vm.retry.out_of_order_held");
+  mid_.retry_rollbacks = m->counter("vm.retry.rollbacks");
+  mid_.retry_replayed_cycles = m->counter("vm.retry.replayed_cycles");
   pub_base_ = ledger_;
+  fc_base_ = transport_.counters();
 }
 
 void VirtualMachine::publish_metrics() {
   if (!metrics_) {
     pub_base_ = ledger_;
+    fc_base_ = transport_.counters();
     return;
   }
   metrics_->count(mid_.cycles, 0, 1);
@@ -1278,8 +1505,28 @@ void VirtualMachine::publish_metrics() {
       pub_base_.migration);
   pub(mid_.reduce_messages, mid_.reduce_bytes, ledger_.reduce,
       pub_base_.reduce);
+  const FaultCounters& fc = transport_.counters();
+  auto pubc = [&](int id, std::int64_t cur, std::int64_t base) {
+    metrics_->count(id, 0, cur - base);
+  };
+  pubc(mid_.fault_drops, fc.drops, fc_base_.drops);
+  pubc(mid_.fault_duplicates, fc.duplicates, fc_base_.duplicates);
+  pubc(mid_.fault_reorders, fc.reorders, fc_base_.reorders);
+  pubc(mid_.fault_delays, fc.delays, fc_base_.delays);
+  pubc(mid_.fault_crashes, fc.crashes, fc_base_.crashes);
+  pubc(mid_.retry_retransmits, fc.retransmits, fc_base_.retransmits);
+  pubc(mid_.retry_retransmit_bytes, fc.retransmit_bytes,
+       fc_base_.retransmit_bytes);
+  pubc(mid_.retry_dups_suppressed, fc.dups_suppressed,
+       fc_base_.dups_suppressed);
+  pubc(mid_.retry_out_of_order, fc.out_of_order_held,
+       fc_base_.out_of_order_held);
+  pubc(mid_.retry_rollbacks, fc.rollbacks, fc_base_.rollbacks);
+  pubc(mid_.retry_replayed_cycles, fc.replayed_cycles,
+       fc_base_.replayed_cycles);
   metrics_->flush();
   pub_base_ = ledger_;
+  fc_base_ = fc;
 }
 
 // ---------------------------------------------------------------------------

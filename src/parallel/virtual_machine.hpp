@@ -38,6 +38,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <unordered_map>
@@ -50,10 +51,12 @@
 #include "fixed/lattice.hpp"
 #include "htis/pair_kernels.hpp"
 #include "nt/nt_geometry.hpp"
+#include "io/io.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pairlist/exclusion_table.hpp"
 #include "parallel/comm_stats.hpp"
+#include "parallel/fault.hpp"
 #include "parallel/node_program.hpp"
 
 namespace anton::parallel {
@@ -133,9 +136,34 @@ class VirtualMachine {
 
   /// Attaches a metrics registry (nullptr detaches). The ledger's
   /// per-phase message/byte counters are published under "vm.*" at every
-  /// cycle boundary.
+  /// cycle boundary, and -- when fault tolerance is enabled -- so are the
+  /// vm.fault.* / vm.retry.* counters.
   void set_metrics(obs::MetricsRegistry* m);
   obs::MetricsRegistry* metrics() const { return metrics_; }
+
+  // --- fault tolerance (dynamics mode only) ---
+
+  /// Arms the seeded fault injector and the distributed checkpoint /
+  /// rollback machinery. Every inter-node message already flows through
+  /// the reliable transport; this attaches the adversary to its wire and
+  /// starts per-node state capture every cfg.checkpoint_cycles cycle
+  /// boundaries. With all probabilities zero and no crash schedule the
+  /// trajectory is bitwise identical to an unarmed run and every
+  /// vm.retry.* counter stays zero.
+  void set_fault_config(const FaultConfig& cfg);
+
+  /// Detaches the injector and stops checkpoint capture.
+  void clear_fault_config();
+
+  /// Injected-fault and recovery-work counters since construction.
+  const FaultCounters& fault_counters() const {
+    return transport_.counters();
+  }
+
+  /// Gathers the distributed per-node state into a host-format checkpoint
+  /// (bit-exact: Simulation could resume an engine from it). Diagnostic
+  /// gather, not part of the choreography.
+  io::Checkpoint export_checkpoint() const;
 
  private:
   struct AtomRecord {
@@ -202,9 +230,48 @@ class VirtualMachine {
                             const std::vector<Vec3l>& gvel);
   void rebuild_bins_and_terms();
 
-  // --- message accounting ---
+  /// Coordinated distributed checkpoint: every node's private state at
+  /// one cycle boundary, plus the replicated directory/ownership tables.
+  /// The rollback target after an injected node crash.
+  struct NodeSnapshot {
+    std::vector<std::int32_t> units;
+    std::vector<std::pair<std::int32_t, AtomState>> atoms;  // sorted by id
+  };
+  struct VmCheckpoint {
+    std::int64_t steps = 0;
+    double e_recip = 0.0;
+    std::vector<std::int32_t> unit_sb;
+    std::vector<std::int32_t> directory;
+    std::vector<NodeSnapshot> nodes;
+  };
+
+  /// Channel tags for the reliable transport (one stream per
+  /// (src, dst, phase) triple).
+  enum Phase : int {
+    kChPosition = 0,
+    kChForce,
+    kChBond,
+    kChMesh,
+    kChFft,
+    kChMigration,
+    kChReduce,
+  };
+
+  // --- message accounting + reliable delivery ---
   int torus_hops(int src, int dst) const;
   void account(PhaseComm& phase, int src, int dst, std::int64_t bytes);
+  /// Delivers one message: local (src == dst) applies immediately with no
+  /// accounting; remote is accounted into `phase` and routed through the
+  /// reliable transport (exactly-once, per-channel FIFO, survives the
+  /// fault injector). Each phase barrier calls transport_.flush().
+  void deliver(PhaseComm& phase, int channel_phase, int src, int dst,
+               std::int64_t bytes, std::function<void()> apply);
+
+  // --- fault tolerance ---
+  void capture_vm_checkpoint();
+  void restore_vm_checkpoint();
+  void sync_retransmit_ledger();
+  void run_one_cycle();
 
   // --- choreography phases ---
   std::vector<AtomRecord>& records_of(NodeState& nd, std::int32_t sb);
@@ -274,6 +341,20 @@ class VirtualMachine {
   CommLedger pub_base_;  // ledger snapshot at last metrics publish
   core::WorkloadProfile workload_;
 
+  // Reliable delivery + fault tolerance. The transport is always in the
+  // message path (pass-through when no injector is attached); the
+  // injector, checkpoint capture and rollback engage via
+  // set_fault_config.
+  ReliableTransport transport_;
+  std::unique_ptr<FaultInjector> injector_;
+  bool ft_enabled_ = false;
+  VmCheckpoint ckpt_;
+  bool have_ckpt_ = false;
+  // Retransmit totals already folded into ledger_.retransmit (the
+  // transport counters are lifetime-monotonic; the ledger is resettable).
+  std::int64_t retrans_synced_msgs_ = 0;
+  std::int64_t retrans_synced_bytes_ = 0;
+
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   struct MetricIds {
@@ -285,7 +366,13 @@ class VirtualMachine {
     int fft_messages = -1, fft_bytes = -1;
     int migration_messages = -1, migration_bytes = -1;
     int reduce_messages = -1, reduce_bytes = -1;
+    int fault_drops = -1, fault_duplicates = -1, fault_reorders = -1;
+    int fault_delays = -1, fault_crashes = -1;
+    int retry_retransmits = -1, retry_retransmit_bytes = -1;
+    int retry_dups_suppressed = -1, retry_out_of_order = -1;
+    int retry_rollbacks = -1, retry_replayed_cycles = -1;
   } mid_;
+  FaultCounters fc_base_;  // fault-counter snapshot at last publish
 };
 
 }  // namespace anton::parallel

@@ -1,0 +1,411 @@
+// Fault injection, reliable delivery and crash recovery.
+//
+// The acceptance bar: under every seeded fault schedule (message drops,
+// duplicates, reorders, delays, whole-node crashes) the VirtualMachine
+// completes the run with per-cycle state hashes bitwise identical to the
+// fault-free AntonEngine -- and with injection disabled, the reliable
+// layer is invisible (identical trajectory, zero retry counters).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "core/anton_engine.hpp"
+#include "io/io.hpp"
+#include "obs/metrics.hpp"
+#include "parallel/fault.hpp"
+#include "parallel/virtual_machine.hpp"
+#include "sysgen/systems.hpp"
+#include "util/rng.hpp"
+
+using anton::System;
+using anton::Vec3i;
+using anton::core::AntonConfig;
+using anton::core::AntonEngine;
+using anton::parallel::FaultConfig;
+using anton::parallel::FaultCounters;
+using anton::parallel::FaultInjector;
+using anton::parallel::ReliableTransport;
+using anton::parallel::VirtualMachine;
+
+namespace {
+
+AntonConfig dyn_config(const Vec3i& nodes = {2, 2, 2}) {
+  AntonConfig c;
+  c.sim.cutoff = 7.0;
+  c.sim.mesh = 16;
+  c.sim.dt = 2.5;
+  c.sim.long_range_every = 2;
+  c.node_grid = nodes;
+  c.subbox_div = {1, 1, 1};
+  c.migration_interval = 4;
+  c.import_margin = 3.0;
+  return c;
+}
+
+System dyn_system() {
+  return anton::sysgen::build_test_system(70, 14.0, 1234, true, 20);
+}
+
+/// Per-cycle state hashes of the fault-free engine, the comparison target
+/// for every faulted run.
+std::vector<std::uint64_t> engine_hashes(const System& sys, int ncycles) {
+  AntonEngine eng(sys, dyn_config({1, 1, 1}));
+  std::vector<std::uint64_t> h;
+  for (int c = 0; c < ncycles; ++c) {
+    eng.run_cycles(1);
+    h.push_back(eng.state_hash());
+  }
+  return h;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ReliableTransport unit tests (no engine).
+// ---------------------------------------------------------------------------
+
+TEST(FaultTransport, NoInjectorIsImmediatePassThrough) {
+  ReliableTransport t;
+  std::vector<int> log;
+  const std::uint64_t ch = ReliableTransport::channel(1, 2, 0);
+  for (int i = 0; i < 8; ++i)
+    t.send(ch, 4, [&log, i] { log.push_back(i); });
+  // Unperturbed sends apply at send time, in order (this is what makes
+  // the transport bitwise-neutral in the fault-free VM).
+  EXPECT_EQ(log.size(), 8u);
+  t.flush();
+  EXPECT_TRUE(t.quiescent());
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(log[i], i);
+  const FaultCounters& fc = t.counters();
+  EXPECT_EQ(fc.retransmits, 0);
+  EXPECT_EQ(fc.retransmit_bytes, 0);
+  EXPECT_EQ(fc.dups_suppressed, 0);
+  EXPECT_EQ(fc.out_of_order_held, 0);
+}
+
+TEST(FaultTransport, ExactlyOnceInOrderUnderMixedFaults) {
+  // A hostile wire: 40% of transmissions perturbed. Every channel must
+  // still deliver its full sequence exactly once, in order.
+  for (std::uint64_t seed : {1ull, 7ull, 1234ull}) {
+    FaultConfig fcfg;
+    fcfg.seed = seed;
+    fcfg.drop = 0.15;
+    fcfg.duplicate = 0.1;
+    fcfg.reorder = 0.1;
+    fcfg.delay = 0.05;
+    FaultInjector inj(fcfg);
+    ReliableTransport t;
+    t.set_injector(&inj);
+    std::vector<std::vector<int>> logs(3);
+    const int per_channel = 100;
+    for (int i = 0; i < per_channel; ++i)
+      for (int c = 0; c < 3; ++c)
+        t.send(ReliableTransport::channel(c, c + 1, 0), 16,
+               [&logs, c, i] { logs[c].push_back(i); });
+    t.flush();
+    EXPECT_TRUE(t.quiescent());
+    for (int c = 0; c < 3; ++c) {
+      ASSERT_EQ(logs[c].size(), static_cast<std::size_t>(per_channel))
+          << "seed " << seed << " channel " << c;
+      for (int i = 0; i < per_channel; ++i)
+        ASSERT_EQ(logs[c][i], i) << "seed " << seed << " channel " << c;
+    }
+    const FaultCounters& fc = t.counters();
+    EXPECT_GT(fc.drops + fc.duplicates + fc.reorders + fc.delays, 0)
+        << "seed " << seed << ": the adversary never fired";
+    EXPECT_GT(fc.retransmits + fc.dups_suppressed + fc.out_of_order_held, 0);
+  }
+}
+
+TEST(FaultTransport, ThrowsWhenLinkDead) {
+  // Every transmission dropped: the bounded retry must give up loudly
+  // (reliable delivery is a guarantee, not best-effort).
+  FaultConfig fcfg;
+  fcfg.drop = 1.0;
+  fcfg.max_attempts = 8;
+  FaultInjector inj(fcfg);
+  ReliableTransport t;
+  t.set_injector(&inj);
+  t.send(ReliableTransport::channel(0, 1, 0), 4, [] {});
+  EXPECT_THROW(t.flush(), std::runtime_error);
+}
+
+TEST(FaultTransport, SeededScheduleIsDeterministic) {
+  auto run = [](std::uint64_t seed) {
+    FaultConfig fcfg;
+    fcfg.seed = seed;
+    fcfg.drop = 0.2;
+    fcfg.duplicate = 0.2;
+    FaultInjector inj(fcfg);
+    std::vector<anton::parallel::WireFault> sched;
+    for (int i = 0; i < 64; ++i) sched.push_back(inj.next_fault());
+    return sched;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+// ---------------------------------------------------------------------------
+// The fault matrix: every fault kind, recovered bitwise.
+// ---------------------------------------------------------------------------
+
+TEST(FaultToleranceVm, MatrixRecoversBitwise) {
+  const System sys = dyn_system();
+  const int ncycles = 5;
+  const auto ref = engine_hashes(sys, ncycles);
+
+  struct Case {
+    const char* name;
+    double drop, dup, reorder, delay;
+    std::uint64_t seed;
+  };
+  const Case cases[] = {
+      {"drop", 0.25, 0.0, 0.0, 0.0, 1},
+      {"duplicate", 0.0, 0.25, 0.0, 0.0, 1},
+      {"reorder", 0.0, 0.0, 0.25, 0.0, 1},
+      {"delay", 0.0, 0.0, 0.0, 0.25, 1},
+      {"mixed", 0.1, 0.1, 0.1, 0.1, 1},
+      {"mixed", 0.1, 0.1, 0.1, 0.1, 7},
+  };
+  for (const Case& k : cases) {
+    VirtualMachine vm(sys, dyn_config({2, 2, 2}));
+    FaultConfig fcfg;
+    fcfg.seed = k.seed;
+    fcfg.drop = k.drop;
+    fcfg.duplicate = k.dup;
+    fcfg.reorder = k.reorder;
+    fcfg.delay = k.delay;
+    vm.set_fault_config(fcfg);
+    for (int c = 0; c < ncycles; ++c) {
+      vm.run_cycles(1);
+      ASSERT_EQ(vm.state_hash(), ref[c])
+          << k.name << " seed " << k.seed << " cycle " << c;
+    }
+    const FaultCounters& fc = vm.fault_counters();
+    EXPECT_GT(fc.drops + fc.duplicates + fc.reorders + fc.delays, 0)
+        << k.name << ": schedule injected nothing";
+    if (k.drop > 0.0) {
+      EXPECT_GT(fc.retransmits, 0) << k.name << ": drops need retransmits";
+    }
+    // The ledger isolates recovery traffic in its own phase.
+    EXPECT_EQ(vm.ledger().retransmit.messages, fc.retransmits);
+    EXPECT_EQ(vm.ledger().retransmit.bytes, fc.retransmit_bytes);
+  }
+}
+
+TEST(FaultToleranceVm, NodeCrashRecoversBitwise) {
+  // Node 2 dies at the boundaries of cycles 1 and 3 with a 2-cycle
+  // checkpoint cadence: recovery is coordinated rollback + replay, and
+  // the replay must land exactly on the fault-free trajectory.
+  const System sys = dyn_system();
+  const int ncycles = 5;
+  const auto ref = engine_hashes(sys, ncycles);
+
+  VirtualMachine vm(sys, dyn_config({2, 2, 2}));
+  FaultConfig fcfg;
+  fcfg.crash_node = 2;
+  fcfg.crash_cycles = {1, 3};
+  fcfg.checkpoint_cycles = 2;
+  vm.set_fault_config(fcfg);
+  for (int c = 0; c < ncycles; ++c) {
+    vm.run_cycles(1);
+    ASSERT_EQ(vm.state_hash(), ref[c]) << "cycle " << c;
+  }
+  const FaultCounters& fc = vm.fault_counters();
+  EXPECT_EQ(fc.crashes, 2);
+  EXPECT_EQ(fc.rollbacks, 2);
+  EXPECT_GE(fc.replayed_cycles, 2);
+
+  // The recovered distributed state exports to a host checkpoint that
+  // matches the fault-free engine bit for bit.
+  AntonEngine eng(sys, dyn_config({1, 1, 1}));
+  eng.run_cycles(ncycles);
+  const anton::io::Checkpoint ck = vm.export_checkpoint();
+  EXPECT_EQ(ck.step, eng.steps_done());
+  ASSERT_EQ(ck.positions.size(), eng.lattice_positions().size());
+  for (std::size_t i = 0; i < ck.positions.size(); ++i) {
+    ASSERT_EQ(ck.positions[i], eng.lattice_positions()[i]) << "atom " << i;
+    ASSERT_EQ(ck.velocities[i], eng.fixed_velocities()[i]) << "atom " << i;
+  }
+}
+
+TEST(FaultToleranceVm, CrashAndMessageFaultsTogether) {
+  const System sys = dyn_system();
+  const int ncycles = 4;
+  const auto ref = engine_hashes(sys, ncycles);
+  VirtualMachine vm(sys, dyn_config({2, 2, 1}));
+  FaultConfig fcfg;
+  fcfg.seed = 99;
+  fcfg.drop = 0.1;
+  fcfg.reorder = 0.1;
+  fcfg.crash_node = 1;
+  fcfg.crash_cycles = {2};
+  fcfg.checkpoint_cycles = 1;
+  vm.set_fault_config(fcfg);
+  vm.run_cycles(ncycles);
+  EXPECT_EQ(vm.state_hash(), ref.back());
+  EXPECT_EQ(vm.fault_counters().crashes, 1);
+  EXPECT_GT(vm.fault_counters().drops, 0);
+}
+
+TEST(FaultToleranceVm, DisabledInjectionIsBitwiseNeutral) {
+  // Arming the fault layer with a do-nothing schedule must not move a
+  // single bit, and every retry counter stays zero (the reliable layer
+  // is pure pass-through on a healthy network).
+  const System sys = dyn_system();
+  VirtualMachine plain(sys, dyn_config({2, 2, 2}));
+  plain.run_cycles(4);
+
+  VirtualMachine armed(sys, dyn_config({2, 2, 2}));
+  armed.set_fault_config(FaultConfig{});  // all probabilities zero
+  armed.run_cycles(4);
+
+  EXPECT_EQ(armed.state_hash(), plain.state_hash());
+  const FaultCounters& fc = armed.fault_counters();
+  EXPECT_EQ(fc.drops, 0);
+  EXPECT_EQ(fc.retransmits, 0);
+  EXPECT_EQ(fc.retransmit_bytes, 0);
+  EXPECT_EQ(fc.dups_suppressed, 0);
+  EXPECT_EQ(fc.out_of_order_held, 0);
+  EXPECT_EQ(fc.rollbacks, 0);
+  EXPECT_EQ(armed.ledger().retransmit.messages, 0);
+  EXPECT_EQ(armed.ledger().retransmit.bytes, 0);
+  // And the per-phase ledgers agree: recovery machinery costs nothing
+  // when nothing fails.
+  EXPECT_EQ(armed.ledger().total_messages(), plain.ledger().total_messages());
+  EXPECT_EQ(armed.ledger().total_bytes(), plain.ledger().total_bytes());
+}
+
+TEST(FaultToleranceVm, MetricsPublishFaultAndRetryCounters) {
+  const System sys = dyn_system();
+  VirtualMachine vm(sys, dyn_config({2, 2, 2}));
+  anton::obs::MetricsRegistry reg;
+  vm.set_metrics(&reg);
+  FaultConfig fcfg;
+  fcfg.seed = 5;
+  fcfg.drop = 0.15;
+  fcfg.duplicate = 0.1;
+  fcfg.crash_node = 0;
+  fcfg.crash_cycles = {1};
+  vm.set_fault_config(fcfg);
+  vm.run_cycles(3);
+  const FaultCounters& fc = vm.fault_counters();
+  EXPECT_EQ(reg.counter_by_name("vm.fault.drops"), fc.drops);
+  EXPECT_EQ(reg.counter_by_name("vm.fault.duplicates"), fc.duplicates);
+  EXPECT_EQ(reg.counter_by_name("vm.fault.crashes"), fc.crashes);
+  EXPECT_EQ(reg.counter_by_name("vm.retry.retransmits"), fc.retransmits);
+  EXPECT_EQ(reg.counter_by_name("vm.retry.retransmit_bytes"),
+            fc.retransmit_bytes);
+  EXPECT_EQ(reg.counter_by_name("vm.retry.dups_suppressed"),
+            fc.dups_suppressed);
+  EXPECT_EQ(reg.counter_by_name("vm.retry.rollbacks"), fc.rollbacks);
+  EXPECT_GT(reg.counter_by_name("vm.fault.drops"), 0);
+  EXPECT_EQ(reg.counter_by_name("vm.fault.crashes"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Corrupted-checkpoint torture: every truncation and every byte flip must
+// be a clean throw -- never UB, never a giant allocation.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string torture_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::vector<char> file_bytes(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(f),
+                           std::istreambuf_iterator<char>());
+}
+
+void write_bytes(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+}  // namespace
+
+TEST(CheckpointTorture, EveryTruncationThrowsCleanly) {
+  anton::Xoshiro256 rng(17);
+  anton::io::Checkpoint c;
+  c.step = 424242;
+  for (int i = 0; i < 40; ++i) {
+    c.positions.push_back({static_cast<std::int32_t>(rng()),
+                           static_cast<std::int32_t>(rng()),
+                           static_cast<std::int32_t>(rng())});
+    c.velocities.push_back({static_cast<std::int64_t>(rng()),
+                            static_cast<std::int64_t>(rng()),
+                            static_cast<std::int64_t>(rng())});
+  }
+  const std::string good = torture_path("anton_torture_good.ckpt");
+  const std::string bad = torture_path("anton_torture_bad.ckpt");
+  c.save(good);
+  const std::vector<char> bytes = file_bytes(good);
+  ASSERT_GT(bytes.size(), 0u);
+  EXPECT_EQ(anton::io::Checkpoint::load(good), c);  // sanity
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    write_bytes(bad, std::vector<char>(bytes.begin(),
+                                       bytes.begin() +
+                                           static_cast<std::ptrdiff_t>(len)));
+    EXPECT_THROW(anton::io::Checkpoint::load(bad), std::runtime_error)
+        << "truncated at byte " << len;
+  }
+  std::remove(good.c_str());
+  std::remove(bad.c_str());
+}
+
+TEST(CheckpointTorture, EveryByteFlipThrowsCleanly) {
+  anton::Xoshiro256 rng(18);
+  anton::io::Checkpoint c;
+  c.step = 99;
+  for (int i = 0; i < 16; ++i) {
+    c.positions.push_back({static_cast<std::int32_t>(rng()),
+                           static_cast<std::int32_t>(rng()),
+                           static_cast<std::int32_t>(rng())});
+    c.velocities.push_back({static_cast<std::int64_t>(rng()),
+                            static_cast<std::int64_t>(rng()),
+                            static_cast<std::int64_t>(rng())});
+  }
+  const std::string good = torture_path("anton_flip_good.ckpt");
+  const std::string bad = torture_path("anton_flip_bad.ckpt");
+  c.save(good);
+  const std::vector<char> bytes = file_bytes(good);
+  // The CRC covers step, count and payload; magic/version are validated
+  // directly; the CRC field itself mismatches when flipped. So EVERY
+  // single-byte corruption must be rejected.
+  for (std::size_t off = 0; off < bytes.size(); ++off) {
+    std::vector<char> mut = bytes;
+    mut[off] = static_cast<char>(mut[off] ^ 0x5A);
+    write_bytes(bad, mut);
+    EXPECT_THROW(anton::io::Checkpoint::load(bad), std::runtime_error)
+        << "flipped byte " << off;
+  }
+  std::remove(good.c_str());
+  std::remove(bad.c_str());
+}
+
+TEST(CheckpointTorture, HugeCountHeaderThrowsWithoutAllocating) {
+  // A corrupt header declaring 2^56 atoms must be rejected by the size
+  // check before any resize is attempted.
+  anton::io::Checkpoint c;
+  c.step = 1;
+  c.positions.push_back({1, 2, 3});
+  c.velocities.push_back({4, 5, 6});
+  const std::string path = torture_path("anton_torture_huge.ckpt");
+  c.save(path);
+  std::vector<char> bytes = file_bytes(path);
+  // Header layout: magic(4) | version(4) | step(8) | n(8) | crc(4).
+  const std::uint64_t huge = 1ull << 56;
+  std::memcpy(bytes.data() + 16, &huge, sizeof huge);
+  write_bytes(path, bytes);
+  EXPECT_THROW(anton::io::Checkpoint::load(path), std::runtime_error);
+  std::remove(path.c_str());
+}

@@ -65,6 +65,50 @@ TEST(Checkpoint, RoundTripIsBitExact) {
   std::remove(path.c_str());
 }
 
+TEST(Xyz, RestoresStreamFormatState) {
+  // write_xyz_frame sets std::fixed/setprecision(6) internally; it must
+  // not leak that state into the caller's stream.
+  std::ostringstream os;
+  os.precision(15);
+  std::vector<Vec3d> pos{{1.0, 2.0, 3.0}};
+  io::write_xyz_frame(os, pos);
+  EXPECT_EQ(os.precision(), 15);
+  EXPECT_EQ(os.flags() & std::ios::floatfield, std::ios::fmtflags{});
+  os.str("");
+  os << 0.123456789012345;
+  EXPECT_EQ(os.str(), "0.123456789012345");
+}
+
+TEST(Csv, RowRestoresStreamPrecision) {
+  std::ostringstream os;
+  const std::streamsize prec = os.precision();
+  io::CsvWriter w(os);
+  std::vector<double> row{1.0 / 3.0};
+  w.row(row);
+  EXPECT_EQ(os.precision(), prec);
+  os.str("");
+  os << 0.123456789012345;
+  EXPECT_EQ(os.str(), "0.123457");  // default 6-digit formatting again
+}
+
+TEST(Checkpoint, SaveIsAtomicNoTempResidue) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "anton_ckpt_atomic.bin")
+          .string();
+  io::Checkpoint c;
+  c.step = 7;
+  c.positions.push_back({1, 2, 3});
+  c.velocities.push_back({4, 5, 6});
+  c.save(path);
+  // Saving over an existing checkpoint must go through the temp file and
+  // leave no .tmp behind.
+  c.step = 8;
+  c.save(path);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_EQ(io::Checkpoint::load(path).step, 8);
+  std::remove(path.c_str());
+}
+
 TEST(Checkpoint, RejectsCorruptFile) {
   const std::string path =
       (std::filesystem::temp_directory_path() / "anton_ckpt_bad.bin")

@@ -120,10 +120,46 @@ TEST(Simulation, ResumeContinuesBitwise) {
   resumed_cfg.engine.nthreads = 4;
   Simulation second =
       Simulation::resume(sys, resumed_cfg, cfg.checkpoint_path);
-  EXPECT_EQ(second.steps_done(), 0);  // engine step counter restarts...
+  // The step counter continues from the checkpoint (frames/checkpoints
+  // keep their absolute labels across the restart)...
+  EXPECT_EQ(second.steps_done(), 10);
   second.run_cycles(5);
-  // ...but the state picks up exactly where the checkpoint left off.
+  EXPECT_EQ(second.steps_done(), 20);
+  // ...and the state picks up exactly where the checkpoint left off.
   EXPECT_EQ(second.engine().state_hash(), full_hash);
+  std::remove(cfg.checkpoint_path.c_str());
+}
+
+TEST(Simulation, ResumeRestoresOutputCursors) {
+  // A resumed run must not re-emit or relabel frames the original leg
+  // already wrote: the output cursors restart from Checkpoint::step, so
+  // the resumed leg's trajectory holds exactly the post-restart frames
+  // with continuous absolute step labels.
+  const System sys = small_system();
+  SimulationConfig cfg = config();
+  cfg.trajectory_every = 4;
+  cfg.trajectory_path = tmp_path("anton_sim_cursor_a.antj");
+  cfg.checkpoint_every = 10;
+  cfg.checkpoint_path = tmp_path("anton_sim_cursor.ckpt");
+  {
+    Simulation first(sys, cfg);
+    first.run_cycles(5);  // 10 steps -> frames 4, 8; checkpoint at 10
+  }
+  SimulationConfig resumed_cfg = cfg;
+  resumed_cfg.trajectory_path = tmp_path("anton_sim_cursor_b.antj");
+  {
+    Simulation second =
+        Simulation::resume(sys, resumed_cfg, cfg.checkpoint_path);
+    second.run_cycles(5);  // steps 11..20 -> frames 12, 16, 20
+  }
+  anton::io::TrajectoryReader r(resumed_cfg.trajectory_path);
+  std::vector<std::int64_t> steps;
+  std::int64_t step;
+  std::vector<Vec3i> pos;
+  while (r.next(step, pos)) steps.push_back(step);
+  EXPECT_EQ(steps, (std::vector<std::int64_t>{12, 16, 20}));
+  std::remove(cfg.trajectory_path.c_str());
+  std::remove(resumed_cfg.trajectory_path.c_str());
   std::remove(cfg.checkpoint_path.c_str());
 }
 
