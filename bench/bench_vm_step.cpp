@@ -106,6 +106,69 @@ void run_system(const char* name, const System& sys, int cycles) {
   }
 }
 
+/// The byte-transport sweep: the same trajectory with every frame pushed
+/// through each wire backend. Reports us/step, the measured wire traffic
+/// (roundtrips and bytes actually traversing the transport), and the
+/// per-phase byte breakdown -- measured frame bytes, not the analytic
+/// model (compare bench_table3).
+void run_backends(const char* name, const System& sys, int cycles) {
+  using anton::parallel::TransportKind;
+  using anton::parallel::TransportOptions;
+  bench::header(std::string("transport sweep: ") + name);
+  const int steps = 2 * cycles;
+  const Vec3i grid = {2, 2, 2};
+
+  AntonEngine eng(sys, bench_config({1, 1, 1}));
+  eng.run_cycles(cycles);
+
+  struct Backend {
+    const char* tag;
+    TransportKind kind;
+    bool verify;
+  };
+  const Backend backends[] = {
+      {"inproc", TransportKind::kInProc, false},
+      {"inproc+verify", TransportKind::kInProc, true},
+      {"shm-fork", TransportKind::kShmFork, false},
+      {"tcp-loopback", TransportKind::kTcp, false},
+  };
+  double base_us = 0.0;
+  for (const Backend& be : backends) {
+    TransportOptions topts;
+    topts.kind = be.kind;
+    topts.verify = be.verify;
+    try {
+      VirtualMachine vm(sys, bench_config(grid), topts);
+      vm.reset_ledger();
+      const double secs = bench::timed(
+          std::string(name) + ".wire." + be.tag,
+          [&] { vm.run_cycles(cycles); });
+      const double us = 1e6 * secs / steps;
+      if (be.kind == TransportKind::kInProc && !be.verify) base_us = us;
+      const bool ok = vm.state_hash() == eng.state_hash();
+      const auto& ws = vm.wire()->stats();
+      std::printf("\n%-14s %8.1f us/step", be.tag, us);
+      if (base_us > 0.0) std::printf("  (%.2fx inproc)", us / base_us);
+      std::printf("  -> %s\n", ok ? "BITWISE IDENTICAL" : "MISMATCH");
+      std::printf("  wire: %.1f roundtrips/step, %.1f B/step measured\n",
+                  static_cast<double>(ws.roundtrips) / steps,
+                  static_cast<double>(ws.bytes) / steps);
+      const CommLedger& led = vm.ledger();
+      std::printf("  measured wire bytes per phase:\n");
+      print_phase("position", led.position, steps);
+      print_phase("force", led.force, steps);
+      print_phase("bond", led.bond, steps);
+      print_phase("mesh", led.mesh, steps);
+      print_phase("fft", led.fft, steps);
+      print_phase("migration", led.migration, steps);
+      print_phase("reduce", led.reduce, steps);
+    } catch (const anton::parallel::TransportError& e) {
+      std::printf("\n%-14s unavailable in this environment: %s\n", be.tag,
+                  e.what());
+    }
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -119,6 +182,9 @@ int main() {
              anton::sysgen::build_water_system(
                  220, 14.0, anton::sysgen::WaterModel::k3Site, 77),
              cycles);
+  run_backends("peptide_solvated",
+               anton::sysgen::build_test_system(70, 14.0, 1234, true, 20),
+               cycles);
 
   bench::print_timings();
   return 0;

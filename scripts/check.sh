@@ -3,12 +3,16 @@
 # ThreadSanitizer pass over the deterministic-parallelism surface (the
 # thread pool and the threaded engine tests).
 #
-# Usage: scripts/check.sh [--unit-only|--tier1-only|--tsan-only|--vm|--faults]
+# Usage: scripts/check.sh [--unit-only|--tier1-only|--tsan-only|--vm|--faults|--transport]
 #   --vm           build + the VirtualMachine runtime surface only (the
 #                  distributed time-step tests and the VM golden matrix)
 #   --faults       build + the fault-tolerance surface (reliable transport,
 #                  fault-matrix bitwise recovery, crash rollback, the
 #                  corrupted-checkpoint torture tests, checkpoint/resume)
+#   --transport    build + the wire-format and byte-transport surface (the
+#                  codec property/adversarial tests, the frame fuzzer, the
+#                  per-backend smoke tests, shm-fork/SIGKILL recovery, and
+#                  the slow cross-backend golden conformance matrix)
 #   JOBS=N         parallelism for build/test (default: nproc)
 #   TSAN_FILTER=…  override the gtest filter for the TSan pass
 set -euo pipefail
@@ -56,6 +60,18 @@ faults() {
     --output-on-failure -j"$JOBS")
 }
 
+# Transport gate: everything that proves the serialized wire. The codec
+# suite and fuzzer are seconds; the cross-backend golden matrix forks
+# real workers and is the slow tail. Run after touching src/parallel/
+# wire.*, transport.* or the frame path in fault.* / virtual_machine.*.
+transport() {
+  echo "== transport gate: wire codec + fuzzer + backend conformance =="
+  cmake -B build -S .
+  cmake --build build -j"$JOBS"
+  (cd build && ctest -R 'WireFormat|WireFuzz|AllTransportBackends|OverShmFork|KillsRealWorker|ExternalSigkill|VmTransportGoldenTrajectory' \
+    --output-on-failure -j"$JOBS")
+}
+
 tsan() {
   echo "== TSan: engine + thread pool under -fsanitize=thread =="
   cmake -B build-tsan -S . -DANTON_SANITIZE=thread
@@ -74,6 +90,7 @@ case "$MODE" in
   --tsan-only) tsan ;;
   --vm) vm ;;
   --faults) faults ;;
+  --transport) transport ;;
   all|"") tier1; tsan ;;
   *) echo "unknown mode: $MODE" >&2; exit 2 ;;
 esac

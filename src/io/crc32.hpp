@@ -1,0 +1,15 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the standard
+// zlib/PNG checksum. The one implementation shared by every format that
+// needs corruption detection: io::Checkpoint payloads and the
+// parallel::wire frame format.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace anton::io {
+
+/// Extends `crc` over `len` bytes (pass 0 to start a fresh checksum).
+std::uint32_t crc32(std::uint32_t crc, const void* data, std::size_t len);
+
+}  // namespace anton::io

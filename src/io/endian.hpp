@@ -1,0 +1,78 @@
+// Explicit little-endian integer encoding.
+//
+// Everything this codebase persists or puts on a wire -- io::Checkpoint
+// files and the parallel::wire frame format -- is defined as a sequence of
+// little-endian fixed-width integers, encoded field by field. Nothing is
+// ever memcpy'd as a struct: that would bake the host's endianness,
+// padding and type widths into the format. These helpers are the one
+// implementation of that rule, shared by both producers, and they compile
+// to plain loads/stores on little-endian hosts.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace anton::io {
+
+inline void store_u16le(unsigned char* p, std::uint16_t v) {
+  p[0] = static_cast<unsigned char>(v);
+  p[1] = static_cast<unsigned char>(v >> 8);
+}
+
+inline void store_u32le(unsigned char* p, std::uint32_t v) {
+  p[0] = static_cast<unsigned char>(v);
+  p[1] = static_cast<unsigned char>(v >> 8);
+  p[2] = static_cast<unsigned char>(v >> 16);
+  p[3] = static_cast<unsigned char>(v >> 24);
+}
+
+inline void store_u64le(unsigned char* p, std::uint64_t v) {
+  store_u32le(p, static_cast<std::uint32_t>(v));
+  store_u32le(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+inline std::uint16_t load_u16le(const unsigned char* p) {
+  return static_cast<std::uint16_t>(p[0] | (std::uint16_t{p[1]} << 8));
+}
+
+inline std::uint32_t load_u32le(const unsigned char* p) {
+  return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+         (std::uint32_t{p[2]} << 16) | (std::uint32_t{p[3]} << 24);
+}
+
+inline std::uint64_t load_u64le(const unsigned char* p) {
+  return std::uint64_t{load_u32le(p)} |
+         (std::uint64_t{load_u32le(p + 4)} << 32);
+}
+
+// Signed values travel as their two's-complement bit pattern.
+
+inline void store_i32le(unsigned char* p, std::int32_t v) {
+  store_u32le(p, static_cast<std::uint32_t>(v));
+}
+
+inline void store_i64le(unsigned char* p, std::int64_t v) {
+  store_u64le(p, static_cast<std::uint64_t>(v));
+}
+
+inline std::int32_t load_i32le(const unsigned char* p) {
+  return static_cast<std::int32_t>(load_u32le(p));
+}
+
+inline std::int64_t load_i64le(const unsigned char* p) {
+  return static_cast<std::int64_t>(load_u64le(p));
+}
+
+// Doubles travel as the IEEE-754 bit pattern in a little-endian u64 --
+// bit-exact, which is what the determinism contract requires.
+
+inline void store_f64le(unsigned char* p, double v) {
+  store_u64le(p, std::bit_cast<std::uint64_t>(v));
+}
+
+inline double load_f64le(const unsigned char* p) {
+  return std::bit_cast<double>(load_u64le(p));
+}
+
+}  // namespace anton::io

@@ -1,11 +1,14 @@
 #include "io/io.hpp"
 
-#include <array>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <stdexcept>
+#include <vector>
+
+#include "io/crc32.hpp"
+#include "io/endian.hpp"
 
 namespace anton::io {
 
@@ -29,30 +32,11 @@ namespace {
 
 constexpr std::uint32_t kMagic = 0x414e544eu;  // "ANTN"
 /// v1 had no version/CRC fields; v2 = versioned header + payload CRC32 +
-/// atomic tmp-then-rename persistence.
+/// atomic tmp-then-rename persistence. The byte layout is defined as
+/// little-endian fixed-width fields (io/endian.hpp); on LE hosts the v2
+/// bytes are unchanged from the memcpy era, and on any host the format is
+/// now portable.
 constexpr std::uint32_t kVersion = 2;
-
-/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the standard
-/// zlib/PNG checksum. Table-driven, byte at a time.
-std::array<std::uint32_t, 256> make_crc_table() {
-  std::array<std::uint32_t, 256> t{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = i;
-    for (int k = 0; k < 8; ++k)
-      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-    t[i] = c;
-  }
-  return t;
-}
-
-std::uint32_t crc32(std::uint32_t crc, const void* data, std::size_t len) {
-  static const std::array<std::uint32_t, 256> table = make_crc_table();
-  const auto* p = static_cast<const unsigned char*>(data);
-  crc ^= 0xFFFFFFFFu;
-  for (std::size_t i = 0; i < len; ++i)
-    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
-  return crc ^ 0xFFFFFFFFu;
-}
 
 }  // namespace
 
@@ -60,30 +44,49 @@ void Checkpoint::save(const std::string& path) const {
   // Write the whole file to a sibling temp path, then atomically rename
   // over the target: a crash mid-write can never leave a torn checkpoint
   // at `path` (the previous complete checkpoint survives).
+  //
+  // File layout (all fields little-endian):
+  //   magic u32 | version u32 | step i64 | count u64 | crc u32 |
+  //   count x (pos.x i32, pos.y i32, pos.z i32) |
+  //   count x (vel.x i64, vel.y i64, vel.z i64)
+  // The CRC covers everything after the version field (step, count,
+  // both payload arrays) so any single corrupted byte fails the load.
   const std::string tmp = path + ".tmp";
+  const std::uint64_t n = positions.size();
+  // Encode [step | count | positions | velocities] field by field; the
+  // CRC is computed over these exact bytes.
+  std::vector<unsigned char> body(16 + n * (sizeof(Vec3i) + sizeof(Vec3l)));
+  unsigned char* p = body.data();
+  store_i64le(p, step);
+  p += 8;
+  store_u64le(p, n);
+  p += 8;
+  for (const Vec3i& v : positions) {
+    store_i32le(p, v.x);
+    store_i32le(p + 4, v.y);
+    store_i32le(p + 8, v.z);
+    p += 12;
+  }
+  for (const Vec3l& v : velocities) {
+    store_i64le(p, v.x);
+    store_i64le(p + 8, v.y);
+    store_i64le(p + 16, v.z);
+    p += 24;
+  }
+  const std::uint32_t crc = crc32(0, body.data(), body.size());
   {
     std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
     if (!f)
       throw std::runtime_error("Checkpoint::save: cannot open " + tmp);
-    const std::uint32_t magic = kMagic;
-    const std::uint32_t version = kVersion;
-    const std::uint64_t n = positions.size();
-    // The CRC covers everything after the version field: step, count and
-    // both payload arrays, so any single corrupted byte fails the load.
-    std::uint32_t crc = 0;
-    crc = crc32(crc, &step, sizeof step);
-    crc = crc32(crc, &n, sizeof n);
-    crc = crc32(crc, positions.data(), n * sizeof(Vec3i));
-    crc = crc32(crc, velocities.data(), n * sizeof(Vec3l));
-    f.write(reinterpret_cast<const char*>(&magic), sizeof magic);
-    f.write(reinterpret_cast<const char*>(&version), sizeof version);
-    f.write(reinterpret_cast<const char*>(&step), sizeof step);
-    f.write(reinterpret_cast<const char*>(&n), sizeof n);
-    f.write(reinterpret_cast<const char*>(&crc), sizeof crc);
-    f.write(reinterpret_cast<const char*>(positions.data()),
-            static_cast<std::streamsize>(n * sizeof(Vec3i)));
-    f.write(reinterpret_cast<const char*>(velocities.data()),
-            static_cast<std::streamsize>(n * sizeof(Vec3l)));
+    unsigned char head[8], crcb[4];
+    store_u32le(head, kMagic);
+    store_u32le(head + 4, kVersion);
+    store_u32le(crcb, crc);
+    f.write(reinterpret_cast<const char*>(head), sizeof head);
+    f.write(reinterpret_cast<const char*>(body.data()), 16);
+    f.write(reinterpret_cast<const char*>(crcb), sizeof crcb);
+    f.write(reinterpret_cast<const char*>(body.data() + 16),
+            static_cast<std::streamsize>(body.size() - 16));
     f.flush();
     if (!f) {
       std::remove(tmp.c_str());
@@ -102,19 +105,17 @@ void Checkpoint::save(const std::string& path) const {
 Checkpoint Checkpoint::load(const std::string& path) {
   std::ifstream f(path, std::ios::binary);
   if (!f) throw std::runtime_error("Checkpoint::load: cannot open " + path);
-  std::uint32_t magic = 0, version = 0, crc = 0;
-  Checkpoint c;
-  std::uint64_t n = 0;
-  f.read(reinterpret_cast<char*>(&magic), sizeof magic);
-  if (!f || magic != kMagic)
-    throw std::runtime_error("Checkpoint::load: bad magic");
-  f.read(reinterpret_cast<char*>(&version), sizeof version);
-  if (!f || version != kVersion)
-    throw std::runtime_error("Checkpoint::load: unsupported version");
-  f.read(reinterpret_cast<char*>(&c.step), sizeof c.step);
-  f.read(reinterpret_cast<char*>(&n), sizeof n);
-  f.read(reinterpret_cast<char*>(&crc), sizeof crc);
+  unsigned char head[28];
+  f.read(reinterpret_cast<char*>(head), sizeof head);
   if (!f) throw std::runtime_error("Checkpoint::load: truncated header");
+  if (load_u32le(head) != kMagic)
+    throw std::runtime_error("Checkpoint::load: bad magic");
+  if (load_u32le(head + 4) != kVersion)
+    throw std::runtime_error("Checkpoint::load: unsupported version");
+  Checkpoint c;
+  c.step = load_i64le(head + 8);
+  const std::uint64_t n = load_u64le(head + 16);
+  const std::uint32_t crc = load_u32le(head + 24);
   // Validate the declared atom count against what the file actually
   // holds BEFORE allocating: a corrupt header must throw, not trigger a
   // multi-gigabyte resize.
@@ -130,20 +131,23 @@ Checkpoint Checkpoint::load(const std::string& path) {
     throw std::runtime_error(
         "Checkpoint::load: atom count inconsistent with file size");
   f.seekg(payload_start);
-  c.positions.resize(n);
-  c.velocities.resize(n);
-  f.read(reinterpret_cast<char*>(c.positions.data()),
-         static_cast<std::streamsize>(n * sizeof(Vec3i)));
-  f.read(reinterpret_cast<char*>(c.velocities.data()),
-         static_cast<std::streamsize>(n * sizeof(Vec3l)));
+  std::vector<unsigned char> payload(remaining);
+  f.read(reinterpret_cast<char*>(payload.data()),
+         static_cast<std::streamsize>(payload.size()));
   if (!f) throw std::runtime_error("Checkpoint::load: truncated file");
-  std::uint32_t actual = 0;
-  actual = crc32(actual, &c.step, sizeof c.step);
-  actual = crc32(actual, &n, sizeof n);
-  actual = crc32(actual, c.positions.data(), n * sizeof(Vec3i));
-  actual = crc32(actual, c.velocities.data(), n * sizeof(Vec3l));
+  // The CRC is defined over [step | count | payload] in LE byte order --
+  // exactly the header bytes already in hand plus the payload.
+  std::uint32_t actual = crc32(0, head + 8, 16);
+  actual = crc32(actual, payload.data(), payload.size());
   if (actual != crc)
     throw std::runtime_error("Checkpoint::load: payload CRC mismatch");
+  const unsigned char* p = payload.data();
+  c.positions.resize(n);
+  c.velocities.resize(n);
+  for (std::uint64_t i = 0; i < n; ++i, p += 12)
+    c.positions[i] = {load_i32le(p), load_i32le(p + 4), load_i32le(p + 8)};
+  for (std::uint64_t i = 0; i < n; ++i, p += 24)
+    c.velocities[i] = {load_i64le(p), load_i64le(p + 8), load_i64le(p + 16)};
   return c;
 }
 

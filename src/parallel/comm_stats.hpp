@@ -14,6 +14,17 @@
 //
 // Multicast (a subbox's atoms sent once to the whole set of consuming
 // nodes) is modelled as a per-link replication discount.
+//
+// Measured vs modelled bytes: since the serialized wire landed
+// (DESIGN.md §5f), the VirtualMachine's ledger bytes are the REAL frame
+// sizes that traversed the byte transport -- the 28-byte wire header plus
+// the typed payload encoding (per-type sizes in parallel/wire.hpp) -- not
+// the CommConfig byte model below. The estimators keep the analytic model
+// (idealized payload bytes, no framing): they price Anton's wire-count
+// formats on the modelled torus, while the ledger reports what this
+// implementation's wire actually carried. Tests that compare the two
+// account for the framing delta explicitly (e.g. the distributed-FFT
+// traffic check in test_virtual_machine.cpp).
 #pragma once
 
 #include <cstdint>

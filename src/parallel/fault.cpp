@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "parallel/transport.hpp"
+
 namespace anton::parallel {
 
 FaultCounters& FaultCounters::operator+=(const FaultCounters& o) {
@@ -19,8 +21,20 @@ FaultCounters& FaultCounters::operator+=(const FaultCounters& o) {
   return *this;
 }
 
+wire::Frame ReliableTransport::through_wire(const Bytes& bytes, int dst,
+                                            wire::Frame* inhand) {
+  // The encoded frame traverses the byte wire to the destination node's
+  // endpoint and comes back validated. With no wire attached (unit tests)
+  // the frame loops back as-is.
+  const std::vector<std::uint8_t>& echoed =
+      wire_ ? wire_->roundtrip(dst, *bytes) : *bytes;
+  const bool fast = inhand && !verify_ && (!wire_ || wire_->local());
+  if (fast) return std::move(*inhand);
+  return wire::decode_frame(echoed);
+}
+
 void ReliableTransport::receive(Channel& c, std::uint64_t seq,
-                                const Apply& apply) {
+                                wire::Frame&& frame) {
   // Any arriving copy acknowledges the message: the sender stops
   // retransmitting it (cumulative-ack model; a later retransmit racing a
   // delayed original is caught by the sequence check below).
@@ -37,7 +51,7 @@ void ReliableTransport::receive(Channel& c, std::uint64_t seq,
   if (seq > c.expect_seq) {
     // Arrived ahead of a gap: park until the gap fills. A second copy of
     // a parked message is a duplicate too.
-    auto [it, inserted] = c.reorder_buf.emplace(seq, apply);
+    auto [it, inserted] = c.reorder_buf.emplace(seq, std::move(frame));
     (void)it;
     if (inserted)
       ++counters_.out_of_order_held;
@@ -45,35 +59,39 @@ void ReliableTransport::receive(Channel& c, std::uint64_t seq,
       ++counters_.dups_suppressed;
     return;
   }
-  apply();
+  if (sink_) sink_(frame);
   ++c.expect_seq;
   // The gap closed: drain the consecutive prefix of the reorder buffer.
   auto it = c.reorder_buf.begin();
   while (it != c.reorder_buf.end() && it->first == c.expect_seq) {
-    it->second();
+    if (sink_) sink_(it->second);
     ++c.expect_seq;
     it = c.reorder_buf.erase(it);
   }
 }
 
 bool ReliableTransport::transmit(std::uint64_t ch, std::uint64_t seq,
-                                 std::int64_t bytes, const Apply& apply) {
-  (void)bytes;
+                                 const Bytes& bytes, wire::Frame* inhand) {
   Channel& c = channels_[ch];
+  const int dst = dst_of(ch);
   const WireFault f =
       injector_ ? injector_->next_fault() : WireFault::kNone;
   switch (f) {
     case WireFault::kNone:
-      receive(c, seq, apply);
+      receive(c, seq, through_wire(bytes, dst, inhand));
       return true;
     case WireFault::kDrop:
+      // Lost before it reached the wire; stays unacked, flush()
+      // retransmits.
       ++counters_.drops;
-      return false;  // stays unacked; flush() retransmits
-    case WireFault::kDuplicate:
+      return false;
+    case WireFault::kDuplicate: {
       ++counters_.duplicates;
-      receive(c, seq, apply);
-      receive(c, seq, apply);
+      // Two physical copies, two wire traversals; the decode proves both.
+      receive(c, seq, through_wire(bytes, dst, nullptr));
+      receive(c, seq, through_wire(bytes, dst, inhand));
       return true;
+    }
     case WireFault::kReorder:
       ++counters_.reorders;
       break;
@@ -81,20 +99,36 @@ bool ReliableTransport::transmit(std::uint64_t ch, std::uint64_t seq,
       ++counters_.delays;
       break;
   }
-  // kReorder / kDelay: the copy is in flight but parked; later
-  // transmissions overtake it. It lands during the flush sweep (and the
-  // sender, having seen no ack, may race it with a retransmit -- the
-  // sequence check deduplicates).
-  parked_.emplace_back(ch, seq, apply);
+  // kReorder / kDelay: the encoded copy is in flight but parked; later
+  // transmissions overtake it. It traverses the wire during the flush
+  // sweep (and the sender, having seen no ack, may race it with a
+  // retransmit -- the sequence check deduplicates).
+  parked_.push_back({ch, seq, bytes});
   return false;
 }
 
-void ReliableTransport::send(std::uint64_t ch, std::int64_t bytes,
-                             Apply apply) {
+std::int64_t ReliableTransport::send(int src, int dst, int phase,
+                                     wire::Payload payload) {
+  const std::uint64_t ch = channel(src, dst, phase);
   Channel& c = channels_[ch];
   const std::uint64_t seq = c.next_seq++;
-  c.unacked.emplace_back(seq, std::make_pair(bytes, apply));
-  transmit(ch, seq, bytes, apply);
+  auto bytes = std::make_shared<const std::vector<std::uint8_t>>(
+      wire::encode_frame(phase, src, dst, seq, payload));
+  const std::int64_t frame_bytes = static_cast<std::int64_t>(bytes->size());
+  c.unacked.emplace_back(seq, bytes);
+  // The sender still holds the typed message: hand it to transmit so the
+  // local fast path can dispatch it without re-decoding the echo.
+  wire::Frame inhand;
+  inhand.header.phase = static_cast<std::uint8_t>(phase);
+  inhand.header.msg_type = wire::type_of(payload);
+  inhand.header.src = static_cast<std::uint16_t>(src);
+  inhand.header.dst = static_cast<std::uint16_t>(dst);
+  inhand.header.seq = seq;
+  inhand.header.payload_len =
+      static_cast<std::uint32_t>(bytes->size() - wire::kHeaderBytes);
+  inhand.payload = std::move(payload);
+  transmit(ch, seq, bytes, &inhand);
+  return frame_bytes;
 }
 
 void ReliableTransport::flush() {
@@ -105,8 +139,9 @@ void ReliableTransport::flush() {
     if (!parked_.empty()) {
       auto parked = std::move(parked_);
       parked_.clear();
-      for (auto& [ch, seq, apply] : parked)
-        receive(channels_[ch], seq, apply);
+      for (Parked& p : parked)
+        receive(channels_[p.ch], p.seq,
+                through_wire(p.bytes, dst_of(p.ch), nullptr));
     }
     bool pending = false;
     for (auto& [id, c] : channels_)
@@ -115,19 +150,19 @@ void ReliableTransport::flush() {
     if (round >= max_attempts)
       throw std::runtime_error(
           "ReliableTransport: message exceeded retry budget (link dead)");
-    // Timeout fired: retransmit every unacknowledged message, oldest
-    // first, per channel in deterministic channel order. Each attempt
-    // faces the injector again.
+    // Timeout fired: retransmit every unacknowledged frame, oldest first,
+    // per channel in deterministic channel order. Each attempt faces the
+    // injector again.
     std::vector<std::uint64_t> ids;
     ids.reserve(channels_.size());
     for (auto& [id, c] : channels_) ids.push_back(id);
     for (std::uint64_t id : ids) {
       // receive() mutates unacked; walk a snapshot.
       auto snapshot = channels_[id].unacked;
-      for (auto& [seq, payload] : snapshot) {
+      for (auto& [seq, bytes] : snapshot) {
         ++counters_.retransmits;
-        counters_.retransmit_bytes += payload.first;
-        transmit(id, seq, payload.first, payload.second);
+        counters_.retransmit_bytes += static_cast<std::int64_t>(bytes->size());
+        transmit(id, seq, bytes, nullptr);
       }
     }
   }

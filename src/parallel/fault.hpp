@@ -1,4 +1,4 @@
-// Fault injection and reliable end-to-end message delivery for the
+// Fault injection and reliable end-to-end frame delivery for the
 // virtual-node runtime.
 //
 // Anton's millisecond runs only exist because the machine survives faults:
@@ -9,18 +9,21 @@
 // VirtualMachine:
 //
 //  * FaultInjector -- a seeded, deterministic adversary that perturbs
-//    individual message transmissions (drop / duplicate / reorder / delay)
+//    individual frame transmissions (drop / duplicate / reorder / delay)
 //    and schedules whole-node crashes at MTS-cycle boundaries. Same seed,
 //    same fault schedule, every run.
 //
 //  * ReliableTransport -- per-channel sequence numbers, receiver-side
-//    reorder buffers, duplicate suppression and bounded retransmit over an
-//    unreliable "wire" driven by the injector. The physics phases above it
-//    observe exactly-once, in-order delivery regardless of what the
-//    injector does, so the recovered trajectory is bitwise identical to
-//    the fault-free run. With no injector attached the transport is a
+//    reorder buffers, duplicate suppression and bounded retransmit of
+//    serialized wire frames (parallel/wire.hpp) over a byte-level
+//    ByteTransport (parallel/transport.hpp). Every message is encoded into
+//    a frame at send time; the encoded bytes are what gets retransmitted,
+//    what the injector perturbs, and what crosses the wire. The sink above
+//    it observes exactly-once, in-order typed frames regardless of what
+//    the injector does, so the recovered trajectory is bitwise identical
+//    to the fault-free run. With no injector attached the transport is a
 //    pass-through: zero retries, zero retransmit bytes, and delivery order
-//    identical to the direct-write choreography (bitwise-neutral).
+//    identical to the direct-dispatch choreography (bitwise-neutral).
 //
 // A "channel" is one (src node, dst node, phase) stream; each carries its
 // own monotonically increasing sequence number, mirroring the per-channel
@@ -30,14 +33,17 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <stdexcept>
 #include <string>
-#include <tuple>
 #include <vector>
 
+#include "parallel/wire.hpp"
 #include "util/rng.hpp"
 
 namespace anton::parallel {
+
+class ByteTransport;
 
 /// Configuration for one seeded fault schedule.
 struct FaultConfig {
@@ -73,7 +79,7 @@ struct FaultCounters {
   std::int64_t crashes = 0;
   // Recovery work (vm.retry.*).
   std::int64_t retransmits = 0;        // extra transmissions sent
-  std::int64_t retransmit_bytes = 0;   // payload bytes retransmitted
+  std::int64_t retransmit_bytes = 0;   // frame bytes retransmitted
   std::int64_t dups_suppressed = 0;    // deliveries discarded by seq check
   std::int64_t out_of_order_held = 0;  // deliveries parked in reorder bufs
   std::int64_t rollbacks = 0;          // coordinated checkpoint restores
@@ -134,23 +140,33 @@ class FaultInjector {
   Xoshiro256 rng_;
 };
 
-/// Reliable in-order exactly-once delivery over an injector-perturbed
-/// wire. Payload application is a closure so every phase of the VM
-/// choreography (position records, force partials, mesh halos, FFT
-/// segments, migration units, reductions) rides the same layer.
+/// Reliable in-order exactly-once frame delivery over an injector-
+/// perturbed byte wire. Every phase of the VM choreography (position
+/// records, force partials, mesh halos, FFT segments, migration units,
+/// reductions) rides this one layer as typed wire::Payload messages.
 ///
 /// Usage per communication phase:
-///   transport.send(channel-id, bytes, apply);   // any number of times
+///   transport.send(src, dst, phase, payload);   // any number of times
 ///   transport.flush();                          // barrier: all delivered
 ///
-/// send() transmits eagerly: an unperturbed message applies immediately
-/// (in sequence order), so with no injector the delivery order is exactly
-/// the direct-write order of the original choreography. flush() runs the
-/// bounded retransmit sweep until every channel has delivered its full
-/// prefix, then asserts quiescence.
+/// send() serializes the message into a frame, transmits eagerly (an
+/// unperturbed frame round-trips the wire and reaches the sink
+/// immediately, in sequence order, so with no injector the delivery order
+/// is exactly the direct-dispatch order of the original choreography) and
+/// keeps the encoded bytes for retransmission. flush() runs the bounded
+/// retransmit sweep until every channel has delivered its full prefix,
+/// then asserts quiescence.
+///
+/// Fast path: on a local (in-process) wire with verify off, the frame the
+/// sender already holds is dispatched without re-decoding the echoed
+/// bytes -- encode, CRC and byte accounting still happen, so ledger bytes
+/// stay measured. With verify on (or any out-of-process wire) the sink
+/// receives the *decoded echo*, proving the codec round-trip on every
+/// single delivery.
 class ReliableTransport {
  public:
-  using Apply = std::function<void()>;
+  /// Receives each delivered frame exactly once, in per-channel order.
+  using Sink = std::function<void(const wire::Frame&)>;
 
   /// Channel key: (src << 20 | dst << 8 | phase) packed by the caller via
   /// channel(). 4096 nodes and 256 phases are plenty for this host.
@@ -163,17 +179,30 @@ class ReliableTransport {
   void set_injector(FaultInjector* inj) { injector_ = inj; }
   FaultInjector* injector() const { return injector_; }
 
+  /// Attaches the byte-level wire frames traverse (nullptr: loop frames
+  /// back without a wire, still encoded/decoded -- the unit-test mode).
+  void set_wire(ByteTransport* w) { wire_ = w; }
+  ByteTransport* wire() const { return wire_; }
+
+  /// Forces a decode of the echoed bytes on every delivery even when the
+  /// wire is local (conformance mode).
+  void set_verify(bool v) { verify_ = v; }
+  bool verify() const { return verify_; }
+
+  void set_sink(Sink s) { sink_ = std::move(s); }
+
   FaultCounters& counters() { return counters_; }
   const FaultCounters& counters() const { return counters_; }
 
-  /// Sends one message on `ch`; `apply` commits the payload to the
-  /// receiver's state. Delivery (possibly deferred) is exactly-once and
-  /// per-channel FIFO.
-  void send(std::uint64_t ch, std::int64_t bytes, Apply apply);
+  /// Serializes and sends one message on the (src, dst, phase) channel.
+  /// Returns the encoded frame size in bytes -- the measured wire bytes
+  /// the caller accounts. Delivery (possibly deferred) is exactly-once
+  /// and per-channel FIFO into the sink.
+  std::int64_t send(int src, int dst, int phase, wire::Payload payload);
 
-  /// Delivers everything still in flight: retransmits lost/parked
-  /// messages (bounded by max_attempts) until every channel's receive
-  /// window is closed. Throws if a message exceeds its retry budget.
+  /// Delivers everything still in flight: retransmits lost/parked frames
+  /// (bounded by max_attempts) until every channel's receive window is
+  /// closed. Throws if a message exceeds its retry budget.
   void flush();
 
   /// Discards all in-flight and sequencing state (coordinated rollback:
@@ -184,29 +213,47 @@ class ReliableTransport {
   bool quiescent() const;
 
  private:
+  using Bytes = std::shared_ptr<const std::vector<std::uint8_t>>;
+
   struct Channel {
     std::uint64_t next_seq = 0;    // sender side
     std::uint64_t expect_seq = 0;  // receiver side (cumulative ack)
-    /// Sent but not yet acknowledged, in sequence order.
-    std::vector<std::pair<std::uint64_t, std::pair<std::int64_t, Apply>>>
-        unacked;
+    /// Sent but not yet acknowledged encoded frames, in sequence order.
+    std::vector<std::pair<std::uint64_t, Bytes>> unacked;
     /// Received out of order, parked until the gap fills.
-    std::map<std::uint64_t, Apply> reorder_buf;
+    std::map<std::uint64_t, wire::Frame> reorder_buf;
   };
 
-  /// One transmission attempt of (ch, seq). Returns true if the wire
-  /// delivered it (possibly twice); false if it was lost or parked.
-  bool transmit(std::uint64_t ch, std::uint64_t seq, std::int64_t bytes,
-                const Apply& apply);
-  /// Hands one arriving copy to the receiver (seq check + reorder buffer).
-  void receive(Channel& c, std::uint64_t seq, const Apply& apply);
-  void ack_delivered(Channel& c);
+  static int dst_of(std::uint64_t ch) {
+    return static_cast<int>((ch >> 8) & 0xFFFu);
+  }
+
+  /// One transmission attempt of (ch, seq). `inhand` is the decoded frame
+  /// the sender still holds (fast-path dispatch); null on retransmits.
+  /// Returns true if the wire delivered it (possibly twice); false if it
+  /// was lost or parked.
+  bool transmit(std::uint64_t ch, std::uint64_t seq, const Bytes& bytes,
+                wire::Frame* inhand);
+  /// Sends the bytes through the wire and produces the frame to dispatch
+  /// (the decoded echo, or `inhand` on the local fast path).
+  wire::Frame through_wire(const Bytes& bytes, int dst, wire::Frame* inhand);
+  /// Hands one arriving frame to the receiver (seq check + reorder buf).
+  void receive(Channel& c, std::uint64_t seq, wire::Frame&& frame);
 
   std::map<std::uint64_t, Channel> channels_;
-  /// Transmissions the injector parked (kDelay) or displaced (kReorder),
-  /// delivered by the next transmission or the flush sweep.
-  std::vector<std::tuple<std::uint64_t, std::uint64_t, Apply>> parked_;
+  /// Transmissions the injector parked (kDelay) or displaced (kReorder):
+  /// the encoded bytes are in flight, delivered (through the wire) by the
+  /// flush sweep.
+  struct Parked {
+    std::uint64_t ch;
+    std::uint64_t seq;
+    Bytes bytes;
+  };
+  std::vector<Parked> parked_;
   FaultInjector* injector_ = nullptr;
+  ByteTransport* wire_ = nullptr;
+  bool verify_ = false;
+  Sink sink_;
   FaultCounters counters_;
 };
 

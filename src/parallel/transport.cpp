@@ -1,0 +1,571 @@
+#include "parallel/transport.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sched.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <new>
+
+#include "io/crc32.hpp"
+#include "io/endian.hpp"
+#include "parallel/wire.hpp"
+
+namespace anton::parallel {
+
+namespace {
+
+constexpr std::size_t kMaxFrameBytes =
+    wire::kHeaderBytes + wire::kMaxPayloadBytes;
+
+[[noreturn]] void throw_rejected(int dst, int code) {
+  using K = wire::WireError::Kind;
+  const K kind = code == 1   ? K::kTruncated
+                 : code == 2 ? K::kBadMagic
+                 : code == 3 ? K::kBadVersion
+                 : code == 4 ? K::kBadLength
+                             : K::kBadCrc;
+  throw wire::WireError(kind, "endpoint for node " + std::to_string(dst) +
+                                  " rejected frame (code " +
+                                  std::to_string(code) + ")");
+}
+
+// ---------------------------------------------------------------------------
+// In-process backend: the endpoint is a function call. The frame is still
+// a fully serialized byte string and still gets endpoint validation; the
+// echo is the input buffer itself (zero-copy).
+// ---------------------------------------------------------------------------
+
+class InProcTransport final : public ByteTransport {
+ public:
+  const char* name() const override { return "inproc"; }
+  bool local() const override { return true; }
+
+  const std::vector<std::uint8_t>& roundtrip(
+      int dst, const std::vector<std::uint8_t>& frame) override {
+    const int code = wire::validate_frame(frame.data(), frame.size());
+    if (code != 0) throw_rejected(dst, code);
+    ++stats_.roundtrips;
+    stats_.bytes += static_cast<std::int64_t>(frame.size());
+    return frame;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Shared-memory rings. One worker process per node; frames stream through
+// a request/response pair of SPSC byte rings in an anonymous MAP_SHARED
+// mapping. The worker is allocation-free after fork: it validates each
+// frame in a buffer preallocated by the parent and echoes it back.
+// ---------------------------------------------------------------------------
+
+struct alignas(64) Cursor {
+  std::atomic<std::uint64_t> v{0};
+};
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "shared-memory rings require lock-free 64-bit atomics");
+
+struct Ring {
+  Cursor head;  // producer byte cursor
+  Cursor tail;  // consumer byte cursor
+};
+
+struct ShmControl {
+  Ring req;  // coordinator -> worker
+  Ring rsp;  // worker -> coordinator
+  std::atomic<std::uint32_t> stop{0};
+};
+
+/// Copies `n` bytes into the ring, spinning via `idle` while full.
+template <class Idle>
+void ring_write(Ring& r, unsigned char* data, std::size_t cap,
+                const std::uint8_t* src, std::size_t n, Idle&& idle) {
+  std::size_t off = 0;
+  while (off < n) {
+    const std::uint64_t head = r.head.v.load(std::memory_order_relaxed);
+    const std::uint64_t tail = r.tail.v.load(std::memory_order_acquire);
+    const std::size_t space = cap - static_cast<std::size_t>(head - tail);
+    if (space == 0) {
+      idle();
+      continue;
+    }
+    const std::size_t chunk = std::min(space, n - off);
+    const std::size_t pos = static_cast<std::size_t>(head % cap);
+    const std::size_t first = std::min(chunk, cap - pos);
+    std::memcpy(data + pos, src + off, first);
+    std::memcpy(data, src + off + first, chunk - first);
+    r.head.v.store(head + chunk, std::memory_order_release);
+    off += chunk;
+  }
+}
+
+/// Copies `n` bytes out of the ring, spinning via `idle` while empty.
+template <class Idle>
+void ring_read(Ring& r, const unsigned char* data, std::size_t cap,
+               std::uint8_t* dst, std::size_t n, Idle&& idle) {
+  std::size_t off = 0;
+  while (off < n) {
+    const std::uint64_t tail = r.tail.v.load(std::memory_order_relaxed);
+    const std::uint64_t head = r.head.v.load(std::memory_order_acquire);
+    const std::size_t avail = static_cast<std::size_t>(head - tail);
+    if (avail == 0) {
+      idle();
+      continue;
+    }
+    const std::size_t chunk = std::min(avail, n - off);
+    const std::size_t pos = static_cast<std::size_t>(tail % cap);
+    const std::size_t first = std::min(chunk, cap - pos);
+    std::memcpy(dst + off, data + pos, first);
+    std::memcpy(dst + off + first, data, chunk - first);
+    r.tail.v.store(tail + chunk, std::memory_order_release);
+    off += chunk;
+  }
+}
+
+/// The worker body: read [len][frame], validate, echo [len][frame][status].
+/// Runs in the forked child; everything it touches was mapped or allocated
+/// before the fork, so it never calls malloc (fork from a multithreaded
+/// parent must not).
+[[noreturn]] void shm_worker_loop(ShmControl* c, unsigned char* req_data,
+                                  unsigned char* rsp_data, std::size_t cap,
+                                  std::uint8_t* buf) {
+  std::uint64_t spins = 0;
+  auto idle = [&] {
+    if (c->stop.load(std::memory_order_acquire)) _exit(0);
+    if ((++spins & 0x3FFu) == 0) sched_yield();
+  };
+  for (;;) {
+    std::uint8_t n4[4];
+    ring_read(c->req, req_data, cap, n4, 4, idle);
+    const std::uint32_t len = io::load_u32le(n4);
+    if (len > kMaxFrameBytes) _exit(3);  // framing broken; cannot resync
+    ring_read(c->req, req_data, cap, buf, len, idle);
+    const int status = wire::validate_frame(buf, len);
+    io::store_u32le(n4, len);
+    ring_write(c->rsp, rsp_data, cap, n4, 4, idle);
+    ring_write(c->rsp, rsp_data, cap, buf, len, idle);
+    io::store_u32le(n4, static_cast<std::uint32_t>(status));
+    ring_write(c->rsp, rsp_data, cap, n4, 4, idle);
+  }
+}
+
+class ShmForkTransport final : public ByteTransport {
+ public:
+  ShmForkTransport(int nnodes, std::size_t ring_bytes)
+      : cap_(std::max<std::size_t>(ring_bytes, 4096)) {
+    io::crc32(0, "", 0);  // warm the CRC table before any fork
+    child_buf_.resize(kMaxFrameBytes);
+    nodes_.resize(static_cast<std::size_t>(nnodes));
+    for (int n = 0; n < nnodes; ++n) {
+      void* mem = mmap(nullptr, map_len(), PROT_READ | PROT_WRITE,
+                       MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+      if (mem == MAP_FAILED)
+        throw TransportError(n, "mmap failed: " +
+                                    std::string(std::strerror(errno)));
+      new (mem) ShmControl{};
+      nodes_[static_cast<std::size_t>(n)].mem = mem;
+      spawn(n);
+    }
+  }
+
+  ~ShmForkTransport() override {
+    for (int n = 0; n < static_cast<int>(nodes_.size()); ++n) shutdown(n);
+    for (Node& nd : nodes_)
+      if (nd.mem) munmap(nd.mem, map_len());
+  }
+
+  const char* name() const override { return "shm-fork"; }
+
+  const std::vector<std::uint8_t>& roundtrip(
+      int dst, const std::vector<std::uint8_t>& frame) override {
+    Node& nd = nodes_[static_cast<std::size_t>(dst)];
+    if (nd.pid < 0)
+      throw TransportError(dst, "worker for node " + std::to_string(dst) +
+                                    " is down");
+    if (frame.size() > kMaxFrameBytes)
+      throw wire::WireError(wire::WireError::Kind::kBadLength,
+                            "frame exceeds transport cap");
+    ShmControl* c = ctl(dst);
+    std::uint64_t spins = 0;
+    auto idle = [&] {
+      if ((++spins & 0xFFu) == 0) {
+        check_alive(dst);
+        sched_yield();
+      }
+    };
+    std::uint8_t n4[4];
+    io::store_u32le(n4, static_cast<std::uint32_t>(frame.size()));
+    ring_write(c->req, req_data(dst), cap_, n4, 4, idle);
+    ring_write(c->req, req_data(dst), cap_, frame.data(), frame.size(), idle);
+    ring_read(c->rsp, rsp_data(dst), cap_, n4, 4, idle);
+    const std::uint32_t rlen = io::load_u32le(n4);
+    if (rlen != frame.size())
+      throw TransportError(dst, "echo length mismatch from node " +
+                                    std::to_string(dst));
+    echo_.resize(rlen);
+    ring_read(c->rsp, rsp_data(dst), cap_, echo_.data(), rlen, idle);
+    ring_read(c->rsp, rsp_data(dst), cap_, n4, 4, idle);
+    const std::uint32_t status = io::load_u32le(n4);
+    if (status != 0) throw_rejected(dst, static_cast<int>(status));
+    ++stats_.roundtrips;
+    stats_.bytes += static_cast<std::int64_t>(frame.size());
+    return echo_;
+  }
+
+  void kill_node(int n) override {
+    Node& nd = nodes_[static_cast<std::size_t>(n)];
+    if (nd.pid < 0) return;
+    ::kill(nd.pid, SIGKILL);
+    int st = 0;
+    waitpid(nd.pid, &st, 0);
+    nd.pid = -1;
+  }
+
+  void restart_node(int n) override {
+    Node& nd = nodes_[static_cast<std::size_t>(n)];
+    if (nd.pid >= 0) {
+      int st = 0;
+      if (waitpid(nd.pid, &st, WNOHANG) != nd.pid) return;  // still alive
+      nd.pid = -1;  // externally killed; reaped just now
+    }
+    // The dead worker may have been mid-frame: reset both rings.
+    ShmControl* c = ctl(n);
+    c->req.head.v.store(0);
+    c->req.tail.v.store(0);
+    c->rsp.head.v.store(0);
+    c->rsp.tail.v.store(0);
+    c->stop.store(0);
+    spawn(n);
+  }
+
+  long worker_pid(int n) const override {
+    return nodes_[static_cast<std::size_t>(n)].pid;
+  }
+
+ private:
+  struct Node {
+    void* mem = nullptr;
+    pid_t pid = -1;
+  };
+
+  std::size_t map_len() const { return sizeof(ShmControl) + 2 * cap_; }
+  ShmControl* ctl(int n) {
+    return static_cast<ShmControl*>(nodes_[static_cast<std::size_t>(n)].mem);
+  }
+  unsigned char* req_data(int n) {
+    return reinterpret_cast<unsigned char*>(ctl(n)) + sizeof(ShmControl);
+  }
+  unsigned char* rsp_data(int n) { return req_data(n) + cap_; }
+
+  void spawn(int n) {
+    ShmControl* c = ctl(n);
+    const pid_t pid = fork();
+    if (pid < 0)
+      throw TransportError(n,
+                           "fork failed: " + std::string(std::strerror(errno)));
+    if (pid == 0)
+      shm_worker_loop(c, req_data(n), rsp_data(n), cap_, child_buf_.data());
+    nodes_[static_cast<std::size_t>(n)].pid = pid;
+  }
+
+  /// Reaps the worker if it exited; an exited worker mid-roundtrip is an
+  /// endpoint loss, surfaced as TransportError.
+  void check_alive(int n) {
+    Node& nd = nodes_[static_cast<std::size_t>(n)];
+    if (nd.pid < 0)
+      throw TransportError(n, "worker for node " + std::to_string(n) +
+                                  " is down");
+    int st = 0;
+    if (waitpid(nd.pid, &st, WNOHANG) == nd.pid) {
+      nd.pid = -1;
+      throw TransportError(n, "worker for node " + std::to_string(n) +
+                                  " died mid-roundtrip");
+    }
+  }
+
+  void shutdown(int n) {
+    Node& nd = nodes_[static_cast<std::size_t>(n)];
+    if (nd.pid < 0) return;
+    ctl(n)->stop.store(1, std::memory_order_release);
+    int st = 0;
+    for (int i = 0; i < 200; ++i) {
+      if (waitpid(nd.pid, &st, WNOHANG) == nd.pid) {
+        nd.pid = -1;
+        return;
+      }
+      usleep(1000);
+    }
+    ::kill(nd.pid, SIGKILL);
+    waitpid(nd.pid, &st, 0);
+    nd.pid = -1;
+  }
+
+  std::size_t cap_;
+  std::vector<Node> nodes_;
+  std::vector<std::uint8_t> child_buf_;  // preallocated pre-fork per child
+  std::vector<std::uint8_t> echo_;
+};
+
+// ---------------------------------------------------------------------------
+// TCP loopback. Same worker protocol, but every frame crosses a real
+// kernel socket boundary in each direction. One listening socket and one
+// accepted connection per node; workers are forked children that connect
+// back over 127.0.0.1.
+// ---------------------------------------------------------------------------
+
+bool read_full(int fd, std::uint8_t* dst, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t r = recv(fd, dst + off, n - off, 0);
+    if (r > 0) {
+      off += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    return false;  // EOF or hard error: the peer is gone
+  }
+  return true;
+}
+
+bool write_full(int fd, const std::uint8_t* src, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t r = send(fd, src + off, n - off, MSG_NOSIGNAL);
+    if (r > 0) {
+      off += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+[[noreturn]] void tcp_worker_loop(int fd, std::uint8_t* buf) {
+  for (;;) {
+    std::uint8_t n4[4];
+    if (!read_full(fd, n4, 4)) _exit(0);  // coordinator closed: shut down
+    const std::uint32_t len = io::load_u32le(n4);
+    if (len > kMaxFrameBytes) _exit(3);
+    if (!read_full(fd, buf, len)) _exit(0);
+    const int status = wire::validate_frame(buf, len);
+    io::store_u32le(n4, len);
+    if (!write_full(fd, n4, 4) || !write_full(fd, buf, len)) _exit(0);
+    io::store_u32le(n4, static_cast<std::uint32_t>(status));
+    if (!write_full(fd, n4, 4)) _exit(0);
+  }
+}
+
+class TcpTransport final : public ByteTransport {
+ public:
+  explicit TcpTransport(int nnodes) {
+    io::crc32(0, "", 0);  // warm the CRC table before any fork
+    child_buf_.resize(kMaxFrameBytes);
+    nodes_.resize(static_cast<std::size_t>(nnodes));
+    for (int n = 0; n < nnodes; ++n) {
+      listen_on(n);
+      spawn(n);
+    }
+  }
+
+  ~TcpTransport() override {
+    for (Node& nd : nodes_) {
+      if (nd.fd >= 0) close(nd.fd);  // EOF tells the worker to exit
+    }
+    for (Node& nd : nodes_) {
+      if (nd.pid >= 0) {
+        int st = 0;
+        if (waitpid(nd.pid, &st, WNOHANG) != nd.pid) {
+          ::kill(nd.pid, SIGKILL);
+          waitpid(nd.pid, &st, 0);
+        }
+      }
+      if (nd.listen_fd >= 0) close(nd.listen_fd);
+    }
+  }
+
+  const char* name() const override { return "tcp-loopback"; }
+
+  const std::vector<std::uint8_t>& roundtrip(
+      int dst, const std::vector<std::uint8_t>& frame) override {
+    Node& nd = nodes_[static_cast<std::size_t>(dst)];
+    if (nd.fd < 0)
+      throw TransportError(dst, "connection to node " + std::to_string(dst) +
+                                    " is down");
+    if (frame.size() > kMaxFrameBytes)
+      throw wire::WireError(wire::WireError::Kind::kBadLength,
+                            "frame exceeds transport cap");
+    std::uint8_t n4[4];
+    io::store_u32le(n4, static_cast<std::uint32_t>(frame.size()));
+    if (!write_full(nd.fd, n4, 4) ||
+        !write_full(nd.fd, frame.data(), frame.size()))
+      return drop_connection(dst, "send failed");
+    if (!read_full(nd.fd, n4, 4)) return drop_connection(dst, "echo lost");
+    const std::uint32_t rlen = io::load_u32le(n4);
+    if (rlen != frame.size())
+      return drop_connection(dst, "echo length mismatch");
+    echo_.resize(rlen);
+    if (!read_full(nd.fd, echo_.data(), rlen) || !read_full(nd.fd, n4, 4))
+      return drop_connection(dst, "echo lost");
+    const std::uint32_t status = io::load_u32le(n4);
+    if (status != 0) throw_rejected(dst, static_cast<int>(status));
+    ++stats_.roundtrips;
+    stats_.bytes += static_cast<std::int64_t>(frame.size());
+    return echo_;
+  }
+
+  void kill_node(int n) override {
+    Node& nd = nodes_[static_cast<std::size_t>(n)];
+    if (nd.pid >= 0) {
+      ::kill(nd.pid, SIGKILL);
+      int st = 0;
+      waitpid(nd.pid, &st, 0);
+      nd.pid = -1;
+    }
+    if (nd.fd >= 0) {
+      close(nd.fd);
+      nd.fd = -1;
+    }
+  }
+
+  void restart_node(int n) override {
+    Node& nd = nodes_[static_cast<std::size_t>(n)];
+    if (nd.pid >= 0 && nd.fd >= 0) return;  // still up
+    if (nd.pid >= 0) {  // externally killed: reap
+      int st = 0;
+      if (waitpid(nd.pid, &st, WNOHANG) != nd.pid) {
+        ::kill(nd.pid, SIGKILL);
+        waitpid(nd.pid, &st, 0);
+      }
+      nd.pid = -1;
+    }
+    if (nd.fd >= 0) {
+      close(nd.fd);
+      nd.fd = -1;
+    }
+    spawn(n);
+  }
+
+  long worker_pid(int n) const override {
+    return nodes_[static_cast<std::size_t>(n)].pid;
+  }
+
+ private:
+  struct Node {
+    int listen_fd = -1;
+    int fd = -1;
+    pid_t pid = -1;
+    std::uint16_t port = 0;
+  };
+
+  void listen_on(int n) {
+    Node& nd = nodes_[static_cast<std::size_t>(n)];
+    nd.listen_fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (nd.listen_fd < 0)
+      throw TransportError(n, "socket failed: " +
+                                  std::string(std::strerror(errno)));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    if (bind(nd.listen_fd, reinterpret_cast<sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+        listen(nd.listen_fd, 1) != 0)
+      throw TransportError(n, "bind/listen failed: " +
+                                  std::string(std::strerror(errno)));
+    socklen_t alen = sizeof addr;
+    if (getsockname(nd.listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                    &alen) != 0)
+      throw TransportError(n, "getsockname failed: " +
+                                  std::string(std::strerror(errno)));
+    nd.port = ntohs(addr.sin_port);
+  }
+
+  void spawn(int n) {
+    Node& nd = nodes_[static_cast<std::size_t>(n)];
+    const pid_t pid = fork();
+    if (pid < 0)
+      throw TransportError(n,
+                           "fork failed: " + std::string(std::strerror(errno)));
+    if (pid == 0) {
+      // The worker owns exactly one socket: its connection back to the
+      // coordinator. Drop every inherited descriptor first.
+      for (const Node& o : nodes_) {
+        if (o.listen_fd >= 0 && o.listen_fd != nd.listen_fd)
+          close(o.listen_fd);
+        if (o.fd >= 0) close(o.fd);
+      }
+      const int s = socket(AF_INET, SOCK_STREAM, 0);
+      if (s < 0) _exit(2);
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(nd.port);
+      if (connect(s, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) != 0)
+        _exit(2);
+      close(nd.listen_fd);
+      const int one = 1;
+      setsockopt(s, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      tcp_worker_loop(s, child_buf_.data());
+    }
+    nd.pid = pid;
+    // Accept with a timeout so a worker that died before connecting (or a
+    // sandbox that blocks loopback) fails cleanly instead of hanging.
+    pollfd pfd{nd.listen_fd, POLLIN, 0};
+    const int pr = poll(&pfd, 1, 10000);
+    if (pr <= 0) {
+      ::kill(pid, SIGKILL);
+      int st = 0;
+      waitpid(pid, &st, 0);
+      nd.pid = -1;
+      throw TransportError(n, "worker for node " + std::to_string(n) +
+                                  " never connected");
+    }
+    nd.fd = accept(nd.listen_fd, nullptr, nullptr);
+    if (nd.fd < 0)
+      throw TransportError(n, "accept failed: " +
+                                  std::string(std::strerror(errno)));
+    const int one = 1;
+    setsockopt(nd.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  }
+
+  [[noreturn]] const std::vector<std::uint8_t>& drop_connection(
+      int n, const std::string& why) {
+    Node& nd = nodes_[static_cast<std::size_t>(n)];
+    if (nd.fd >= 0) {
+      close(nd.fd);
+      nd.fd = -1;
+    }
+    throw TransportError(n, why + " for node " + std::to_string(n) +
+                                " (worker gone)");
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<std::uint8_t> child_buf_;  // preallocated pre-fork per child
+  std::vector<std::uint8_t> echo_;
+};
+
+}  // namespace
+
+std::unique_ptr<ByteTransport> make_transport(int nnodes,
+                                              const TransportOptions& opts) {
+  switch (opts.kind) {
+    case TransportKind::kInProc:
+      return std::make_unique<InProcTransport>();
+    case TransportKind::kShmFork:
+      return std::make_unique<ShmForkTransport>(nnodes, opts.ring_bytes);
+    case TransportKind::kTcp:
+      return std::make_unique<TcpTransport>(nnodes);
+  }
+  throw std::invalid_argument("make_transport: unknown kind");
+}
+
+}  // namespace anton::parallel

@@ -1,0 +1,120 @@
+// Pluggable byte-level transports under the reliable delivery layer.
+//
+// The VirtualMachine executes every virtual node's program in the
+// coordinator process (that is what keeps the bitwise-vs-AntonEngine
+// acceptance tractable), but the *wire* is real: each remote frame is a
+// serialized byte string (parallel/wire.hpp) that traverses a
+// ByteTransport to the destination node's endpoint and back. Three
+// backends:
+//
+//  * InProcTransport  -- the endpoint is a function call; zero-copy echo
+//                        (CRC-validated), the fast path that preserves the
+//                        pre-wire performance envelope.
+//  * ShmForkTransport -- one forked OS process per virtual node, acting as
+//                        that node's network interface. Frames stream
+//                        through a pair of shared-memory SPSC byte rings;
+//                        the worker validates the frame (magic / version /
+//                        length / CRC, allocation-free) and echoes it.
+//  * TcpTransport     -- same worker processes behind TCP loopback
+//                        sockets: the frame crosses a real kernel socket
+//                        boundary in each direction.
+//
+// The roundtrip discipline (send to the destination's endpoint, get the
+// validated bytes back, decode, dispatch) keeps delivery synchronous and
+// ordered, so all three backends produce bitwise-identical trajectories --
+// that is the conformance contract the cross-backend matrix asserts. A
+// SIGKILL-ed worker genuinely takes its endpoint down: the next roundtrip
+// to that node throws TransportError, which the VM turns into the same
+// coordinated-rollback recovery an injected crash uses. Full SPMD
+// execution (physics in the workers too) is future work; the wire format,
+// framing and failure semantics established here are what it will ride on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace anton::parallel {
+
+/// The destination endpoint is gone (worker process died, socket closed).
+/// The reliable layer cannot mask this -- in-flight state is lost -- so it
+/// propagates to the VM, which recovers by coordinated rollback.
+class TransportError : public std::runtime_error {
+ public:
+  TransportError(int node, const std::string& what)
+      : std::runtime_error("transport: " + what), node_(node) {}
+  int node() const { return node_; }
+
+ private:
+  int node_;
+};
+
+enum class TransportKind {
+  kInProc,   // endpoint is a function call in this process
+  kShmFork,  // forked worker per node over shared-memory rings
+  kTcp,      // forked worker per node behind a TCP loopback socket
+};
+
+struct TransportOptions {
+  TransportKind kind = TransportKind::kInProc;
+  /// Decode-verify every echoed frame even on the in-process fast path
+  /// (conformance mode: proves encode -> wire -> decode -> dispatch is the
+  /// identity the fast path skips).
+  bool verify = false;
+  /// Shared-memory ring capacity per direction (kShmFork).
+  std::size_t ring_bytes = std::size_t{1} << 20;
+};
+
+/// Cumulative traffic through a transport (measured at the byte level;
+/// bytes counts each direction once, i.e. frame bytes, not frame echoes).
+struct WireStats {
+  std::int64_t roundtrips = 0;
+  std::int64_t bytes = 0;
+};
+
+/// One byte-level wire: frames go to a node's endpoint and come back
+/// validated. Implementations are synchronous and single-threaded.
+class ByteTransport {
+ public:
+  virtual ~ByteTransport() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Sends `frame` to node `dst`'s endpoint; returns the bytes the
+  /// endpoint echoed after validating them. Throws TransportError if the
+  /// endpoint is dead, WireError if the endpoint rejected the frame.
+  virtual const std::vector<std::uint8_t>& roundtrip(
+      int dst, const std::vector<std::uint8_t>& frame) = 0;
+
+  /// True when the endpoint shares this address space (enables the
+  /// decode-skipping fast path in the reliable layer).
+  virtual bool local() const { return false; }
+
+  /// SIGKILLs node `n`'s worker process (no-op for in-process).
+  virtual void kill_node(int n) { (void)n; }
+
+  /// Brings node `n`'s endpoint back up after a kill (no-op in-process).
+  virtual void restart_node(int n) { (void)n; }
+
+  /// OS pid of node `n`'s worker, or -1 if it has none. Tests use this to
+  /// SIGKILL a real worker mid-run from outside the fault schedule.
+  virtual long worker_pid(int n) const {
+    (void)n;
+    return -1;
+  }
+
+  const WireStats& stats() const { return stats_; }
+
+ protected:
+  WireStats stats_;
+};
+
+/// Builds the requested backend for an `nnodes`-node machine. Fork-based
+/// backends spawn their workers here; the returned transport owns them
+/// (reaped on destruction).
+std::unique_ptr<ByteTransport> make_transport(int nnodes,
+                                              const TransportOptions& opts);
+
+}  // namespace anton::parallel

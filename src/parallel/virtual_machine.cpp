@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <type_traits>
+#include <variant>
 
 #include "bonded/bonded.hpp"
 #include "fixed/fixed.hpp"
@@ -23,18 +25,12 @@ inline void sub3(Vec3l& a, const Vec3l& d) {
   a.z = fixed::wrap_sub(a.z, d.z);
 }
 
-// Message payload model (bytes): every batched message carries an 8-byte
-// header plus fixed-size records. Positions are id + 3x32-bit lattice
-// coordinates; forces id + 3x64-bit fixed point; mesh values a 32-bit mesh
-// index + 64-bit quantized value; migration one full AtomState; directory
-// announcements and scalar reductions 8 bytes per entry.
+// Byte model for the legacy evaluate() path only (no wire underneath):
+// an 8-byte header plus fixed-size records. Dynamics mode accounts
+// *measured* frame bytes from the serialized wire format instead.
 constexpr std::int64_t kMsgHeader = 8;
 constexpr std::int64_t kPosRecord = 16;
 constexpr std::int64_t kForceRecord = 28;
-constexpr std::int64_t kMeshRecord = 12;
-constexpr std::int64_t kReduceRecord = 12;
-constexpr std::int64_t kAtomStateRecord = 88;
-constexpr std::int64_t kFftPointBytes = 16;  // one complex double
 
 }  // namespace
 
@@ -56,8 +52,12 @@ VirtualMachine::VirtualMachine(const System& sys, const VmConfig& cfg)
 }
 
 VirtualMachine::VirtualMachine(System sys, const core::AntonConfig& cfg)
+    : VirtualMachine(std::move(sys), cfg, TransportOptions{}) {}
+
+VirtualMachine::VirtualMachine(System sys, const core::AntonConfig& cfg,
+                               const TransportOptions& topts)
     : sys_(std::move(sys)), acfg_(cfg), dynamic_(true), lat_(sys_.box),
-      excl_(sys_.top) {
+      excl_(sys_.top), topts_(topts) {
   sys_.top.validate();
   if (!sys_.box.is_cubic())
     throw std::invalid_argument("VirtualMachine: requires a cubic box");
@@ -116,6 +116,15 @@ VirtualMachine::VirtualMachine(System sys, const core::AntonConfig& cfg)
   }
   build_mesh_blocks();
   workload_.nodes.assign(nnodes, {});
+  red_kin_.assign(static_cast<std::size_t>(n), 0.0);
+
+  // Stand up the byte wire before the first force computation: every
+  // remote delivery from here on is a serialized frame on this transport.
+  wire_ = make_transport(nnodes, topts_);
+  transport_.set_wire(wire_.get());
+  transport_.set_verify(topts_.verify);
+  transport_.set_sink(
+      [this](const wire::Frame& f) { dispatch_frame(f); });
 
   // Virtual sites are rebuilt globally once before distribution, so the
   // initial binning sees the same site positions the engine's does.
@@ -248,6 +257,8 @@ void VirtualMachine::build_mesh_blocks() {
   }
   const std::size_t mesh_total =
       static_cast<std::size_t>(M) * M * M;
+  master_q_full_.assign(mesh_total, 0.0);
+  master_phi_full_.assign(mesh_total, 0.0);
   const int nnodes = node_count();
   for (int n = 0; n < nnodes; ++n) {
     NodeState& nd = nodes_[n];
@@ -269,6 +280,7 @@ void VirtualMachine::build_mesh_blocks() {
     nd.stouched.assign(mesh_total, 0);
     nd.halo_phi.assign(mesh_total, 0);
     nd.halo_req.assign(nnodes, {});
+    nd.fft_line.assign(static_cast<std::size_t>(M), fft::cplx{});
   }
 }
 
@@ -352,16 +364,100 @@ void VirtualMachine::account(PhaseComm& phase, int src, int dst,
 }
 
 void VirtualMachine::deliver(PhaseComm& phase, int channel_phase, int src,
-                             int dst, std::int64_t bytes,
-                             std::function<void()> apply) {
+                             int dst, wire::Payload payload) {
   if (src == dst) {
     // Node-local handoff: never touches the wire (and is never counted).
-    apply();
+    apply_payload(src, dst, payload);
     return;
   }
+  const std::int64_t bytes =
+      transport_.send(src, dst, channel_phase, std::move(payload));
   account(phase, src, dst, bytes);
-  transport_.send(ReliableTransport::channel(src, dst, channel_phase),
-                  bytes, std::move(apply));
+}
+
+void VirtualMachine::dispatch_frame(const wire::Frame& f) {
+  apply_payload(f.header.src, f.header.dst, f.payload);
+}
+
+void VirtualMachine::apply_payload(int src, int dst,
+                                   const wire::Payload& p) {
+  NodeState& nd = nodes_[dst];
+  const int M = gse_params_.mesh;
+  // Block-local index of global mesh point (x, y, z) on `b`'s block.
+  auto block_index = [](const NodeState& b, int x, int y, int z) {
+    return (static_cast<std::size_t>(z - b.block_lo.z) * b.block_sz.y +
+            (y - b.block_lo.y)) *
+               b.block_sz.x +
+           (x - b.block_lo.x);
+  };
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, wire::PositionBatch>) {
+          records_of(nd, m.sb) = m.recs;
+        } else if constexpr (std::is_same_v<T, wire::BondPositions>) {
+          for (const wire::PosRec& r : m.recs) nd.rpos[r.id] = r.pos;
+        } else if constexpr (std::is_same_v<T, wire::ForceBatch>) {
+          for (const wire::ForceRec& r : m.recs) {
+            AtomState& st = nd.atoms.at(r.id);
+            acc3(m.long_range ? st.f_long : st.f_short, r.f);
+          }
+        } else if constexpr (std::is_same_v<T, wire::MeshCharge>) {
+          // Wrap-add the halo charges into the owned block; remember which
+          // points the source touched so the potential halo can route
+          // straight back.
+          for (std::size_t i = 0; i < m.idx.size(); ++i) {
+            const std::int32_t idx = m.idx[i];
+            const int x = idx % M;
+            const int y = (idx / M) % M;
+            const int z = idx / (M * M);
+            const std::size_t l = block_index(nd, x, y, z);
+            nd.mesh_q[l] = fixed::wrap_add(nd.mesh_q[l], m.q[i]);
+          }
+          nd.halo_req[src] = m.idx;
+        } else if constexpr (std::is_same_v<T, wire::MeshPhi>) {
+          for (std::size_t i = 0; i < m.idx.size(); ++i)
+            nd.halo_phi[m.idx[i]] = m.phi[i];
+        } else if constexpr (std::is_same_v<T, wire::FftSegment>) {
+          if (m.kind == 0) {
+            // Gather: segment lands in the owner's assembled line.
+            std::copy(m.pts.begin(), m.pts.end(),
+                      nd.fft_line.begin() + m.s0);
+          } else {
+            // Scatter: transformed points return to the holder's slab at
+            // the line's (a, b) coordinates on the message's axis.
+            for (std::size_t i = 0; i < m.pts.size(); ++i) {
+              const int k = m.s0 + static_cast<int>(i);
+              int x, y, z;
+              if (m.axis == 0) {
+                x = k; y = m.a; z = m.b;
+              } else if (m.axis == 1) {
+                x = m.a; y = k; z = m.b;
+              } else {
+                x = m.a; y = m.b; z = k;
+              }
+              nd.fft_grid[block_index(nd, x, y, z)] = m.pts[i];
+            }
+          }
+        } else if constexpr (std::is_same_v<T, wire::MeshEnergyBlock>) {
+          for (std::size_t i = 0; i < m.gidx.size(); ++i) {
+            master_q_full_[m.gidx[i]] = m.q[i];
+            master_phi_full_[m.gidx[i]] = m.phi[i];
+          }
+        } else if constexpr (std::is_same_v<T, wire::KineticTerms>) {
+          for (std::size_t i = 0; i < m.id.size(); ++i)
+            red_kin_[m.id[i]] = m.term[i];
+        } else if constexpr (std::is_same_v<T, wire::ScaleVelocities>) {
+          for (auto& [id, st] : nd.atoms) scale_velocity(st.vel, m.lambda);
+        } else if constexpr (std::is_same_v<T, wire::MigrationBatch>) {
+          for (std::size_t i = 0; i < m.id.size(); ++i)
+            nd.atoms[m.id[i]] = m.atoms[i];
+        } else if constexpr (std::is_same_v<T, wire::DirectoryUpdate>) {
+          for (std::size_t i = 0; i < m.id.size(); ++i)
+            directory_[m.id[i]] = m.home[i];
+        }
+      },
+      p);
 }
 
 void VirtualMachine::sync_retransmit_ledger() {
@@ -409,14 +505,9 @@ void VirtualMachine::position_multicast() {
       std::vector<AtomRecord> payload;
       payload.reserve(ids.size());
       for (std::int32_t a : ids) payload.push_back({a, nd.atoms.at(a).pos});
-      for (int dst : consumers_[sb]) {
+      for (int dst : consumers_[sb])
         deliver(ledger_.position, kChPosition, n, dst,
-                kPosRecord * static_cast<std::int64_t>(payload.size()) +
-                    kMsgHeader,
-                [this, dst, sb, payload] {
-                  records_of(nodes_[dst], sb) = payload;
-                });
-      }
+                wire::PositionBatch{sb, payload});
     }
   }
   transport_.flush();  // pair phase reads the consumer mailboxes
@@ -500,13 +591,8 @@ void VirtualMachine::bond_dispatch_and_terms(bool long_range) {
       }
       for (int dst = 0; dst < nnodes; ++dst) {
         if (out[dst].empty()) continue;
-        deliver(
-            ledger_.bond, kChBond, n, dst,
-            kPosRecord * static_cast<std::int64_t>(out[dst].size()) +
-                kMsgHeader,
-            [this, dst, recs = std::move(out[dst])] {
-              for (const AtomRecord& r : recs) nodes_[dst].rpos[r.id] = r.pos;
-            });
+        deliver(ledger_.bond, kChBond, n, dst,
+                wire::BondPositions{std::move(out[dst])});
       }
     }
     transport_.flush();  // term evaluation reads the rpos mailboxes
@@ -580,25 +666,17 @@ void VirtualMachine::force_return(bool long_range) {
     obs::Tracer::Span node_span(tracer_, "vm.node.force_return", n + 1);
     NodeState& nd = nodes_[n];
     std::sort(nd.plist.begin(), nd.plist.end());
-    std::vector<std::vector<std::pair<std::int32_t, Vec3l>>> out(nnodes);
+    std::vector<std::vector<wire::ForceRec>> out(nnodes);
     for (std::int32_t id : nd.plist) {
-      out[directory_[id]].emplace_back(id, nd.partial[id]);
+      out[directory_[id]].push_back({id, nd.partial[id]});
       nd.partial[id] = {0, 0, 0};
       nd.ptouched[id] = 0;
     }
     nd.plist.clear();
     for (int dst = 0; dst < nnodes; ++dst) {
       if (out[dst].empty()) continue;
-      deliver(
-          ledger_.force, kChForce, n, dst,
-          kForceRecord * static_cast<std::int64_t>(out[dst].size()) +
-              kMsgHeader,
-          [this, dst, long_range, recs = std::move(out[dst])] {
-            for (const auto& [id, f] : recs) {
-              AtomState& st = nodes_[dst].atoms.at(id);
-              acc3(long_range ? st.f_long : st.f_short, f);
-            }
-          });
+      deliver(ledger_.force, kChForce, n, dst,
+              wire::ForceBatch{long_range, std::move(out[dst])});
     }
   }
   transport_.flush();  // the vsite round reads the home accumulators
@@ -611,9 +689,9 @@ void VirtualMachine::vsite_force_round(bool long_range) {
   for (int n = 0; n < nnodes; ++n) {
     NodeState& nd = nodes_[n];
     if (nd.vsites.empty()) continue;
-    std::vector<std::vector<std::pair<std::int32_t, Vec3l>>> out(nnodes);
+    std::vector<std::vector<wire::ForceRec>> out(nnodes);
     auto share = [&](std::int32_t target, const Vec3l& f) {
-      out[directory_[target]].emplace_back(target, f);
+      out[directory_[target]].push_back({target, f});
     };
     for (std::int32_t k : nd.vsites) {
       const VirtualSite& v = top.virtual_sites[k];
@@ -627,16 +705,8 @@ void VirtualMachine::vsite_force_round(bool long_range) {
     }
     for (int dst = 0; dst < nnodes; ++dst) {
       if (out[dst].empty()) continue;
-      deliver(
-          ledger_.force, kChForce, n, dst,
-          kForceRecord * static_cast<std::int64_t>(out[dst].size()) +
-              kMsgHeader,
-          [this, dst, long_range, recs = std::move(out[dst])] {
-            for (const auto& [id, f] : recs) {
-              AtomState& st = nodes_[dst].atoms.at(id);
-              acc3(long_range ? st.f_long : st.f_short, f);
-            }
-          });
+      deliver(ledger_.force, kChForce, n, dst,
+              wire::ForceBatch{long_range, std::move(out[dst])});
     }
   }
   transport_.flush();
@@ -718,25 +788,7 @@ void VirtualMachine::spread_and_halo() {
       charge.reserve(list.size());
       for (std::int32_t idx : list) charge.push_back(nd.spread_q[idx]);
       deliver(ledger_.mesh, kChMesh, n, o,
-              kMeshRecord * static_cast<std::int64_t>(list.size()) +
-                  kMsgHeader,
-              [this, o, n, M, list, charge = std::move(charge)] {
-                NodeState& od = nodes_[o];
-                for (std::size_t i = 0; i < list.size(); ++i) {
-                  const std::int32_t idx = list[i];
-                  const int x = idx % M;
-                  const int y = (idx / M) % M;
-                  const int z = idx / (M * M);
-                  const std::size_t l =
-                      (static_cast<std::size_t>(z - od.block_lo.z) *
-                           od.block_sz.y +
-                       (y - od.block_lo.y)) *
-                          od.block_sz.x +
-                      (x - od.block_lo.x);
-                  od.mesh_q[l] = fixed::wrap_add(od.mesh_q[l], charge[i]);
-                }
-                od.halo_req[n] = list;
-              });
+              wire::MeshCharge{std::move(list), std::move(charge)});
     }
   }
   transport_.flush();  // the owned-block accumulators are read below
@@ -767,8 +819,6 @@ void VirtualMachine::distributed_fft_stage(int axis, bool inverse) {
     row_ord.assign(static_cast<std::size_t>(pg.x) * pg.z, 0);
   else
     row_ord.assign(static_cast<std::size_t>(pg.x) * pg.y, 0);
-  std::vector<fft::cplx> line(M);
-
   for (int a = 0; a < M; ++a) {
     for (int b = 0; b < M; ++b) {
       // axis 0: (y, z) = (a, b); axis 1: (x, z) = (a, b);
@@ -817,7 +867,7 @@ void VirtualMachine::distributed_fft_stage(int axis, bool inverse) {
         return (hc * pg.y + gy) * pg.x + gx;
       };
 
-      // Gather segments to the owner.
+      // Gather segments to the owner's assembled line.
       for (int hc = 0; hc < pa; ++hc) {
         const int s0 = mesh_start_[axis][hc];
         const int s1 = mesh_start_[axis][hc + 1];
@@ -828,13 +878,12 @@ void VirtualMachine::distributed_fft_stage(int axis, bool inverse) {
         for (int k = s0; k < s1; ++k)
           seg[static_cast<std::size_t>(k - s0)] = hd.fft_grid[point(hd, k)];
         deliver(ledger_.fft, kChFft, holder, owner,
-                static_cast<std::int64_t>(s1 - s0) * kFftPointBytes,
-                [&line, s0, seg = std::move(seg)] {
-                  std::copy(seg.begin(), seg.end(), line.begin() + s0);
-                });
+                wire::FftSegment{static_cast<std::uint8_t>(axis), 0, a, b,
+                                 s0, std::move(seg)});
       }
       transport_.flush();  // the owner transforms the assembled line
 
+      std::vector<fft::cplx>& line = nodes_[owner].fft_line;
       if (inverse)
         fft1_->inverse(line.data());
       else
@@ -848,13 +897,8 @@ void VirtualMachine::distributed_fft_stage(int axis, bool inverse) {
         const int holder = holder_index(hc);
         std::vector<fft::cplx> seg(line.begin() + s0, line.begin() + s1);
         deliver(ledger_.fft, kChFft, owner, holder,
-                static_cast<std::int64_t>(s1 - s0) * kFftPointBytes,
-                [this, holder, s0, s1, point, seg = std::move(seg)] {
-                  NodeState& hd = nodes_[holder];
-                  for (int k = s0; k < s1; ++k)
-                    hd.fft_grid[point(hd, k)] =
-                        seg[static_cast<std::size_t>(k - s0)];
-                });
+                wire::FftSegment{static_cast<std::uint8_t>(axis), 1, a, b,
+                                 s0, std::move(seg)});
       }
       // The next line may read any holder's slab: settle this one first.
       transport_.flush();
@@ -870,12 +914,11 @@ void VirtualMachine::convolve_and_energy() {
   const int M = gse_params_.mesh;
   const int nnodes = node_count();
   const std::size_t mesh_total = static_cast<std::size_t>(M) * M * M;
-  std::vector<double> q_full(mesh_total, 0.0), phi_full(mesh_total, 0.0);
   for (int n = 0; n < nnodes; ++n) {
     NodeState& nd = nodes_[n];
     // Local quantization of the owned potentials, plus the (q, phi) block
     // payload for the master's ordered energy reduction.
-    std::vector<std::size_t> gidx;
+    std::vector<std::uint64_t> gidx;
     std::vector<double> qv, phiv;
     gidx.reserve(nd.mesh_q.size());
     qv.reserve(nd.mesh_q.size());
@@ -887,25 +930,19 @@ void VirtualMachine::convolve_and_energy() {
              ++x, ++l) {
           const double phi = nd.fft_grid[l].real();
           nd.mesh_phi[l] = fixed::quantize(phi, kPhiScale);
-          gidx.push_back((static_cast<std::size_t>(z) * M + y) * M + x);
+          gidx.push_back((static_cast<std::uint64_t>(z) * M + y) * M + x);
           qv.push_back(nd.scratch_q[l]);
           phiv.push_back(phi);
         }
     if (gidx.empty()) continue;
     deliver(ledger_.reduce, kChReduce, n, 0,
-            16 * static_cast<std::int64_t>(nd.mesh_q.size()) + kMsgHeader,
-            [&q_full, &phi_full, gidx = std::move(gidx), qv = std::move(qv),
-             phiv = std::move(phiv)] {
-              for (std::size_t i = 0; i < gidx.size(); ++i) {
-                q_full[gidx[i]] = qv[i];
-                phi_full[gidx[i]] = phiv[i];
-              }
-            });
+            wire::MeshEnergyBlock{std::move(gidx), std::move(qv),
+                                  std::move(phiv)});
   }
   transport_.flush();  // the ordered reduction reads the gathered blocks
   double energy = 0.0;
   for (std::size_t i = 0; i < mesh_total; ++i)
-    energy += phi_full[i] * q_full[i];
+    energy += master_phi_full_[i] * master_q_full_[i];
   const double h = gse_->mesh_spacing();
   e_recip_ = 0.5 * h * h * h * energy;
 }
@@ -937,13 +974,7 @@ void VirtualMachine::phi_halo_back_and_interpolate() {
         phis.push_back(od.mesh_phi[l]);
       }
       deliver(ledger_.mesh, kChMesh, o, src,
-              kMeshRecord * static_cast<std::int64_t>(list.size()) +
-                  kMsgHeader,
-              [this, src, list, phis = std::move(phis)] {
-                NodeState& sd = nodes_[src];
-                for (std::size_t i = 0; i < list.size(); ++i)
-                  sd.halo_phi[list[i]] = phis[i];
-              });
+              wire::MeshPhi{list, std::move(phis)});
     }
   }
   transport_.flush();  // interpolation reads the node-local phi halos
@@ -1079,13 +1110,8 @@ void VirtualMachine::finish_drift() {
     }
     for (int dst = 0; dst < nnodes; ++dst) {
       if (out[dst].empty()) continue;
-      deliver(
-          ledger_.bond, kChBond, n, dst,
-          kPosRecord * static_cast<std::int64_t>(out[dst].size()) +
-              kMsgHeader,
-          [this, dst, recs = std::move(out[dst])] {
-            for (const AtomRecord& r : recs) nodes_[dst].rpos[r.id] = r.pos;
-          });
+      deliver(ledger_.bond, kChBond, n, dst,
+              wire::BondPositions{std::move(out[dst])});
     }
   }
   transport_.flush();  // site rebuild reads the parent positions
@@ -1130,33 +1156,27 @@ void VirtualMachine::apply_thermostat() {
   // atom-index order, exactly the engine's loop order.
   const Topology& top = sys_.top;
   const int nnodes = node_count();
-  std::vector<double> term(top.natoms, 0.0);
   for (int n = 0; n < nnodes; ++n) {
     const NodeState& nd = nodes_[n];
-    std::vector<std::pair<std::int32_t, double>> out;
-    out.reserve(nd.atoms.size());
-    for (const auto& [id, st] : nd.atoms)
-      out.emplace_back(id, kinetic_term(top.mass[id], st.vel));
-    if (out.empty()) continue;
-    deliver(ledger_.reduce, kChReduce, n, 0,
-            kReduceRecord * static_cast<std::int64_t>(out.size()) +
-                kMsgHeader,
-            [&term, recs = std::move(out)] {
-              for (const auto& [id, t] : recs) term[id] = t;
-            });
+    wire::KineticTerms out;
+    out.id.reserve(nd.atoms.size());
+    out.term.reserve(nd.atoms.size());
+    for (const auto& [id, st] : nd.atoms) {
+      out.id.push_back(id);
+      out.term.push_back(kinetic_term(top.mass[id], st.vel));
+    }
+    if (out.id.empty()) continue;
+    deliver(ledger_.reduce, kChReduce, n, 0, std::move(out));
   }
   transport_.flush();  // the master sums in global atom-index order
   double mv2 = 0.0;
-  for (std::int32_t i = 0; i < top.natoms; ++i) mv2 += term[i];
+  for (std::int32_t i = 0; i < top.natoms; ++i) mv2 += red_kin_[i];
   const int k = std::max(1, acfg_.sim.long_range_every);
   const double lambda = thermostat_lambda(top, mv2, k * acfg_.sim.dt,
                                           acfg_.sim.target_temperature,
                                           acfg_.sim.berendsen_tau);
-  for (int n = 0; n < nnodes; ++n) {
-    deliver(ledger_.reduce, kChReduce, 0, n, kMsgHeader, [this, n, lambda] {
-      for (auto& [id, st] : nodes_[n].atoms) scale_velocity(st.vel, lambda);
-    });
-  }
+  for (int n = 0; n < nnodes; ++n)
+    deliver(ledger_.reduce, kChReduce, 0, n, wire::ScaleVelocities{lambda});
   transport_.flush();
 }
 
@@ -1177,32 +1197,32 @@ void VirtualMachine::migrate_by_message() {
       const int dst = geom_->node_index_of(sb);
       if (dst != n) move_units[dst].push_back(u);
     }
+    wire::DirectoryUpdate moved;
     for (int dst = 0; dst < nnodes; ++dst) {
       if (move_units[dst].empty()) continue;
       // The sender evicts the unit and updates the (replicated) directory
       // immediately; the receiver's copy lands via the reliable channel.
-      std::vector<std::pair<std::int32_t, AtomState>> payload;
+      wire::MigrationBatch payload;
       for (std::int32_t u : move_units[dst]) {
         for (std::int32_t a : units_[u]) {
-          payload.emplace_back(a, nd.atoms.at(a));
+          payload.id.push_back(a);
+          payload.atoms.push_back(nd.atoms.at(a));
           nd.atoms.erase(a);
           directory_[a] = dst;
+          moved.id.push_back(a);
+          moved.home.push_back(dst);
         }
       }
-      const std::int64_t atoms_moved =
-          static_cast<std::int64_t>(payload.size());
-      deliver(ledger_.migration, kChMigration, n, dst,
-              kAtomStateRecord * atoms_moved + kMsgHeader,
-              [this, dst, recs = std::move(payload)] {
-                for (const auto& [a, st] : recs) nodes_[dst].atoms[a] = st;
-              });
-      moved_atoms += atoms_moved;
+      moved_atoms += static_cast<std::int64_t>(payload.id.size());
+      deliver(ledger_.migration, kChMigration, n, dst, std::move(payload));
     }
-    // Directory announcement: every other node learns the new homes.
+    // Directory announcement: every other node learns the new homes
+    // (idempotent on the replicated directory -- the sender already wrote
+    // the same entries).
     if (moved_atoms > 0)
       for (int o = 0; o < nnodes; ++o)
         if (o != n)
-          account(ledger_.migration, n, o, 8 * moved_atoms + kMsgHeader);
+          deliver(ledger_.migration, kChMigration, n, o, moved);
   }
   transport_.flush();  // unit reassignment reads the migrated atom states
   for (NodeState& nd : nodes_) nd.units.clear();
@@ -1276,17 +1296,22 @@ void VirtualMachine::run_cycles(int ncycles) {
   while (steps_ / k < target) {
     const std::int64_t cycle = steps_ / k;
     if (injector_) {
-      bool crashed = false;
+      std::vector<int> dead;
       for (int n = 0; n < node_count(); ++n)
-        if (injector_->crash_due(n, cycle)) crashed = true;
-      if (crashed) {
+        if (injector_->crash_due(n, cycle)) dead.push_back(n);
+      if (!dead.empty()) {
         // A node died at this cycle boundary: its volatile state (and
-        // every in-flight message) is gone. Recovery is coordinated
-        // rollback -- all nodes restore the last distributed checkpoint,
-        // every channel restarts from sequence zero, and the replay is
-        // bitwise identical to the fault-free execution by the
-        // determinism invariants.
+        // every in-flight message) is gone. On a forked wire the worker
+        // process is genuinely SIGKILLed and a fresh one forked. Recovery
+        // is coordinated rollback -- all nodes restore the last
+        // distributed checkpoint, every channel restarts from sequence
+        // zero, and the replay is bitwise identical to the fault-free
+        // execution by the determinism invariants.
         obs::Tracer::Span sp(tracer_, "vm.rollback");
+        for (int n : dead) {
+          wire_->kill_node(n);
+          wire_->restart_node(n);
+        }
         FaultCounters& fc = transport_.counters();
         ++fc.crashes;
         ++fc.rollbacks;
@@ -1300,7 +1325,22 @@ void VirtualMachine::run_cycles(int ncycles) {
       if (ft_enabled_ && (!have_ckpt_ || cycle % cadence == 0))
         capture_vm_checkpoint();
     }
-    run_one_cycle();
+    try {
+      run_one_cycle();
+    } catch (const TransportError& te) {
+      // A worker endpoint died mid-cycle without being scheduled (e.g. an
+      // external SIGKILL). Same recovery as a scheduled crash: re-fork
+      // the endpoint and roll everyone back to the last checkpoint.
+      if (!ft_enabled_ || !have_ckpt_) throw;
+      obs::Tracer::Span sp(tracer_, "vm.rollback");
+      wire_->restart_node(te.node());
+      FaultCounters& fc = transport_.counters();
+      ++fc.crashes;
+      ++fc.rollbacks;
+      const std::int64_t restored_cycle = ckpt_.steps / k;
+      restore_vm_checkpoint();
+      fc.replayed_cycles += cycle - restored_cycle;
+    }
   }
   if (tracer_ && ncycles > 0) tracer_->capture_workload(workload());
 }
@@ -1479,14 +1519,18 @@ void VirtualMachine::set_metrics(obs::MetricsRegistry* m) {
   mid_.retry_out_of_order = m->counter("vm.retry.out_of_order_held");
   mid_.retry_rollbacks = m->counter("vm.retry.rollbacks");
   mid_.retry_replayed_cycles = m->counter("vm.retry.replayed_cycles");
+  mid_.wire_roundtrips = m->counter("vm.wire.roundtrips");
+  mid_.wire_bytes = m->counter("vm.wire.bytes");
   pub_base_ = ledger_;
   fc_base_ = transport_.counters();
+  if (wire_) ws_base_ = wire_->stats();
 }
 
 void VirtualMachine::publish_metrics() {
   if (!metrics_) {
     pub_base_ = ledger_;
     fc_base_ = transport_.counters();
+    if (wire_) ws_base_ = wire_->stats();
     return;
   }
   metrics_->count(mid_.cycles, 0, 1);
@@ -1524,6 +1568,12 @@ void VirtualMachine::publish_metrics() {
   pubc(mid_.retry_rollbacks, fc.rollbacks, fc_base_.rollbacks);
   pubc(mid_.retry_replayed_cycles, fc.replayed_cycles,
        fc_base_.replayed_cycles);
+  if (wire_) {
+    const WireStats& ws = wire_->stats();
+    pubc(mid_.wire_roundtrips, ws.roundtrips, ws_base_.roundtrips);
+    pubc(mid_.wire_bytes, ws.bytes, ws_base_.bytes);
+    ws_base_ = ws;
+  }
   metrics_->flush();
   pub_base_ = ledger_;
   fc_base_ = fc;

@@ -58,6 +58,8 @@
 #include "parallel/comm_stats.hpp"
 #include "parallel/fault.hpp"
 #include "parallel/node_program.hpp"
+#include "parallel/transport.hpp"
+#include "parallel/wire.hpp"
 
 namespace anton::parallel {
 
@@ -78,7 +80,11 @@ class VirtualMachine {
 
   /// Full distributed time-step runtime, configured exactly like the
   /// engine (same kernels, geometry, integrator and migration cadence).
+  /// Every inter-node delivery is serialized into a wire frame and
+  /// traverses the selected byte transport (in-process by default).
   VirtualMachine(System sys, const core::AntonConfig& cfg);
+  VirtualMachine(System sys, const core::AntonConfig& cfg,
+                 const TransportOptions& topts);
 
   int node_count() const;
 
@@ -165,20 +171,20 @@ class VirtualMachine {
   /// gather, not part of the choreography.
   io::Checkpoint export_checkpoint() const;
 
+  /// The byte-level wire under the reliable layer (dynamics mode only;
+  /// null in legacy mode). Tests reach through this to inspect measured
+  /// traffic or SIGKILL a forked worker.
+  ByteTransport* wire() const { return wire_.get(); }
+  const TransportOptions& transport_options() const { return topts_; }
+
  private:
-  struct AtomRecord {
-    std::int32_t id;
-    Vec3i pos;
-  };
+  /// One position record (id + lattice position) -- exactly the wire
+  /// record, so mailboxes hold what the frames carry.
+  using AtomRecord = wire::PosRec;
 
   /// Dynamic state of one home atom, owned by exactly one node at a time
-  /// and moved whole during migration.
-  struct AtomState {
-    Vec3i pos{0, 0, 0};
-    Vec3l vel{0, 0, 0};
-    Vec3l f_short{0, 0, 0};
-    Vec3l f_long{0, 0, 0};
-  };
+  /// and moved whole during migration; the wire's migration record.
+  using AtomState = wire::AtomDyn;
 
   /// One virtual node's private memory. Nothing here is ever read by
   /// another node: inter-node data flow happens only through the
@@ -211,6 +217,7 @@ class VirtualMachine {
     std::vector<std::int64_t> mesh_phi;   // owned block, quantized phi
     std::vector<std::int64_t> halo_phi;   // full mesh, phi at touched pts
     std::vector<std::vector<std::int32_t>> halo_req;  // per src: indices
+    std::vector<fft::cplx> fft_line;      // assembled line (as FFT owner)
 
     Vec3i block_lo{0, 0, 0};  // owned mesh block origin
     Vec3i block_sz{0, 0, 0};  // owned mesh block extent
@@ -260,12 +267,18 @@ class VirtualMachine {
   // --- message accounting + reliable delivery ---
   int torus_hops(int src, int dst) const;
   void account(PhaseComm& phase, int src, int dst, std::int64_t bytes);
-  /// Delivers one message: local (src == dst) applies immediately with no
-  /// accounting; remote is accounted into `phase` and routed through the
-  /// reliable transport (exactly-once, per-channel FIFO, survives the
-  /// fault injector). Each phase barrier calls transport_.flush().
+  /// Delivers one typed message: local (src == dst) applies immediately
+  /// with no accounting; remote is serialized into a wire frame, routed
+  /// through the reliable transport over the byte wire (exactly-once,
+  /// per-channel FIFO, survives the fault injector) and accounted at its
+  /// measured frame size. Each phase barrier calls transport_.flush().
   void deliver(PhaseComm& phase, int channel_phase, int src, int dst,
-               std::int64_t bytes, std::function<void()> apply);
+               wire::Payload payload);
+  /// The reliable layer's sink: typed dispatch of one delivered frame.
+  void dispatch_frame(const wire::Frame& f);
+  /// Applies one decoded message to the destination node's state -- the
+  /// receiver-side half of every choreography phase.
+  void apply_payload(int src, int dst, const wire::Payload& p);
 
   // --- fault tolerance ---
   void capture_vm_checkpoint();
@@ -337,6 +350,11 @@ class VirtualMachine {
 
   std::int64_t steps_ = 0;
   double e_recip_ = 0.0;
+  // Master-side gather scratch (node 0's convolution view and the global
+  // kinetic reduction); every index is rewritten each cycle before use.
+  std::vector<double> master_q_full_;
+  std::vector<double> master_phi_full_;
+  std::vector<double> red_kin_;
   CommLedger ledger_;
   CommLedger pub_base_;  // ledger snapshot at last metrics publish
   core::WorkloadProfile workload_;
@@ -344,7 +362,10 @@ class VirtualMachine {
   // Reliable delivery + fault tolerance. The transport is always in the
   // message path (pass-through when no injector is attached); the
   // injector, checkpoint capture and rollback engage via
-  // set_fault_config.
+  // set_fault_config. The byte wire underneath is selected at
+  // construction (dynamics mode only).
+  TransportOptions topts_;
+  std::unique_ptr<ByteTransport> wire_;
   ReliableTransport transport_;
   std::unique_ptr<FaultInjector> injector_;
   bool ft_enabled_ = false;
@@ -371,8 +392,10 @@ class VirtualMachine {
     int retry_retransmits = -1, retry_retransmit_bytes = -1;
     int retry_dups_suppressed = -1, retry_out_of_order = -1;
     int retry_rollbacks = -1, retry_replayed_cycles = -1;
+    int wire_roundtrips = -1, wire_bytes = -1;
   } mid_;
   FaultCounters fc_base_;  // fault-counter snapshot at last publish
+  WireStats ws_base_;      // wire-stats snapshot at last publish
 };
 
 }  // namespace anton::parallel

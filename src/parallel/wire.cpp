@@ -1,0 +1,478 @@
+#include "parallel/wire.hpp"
+
+#include <type_traits>
+
+#include "io/crc32.hpp"
+#include "io/endian.hpp"
+
+namespace anton::parallel::wire {
+
+namespace {
+
+using io::load_f64le;
+using io::load_i32le;
+using io::load_i64le;
+using io::load_u16le;
+using io::load_u32le;
+using io::load_u64le;
+using io::store_f64le;
+using io::store_i32le;
+using io::store_i64le;
+using io::store_u16le;
+using io::store_u32le;
+using io::store_u64le;
+
+// --- payload writer ---------------------------------------------------------
+
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& buf) : buf_(buf) {}
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) { put(4, [&](unsigned char* p) { store_u32le(p, v); }); }
+  void u64(std::uint64_t v) { put(8, [&](unsigned char* p) { store_u64le(p, v); }); }
+  void i32(std::int32_t v) { put(4, [&](unsigned char* p) { store_i32le(p, v); }); }
+  void i64(std::int64_t v) { put(8, [&](unsigned char* p) { store_i64le(p, v); }); }
+  void f64(double v) { put(8, [&](unsigned char* p) { store_f64le(p, v); }); }
+
+  void vec3i(const Vec3i& v) {
+    i32(v.x);
+    i32(v.y);
+    i32(v.z);
+  }
+  void vec3l(const Vec3l& v) {
+    i64(v.x);
+    i64(v.y);
+    i64(v.z);
+  }
+  void count(std::size_t n) { u32(static_cast<std::uint32_t>(n)); }
+
+ private:
+  template <class F>
+  void put(std::size_t n, F&& store) {
+    const std::size_t off = buf_.size();
+    buf_.resize(off + n);
+    store(buf_.data() + off);
+  }
+  std::vector<std::uint8_t>& buf_;
+};
+
+// --- payload reader ---------------------------------------------------------
+
+/// Bounds-checked cursor over the payload bytes. Every read is validated
+/// before it happens; record counts are validated against the remaining
+/// bytes before any container is sized.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t len) : p_(data), end_(data + len) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return *p_++;
+  }
+  std::uint32_t u32() {
+    need(4);
+    const std::uint32_t v = load_u32le(p_);
+    p_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    const std::uint64_t v = load_u64le(p_);
+    p_ += 8;
+    return v;
+  }
+  std::int32_t i32() {
+    need(4);
+    const std::int32_t v = load_i32le(p_);
+    p_ += 4;
+    return v;
+  }
+  std::int64_t i64() {
+    need(8);
+    const std::int64_t v = load_i64le(p_);
+    p_ += 8;
+    return v;
+  }
+  double f64() {
+    need(8);
+    const double v = load_f64le(p_);
+    p_ += 8;
+    return v;
+  }
+  Vec3i vec3i() {
+    const std::int32_t x = i32(), y = i32(), z = i32();
+    return {x, y, z};
+  }
+  Vec3l vec3l() {
+    const std::int64_t x = i64(), y = i64(), z = i64();
+    return {x, y, z};
+  }
+
+  /// Reads a record count and validates it against the bytes still in the
+  /// buffer at `bytes_per_record` each -- a corrupt count can never force
+  /// an allocation larger than the payload that arrived.
+  std::size_t count(std::size_t bytes_per_record) {
+    const std::uint32_t n = u32();
+    if (static_cast<std::size_t>(end_ - p_) / bytes_per_record < n)
+      throw WireError(WireError::Kind::kBadPayload,
+                      "record count exceeds payload");
+    return n;
+  }
+
+  void finish() const {
+    if (p_ != end_)
+      throw WireError(WireError::Kind::kBadPayload,
+                      "payload longer than its message");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (static_cast<std::size_t>(end_ - p_) < n)
+      throw WireError(WireError::Kind::kBadPayload,
+                      "payload shorter than its message");
+  }
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
+};
+
+// --- per-type payload codecs ------------------------------------------------
+
+void encode_payload(Writer& w, const PositionBatch& m) {
+  w.i32(m.sb);
+  w.count(m.recs.size());
+  for (const PosRec& r : m.recs) {
+    w.i32(r.id);
+    w.vec3i(r.pos);
+  }
+}
+
+PositionBatch decode_position_batch(Reader& r) {
+  PositionBatch m;
+  m.sb = r.i32();
+  const std::size_t n = r.count(kPosRecBytes);
+  m.recs.resize(n);
+  for (PosRec& rec : m.recs) {
+    rec.id = r.i32();
+    rec.pos = r.vec3i();
+  }
+  return m;
+}
+
+void encode_payload(Writer& w, const BondPositions& m) {
+  w.count(m.recs.size());
+  for (const PosRec& r : m.recs) {
+    w.i32(r.id);
+    w.vec3i(r.pos);
+  }
+}
+
+BondPositions decode_bond_positions(Reader& r) {
+  BondPositions m;
+  const std::size_t n = r.count(kPosRecBytes);
+  m.recs.resize(n);
+  for (PosRec& rec : m.recs) {
+    rec.id = r.i32();
+    rec.pos = r.vec3i();
+  }
+  return m;
+}
+
+void encode_payload(Writer& w, const ForceBatch& m) {
+  w.u8(m.long_range ? 1 : 0);
+  w.count(m.recs.size());
+  for (const ForceRec& r : m.recs) {
+    w.i32(r.id);
+    w.vec3l(r.f);
+  }
+}
+
+ForceBatch decode_force_batch(Reader& r) {
+  ForceBatch m;
+  const std::uint8_t lr = r.u8();
+  if (lr > 1)
+    throw WireError(WireError::Kind::kBadPayload, "bad long_range flag");
+  m.long_range = lr != 0;
+  const std::size_t n = r.count(kForceRecBytes);
+  m.recs.resize(n);
+  for (ForceRec& rec : m.recs) {
+    rec.id = r.i32();
+    rec.f = r.vec3l();
+  }
+  return m;
+}
+
+void encode_mesh_values(Writer& w, const std::vector<std::int32_t>& idx,
+                        const std::vector<std::int64_t>& val) {
+  w.count(idx.size());
+  for (std::int32_t i : idx) w.i32(i);
+  for (std::int64_t v : val) w.i64(v);
+}
+
+template <class M>
+M decode_mesh_values(Reader& r) {
+  M m;
+  const std::size_t n = r.count(kMeshRecBytes);
+  m.idx.resize(n);
+  for (std::int32_t& i : m.idx) i = r.i32();
+  auto& val = [&]() -> std::vector<std::int64_t>& {
+    if constexpr (std::is_same_v<M, MeshCharge>)
+      return m.q;
+    else
+      return m.phi;
+  }();
+  val.resize(n);
+  for (std::int64_t& v : val) v = r.i64();
+  return m;
+}
+
+void encode_payload(Writer& w, const MeshCharge& m) {
+  encode_mesh_values(w, m.idx, m.q);
+}
+
+void encode_payload(Writer& w, const MeshPhi& m) {
+  encode_mesh_values(w, m.idx, m.phi);
+}
+
+void encode_payload(Writer& w, const FftSegment& m) {
+  w.u8(m.axis);
+  w.u8(m.kind);
+  w.i32(m.a);
+  w.i32(m.b);
+  w.i32(m.s0);
+  w.count(m.pts.size());
+  for (const std::complex<double>& c : m.pts) {
+    w.f64(c.real());
+    w.f64(c.imag());
+  }
+}
+
+FftSegment decode_fft_segment(Reader& r) {
+  FftSegment m;
+  m.axis = r.u8();
+  m.kind = r.u8();
+  if (m.axis > 2 || m.kind > 1)
+    throw WireError(WireError::Kind::kBadPayload, "bad FFT segment tag");
+  m.a = r.i32();
+  m.b = r.i32();
+  m.s0 = r.i32();
+  const std::size_t n = r.count(kFftPointBytes);
+  m.pts.resize(n);
+  for (std::complex<double>& c : m.pts) {
+    const double re = r.f64();
+    const double im = r.f64();
+    c = {re, im};
+  }
+  return m;
+}
+
+void encode_payload(Writer& w, const MeshEnergyBlock& m) {
+  w.count(m.gidx.size());
+  for (std::uint64_t g : m.gidx) w.u64(g);
+  for (double q : m.q) w.f64(q);
+  for (double phi : m.phi) w.f64(phi);
+}
+
+MeshEnergyBlock decode_energy_block(Reader& r) {
+  MeshEnergyBlock m;
+  const std::size_t n = r.count(kEnergyRecBytes);
+  m.gidx.resize(n);
+  for (std::uint64_t& g : m.gidx) g = r.u64();
+  m.q.resize(n);
+  for (double& q : m.q) q = r.f64();
+  m.phi.resize(n);
+  for (double& phi : m.phi) phi = r.f64();
+  return m;
+}
+
+void encode_payload(Writer& w, const KineticTerms& m) {
+  w.count(m.id.size());
+  for (std::int32_t i : m.id) w.i32(i);
+  for (double t : m.term) w.f64(t);
+}
+
+KineticTerms decode_kinetic_terms(Reader& r) {
+  KineticTerms m;
+  const std::size_t n = r.count(kKineticRecBytes);
+  m.id.resize(n);
+  for (std::int32_t& i : m.id) i = r.i32();
+  m.term.resize(n);
+  for (double& t : m.term) t = r.f64();
+  return m;
+}
+
+void encode_payload(Writer& w, const ScaleVelocities& m) { w.f64(m.lambda); }
+
+ScaleVelocities decode_scale_velocities(Reader& r) {
+  ScaleVelocities m;
+  m.lambda = r.f64();
+  return m;
+}
+
+void encode_payload(Writer& w, const MigrationBatch& m) {
+  w.count(m.id.size());
+  for (std::size_t k = 0; k < m.id.size(); ++k) {
+    w.i32(m.id[k]);
+    const AtomDyn& a = m.atoms[k];
+    w.vec3i(a.pos);
+    w.vec3l(a.vel);
+    w.vec3l(a.f_short);
+    w.vec3l(a.f_long);
+  }
+}
+
+MigrationBatch decode_migration_batch(Reader& r) {
+  MigrationBatch m;
+  const std::size_t n = r.count(kMigrationRecBytes);
+  m.id.resize(n);
+  m.atoms.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    m.id[k] = r.i32();
+    AtomDyn& a = m.atoms[k];
+    a.pos = r.vec3i();
+    a.vel = r.vec3l();
+    a.f_short = r.vec3l();
+    a.f_long = r.vec3l();
+  }
+  return m;
+}
+
+void encode_payload(Writer& w, const DirectoryUpdate& m) {
+  w.count(m.id.size());
+  for (std::int32_t i : m.id) w.i32(i);
+  for (std::int32_t h : m.home) w.i32(h);
+}
+
+DirectoryUpdate decode_directory_update(Reader& r) {
+  DirectoryUpdate m;
+  const std::size_t n = r.count(kDirectoryRecBytes);
+  m.id.resize(n);
+  for (std::int32_t& i : m.id) i = r.i32();
+  m.home.resize(n);
+  for (std::int32_t& h : m.home) h = r.i32();
+  return m;
+}
+
+Payload decode_payload(MsgType t, const std::uint8_t* data, std::size_t len) {
+  Reader r(data, len);
+  Payload p;
+  switch (t) {
+    case MsgType::kPositionBatch: p = decode_position_batch(r); break;
+    case MsgType::kBondPositions: p = decode_bond_positions(r); break;
+    case MsgType::kForceBatch: p = decode_force_batch(r); break;
+    case MsgType::kMeshCharge: p = decode_mesh_values<MeshCharge>(r); break;
+    case MsgType::kMeshPhi: p = decode_mesh_values<MeshPhi>(r); break;
+    case MsgType::kFftSegment: p = decode_fft_segment(r); break;
+    case MsgType::kMeshEnergyBlock: p = decode_energy_block(r); break;
+    case MsgType::kKineticTerms: p = decode_kinetic_terms(r); break;
+    case MsgType::kScaleVelocities: p = decode_scale_velocities(r); break;
+    case MsgType::kMigrationBatch: p = decode_migration_batch(r); break;
+    case MsgType::kDirectoryUpdate: p = decode_directory_update(r); break;
+    default:
+      throw WireError(WireError::Kind::kBadMsgType,
+                      "unknown message type " +
+                          std::to_string(static_cast<unsigned>(t)));
+  }
+  r.finish();
+  return p;
+}
+
+}  // namespace
+
+MsgType type_of(const Payload& p) {
+  struct V {
+    MsgType operator()(const PositionBatch&) { return MsgType::kPositionBatch; }
+    MsgType operator()(const BondPositions&) { return MsgType::kBondPositions; }
+    MsgType operator()(const ForceBatch&) { return MsgType::kForceBatch; }
+    MsgType operator()(const MeshCharge&) { return MsgType::kMeshCharge; }
+    MsgType operator()(const MeshPhi&) { return MsgType::kMeshPhi; }
+    MsgType operator()(const FftSegment&) { return MsgType::kFftSegment; }
+    MsgType operator()(const MeshEnergyBlock&) {
+      return MsgType::kMeshEnergyBlock;
+    }
+    MsgType operator()(const KineticTerms&) { return MsgType::kKineticTerms; }
+    MsgType operator()(const ScaleVelocities&) {
+      return MsgType::kScaleVelocities;
+    }
+    MsgType operator()(const MigrationBatch&) {
+      return MsgType::kMigrationBatch;
+    }
+    MsgType operator()(const DirectoryUpdate&) {
+      return MsgType::kDirectoryUpdate;
+    }
+  };
+  return std::visit(V{}, p);
+}
+
+std::vector<std::uint8_t> encode_frame(int phase, int src, int dst,
+                                       std::uint64_t seq, const Payload& p) {
+  std::vector<std::uint8_t> buf(kHeaderBytes);
+  Writer w(buf);
+  std::visit([&](const auto& m) { encode_payload(w, m); }, p);
+  const std::size_t payload_len = buf.size() - kHeaderBytes;
+  if (payload_len > kMaxPayloadBytes)
+    throw WireError(WireError::Kind::kBadLength, "payload exceeds cap");
+  unsigned char* h = buf.data();
+  store_u32le(h, kWireMagic);
+  h[4] = kWireVersion;
+  h[5] = static_cast<std::uint8_t>(phase);
+  store_u16le(h + 6, static_cast<std::uint16_t>(type_of(p)));
+  store_u16le(h + 8, static_cast<std::uint16_t>(src));
+  store_u16le(h + 10, static_cast<std::uint16_t>(dst));
+  store_u64le(h + 12, seq);
+  store_u32le(h + 20, static_cast<std::uint32_t>(payload_len));
+  std::uint32_t crc = io::crc32(0, h, 24);
+  crc = io::crc32(crc, h + kHeaderBytes, payload_len);
+  store_u32le(h + 24, crc);
+  return buf;
+}
+
+int validate_frame(const std::uint8_t* data, std::size_t len) {
+  if (len < kHeaderBytes) return 1;
+  if (load_u32le(data) != kWireMagic) return 2;
+  if (data[4] != kWireVersion) return 3;
+  const std::uint32_t payload_len = load_u32le(data + 20);
+  if (payload_len > kMaxPayloadBytes) return 4;
+  if (len != kHeaderBytes + payload_len) return 4;
+  std::uint32_t crc = io::crc32(0, data, 24);
+  crc = io::crc32(crc, data + kHeaderBytes, payload_len);
+  if (crc != load_u32le(data + 24)) return 5;
+  return 0;
+}
+
+Frame decode_frame(const std::vector<std::uint8_t>& bytes) {
+  const std::uint8_t* d = bytes.data();
+  if (bytes.size() < kHeaderBytes)
+    throw WireError(WireError::Kind::kTruncated, "buffer shorter than header");
+  if (load_u32le(d) != kWireMagic)
+    throw WireError(WireError::Kind::kBadMagic, "bad magic");
+  if (d[4] != kWireVersion)
+    throw WireError(WireError::Kind::kBadVersion,
+                    "unsupported wire version " + std::to_string(d[4]));
+  const std::uint32_t payload_len = load_u32le(d + 20);
+  if (payload_len > kMaxPayloadBytes)
+    throw WireError(WireError::Kind::kBadLength, "payload length over cap");
+  if (bytes.size() < kHeaderBytes + payload_len)
+    throw WireError(WireError::Kind::kTruncated,
+                    "buffer shorter than declared frame");
+  if (bytes.size() > kHeaderBytes + payload_len)
+    throw WireError(WireError::Kind::kBadLength,
+                    "trailing bytes after frame");
+  std::uint32_t crc = io::crc32(0, d, 24);
+  crc = io::crc32(crc, d + kHeaderBytes, payload_len);
+  if (crc != load_u32le(d + 24))
+    throw WireError(WireError::Kind::kBadCrc, "frame CRC mismatch");
+
+  Frame f;
+  f.header.version = d[4];
+  f.header.phase = d[5];
+  f.header.msg_type = static_cast<MsgType>(load_u16le(d + 6));
+  f.header.src = load_u16le(d + 8);
+  f.header.dst = load_u16le(d + 10);
+  f.header.seq = load_u64le(d + 12);
+  f.header.payload_len = payload_len;
+  f.payload = decode_payload(f.header.msg_type, d + kHeaderBytes, payload_len);
+  return f;
+}
+
+}  // namespace anton::parallel::wire

@@ -1,0 +1,271 @@
+// The serialized wire format of the virtual-node runtime.
+//
+// Every inter-node delivery of the VirtualMachine choreography -- position
+// multicast, bond dispatch, force return, mesh/FFT halos, reductions,
+// migration, directory announcements -- is one *frame*: a 28-byte
+// little-endian header followed by an explicitly serialized payload,
+// protected end to end by a CRC-32 over header and payload. Nothing is
+// memcpy'd as a struct (no host padding, endianness or type-width leaks
+// into the format; see io/endian.hpp), and fixed-point values travel as
+// their exact two's-complement / IEEE-754 bit patterns, so
+// encode -> decode -> encode is byte-identical and a decoded trajectory is
+// bitwise the sender's.
+//
+// Frame layout (all integers little-endian):
+//
+//   offset size field
+//        0    4 magic        0x45524957 ("WIRE")
+//        4    1 version      kWireVersion
+//        5    1 phase        channel phase (VirtualMachine::Phase)
+//        6    2 msg_type     MsgType discriminator
+//        8    2 src          source virtual node
+//       10    2 dst          destination virtual node
+//       12    8 seq          per-(src,dst,phase) channel sequence number
+//       20    4 payload_len  payload bytes following the header
+//       24    4 crc          CRC-32 over bytes [0,24) + payload
+//
+// Decoding is defensive: every length is validated against the buffer
+// before any allocation, any mismatch (truncation, bad magic/version,
+// flipped byte anywhere, spliced payload) raises a typed WireError, and a
+// frame never decodes to anything but exactly what was encoded.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "geom/vec3.hpp"
+
+namespace anton::parallel::wire {
+
+constexpr std::uint32_t kWireMagic = 0x45524957u;  // "WIRE"
+constexpr std::uint8_t kWireVersion = 1;
+constexpr std::size_t kHeaderBytes = 28;
+/// Hard cap on payload_len: a corrupt header must never provoke a huge
+/// allocation, and no phase of the choreography legitimately exceeds it.
+constexpr std::size_t kMaxPayloadBytes = std::size_t{1} << 23;  // 8 MiB
+
+/// Payload discriminator carried in the frame header.
+enum class MsgType : std::uint16_t {
+  kPositionBatch = 1,    // subbox position multicast
+  kBondPositions = 2,    // bond-destination / vsite-parent dispatch
+  kForceBatch = 3,       // force return + vsite force share
+  kMeshCharge = 4,       // charge halo into block owners
+  kMeshPhi = 5,          // potential halo back to sources
+  kFftSegment = 6,       // distributed-FFT line segment (gather/scatter)
+  kMeshEnergyBlock = 7,  // (q, phi) block gather for the energy reduce
+  kKineticTerms = 8,     // per-atom kinetic terms to the master
+  kScaleVelocities = 9,  // thermostat lambda broadcast
+  kMigrationBatch = 10,  // whole atom states changing home
+  kDirectoryUpdate = 11, // new-home announcements after migration
+};
+
+/// Typed decode failure. `kind` names the first check that failed.
+class WireError : public std::runtime_error {
+ public:
+  enum class Kind {
+    kTruncated,    // buffer shorter than the declared frame
+    kBadMagic,
+    kBadVersion,
+    kBadLength,    // payload_len impossible (over cap / past buffer end)
+    kBadCrc,
+    kBadMsgType,
+    kBadPayload,   // payload bytes inconsistent with the message type
+  };
+  WireError(Kind kind, const std::string& what)
+      : std::runtime_error("wire: " + what), kind_(kind) {}
+  Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+// --- record types -----------------------------------------------------------
+
+/// One atom position record: id + 3x32-bit lattice coordinates (16 bytes).
+struct PosRec {
+  std::int32_t id = 0;
+  Vec3i pos{0, 0, 0};
+  friend bool operator==(const PosRec&, const PosRec&) = default;
+};
+
+/// One force contribution: id + 3x64-bit fixed point (28 bytes).
+struct ForceRec {
+  std::int32_t id = 0;
+  Vec3l f{0, 0, 0};
+  friend bool operator==(const ForceRec&, const ForceRec&) = default;
+};
+
+/// The full dynamic state of one atom (84 bytes on the wire); the unit of
+/// migration, and the VirtualMachine's per-atom storage.
+struct AtomDyn {
+  Vec3i pos{0, 0, 0};
+  Vec3l vel{0, 0, 0};
+  Vec3l f_short{0, 0, 0};
+  Vec3l f_long{0, 0, 0};
+  friend bool operator==(const AtomDyn&, const AtomDyn&) = default;
+};
+
+// --- message payloads -------------------------------------------------------
+
+/// Position multicast: one subbox's atoms for one consumer node.
+struct PositionBatch {
+  std::int32_t sb = 0;
+  std::vector<PosRec> recs;
+  friend bool operator==(const PositionBatch&, const PositionBatch&) = default;
+};
+
+/// Bond-destination (or vsite-parent) position dispatch.
+struct BondPositions {
+  std::vector<PosRec> recs;
+  friend bool operator==(const BondPositions&, const BondPositions&) = default;
+};
+
+/// Force partials returned to the atoms' home node.
+struct ForceBatch {
+  bool long_range = false;
+  std::vector<ForceRec> recs;
+  friend bool operator==(const ForceBatch&, const ForceBatch&) = default;
+};
+
+/// Charge halo: quantized spread charge at global mesh indices, wrap-added
+/// into the owner's block. The owner records the index list per source to
+/// route the potential halo back.
+struct MeshCharge {
+  std::vector<std::int32_t> idx;
+  std::vector<std::int64_t> q;
+  friend bool operator==(const MeshCharge&, const MeshCharge&) = default;
+};
+
+/// Potential halo-back: quantized phi at exactly the requested indices.
+struct MeshPhi {
+  std::vector<std::int32_t> idx;
+  std::vector<std::int64_t> phi;
+  friend bool operator==(const MeshPhi&, const MeshPhi&) = default;
+};
+
+/// One segment of a distributed-FFT line. kind 0 = gather (holder ->
+/// line owner, lands at [s0, s0+pts) of the owner's assembled line);
+/// kind 1 = scatter (owner -> holder, who recomputes the strided slab
+/// indices from axis/a/b and its own block origin).
+struct FftSegment {
+  std::uint8_t axis = 0;
+  std::uint8_t kind = 0;
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+  std::int32_t s0 = 0;
+  std::vector<std::complex<double>> pts;
+  friend bool operator==(const FftSegment&, const FftSegment&) = default;
+};
+
+/// (q, phi) block gather to the master for the ordered energy reduction.
+struct MeshEnergyBlock {
+  std::vector<std::uint64_t> gidx;
+  std::vector<double> q;
+  std::vector<double> phi;
+  friend bool operator==(const MeshEnergyBlock&,
+                         const MeshEnergyBlock&) = default;
+};
+
+/// Per-atom kinetic terms gathered to the master for the thermostat.
+struct KineticTerms {
+  std::vector<std::int32_t> id;
+  std::vector<double> term;
+  friend bool operator==(const KineticTerms&, const KineticTerms&) = default;
+};
+
+/// Thermostat scale factor broadcast from the master.
+struct ScaleVelocities {
+  double lambda = 1.0;
+  friend bool operator==(const ScaleVelocities&,
+                         const ScaleVelocities&) = default;
+};
+
+/// Whole atom states moving to a new home node.
+struct MigrationBatch {
+  std::vector<std::int32_t> id;
+  std::vector<AtomDyn> atoms;
+  friend bool operator==(const MigrationBatch&,
+                         const MigrationBatch&) = default;
+};
+
+/// New-home announcements replicated to every other node after migration.
+struct DirectoryUpdate {
+  std::vector<std::int32_t> id;
+  std::vector<std::int32_t> home;
+  friend bool operator==(const DirectoryUpdate&,
+                         const DirectoryUpdate&) = default;
+};
+
+using Payload =
+    std::variant<PositionBatch, BondPositions, ForceBatch, MeshCharge,
+                 MeshPhi, FftSegment, MeshEnergyBlock, KineticTerms,
+                 ScaleVelocities, MigrationBatch, DirectoryUpdate>;
+
+/// Returns the MsgType tag of a payload alternative.
+MsgType type_of(const Payload& p);
+
+// --- per-type wire sizes (exported for the traffic cross-checks) -----------
+
+constexpr std::int64_t kPosRecBytes = 16;
+constexpr std::int64_t kForceRecBytes = 28;
+constexpr std::int64_t kMeshRecBytes = 12;       // i32 idx + i64 value
+constexpr std::int64_t kFftPointBytes = 16;      // one complex double
+constexpr std::int64_t kEnergyRecBytes = 24;     // u64 gidx + f64 q + f64 phi
+constexpr std::int64_t kKineticRecBytes = 12;    // i32 id + f64 term
+constexpr std::int64_t kAtomDynBytes = 84;
+constexpr std::int64_t kMigrationRecBytes = 88;  // i32 id + AtomDyn
+constexpr std::int64_t kDirectoryRecBytes = 8;   // i32 id + i32 home
+
+/// Payload metadata bytes (between the frame header and the records).
+constexpr std::int64_t kPositionBatchMeta = 8;   // i32 sb + u32 count
+constexpr std::int64_t kBondPositionsMeta = 4;   // u32 count
+constexpr std::int64_t kForceBatchMeta = 5;      // u8 long_range + u32 count
+constexpr std::int64_t kMeshValuesMeta = 4;      // u32 count
+constexpr std::int64_t kFftSegmentMeta = 18;     // axis,kind,a,b,s0 + count
+constexpr std::int64_t kEnergyBlockMeta = 4;     // u32 count
+constexpr std::int64_t kKineticTermsMeta = 4;    // u32 count
+constexpr std::int64_t kScaleVelocitiesBytes = 8;
+constexpr std::int64_t kMigrationMeta = 4;       // u32 count
+constexpr std::int64_t kDirectoryMeta = 4;       // u32 count
+
+// --- frame ------------------------------------------------------------------
+
+struct FrameHeader {
+  std::uint8_t version = kWireVersion;
+  std::uint8_t phase = 0;
+  MsgType msg_type{};
+  std::uint16_t src = 0;
+  std::uint16_t dst = 0;
+  std::uint64_t seq = 0;
+  std::uint32_t payload_len = 0;
+  friend bool operator==(const FrameHeader&, const FrameHeader&) = default;
+};
+
+struct Frame {
+  FrameHeader header;
+  Payload payload;
+  friend bool operator==(const Frame&, const Frame&) = default;
+};
+
+/// Serializes one message into a self-contained frame (header stamped with
+/// the given channel coordinates and sequence number, CRC computed last).
+std::vector<std::uint8_t> encode_frame(int phase, int src, int dst,
+                                       std::uint64_t seq, const Payload& p);
+
+/// Parses exactly one frame from `bytes`. The buffer must hold the frame
+/// and nothing else (trailing bytes are a kBadLength error: frames are
+/// exchanged whole, never streamed). Throws WireError on any corruption.
+Frame decode_frame(const std::vector<std::uint8_t>& bytes);
+
+/// Header-and-CRC validation without payload decode (what a forwarding
+/// endpoint checks before echoing a frame it does not interpret). Returns
+/// 0 on success, otherwise a nonzero code identifying the failed check
+/// (1 truncated, 2 magic, 3 version, 4 length, 5 crc). Allocation-free:
+/// safe in a forked worker.
+int validate_frame(const std::uint8_t* data, std::size_t len);
+
+}  // namespace anton::parallel::wire

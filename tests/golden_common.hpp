@@ -87,9 +87,13 @@ inline std::vector<std::uint64_t> run_case(const GoldenCase& gc,
 /// runtime instead of the engine: the distributed choreography must land
 /// on the SAME committed hashes (nthreads is not a VM parameter; the node
 /// grid is). This is the cross-implementation half of the golden matrix.
-inline std::vector<std::uint64_t> run_case_vm(const GoldenCase& gc,
-                                              const Vec3i& node_grid) {
-  parallel::VirtualMachine vm(gc.build(), golden_config(node_grid, 1));
+/// The transport options select the byte wire the frames traverse --
+/// every backend must land on the same hashes.
+inline std::vector<std::uint64_t> run_case_vm(
+    const GoldenCase& gc, const Vec3i& node_grid,
+    const parallel::TransportOptions& topts = {}) {
+  parallel::VirtualMachine vm(gc.build(), golden_config(node_grid, 1),
+                              topts);
   std::vector<std::uint64_t> hashes;
   int done = 0;
   for (int target : golden_steps()) {

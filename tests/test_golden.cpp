@@ -145,4 +145,76 @@ INSTANTIATE_TEST_SUITE_P(AllCases, VmGoldenTrajectory,
                                                 Vec3i{4, 2, 1})),
                          vm_param_name);
 
+// The cross-backend conformance matrix: the same VM trajectories with
+// every frame serialized and pushed through each byte transport --
+// in-process with decode-verify on (proving the fast path is the identity
+// it claims to be), shared-memory rings to forked workers, and TCP
+// loopback sockets. All of them must land on the committed engine hashes:
+// the wire is an implementation detail of delivery, never of physics.
+struct WireBackend {
+  const char* tag;
+  anton::parallel::TransportOptions topts;
+};
+
+inline std::vector<WireBackend> wire_backends() {
+  using anton::parallel::TransportKind;
+  WireBackend inproc{"inproc_verify", {}};
+  inproc.topts.verify = true;
+  WireBackend shm{"shmfork", {}};
+  shm.topts.kind = TransportKind::kShmFork;
+  WireBackend tcp{"tcp", {}};
+  tcp.topts.kind = TransportKind::kTcp;
+  return {inproc, shm, tcp};
+}
+
+class VmTransportGoldenTrajectory
+    : public ::testing::TestWithParam<std::tuple<int, Vec3i, int>> {};
+
+TEST_P(VmTransportGoldenTrajectory, MatchesFixture) {
+  const auto& gc =
+      anton::golden::golden_cases()[std::get<0>(GetParam())];
+  const Vec3i grid = std::get<1>(GetParam());
+  const WireBackend be = wire_backends()[std::get<2>(GetParam())];
+  const auto fixture = load_fixture(gc.name);
+  ASSERT_EQ(fixture.size(), anton::golden::golden_steps().size());
+
+  std::vector<std::uint64_t> hashes;
+  try {
+    hashes = anton::golden::run_case_vm(gc, grid, be.topts);
+  } catch (const anton::parallel::TransportError& e) {
+    // Sockets or fork may be unavailable in restricted sandboxes; that is
+    // an environment limitation, not a conformance failure.
+    GTEST_SKIP() << be.tag << " backend unavailable here: " << e.what();
+  }
+  const auto& steps = anton::golden::golden_steps();
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const auto it = fixture.find(steps[i]);
+    ASSERT_NE(it, fixture.end())
+        << gc.name << ": fixture lacks steps=" << steps[i];
+    EXPECT_EQ(hashes[i], it->second)
+        << gc.name << " over " << be.tag
+        << " diverged from golden trajectory at steps=" << steps[i]
+        << " (grid " << grid.x << "x" << grid.y << "x" << grid.z << ")";
+  }
+}
+
+std::string wire_param_name(
+    const ::testing::TestParamInfo<std::tuple<int, Vec3i, int>>& info) {
+  const auto& gc = anton::golden::golden_cases()[std::get<0>(info.param)];
+  const Vec3i g = std::get<1>(info.param);
+  std::ostringstream os;
+  os << gc.name << "_grid" << g.x << g.y << g.z << "_"
+     << wire_backends()[std::get<2>(info.param)].tag;
+  return os.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, VmTransportGoldenTrajectory,
+                         ::testing::Combine(::testing::Values(0, 1),
+                                            ::testing::Values(
+                                                Vec3i{1, 1, 1},
+                                                Vec3i{2, 2, 2},
+                                                Vec3i{4, 2, 1}),
+                                            ::testing::Values(0, 1, 2)),
+                         wire_param_name);
+
 }  // namespace

@@ -1,11 +1,15 @@
 // I/O: XYZ frames, bit-exact checkpoints, CSV.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <sstream>
+#include <vector>
 
+#include "io/crc32.hpp"
 #include "io/io.hpp"
 #include "util/rng.hpp"
 
@@ -63,6 +67,55 @@ TEST(Checkpoint, RoundTripIsBitExact) {
   const io::Checkpoint back = io::Checkpoint::load(path);
   EXPECT_EQ(back, c);
   std::remove(path.c_str());
+}
+
+TEST(Checkpoint, FileBytesAreTheDocumentedLittleEndianLayout) {
+  // The v2 format is defined as a byte sequence, not as "whatever the
+  // host writes": magic | version | step i64le | count u64le | crc u32le |
+  // positions (3 x i32le each) | velocities (3 x i64le each). This pins
+  // every literal byte so a regression to struct-memcpy serialization --
+  // which would bake in host endianness, padding and type widths -- fails
+  // loudly on any machine.
+  io::Checkpoint c;
+  c.step = 0x0102030405060708LL;
+  c.positions.push_back({1, -2, 3});
+  c.velocities.push_back({4, -5, 6});
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "anton_ckpt_layout.bin")
+          .string();
+  c.save(path);
+
+  std::ifstream in(path, std::ios::binary);
+  const std::vector<unsigned char> got(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+  std::remove(path.c_str());
+
+  std::vector<unsigned char> want = {
+      0x4e, 0x54, 0x4e, 0x41,  // magic 0x414e544e "ANTN"
+      0x02, 0x00, 0x00, 0x00,  // version 2
+      0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,  // step
+      0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // count 1
+      0x00, 0x00, 0x00, 0x00,  // crc placeholder, filled in below
+      // position {1, -2, 3}
+      0x01, 0x00, 0x00, 0x00, 0xfe, 0xff, 0xff, 0xff,
+      0x03, 0x00, 0x00, 0x00,
+      // velocity {4, -5, 6}
+      0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0xfb, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+      0x06, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+  };
+  // The CRC covers [step | count | payload]: bytes [8, 24) and [28, end).
+  std::uint32_t crc = io::crc32(0, want.data() + 8, 16);
+  crc = io::crc32(crc, want.data() + 28, want.size() - 28);
+  want[24] = static_cast<unsigned char>(crc);
+  want[25] = static_cast<unsigned char>(crc >> 8);
+  want[26] = static_cast<unsigned char>(crc >> 16);
+  want[27] = static_cast<unsigned char>(crc >> 24);
+
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i)
+    ASSERT_EQ(got[i], want[i]) << "byte " << i;
 }
 
 TEST(Xyz, RestoresStreamFormatState) {

@@ -1,0 +1,212 @@
+// Seeded frame fuzzer for the parallel::wire codec.
+//
+// Two attack modes, interleaved:
+//   1. mutation  -- encode a random valid frame, apply 1..8 random byte
+//                   flips / truncations / extensions / splices, decode.
+//   2. garbage   -- decode a buffer of pure random bytes.
+//
+// The contract under test: decode_frame() either returns a Frame or
+// throws WireError. Any other exception, a crash, or a sanitizer report
+// fails the run. When a mutated frame DOES decode (the mutation happened
+// to cancel out or only touched redundant bytes), the decoded payload
+// must re-encode to exactly the bytes that were decoded -- corruption can
+// be rejected or survived, never silently altered.
+//
+// Usage: wire_fuzz [seed] [iterations]   (defaults: 1 and 20000)
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <vector>
+
+#include "io/endian.hpp"
+#include "parallel/wire.hpp"
+#include "util/rng.hpp"
+
+namespace wire = anton::parallel::wire;
+using anton::Xoshiro256;
+
+namespace {
+
+wire::Payload random_payload(Xoshiro256& rng) {
+  const int t = static_cast<int>(rng.below(11));
+  const std::size_t n = rng.below(64);
+  auto i32 = [&] { return static_cast<std::int32_t>(rng()); };
+  auto i64 = [&] { return static_cast<std::int64_t>(rng()); };
+  auto f64 = [&] { return static_cast<double>(i64()) * 1e-3; };
+  auto v3i = [&] { return anton::Vec3i{i32(), i32(), i32()}; };
+  auto v3l = [&] { return anton::Vec3l{i64(), i64(), i64()}; };
+  switch (t) {
+    case 0: {
+      wire::PositionBatch m{i32(), {}};
+      for (std::size_t i = 0; i < n; ++i) m.recs.push_back({i32(), v3i()});
+      return m;
+    }
+    case 1: {
+      wire::BondPositions m;
+      for (std::size_t i = 0; i < n; ++i) m.recs.push_back({i32(), v3i()});
+      return m;
+    }
+    case 2: {
+      wire::ForceBatch m{(rng() & 1) != 0, {}};
+      for (std::size_t i = 0; i < n; ++i) m.recs.push_back({i32(), v3l()});
+      return m;
+    }
+    case 3: {
+      wire::MeshCharge m;
+      for (std::size_t i = 0; i < n; ++i) {
+        m.idx.push_back(i32());
+        m.q.push_back(i64());
+      }
+      return m;
+    }
+    case 4: {
+      wire::MeshPhi m;
+      for (std::size_t i = 0; i < n; ++i) {
+        m.idx.push_back(i32());
+        m.phi.push_back(i64());
+      }
+      return m;
+    }
+    case 5: {
+      wire::FftSegment m;
+      m.axis = static_cast<std::uint8_t>(rng.below(3));
+      m.kind = static_cast<std::uint8_t>(rng.below(2));
+      m.a = i32();
+      m.b = i32();
+      m.s0 = i32();
+      for (std::size_t i = 0; i < n; ++i) m.pts.emplace_back(f64(), f64());
+      return m;
+    }
+    case 6: {
+      wire::MeshEnergyBlock m;
+      for (std::size_t i = 0; i < n; ++i) {
+        m.gidx.push_back(rng());
+        m.q.push_back(f64());
+        m.phi.push_back(f64());
+      }
+      return m;
+    }
+    case 7: {
+      wire::KineticTerms m;
+      for (std::size_t i = 0; i < n; ++i) {
+        m.id.push_back(i32());
+        m.term.push_back(f64());
+      }
+      return m;
+    }
+    case 8:
+      return wire::ScaleVelocities{f64()};
+    case 9: {
+      wire::MigrationBatch m;
+      for (std::size_t i = 0; i < n; ++i) {
+        m.id.push_back(i32());
+        m.atoms.push_back({v3i(), v3l(), v3l(), v3l()});
+      }
+      return m;
+    }
+    default: {
+      wire::DirectoryUpdate m;
+      for (std::size_t i = 0; i < n; ++i) {
+        m.id.push_back(i32());
+        m.home.push_back(i32());
+      }
+      return m;
+    }
+  }
+}
+
+void mutate(std::vector<std::uint8_t>& b, Xoshiro256& rng) {
+  switch (rng.below(4)) {
+    case 0:  // flip a byte
+      if (!b.empty()) b[rng.below(b.size())] ^= static_cast<std::uint8_t>(
+          1 + rng.below(255));
+      break;
+    case 1:  // truncate
+      b.resize(rng.below(b.size() + 1));
+      break;
+    case 2: {  // extend with random bytes
+      const std::size_t extra = 1 + rng.below(16);
+      for (std::size_t i = 0; i < extra; ++i)
+        b.push_back(static_cast<std::uint8_t>(rng()));
+      break;
+    }
+    default:  // overwrite a random 4-byte window (hits counts and lengths)
+      if (b.size() >= 4) {
+        const std::size_t off = rng.below(b.size() - 3);
+        anton::io::store_u32le(b.data() + off,
+                               static_cast<std::uint32_t>(rng()));
+      }
+      break;
+  }
+}
+
+/// Returns 0 if decode behaved (succeeded faithfully or threw WireError).
+int probe(const std::vector<std::uint8_t>& bytes, std::uint64_t iter) {
+  try {
+    const wire::Frame f = wire::decode_frame(bytes);
+    const auto re = wire::encode_frame(f.header.phase, f.header.src,
+                                       f.header.dst, f.header.seq, f.payload);
+    if (re != bytes) {
+      std::fprintf(stderr,
+                   "iter %llu: decoded frame re-encodes differently "
+                   "(%zu vs %zu bytes)\n",
+                   static_cast<unsigned long long>(iter), re.size(),
+                   bytes.size());
+      return 1;
+    }
+  } catch (const wire::WireError&) {
+    // Rejection is the expected outcome for corrupted input.
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "iter %llu: non-WireError exception: %s\n",
+                 static_cast<unsigned long long>(iter), e.what());
+    return 1;
+  }
+  // validate_frame must agree with decode on well-formedness of the
+  // envelope and must never crash either.
+  wire::validate_frame(bytes.data(), bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
+  const std::uint64_t iters =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 20000;
+  Xoshiro256 rng(seed);
+
+  std::uint64_t decoded = 0, rejected = 0;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    std::vector<std::uint8_t> bytes;
+    if (rng.below(8) == 0) {
+      // Pure garbage of random size.
+      const std::size_t len = rng.below(256);
+      bytes.reserve(len);
+      for (std::size_t k = 0; k < len; ++k)
+        bytes.push_back(static_cast<std::uint8_t>(rng()));
+    } else {
+      bytes = wire::encode_frame(static_cast<int>(rng.below(7)),
+                                 static_cast<int>(rng.below(16)),
+                                 static_cast<int>(rng.below(16)), rng(),
+                                 random_payload(rng));
+      const std::uint64_t hits = 1 + rng.below(8);
+      for (std::uint64_t k = 0; k < hits; ++k) mutate(bytes, rng);
+    }
+    if (probe(bytes, i) != 0) return 1;
+    try {
+      wire::decode_frame(bytes);
+      ++decoded;
+    } catch (const wire::WireError&) {
+      ++rejected;
+    }
+  }
+  std::printf("wire_fuzz: %llu iterations ok (seed %llu): %llu decoded, "
+              "%llu rejected\n",
+              static_cast<unsigned long long>(iters),
+              static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(decoded),
+              static_cast<unsigned long long>(rejected));
+  return 0;
+}
