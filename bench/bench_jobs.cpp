@@ -1,0 +1,245 @@
+// Multi-tenant job runtime throughput and scheduler fairness.
+//
+// Production MD is a service: the interesting number is not ns/day of
+// one heroic run but jobs/hour of a mixed fleet, and whether the fair
+// scheduler keeps tenants' progress within its advertised skew bound.
+// Three workloads over one 8-lane machine:
+//
+//   one_big        -- a single budget-8 tenant (the dedicated-machine
+//                     baseline: all lanes, no scheduling overhead);
+//   sixteen_small  -- 16 single-threaded tenants on 8 executors (2x
+//                     oversubscribed; the ensemble-service regime);
+//   mixed_priority -- 12 tenants, 4 each low/normal/high, on 4
+//                     executors (weighted round-robin under contention).
+//
+// While a workload runs, the main thread samples per-job progress and
+// records the worst max-min cycle skew observed within each
+// equal-priority class (jobs that have started and not finished). For
+// equal-weight stride scheduling over quanta of q cycles the skew bound
+// is 2q + 1 cycles: passes of runnable peers stay within one stride and
+// an in-flight quantum adds at most q unreported cycles.
+//
+// Results go to stdout and, as JSON, to BENCH_jobs.json (or argv[1]).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "jobs/job_manager.hpp"
+
+using anton::jobs::JobId;
+using anton::jobs::JobManager;
+using anton::jobs::JobSpec;
+using anton::jobs::JobStatus;
+using anton::jobs::Priority;
+using anton::jobs::RuntimeConfig;
+
+namespace {
+
+JobSpec tenant(const std::string& name, std::uint64_t seed, int cycles,
+               int budget, Priority prio) {
+  JobSpec s;
+  s.name = name;
+  s.scenario.kind = "test";
+  s.scenario.n_waters = 60;
+  s.scenario.side = 13.0;
+  s.scenario.seed = seed;
+  s.scenario.protein_atoms = 12;
+  s.engine.sim.cutoff = 6.0;
+  s.engine.sim.mesh = 16;
+  s.engine.node_grid = {2, 2, 2};
+  s.cycles = cycles;
+  s.thread_budget = budget;
+  s.priority = prio;
+  return s;
+}
+
+struct WorkloadResult {
+  std::string name;
+  int jobs = 0;
+  int executors = 0;
+  int quantum = 1;
+  std::int64_t total_cycles = 0;
+  double elapsed_s = 0.0;
+  double jobs_per_hour = 0.0;
+  double cycles_per_s = 0.0;
+  // Worst observed within-class progress skew (max-min cycles_done over
+  // started-but-unfinished equal-priority jobs), and the bound.
+  int max_skew = 0;
+  int skew_bound = 0;
+  bool skew_ok = true;
+  int samples = 0;
+};
+
+/// Runs `specs` to completion on a fresh manager, sampling fairness.
+WorkloadResult run_workload(const std::string& name,
+                            const std::vector<JobSpec>& specs,
+                            const RuntimeConfig& rc) {
+  WorkloadResult r;
+  r.name = name;
+  r.jobs = static_cast<int>(specs.size());
+  r.executors = rc.executors;
+  r.quantum = rc.default_quantum;
+  r.skew_bound = 2 * rc.default_quantum + 1;
+
+  JobManager mgr(rc);
+  std::map<Priority, std::vector<JobId>> classes;
+  std::map<JobId, int> target;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<JobId> ids;
+  for (const JobSpec& s : specs) {
+    const JobId id = mgr.submit(s);
+    ids.push_back(id);
+    classes[s.priority].push_back(id);
+    target[id] = s.cycles;
+  }
+
+  // Sample within-class skew until every job is terminal.
+  for (;;) {
+    bool all_done = true;
+    std::map<JobId, int> done;
+    for (const auto& [id, cycles] : mgr.progress()) done[id] = cycles;
+    for (JobId id : ids)
+      if (!anton::jobs::is_terminal(mgr.info(id).status)) all_done = false;
+    for (const auto& [prio, members] : classes) {
+      int lo = -1, hi = -1;
+      int contenders = 0;
+      for (JobId id : members) {
+        const int c = done[id];
+        if (c <= 0 || c >= target[id]) continue;  // not started / finished
+        ++contenders;
+        lo = lo < 0 ? c : std::min(lo, c);
+        hi = std::max(hi, c);
+      }
+      if (contenders >= 2) {
+        ++r.samples;
+        r.max_skew = std::max(r.max_skew, hi - lo);
+      }
+    }
+    if (all_done) break;
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+  r.elapsed_s = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+
+  for (JobId id : ids) {
+    const auto fi = mgr.info(id);
+    if (fi.status != JobStatus::kDone)
+      std::fprintf(stderr, "  job %d (%s) finished %s: %s\n", id,
+                   fi.name.c_str(), anton::jobs::status_name(fi.status),
+                   fi.error.c_str());
+    r.total_cycles += fi.cycles_done;
+  }
+  r.jobs_per_hour = 3600.0 * r.jobs / r.elapsed_s;
+  r.cycles_per_s = r.total_cycles / r.elapsed_s;
+  r.skew_ok = r.max_skew <= r.skew_bound;
+  return r;
+}
+
+void print_result(const WorkloadResult& r) {
+  std::printf(
+      "%-15s %3d jobs on %d executors: %7.2f s  %8.1f jobs/h  "
+      "%7.1f cycles/s\n"
+      "  fairness: worst within-class skew %d cycles (bound %d, %d "
+      "samples) -> %s\n",
+      r.name.c_str(), r.jobs, r.executors, r.elapsed_s, r.jobs_per_hour,
+      r.cycles_per_s, r.max_skew, r.skew_bound, r.samples,
+      r.skew_ok ? "OK" : "VIOLATED");
+}
+
+void append_json(std::string& out, const WorkloadResult& r, bool last) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    {\"name\": \"%s\", \"jobs\": %d, \"executors\": %d, "
+      "\"quantum_cycles\": %d, \"total_cycles\": %lld, "
+      "\"elapsed_s\": %.3f, \"jobs_per_hour\": %.1f, "
+      "\"cycles_per_s\": %.1f, \"max_skew_cycles\": %d, "
+      "\"skew_bound_cycles\": %d, \"skew_samples\": %d, "
+      "\"skew_ok\": %s}%s\n",
+      r.name.c_str(), r.jobs, r.executors, r.quantum,
+      static_cast<long long>(r.total_cycles), r.elapsed_s, r.jobs_per_hour,
+      r.cycles_per_s, r.max_skew, r.skew_bound, r.samples,
+      r.skew_ok ? "true" : "false", last ? "" : ",");
+  out += buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::run_scale();
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_jobs.json";
+  const int threads = 8;
+
+  bench::header("job runtime: jobs/hour and scheduler fairness (8 lanes)");
+
+  std::vector<WorkloadResult> results;
+
+  {
+    // One dedicated tenant using the whole machine.
+    const int cycles = static_cast<int>(48 * scale);
+    RuntimeConfig rc;
+    rc.threads = threads;
+    rc.executors = 1;
+    std::vector<JobSpec> specs = {
+        tenant("big", 1, cycles, /*budget=*/8, Priority::kNormal)};
+    results.push_back(run_workload("one_big", specs, rc));
+    print_result(results.back());
+  }
+  {
+    // The ensemble-service regime: 2x oversubscribed single-lane jobs.
+    const int cycles = static_cast<int>(12 * scale);
+    RuntimeConfig rc;
+    rc.threads = threads;
+    rc.executors = 8;
+    std::vector<JobSpec> specs;
+    for (int i = 0; i < 16; ++i)
+      specs.push_back(tenant("small-" + std::to_string(i), 100 + i, cycles,
+                             1, Priority::kNormal));
+    results.push_back(run_workload("sixteen_small", specs, rc));
+    print_result(results.back());
+  }
+  {
+    // Weighted round-robin under contention: 12 jobs, 4 executors.
+    const int cycles = static_cast<int>(12 * scale);
+    RuntimeConfig rc;
+    rc.threads = threads;
+    rc.executors = 4;
+    std::vector<JobSpec> specs;
+    for (int i = 0; i < 4; ++i)
+      specs.push_back(tenant("low-" + std::to_string(i), 200 + i, cycles, 1,
+                             Priority::kLow));
+    for (int i = 0; i < 4; ++i)
+      specs.push_back(tenant("normal-" + std::to_string(i), 300 + i, cycles,
+                             1, Priority::kNormal));
+    for (int i = 0; i < 4; ++i)
+      specs.push_back(tenant("high-" + std::to_string(i), 400 + i, cycles, 1,
+                             Priority::kHigh));
+    results.push_back(run_workload("mixed_priority", specs, rc));
+    print_result(results.back());
+  }
+
+  std::string json = "{\n  \"bench\": \"jobs\",\n";
+  json += "  \"threads\": " + std::to_string(threads) + ",\n";
+  char sc[32];
+  std::snprintf(sc, sizeof(sc), "%.2f", scale);
+  json += std::string("  \"scale\": ") + sc + ",\n  \"workloads\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i)
+    append_json(json, results[i], i + 1 == results.size());
+  json += "  ]\n}\n";
+  std::ofstream out(json_path);
+  out << json;
+  std::printf("wrote %s\n", json_path.c_str());
+
+  bench::print_timings();
+  const bool all_ok =
+      std::all_of(results.begin(), results.end(),
+                  [](const WorkloadResult& r) { return r.skew_ok; });
+  return all_ok ? 0 : 1;
+}

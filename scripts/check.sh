@@ -3,7 +3,7 @@
 # ThreadSanitizer pass over the deterministic-parallelism surface (the
 # thread pool and the threaded engine tests).
 #
-# Usage: scripts/check.sh [--unit-only|--tier1-only|--tsan-only|--vm|--faults|--transport]
+# Usage: scripts/check.sh [--unit-only|--tier1-only|--tsan-only|--vm|--faults|--transport|--jobs]
 #   --vm           build + the VirtualMachine runtime surface only (the
 #                  distributed time-step tests and the VM golden matrix)
 #   --faults       build + the fault-tolerance surface (reliable transport,
@@ -13,6 +13,10 @@
 #                  codec property/adversarial tests, the frame fuzzer, the
 #                  per-backend smoke tests, shm-fork/SIGKILL recovery, and
 #                  the slow cross-backend golden conformance matrix)
+#   --jobs         build + the multi-tenant job runtime surface (scheduler
+#                  units, TaskGroup sharing, tenant-isolation/recovery
+#                  integration tests, and the jobs/hour + fairness bench,
+#                  which writes BENCH_jobs.json)
 #   JOBS=N         parallelism for build/test (default: nproc)
 #   TSAN_FILTER=…  override the gtest filter for the TSan pass
 set -euo pipefail
@@ -72,6 +76,20 @@ transport() {
     --output-on-failure -j"$JOBS")
 }
 
+# Job-runtime gate: the fair scheduler, the budgeted TaskGroups the
+# tenants share one pool through, the JobManager integration surface
+# (bitwise tenant isolation, kill/recovery stitching, ensembles), and
+# the jobs/hour benchmark with its fairness-skew assertion. Run after
+# touching src/jobs/, util/thread_pool.* or core/simulation.*.
+jobs_gate() {
+  echo "== jobs gate: scheduler + TaskGroup + JobManager + bench =="
+  cmake -B build -S .
+  cmake --build build -j"$JOBS"
+  (cd build && ctest -R 'JobsScheduler|JobsRuntime|ThreadPoolGroup|Simulation\.' \
+    --output-on-failure -j"$JOBS")
+  ./build/bench/bench_jobs BENCH_jobs.json
+}
+
 tsan() {
   echo "== TSan: engine + thread pool under -fsanitize=thread =="
   cmake -B build-tsan -S . -DANTON_SANITIZE=thread
@@ -79,7 +97,7 @@ tsan() {
   # The threaded surface: the pool itself, the thread-invariance and
   # decomposition-invariance engine tests, the threaded workload counters,
   # and the checkpoint-restart-with-different-thread-count driver test.
-  local filter="${TSAN_FILTER:-ThreadPool.*:ThreadCounts/*:AntonEngine.*:ParallelInvariance*:Decompositions/*:Workload.CountersAggregatedFromThreadShardsMatchSingleThread:Simulation.ResumeContinuesBitwise:VirtualMachine.RunCyclesMatchesEngineEveryCycle}"
+  local filter="${TSAN_FILTER:-ThreadPool.*:ThreadPoolGroup.*:ThreadCounts/*:AntonEngine.*:ParallelInvariance*:Decompositions/*:Workload.CountersAggregatedFromThreadShardsMatchSingleThread:Simulation.ResumeContinuesBitwise:VirtualMachine.RunCyclesMatchesEngineEveryCycle:JobsRuntime.SixteenConcurrentJobsMatchSoloRunsBitwise:JobsRuntime.KilledJobResumesBitwiseAndStitchesFrames:JobsRuntime.PauseHoldsAndUnpauseCompletes}"
   TSAN_OPTIONS="halt_on_error=1 history_size=7" \
     ./build-tsan/tests/anton_tests --gtest_filter="$filter"
 }
@@ -91,6 +109,7 @@ case "$MODE" in
   --vm) vm ;;
   --faults) faults ;;
   --transport) transport ;;
+  --jobs) jobs_gate ;;
   all|"") tier1; tsan ;;
   *) echo "unknown mode: $MODE" >&2; exit 2 ;;
 esac

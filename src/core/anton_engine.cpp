@@ -18,9 +18,22 @@ using parallel::kMeshChargeScale;
 using parallel::kPhiScale;
 
 AntonEngine::AntonEngine(System sys, const AntonConfig& cfg)
+    : AntonEngine(std::move(sys), cfg,
+                  std::make_unique<util::ThreadPool>(cfg.nthreads), nullptr,
+                  0) {}
+
+AntonEngine::AntonEngine(System sys, const AntonConfig& cfg,
+                         util::ThreadPool& shared_pool, int budget)
+    : AntonEngine(std::move(sys), cfg, nullptr, &shared_pool, budget) {}
+
+AntonEngine::AntonEngine(System sys, const AntonConfig& cfg,
+                         std::unique_ptr<util::ThreadPool> owned,
+                         util::ThreadPool* shared, int budget)
     : sys_(std::move(sys)), cfg_(cfg),
       gse_params_(cfg.sim.resolved_gse()), lat_(sys_.box),
-      excl_(sys_.top), pool_(cfg.nthreads) {
+      excl_(sys_.top), owned_pool_(std::move(owned)),
+      lanes_(owned_pool_ ? owned_pool_->group(owned_pool_->lanes())
+                         : shared->group(budget)) {
   sys_.top.validate();
   if (!sys_.box.is_cubic())
     throw std::invalid_argument("AntonEngine: requires a cubic box");
@@ -64,7 +77,7 @@ AntonEngine::AntonEngine(System sys, const AntonConfig& cfg)
 
   // Per-lane accumulator shards (wl_shards_ is sized per node count in
   // build_decomposition below).
-  const int lanes = pool_.lanes();
+  const int lanes = lanes_.lanes();
   f_shards_.assign(lanes, std::vector<Vec3l>(n, Vec3l{0, 0, 0}));
   mesh_shards_.assign(lanes,
                       std::vector<std::int64_t>(gse_->mesh_total(), 0));
@@ -139,12 +152,12 @@ void AntonEngine::build_decomposition() {
 
   workload_.nodes.assign(nnodes, {});
   workload_.steps_accumulated = 0;
-  wl_shards_.assign(pool_.lanes(),
+  wl_shards_.assign(lanes_.lanes(),
                     std::vector<NodeCounters>(nnodes, NodeCounters{}));
 }
 
 void AntonEngine::zero_force_shards() {
-  pool_.run_lanes([&](int lane) {
+  lanes_.run_lanes([&](int lane) {
     std::fill(f_shards_[lane].begin(), f_shards_[lane].end(),
               Vec3l{0, 0, 0});
     acc_shards_[lane] = LaneAccums{};
@@ -154,7 +167,7 @@ void AntonEngine::zero_force_shards() {
 void AntonEngine::reduce_force_shards(std::vector<Vec3l>& into) {
   // Each destination atom is reduced by exactly one lane; wrapping adds
   // make the sum independent of shard order.
-  pool_.parallel_for(
+  lanes_.parallel_for(
       static_cast<std::int64_t>(into.size()),
       [&](int, std::int64_t a0, std::int64_t a1) {
         for (std::int64_t i = a0; i < a1; ++i) {
@@ -182,7 +195,7 @@ void AntonEngine::reduce_energy_shards() {
 }
 
 void AntonEngine::set_metrics(obs::MetricsRegistry* m) {
-  if (m && m->lanes() < pool_.lanes())
+  if (m && m->lanes() < lanes_.lanes())
     throw std::invalid_argument(
         "AntonEngine::set_metrics: registry has fewer lanes than the "
         "engine's thread pool");
@@ -283,7 +296,7 @@ void AntonEngine::range_limited_pass(bool with_energy) {
   // of the two lattice positions, so which lane computes it cannot change
   // the value, and the wrapping shard reduction cannot change the sum.
   const std::int64_t nsub = geom_->subbox_count();
-  pool_.parallel_for(nsub, [&](int lane, std::int64_t h0, std::int64_t h1) {
+  lanes_.parallel_for(nsub, [&](int lane, std::int64_t h0, std::int64_t h1) {
     // Lane-tagged, lock-free: each lane writes only its own registry
     // shard, reduced at the next flush (never on the hot pair path).
     if (metrics_) metrics_->count(mid_.lane_chunks, lane, 1);
@@ -361,7 +374,7 @@ void AntonEngine::bonded_pass(bool with_energy) {
     }
     if (with_energy) acc.bonded.add(qt.energy_q);
   };
-  pool_.parallel_for(
+  lanes_.parallel_for(
       static_cast<std::int64_t>(top.bonds.size()),
       [&](int lane, std::int64_t k0, std::int64_t k1) {
         for (std::int64_t k = k0; k < k1; ++k) {
@@ -369,7 +382,7 @@ void AntonEngine::bonded_pass(bool with_energy) {
           apply(bonded::eval_bond(b, pos_phys_, sys_.box), lane, b.i);
         }
       });
-  pool_.parallel_for(
+  lanes_.parallel_for(
       static_cast<std::int64_t>(top.angles.size()),
       [&](int lane, std::int64_t k0, std::int64_t k1) {
         for (std::int64_t k = k0; k < k1; ++k) {
@@ -377,7 +390,7 @@ void AntonEngine::bonded_pass(bool with_energy) {
           apply(bonded::eval_angle(a, pos_phys_, sys_.box), lane, a.i);
         }
       });
-  pool_.parallel_for(
+  lanes_.parallel_for(
       static_cast<std::int64_t>(top.dihedrals.size()),
       [&](int lane, std::int64_t k0, std::int64_t k1) {
         for (std::int64_t k = k0; k < k1; ++k) {
@@ -392,7 +405,7 @@ void AntonEngine::correction_short_pass(bool with_energy) {
   // pipeline's work. Parallel over exclusion pairs, sharded like the
   // range-limited pass.
   const Topology& top = sys_.top;
-  pool_.parallel_for(
+  lanes_.parallel_for(
       static_cast<std::int64_t>(top.exclusions.size()),
       [&](int lane, std::int64_t k0, std::int64_t k1) {
         std::vector<Vec3l>& fsh = f_shards_[lane];
@@ -420,7 +433,7 @@ void AntonEngine::correction_long_pass(bool with_energy) {
   // Reciprocal-space subtraction (-erf terms) for every excluded pair;
   // parallel over exclusion pairs.
   const Topology& top = sys_.top;
-  pool_.parallel_for(
+  lanes_.parallel_for(
       static_cast<std::int64_t>(top.exclusions.size()),
       [&](int lane, std::int64_t k0, std::int64_t k1) {
         std::vector<Vec3l>& fsh = f_shards_[lane];
@@ -457,10 +470,10 @@ void AntonEngine::mesh_pass(bool with_energy) {
   // into per-lane mesh shards so the mesh is bitwise independent of
   // traversal order AND of which lane spread which atom.
   if (tracer_) tracer_->begin("gse.spread");
-  pool_.run_lanes([&](int lane) {
+  lanes_.run_lanes([&](int lane) {
     std::fill(mesh_shards_[lane].begin(), mesh_shards_[lane].end(), 0);
   });
-  pool_.parallel_for(
+  lanes_.parallel_for(
       top.natoms, [&](int lane, std::int64_t i0, std::int64_t i1) {
         std::vector<std::int64_t>& msh = mesh_shards_[lane];
         for (std::int64_t i = i0; i < i1; ++i) {
@@ -477,7 +490,7 @@ void AntonEngine::mesh_pass(bool with_energy) {
       });
   // Mesh-slab reduction: each lane reduces a disjoint slab of mesh points
   // across all shards (wrap adds: shard order is irrelevant).
-  pool_.parallel_for(mesh_total,
+  lanes_.parallel_for(mesh_total,
                      [&](int, std::int64_t m0, std::int64_t m1) {
                        for (std::int64_t m = m0; m < m1; ++m) {
                          std::int64_t s = 0;
@@ -496,7 +509,7 @@ void AntonEngine::mesh_pass(bool with_energy) {
   // serial: the transform's value is already decomposition-invariant.
   if (tracer_) tracer_->begin("gse.fft");
   e_recip_ = gse_->convolve(scratch_q_, scratch_phi_);
-  pool_.parallel_for(mesh_total,
+  lanes_.parallel_for(mesh_total,
                      [&](int, std::int64_t m0, std::int64_t m1) {
                        for (std::int64_t m = m0; m < m1; ++m)
                          mesh_phi_[m] =
@@ -508,7 +521,7 @@ void AntonEngine::mesh_pass(bool with_energy) {
   // partitioned disjointly, and each atom's whole contribution is
   // accumulated locally, so lanes write disjoint shard entries.
   obs::Tracer::Span interp_span(tracer_, "gse.interpolate");
-  pool_.parallel_for(
+  lanes_.parallel_for(
       top.natoms, [&](int lane, std::int64_t i0, std::int64_t i1) {
         std::vector<Vec3l>& fsh = f_shards_[lane];
         for (std::int64_t i = i0; i < i1; ++i) {

@@ -72,7 +72,17 @@ struct AntonConfig {
 
 class AntonEngine {
  public:
+  /// Standalone engine: owns a private ThreadPool of cfg.nthreads lanes.
   AntonEngine(System sys, const AntonConfig& cfg);
+
+  /// Multi-tenant engine: borrows `budget` lanes from a shared pool (the
+  /// job runtime's). The engine sizes every per-lane shard by `budget`,
+  /// so its trajectory is bitwise identical to a standalone engine with
+  /// nthreads == budget -- and bitwise independent of whatever the other
+  /// tenants of `shared_pool` are doing, because all accumulation state
+  /// is engine-private. cfg.nthreads is ignored in this mode.
+  AntonEngine(System sys, const AntonConfig& cfg,
+              util::ThreadPool& shared_pool, int budget);
 
   const AntonConfig& config() const { return cfg_; }
   const Topology& topology() const { return sys_.top; }
@@ -146,6 +156,10 @@ class AntonEngine {
   const htis::PairKernels& kernels() const { return kernels_; }
 
  private:
+  AntonEngine(System sys, const AntonConfig& cfg,
+              std::unique_ptr<util::ThreadPool> owned,
+              util::ThreadPool* shared, int budget);
+
   /// Per-lane accumulator shards for one parallel pass group. Every lane
   /// writes only its own shard; shards are reduced with wrapping adds,
   /// which are associative and commutative, so the reduced totals are
@@ -231,9 +245,12 @@ class AntonEngine {
     int correction_pairs = -1;
   } mid_;
 
-  // Deterministic task parallelism: the pool plus the per-lane shards the
-  // parallel passes accumulate into (see LaneAccums above).
-  util::ThreadPool pool_;
+  // Deterministic task parallelism: a budgeted lane group plus the
+  // per-lane shards the parallel passes accumulate into (see LaneAccums
+  // above). Standalone engines own their pool; engines under the job
+  // runtime borrow lanes from a shared pool (owned_pool_ stays null).
+  std::unique_ptr<util::ThreadPool> owned_pool_;
+  util::ThreadPool::TaskGroup lanes_;
   std::vector<std::vector<Vec3l>> f_shards_;            // [lane][atom]
   std::vector<std::vector<std::int64_t>> mesh_shards_;  // [lane][mesh pt]
   std::vector<std::vector<NodeCounters>> wl_shards_;    // [lane][node]

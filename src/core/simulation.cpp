@@ -4,17 +4,23 @@
 
 namespace anton::core {
 
-Simulation::Simulation(System sys, const SimulationConfig& cfg)
-    : Simulation(std::move(sys), cfg, std::nullopt) {}
+Simulation::Simulation(System sys, const SimulationConfig& cfg,
+                       util::ThreadPool* shared_pool, int thread_budget)
+    : Simulation(std::move(sys), cfg, std::nullopt, shared_pool,
+                 thread_budget) {}
 
 Simulation Simulation::resume(System sys, const SimulationConfig& cfg,
-                              const std::string& checkpoint_path) {
+                              const std::string& checkpoint_path,
+                              util::ThreadPool* shared_pool,
+                              int thread_budget) {
   return Simulation(std::move(sys), cfg,
-                    io::Checkpoint::load(checkpoint_path));
+                    io::Checkpoint::load(checkpoint_path), shared_pool,
+                    thread_budget);
 }
 
 Simulation::Simulation(System sys, const SimulationConfig& cfg,
-                       const std::optional<io::Checkpoint>& restore)
+                       const std::optional<io::Checkpoint>& restore,
+                       util::ThreadPool* shared_pool, int thread_budget)
     : cfg_(cfg) {
   if (restore) {
     // Seed the engine's fixed-point state bit-exactly: positions and
@@ -31,7 +37,10 @@ Simulation::Simulation(System sys, const SimulationConfig& cfg,
           fixed::vel_to_phys(restore->velocities[i].z)};
     }
   }
-  engine_ = std::make_unique<AntonEngine>(std::move(sys), cfg.engine);
+  engine_ = shared_pool
+                ? std::make_unique<AntonEngine>(std::move(sys), cfg.engine,
+                                                *shared_pool, thread_budget)
+                : std::make_unique<AntonEngine>(std::move(sys), cfg.engine);
   if (restore) {
     // Verify the round trip really is bit-exact (to_lattice(to_phys(p))
     // must return p; quantize(vel_to_phys(v)) must return v).

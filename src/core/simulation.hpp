@@ -17,6 +17,7 @@
 #include "core/anton_engine.hpp"
 #include "io/io.hpp"
 #include "io/trajectory.hpp"
+#include "util/thread_pool.hpp"
 
 namespace anton::core {
 
@@ -33,13 +34,20 @@ struct SimulationConfig {
 class Simulation {
  public:
   /// Starts a fresh simulation from the System's initial conditions.
-  Simulation(System sys, const SimulationConfig& cfg);
+  /// With a `shared_pool`, the engine borrows `thread_budget` lanes from
+  /// it instead of owning threads -- the multi-tenant mode the job
+  /// runtime uses to run many Simulations over one pool. The trajectory
+  /// is bitwise identical either way (given nthreads == thread_budget).
+  Simulation(System sys, const SimulationConfig& cfg,
+             util::ThreadPool* shared_pool = nullptr, int thread_budget = 1);
 
   /// Resumes from a checkpoint written by an identically configured
   /// Simulation over the same System: the continuation is bitwise
   /// identical to the uninterrupted run.
   static Simulation resume(System sys, const SimulationConfig& cfg,
-                           const std::string& checkpoint_path);
+                           const std::string& checkpoint_path,
+                           util::ThreadPool* shared_pool = nullptr,
+                           int thread_budget = 1);
 
   AntonEngine& engine() { return *engine_; }
   std::int64_t steps_done() const { return engine_->steps_done(); }
@@ -52,7 +60,8 @@ class Simulation {
 
  private:
   Simulation(System sys, const SimulationConfig& cfg,
-             const std::optional<io::Checkpoint>& restore);
+             const std::optional<io::Checkpoint>& restore,
+             util::ThreadPool* shared_pool, int thread_budget);
   void maybe_output();
 
   SimulationConfig cfg_;

@@ -1,0 +1,466 @@
+#include "jobs/job_manager.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+#include <unistd.h>
+
+#include "io/trajectory.hpp"
+
+namespace anton::jobs {
+
+namespace fs = std::filesystem;
+
+const char* status_name(JobStatus s) {
+  switch (s) {
+    case JobStatus::kQueued: return "queued";
+    case JobStatus::kRunning: return "running";
+    case JobStatus::kPaused: return "paused";
+    case JobStatus::kCrashed: return "crashed";
+    case JobStatus::kDone: return "done";
+    case JobStatus::kFailed: return "failed";
+    case JobStatus::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+bool is_terminal(JobStatus s) {
+  return s == JobStatus::kDone || s == JobStatus::kFailed ||
+         s == JobStatus::kCancelled;
+}
+
+namespace {
+std::string make_root_dir(const std::string& configured) {
+  if (!configured.empty()) {
+    fs::create_directories(configured);
+    return configured;
+  }
+  // A fresh unique directory per manager: tenants never share output
+  // paths with each other or with a previous run.
+  std::string tmpl =
+      (fs::temp_directory_path() / "anton-jobs-XXXXXX").string();
+  if (!mkdtemp(tmpl.data()))
+    throw std::runtime_error("JobManager: mkdtemp failed for " + tmpl);
+  return tmpl;
+}
+}  // namespace
+
+int JobManager::steps_per_cycle(const JobSpec& spec) {
+  return std::max(1, spec.engine.sim.long_range_every);
+}
+
+JobManager::JobManager(const RuntimeConfig& cfg)
+    : cfg_(cfg), root_dir_(make_root_dir(cfg.root_dir)),
+      pool_(std::max(1, cfg.threads)), fleet_(1, "jobs.") {
+  cfg_.threads = pool_.lanes();
+  if (cfg_.executors <= 0) cfg_.executors = cfg_.threads;
+  if (cfg_.default_quantum < 1) cfg_.default_quantum = 1;
+  fid_.submitted = fleet_.counter("submitted");
+  fid_.completed = fleet_.counter("completed");
+  fid_.failed = fleet_.counter("failed");
+  fid_.cancelled = fleet_.counter("cancelled");
+  fid_.crashed = fleet_.counter("crashed");
+  fid_.recovered = fleet_.counter("recovered");
+  fid_.quanta = fleet_.counter("quanta");
+  fid_.cycles = fleet_.counter("mts_cycles");
+  executors_.reserve(cfg_.executors);
+  for (int i = 0; i < cfg_.executors; ++i)
+    executors_.emplace_back([this] { executor_loop(); });
+}
+
+JobManager::~JobManager() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : executors_) t.join();
+}
+
+JobId JobManager::submit(const JobSpec& spec) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto j = std::make_unique<Job>();
+  j->id = static_cast<JobId>(jobs_.size());
+  j->spec = spec;
+  j->spec.cycles = std::max(1, spec.cycles);
+  j->spec.thread_budget =
+      std::clamp(spec.thread_budget, 1, pool_.lanes());
+  fs::create_directories(job_dir(j->id));
+  scheduler_.add(j->id, j->spec.priority);
+  jobs_.push_back(std::move(j));
+  fleet_.count(fid_.submitted, 0);
+  cv_work_.notify_one();
+  return static_cast<JobId>(jobs_.size()) - 1;
+}
+
+std::vector<JobId> JobManager::submit_ensemble(const EnsembleSpec& ensemble) {
+  std::vector<JobId> ids;
+  ids.reserve(ensemble.seeds.size());
+  for (std::size_t i = 0; i < ensemble.seeds.size(); ++i) {
+    JobSpec replica = ensemble.base;
+    replica.scenario.seed = ensemble.seeds[i];
+    replica.name = ensemble.base.name + "/r" + std::to_string(i);
+    ids.push_back(submit(replica));
+  }
+  return ids;
+}
+
+void JobManager::ensure_simulation(Job& j) {
+  if (j.sim) return;
+  System sys = build_system(j.spec.scenario);
+  core::SimulationConfig scfg;
+  scfg.engine = j.spec.engine;
+  scfg.trajectory_every = j.spec.trajectory_every;
+  scfg.trajectory_path = trajectory_path(j.id, j.segments);
+  scfg.checkpoint_every = j.spec.checkpoint_every;
+  scfg.checkpoint_path = checkpoint_path(j.id);
+  const int budget = j.spec.thread_budget;
+  if (!j.registry)
+    j.registry = std::make_unique<obs::MetricsRegistry>(
+        budget, "job." + std::to_string(j.id) + ".");
+  // A restarted job resumes bitwise from its last good checkpoint; a
+  // job that crashed before its first checkpoint restarts from the
+  // spec's initial conditions (same thing: the empty prefix).
+  if (j.restarts > 0 && fs::exists(scfg.checkpoint_path)) {
+    j.sim = std::make_unique<core::Simulation>(core::Simulation::resume(
+        std::move(sys), scfg, scfg.checkpoint_path, &pool_, budget));
+  } else {
+    j.sim =
+        std::make_unique<core::Simulation>(std::move(sys), scfg, &pool_,
+                                           budget);
+  }
+  ++j.segments;
+  j.sim->engine().set_metrics(j.registry.get());
+}
+
+JobManager::QuantumOutcome JobManager::run_quantum(Job& j,
+                                                   std::string& error) {
+  try {
+    ensure_simulation(j);
+    const int spc = steps_per_cycle(j.spec);
+    const int quantum =
+        j.spec.quantum_cycles > 0 ? j.spec.quantum_cycles
+                                  : cfg_.default_quantum;
+    const int remaining = j.spec.cycles - j.cycles_done.load();
+    const int n = std::min(quantum, std::max(1, remaining));
+    j.sim->run_cycles(n, [&](core::AntonEngine& eng) {
+      j.cycles_done.store(
+          static_cast<int>(eng.steps_done() / spc));
+      if (j.kill_flag.load())
+        throw std::runtime_error("job killed (simulated crash)");
+      return !j.cancel_flag.load() && !j.pause_flag.load();
+    });
+    j.cycles_done.store(static_cast<int>(j.sim->steps_done() / spc));
+    if (j.cycles_done.load() >= j.spec.cycles) return QuantumOutcome::kDone;
+    if (j.cancel_flag.load()) return QuantumOutcome::kCancelled;
+    if (j.pause_flag.load()) return QuantumOutcome::kPaused;
+    return QuantumOutcome::kYield;
+  } catch (const std::exception& e) {
+    error = e.what();
+    return QuantumOutcome::kCrashed;
+  }
+}
+
+void JobManager::finalize_locked(Job& j, JobStatus status) {
+  if (status == JobStatus::kDone && j.sim)
+    j.final_hash = j.sim->engine().state_hash();
+  j.sim.reset();  // closes the trajectory segment + checkpoint handles
+  j.status = status;
+  scheduler_.remove(j.id);
+  if (status == JobStatus::kDone) fleet_.count(fid_.completed, 0);
+  if (status == JobStatus::kFailed) fleet_.count(fid_.failed, 0);
+  if (status == JobStatus::kCancelled) fleet_.count(fid_.cancelled, 0);
+  cv_state_.notify_all();
+}
+
+int JobManager::recovery_sweep_locked() {
+  int recovered = 0;
+  for (auto& up : jobs_) {
+    Job& j = *up;
+    if (j.status != JobStatus::kCrashed) continue;
+    if (j.restarts >= cfg_.max_restarts) {
+      finalize_locked(j, JobStatus::kFailed);
+      continue;
+    }
+    ++j.restarts;
+    j.status = JobStatus::kQueued;
+    scheduler_.add(j.id, j.spec.priority);
+    fleet_.count(fid_.recovered, 0);
+    ++recovered;
+  }
+  if (recovered > 0) cv_work_.notify_all();
+  return recovered;
+}
+
+int JobManager::recovery_sweep() {
+  std::lock_guard<std::mutex> lk(mu_);
+  const int n = recovery_sweep_locked();
+  cv_state_.notify_all();
+  return n;
+}
+
+void JobManager::executor_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_work_.wait(lk, [&] { return stop_ || scheduler_.has_runnable(); });
+    if (stop_) return;
+    const auto picked = scheduler_.pick();
+    if (!picked) continue;
+    Job& j = *jobs_[*picked];
+    j.status = JobStatus::kRunning;
+    ++running_;
+    const int cycles_before = j.cycles_done.load();
+    lk.unlock();
+
+    std::string error;
+    const QuantumOutcome oc = run_quantum(j, error);
+
+    lk.lock();
+    --running_;
+    fleet_.count(fid_.quanta, 0);
+    fleet_.count(fid_.cycles, 0, j.cycles_done.load() - cycles_before);
+    // Quantum over: the job's engine is quiescent, so folding its metric
+    // shards here (under the manager lock) is race-free.
+    if (j.registry) j.registry->flush();
+    switch (oc) {
+      case QuantumOutcome::kDone:
+        finalize_locked(j, JobStatus::kDone);
+        break;
+      case QuantumOutcome::kCancelled:
+        finalize_locked(j, JobStatus::kCancelled);
+        break;
+      case QuantumOutcome::kPaused:
+        j.pause_flag.store(false);
+        j.status = JobStatus::kPaused;
+        break;
+      case QuantumOutcome::kYield:
+        if (j.cancel_flag.load()) {
+          finalize_locked(j, JobStatus::kCancelled);
+        } else if (j.pause_flag.load()) {
+          j.pause_flag.store(false);
+          j.status = JobStatus::kPaused;
+        } else {
+          j.status = JobStatus::kQueued;
+          scheduler_.requeue(j.id);
+          cv_work_.notify_one();
+        }
+        break;
+      case QuantumOutcome::kCrashed:
+        j.error = error;
+        j.sim.reset();  // drop in-memory state, keep checkpoint on disk
+        j.kill_flag.store(false);
+        j.status = JobStatus::kCrashed;
+        fleet_.count(fid_.crashed, 0);
+        if (cfg_.recover_crashed) recovery_sweep_locked();
+        break;
+    }
+    cv_state_.notify_all();
+  }
+}
+
+bool JobManager::pause(JobId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (id < 0 || id >= static_cast<int>(jobs_.size())) return false;
+  Job& j = *jobs_[id];
+  if (j.status == JobStatus::kQueued) {
+    scheduler_.remove(j.id);
+    j.status = JobStatus::kPaused;
+    cv_state_.notify_all();
+    return true;
+  }
+  if (j.status == JobStatus::kRunning) {
+    j.pause_flag.store(true);
+    return true;
+  }
+  return false;
+}
+
+bool JobManager::unpause(JobId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (id < 0 || id >= static_cast<int>(jobs_.size())) return false;
+  Job& j = *jobs_[id];
+  if (j.status != JobStatus::kPaused) return false;
+  j.status = JobStatus::kQueued;
+  scheduler_.add(j.id, j.spec.priority);
+  cv_work_.notify_one();
+  cv_state_.notify_all();
+  return true;
+}
+
+bool JobManager::cancel(JobId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (id < 0 || id >= static_cast<int>(jobs_.size())) return false;
+  Job& j = *jobs_[id];
+  if (is_terminal(j.status)) return false;
+  if (j.status == JobStatus::kRunning) {
+    j.cancel_flag.store(true);  // lands at the next cycle boundary
+    return true;
+  }
+  finalize_locked(j, JobStatus::kCancelled);
+  return true;
+}
+
+bool JobManager::kill(JobId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (id < 0 || id >= static_cast<int>(jobs_.size())) return false;
+  Job& j = *jobs_[id];
+  if (j.status != JobStatus::kRunning && j.status != JobStatus::kQueued)
+    return false;
+  j.kill_flag.store(true);
+  return true;
+}
+
+JobInfo JobManager::info_locked(const Job& j) const {
+  JobInfo out;
+  out.id = j.id;
+  out.name = j.spec.name;
+  out.status = j.status;
+  out.priority = j.spec.priority;
+  out.thread_budget = j.spec.thread_budget;
+  out.cycles_target = j.spec.cycles;
+  out.cycles_done = j.cycles_done.load();
+  out.restarts = j.restarts;
+  out.segments = j.segments;
+  out.error = j.error;
+  out.final_hash = j.final_hash;
+  out.dir = job_dir(j.id);
+  return out;
+}
+
+JobInfo JobManager::info(JobId id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (id < 0 || id >= static_cast<int>(jobs_.size()))
+    throw std::out_of_range("JobManager::info: no job " +
+                            std::to_string(id));
+  return info_locked(*jobs_[id]);
+}
+
+std::vector<JobId> JobManager::queued_jobs() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<JobId> out;
+  for (const auto& j : jobs_)
+    if (j->status == JobStatus::kQueued) out.push_back(j->id);
+  return out;
+}
+
+std::vector<JobId> JobManager::running_jobs() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<JobId> out;
+  for (const auto& j : jobs_)
+    if (j->status == JobStatus::kRunning) out.push_back(j->id);
+  return out;
+}
+
+int JobManager::jobs_total() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<int>(jobs_.size());
+}
+
+std::vector<std::pair<JobId, int>> JobManager::progress() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::pair<JobId, int>> out;
+  out.reserve(jobs_.size());
+  for (const auto& j : jobs_)
+    out.emplace_back(j->id, j->cycles_done.load());
+  return out;
+}
+
+JobInfo JobManager::await(JobId id) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (id < 0 || id >= static_cast<int>(jobs_.size()))
+    throw std::out_of_range("JobManager::await: no job " +
+                            std::to_string(id));
+  cv_state_.wait(lk, [&] { return is_terminal(jobs_[id]->status); });
+  return info_locked(*jobs_[id]);
+}
+
+void JobManager::await_all() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_state_.wait(lk, [&] {
+    return running_ == 0 && !scheduler_.has_runnable();
+  });
+}
+
+EnsembleStats JobManager::stats_for(const std::vector<JobId>& ids) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  EnsembleStats st;
+  st.replicas = static_cast<int>(ids.size());
+  for (JobId id : ids) {
+    if (id < 0 || id >= static_cast<int>(jobs_.size())) continue;
+    const Job& j = *jobs_[id];
+    st.total_cycles += j.cycles_done.load();
+    st.total_restarts += j.restarts;
+    if (j.status == JobStatus::kDone) {
+      ++st.completed;
+      st.final_hashes.push_back(j.final_hash);
+    } else if (j.status == JobStatus::kFailed) {
+      ++st.failed;
+    } else if (j.status == JobStatus::kCancelled) {
+      ++st.cancelled;
+    }
+  }
+  return st;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> JobManager::metrics()
+    const {
+  std::lock_guard<std::mutex> lk(mu_);
+  // Fleet counters are only ever written under mu_; job registries are
+  // written by their job's executor, which is quiescent for any job not
+  // currently kRunning (and flushed at every quantum boundary), so this
+  // read is race-free for everything it reports.
+  fleet_.flush();
+  auto out = fleet_.counters();
+  for (const auto& j : jobs_) {
+    if (!j->registry || j->status == JobStatus::kRunning) continue;
+    for (auto& kv : j->registry->counters()) out.push_back(std::move(kv));
+  }
+  return out;
+}
+
+std::string JobManager::job_dir(JobId id) const {
+  return root_dir_ + "/job-" + std::to_string(id);
+}
+
+std::string JobManager::checkpoint_path(JobId id) const {
+  return job_dir(id) + "/job.ckpt";
+}
+
+std::string JobManager::trajectory_path(JobId id, int segment) const {
+  return job_dir(id) + "/traj.s" + std::to_string(segment) + ".antj";
+}
+
+std::vector<std::pair<std::int64_t, std::vector<Vec3i>>>
+JobManager::stitched_frames(JobId id) const {
+  int segments = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (id < 0 || id >= static_cast<int>(jobs_.size()))
+      throw std::out_of_range("JobManager::stitched_frames: no job " +
+                              std::to_string(id));
+    segments = jobs_[id]->segments;
+  }
+  std::vector<std::pair<std::int64_t, std::vector<Vec3i>>> out;
+  for (int s = 0; s < segments; ++s) {
+    const std::string path = trajectory_path(id, s);
+    if (!fs::exists(path)) continue;
+    io::TrajectoryReader r(path);
+    std::int64_t step = 0;
+    std::vector<Vec3i> pos;
+    bool first = true;
+    while (r.next(step, pos)) {
+      if (first) {
+        // A resumed leg restarts its frame cursor at the checkpoint it
+        // recovered from: drop the crashed leg's frames past that point
+        // (they are re-emitted, bitwise, by this leg).
+        while (!out.empty() && out.back().first >= step) out.pop_back();
+        first = false;
+      }
+      out.emplace_back(step, pos);
+    }
+  }
+  return out;
+}
+
+}  // namespace anton::jobs

@@ -1,0 +1,210 @@
+// Multi-tenant job runtime: simulation-as-a-service over one shared pool.
+//
+// The JobManager runs N independent core::Simulations concurrently:
+//
+//  * a shared util::ThreadPool supplies the lanes; each job's engine
+//    borrows a budgeted TaskGroup of `thread_budget` lanes, so a big job
+//    can never occupy more than its cap while small jobs wait;
+//  * `executors` driver threads pull runnable jobs from a FairScheduler
+//    (weighted round-robin over MTS-cycle quanta, priority classes) and
+//    run one quantum at a time -- job progress interleaves fairly while
+//    each trajectory stays bitwise identical to running its spec alone
+//    (engine state, accumulator shards and metric registries are all
+//    job-private; asserted in test_jobs);
+//  * every job owns an isolated output directory (trajectory segments +
+//    checkpoint v2) and an isolated metric namespace `job.<id>.*`;
+//  * a job that crashes -- or is kill()ed mid-run -- is picked up by the
+//    recovery sweep: the manager rebuilds the System from the job's
+//    declarative spec, resumes from the last checkpoint bitwise (the
+//    PR 4 invariant at fleet level) and requeues it, up to max_restarts;
+//  * ensembles (template + K seeds) submit as K replica jobs and report
+//    aggregated completion statistics.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "jobs/job_spec.hpp"
+#include "jobs/scheduler.hpp"
+#include "obs/metrics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace anton::jobs {
+
+using JobId = int;
+
+enum class JobStatus {
+  kQueued,     // waiting for an executor
+  kRunning,    // executing a quantum
+  kPaused,     // held; unpause() requeues
+  kCrashed,    // transient: awaiting the recovery sweep
+  kDone,       // completed spec.cycles
+  kFailed,     // crashed past max_restarts (or recovery disabled)
+  kCancelled,  // cancelled before completion
+};
+
+const char* status_name(JobStatus s);
+bool is_terminal(JobStatus s);
+
+struct JobInfo {
+  JobId id = -1;
+  std::string name;
+  JobStatus status = JobStatus::kQueued;
+  Priority priority = Priority::kNormal;
+  int thread_budget = 1;
+  int cycles_target = 0;
+  int cycles_done = 0;
+  int restarts = 0;   // crash recoveries performed
+  int segments = 0;   // trajectory segments written (one per start/resume)
+  std::string error;  // last crash/failure reason
+  std::uint64_t final_hash = 0;  // engine state hash at completion
+  std::string dir;               // the job's isolated output directory
+};
+
+struct RuntimeConfig {
+  /// Lanes in the shared pool (the machine the tenants divide up).
+  int threads = 8;
+  /// Concurrent quantum executors (0 -> same as threads). Each running
+  /// job occupies one executor plus thread_budget - 1 pool workers
+  /// during its force passes.
+  int executors = 0;
+  /// Default MTS cycles per scheduling quantum.
+  int default_quantum = 1;
+  /// Root for per-job output directories ("" -> a fresh unique directory
+  /// under the system temp dir).
+  std::string root_dir;
+  /// Crashed jobs are automatically resumed from their last checkpoint.
+  bool recover_crashed = true;
+  int max_restarts = 3;
+};
+
+class JobManager {
+ public:
+  explicit JobManager(const RuntimeConfig& cfg = {});
+  ~JobManager();
+
+  JobManager(const JobManager&) = delete;
+  JobManager& operator=(const JobManager&) = delete;
+
+  const RuntimeConfig& config() const { return cfg_; }
+  const std::string& root_dir() const { return root_dir_; }
+
+  // --- submission ---
+  JobId submit(const JobSpec& spec);
+  std::vector<JobId> submit_ensemble(const EnsembleSpec& ensemble);
+
+  // --- control ---
+  /// Pauses a queued/running job at its next cycle boundary.
+  bool pause(JobId id);
+  /// Requeues a paused job.
+  bool unpause(JobId id);
+  /// Cancels a non-terminal job (stops a running one at its next cycle
+  /// boundary).
+  bool cancel(JobId id);
+  /// Simulated crash: the job dies at its next MTS-cycle boundary, as a
+  /// whole-node crash would (PR 4 crashes also land on cycle
+  /// boundaries). The recovery sweep then resumes it from checkpoint.
+  bool kill(JobId id);
+
+  // --- introspection ---
+  JobInfo info(JobId id) const;
+  std::vector<JobId> queued_jobs() const;
+  std::vector<JobId> running_jobs() const;
+  int jobs_total() const;
+  /// Point-in-time cycles_done per job id (fairness probes).
+  std::vector<std::pair<JobId, int>> progress() const;
+
+  // --- completion ---
+  /// Blocks until the job is terminal; returns its final info.
+  JobInfo await(JobId id);
+  /// Blocks until no job is queued or running (paused jobs excluded).
+  void await_all();
+
+  /// Re-examines crashed jobs and requeues those still eligible;
+  /// returns how many it recovered. Runs automatically after every
+  /// crash when cfg.recover_crashed.
+  int recovery_sweep();
+
+  EnsembleStats stats_for(const std::vector<JobId>& ids) const;
+
+  // --- metrics ---
+  /// Fleet counters (jobs.*) plus every job's namespaced counters
+  /// (job.<id>.engine.*), one flat list.
+  std::vector<std::pair<std::string, std::int64_t>> metrics() const;
+
+  // --- per-job outputs ---
+  std::string job_dir(JobId id) const;
+  std::string checkpoint_path(JobId id) const;
+  std::string trajectory_path(JobId id, int segment) const;
+
+  /// The job's frames stitched across crash/recovery segments: a
+  /// resumed leg restarts its output cursor at the checkpoint step, so
+  /// stitching drops any frames a crashed leg wrote past the checkpoint
+  /// it was recovered from. The result is frame-for-frame identical to
+  /// an uninterrupted run (asserted in test_jobs).
+  std::vector<std::pair<std::int64_t, std::vector<Vec3i>>> stitched_frames(
+      JobId id) const;
+
+ private:
+  struct Job {
+    JobId id = -1;
+    JobSpec spec;
+    JobStatus status = JobStatus::kQueued;
+    /// Written by the owning executor each cycle; read by fairness
+    /// probes without the manager lock.
+    std::atomic<int> cycles_done{0};
+    // Bumped by the owning executor outside the manager lock (the
+    // executor is the only writer); read by info()/stats under it.
+    std::atomic<int> restarts{0};
+    std::atomic<int> segments{0};
+    // Control flags: written under the manager lock, polled lock-free by
+    // the running quantum's per-cycle callback.
+    std::atomic<bool> kill_flag{false};
+    std::atomic<bool> cancel_flag{false};
+    std::atomic<bool> pause_flag{false};
+    std::string error;
+    std::uint64_t final_hash = 0;
+    std::unique_ptr<core::Simulation> sim;  // live while running/paused
+    std::unique_ptr<obs::MetricsRegistry> registry;
+  };
+
+  enum class QuantumOutcome { kYield, kDone, kPaused, kCancelled, kCrashed };
+
+  void executor_loop();
+  QuantumOutcome run_quantum(Job& j, std::string& error);
+  void ensure_simulation(Job& j);
+  JobInfo info_locked(const Job& j) const;
+  int recovery_sweep_locked();
+  void finalize_locked(Job& j, JobStatus status);
+  static int steps_per_cycle(const JobSpec& spec);
+
+  RuntimeConfig cfg_;
+  std::string root_dir_;
+  util::ThreadPool pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;   // executors: runnable work exists
+  std::condition_variable cv_state_;  // waiters: some job changed state
+  std::vector<std::unique_ptr<Job>> jobs_;  // index == JobId
+  FairScheduler scheduler_;
+  int running_ = 0;
+  bool stop_ = false;
+
+  mutable obs::MetricsRegistry fleet_;  // jobs.* counters (under mu_)
+  struct FleetIds {
+    int submitted, completed, failed, cancelled, crashed, recovered, quanta,
+        cycles;
+  } fid_;
+
+  std::vector<std::thread> executors_;
+};
+
+}  // namespace anton::jobs

@@ -1,0 +1,27 @@
+#include "jobs/job_spec.hpp"
+
+#include <stdexcept>
+
+#include "sysgen/systems.hpp"
+
+namespace anton::jobs {
+
+System build_system(const ScenarioSpec& sc) {
+  System sys;
+  if (sc.kind == "test") {
+    sys = sysgen::build_test_system(sc.n_waters, sc.side, sc.seed,
+                                    sc.constrained, sc.protein_atoms);
+  } else if (sc.kind == "water") {
+    sys = sysgen::build_water_system(sc.atoms, sc.side, sc.water, sc.seed);
+  } else if (sc.kind == "paper") {
+    sys = sysgen::build_paper_system(sysgen::spec_by_name(sc.name), sc.seed);
+  } else {
+    throw std::invalid_argument("build_system: unknown scenario kind \"" +
+                                sc.kind + "\"");
+  }
+  if (sc.temperature > 0.0)
+    sysgen::init_velocities(sys, sc.temperature, sc.seed);
+  return sys;
+}
+
+}  // namespace anton::jobs

@@ -1,0 +1,61 @@
+#include "jobs/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace anton::jobs {
+
+std::int64_t FairScheduler::min_runnable_pass() const {
+  std::int64_t m = std::numeric_limits<std::int64_t>::max();
+  for (const auto& [id, e] : runnable_) m = std::min(m, e->pass);
+  return m == std::numeric_limits<std::int64_t>::max() ? 0 : m;
+}
+
+void FairScheduler::add(int job, Priority priority) {
+  Entry& e = entries_[job];
+  e.stride = kStrideOne / priority_weight(priority);
+  // Join at the current virtual time: never below the runnable minimum,
+  // so a sleeper cannot claim back executor time it never consumed.
+  e.pass = std::max(e.pass, min_runnable_pass());
+  e.runnable = true;
+  runnable_[job] = &e;
+}
+
+void FairScheduler::remove(int job) {
+  runnable_.erase(job);
+  entries_.erase(job);
+}
+
+std::optional<int> FairScheduler::pick() {
+  if (runnable_.empty()) return std::nullopt;
+  auto best = runnable_.begin();
+  for (auto it = std::next(best); it != runnable_.end(); ++it)
+    if (it->second->pass < best->second->pass) best = it;
+  // std::map iteration is id-ascending, so ties break to the lowest id.
+  const int job = best->first;
+  best->second->runnable = false;
+  runnable_.erase(best);
+  return job;
+}
+
+void FairScheduler::requeue(int job, int quanta) {
+  auto it = entries_.find(job);
+  if (it == entries_.end()) return;  // removed (cancelled) while running
+  it->second.pass += it->second.stride * std::max(1, quanta);
+  it->second.runnable = true;
+  runnable_[job] = &it->second;
+}
+
+std::int64_t FairScheduler::pass_of(int job) const {
+  auto it = entries_.find(job);
+  return it == entries_.end() ? 0 : it->second.pass;
+}
+
+std::vector<int> FairScheduler::runnable_jobs() const {
+  std::vector<int> out;
+  out.reserve(runnable_.size());
+  for (const auto& [id, e] : runnable_) out.push_back(id);
+  return out;
+}
+
+}  // namespace anton::jobs

@@ -1,0 +1,75 @@
+// Weighted fair scheduling of jobs over MTS-cycle quanta.
+//
+// Stride scheduling: each runnable job holds a `pass` value; the
+// scheduler always picks the runnable job with the smallest (pass, id)
+// and charges it stride = kStrideOne / weight per quantum it runs, where
+// weight is 1/2/4 for low/normal/high priority. Consequences:
+//
+//  * long-run CPU shares converge to the weight ratios (weighted
+//    round-robin), so a big job cannot starve small ones -- it just
+//    accumulates pass faster whenever it runs;
+//  * equal-weight jobs interleave with progress skew bounded by one
+//    quantum per executor, the fairness bound bench_jobs measures;
+//  * picks are a pure function of (pass, id) state, so a single-executor
+//    schedule is fully deterministic -- which trajectories never depend
+//    on anyway (engine determinism), but makes scheduler tests exact.
+//
+// A job leaves the runnable set while it executes a quantum (a job never
+// runs on two executors at once) and re-enters it charged. Jobs
+// (re)entering the set start at max(own pass, min runnable pass): a job
+// that slept (paused, crashed, just submitted) does not get to monopolize
+// executors paying back virtual time it never consumed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "jobs/job_spec.hpp"
+
+namespace anton::jobs {
+
+class FairScheduler {
+ public:
+  /// Pass units one quantum costs a weight-1 job (divisible by every
+  /// priority weight, so shares are exact integers).
+  static constexpr std::int64_t kStrideOne = 840;
+
+  /// Makes `job` runnable with the given priority. New jobs (and jobs
+  /// re-entering after pause/crash) join at the current virtual time.
+  void add(int job, Priority priority);
+
+  /// Removes `job` from the runnable set (terminal, paused, cancelled).
+  /// Its pass value is forgotten.
+  void remove(int job);
+
+  bool has_runnable() const { return !runnable_.empty(); }
+  int runnable_count() const { return static_cast<int>(runnable_.size()); }
+
+  /// Picks the runnable job with the smallest (pass, id), removes it
+  /// from the runnable set and returns it; std::nullopt when empty. The
+  /// caller runs one quantum and then requeue()s it.
+  std::optional<int> pick();
+
+  /// Re-enters a picked job, charged `quanta` quanta at its weight.
+  void requeue(int job, int quanta = 1);
+
+  /// Current pass value (introspection / tests); 0 if unknown.
+  std::int64_t pass_of(int job) const;
+
+  std::vector<int> runnable_jobs() const;
+
+ private:
+  struct Entry {
+    std::int64_t pass = 0;
+    std::int64_t stride = kStrideOne;
+    bool runnable = false;
+  };
+  std::int64_t min_runnable_pass() const;
+
+  std::map<int, Entry> entries_;  // picked-but-not-requeued jobs included
+  std::map<int, Entry*> runnable_;
+};
+
+}  // namespace anton::jobs

@@ -6,34 +6,42 @@
 
 namespace anton::obs {
 
-MetricsRegistry::MetricsRegistry(int lanes) {
+MetricsRegistry::MetricsRegistry(int lanes, std::string prefix)
+    : prefix_(std::move(prefix)) {
   if (lanes < 1) lanes = 1;
   shards_.resize(lanes);
 }
 
+std::string MetricsRegistry::qualify(const std::string& name) const {
+  return prefix_.empty() ? name : prefix_ + name;
+}
+
 int MetricsRegistry::counter(const std::string& name) {
+  const std::string full = qualify(name);
   for (std::size_t i = 0; i < counters_.size(); ++i)
-    if (counters_[i].name == name) return static_cast<int>(i);
-  counters_.push_back({name, 0});
+    if (counters_[i].name == full) return static_cast<int>(i);
+  counters_.push_back({full, 0});
   for (auto& shard : shards_) shard.push_back(0);
   return static_cast<int>(counters_.size()) - 1;
 }
 
 int MetricsRegistry::gauge(const std::string& name) {
+  const std::string full = qualify(name);
   for (std::size_t i = 0; i < gauges_.size(); ++i)
-    if (gauges_[i].name == name) return static_cast<int>(i);
-  gauges_.push_back({name, 0.0});
+    if (gauges_[i].name == full) return static_cast<int>(i);
+  gauges_.push_back({full, 0.0});
   return static_cast<int>(gauges_.size()) - 1;
 }
 
 int MetricsRegistry::histogram(const std::string& name,
                                std::vector<double> bounds) {
+  const std::string full = qualify(name);
   for (std::size_t i = 0; i < histograms_.size(); ++i)
-    if (histograms_[i].name == name) return static_cast<int>(i);
+    if (histograms_[i].name == full) return static_cast<int>(i);
   if (!std::is_sorted(bounds.begin(), bounds.end()))
     throw std::invalid_argument("histogram bounds must be ascending");
   Histogram h;
-  h.name = name;
+  h.name = full;
   h.data.bounds = std::move(bounds);
   h.data.counts.assign(h.data.bounds.size() + 1, 0);
   histograms_.push_back(std::move(h));
@@ -59,8 +67,9 @@ void MetricsRegistry::flush() {
 }
 
 std::int64_t MetricsRegistry::counter_by_name(const std::string& name) const {
+  const std::string full = qualify(name);
   for (const Counter& c : counters_)
-    if (c.name == name) return c.total;
+    if (c.name == full || c.name == name) return c.total;
   throw std::out_of_range("no counter named " + name);
 }
 

@@ -32,10 +32,15 @@ struct HistogramData {
 class MetricsRegistry {
  public:
   /// `lanes` must cover every lane id that will write counters (the
-  /// engine's thread-pool lane count).
-  explicit MetricsRegistry(int lanes = 1);
+  /// engine's thread-pool lane count). A non-empty `prefix` namespaces
+  /// the registry: every registered name is stored (and reported) as
+  /// `prefix + name`, so per-tenant registries publish isolated
+  /// namespaces like `job.3.engine.steps` while instrumented code keeps
+  /// registering plain names. Readout by name accepts either form.
+  explicit MetricsRegistry(int lanes = 1, std::string prefix = "");
 
   int lanes() const { return static_cast<int>(shards_.size()); }
+  const std::string& prefix() const { return prefix_; }
 
   // --- registration (serial phase only; idempotent by name) ---
   int counter(const std::string& name);
@@ -84,6 +89,9 @@ class MetricsRegistry {
     HistogramData data;
   };
 
+  std::string qualify(const std::string& name) const;
+
+  std::string prefix_;
   std::vector<Counter> counters_;
   std::vector<Gauge> gauges_;
   std::vector<Histogram> histograms_;

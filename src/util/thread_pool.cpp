@@ -9,13 +9,24 @@ namespace {
 // used to run nested submits inline instead of deadlocking on the
 // fork-join barrier.
 thread_local bool tls_in_lane = false;
+
+// Runs one lane body, capturing its exception into the fork's slot.
+void run_lane_body(const std::function<void(int)>& fn, int lane,
+                   std::exception_ptr& slot) {
+  tls_in_lane = true;
+  try {
+    fn(lane);
+  } catch (...) {
+    slot = std::current_exception();
+  }
+  tls_in_lane = false;
+}
 }  // namespace
 
 ThreadPool::ThreadPool(int nthreads) : nlanes_(std::max(1, nthreads)) {
-  errors_.assign(nlanes_, nullptr);
   workers_.reserve(nlanes_ - 1);
-  for (int lane = 1; lane < nlanes_; ++lane)
-    workers_.emplace_back([this, lane] { worker_loop(lane); });
+  for (int i = 1; i < nlanes_; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -23,76 +34,91 @@ ThreadPool::~ThreadPool() {
     std::lock_guard<std::mutex> lk(mu_);
     stop_ = true;
   }
-  cv_start_.notify_all();
+  cv_work_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop(int lane) {
+void ThreadPool::worker_loop() {
   std::unique_lock<std::mutex> lk(mu_);
-  std::uint64_t seen = 0;
   for (;;) {
-    cv_start_.wait(lk, [&] { return stop_ || generation_ != seen; });
+    cv_work_.wait(lk, [&] { return stop_ || !queue_.empty(); });
     if (stop_) return;
-    seen = generation_;
-    const auto* job = job_;
+    auto [fork, lane] = queue_.front();
+    queue_.pop_front();
     lk.unlock();
     std::exception_ptr err;
-    tls_in_lane = true;
-    try {
-      (*job)(lane);
-    } catch (...) {
-      err = std::current_exception();
-    }
-    tls_in_lane = false;
+    run_lane_body(*fork->fn, lane, err);
     lk.lock();
-    errors_[lane] = err;
-    if (--pending_ == 0) cv_done_.notify_one();
+    fork->errors[lane] = err;
+    if (--fork->pending == 0) fork->done.notify_all();
   }
 }
 
-void ThreadPool::run_lanes(const std::function<void(int)>& fn) {
-  if (nlanes_ == 1 || tls_in_lane) {
-    // Single lane, or a nested submit from inside a lane body: execute
-    // every lane inline on this thread. The order-invariant accumulation
-    // contract makes the result identical to the threaded execution.
-    std::exception_ptr first;
-    for (int lane = 0; lane < nlanes_; ++lane) {
-      try {
-        fn(lane);
-      } catch (...) {
-        if (!first) first = std::current_exception();
-      }
+void ThreadPool::execute_inline(const std::function<void(int)>& fn,
+                                int nlanes) {
+  // Single lane, or a nested submit from inside a lane body: execute
+  // every lane inline on this thread. The order-invariant accumulation
+  // contract makes the result identical to the threaded execution.
+  std::exception_ptr first;
+  for (int lane = 0; lane < nlanes; ++lane) {
+    const bool saved = tls_in_lane;
+    tls_in_lane = true;
+    try {
+      fn(lane);
+    } catch (...) {
+      if (!first) first = std::current_exception();
     }
-    if (first) std::rethrow_exception(first);
+    tls_in_lane = saved;
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+void ThreadPool::run_fork(const std::function<void(int)>& fn, int nlanes) {
+  if (nlanes <= 1 || tls_in_lane) {
+    execute_inline(fn, nlanes);
     return;
   }
 
+  Fork fork;
+  fork.fn = &fn;
+  fork.pending = nlanes - 1;
+  fork.errors.assign(nlanes, nullptr);
   {
     std::lock_guard<std::mutex> lk(mu_);
-    std::fill(errors_.begin(), errors_.end(), nullptr);
-    job_ = &fn;
-    pending_ = nlanes_ - 1;
-    ++generation_;
+    for (int lane = 1; lane < nlanes; ++lane) queue_.emplace_back(&fork, lane);
   }
-  cv_start_.notify_all();
+  cv_work_.notify_all();
 
-  std::exception_ptr err0;
-  tls_in_lane = true;
-  try {
-    fn(0);
-  } catch (...) {
-    err0 = std::current_exception();
-  }
-  tls_in_lane = false;
+  run_lane_body(fn, 0, fork.errors[0]);
 
   std::unique_lock<std::mutex> lk(mu_);
-  cv_done_.wait(lk, [&] { return pending_ == 0; });
-  job_ = nullptr;
-  errors_[0] = err0;
+  // Help drain this fork's still-queued lanes while waiting: keeps the
+  // caller busy when all workers are serving other groups, and makes
+  // progress possible even if every worker is blocked elsewhere.
+  for (;;) {
+    auto it = std::find_if(queue_.begin(), queue_.end(),
+                           [&](const auto& e) { return e.first == &fork; });
+    if (it == queue_.end()) break;  // drained; lanes never requeue
+    const int lane = it->second;
+    queue_.erase(it);
+    lk.unlock();
+    std::exception_ptr err;
+    run_lane_body(fn, lane, err);
+    lk.lock();
+    fork.errors[lane] = err;
+    --fork.pending;
+  }
+  fork.done.wait(lk, [&] { return fork.pending == 0; });
+  lk.unlock();
+
   // Deterministic propagation: the lowest faulting lane wins, independent
   // of which lane hit its exception first in wall-clock time.
-  for (int lane = 0; lane < nlanes_; ++lane)
-    if (errors_[lane]) std::rethrow_exception(errors_[lane]);
+  for (int lane = 0; lane < nlanes; ++lane)
+    if (fork.errors[lane]) std::rethrow_exception(fork.errors[lane]);
+}
+
+void ThreadPool::run_lanes(const std::function<void(int)>& fn) {
+  run_fork(fn, nlanes_);
 }
 
 void ThreadPool::parallel_for(
@@ -114,6 +140,28 @@ std::pair<std::int64_t, std::int64_t> ThreadPool::partition(std::int64_t n,
       lane * chunk + std::min<std::int64_t>(lane, rem);
   const std::int64_t end = begin + chunk + (lane < rem ? 1 : 0);
   return {begin, end};
+}
+
+ThreadPool::TaskGroup ThreadPool::group(int budget) {
+  return TaskGroup(this, std::clamp(budget, 1, nlanes_));
+}
+
+void ThreadPool::TaskGroup::run_lanes(const std::function<void(int)>& fn) {
+  if (!pool_) {
+    ThreadPool::execute_inline(fn, budget_);
+    return;
+  }
+  pool_->run_fork(fn, budget_);
+}
+
+void ThreadPool::TaskGroup::parallel_for(
+    std::int64_t n,
+    const std::function<void(int, std::int64_t, std::int64_t)>& body) {
+  if (n <= 0) return;
+  run_lanes([&](int lane) {
+    const auto [begin, end] = partition(n, budget_, lane);
+    if (begin < end) body(lane, begin, end);
+  });
 }
 
 }  // namespace anton::util

@@ -1,4 +1,4 @@
-// Deterministic fork-join thread pool.
+// Deterministic fork-join thread pool with budgeted task groups.
 //
 // The engine's parallelism contract (Section 4 of the paper) is that the
 // *results* of a parallel pass are bitwise independent of how the work is
@@ -9,9 +9,25 @@
 // that per-lane intermediate state (shards, counters) is reproducible
 // run-to-run, which makes failures debuggable.
 //
-// Structure: a pool of `lanes() - 1` worker threads plus the calling
-// thread, which participates as lane 0. run_lanes(fn) invokes fn(lane)
-// once per lane and blocks until all lanes finish (a fork-join barrier).
+// Structure: the pool owns `lanes() - 1` worker threads servicing one
+// shared task queue. A fork-join invocation (run_lanes) enqueues its
+// lanes 1..k-1 onto the queue, executes lane 0 on the calling thread,
+// then helps drain its own remaining lanes before blocking on the join
+// barrier. Because which OS thread executes a lane is unobservable (the
+// order-invariance contract above), this queueing design is bitwise
+// identical to a dedicated fork-join pool -- and it additionally allows
+// *several* fork-join callers to share the workers concurrently.
+//
+// That concurrent sharing is packaged as TaskGroup: a budgeted view of
+// the pool with its own lane count (`budget`). Independent callers (the
+// job runtime's executors, each driving its own engine) hold independent
+// TaskGroups and fork-join through them simultaneously; a group's lanes
+// beyond the caller's own thread are serviced by whichever workers are
+// free, so a group can never consume more than `budget` threads at once
+// -- the per-job thread cap the fair scheduler relies on. Lane bodies
+// never block on the queue, so barriers cannot deadlock: every queued
+// lane is eventually run by a worker or by its own waiting caller.
+//
 // Exceptions thrown by lane bodies are captured per lane and the
 // lowest-lane exception is rethrown -- a deterministic choice no matter
 // which lane faulted first in wall-clock time.
@@ -23,6 +39,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -64,19 +81,59 @@ class ThreadPool {
                                                          int nlanes,
                                                          int lane);
 
+  /// A budgeted fork-join view of the pool: lanes() == budget, and
+  /// run_lanes/parallel_for behave exactly like a dedicated
+  /// ThreadPool(budget) -- bitwise identical results -- while borrowing
+  /// at most budget - 1 of the shared workers per invocation. Groups are
+  /// cheap value handles; independent groups may fork-join concurrently
+  /// from different threads. A default-constructed group is a 1-lane
+  /// inline executor (no pool attached).
+  class TaskGroup {
+   public:
+    TaskGroup() = default;
+
+    int lanes() const { return budget_; }
+
+    /// Runs fn(lane) for every lane in [0, budget) and waits; lane 0 on
+    /// the calling thread, the rest on shared workers (or inline, helped
+    /// by the caller while it waits). Lowest-lane exception rethrown.
+    void run_lanes(const std::function<void(int)>& fn);
+
+    /// Static block partition of [0, n) over this group's budget lanes.
+    void parallel_for(
+        std::int64_t n,
+        const std::function<void(int, std::int64_t, std::int64_t)>& body);
+
+   private:
+    friend class ThreadPool;
+    TaskGroup(ThreadPool* pool, int budget) : pool_(pool), budget_(budget) {}
+    ThreadPool* pool_ = nullptr;  // nullptr -> inline execution
+    int budget_ = 1;
+  };
+
+  /// A budgeted view of this pool; budget is clamped to [1, lanes()].
+  TaskGroup group(int budget);
+
  private:
-  void worker_loop(int lane);
+  /// Join state for one in-flight fork (one run_lanes invocation).
+  struct Fork {
+    const std::function<void(int)>* fn = nullptr;
+    int pending = 0;  // lanes enqueued or running, not yet finished
+    std::vector<std::exception_ptr> errors;
+    std::condition_variable done;
+  };
+
+  void worker_loop();
+  void run_fork(const std::function<void(int)>& fn, int nlanes);
+  static void execute_inline(const std::function<void(int)>& fn, int nlanes);
 
   int nlanes_;
   std::vector<std::thread> workers_;
 
   std::mutex mu_;
-  std::condition_variable cv_start_, cv_done_;
-  const std::function<void(int)>* job_ = nullptr;  // valid while pending_ > 0
-  std::uint64_t generation_ = 0;
-  int pending_ = 0;
+  std::condition_variable cv_work_;
+  std::deque<std::pair<Fork*, int>> queue_;  // (fork, lane)
   bool stop_ = false;
-  std::vector<std::exception_ptr> errors_;
 };
 
 }  // namespace anton::util

@@ -23,6 +23,7 @@
 #include "parallel/fault.hpp"
 #include "parallel/virtual_machine.hpp"
 #include "sysgen/systems.hpp"
+#include "test_tmp.hpp"
 #include "util/rng.hpp"
 
 using anton::System;
@@ -460,10 +461,6 @@ TEST(FaultToleranceVm, ExternalSigkillRecoversBitwise) {
 
 namespace {
 
-std::string torture_path(const char* name) {
-  return (std::filesystem::temp_directory_path() / name).string();
-}
-
 std::vector<char> file_bytes(const std::string& path) {
   std::ifstream f(path, std::ios::binary);
   return std::vector<char>(std::istreambuf_iterator<char>(f),
@@ -489,8 +486,9 @@ TEST(CheckpointTorture, EveryTruncationThrowsCleanly) {
                             static_cast<std::int64_t>(rng()),
                             static_cast<std::int64_t>(rng())});
   }
-  const std::string good = torture_path("anton_torture_good.ckpt");
-  const std::string bad = torture_path("anton_torture_bad.ckpt");
+  anton::testing::TempDir tmp;
+  const std::string good = tmp.file("torture_good.ckpt");
+  const std::string bad = tmp.file("torture_bad.ckpt");
   c.save(good);
   const std::vector<char> bytes = file_bytes(good);
   ASSERT_GT(bytes.size(), 0u);
@@ -502,8 +500,6 @@ TEST(CheckpointTorture, EveryTruncationThrowsCleanly) {
     EXPECT_THROW(anton::io::Checkpoint::load(bad), std::runtime_error)
         << "truncated at byte " << len;
   }
-  std::remove(good.c_str());
-  std::remove(bad.c_str());
 }
 
 TEST(CheckpointTorture, EveryByteFlipThrowsCleanly) {
@@ -518,8 +514,9 @@ TEST(CheckpointTorture, EveryByteFlipThrowsCleanly) {
                             static_cast<std::int64_t>(rng()),
                             static_cast<std::int64_t>(rng())});
   }
-  const std::string good = torture_path("anton_flip_good.ckpt");
-  const std::string bad = torture_path("anton_flip_bad.ckpt");
+  anton::testing::TempDir tmp;
+  const std::string good = tmp.file("flip_good.ckpt");
+  const std::string bad = tmp.file("flip_bad.ckpt");
   c.save(good);
   const std::vector<char> bytes = file_bytes(good);
   // The CRC covers step, count and payload; magic/version are validated
@@ -532,8 +529,6 @@ TEST(CheckpointTorture, EveryByteFlipThrowsCleanly) {
     EXPECT_THROW(anton::io::Checkpoint::load(bad), std::runtime_error)
         << "flipped byte " << off;
   }
-  std::remove(good.c_str());
-  std::remove(bad.c_str());
 }
 
 TEST(CheckpointTorture, HugeCountHeaderThrowsWithoutAllocating) {
@@ -543,7 +538,8 @@ TEST(CheckpointTorture, HugeCountHeaderThrowsWithoutAllocating) {
   c.step = 1;
   c.positions.push_back({1, 2, 3});
   c.velocities.push_back({4, 5, 6});
-  const std::string path = torture_path("anton_torture_huge.ckpt");
+  anton::testing::TempDir tmp;
+  const std::string path = tmp.file("torture_huge.ckpt");
   c.save(path);
   std::vector<char> bytes = file_bytes(path);
   // Header layout: magic(4) | version(4) | step(8) | n(8) | crc(4).
@@ -551,5 +547,4 @@ TEST(CheckpointTorture, HugeCountHeaderThrowsWithoutAllocating) {
   std::memcpy(bytes.data() + 16, &huge, sizeof huge);
   write_bytes(path, bytes);
   EXPECT_THROW(anton::io::Checkpoint::load(path), std::runtime_error);
-  std::remove(path.c_str());
 }

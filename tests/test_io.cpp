@@ -11,6 +11,7 @@
 
 #include "io/crc32.hpp"
 #include "io/io.hpp"
+#include "test_tmp.hpp"
 #include "util/rng.hpp"
 
 using anton::Vec3d;
@@ -60,13 +61,11 @@ TEST(Checkpoint, RoundTripIsBitExact) {
                             static_cast<std::int64_t>(rng()),
                             static_cast<std::int64_t>(rng())});
   }
-  const std::string path =
-      (std::filesystem::temp_directory_path() / "anton_ckpt_test.bin")
-          .string();
+  anton::testing::TempDir tmp;
+  const std::string path = tmp.file("ckpt_test.bin");
   c.save(path);
   const io::Checkpoint back = io::Checkpoint::load(path);
   EXPECT_EQ(back, c);
-  std::remove(path.c_str());
 }
 
 TEST(Checkpoint, FileBytesAreTheDocumentedLittleEndianLayout) {
@@ -80,16 +79,14 @@ TEST(Checkpoint, FileBytesAreTheDocumentedLittleEndianLayout) {
   c.step = 0x0102030405060708LL;
   c.positions.push_back({1, -2, 3});
   c.velocities.push_back({4, -5, 6});
-  const std::string path =
-      (std::filesystem::temp_directory_path() / "anton_ckpt_layout.bin")
-          .string();
+  anton::testing::TempDir tmp;
+  const std::string path = tmp.file("ckpt_layout.bin");
   c.save(path);
 
   std::ifstream in(path, std::ios::binary);
   const std::vector<unsigned char> got(
       (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
   in.close();
-  std::remove(path.c_str());
 
   std::vector<unsigned char> want = {
       0x4e, 0x54, 0x4e, 0x41,  // magic 0x414e544e "ANTN"
@@ -145,9 +142,8 @@ TEST(Csv, RowRestoresStreamPrecision) {
 }
 
 TEST(Checkpoint, SaveIsAtomicNoTempResidue) {
-  const std::string path =
-      (std::filesystem::temp_directory_path() / "anton_ckpt_atomic.bin")
-          .string();
+  anton::testing::TempDir tmp;
+  const std::string path = tmp.file("ckpt_atomic.bin");
   io::Checkpoint c;
   c.step = 7;
   c.positions.push_back({1, 2, 3});
@@ -159,19 +155,16 @@ TEST(Checkpoint, SaveIsAtomicNoTempResidue) {
   c.save(path);
   EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
   EXPECT_EQ(io::Checkpoint::load(path).step, 8);
-  std::remove(path.c_str());
 }
 
 TEST(Checkpoint, RejectsCorruptFile) {
-  const std::string path =
-      (std::filesystem::temp_directory_path() / "anton_ckpt_bad.bin")
-          .string();
+  anton::testing::TempDir tmp;
+  const std::string path = tmp.file("ckpt_bad.bin");
   {
     std::ofstream f(path, std::ios::binary);
     f << "garbage";
   }
   EXPECT_THROW(io::Checkpoint::load(path), std::runtime_error);
-  std::remove(path.c_str());
 }
 
 TEST(Checkpoint, RejectsMissingFile) {

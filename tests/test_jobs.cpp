@@ -1,0 +1,611 @@
+// The multi-tenant job runtime: fair scheduling, tenant isolation,
+// crash recovery and ensembles.
+//
+// The load-bearing assertions are the determinism ones: a job's
+// trajectory must be bitwise identical to running its spec alone
+// (neighbors, budgets and scheduling interleavings must not leak into
+// the physics), and a killed job must resume from its checkpoint into a
+// frame-for-frame identical trajectory. Both reduce to engine
+// invariants proven in earlier PRs (lane-count invariance, checkpoint
+// resume) -- these tests assert the job runtime preserves them at fleet
+// level.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "golden_common.hpp"
+#include "io/trajectory.hpp"
+#include "jobs/job_manager.hpp"
+#include "jobs/scheduler.hpp"
+#include "test_tmp.hpp"
+
+using anton::System;
+using anton::Vec3i;
+using anton::core::Simulation;
+using anton::core::SimulationConfig;
+using anton::jobs::EnsembleSpec;
+using anton::jobs::FairScheduler;
+using anton::jobs::JobId;
+using anton::jobs::JobInfo;
+using anton::jobs::JobManager;
+using anton::jobs::JobSpec;
+using anton::jobs::JobStatus;
+using anton::jobs::Priority;
+using anton::jobs::RuntimeConfig;
+using anton::testing::TempDir;
+
+namespace {
+
+// The small test scenario most runtime tests use (the same system as
+// test_simulation's small_system, expressed declaratively).
+JobSpec small_job(std::uint64_t seed, int cycles) {
+  JobSpec s;
+  s.name = "small-" + std::to_string(seed);
+  s.scenario.kind = "test";
+  s.scenario.n_waters = 60;
+  s.scenario.side = 13.0;
+  s.scenario.seed = seed;
+  s.scenario.constrained = true;
+  s.scenario.protein_atoms = 12;
+  s.engine.sim.cutoff = 6.0;
+  s.engine.sim.mesh = 16;
+  s.engine.node_grid = {2, 2, 2};
+  s.cycles = cycles;
+  return s;
+}
+
+// Runs the same spec as a solo, single-owner Simulation and returns
+// (final hash, frames). This is the reference every managed job is
+// compared against.
+std::pair<std::uint64_t,
+          std::vector<std::pair<std::int64_t, std::vector<Vec3i>>>>
+run_solo(const JobSpec& spec, const std::string& dir) {
+  SimulationConfig cfg;
+  cfg.engine = spec.engine;
+  cfg.trajectory_every = spec.trajectory_every;
+  cfg.trajectory_path = dir + "/solo.antj";
+  cfg.checkpoint_every = 0;  // the reference run never restarts
+  std::uint64_t hash = 0;
+  {
+    // Scoped: the TrajectoryWriter must flush before we read back.
+    Simulation sim(anton::jobs::build_system(spec.scenario), cfg);
+    sim.run_cycles(spec.cycles);
+    hash = sim.engine().state_hash();
+  }
+  std::vector<std::pair<std::int64_t, std::vector<Vec3i>>> frames;
+  if (spec.trajectory_every > 0) {
+    anton::io::TrajectoryReader r(cfg.trajectory_path);
+    std::int64_t step = 0;
+    std::vector<Vec3i> pos;
+    while (r.next(step, pos)) frames.emplace_back(step, pos);
+  }
+  return {hash, std::move(frames)};
+}
+
+void expect_same_frames(
+    const std::vector<std::pair<std::int64_t, std::vector<Vec3i>>>& got,
+    const std::vector<std::pair<std::int64_t, std::vector<Vec3i>>>& want,
+    const std::string& what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t f = 0; f < got.size(); ++f) {
+    EXPECT_EQ(got[f].first, want[f].first) << what << " frame " << f;
+    ASSERT_EQ(got[f].second.size(), want[f].second.size())
+        << what << " frame " << f;
+    for (std::size_t i = 0; i < got[f].second.size(); ++i)
+      ASSERT_EQ(got[f].second[i], want[f].second[i])
+          << what << " frame " << f << " atom " << i;
+  }
+}
+
+// Waits (bounded) until pred() holds; returns whether it did.
+template <typename Pred>
+bool wait_until(Pred pred, int timeout_ms = 60000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// FairScheduler units (pure state machine; no engine, no threads).
+// ---------------------------------------------------------------------
+
+TEST(JobsScheduler, EqualWeightsInterleaveRoundRobin) {
+  FairScheduler s;
+  s.add(0, Priority::kNormal);
+  s.add(1, Priority::kNormal);
+  s.add(2, Priority::kNormal);
+  std::vector<int> order;
+  for (int q = 0; q < 9; ++q) {
+    auto j = s.pick();
+    ASSERT_TRUE(j.has_value());
+    order.push_back(*j);
+    s.requeue(*j);
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 0, 1, 2, 0, 1, 2}));
+}
+
+TEST(JobsScheduler, SharesConvergeToPriorityWeights) {
+  // low : normal : high = 1 : 2 : 4. Over 70 quanta (10 full rounds of
+  // the 1+2+4 pattern) the shares are exact.
+  FairScheduler s;
+  s.add(0, Priority::kLow);
+  s.add(1, Priority::kNormal);
+  s.add(2, Priority::kHigh);
+  std::map<int, int> runs;
+  for (int q = 0; q < 70; ++q) {
+    auto j = s.pick();
+    ASSERT_TRUE(j.has_value());
+    ++runs[*j];
+    s.requeue(*j);
+  }
+  EXPECT_EQ(runs[0], 10);
+  EXPECT_EQ(runs[1], 20);
+  EXPECT_EQ(runs[2], 40);
+}
+
+TEST(JobsScheduler, LateJoinerEntersAtCurrentVirtualTime) {
+  // A job submitted after the others have run for a while must not get
+  // to "pay back" virtual time it never consumed: it joins at the
+  // current minimum pass and from then on shares fairly.
+  FairScheduler s;
+  s.add(0, Priority::kNormal);
+  s.add(1, Priority::kNormal);
+  for (int q = 0; q < 20; ++q) {
+    auto j = s.pick();
+    ASSERT_TRUE(j.has_value());
+    s.requeue(*j);
+  }
+  s.add(2, Priority::kNormal);
+  EXPECT_GE(s.pass_of(2), std::min(s.pass_of(0), s.pass_of(1)));
+  std::map<int, int> runs;
+  for (int q = 0; q < 30; ++q) {
+    auto j = s.pick();
+    ASSERT_TRUE(j.has_value());
+    ++runs[*j];
+    s.requeue(*j);
+  }
+  EXPECT_EQ(runs[2], 10);  // exactly a 1/3 share, no catch-up burst
+}
+
+TEST(JobsScheduler, PickRemovesUntilRequeue) {
+  FairScheduler s;
+  s.add(7, Priority::kNormal);
+  auto j = s.pick();
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(*j, 7);
+  EXPECT_FALSE(s.has_runnable());     // picked jobs are off the queue...
+  EXPECT_FALSE(s.pick().has_value());
+  s.requeue(7);
+  EXPECT_TRUE(s.has_runnable());      // ...until the quantum is charged
+  EXPECT_EQ(s.pass_of(7), FairScheduler::kStrideOne / 2);  // weight 2
+}
+
+TEST(JobsScheduler, RemoveForgetsJob) {
+  FairScheduler s;
+  s.add(0, Priority::kNormal);
+  s.add(1, Priority::kNormal);
+  s.remove(0);
+  EXPECT_EQ(s.runnable_count(), 1);
+  auto j = s.pick();
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(*j, 1);
+  EXPECT_EQ(s.pass_of(0), 0);
+}
+
+// ---------------------------------------------------------------------
+// Runtime integration.
+// ---------------------------------------------------------------------
+
+TEST(JobsRuntime, SixteenConcurrentJobsMatchSoloRunsBitwise) {
+  // The headline acceptance test: 16 single-threaded tenants packed
+  // onto an 8-lane pool, all running concurrently, and every one of
+  // them produces the trajectory it would have produced alone.
+  TempDir tmp;
+  const int kJobs = 16, kCycles = 6;
+
+  RuntimeConfig rc;
+  rc.threads = 8;
+  rc.executors = 8;
+  rc.root_dir = tmp.file("fleet");
+  JobManager mgr(rc);
+
+  std::vector<JobId> ids;
+  for (int i = 0; i < kJobs; ++i) {
+    JobSpec s = small_job(/*seed=*/100 + i, kCycles);
+    s.trajectory_every = 2;  // inner steps
+    ids.push_back(mgr.submit(s));
+  }
+  for (JobId id : ids) {
+    const JobInfo fi = mgr.await(id);
+    EXPECT_EQ(fi.status, JobStatus::kDone) << fi.error;
+    EXPECT_EQ(fi.cycles_done, kCycles);
+  }
+
+  for (int i = 0; i < kJobs; ++i) {
+    JobSpec s = small_job(100 + i, kCycles);
+    s.trajectory_every = 2;
+    const auto [solo_hash, solo_frames] = run_solo(s, tmp.str());
+    const JobInfo fi = mgr.info(ids[i]);
+    EXPECT_EQ(fi.final_hash, solo_hash) << "job " << i;
+    expect_same_frames(mgr.stitched_frames(ids[i]), solo_frames,
+                       "job " + std::to_string(i));
+  }
+
+  // Distinct seeds are distinct systems: the 16 hashes must differ
+  // (guards against jobs silently sharing state).
+  std::set<std::uint64_t> hashes;
+  for (JobId id : ids) hashes.insert(mgr.info(id).final_hash);
+  EXPECT_EQ(hashes.size(), static_cast<std::size_t>(kJobs));
+}
+
+namespace {
+// "steps N hash HEX" lines, as committed by scripts/regen_golden.sh.
+std::map<int, std::uint64_t> load_golden_fixture(const std::string& name) {
+  const std::string path =
+      std::string(ANTON_GOLDEN_DIR) + "/" + name + ".txt";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::map<int, std::uint64_t> fx;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string kw_steps, kw_hash, hex;
+    int steps = 0;
+    ls >> kw_steps >> steps >> kw_hash >> hex;
+    if (kw_steps == "steps" && kw_hash == "hash" && !hex.empty())
+      fx[steps] = std::stoull(hex, nullptr, 16);
+  }
+  return fx;
+}
+}  // namespace
+
+TEST(JobsRuntime, NoisyNeighborsDoNotPerturbGoldenTrajectory) {
+  // Determinism audit against the committed golden fixture: the
+  // peptide_solvated trajectory run as a managed job, with seven noisy
+  // neighbor jobs churning on the same pool, must land on the same
+  // fixture hash as the solo single-owner engine run does.
+  const auto fixture = load_golden_fixture("peptide_solvated");
+  ASSERT_TRUE(fixture.count(32));
+
+  TempDir tmp;
+  RuntimeConfig rc;
+  rc.threads = 8;
+  rc.executors = 4;
+  rc.default_quantum = 2;
+  rc.root_dir = tmp.file("fleet");
+  JobManager mgr(rc);
+
+  JobSpec golden;
+  golden.name = "golden";
+  golden.scenario.kind = "test";
+  golden.scenario.n_waters = 70;
+  golden.scenario.side = 14.0;
+  golden.scenario.seed = 1234;
+  golden.scenario.constrained = true;
+  golden.scenario.protein_atoms = 20;
+  golden.engine = anton::golden::golden_config({2, 2, 2}, /*nthreads=*/1);
+  golden.cycles = 32;  // long_range_every == 1: cycles == inner steps
+  golden.thread_budget = 4;
+
+  std::vector<JobId> neighbors;
+  for (int i = 0; i < 7; ++i) {
+    JobSpec n = small_job(/*seed=*/900 + i, /*cycles=*/8);
+    n.thread_budget = 1 + i % 2;
+    n.priority = i % 2 ? Priority::kHigh : Priority::kLow;
+    neighbors.push_back(mgr.submit(n));
+  }
+  const JobId g = mgr.submit(golden);
+
+  const JobInfo fi = mgr.await(g);
+  EXPECT_EQ(fi.status, JobStatus::kDone) << fi.error;
+  EXPECT_EQ(fi.final_hash, fixture.at(32))
+      << "neighbors perturbed the golden trajectory";
+  for (JobId id : neighbors)
+    EXPECT_EQ(mgr.await(id).status, JobStatus::kDone);
+}
+
+TEST(JobsRuntime, KilledJobResumesBitwiseAndStitchesFrames) {
+  // Crash mid-run, recover from checkpoint v2, and the stitched
+  // trajectory is frame-for-frame the uninterrupted run.
+  TempDir tmp;
+  const int kCycles = 60;  // 120 inner steps: plenty of room to kill
+
+  JobSpec spec = small_job(/*seed=*/4242, kCycles);
+  spec.trajectory_every = 4;   // inner steps
+  spec.checkpoint_every = 8;   // inner steps
+  spec.quantum_cycles = 1;
+
+  RuntimeConfig rc;
+  rc.threads = 2;
+  rc.executors = 1;  // one executor: progress is easy to observe
+  rc.root_dir = tmp.file("fleet");
+  JobManager mgr(rc);
+  const JobId id = mgr.submit(spec);
+
+  // Let it make real progress (past at least one checkpoint), then
+  // pull the plug.
+  ASSERT_TRUE(wait_until([&] { return mgr.info(id).cycles_done >= 8; }));
+  ASSERT_TRUE(mgr.kill(id));
+
+  const JobInfo fi = mgr.await(id);
+  EXPECT_EQ(fi.status, JobStatus::kDone) << fi.error;
+  EXPECT_EQ(fi.cycles_done, kCycles);
+  EXPECT_GE(fi.restarts, 1);   // it really did die...
+  EXPECT_GE(fi.segments, 2);   // ...and wrote a second trajectory leg
+  EXPECT_NE(fi.error, "");
+
+  const auto [solo_hash, solo_frames] = run_solo(spec, tmp.str());
+  EXPECT_EQ(fi.final_hash, solo_hash);
+  expect_same_frames(mgr.stitched_frames(id), solo_frames, "stitched");
+}
+
+TEST(JobsRuntime, KillBeforeFirstCheckpointRestartsFromSpec) {
+  // A job killed before it ever checkpointed has no prefix to resume:
+  // the recovery sweep rebuilds the System from the declarative spec
+  // and the job still completes with the solo-run hash.
+  TempDir tmp;
+  JobSpec spec = small_job(/*seed=*/77, /*cycles=*/5);
+  spec.checkpoint_every = 1000;  // never reached
+
+  RuntimeConfig rc;
+  rc.threads = 2;
+  rc.executors = 1;
+  rc.root_dir = tmp.file("fleet");
+  JobManager mgr(rc);
+
+  const JobId id = mgr.submit(spec);
+  mgr.kill(id);  // lands at the first cycle boundary
+  const JobInfo fi = mgr.await(id);
+  EXPECT_EQ(fi.status, JobStatus::kDone) << fi.error;
+  EXPECT_GE(fi.restarts, 1);
+  EXPECT_EQ(fi.final_hash, run_solo(spec, tmp.str()).first);
+}
+
+TEST(JobsRuntime, CrashPastMaxRestartsFails) {
+  TempDir tmp;
+  RuntimeConfig rc;
+  rc.threads = 2;
+  rc.executors = 1;
+  rc.max_restarts = 0;
+  rc.root_dir = tmp.file("fleet");
+  JobManager mgr(rc);
+
+  const JobId id = mgr.submit(small_job(1, /*cycles=*/50));
+  mgr.kill(id);
+  const JobInfo fi = mgr.await(id);
+  EXPECT_EQ(fi.status, JobStatus::kFailed);
+  EXPECT_NE(fi.error, "");
+  EXPECT_LT(fi.cycles_done, 50);
+}
+
+TEST(JobsRuntime, ManualRecoverySweepWhenAutoRecoveryOff) {
+  TempDir tmp;
+  RuntimeConfig rc;
+  rc.threads = 2;
+  rc.executors = 1;
+  rc.recover_crashed = false;
+  rc.root_dir = tmp.file("fleet");
+  JobManager mgr(rc);
+
+  const JobId id = mgr.submit(small_job(5, /*cycles=*/20));
+  mgr.kill(id);
+  ASSERT_TRUE(wait_until(
+      [&] { return mgr.info(id).status == JobStatus::kCrashed; }));
+  EXPECT_EQ(mgr.recovery_sweep(), 1);
+  const JobInfo fi = mgr.await(id);
+  EXPECT_EQ(fi.status, JobStatus::kDone) << fi.error;
+  EXPECT_EQ(fi.restarts, 1);
+}
+
+TEST(JobsRuntime, PauseHoldsAndUnpauseCompletes) {
+  TempDir tmp;
+  RuntimeConfig rc;
+  rc.threads = 2;
+  rc.executors = 1;
+  rc.root_dir = tmp.file("fleet");
+  JobManager mgr(rc);
+
+  const JobId id = mgr.submit(small_job(9, /*cycles=*/6));
+  ASSERT_TRUE(mgr.pause(id));
+  ASSERT_TRUE(wait_until(
+      [&] { return mgr.info(id).status == JobStatus::kPaused; }));
+  const int held_at = mgr.info(id).cycles_done;
+  EXPECT_LT(held_at, 6);
+  // Paused jobs are invisible to await_all (it waits for queued/running
+  // work only) and to the executors.
+  mgr.await_all();
+  EXPECT_EQ(mgr.info(id).cycles_done, held_at);
+
+  ASSERT_TRUE(mgr.unpause(id));
+  const JobInfo fi = mgr.await(id);
+  EXPECT_EQ(fi.status, JobStatus::kDone) << fi.error;
+  EXPECT_EQ(fi.cycles_done, 6);
+  // Pause/unpause did not fork the physics.
+  EXPECT_EQ(fi.final_hash, run_solo(small_job(9, 6), tmp.str()).first);
+}
+
+TEST(JobsRuntime, CancelStopsAtCycleBoundary) {
+  TempDir tmp;
+  RuntimeConfig rc;
+  rc.threads = 2;
+  rc.executors = 1;
+  rc.root_dir = tmp.file("fleet");
+  JobManager mgr(rc);
+
+  // A long job that gets cancelled mid-run...
+  const JobId a = mgr.submit(small_job(11, /*cycles=*/500));
+  ASSERT_TRUE(wait_until([&] { return mgr.info(a).cycles_done >= 2; }));
+  ASSERT_TRUE(mgr.cancel(a));
+  const JobInfo fa = mgr.await(a);
+  EXPECT_EQ(fa.status, JobStatus::kCancelled);
+  EXPECT_LT(fa.cycles_done, 500);
+  // ...is terminal: control verbs refuse it from here on.
+  EXPECT_FALSE(mgr.cancel(a));
+  EXPECT_FALSE(mgr.pause(a));
+  EXPECT_FALSE(mgr.kill(a));
+
+  // A job cancelled right after submission never completes; jobs
+  // behind it in the queue are unaffected.
+  const JobId b = mgr.submit(small_job(12, /*cycles=*/500));
+  const JobId c = mgr.submit(small_job(13, /*cycles=*/2));
+  ASSERT_TRUE(mgr.cancel(b));
+  EXPECT_EQ(mgr.await(b).status, JobStatus::kCancelled);
+  EXPECT_EQ(mgr.await(c).status, JobStatus::kDone);
+}
+
+TEST(JobsRuntime, EnsembleRunsKSeededReplicas) {
+  TempDir tmp;
+  RuntimeConfig rc;
+  rc.threads = 4;
+  rc.executors = 4;
+  rc.root_dir = tmp.file("fleet");
+  JobManager mgr(rc);
+
+  EnsembleSpec ens;
+  ens.base = small_job(/*seed=*/0, /*cycles=*/3);
+  ens.base.name = "ens";
+  ens.seeds = {11, 22, 33, 44};
+  const std::vector<JobId> ids = mgr.submit_ensemble(ens);
+  ASSERT_EQ(ids.size(), 4u);
+  for (JobId id : ids) mgr.await(id);
+
+  const auto st = mgr.stats_for(ids);
+  EXPECT_EQ(st.replicas, 4);
+  EXPECT_EQ(st.completed, 4);
+  EXPECT_EQ(st.failed, 0);
+  EXPECT_EQ(st.cancelled, 0);
+  EXPECT_EQ(st.total_cycles, 12);
+  ASSERT_EQ(st.final_hashes.size(), 4u);
+  // Different seeds are different replicas: all hashes distinct.
+  std::set<std::uint64_t> uniq(st.final_hashes.begin(),
+                               st.final_hashes.end());
+  EXPECT_EQ(uniq.size(), 4u);
+  // Replica naming is deterministic: <base>/r<i> with seed seeds[i].
+  EXPECT_EQ(mgr.info(ids[0]).name, "ens/r0");
+  EXPECT_EQ(mgr.info(ids[3]).name, "ens/r3");
+  // Each replica matches its own solo run.
+  JobSpec solo = ens.base;
+  solo.scenario.seed = 22;
+  EXPECT_EQ(mgr.info(ids[1]).final_hash, run_solo(solo, tmp.str()).first);
+}
+
+TEST(JobsRuntime, MetricNamespacesAreIsolatedPerJob) {
+  TempDir tmp;
+  RuntimeConfig rc;
+  rc.threads = 2;
+  rc.executors = 2;
+  rc.root_dir = tmp.file("fleet");
+  JobManager mgr(rc);
+
+  const JobId a = mgr.submit(small_job(1, /*cycles=*/3));
+  const JobId b = mgr.submit(small_job(2, /*cycles=*/5));
+  mgr.await(a);
+  mgr.await(b);
+
+  std::map<std::string, std::int64_t> m;
+  for (const auto& kv : mgr.metrics()) m[kv.first] = kv.second;
+  // Fleet namespace.
+  EXPECT_EQ(m.at("jobs.submitted"), 2);
+  EXPECT_EQ(m.at("jobs.completed"), 2);
+  EXPECT_EQ(m.at("jobs.mts_cycles"), 8);
+  EXPECT_GE(m.at("jobs.quanta"), 8);
+  // Per-job namespaces: each tenant's engine counters live under
+  // job.<id>.* and count only that tenant's work (2 inner steps/cycle).
+  EXPECT_EQ(m.at("job." + std::to_string(a) + ".engine.steps"), 6);
+  EXPECT_EQ(m.at("job." + std::to_string(b) + ".engine.steps"), 10);
+  EXPECT_EQ(m.at("job." + std::to_string(a) + ".engine.mts_cycles"), 3);
+}
+
+TEST(JobsRuntime, OutputPathsAreIsolatedPerJobAndPerManager) {
+  // The checkpoint-collision regression: two tenants (or two managers)
+  // must never share a checkpoint or trajectory path.
+  TempDir tmp;
+  RuntimeConfig rc;
+  rc.threads = 2;
+  rc.executors = 2;
+  rc.root_dir = tmp.file("fleet");
+  JobManager mgr(rc);
+
+  JobSpec s1 = small_job(1, /*cycles=*/2);
+  s1.checkpoint_every = 2;
+  s1.trajectory_every = 2;
+  JobSpec s2 = small_job(2, /*cycles=*/2);
+  s2.checkpoint_every = 2;
+  s2.trajectory_every = 2;
+  const JobId a = mgr.submit(s1);
+  const JobId b = mgr.submit(s2);
+  mgr.await(a);
+  mgr.await(b);
+
+  EXPECT_NE(mgr.job_dir(a), mgr.job_dir(b));
+  EXPECT_NE(mgr.checkpoint_path(a), mgr.checkpoint_path(b));
+  EXPECT_TRUE(std::filesystem::exists(mgr.checkpoint_path(a)));
+  EXPECT_TRUE(std::filesystem::exists(mgr.checkpoint_path(b)));
+  EXPECT_TRUE(std::filesystem::exists(mgr.trajectory_path(a, 0)));
+
+  // Two managers with defaulted root_dir get distinct fresh roots.
+  JobManager m1, m2;
+  EXPECT_NE(m1.root_dir(), m2.root_dir());
+}
+
+TEST(JobsRuntime, IntrospectionTracksQueueAndProgress) {
+  TempDir tmp;
+  RuntimeConfig rc;
+  rc.threads = 2;
+  rc.executors = 1;
+  rc.root_dir = tmp.file("fleet");
+  JobManager mgr(rc);
+  EXPECT_EQ(mgr.jobs_total(), 0);
+
+  const JobId a = mgr.submit(small_job(1, /*cycles=*/3));
+  const JobId b = mgr.submit(small_job(2, /*cycles=*/3));
+  EXPECT_EQ(mgr.jobs_total(), 2);
+  EXPECT_THROW(mgr.info(99), std::out_of_range);
+
+  mgr.await(a);
+  mgr.await(b);
+  const auto prog = mgr.progress();
+  ASSERT_EQ(prog.size(), 2u);
+  EXPECT_EQ(prog[0], (std::pair<JobId, int>{a, 3}));
+  EXPECT_EQ(prog[1], (std::pair<JobId, int>{b, 3}));
+  EXPECT_TRUE(mgr.queued_jobs().empty());
+  EXPECT_TRUE(mgr.running_jobs().empty());
+}
+
+TEST(JobsRuntime, BudgetedJobMatchesSoloRunAcrossBudgets) {
+  // Lane-count invariance at fleet level: the same spec run with
+  // budgets 1, 2 and 3 lands on the same hash as the solo run.
+  TempDir tmp;
+  const auto [solo_hash, solo_frames] =
+      run_solo(small_job(31, /*cycles=*/4), tmp.str());
+  RuntimeConfig rc;
+  rc.threads = 4;
+  rc.executors = 2;
+  rc.root_dir = tmp.file("fleet");
+  JobManager mgr(rc);
+  for (int budget : {1, 2, 3}) {
+    JobSpec s = small_job(31, /*cycles=*/4);
+    s.thread_budget = budget;
+    const JobInfo fi = mgr.await(mgr.submit(s));
+    EXPECT_EQ(fi.status, JobStatus::kDone) << fi.error;
+    EXPECT_EQ(fi.final_hash, solo_hash) << "budget " << budget;
+  }
+}

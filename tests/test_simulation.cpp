@@ -1,24 +1,19 @@
 // The host-side simulation driver and the compressed trajectory format.
 #include <gtest/gtest.h>
 
-#include <cstdio>
-#include <filesystem>
-
 #include "core/simulation.hpp"
 #include "io/trajectory.hpp"
 #include "sysgen/systems.hpp"
+#include "test_tmp.hpp"
 #include "util/rng.hpp"
 
 using anton::System;
 using anton::Vec3i;
 using anton::core::Simulation;
 using anton::core::SimulationConfig;
+using anton::testing::TempDir;
 
 namespace {
-std::string tmp_path(const char* name) {
-  return (std::filesystem::temp_directory_path() / name).string();
-}
-
 System small_system() {
   return anton::sysgen::build_test_system(60, 13.0, 555, true, 12);
 }
@@ -40,7 +35,8 @@ TEST(Trajectory, RoundTripIsBitExact) {
   for (auto& p : cur)
     p = {static_cast<std::int32_t>(rng()), static_cast<std::int32_t>(rng()),
          static_cast<std::int32_t>(rng())};
-  const std::string path = tmp_path("anton_traj_test.antj");
+  TempDir tmp;
+  const std::string path = tmp.file("traj_test.antj");
   {
     anton::io::TrajectoryWriter w(path, natoms, /*keyframe_every=*/4);
     for (int f = 0; f < 12; ++f) {
@@ -66,7 +62,6 @@ TEST(Trajectory, RoundTripIsBitExact) {
       ASSERT_EQ(got[i], frames[f][i]) << "frame " << f << " atom " << i;
   }
   EXPECT_FALSE(r.next(step, got));
-  std::remove(path.c_str());
 }
 
 TEST(Trajectory, DeltaFramesCompress) {
@@ -78,7 +73,8 @@ TEST(Trajectory, DeltaFramesCompress) {
   for (auto& p : cur)
     p = {static_cast<std::int32_t>(rng()), static_cast<std::int32_t>(rng()),
          static_cast<std::int32_t>(rng())};
-  const std::string path = tmp_path("anton_traj_size.antj");
+  TempDir tmp;
+  const std::string path = tmp.file("traj_size.antj");
   std::int64_t keyframe_bytes = 0, delta_bytes = 0;
   {
     anton::io::TrajectoryWriter w(path, natoms, /*keyframe_every=*/1000);
@@ -95,16 +91,16 @@ TEST(Trajectory, DeltaFramesCompress) {
     delta_bytes = (w.bytes_written() - keyframe_bytes) / 8;
   }
   EXPECT_LT(delta_bytes, keyframe_bytes * 6 / 10);
-  std::remove(path.c_str());
 }
 
 TEST(Simulation, ResumeContinuesBitwise) {
   // The property that lets a millisecond run survive months of restarts:
   // checkpoint + resume == uninterrupted run, bit for bit.
+  TempDir tmp;
   const System sys = small_system();
   SimulationConfig cfg = config();
   cfg.checkpoint_every = 10;  // inner steps
-  cfg.checkpoint_path = tmp_path("anton_sim_test.ckpt");
+  cfg.checkpoint_path = tmp.file("sim_test.ckpt");
 
   // Uninterrupted run: 10 cycles (20 steps).
   Simulation full(sys, cfg);
@@ -127,7 +123,6 @@ TEST(Simulation, ResumeContinuesBitwise) {
   EXPECT_EQ(second.steps_done(), 20);
   // ...and the state picks up exactly where the checkpoint left off.
   EXPECT_EQ(second.engine().state_hash(), full_hash);
-  std::remove(cfg.checkpoint_path.c_str());
 }
 
 TEST(Simulation, ResumeRestoresOutputCursors) {
@@ -135,18 +130,19 @@ TEST(Simulation, ResumeRestoresOutputCursors) {
   // already wrote: the output cursors restart from Checkpoint::step, so
   // the resumed leg's trajectory holds exactly the post-restart frames
   // with continuous absolute step labels.
+  TempDir tmp;
   const System sys = small_system();
   SimulationConfig cfg = config();
   cfg.trajectory_every = 4;
-  cfg.trajectory_path = tmp_path("anton_sim_cursor_a.antj");
+  cfg.trajectory_path = tmp.file("sim_cursor_a.antj");
   cfg.checkpoint_every = 10;
-  cfg.checkpoint_path = tmp_path("anton_sim_cursor.ckpt");
+  cfg.checkpoint_path = tmp.file("sim_cursor.ckpt");
   {
     Simulation first(sys, cfg);
     first.run_cycles(5);  // 10 steps -> frames 4, 8; checkpoint at 10
   }
   SimulationConfig resumed_cfg = cfg;
-  resumed_cfg.trajectory_path = tmp_path("anton_sim_cursor_b.antj");
+  resumed_cfg.trajectory_path = tmp.file("sim_cursor_b.antj");
   {
     Simulation second =
         Simulation::resume(sys, resumed_cfg, cfg.checkpoint_path);
@@ -158,16 +154,14 @@ TEST(Simulation, ResumeRestoresOutputCursors) {
   std::vector<Vec3i> pos;
   while (r.next(step, pos)) steps.push_back(step);
   EXPECT_EQ(steps, (std::vector<std::int64_t>{12, 16, 20}));
-  std::remove(cfg.trajectory_path.c_str());
-  std::remove(resumed_cfg.trajectory_path.c_str());
-  std::remove(cfg.checkpoint_path.c_str());
 }
 
 TEST(Simulation, WritesTrajectoryFrames) {
+  TempDir tmp;
   const System sys = small_system();
   SimulationConfig cfg = config();
   cfg.trajectory_every = 4;
-  cfg.trajectory_path = tmp_path("anton_sim_traj.antj");
+  cfg.trajectory_path = tmp.file("sim_traj.antj");
   {
     Simulation sim(sys, cfg);
     sim.run_cycles(10);  // 20 inner steps -> frames at 4,8,12,16,20
@@ -178,7 +172,6 @@ TEST(Simulation, WritesTrajectoryFrames) {
   std::vector<Vec3i> pos;
   while (r.next(step, pos)) ++frames;
   EXPECT_EQ(frames, 5);
-  std::remove(cfg.trajectory_path.c_str());
 }
 
 TEST(Simulation, CallbackCanStopEarly) {
@@ -193,9 +186,10 @@ TEST(Simulation, CallbackCanStopEarly) {
 }
 
 TEST(Simulation, ResumeRejectsWrongSystem) {
+  TempDir tmp;
   const System sys = small_system();
   SimulationConfig cfg = config();
-  cfg.checkpoint_path = tmp_path("anton_sim_bad.ckpt");
+  cfg.checkpoint_path = tmp.file("sim_bad.ckpt");
   cfg.checkpoint_every = 2;
   {
     Simulation sim(sys, cfg);
@@ -204,5 +198,4 @@ TEST(Simulation, ResumeRejectsWrongSystem) {
   const System other = anton::sysgen::build_test_system(40, 12.0, 9, true, 6);
   EXPECT_THROW(Simulation::resume(other, cfg, cfg.checkpoint_path),
                std::runtime_error);
-  std::remove(cfg.checkpoint_path.c_str());
 }

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <set>
@@ -163,13 +164,158 @@ TEST(ThreadPool, ShardedWrappingReductionIsLaneCountInvariant) {
 }
 
 TEST(ThreadPool, WorkersActuallyRunOffThread) {
+  // An idle caller may help-drain queued lane bodies (that is what makes
+  // nested and concurrent fork-joins deadlock-free), so distinct threads
+  // per lane are only guaranteed when the bodies are forced to overlap:
+  // hold every lane at a barrier until all four have started. With four
+  // bodies and exactly four threads (caller + 3 workers), release is
+  // only possible with one body per thread.
   ThreadPool pool(4);
   std::mutex mu;
+  std::condition_variable cv;
+  int arrived = 0;
   std::set<std::thread::id> ids;
   pool.run_lanes([&](int) {
-    std::lock_guard<std::mutex> lk(mu);
+    std::unique_lock<std::mutex> lk(mu);
     ids.insert(std::this_thread::get_id());
+    if (++arrived == 4) cv.notify_all();
+    cv.wait(lk, [&] { return arrived == 4; });
   });
   EXPECT_EQ(ids.size(), 4u);
   EXPECT_EQ(ids.count(std::this_thread::get_id()), 1u);  // caller is lane 0
+}
+
+// ---------------------------------------------------------------------
+// TaskGroup: budgeted fork-join views sharing one pool (the job
+// runtime's concurrency primitive).
+// ---------------------------------------------------------------------
+
+TEST(ThreadPoolGroup, BudgetClampsToPoolLanes) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.group(0).lanes(), 1);
+  EXPECT_EQ(pool.group(-3).lanes(), 1);
+  EXPECT_EQ(pool.group(3).lanes(), 3);
+  EXPECT_EQ(pool.group(99).lanes(), 4);
+  // A default-constructed group is a 1-lane inline executor.
+  ThreadPool::TaskGroup inline_group;
+  EXPECT_EQ(inline_group.lanes(), 1);
+  int calls = 0;
+  inline_group.run_lanes([&](int lane) {
+    EXPECT_EQ(lane, 0);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolGroup, ParallelForCoversRangeAtEveryBudget) {
+  ThreadPool pool(4);
+  for (int budget : {1, 2, 3, 4}) {
+    auto g = pool.group(budget);
+    std::vector<int> hits(1000, 0);
+    g.parallel_for(1000, [&](int, std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) ++hits[i];
+    });
+    for (int i = 0; i < 1000; ++i)
+      ASSERT_EQ(hits[i], 1) << "budget " << budget << " i " << i;
+  }
+}
+
+TEST(ThreadPoolGroup, PartitionMatchesDedicatedPoolOfBudgetSize) {
+  // The determinism contract underneath the job runtime: a budget-k
+  // group partitions work exactly like ThreadPool(k), so per-lane
+  // shards -- and thus all reduced results -- are bitwise identical to
+  // a standalone k-thread run.
+  ThreadPool pool(8);
+  const std::int64_t n = 20000;
+  auto contribution = [](std::int64_t i) {
+    return static_cast<std::int64_t>(i * 0x9E3779B97F4A7C15ULL);
+  };
+  for (int budget : {1, 2, 3, 5}) {
+    std::vector<std::int64_t> dedicated(budget, 0), grouped(budget, 0);
+    {
+      ThreadPool solo(budget);
+      solo.parallel_for(n, [&](int lane, std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i)
+          dedicated[lane] =
+              anton::fixed::wrap_add(dedicated[lane], contribution(i));
+      });
+    }
+    pool.group(budget).parallel_for(
+        n, [&](int lane, std::int64_t b, std::int64_t e) {
+          for (std::int64_t i = b; i < e; ++i)
+            grouped[lane] =
+                anton::fixed::wrap_add(grouped[lane], contribution(i));
+        });
+    EXPECT_EQ(grouped, dedicated) << "budget " << budget;
+  }
+}
+
+TEST(ThreadPoolGroup, ConcurrentGroupsShareOnePoolWithoutDeadlock) {
+  // Many independent fork-join callers (the job runtime's executors)
+  // hammering one pool concurrently: every fork must complete, every
+  // range must be covered exactly once, and nothing may deadlock even
+  // though the total demanded budget exceeds the pool.
+  ThreadPool pool(4);
+  const int kCallers = 8, kReps = 50;
+  std::vector<std::thread> callers;
+  std::vector<std::int64_t> sums(kCallers, 0);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      auto g = pool.group(1 + c % 4);
+      for (int rep = 0; rep < kReps; ++rep) {
+        std::vector<std::int64_t> shard(g.lanes(), 0);
+        g.parallel_for(997, [&](int lane, std::int64_t b, std::int64_t e) {
+          for (std::int64_t i = b; i < e; ++i) shard[lane] += i;
+        });
+        std::int64_t total = 0;
+        for (std::int64_t s : shard) total += s;
+        sums[c] += total;
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c)
+    EXPECT_EQ(sums[c], static_cast<std::int64_t>(kReps) * (997 * 996 / 2))
+        << "caller " << c;
+}
+
+TEST(ThreadPoolGroup, NestedGroupDispatchRunsInline) {
+  ThreadPool pool(4);
+  auto outer = pool.group(3);
+  std::vector<std::vector<int>> hits(3, std::vector<int>(64, 0));
+  outer.run_lanes([&](int lane) {
+    // Fork-join from inside a lane body: must execute inline rather
+    // than deadlock waiting for workers that may all be busy here.
+    pool.group(4).parallel_for(64, [&](int, std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) ++hits[lane][i];
+    });
+  });
+  for (int lane = 0; lane < 3; ++lane)
+    for (int i = 0; i < 64; ++i)
+      ASSERT_EQ(hits[lane][i], 1) << "lane " << lane << " i " << i;
+}
+
+TEST(ThreadPoolGroup, LowestLaneExceptionWinsWithinGroup) {
+  ThreadPool pool(4);
+  auto g = pool.group(3);
+  for (int rep = 0; rep < 20; ++rep) {
+    std::string got;
+    try {
+      g.run_lanes([&](int lane) {
+        if (lane >= 1) throw std::runtime_error("lane " + std::to_string(lane));
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& ex) {
+      got = ex.what();
+    }
+    EXPECT_EQ(got, "lane 1") << "rep " << rep;
+    // The group (and pool) stay usable after the fault.
+    std::int64_t sum = 0;
+    std::vector<std::int64_t> shard(g.lanes(), 0);
+    g.parallel_for(10, [&](int lane, std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) shard[lane] += i;
+    });
+    for (std::int64_t s : shard) sum += s;
+    EXPECT_EQ(sum, 45);
+  }
 }

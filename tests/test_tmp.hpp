@@ -1,0 +1,59 @@
+// Per-test temporary directories.
+//
+// Several drivers (Simulation, JobManager, fault tests) write
+// checkpoints and trajectories to disk. Fixed names under /tmp collide
+// the moment two test binaries -- or two tests in one binary -- use the
+// same default path (the shared "simulation.ckpt" bug this helper
+// retires). A TempDir gives every test its own directory, unique per
+// test name AND per process, and removes it on destruction.
+#pragma once
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <filesystem>
+#include <string>
+
+namespace anton::testing {
+
+class TempDir {
+ public:
+  /// Creates tmp/<binary-safe current test name>-<pid>-<n>/.
+  TempDir() {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    std::string tag = info ? std::string(info->test_suite_name()) + "." +
+                                 info->name()
+                           : "anton_test";
+    for (char& c : tag)
+      if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+    const auto base = std::filesystem::temp_directory_path();
+    // Suffix with a counter so one test can hold several TempDirs.
+    static int seq = 0;
+    path_ = base / ("anton_" + tag + "_" +
+                    std::to_string(static_cast<long>(::getpid())) + "_" +
+                    std::to_string(seq++));
+    std::filesystem::create_directories(path_);
+  }
+
+  ~TempDir() {
+    std::error_code ec;  // best-effort; never throw from a destructor
+    std::filesystem::remove_all(path_, ec);
+  }
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::filesystem::path& path() const { return path_; }
+  std::string str() const { return path_.string(); }
+  /// Path of a file inside the directory.
+  std::string file(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  std::filesystem::path path_;
+};
+
+}  // namespace anton::testing
