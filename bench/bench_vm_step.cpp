@@ -12,7 +12,12 @@
 //
 // ANTON_TRACE_JSON=/tmp/vm.json writes the per-node chrome trace of the
 // last VM run (track 0 = phases, track n+1 = virtual node n).
+//
+// The transport sweep additionally writes BENCH_vm_step.json (or argv[1]):
+// us/step and measured per-phase wire bytes for every byte-transport
+// backend, the committed record of what full SPMD execution costs.
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -106,12 +111,23 @@ void run_system(const char* name, const System& sys, int cycles) {
   }
 }
 
+struct BackendResult {
+  std::string tag;
+  bool bitwise = false;
+  double us_per_step = 0.0;
+  double roundtrips_per_step = 0.0;
+  double wire_bytes_per_step = 0.0;
+  CommLedger led;
+  int steps = 0;
+};
+
 /// The byte-transport sweep: the same trajectory with every frame pushed
 /// through each wire backend. Reports us/step, the measured wire traffic
 /// (roundtrips and bytes actually traversing the transport), and the
 /// per-phase byte breakdown -- measured frame bytes, not the analytic
 /// model (compare bench_table3).
-void run_backends(const char* name, const System& sys, int cycles) {
+std::vector<BackendResult> run_backends(const char* name, const System& sys,
+                                        int cycles) {
   using anton::parallel::TransportKind;
   using anton::parallel::TransportOptions;
   bench::header(std::string("transport sweep: ") + name);
@@ -132,6 +148,7 @@ void run_backends(const char* name, const System& sys, int cycles) {
       {"shm-fork", TransportKind::kShmFork, false},
       {"tcp-loopback", TransportKind::kTcp, false},
   };
+  std::vector<BackendResult> results;
   double base_us = 0.0;
   for (const Backend& be : backends) {
     TransportOptions topts;
@@ -162,18 +179,65 @@ void run_backends(const char* name, const System& sys, int cycles) {
       print_phase("fft", led.fft, steps);
       print_phase("migration", led.migration, steps);
       print_phase("reduce", led.reduce, steps);
+      BackendResult r;
+      r.tag = be.tag;
+      r.bitwise = ok;
+      r.us_per_step = us;
+      r.roundtrips_per_step = static_cast<double>(ws.roundtrips) / steps;
+      r.wire_bytes_per_step = static_cast<double>(ws.bytes) / steps;
+      r.led = led;
+      r.steps = steps;
+      results.push_back(std::move(r));
     } catch (const anton::parallel::TransportError& e) {
       std::printf("\n%-14s unavailable in this environment: %s\n", be.tag,
                   e.what());
     }
   }
+  return results;
+}
+
+void write_json(const std::string& path, double scale,
+                const std::vector<BackendResult>& results) {
+  std::string out = "{\n  \"bench\": \"vm_step\",\n";
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "  \"system\": \"peptide_solvated\",\n"
+                "  \"grid\": \"2x2x2\",\n  \"scale\": %.2f,\n"
+                "  \"backends\": [\n",
+                scale);
+  out += buf;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BackendResult& r = results[i];
+    const double steps = r.steps;
+    auto bps = [steps](const PhaseComm& pc) {
+      return static_cast<double>(pc.bytes) / steps;
+    };
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"tag\": \"%s\", \"bitwise\": %s, \"us_per_step\": %.1f, "
+        "\"roundtrips_per_step\": %.1f, \"wire_bytes_per_step\": %.1f, "
+        "\"phase_bytes_per_step\": {\"position\": %.1f, \"force\": %.1f, "
+        "\"bond\": %.1f, \"mesh\": %.1f, \"fft\": %.1f, "
+        "\"migration\": %.1f, \"reduce\": %.1f}}%s\n",
+        r.tag.c_str(), r.bitwise ? "true" : "false", r.us_per_step,
+        r.roundtrips_per_step, r.wire_bytes_per_step, bps(r.led.position),
+        bps(r.led.force), bps(r.led.bond), bps(r.led.mesh), bps(r.led.fft),
+        bps(r.led.migration), bps(r.led.reduce),
+        i + 1 < results.size() ? "," : "");
+    out += buf;
+  }
+  out += "  ]\n}\n";
+  std::ofstream f(path);
+  f << out;
+  std::printf("\nwrote %s\n", path.c_str());
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const double scale = bench::run_scale();
   const int cycles = static_cast<int>(10 * scale);
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_vm_step.json";
 
   run_system("peptide_solvated",
              anton::sysgen::build_test_system(70, 14.0, 1234, true, 20),
@@ -182,9 +246,10 @@ int main() {
              anton::sysgen::build_water_system(
                  220, 14.0, anton::sysgen::WaterModel::k3Site, 77),
              cycles);
-  run_backends("peptide_solvated",
-               anton::sysgen::build_test_system(70, 14.0, 1234, true, 20),
-               cycles);
+  const std::vector<BackendResult> results = run_backends(
+      "peptide_solvated",
+      anton::sysgen::build_test_system(70, 14.0, 1234, true, 20), cycles);
+  write_json(json_path, scale, results);
 
   bench::print_timings();
   return 0;

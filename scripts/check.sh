@@ -3,9 +3,15 @@
 # ThreadSanitizer pass over the deterministic-parallelism surface (the
 # thread pool and the threaded engine tests).
 #
-# Usage: scripts/check.sh [--unit-only|--tier1-only|--tsan-only|--vm|--faults|--transport|--jobs]
+# Usage: scripts/check.sh [--unit-only|--tier1-only|--tsan-only|--vm|--faults|--transport|--jobs|--spmd]
 #   --vm           build + the VirtualMachine runtime surface only (the
 #                  distributed time-step tests and the VM golden matrix)
+#   --spmd         build + the full SPMD execution surface: every test
+#                  that runs worker-owned physics over a byte wire (VM
+#                  conformance, fault matrix, crash/SIGKILL recovery,
+#                  corrupted-frame rollback, wire codec, cross-backend
+#                  golden matrix) plus the vm_step benchmark, which
+#                  writes BENCH_vm_step.json
 #   --faults       build + the fault-tolerance surface (reliable transport,
 #                  fault-matrix bitwise recovery, crash rollback, the
 #                  corrupted-checkpoint torture tests, checkpoint/resume)
@@ -90,6 +96,20 @@ jobs_gate() {
   ./build/bench/bench_jobs BENCH_jobs.json
 }
 
+# SPMD gate: everything that proves the workers own the physics and the
+# coordinator only orchestrates -- the VM conformance + golden surface,
+# the fault/rollback matrix over real forked workers, and the wire codec
+# it all rides on. Finishes with the per-backend vm_step benchmark so the
+# measured cost of SPMD execution is recorded in BENCH_vm_step.json.
+spmd() {
+  echo "== SPMD gate: worker-owned physics over every byte wire =="
+  cmake -B build -S .
+  cmake --build build -j"$JOBS"
+  (cd build && ctest -R 'VirtualMachine|VmGoldenTrajectory|VmTransportGoldenTrajectory|FaultTransport|FaultToleranceVm|WireFormat|WireFuzz' \
+    --output-on-failure -j"$JOBS")
+  ./build/bench/bench_vm_step BENCH_vm_step.json
+}
+
 tsan() {
   echo "== TSan: engine + thread pool under -fsanitize=thread =="
   cmake -B build-tsan -S . -DANTON_SANITIZE=thread
@@ -110,6 +130,7 @@ case "$MODE" in
   --faults) faults ;;
   --transport) transport ;;
   --jobs) jobs_gate ;;
+  --spmd) spmd ;;
   all|"") tier1; tsan ;;
   *) echo "unknown mode: $MODE" >&2; exit 2 ;;
 esac

@@ -34,6 +34,17 @@ void Tracer::end(int tid) {
   r.dur_us = now_us() - r.t0_us;
 }
 
+void Tracer::append_span(const std::string& name, int tid, double dur_us) {
+  SpanRecord r;
+  r.name = name;
+  r.tid = tid;
+  r.depth = 0;
+  r.seq = next_seq_++;
+  r.t0_us = now_us();
+  r.dur_us = dur_us;
+  spans_.push_back(std::move(r));
+}
+
 std::map<std::string, double> Tracer::totals_by_name() const {
   std::map<std::string, double> totals;
   for (const SpanRecord& s : spans_) totals[s.name] += s.dur_us * 1e-6;

@@ -82,6 +82,12 @@ class Tracer {
   void begin(const char* name, int tid = 0);
   void end(int tid = 0);
 
+  /// Append an already-measured span (depth 0) on track `tid`. Used by
+  /// the SPMD coordinator to replay per-rank spans reported over the
+  /// wire: the duration was measured on the worker, so only the begin
+  /// timestamp is local.
+  void append_span(const std::string& name, int tid, double dur_us);
+
   /// RAII guard that is a no-op when `t` is nullptr, so instrumented code
   /// needs no branches at the call sites.
   class Span {

@@ -2,8 +2,6 @@
 
 #include <utility>
 
-#include "parallel/transport.hpp"
-
 namespace anton::parallel {
 
 FaultCounters& FaultCounters::operator+=(const FaultCounters& o) {
@@ -21,16 +19,10 @@ FaultCounters& FaultCounters::operator+=(const FaultCounters& o) {
   return *this;
 }
 
-wire::Frame ReliableTransport::through_wire(const Bytes& bytes, int dst,
+wire::Frame ReliableTransport::through_wire(const Bytes& bytes,
                                             wire::Frame* inhand) {
-  // The encoded frame traverses the byte wire to the destination node's
-  // endpoint and comes back validated. With no wire attached (unit tests)
-  // the frame loops back as-is.
-  const std::vector<std::uint8_t>& echoed =
-      wire_ ? wire_->roundtrip(dst, *bytes) : *bytes;
-  const bool fast = inhand && !verify_ && (!wire_ || wire_->local());
-  if (fast) return std::move(*inhand);
-  return wire::decode_frame(echoed);
+  if (inhand && !verify_) return std::move(*inhand);
+  return wire::decode_frame(*bytes);
 }
 
 void ReliableTransport::receive(Channel& c, std::uint64_t seq,
@@ -73,12 +65,11 @@ void ReliableTransport::receive(Channel& c, std::uint64_t seq,
 bool ReliableTransport::transmit(std::uint64_t ch, std::uint64_t seq,
                                  const Bytes& bytes, wire::Frame* inhand) {
   Channel& c = channels_[ch];
-  const int dst = dst_of(ch);
   const WireFault f =
       injector_ ? injector_->next_fault() : WireFault::kNone;
   switch (f) {
     case WireFault::kNone:
-      receive(c, seq, through_wire(bytes, dst, inhand));
+      receive(c, seq, through_wire(bytes, inhand));
       return true;
     case WireFault::kDrop:
       // Lost before it reached the wire; stays unacked, flush()
@@ -87,9 +78,9 @@ bool ReliableTransport::transmit(std::uint64_t ch, std::uint64_t seq,
       return false;
     case WireFault::kDuplicate: {
       ++counters_.duplicates;
-      // Two physical copies, two wire traversals; the decode proves both.
-      receive(c, seq, through_wire(bytes, dst, nullptr));
-      receive(c, seq, through_wire(bytes, dst, inhand));
+      // Two physical copies; the decode proves both.
+      receive(c, seq, through_wire(bytes, nullptr));
+      receive(c, seq, through_wire(bytes, inhand));
       return true;
     }
     case WireFault::kReorder:
@@ -140,8 +131,7 @@ void ReliableTransport::flush() {
       auto parked = std::move(parked_);
       parked_.clear();
       for (Parked& p : parked)
-        receive(channels_[p.ch], p.seq,
-                through_wire(p.bytes, dst_of(p.ch), nullptr));
+        receive(channels_[p.ch], p.seq, through_wire(p.bytes, nullptr));
     }
     bool pending = false;
     for (auto& [id, c] : channels_)
@@ -180,6 +170,131 @@ bool ReliableTransport::quiescent() const {
   for (const auto& [id, c] : channels_)
     if (!c.unacked.empty() || !c.reorder_buf.empty()) return false;
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// ReliableLink: the same protocol split across real ranks.
+// ---------------------------------------------------------------------------
+
+bool ReliableLink::attempt(std::uint64_t ch, std::uint64_t seq,
+                           const Bytes& bytes) {
+  const WireFault f = injector_ ? injector_->next_fault() : WireFault::kNone;
+  switch (f) {
+    case WireFault::kNone:
+      raw_(*bytes);
+      return true;
+    case WireFault::kDrop:
+      ++counters_.drops;
+      dropped_.push_back({ch, seq, bytes});
+      return false;
+    case WireFault::kDuplicate:
+      ++counters_.duplicates;
+      raw_(*bytes);
+      raw_(*bytes);
+      return true;
+    case WireFault::kReorder:
+      ++counters_.reorders;
+      parked_.push_back({ch, seq, bytes});
+      return false;
+    case WireFault::kDelay:
+      ++counters_.delays;
+      parked_.push_back({ch, seq, bytes});
+      return false;
+  }
+  return false;
+}
+
+std::int64_t ReliableLink::send(int dst, int phase, wire::Payload payload) {
+  const std::uint64_t ch = ReliableTransport::channel(self_, dst, phase);
+  SendChannel& c = out_[ch];
+  const std::uint64_t seq = c.next_seq++;
+  auto bytes = std::make_shared<const std::vector<std::uint8_t>>(
+      wire::encode_frame(phase, self_, dst, seq, std::move(payload)));
+  const std::int64_t frame_bytes = static_cast<std::int64_t>(bytes->size());
+  c.unacked.emplace_back(seq, bytes);
+  attempt(ch, seq, bytes);
+  return frame_bytes;
+}
+
+void ReliableLink::flush() {
+  const int max_attempts = injector_ ? injector_->config().max_attempts : 1;
+  int round = 0;
+  for (;;) {
+    // Parked copies finally reach the wire, in the order it held them;
+    // the injector already had its shot at these.
+    if (!parked_.empty()) {
+      auto held = std::move(parked_);
+      parked_.clear();
+      for (Held& h : held) raw_(*h.bytes);
+    }
+    if (dropped_.empty()) break;
+    if (++round > max_attempts)
+      throw std::runtime_error(
+          "ReliableLink: message exceeded retry budget (link dead)");
+    // Timeout fired: retransmit every lost frame. Each attempt faces the
+    // injector again.
+    auto lost = std::move(dropped_);
+    dropped_.clear();
+    for (Held& h : lost) {
+      ++counters_.retransmits;
+      counters_.retransmit_bytes += static_cast<std::int64_t>(h.bytes->size());
+      attempt(h.ch, h.seq, h.bytes);
+    }
+  }
+}
+
+void ReliableLink::on_data(const wire::Frame& frame, const Apply& apply) {
+  // Every received copy is acknowledged back to its sender (dups too, so
+  // a retransmit racing a delayed original still gets pruned).
+  wire::Ack ack;
+  ack.phase = frame.header.phase;
+  ack.seq = frame.header.seq;
+  raw_(wire::encode_frame(wire::kChControl, self_, frame.header.src,
+                          ack_seq_++, wire::Payload{ack}));
+  RecvChannel& c = in_[ReliableTransport::channel(
+      frame.header.src, self_, frame.header.phase)];
+  const std::uint64_t seq = frame.header.seq;
+  if (seq < c.expect_seq) {
+    ++counters_.dups_suppressed;
+    return;
+  }
+  if (seq > c.expect_seq) {
+    auto [it, inserted] = c.reorder_buf.emplace(seq, frame);
+    (void)it;
+    if (inserted)
+      ++counters_.out_of_order_held;
+    else
+      ++counters_.dups_suppressed;
+    return;
+  }
+  apply(frame);
+  ++c.expect_seq;
+  auto it = c.reorder_buf.begin();
+  while (it != c.reorder_buf.end() && it->first == c.expect_seq) {
+    apply(it->second);
+    ++c.expect_seq;
+    it = c.reorder_buf.erase(it);
+  }
+}
+
+void ReliableLink::on_ack(int from, const wire::Ack& ack) {
+  auto it = out_.find(ReliableTransport::channel(self_, from, ack.phase));
+  if (it == out_.end()) return;
+  auto& un = it->second.unacked;
+  for (std::size_t i = 0; i < un.size(); ++i) {
+    if (un[i].first == ack.seq) {
+      un.erase(un.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+}
+
+void ReliableLink::reset_channels() {
+  out_.clear();
+  in_.clear();
+  parked_.clear();
+  dropped_.clear();
+  ack_seq_ = 0;
 }
 
 }  // namespace anton::parallel

@@ -13,17 +13,16 @@
 //    and schedules whole-node crashes at MTS-cycle boundaries. Same seed,
 //    same fault schedule, every run.
 //
-//  * ReliableTransport -- per-channel sequence numbers, receiver-side
-//    reorder buffers, duplicate suppression and bounded retransmit of
-//    serialized wire frames (parallel/wire.hpp) over a byte-level
-//    ByteTransport (parallel/transport.hpp). Every message is encoded into
-//    a frame at send time; the encoded bytes are what gets retransmitted,
-//    what the injector perturbs, and what crosses the wire. The sink above
-//    it observes exactly-once, in-order typed frames regardless of what
-//    the injector does, so the recovered trajectory is bitwise identical
-//    to the fault-free run. With no injector attached the transport is a
-//    pass-through: zero retries, zero retransmit bytes, and delivery order
-//    identical to the direct-dispatch choreography (bitwise-neutral).
+//  * ReliableLink -- the SPMD rank-side half: sender-side injection and
+//    bounded retransmit over genuine one-way frame sends, receiver-side
+//    sequence check / duplicate suppression / reorder buffering, and real
+//    acknowledgment frames riding the return path through the hub. Every
+//    rank owns one link; the injector is seeded per rank so the fault
+//    schedule stays deterministic across backends.
+//
+//  * ReliableTransport -- the original single-process delivery engine,
+//    kept as the loopback unit-test harness for the protocol (sequence
+//    numbers, reorder buffers, retransmit budget) independent of any wire.
 //
 // A "channel" is one (src node, dst node, phase) stream; each carries its
 // own monotonically increasing sequence number, mirroring the per-channel
@@ -42,8 +41,6 @@
 #include "util/rng.hpp"
 
 namespace anton::parallel {
-
-class ByteTransport;
 
 /// Configuration for one seeded fault schedule.
 struct FaultConfig {
@@ -140,29 +137,26 @@ class FaultInjector {
   Xoshiro256 rng_;
 };
 
-/// Reliable in-order exactly-once frame delivery over an injector-
-/// perturbed byte wire. Every phase of the VM choreography (position
-/// records, force partials, mesh halos, FFT segments, migration units,
-/// reductions) rides this one layer as typed wire::Payload messages.
+/// Reliable in-order exactly-once frame delivery through an injector-
+/// perturbed loopback. This is the protocol reference implementation the
+/// unit tests exercise directly; the SPMD runtime itself uses
+/// ReliableLink below, which splits the same protocol across real ranks.
 ///
 /// Usage per communication phase:
 ///   transport.send(src, dst, phase, payload);   // any number of times
 ///   transport.flush();                          // barrier: all delivered
 ///
 /// send() serializes the message into a frame, transmits eagerly (an
-/// unperturbed frame round-trips the wire and reaches the sink
-/// immediately, in sequence order, so with no injector the delivery order
-/// is exactly the direct-dispatch order of the original choreography) and
+/// unperturbed frame reaches the sink immediately, in sequence order) and
 /// keeps the encoded bytes for retransmission. flush() runs the bounded
 /// retransmit sweep until every channel has delivered its full prefix,
 /// then asserts quiescence.
 ///
-/// Fast path: on a local (in-process) wire with verify off, the frame the
-/// sender already holds is dispatched without re-decoding the echoed
-/// bytes -- encode, CRC and byte accounting still happen, so ledger bytes
-/// stay measured. With verify on (or any out-of-process wire) the sink
-/// receives the *decoded echo*, proving the codec round-trip on every
-/// single delivery.
+/// Fast path: with verify off, the frame the sender already holds is
+/// dispatched without re-decoding the encoded bytes -- encode, CRC and
+/// byte accounting still happen, so ledger bytes stay measured. With
+/// verify on the sink receives the *decoded* frame, proving the codec
+/// round-trip on every single delivery.
 class ReliableTransport {
  public:
   /// Receives each delivered frame exactly once, in per-channel order.
@@ -179,13 +173,8 @@ class ReliableTransport {
   void set_injector(FaultInjector* inj) { injector_ = inj; }
   FaultInjector* injector() const { return injector_; }
 
-  /// Attaches the byte-level wire frames traverse (nullptr: loop frames
-  /// back without a wire, still encoded/decoded -- the unit-test mode).
-  void set_wire(ByteTransport* w) { wire_ = w; }
-  ByteTransport* wire() const { return wire_; }
-
-  /// Forces a decode of the echoed bytes on every delivery even when the
-  /// wire is local (conformance mode).
+  /// Forces a decode of the encoded bytes on every delivery
+  /// (conformance mode).
   void set_verify(bool v) { verify_ = v; }
   bool verify() const { return verify_; }
 
@@ -224,19 +213,15 @@ class ReliableTransport {
     std::map<std::uint64_t, wire::Frame> reorder_buf;
   };
 
-  static int dst_of(std::uint64_t ch) {
-    return static_cast<int>((ch >> 8) & 0xFFFu);
-  }
-
   /// One transmission attempt of (ch, seq). `inhand` is the decoded frame
   /// the sender still holds (fast-path dispatch); null on retransmits.
   /// Returns true if the wire delivered it (possibly twice); false if it
   /// was lost or parked.
   bool transmit(std::uint64_t ch, std::uint64_t seq, const Bytes& bytes,
                 wire::Frame* inhand);
-  /// Sends the bytes through the wire and produces the frame to dispatch
-  /// (the decoded echo, or `inhand` on the local fast path).
-  wire::Frame through_wire(const Bytes& bytes, int dst, wire::Frame* inhand);
+  /// Produces the frame to dispatch (decode of the encoded bytes, or
+  /// `inhand` on the fast path).
+  wire::Frame through_wire(const Bytes& bytes, wire::Frame* inhand);
   /// Hands one arriving frame to the receiver (seq check + reorder buf).
   void receive(Channel& c, std::uint64_t seq, wire::Frame&& frame);
 
@@ -251,9 +236,109 @@ class ReliableTransport {
   };
   std::vector<Parked> parked_;
   FaultInjector* injector_ = nullptr;
-  ByteTransport* wire_ = nullptr;
   bool verify_ = false;
   Sink sink_;
+  FaultCounters counters_;
+};
+
+/// Rank-side reliable delivery for the SPMD runtime: the sender half of
+/// the protocol runs where the data originates, the receiver half where
+/// it lands, and acknowledgments travel as real kAck frames on the return
+/// path through the hub.
+///
+/// Injection is sender-side only: the injector decides the fate of a
+/// transmission *before* the frame is handed to the transport, so any
+/// frame physically sent WILL arrive (the transports themselves are
+/// lossless). That keeps retransmit decisions local to the sender -- the
+/// retransmit set is exactly the frames whose every attempt so far was
+/// dropped -- while acks serve to bound the unacked-frame memory. There
+/// is deliberately no "all acks arrived" assertion: a barrier release can
+/// legitimately overtake the last ack.
+///
+/// Usage inside a rank's phase:
+///   link.send(dst, phase, payload);  // any number of times
+///   link.flush();                    // parked copies out + retransmits
+///   // ... then the rank enters its barrier wait, during which arriving
+///   // data frames go through link.on_data() and acks through on_ack().
+class ReliableLink {
+ public:
+  /// Hands one encoded frame to the transport (worker endpoint send).
+  using RawSend = std::function<void(const std::vector<std::uint8_t>&)>;
+  /// Receives each delivered data frame exactly once, in channel order.
+  using Apply = std::function<void(const wire::Frame&)>;
+
+  ReliableLink(int self, RawSend raw) : self_(self), raw_(std::move(raw)) {}
+
+  /// Arms sender-side injection. `cfg.seed` should already be the
+  /// per-rank derived seed (see derive_seed).
+  void arm(const FaultConfig& cfg) {
+    injector_ = std::make_unique<FaultInjector>(cfg);
+  }
+  void disarm() { injector_.reset(); }
+  FaultInjector* injector() const { return injector_.get(); }
+
+  /// Decorrelates per-rank fault schedules from one shared config seed.
+  static std::uint64_t derive_seed(std::uint64_t seed, int rank) {
+    return seed ^ (0x9e3779b97f4a7c15ull *
+                   (static_cast<std::uint64_t>(rank) + 1));
+  }
+
+  FaultCounters& counters() { return counters_; }
+  const FaultCounters& counters() const { return counters_; }
+
+  /// Serializes and sends one data message on the (self, dst, phase)
+  /// channel. Returns the encoded frame size in bytes (the ledger bytes
+  /// the caller accounts).
+  std::int64_t send(int dst, int phase, wire::Payload payload);
+
+  /// End-of-phase sweep: parked (reordered/delayed) copies finally reach
+  /// the wire in held order, then dropped frames are retransmitted --
+  /// each attempt faces the injector again -- bounded by max_attempts.
+  /// Throws when a message exceeds its retry budget.
+  void flush();
+
+  /// Receiver path for one arriving data frame: acks it, then applies it
+  /// exactly once in per-channel order (dup suppression + reorder
+  /// buffering).
+  void on_data(const wire::Frame& frame, const Apply& apply);
+
+  /// Sender path for one arriving ack from rank `from`: prunes the
+  /// acknowledged frame from the unacked list.
+  void on_ack(int from, const wire::Ack& ack);
+
+  /// Coordinated rollback: both halves of every channel restart from
+  /// sequence zero.
+  void reset_channels();
+
+ private:
+  using Bytes = std::shared_ptr<const std::vector<std::uint8_t>>;
+  struct SendChannel {
+    std::uint64_t next_seq = 0;
+    /// Sent but not yet acknowledged (memory bound only; never drives
+    /// retransmission).
+    std::vector<std::pair<std::uint64_t, Bytes>> unacked;
+  };
+  struct RecvChannel {
+    std::uint64_t expect_seq = 0;
+    std::map<std::uint64_t, wire::Frame> reorder_buf;
+  };
+  struct Held {
+    std::uint64_t ch;
+    std::uint64_t seq;
+    Bytes bytes;
+  };
+
+  /// One transmission attempt; true when the frame physically went out.
+  bool attempt(std::uint64_t ch, std::uint64_t seq, const Bytes& bytes);
+
+  int self_;
+  RawSend raw_;
+  std::unique_ptr<FaultInjector> injector_;
+  std::map<std::uint64_t, SendChannel> out_;
+  std::map<std::uint64_t, RecvChannel> in_;
+  std::vector<Held> parked_;   // reordered/delayed, in held order
+  std::vector<Held> dropped_;  // lost; the flush sweep retransmits
+  std::uint64_t ack_seq_ = 0;
   FaultCounters counters_;
 };
 

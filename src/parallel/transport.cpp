@@ -1,19 +1,25 @@
 #include "parallel/transport.hpp"
 
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sched.h>
 #include <sys/mman.h>
+#include <sys/prctl.h>
 #include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <cerrno>
+#include <condition_variable>
 #include <csignal>
 #include <cstring>
+#include <deque>
+#include <mutex>
 #include <new>
+#include <thread>
 
 #include "io/crc32.hpp"
 #include "io/endian.hpp"
@@ -23,47 +29,226 @@ namespace anton::parallel {
 
 namespace {
 
+using Bytes = std::vector<std::uint8_t>;
+
 constexpr std::size_t kMaxFrameBytes =
     wire::kHeaderBytes + wire::kMaxPayloadBytes;
 
-[[noreturn]] void throw_rejected(int dst, int code) {
-  using K = wire::WireError::Kind;
-  const K kind = code == 1   ? K::kTruncated
-                 : code == 2 ? K::kBadMagic
-                 : code == 3 ? K::kBadVersion
-                 : code == 4 ? K::kBadLength
-                             : K::kBadCrc;
-  throw wire::WireError(kind, "endpoint for node " + std::to_string(dst) +
-                                  " rejected frame (code " +
-                                  std::to_string(code) + ")");
+// ---------------------------------------------------------------------------
+// Length-prefixed frame streams. Both fork backends move frames as
+// [u32 len][frame bytes]; the coordinator reassembles frames from
+// whatever byte chunks the wire yields.
+// ---------------------------------------------------------------------------
+
+/// Reassembly buffer for one rank's upstream byte flow.
+struct FrameBuf {
+  Bytes buf;
+  std::size_t off = 0;
+
+  void append(const std::uint8_t* p, std::size_t n) {
+    buf.insert(buf.end(), p, p + n);
+  }
+
+  /// Extracts one complete frame if present. Throws TransportError when
+  /// the stream framing itself is broken (unrecoverable desync).
+  bool pop_frame(Bytes* frame, int rank) {
+    const std::size_t avail = buf.size() - off;
+    if (avail < 4) return false;
+    const std::uint32_t len = io::load_u32le(buf.data() + off);
+    if (len > kMaxFrameBytes)
+      throw TransportError(rank, "frame stream from rank " +
+                                     std::to_string(rank) + " desynced");
+    if (avail < 4 + static_cast<std::size_t>(len)) return false;
+    frame->assign(buf.data() + off + 4, buf.data() + off + 4 + len);
+    off += 4 + static_cast<std::size_t>(len);
+    if (off == buf.size() || off > (std::size_t{1} << 20)) {
+      buf.erase(buf.begin(),
+                buf.begin() + static_cast<std::ptrdiff_t>(off));
+      off = 0;
+    }
+    return true;
+  }
+
+  void clear() {
+    buf.clear();
+    off = 0;
+  }
+};
+
+/// Pending downstream bytes for one rank (send_to never blocks).
+struct OutBuf {
+  Bytes buf;
+  std::size_t off = 0;
+
+  void append_frame(const Bytes& frame) {
+    std::uint8_t n4[4];
+    io::store_u32le(n4, static_cast<std::uint32_t>(frame.size()));
+    buf.insert(buf.end(), n4, n4 + 4);
+    buf.insert(buf.end(), frame.begin(), frame.end());
+  }
+
+  bool empty() const { return off == buf.size(); }
+  const std::uint8_t* data() const { return buf.data() + off; }
+  std::size_t size() const { return buf.size() - off; }
+
+  void consume(std::size_t n) {
+    off += n;
+    if (empty()) {
+      buf.clear();
+      off = 0;
+    }
+  }
+
+  void clear() {
+    buf.clear();
+    off = 0;
+  }
+};
+
+/// Runs the rank body in a forked child and exits without touching the
+/// parent's atexit handlers.
+[[noreturn]] void run_child(int rank, WorkerEndpoint& ep,
+                            const WorkerMain& main) {
+  try {
+    main(rank, ep);
+  } catch (...) {
+    _exit(1);
+  }
+  _exit(0);
+}
+
+/// Child-side post-fork setup: die with the coordinator instead of
+/// lingering as an orphan.
+void arm_pdeathsig(pid_t parent) {
+  prctl(PR_SET_PDEATHSIG, SIGKILL);
+  if (getppid() != parent) _exit(0);  // parent already gone
 }
 
 // ---------------------------------------------------------------------------
-// In-process backend: the endpoint is a function call. The frame is still
-// a fully serialized byte string and still gets endpoint validation; the
-// echo is the input buffer itself (zero-copy).
+// In-process backend: ranks are threads; frames cross mutex/condvar
+// queues. kill/restart are no-ops (a thread cannot be SIGKILLed), so a
+// scheduled "crash" on this backend exercises the rollback protocol with
+// the rank thread still alive.
 // ---------------------------------------------------------------------------
 
 class InProcTransport final : public ByteTransport {
  public:
-  const char* name() const override { return "inproc"; }
-  bool local() const override { return true; }
-
-  const std::vector<std::uint8_t>& roundtrip(
-      int dst, const std::vector<std::uint8_t>& frame) override {
-    const int code = wire::validate_frame(frame.data(), frame.size());
-    if (code != 0) throw_rejected(dst, code);
-    ++stats_.roundtrips;
-    stats_.bytes += static_cast<std::int64_t>(frame.size());
-    return frame;
+  explicit InProcTransport(int nnodes) {
+    down_.reserve(static_cast<std::size_t>(nnodes));
+    for (int n = 0; n < nnodes; ++n)
+      down_.push_back(std::make_unique<DownQueue>());
   }
+
+  ~InProcTransport() override { join_workers(); }
+
+  const char* name() const override { return "inproc"; }
+
+  void spawn_workers(const WorkerMain& main) override {
+    main_ = main;
+    for (int n = 0; n < static_cast<int>(down_.size()); ++n)
+      threads_.emplace_back([this, n] {
+        Ep ep(this, n);
+        try {
+          main_(n, ep);
+        } catch (...) {
+          // The rank body handles its own faults; anything escaping here
+          // means the hub is being torn down.
+        }
+      });
+  }
+
+  void send_to(int dst, const Bytes& frame) override {
+    stats_.bytes += static_cast<std::int64_t>(frame.size());
+    DownQueue& d = *down_[static_cast<std::size_t>(dst)];
+    {
+      std::lock_guard<std::mutex> lock(d.mu);
+      d.q.push_back(frame);
+    }
+    d.cv.notify_one();
+  }
+
+  Bytes recv_any(int* src) override {
+    std::unique_lock<std::mutex> lock(up_mu_);
+    up_cv_.wait(lock, [&] { return !up_.empty(); });
+    UpMsg m = std::move(up_.front());
+    up_.pop_front();
+    lock.unlock();
+    ++stats_.roundtrips;
+    stats_.bytes += static_cast<std::int64_t>(m.frame.size());
+    *src = m.rank;
+    return std::move(m.frame);
+  }
+
+  void clear_pending(int n) override {
+    DownQueue& d = *down_[static_cast<std::size_t>(n)];
+    std::lock_guard<std::mutex> lock(d.mu);
+    d.q.clear();
+  }
+
+  void join_workers() override {
+    for (auto& d : down_) {
+      {
+        std::lock_guard<std::mutex> lock(d->mu);
+        d->closed = true;
+      }
+      d->cv.notify_all();
+    }
+    for (std::thread& t : threads_)
+      if (t.joinable()) t.join();
+  }
+
+ private:
+  struct DownQueue {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Bytes> q;
+    bool closed = false;
+  };
+  struct UpMsg {
+    int rank;
+    Bytes frame;
+  };
+
+  class Ep final : public WorkerEndpoint {
+   public:
+    Ep(InProcTransport* t, int rank) : t_(t), rank_(rank) {}
+
+    void send(const Bytes& frame) override {
+      {
+        std::lock_guard<std::mutex> lock(t_->up_mu_);
+        t_->up_.push_back({rank_, frame});
+      }
+      t_->up_cv_.notify_one();
+    }
+
+    Bytes recv() override {
+      DownQueue& d = *t_->down_[static_cast<std::size_t>(rank_)];
+      std::unique_lock<std::mutex> lock(d.mu);
+      d.cv.wait(lock, [&] { return !d.q.empty() || d.closed; });
+      if (d.q.empty())
+        throw TransportError(rank_, "hub closed");
+      Bytes f = std::move(d.q.front());
+      d.q.pop_front();
+      return f;
+    }
+
+   private:
+    InProcTransport* t_;
+    int rank_;
+  };
+
+  WorkerMain main_;
+  std::vector<std::unique_ptr<DownQueue>> down_;
+  std::mutex up_mu_;
+  std::condition_variable up_cv_;
+  std::deque<UpMsg> up_;
+  std::vector<std::thread> threads_;
 };
 
 // ---------------------------------------------------------------------------
-// Shared-memory rings. One worker process per node; frames stream through
-// a request/response pair of SPSC byte rings in an anonymous MAP_SHARED
-// mapping. The worker is allocation-free after fork: it validates each
-// frame in a buffer preallocated by the parent and echoes it back.
+// Shared-memory rings. One worker process per rank; frames stream through
+// a down (coordinator -> rank) and an up (rank -> coordinator) SPSC byte
+// ring in an anonymous MAP_SHARED mapping per rank.
 // ---------------------------------------------------------------------------
 
 struct alignas(64) Cursor {
@@ -78,8 +263,8 @@ struct Ring {
 };
 
 struct ShmControl {
-  Ring req;  // coordinator -> worker
-  Ring rsp;  // worker -> coordinator
+  Ring down;  // coordinator -> worker
+  Ring up;    // worker -> coordinator
   std::atomic<std::uint32_t> stop{0};
 };
 
@@ -129,40 +314,89 @@ void ring_read(Ring& r, const unsigned char* data, std::size_t cap,
   }
 }
 
-/// The worker body: read [len][frame], validate, echo [len][frame][status].
-/// Runs in the forked child; everything it touches was mapped or allocated
-/// before the fork, so it never calls malloc (fork from a multithreaded
-/// parent must not).
-[[noreturn]] void shm_worker_loop(ShmControl* c, unsigned char* req_data,
-                                  unsigned char* rsp_data, std::size_t cap,
-                                  std::uint8_t* buf) {
-  std::uint64_t spins = 0;
-  auto idle = [&] {
-    if (c->stop.load(std::memory_order_acquire)) _exit(0);
-    if ((++spins & 0x3FFu) == 0) sched_yield();
-  };
-  for (;;) {
+/// Writes at most what fits right now; returns bytes written (no spin).
+std::size_t try_ring_write(Ring& r, unsigned char* data, std::size_t cap,
+                           const std::uint8_t* src, std::size_t n) {
+  const std::uint64_t head = r.head.v.load(std::memory_order_relaxed);
+  const std::uint64_t tail = r.tail.v.load(std::memory_order_acquire);
+  const std::size_t space = cap - static_cast<std::size_t>(head - tail);
+  const std::size_t chunk = std::min(space, n);
+  if (chunk == 0) return 0;
+  const std::size_t pos = static_cast<std::size_t>(head % cap);
+  const std::size_t first = std::min(chunk, cap - pos);
+  std::memcpy(data + pos, src, first);
+  std::memcpy(data, src + first, chunk - first);
+  r.head.v.store(head + chunk, std::memory_order_release);
+  return chunk;
+}
+
+/// Reads at most `n` of whatever is available; returns bytes read.
+std::size_t try_ring_read(Ring& r, const unsigned char* data, std::size_t cap,
+                          std::uint8_t* dst, std::size_t n) {
+  const std::uint64_t tail = r.tail.v.load(std::memory_order_relaxed);
+  const std::uint64_t head = r.head.v.load(std::memory_order_acquire);
+  const std::size_t avail = static_cast<std::size_t>(head - tail);
+  const std::size_t chunk = std::min(avail, n);
+  if (chunk == 0) return 0;
+  const std::size_t pos = static_cast<std::size_t>(tail % cap);
+  const std::size_t first = std::min(chunk, cap - pos);
+  std::memcpy(dst, data + pos, first);
+  std::memcpy(dst + first, data, chunk - first);
+  r.tail.v.store(tail + chunk, std::memory_order_release);
+  return chunk;
+}
+
+/// Worker side of the shm rings: blocking, with the stop flag as the
+/// hard-teardown escape (the graceful path is a Shutdown control frame).
+class ShmWorkerEndpoint final : public WorkerEndpoint {
+ private:
+  // Defined before its uses: the deduced return type must be known by the
+  // time send()/recv() call it.
+  auto make_idle() {
+    return [this, spins = std::uint64_t{0}]() mutable {
+      if (c_->stop.load(std::memory_order_acquire)) _exit(0);
+      if ((++spins & 0x3FFu) == 0) sched_yield();
+    };
+  }
+
+ public:
+  ShmWorkerEndpoint(ShmControl* c, unsigned char* down_data,
+                    unsigned char* up_data, std::size_t cap)
+      : c_(c), down_data_(down_data), up_data_(up_data), cap_(cap) {}
+
+  void send(const Bytes& frame) override {
     std::uint8_t n4[4];
-    ring_read(c->req, req_data, cap, n4, 4, idle);
+    io::store_u32le(n4, static_cast<std::uint32_t>(frame.size()));
+    auto idle = make_idle();
+    ring_write(c_->up, up_data_, cap_, n4, 4, idle);
+    ring_write(c_->up, up_data_, cap_, frame.data(), frame.size(), idle);
+  }
+
+  Bytes recv() override {
+    std::uint8_t n4[4];
+    auto idle = make_idle();
+    ring_read(c_->down, down_data_, cap_, n4, 4, idle);
     const std::uint32_t len = io::load_u32le(n4);
     if (len > kMaxFrameBytes) _exit(3);  // framing broken; cannot resync
-    ring_read(c->req, req_data, cap, buf, len, idle);
-    const int status = wire::validate_frame(buf, len);
-    io::store_u32le(n4, len);
-    ring_write(c->rsp, rsp_data, cap, n4, 4, idle);
-    ring_write(c->rsp, rsp_data, cap, buf, len, idle);
-    io::store_u32le(n4, static_cast<std::uint32_t>(status));
-    ring_write(c->rsp, rsp_data, cap, n4, 4, idle);
+    Bytes frame(len);
+    ring_read(c_->down, down_data_, cap_, frame.data(), len, idle);
+    return frame;
   }
-}
+
+ private:
+  ShmControl* c_;
+  unsigned char* down_data_;
+  unsigned char* up_data_;
+  std::size_t cap_;
+};
 
 class ShmForkTransport final : public ByteTransport {
  public:
   ShmForkTransport(int nnodes, std::size_t ring_bytes)
       : cap_(std::max<std::size_t>(ring_bytes, 4096)) {
     io::crc32(0, "", 0);  // warm the CRC table before any fork
-    child_buf_.resize(kMaxFrameBytes);
     nodes_.resize(static_cast<std::size_t>(nnodes));
+    io_.resize(static_cast<std::size_t>(nnodes));
     for (int n = 0; n < nnodes; ++n) {
       void* mem = mmap(nullptr, map_len(), PROT_READ | PROT_WRITE,
                        MAP_SHARED | MAP_ANONYMOUS, -1, 0);
@@ -171,52 +405,59 @@ class ShmForkTransport final : public ByteTransport {
                                     std::string(std::strerror(errno)));
       new (mem) ShmControl{};
       nodes_[static_cast<std::size_t>(n)].mem = mem;
-      spawn(n);
     }
   }
 
   ~ShmForkTransport() override {
-    for (int n = 0; n < static_cast<int>(nodes_.size()); ++n) shutdown(n);
+    join_workers();
     for (Node& nd : nodes_)
       if (nd.mem) munmap(nd.mem, map_len());
   }
 
   const char* name() const override { return "shm-fork"; }
 
-  const std::vector<std::uint8_t>& roundtrip(
-      int dst, const std::vector<std::uint8_t>& frame) override {
-    Node& nd = nodes_[static_cast<std::size_t>(dst)];
-    if (nd.pid < 0)
-      throw TransportError(dst, "worker for node " + std::to_string(dst) +
-                                    " is down");
+  void spawn_workers(const WorkerMain& main) override {
+    main_ = main;
+    for (int n = 0; n < static_cast<int>(nodes_.size()); ++n) spawn(n);
+  }
+
+  void send_to(int dst, const Bytes& frame) override {
     if (frame.size() > kMaxFrameBytes)
       throw wire::WireError(wire::WireError::Kind::kBadLength,
                             "frame exceeds transport cap");
-    ShmControl* c = ctl(dst);
+    stats_.bytes += static_cast<std::int64_t>(frame.size());
+    io_[static_cast<std::size_t>(dst)].out.append_frame(frame);
+    pump(dst);
+  }
+
+  Bytes recv_any(int* src) override {
+    const int nn = static_cast<int>(nodes_.size());
     std::uint64_t spins = 0;
-    auto idle = [&] {
-      if ((++spins & 0xFFu) == 0) {
-        check_alive(dst);
+    Bytes frame;
+    for (;;) {
+      bool progress = false;
+      for (int k = 0; k < nn; ++k) {
+        const int r = (next_ + k) % nn;
+        pump(r);
+        progress |= slurp(r);
+        if (io_[static_cast<std::size_t>(r)].in.pop_frame(&frame, r)) {
+          next_ = (r + 1) % nn;
+          ++stats_.roundtrips;
+          stats_.bytes += static_cast<std::int64_t>(frame.size());
+          *src = r;
+          return frame;
+        }
+      }
+      if (!progress && (++spins & 0xFFu) == 0) {
+        check_dead();
         sched_yield();
       }
-    };
-    std::uint8_t n4[4];
-    io::store_u32le(n4, static_cast<std::uint32_t>(frame.size()));
-    ring_write(c->req, req_data(dst), cap_, n4, 4, idle);
-    ring_write(c->req, req_data(dst), cap_, frame.data(), frame.size(), idle);
-    ring_read(c->rsp, rsp_data(dst), cap_, n4, 4, idle);
-    const std::uint32_t rlen = io::load_u32le(n4);
-    if (rlen != frame.size())
-      throw TransportError(dst, "echo length mismatch from node " +
-                                    std::to_string(dst));
-    echo_.resize(rlen);
-    ring_read(c->rsp, rsp_data(dst), cap_, echo_.data(), rlen, idle);
-    ring_read(c->rsp, rsp_data(dst), cap_, n4, 4, idle);
-    const std::uint32_t status = io::load_u32le(n4);
-    if (status != 0) throw_rejected(dst, static_cast<int>(status));
-    ++stats_.roundtrips;
-    stats_.bytes += static_cast<std::int64_t>(frame.size());
-    return echo_;
+    }
+  }
+
+  void clear_pending(int n) override {
+    io_[static_cast<std::size_t>(n)].out.clear();
+    io_[static_cast<std::size_t>(n)].in.clear();
   }
 
   void kill_node(int n) override {
@@ -235,13 +476,15 @@ class ShmForkTransport final : public ByteTransport {
       if (waitpid(nd.pid, &st, WNOHANG) != nd.pid) return;  // still alive
       nd.pid = -1;  // externally killed; reaped just now
     }
-    // The dead worker may have been mid-frame: reset both rings.
+    // The dead worker may have been mid-frame: reset both rings and any
+    // coordinator-side partial state.
     ShmControl* c = ctl(n);
-    c->req.head.v.store(0);
-    c->req.tail.v.store(0);
-    c->rsp.head.v.store(0);
-    c->rsp.tail.v.store(0);
+    c->down.head.v.store(0);
+    c->down.tail.v.store(0);
+    c->up.head.v.store(0);
+    c->up.tail.v.store(0);
     c->stop.store(0);
+    clear_pending(n);
     spawn(n);
   }
 
@@ -249,44 +492,81 @@ class ShmForkTransport final : public ByteTransport {
     return nodes_[static_cast<std::size_t>(n)].pid;
   }
 
+  void join_workers() override {
+    for (int n = 0; n < static_cast<int>(nodes_.size()); ++n) {
+      // Give the graceful Shutdown path its last bytes.
+      pump(n);
+      shutdown(n);
+    }
+  }
+
  private:
   struct Node {
     void* mem = nullptr;
     pid_t pid = -1;
+  };
+  struct RankIo {
+    OutBuf out;
+    FrameBuf in;
   };
 
   std::size_t map_len() const { return sizeof(ShmControl) + 2 * cap_; }
   ShmControl* ctl(int n) {
     return static_cast<ShmControl*>(nodes_[static_cast<std::size_t>(n)].mem);
   }
-  unsigned char* req_data(int n) {
+  unsigned char* down_data(int n) {
     return reinterpret_cast<unsigned char*>(ctl(n)) + sizeof(ShmControl);
   }
-  unsigned char* rsp_data(int n) { return req_data(n) + cap_; }
+  unsigned char* up_data(int n) { return down_data(n) + cap_; }
+
+  void pump(int n) {
+    RankIo& io = io_[static_cast<std::size_t>(n)];
+    while (!io.out.empty()) {
+      const std::size_t w = try_ring_write(ctl(n)->down, down_data(n), cap_,
+                                           io.out.data(), io.out.size());
+      if (w == 0) break;
+      io.out.consume(w);
+    }
+  }
+
+  bool slurp(int n) {
+    std::uint8_t chunk[65536];
+    const std::size_t r =
+        try_ring_read(ctl(n)->up, up_data(n), cap_, chunk, sizeof chunk);
+    if (r == 0) return false;
+    io_[static_cast<std::size_t>(n)].in.append(chunk, r);
+    return true;
+  }
 
   void spawn(int n) {
     ShmControl* c = ctl(n);
+    const pid_t parent = getpid();
     const pid_t pid = fork();
     if (pid < 0)
       throw TransportError(n,
                            "fork failed: " + std::string(std::strerror(errno)));
-    if (pid == 0)
-      shm_worker_loop(c, req_data(n), rsp_data(n), cap_, child_buf_.data());
+    if (pid == 0) {
+      arm_pdeathsig(parent);
+      ShmWorkerEndpoint ep(c, down_data(n), up_data(n), cap_);
+      run_child(n, ep, main_);
+    }
     nodes_[static_cast<std::size_t>(n)].pid = pid;
   }
 
-  /// Reaps the worker if it exited; an exited worker mid-roundtrip is an
-  /// endpoint loss, surfaced as TransportError.
-  void check_alive(int n) {
-    Node& nd = nodes_[static_cast<std::size_t>(n)];
-    if (nd.pid < 0)
-      throw TransportError(n, "worker for node " + std::to_string(n) +
-                                  " is down");
-    int st = 0;
-    if (waitpid(nd.pid, &st, WNOHANG) == nd.pid) {
-      nd.pid = -1;
-      throw TransportError(n, "worker for node " + std::to_string(n) +
-                                  " died mid-roundtrip");
+  /// Reaps any worker that exited; a dead rank surfaces as TransportError
+  /// into the VM's rollback path.
+  void check_dead() {
+    for (int n = 0; n < static_cast<int>(nodes_.size()); ++n) {
+      Node& nd = nodes_[static_cast<std::size_t>(n)];
+      if (nd.pid < 0)
+        throw TransportError(n, "worker for rank " + std::to_string(n) +
+                                    " is down");
+      int st = 0;
+      if (waitpid(nd.pid, &st, WNOHANG) == nd.pid) {
+        nd.pid = -1;
+        throw TransportError(n, "worker for rank " + std::to_string(n) +
+                                    " died");
+      }
     }
   }
 
@@ -309,15 +589,15 @@ class ShmForkTransport final : public ByteTransport {
 
   std::size_t cap_;
   std::vector<Node> nodes_;
-  std::vector<std::uint8_t> child_buf_;  // preallocated pre-fork per child
-  std::vector<std::uint8_t> echo_;
+  std::vector<RankIo> io_;
+  WorkerMain main_;
+  int next_ = 0;
 };
 
 // ---------------------------------------------------------------------------
-// TCP loopback. Same worker protocol, but every frame crosses a real
-// kernel socket boundary in each direction. One listening socket and one
-// accepted connection per node; workers are forked children that connect
-// back over 127.0.0.1.
+// TCP loopback. Same worker bodies, but every frame crosses a real kernel
+// socket boundary. The coordinator's accepted sockets are non-blocking
+// (send_to buffers; recv_any polls); worker sockets stay blocking.
 // ---------------------------------------------------------------------------
 
 bool read_full(int fd, std::uint8_t* dst, std::size_t n) {
@@ -348,77 +628,116 @@ bool write_full(int fd, const std::uint8_t* src, std::size_t n) {
   return true;
 }
 
-[[noreturn]] void tcp_worker_loop(int fd, std::uint8_t* buf) {
-  for (;;) {
+class TcpWorkerEndpoint final : public WorkerEndpoint {
+ public:
+  explicit TcpWorkerEndpoint(int fd) : fd_(fd) {}
+
+  void send(const Bytes& frame) override {
     std::uint8_t n4[4];
-    if (!read_full(fd, n4, 4)) _exit(0);  // coordinator closed: shut down
+    io::store_u32le(n4, static_cast<std::uint32_t>(frame.size()));
+    if (!write_full(fd_, n4, 4) ||
+        !write_full(fd_, frame.data(), frame.size()))
+      _exit(0);  // coordinator gone
+  }
+
+  Bytes recv() override {
+    std::uint8_t n4[4];
+    if (!read_full(fd_, n4, 4)) _exit(0);
     const std::uint32_t len = io::load_u32le(n4);
     if (len > kMaxFrameBytes) _exit(3);
-    if (!read_full(fd, buf, len)) _exit(0);
-    const int status = wire::validate_frame(buf, len);
-    io::store_u32le(n4, len);
-    if (!write_full(fd, n4, 4) || !write_full(fd, buf, len)) _exit(0);
-    io::store_u32le(n4, static_cast<std::uint32_t>(status));
-    if (!write_full(fd, n4, 4)) _exit(0);
+    Bytes frame(len);
+    if (!read_full(fd_, frame.data(), len)) _exit(0);
+    return frame;
   }
-}
+
+ private:
+  int fd_;
+};
 
 class TcpTransport final : public ByteTransport {
  public:
   explicit TcpTransport(int nnodes) {
     io::crc32(0, "", 0);  // warm the CRC table before any fork
-    child_buf_.resize(kMaxFrameBytes);
     nodes_.resize(static_cast<std::size_t>(nnodes));
-    for (int n = 0; n < nnodes; ++n) {
-      listen_on(n);
-      spawn(n);
-    }
+    io_.resize(static_cast<std::size_t>(nnodes));
+    for (int n = 0; n < nnodes; ++n) listen_on(n);
   }
 
   ~TcpTransport() override {
+    join_workers();
     for (Node& nd : nodes_) {
-      if (nd.fd >= 0) close(nd.fd);  // EOF tells the worker to exit
-    }
-    for (Node& nd : nodes_) {
-      if (nd.pid >= 0) {
-        int st = 0;
-        if (waitpid(nd.pid, &st, WNOHANG) != nd.pid) {
-          ::kill(nd.pid, SIGKILL);
-          waitpid(nd.pid, &st, 0);
-        }
-      }
       if (nd.listen_fd >= 0) close(nd.listen_fd);
     }
   }
 
   const char* name() const override { return "tcp-loopback"; }
 
-  const std::vector<std::uint8_t>& roundtrip(
-      int dst, const std::vector<std::uint8_t>& frame) override {
-    Node& nd = nodes_[static_cast<std::size_t>(dst)];
-    if (nd.fd < 0)
-      throw TransportError(dst, "connection to node " + std::to_string(dst) +
-                                    " is down");
+  void spawn_workers(const WorkerMain& main) override {
+    main_ = main;
+    for (int n = 0; n < static_cast<int>(nodes_.size()); ++n) spawn(n);
+  }
+
+  void send_to(int dst, const Bytes& frame) override {
     if (frame.size() > kMaxFrameBytes)
       throw wire::WireError(wire::WireError::Kind::kBadLength,
                             "frame exceeds transport cap");
-    std::uint8_t n4[4];
-    io::store_u32le(n4, static_cast<std::uint32_t>(frame.size()));
-    if (!write_full(nd.fd, n4, 4) ||
-        !write_full(nd.fd, frame.data(), frame.size()))
-      return drop_connection(dst, "send failed");
-    if (!read_full(nd.fd, n4, 4)) return drop_connection(dst, "echo lost");
-    const std::uint32_t rlen = io::load_u32le(n4);
-    if (rlen != frame.size())
-      return drop_connection(dst, "echo length mismatch");
-    echo_.resize(rlen);
-    if (!read_full(nd.fd, echo_.data(), rlen) || !read_full(nd.fd, n4, 4))
-      return drop_connection(dst, "echo lost");
-    const std::uint32_t status = io::load_u32le(n4);
-    if (status != 0) throw_rejected(dst, static_cast<int>(status));
-    ++stats_.roundtrips;
     stats_.bytes += static_cast<std::int64_t>(frame.size());
-    return echo_;
+    io_[static_cast<std::size_t>(dst)].out.append_frame(frame);
+    pump(dst);
+  }
+
+  Bytes recv_any(int* src) override {
+    const int nn = static_cast<int>(nodes_.size());
+    Bytes frame;
+    for (;;) {
+      for (int k = 0; k < nn; ++k) {
+        const int r = (next_ + k) % nn;
+        if (io_[static_cast<std::size_t>(r)].in.pop_frame(&frame, r)) {
+          next_ = (r + 1) % nn;
+          ++stats_.roundtrips;
+          stats_.bytes += static_cast<std::int64_t>(frame.size());
+          *src = r;
+          return frame;
+        }
+      }
+      std::vector<pollfd> pfds;
+      std::vector<int> ranks;
+      for (int n = 0; n < nn; ++n) {
+        Node& nd = nodes_[static_cast<std::size_t>(n)];
+        if (nd.fd < 0) continue;
+        short ev = POLLIN;
+        if (!io_[static_cast<std::size_t>(n)].out.empty()) ev |= POLLOUT;
+        pfds.push_back({nd.fd, ev, 0});
+        ranks.push_back(n);
+      }
+      if (pfds.empty()) check_dead();  // throws: nothing left to wait on
+      const int pr = poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 100);
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        throw TransportError(-1, "poll failed: " +
+                                     std::string(std::strerror(errno)));
+      }
+      if (pr == 0) {
+        check_dead();
+        continue;
+      }
+      for (std::size_t i = 0; i < pfds.size(); ++i) {
+        const int n = ranks[i];
+        if (pfds[i].revents & POLLOUT) pump(n);
+        if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+          if (!slurp(n)) {
+            reap(n);
+            throw TransportError(n, "worker for rank " + std::to_string(n) +
+                                        " disconnected");
+          }
+        }
+      }
+    }
+  }
+
+  void clear_pending(int n) override {
+    io_[static_cast<std::size_t>(n)].out.clear();
+    io_[static_cast<std::size_t>(n)].in.clear();
   }
 
   void kill_node(int n) override {
@@ -438,23 +757,43 @@ class TcpTransport final : public ByteTransport {
   void restart_node(int n) override {
     Node& nd = nodes_[static_cast<std::size_t>(n)];
     if (nd.pid >= 0 && nd.fd >= 0) return;  // still up
-    if (nd.pid >= 0) {  // externally killed: reap
-      int st = 0;
-      if (waitpid(nd.pid, &st, WNOHANG) != nd.pid) {
-        ::kill(nd.pid, SIGKILL);
-        waitpid(nd.pid, &st, 0);
-      }
-      nd.pid = -1;
-    }
+    reap(n);
     if (nd.fd >= 0) {
       close(nd.fd);
       nd.fd = -1;
     }
+    clear_pending(n);
     spawn(n);
   }
 
   long worker_pid(int n) const override {
     return nodes_[static_cast<std::size_t>(n)].pid;
+  }
+
+  void join_workers() override {
+    for (int n = 0; n < static_cast<int>(nodes_.size()); ++n) {
+      Node& nd = nodes_[static_cast<std::size_t>(n)];
+      pump(n);
+      if (nd.fd >= 0) {
+        close(nd.fd);  // EOF tells a still-reading worker to exit
+        nd.fd = -1;
+      }
+      if (nd.pid < 0) continue;
+      int st = 0;
+      bool reaped = false;
+      for (int i = 0; i < 200; ++i) {
+        if (waitpid(nd.pid, &st, WNOHANG) == nd.pid) {
+          reaped = true;
+          break;
+        }
+        usleep(1000);
+      }
+      if (!reaped) {
+        ::kill(nd.pid, SIGKILL);
+        waitpid(nd.pid, &st, 0);
+      }
+      nd.pid = -1;
+    }
   }
 
  private:
@@ -463,6 +802,10 @@ class TcpTransport final : public ByteTransport {
     int fd = -1;
     pid_t pid = -1;
     std::uint16_t port = 0;
+  };
+  struct RankIo {
+    OutBuf out;
+    FrameBuf in;
   };
 
   void listen_on(int n) {
@@ -490,11 +833,13 @@ class TcpTransport final : public ByteTransport {
 
   void spawn(int n) {
     Node& nd = nodes_[static_cast<std::size_t>(n)];
+    const pid_t parent = getpid();
     const pid_t pid = fork();
     if (pid < 0)
       throw TransportError(n,
                            "fork failed: " + std::string(std::strerror(errno)));
     if (pid == 0) {
+      arm_pdeathsig(parent);
       // The worker owns exactly one socket: its connection back to the
       // coordinator. Drop every inherited descriptor first.
       for (const Node& o : nodes_) {
@@ -514,7 +859,8 @@ class TcpTransport final : public ByteTransport {
       close(nd.listen_fd);
       const int one = 1;
       setsockopt(s, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-      tcp_worker_loop(s, child_buf_.data());
+      TcpWorkerEndpoint ep(s);
+      run_child(n, ep, main_);
     }
     nd.pid = pid;
     // Accept with a timeout so a worker that died before connecting (or a
@@ -526,7 +872,7 @@ class TcpTransport final : public ByteTransport {
       int st = 0;
       waitpid(pid, &st, 0);
       nd.pid = -1;
-      throw TransportError(n, "worker for node " + std::to_string(n) +
+      throw TransportError(n, "worker for rank " + std::to_string(n) +
                                   " never connected");
     }
     nd.fd = accept(nd.listen_fd, nullptr, nullptr);
@@ -535,22 +881,76 @@ class TcpTransport final : public ByteTransport {
                                   std::string(std::strerror(errno)));
     const int one = 1;
     setsockopt(nd.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    fcntl(nd.fd, F_SETFL, O_NONBLOCK);
   }
 
-  [[noreturn]] const std::vector<std::uint8_t>& drop_connection(
-      int n, const std::string& why) {
+  void pump(int n) {
     Node& nd = nodes_[static_cast<std::size_t>(n)];
-    if (nd.fd >= 0) {
-      close(nd.fd);
+    RankIo& io = io_[static_cast<std::size_t>(n)];
+    while (nd.fd >= 0 && !io.out.empty()) {
+      const ssize_t w =
+          send(nd.fd, io.out.data(), io.out.size(), MSG_NOSIGNAL);
+      if (w > 0) {
+        io.out.consume(static_cast<std::size_t>(w));
+        continue;
+      }
+      if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (w < 0 && errno == EINTR) continue;
+      close(nd.fd);  // dead connection; the death surfaces in recv_any
       nd.fd = -1;
     }
-    throw TransportError(n, why + " for node " + std::to_string(n) +
-                                " (worker gone)");
+  }
+
+  /// Reads whatever is available; false means the peer is gone.
+  bool slurp(int n) {
+    Node& nd = nodes_[static_cast<std::size_t>(n)];
+    if (nd.fd < 0) return false;
+    std::uint8_t chunk[65536];
+    for (;;) {
+      const ssize_t r = recv(nd.fd, chunk, sizeof chunk, 0);
+      if (r > 0) {
+        io_[static_cast<std::size_t>(n)].in.append(chunk,
+                                                   static_cast<std::size_t>(r));
+        if (static_cast<std::size_t>(r) < sizeof chunk) return true;
+        continue;
+      }
+      if (r == 0) return false;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      return false;
+    }
+  }
+
+  void reap(int n) {
+    Node& nd = nodes_[static_cast<std::size_t>(n)];
+    if (nd.pid < 0) return;
+    int st = 0;
+    if (waitpid(nd.pid, &st, WNOHANG) != nd.pid) {
+      ::kill(nd.pid, SIGKILL);
+      waitpid(nd.pid, &st, 0);
+    }
+    nd.pid = -1;
+  }
+
+  void check_dead() {
+    for (int n = 0; n < static_cast<int>(nodes_.size()); ++n) {
+      Node& nd = nodes_[static_cast<std::size_t>(n)];
+      if (nd.pid < 0 || nd.fd < 0)
+        throw TransportError(n, "worker for rank " + std::to_string(n) +
+                                    " is down");
+      int st = 0;
+      if (waitpid(nd.pid, &st, WNOHANG) == nd.pid) {
+        nd.pid = -1;
+        throw TransportError(n, "worker for rank " + std::to_string(n) +
+                                    " died");
+      }
+    }
   }
 
   std::vector<Node> nodes_;
-  std::vector<std::uint8_t> child_buf_;  // preallocated pre-fork per child
-  std::vector<std::uint8_t> echo_;
+  std::vector<RankIo> io_;
+  WorkerMain main_;
+  int next_ = 0;
 };
 
 }  // namespace
@@ -559,7 +959,7 @@ std::unique_ptr<ByteTransport> make_transport(int nnodes,
                                               const TransportOptions& opts) {
   switch (opts.kind) {
     case TransportKind::kInProc:
-      return std::make_unique<InProcTransport>();
+      return std::make_unique<InProcTransport>(nnodes);
     case TransportKind::kShmFork:
       return std::make_unique<ShmForkTransport>(nnodes, opts.ring_bytes);
     case TransportKind::kTcp:

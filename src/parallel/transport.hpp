@@ -1,36 +1,34 @@
-// Pluggable byte-level transports under the reliable delivery layer.
+// Pluggable byte-level transports under the SPMD virtual-node runtime.
 //
-// The VirtualMachine executes every virtual node's program in the
-// coordinator process (that is what keeps the bitwise-vs-AntonEngine
-// acceptance tractable), but the *wire* is real: each remote frame is a
-// serialized byte string (parallel/wire.hpp) that traverses a
-// ByteTransport to the destination node's endpoint and back. Three
-// backends:
+// Since the SPMD split (DESIGN.md §5h) the VirtualMachine no longer runs
+// the physics in the coordinator process: each rank executes its own
+// NodeProgram loop (a WorkerRuntime) against its own memory, and every
+// delivery is a genuine one-way frame. The transport topology is
+// hub-and-spoke: workers connect only to the coordinator, which routes
+// rank-to-rank frames, counts barrier arrivals and folds diagnostics.
+// Three backends run the SAME worker code:
 //
-//  * InProcTransport  -- the endpoint is a function call; zero-copy echo
-//                        (CRC-validated), the fast path that preserves the
-//                        pre-wire performance envelope.
-//  * ShmForkTransport -- one forked OS process per virtual node, acting as
-//                        that node's network interface. Frames stream
-//                        through a pair of shared-memory SPSC byte rings;
-//                        the worker validates the frame (magic / version /
-//                        length / CRC, allocation-free) and echoes it.
-//  * TcpTransport     -- same worker processes behind TCP loopback
-//                        sockets: the frame crosses a real kernel socket
-//                        boundary in each direction.
+//  * InProcTransport  -- ranks are std::threads in the coordinator
+//                        process; frames cross mutex/condvar queues.
+//  * ShmForkTransport -- one forked OS process per rank; frames stream
+//                        through a pair of shared-memory SPSC byte rings
+//                        per rank.
+//  * TcpTransport     -- same forked workers behind real TCP loopback
+//                        sockets.
 //
-// The roundtrip discipline (send to the destination's endpoint, get the
-// validated bytes back, decode, dispatch) keeps delivery synchronous and
-// ordered, so all three backends produce bitwise-identical trajectories --
-// that is the conformance contract the cross-backend matrix asserts. A
-// SIGKILL-ed worker genuinely takes its endpoint down: the next roundtrip
-// to that node throws TransportError, which the VM turns into the same
-// coordinated-rollback recovery an injected crash uses. Full SPMD
-// execution (physics in the workers too) is future work; the wire format,
-// framing and failure semantics established here are what it will ride on.
+// Coordinator discipline: send_to() NEVER blocks (frames that do not fit
+// the wire are buffered per rank and drained opportunistically), and
+// recv_any() always keeps draining every rank's upstream while making
+// write progress -- so a rank blocked writing to the hub can never
+// deadlock against a hub blocked writing to a rank. Workers use plain
+// blocking sends/receives. A SIGKILL-ed worker genuinely takes its
+// endpoint down: the next recv_any() throws TransportError carrying the
+// dead rank, which the VM turns into the same coordinated-rollback
+// recovery an injected crash uses.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -38,7 +36,7 @@
 
 namespace anton::parallel {
 
-/// The destination endpoint is gone (worker process died, socket closed).
+/// The endpoint for a rank is gone (worker process died, socket closed).
 /// The reliable layer cannot mask this -- in-flight state is lost -- so it
 /// propagates to the VM, which recovers by coordinated rollback.
 class TransportError : public std::runtime_error {
@@ -52,58 +50,89 @@ class TransportError : public std::runtime_error {
 };
 
 enum class TransportKind {
-  kInProc,   // endpoint is a function call in this process
-  kShmFork,  // forked worker per node over shared-memory rings
-  kTcp,      // forked worker per node behind a TCP loopback socket
+  kInProc,   // ranks are threads in this process
+  kShmFork,  // forked worker per rank over shared-memory rings
+  kTcp,      // forked worker per rank behind a TCP loopback socket
 };
 
 struct TransportOptions {
   TransportKind kind = TransportKind::kInProc;
-  /// Decode-verify every echoed frame even on the in-process fast path
-  /// (conformance mode: proves encode -> wire -> decode -> dispatch is the
-  /// identity the fast path skips).
+  /// Validate (magic/version/length/CRC) every frame the hub routes, even
+  /// on the in-process path (conformance mode: proves the coordinator
+  /// forwards exactly what was encoded).
   bool verify = false;
   /// Shared-memory ring capacity per direction (kShmFork).
   std::size_t ring_bytes = std::size_t{1} << 20;
 };
 
-/// Cumulative traffic through a transport (measured at the byte level;
-/// bytes counts each direction once, i.e. frame bytes, not frame echoes).
+/// Cumulative traffic through the hub. `roundtrips` counts frames the
+/// coordinator received from ranks (the historic name is kept for the
+/// vm.wire.* metrics); `bytes` counts frame bytes in both directions.
 struct WireStats {
   std::int64_t roundtrips = 0;
   std::int64_t bytes = 0;
 };
 
-/// One byte-level wire: frames go to a node's endpoint and come back
-/// validated. Implementations are synchronous and single-threaded.
+/// A rank's two-way channel to the coordinator hub. Blocking on both
+/// sides; used only from the worker (thread or forked process).
+class WorkerEndpoint {
+ public:
+  virtual ~WorkerEndpoint() = default;
+  /// Sends one frame to the hub. Blocks while the upstream is full.
+  virtual void send(const std::vector<std::uint8_t>& frame) = 0;
+  /// Receives the next frame from the hub, blocking until one arrives.
+  /// Throws TransportError when the hub side is gone.
+  virtual std::vector<std::uint8_t> recv() = 0;
+};
+
+/// The rank body: runs the full worker event loop against its endpoint.
+/// Stored by the transport so restart_node() can relaunch a dead rank.
+using WorkerMain = std::function<void(int rank, WorkerEndpoint& ep)>;
+
+/// The coordinator's side of the hub.
 class ByteTransport {
  public:
   virtual ~ByteTransport() = default;
 
   virtual const char* name() const = 0;
 
-  /// Sends `frame` to node `dst`'s endpoint; returns the bytes the
-  /// endpoint echoed after validating them. Throws TransportError if the
-  /// endpoint is dead, WireError if the endpoint rejected the frame.
-  virtual const std::vector<std::uint8_t>& roundtrip(
-      int dst, const std::vector<std::uint8_t>& frame) = 0;
+  /// Launches one worker per rank running `main`. Called exactly once,
+  /// after the coordinator has built the world the workers inherit.
+  virtual void spawn_workers(const WorkerMain& main) = 0;
 
-  /// True when the endpoint shares this address space (enables the
-  /// decode-skipping fast path in the reliable layer).
-  virtual bool local() const { return false; }
+  /// Queues `frame` for rank `dst` and makes as much write progress as
+  /// the wire allows without blocking. A dead rank's frames are buffered
+  /// silently (the death surfaces in recv_any).
+  virtual void send_to(int dst, const std::vector<std::uint8_t>& frame) = 0;
 
-  /// SIGKILLs node `n`'s worker process (no-op for in-process).
+  /// Blocks until one frame arrives from any rank (draining every rank's
+  /// upstream and flushing pending downstream writes meanwhile). Sets
+  /// *src to the sending rank. Throws TransportError carrying the rank
+  /// when a worker is discovered dead.
+  virtual std::vector<std::uint8_t> recv_any(int* src) = 0;
+
+  /// Drops queued downstream frames and partial upstream bytes for rank
+  /// `n` (rollback support: the rank is about to be restarted/restored).
+  virtual void clear_pending(int n) { (void)n; }
+
+  /// SIGKILLs rank `n`'s worker process and reaps it (no-op in-process).
   virtual void kill_node(int n) { (void)n; }
 
-  /// Brings node `n`'s endpoint back up after a kill (no-op in-process).
+  /// Brings rank `n`'s endpoint back up after a kill, re-running the
+  /// stored WorkerMain (no-op in-process: the thread never died).
   virtual void restart_node(int n) { (void)n; }
 
-  /// OS pid of node `n`'s worker, or -1 if it has none. Tests use this to
+  /// OS pid of rank `n`'s worker, or -1 if it has none. Tests use this to
   /// SIGKILL a real worker mid-run from outside the fault schedule.
   virtual long worker_pid(int n) const {
     (void)n;
     return -1;
   }
+
+  /// Graceful teardown: flush pending writes and reap/join every worker.
+  /// The VM calls this after broadcasting Shutdown; the destructor falls
+  /// back to a hard kill for workers still alive.
+  virtual void join_workers() {}
 
   const WireStats& stats() const { return stats_; }
 
@@ -111,9 +140,9 @@ class ByteTransport {
   WireStats stats_;
 };
 
-/// Builds the requested backend for an `nnodes`-node machine. Fork-based
-/// backends spawn their workers here; the returned transport owns them
-/// (reaped on destruction).
+/// Builds the requested backend for an `nnodes`-rank machine. The
+/// returned transport owns its workers (deterministically reaped on
+/// join_workers()/destruction -- no zombies survive the coordinator).
 std::unique_ptr<ByteTransport> make_transport(int nnodes,
                                               const TransportOptions& opts);
 

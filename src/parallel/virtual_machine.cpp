@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
-#include <type_traits>
+#include <string>
+#include <utility>
 #include <variant>
 
-#include "bonded/bonded.hpp"
 #include "fixed/fixed.hpp"
 
 namespace anton::parallel {
@@ -31,6 +31,39 @@ inline void sub3(Vec3l& a, const Vec3l& d) {
 constexpr std::int64_t kMsgHeader = 8;
 constexpr std::int64_t kPosRecord = 16;
 constexpr std::int64_t kForceRecord = 28;
+
+/// Internal control-flow signal: a rank reported a typed WorkerError
+/// (e.g. a corrupted frame). Thrown out of collect_reports and answered
+/// by run_cycles with a coordinated rollback.
+struct WorkerErrorSignal {
+  int rank = -1;
+  std::uint8_t code = 0;
+};
+
+/// Destination field of a serialized frame (u16 little-endian at byte
+/// offset 10). A buffer too short to hold a header is classified as
+/// coordinator-bound so the decode path raises the typed WireError.
+std::uint16_t peek_dst(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < wire::kHeaderBytes)
+    return static_cast<std::uint16_t>(wire::kCoordinator);
+  return static_cast<std::uint16_t>(bytes[10] |
+                                    (static_cast<unsigned>(bytes[11]) << 8));
+}
+
+wire::WireError::Kind validate_kind(int rc) {
+  switch (rc) {
+    case 1:
+      return wire::WireError::Kind::kTruncated;
+    case 2:
+      return wire::WireError::Kind::kBadMagic;
+    case 3:
+      return wire::WireError::Kind::kBadVersion;
+    case 4:
+      return wire::WireError::Kind::kBadLength;
+    default:
+      return wire::WireError::Kind::kBadCrc;
+  }
+}
 
 }  // namespace
 
@@ -89,8 +122,6 @@ VirtualMachine::VirtualMachine(System sys, const core::AntonConfig& cfg,
   kernels_ = htis::PairKernels(tp, top.lj_types);
 
   gse_ = std::make_unique<ewald::Gse>(sys_.box, gse_params_);
-  fft1_ = std::make_unique<fft::Fft1D>(
-      static_cast<std::size_t>(gse_params_.mesh));
 
   init_pair_tables(acfg_.sim.cutoff, gse_params_.beta, gse_params_.sigma_s,
                    gse_params_.rs, acfg_.table_mantissa_bits);
@@ -116,15 +147,6 @@ VirtualMachine::VirtualMachine(System sys, const core::AntonConfig& cfg,
   }
   build_mesh_blocks();
   workload_.nodes.assign(nnodes, {});
-  red_kin_.assign(static_cast<std::size_t>(n), 0.0);
-
-  // Stand up the byte wire before the first force computation: every
-  // remote delivery from here on is a serialized frame on this transport.
-  wire_ = make_transport(nnodes, topts_);
-  transport_.set_wire(wire_.get());
-  transport_.set_verify(topts_.verify);
-  transport_.set_sink(
-      [this](const wire::Frame& f) { dispatch_frame(f); });
 
   // Virtual sites are rebuilt globally once before distribution, so the
   // initial binning sees the same site positions the engine's does.
@@ -138,8 +160,53 @@ VirtualMachine::VirtualMachine(System sys, const core::AntonConfig& cfg,
   initial_distribution(gpos, gvel);
   rebuild_bins_and_terms();
 
-  compute_short_forces();
-  compute_long_forces();
+  // Stand up the byte wire and launch one WorkerRuntime per rank seeded
+  // from the freshly distributed state; the ranks own the live state and
+  // the physics from here on. The initial force evaluation runs in the
+  // workers, exactly like a cycle's force phases.
+  spawn_ranks();
+}
+
+VirtualMachine::~VirtualMachine() {
+  if (!wire_) return;
+  try {
+    wire::Control c;
+    c.op = wire::CtrlOp::kShutdown;
+    for (int n = 0; n < node_count(); ++n) send_ctl_to(n, wire::Payload{c});
+    wire_->join_workers();
+  } catch (...) {
+    // Teardown is best-effort; the transport destructor reaps whatever
+    // is left by force.
+  }
+}
+
+void VirtualMachine::spawn_ranks() {
+  const int nnodes = node_count();
+  world_.np = &np_;
+  world_.geom = geom_.get();
+  world_.coefs = &coefs_;
+  world_.acfg = &acfg_;
+  world_.units = &units_;
+  world_.group_constraints = &group_constraints_;
+  world_.consumers = &consumers_;
+  world_.node_subboxes = &node_subboxes_;
+  world_.dest_feed = &dest_feed_;
+  world_.vsite_feed = &vsite_feed_;
+  world_.mesh_owner = mesh_owner_;
+  world_.mesh_start = mesh_start_;
+  world_.nnodes = nnodes;
+
+  wire_ = make_transport(nnodes, topts_);
+  wire_->spawn_workers([this](int rank, WorkerEndpoint& ep) {
+    WorkerRuntime wr(world_, rank, ep, nodes_[rank], directory_, unit_sb_,
+                     steps_);
+    wr.run();
+  });
+
+  wire::Control c;
+  c.op = wire::CtrlOp::kInitForces;
+  broadcast_ctl(wire::Payload{c});
+  collect_reports(nnodes);
 }
 
 void VirtualMachine::init_pair_tables(double cutoff, double beta,
@@ -257,8 +324,6 @@ void VirtualMachine::build_mesh_blocks() {
   }
   const std::size_t mesh_total =
       static_cast<std::size_t>(M) * M * M;
-  master_q_full_.assign(mesh_total, 0.0);
-  master_phi_full_.assign(mesh_total, 0.0);
   const int nnodes = node_count();
   for (int n = 0; n < nnodes; ++n) {
     NodeState& nd = nodes_[n];
@@ -340,946 +405,199 @@ void VirtualMachine::rebuild_bins_and_terms() {
 }
 
 // ---------------------------------------------------------------------------
-// Message accounting.
+// Control plane: coordinator-originated raw frames.
 // ---------------------------------------------------------------------------
 
-int VirtualMachine::torus_hops(int src, int dst) const {
-  const Vec3i p = geom_->config().node_grid;
-  auto ring = [](int a, int b, int n) {
-    const int d = std::abs(a - b);
-    return std::min(d, n - d);
+void VirtualMachine::send_frame_raw(int dst,
+                                    const std::vector<std::uint8_t>& bytes) {
+  wire_->send_to(dst, bytes);
+}
+
+void VirtualMachine::send_ctl_to(int dst, const wire::Payload& p) {
+  send_frame_raw(dst, wire::encode_frame(wire::kChControl, wire::kCoordinator,
+                                         dst, ctl_seq_++, p));
+}
+
+void VirtualMachine::broadcast_ctl(const wire::Payload& p) {
+  for (int n = 0; n < node_count(); ++n) send_ctl_to(n, p);
+}
+
+// ---------------------------------------------------------------------------
+// Hub routing + diagnostics folding.
+// ---------------------------------------------------------------------------
+
+wire::Frame VirtualMachine::next_coordinator_frame(int* src) {
+  for (;;) {
+    int from = -1;
+    const std::vector<std::uint8_t> bytes = wire_->recv_any(&from);
+    const std::uint16_t dst = peek_dst(bytes);
+    if (dst != wire::kCoordinator) {
+      // Rank-to-rank traffic (deliveries, acks): the hub forwards it raw,
+      // re-validating header + CRC first when the wire is in verify mode.
+      if (topts_.verify) {
+        const int rc = wire::validate_frame(bytes.data(), bytes.size());
+        if (rc != 0)
+          throw wire::WireError(validate_kind(rc),
+                                "routed frame failed validation");
+      }
+      wire_->send_to(static_cast<int>(dst), bytes);
+      continue;
+    }
+    wire::Frame f = wire::decode_frame(bytes);
+    if (f.header.msg_type == wire::MsgType::kBarrier) {
+      on_barrier(from, std::get<wire::Barrier>(f.payload).id);
+      continue;
+    }
+    if (src) *src = from;
+    return f;
+  }
+}
+
+void VirtualMachine::on_barrier(int src, std::uint32_t id) {
+  (void)src;
+  if (++bar_count_[id] < node_count()) return;
+  // Everyone arrived: release in rank order. Per-link FIFO through this
+  // hub guarantees each rank has already consumed (or queued before the
+  // release) every data frame its peers sent in the closing phase.
+  bar_count_.erase(id);
+  wire::Barrier rel;
+  rel.id = id;
+  for (int r = 0; r < node_count(); ++r) send_ctl_to(r, wire::Payload{rel});
+}
+
+void VirtualMachine::collect_reports(int n) {
+  int got = 0;
+  while (got < n) {
+    int src = -1;
+    wire::Frame f = next_coordinator_frame(&src);
+    switch (f.header.msg_type) {
+      case wire::MsgType::kRankReport:
+        fold_report(src, std::get<wire::RankReport>(f.payload));
+        ++got;
+        break;
+      case wire::MsgType::kWorkerError:
+        throw WorkerErrorSignal{
+            src, std::get<wire::WorkerError>(f.payload).code};
+      default:
+        break;  // stale control residue; drop
+    }
+  }
+}
+
+void VirtualMachine::fold_report(int src, const wire::RankReport& r) {
+  if (r.counters.size() != WorkerRuntime::kReportCounters ||
+      r.ledger.size() != WorkerRuntime::kReportLedger ||
+      r.faults.size() != WorkerRuntime::kReportFaults ||
+      r.span_id.size() != r.span_us.size())
+    throw wire::WireError(wire::WireError::Kind::kBadPayload,
+                          "rank report shape mismatch");
+  if (src == 0) e_recip_ = r.e_recip;
+
+  std::size_t i = 0;
+  auto phase = [&](PhaseComm& p) {
+    p.messages += r.ledger[i++];
+    p.bytes += r.ledger[i++];
+    p.max_hops = std::max(p.max_hops, static_cast<int>(r.ledger[i++]));
   };
-  const int sx = src % p.x, sy = (src / p.x) % p.y, sz = src / (p.x * p.y);
-  const int dx = dst % p.x, dy = (dst / p.x) % p.y, dz = dst / (p.x * p.y);
-  return ring(sx, dx, p.x) + ring(sy, dy, p.y) + ring(sz, dz, p.z);
-}
+  phase(ledger_.position);
+  phase(ledger_.force);
+  phase(ledger_.bond);
+  phase(ledger_.mesh);
+  phase(ledger_.fft);
+  phase(ledger_.migration);
+  phase(ledger_.reduce);
+  ledger_.pairs_considered += r.ledger[i++];
+  ledger_.interactions += r.ledger[i++];
+  ledger_.max_messages_per_node =
+      std::max(ledger_.max_messages_per_node, r.sent);
 
-void VirtualMachine::account(PhaseComm& phase, int src, int dst,
-                             std::int64_t bytes) {
-  ++phase.messages;
-  phase.bytes += bytes;
-  const int h = torus_hops(src, dst);
-  if (h > phase.max_hops) phase.max_hops = h;
-  ++nodes_[src].sent;
-}
+  core::NodeCounters& nc = workload_.nodes[static_cast<std::size_t>(src)];
+  nc.pairs_considered += r.counters[0];
+  nc.ppip_queue += r.counters[1];
+  nc.interactions += r.counters[2];
+  nc.spread_ops += r.counters[3];
+  nc.interp_ops += r.counters[4];
+  nc.bond_terms += r.counters[5];
+  nc.correction_pairs += r.counters[6];
 
-void VirtualMachine::deliver(PhaseComm& phase, int channel_phase, int src,
-                             int dst, wire::Payload payload) {
-  if (src == dst) {
-    // Node-local handoff: never touches the wire (and is never counted).
-    apply_payload(src, dst, payload);
-    return;
-  }
-  const std::int64_t bytes =
-      transport_.send(src, dst, channel_phase, std::move(payload));
-  account(phase, src, dst, bytes);
-}
+  merged_fc_.drops += r.faults[0];
+  merged_fc_.duplicates += r.faults[1];
+  merged_fc_.reorders += r.faults[2];
+  merged_fc_.delays += r.faults[3];
+  merged_fc_.retransmits += r.faults[4];
+  merged_fc_.retransmit_bytes += r.faults[5];
+  merged_fc_.dups_suppressed += r.faults[6];
+  merged_fc_.out_of_order_held += r.faults[7];
+  ledger_.retransmit.messages += r.faults[4];
+  ledger_.retransmit.bytes += r.faults[5];
 
-void VirtualMachine::dispatch_frame(const wire::Frame& f) {
-  apply_payload(f.header.src, f.header.dst, f.payload);
-}
-
-void VirtualMachine::apply_payload(int src, int dst,
-                                   const wire::Payload& p) {
-  NodeState& nd = nodes_[dst];
-  const int M = gse_params_.mesh;
-  // Block-local index of global mesh point (x, y, z) on `b`'s block.
-  auto block_index = [](const NodeState& b, int x, int y, int z) {
-    return (static_cast<std::size_t>(z - b.block_lo.z) * b.block_sz.y +
-            (y - b.block_lo.y)) *
-               b.block_sz.x +
-           (x - b.block_lo.x);
-  };
-  std::visit(
-      [&](const auto& m) {
-        using T = std::decay_t<decltype(m)>;
-        if constexpr (std::is_same_v<T, wire::PositionBatch>) {
-          records_of(nd, m.sb) = m.recs;
-        } else if constexpr (std::is_same_v<T, wire::BondPositions>) {
-          for (const wire::PosRec& r : m.recs) nd.rpos[r.id] = r.pos;
-        } else if constexpr (std::is_same_v<T, wire::ForceBatch>) {
-          for (const wire::ForceRec& r : m.recs) {
-            AtomState& st = nd.atoms.at(r.id);
-            acc3(m.long_range ? st.f_long : st.f_short, r.f);
-          }
-        } else if constexpr (std::is_same_v<T, wire::MeshCharge>) {
-          // Wrap-add the halo charges into the owned block; remember which
-          // points the source touched so the potential halo can route
-          // straight back.
-          for (std::size_t i = 0; i < m.idx.size(); ++i) {
-            const std::int32_t idx = m.idx[i];
-            const int x = idx % M;
-            const int y = (idx / M) % M;
-            const int z = idx / (M * M);
-            const std::size_t l = block_index(nd, x, y, z);
-            nd.mesh_q[l] = fixed::wrap_add(nd.mesh_q[l], m.q[i]);
-          }
-          nd.halo_req[src] = m.idx;
-        } else if constexpr (std::is_same_v<T, wire::MeshPhi>) {
-          for (std::size_t i = 0; i < m.idx.size(); ++i)
-            nd.halo_phi[m.idx[i]] = m.phi[i];
-        } else if constexpr (std::is_same_v<T, wire::FftSegment>) {
-          if (m.kind == 0) {
-            // Gather: segment lands in the owner's assembled line.
-            std::copy(m.pts.begin(), m.pts.end(),
-                      nd.fft_line.begin() + m.s0);
-          } else {
-            // Scatter: transformed points return to the holder's slab at
-            // the line's (a, b) coordinates on the message's axis.
-            for (std::size_t i = 0; i < m.pts.size(); ++i) {
-              const int k = m.s0 + static_cast<int>(i);
-              int x, y, z;
-              if (m.axis == 0) {
-                x = k; y = m.a; z = m.b;
-              } else if (m.axis == 1) {
-                x = m.a; y = k; z = m.b;
-              } else {
-                x = m.a; y = m.b; z = k;
-              }
-              nd.fft_grid[block_index(nd, x, y, z)] = m.pts[i];
-            }
-          }
-        } else if constexpr (std::is_same_v<T, wire::MeshEnergyBlock>) {
-          for (std::size_t i = 0; i < m.gidx.size(); ++i) {
-            master_q_full_[m.gidx[i]] = m.q[i];
-            master_phi_full_[m.gidx[i]] = m.phi[i];
-          }
-        } else if constexpr (std::is_same_v<T, wire::KineticTerms>) {
-          for (std::size_t i = 0; i < m.id.size(); ++i)
-            red_kin_[m.id[i]] = m.term[i];
-        } else if constexpr (std::is_same_v<T, wire::ScaleVelocities>) {
-          for (auto& [id, st] : nd.atoms) scale_velocity(st.vel, m.lambda);
-        } else if constexpr (std::is_same_v<T, wire::MigrationBatch>) {
-          for (std::size_t i = 0; i < m.id.size(); ++i)
-            nd.atoms[m.id[i]] = m.atoms[i];
-        } else if constexpr (std::is_same_v<T, wire::DirectoryUpdate>) {
-          for (std::size_t i = 0; i < m.id.size(); ++i)
-            directory_[m.id[i]] = m.home[i];
-        }
-      },
-      p);
-}
-
-void VirtualMachine::sync_retransmit_ledger() {
-  const FaultCounters& fc = transport_.counters();
-  ledger_.retransmit.messages += fc.retransmits - retrans_synced_msgs_;
-  ledger_.retransmit.bytes += fc.retransmit_bytes - retrans_synced_bytes_;
-  retrans_synced_msgs_ = fc.retransmits;
-  retrans_synced_bytes_ = fc.retransmit_bytes;
-}
-
-// ---------------------------------------------------------------------------
-// Helpers.
-// ---------------------------------------------------------------------------
-
-std::vector<VirtualMachine::AtomRecord>& VirtualMachine::records_of(
-    NodeState& nd, std::int32_t sb) {
-  return nd.recs[sb];
-}
-
-void VirtualMachine::touch_partial(NodeState& nd, std::int32_t id) {
-  if (!nd.ptouched[id]) {
-    nd.ptouched[id] = 1;
-    nd.partial[id] = {0, 0, 0};
-    nd.plist.push_back(id);
+  if (tracer_) {
+    for (std::size_t j = 0; j < r.span_id.size(); ++j)
+      if (r.span_id[j] < WorkerRuntime::kNumSpans)
+        tracer_->append_span(WorkerRuntime::kSpanNames[r.span_id[j]],
+                             src + 1, r.span_us[j]);
   }
 }
 
-Vec3i VirtualMachine::pos_of(const NodeState& nd, std::int32_t id) const {
-  const auto it = nd.atoms.find(id);
-  return it != nd.atoms.end() ? it->second.pos : nd.rpos[id];
-}
-
-// ---------------------------------------------------------------------------
-// Range-limited choreography (shared by both compute passes).
-// ---------------------------------------------------------------------------
-
-void VirtualMachine::position_multicast() {
-  obs::Tracer::Span phase_span(tracer_, "vm.position_multicast");
+void VirtualMachine::state_sync() {
   const int nnodes = node_count();
-  for (NodeState& nd : nodes_) nd.recs.clear();
-  for (int n = 0; n < nnodes; ++n) {
-    obs::Tracer::Span node_span(tracer_, "vm.node.multicast", n + 1);
-    NodeState& nd = nodes_[n];
-    for (const auto& [sb, ids] : nd.bins) {
-      std::vector<AtomRecord> payload;
-      payload.reserve(ids.size());
-      for (std::int32_t a : ids) payload.push_back({a, nd.atoms.at(a).pos});
-      for (int dst : consumers_[sb])
-        deliver(ledger_.position, kChPosition, n, dst,
-                wire::PositionBatch{sb, payload});
+  wire::Control c;
+  c.op = wire::CtrlOp::kStateRequest;
+  broadcast_ctl(wire::Payload{c});
+  int got = 0;
+  while (got < nnodes) {
+    int src = -1;
+    wire::Frame f = next_coordinator_frame(&src);
+    if (f.header.msg_type == wire::MsgType::kStateBlock) {
+      merge_state_block(src, std::get<wire::StateBlock>(f.payload));
+      ++got;
+    } else if (f.header.msg_type == wire::MsgType::kWorkerError) {
+      // A rank in error recovery will not answer the state request until
+      // it has been rolled back; surface the error instead of waiting.
+      throw WorkerErrorSignal{src,
+                              std::get<wire::WorkerError>(f.payload).code};
     }
+    // Anything else arriving at a sync point is stale and dropped.
   }
-  transport_.flush();  // pair phase reads the consumer mailboxes
-}
-
-void VirtualMachine::pair_phase() {
-  obs::Tracer::Span phase_span(tracer_, "vm.compute");
-  const int nnodes = node_count();
-  for (int n = 0; n < nnodes; ++n) {
-    obs::Tracer::Span node_span(tracer_, "vm.node.compute", n + 1);
-    NodeState& nd = nodes_[n];
-    core::NodeCounters& nc = workload_.nodes[n];
-    for (std::int32_t hidx : node_subboxes_[n]) {
-      const Vec3i h = geom_->coords_of(hidx);
-      for (std::int32_t dz : geom_->tower_dz()) {
-        const std::int32_t tidx =
-            geom_->index_of(geom_->wrap_coords({h.x, h.y, h.z + dz}));
-        const auto t_it = nd.recs.find(tidx);
-        if (t_it == nd.recs.end() || t_it->second.empty()) continue;
-        const auto& tower = t_it->second;
-        for (const Vec3i& poff : geom_->plate_half()) {
-          if (!geom_->owns_pair(h, dz, poff)) continue;
-          const std::int32_t pidx = geom_->index_of(
-              geom_->wrap_coords({h.x + poff.x, h.y + poff.y, h.z}));
-          const auto p_it = nd.recs.find(pidx);
-          if (p_it == nd.recs.end() || p_it->second.empty()) continue;
-          const auto& plate = p_it->second;
-          const bool same = tidx == pidx;
-          for (std::size_t a = 0; a < tower.size(); ++a) {
-            const std::size_t b0 = same ? a + 1 : 0;
-            for (std::size_t b = b0; b < plate.size(); ++b) {
-              ++nc.pairs_considered;
-              ++ledger_.pairs_considered;
-              const PairResult pr =
-                  eval_pair(np_, tower[a].id, plate[b].id, tower[a].pos,
-                            plate[b].pos, false);
-              if (pr.status == PairStatus::kFailedMatch) continue;
-              ++nc.ppip_queue;
-              if (pr.status != PairStatus::kComputed) continue;
-              ++nc.interactions;
-              ++ledger_.interactions;
-              touch_partial(nd, pr.lo);
-              acc3(nd.partial[pr.lo], pr.f);
-              touch_partial(nd, pr.hi);
-              sub3(nd.partial[pr.hi], pr.f);
-            }
-          }
-        }
-      }
-    }
-  }
-}
-
-void VirtualMachine::bond_dispatch_and_terms(bool long_range) {
-  const Topology& top = sys_.top;
-  const int nnodes = node_count();
-  if (!long_range) {
-    // Bond-destination position dispatch: each node sends the positions
-    // of its home atoms to every node evaluating a term (bonded or
-    // correction) whose destination atom reads them. The long-range
-    // correction pass reuses these mailboxes: positions have not changed
-    // since the cycle's last short-range dispatch.
-    obs::Tracer::Span sp(tracer_, "vm.bond_dispatch");
-    for (int n = 0; n < nnodes; ++n) {
-      NodeState& nd = nodes_[n];
-      std::vector<std::vector<AtomRecord>> out(nnodes);
-      std::vector<int> dsts;
-      for (const auto& [sb, ids] : nd.bins) {
-        for (std::int32_t a : ids) {
-          if (dest_feed_[a].empty()) continue;
-          dsts.clear();
-          for (std::int32_t dest : dest_feed_[a]) {
-            const int dst = directory_[dest];
-            if (dst == n) continue;
-            if (std::find(dsts.begin(), dsts.end(), dst) == dsts.end())
-              dsts.push_back(dst);
-          }
-          const Vec3i p = nd.atoms.at(a).pos;
-          for (int dst : dsts) out[dst].push_back({a, p});
-        }
-      }
-      for (int dst = 0; dst < nnodes; ++dst) {
-        if (out[dst].empty()) continue;
-        deliver(ledger_.bond, kChBond, n, dst,
-                wire::BondPositions{std::move(out[dst])});
-      }
-    }
-    transport_.flush();  // term evaluation reads the rpos mailboxes
-  }
-
-  obs::Tracer::Span sp(tracer_,
-                       long_range ? "vm.correction" : "vm.bond_terms");
-  for (int n = 0; n < nnodes; ++n) {
-    NodeState& nd = nodes_[n];
-    core::NodeCounters& nc = workload_.nodes[n];
-    if (!long_range) {
-      auto apply = [&](const bonded::TermForces& t) {
-        ++nc.bond_terms;
-        Vec3d tp[4];
-        for (int i = 0; i < t.n; ++i)
-          tp[i] = lat_.to_phys(pos_of(nd, t.atom[i]));
-        const QuantizedTerm qt = quantize_term(np_, t, tp, false);
-        for (int i = 0; i < qt.n; ++i) {
-          touch_partial(nd, qt.atom[i]);
-          acc3(nd.partial[qt.atom[i]], qt.f[i]);
-        }
-      };
-      for (std::int32_t k : nd.bonds) {
-        const BondTerm& b = top.bonds[k];
-        apply(bonded::eval_bond(b, lat_.to_phys(pos_of(nd, b.i)),
-                                lat_.to_phys(pos_of(nd, b.j)), sys_.box));
-      }
-      for (std::int32_t k : nd.angles) {
-        const AngleTerm& a = top.angles[k];
-        apply(bonded::eval_angle(a, lat_.to_phys(pos_of(nd, a.i)),
-                                 lat_.to_phys(pos_of(nd, a.j)),
-                                 lat_.to_phys(pos_of(nd, a.k)), sys_.box));
-      }
-      for (std::int32_t k : nd.dihedrals) {
-        const DihedralTerm& d = top.dihedrals[k];
-        apply(bonded::eval_dihedral(d, lat_.to_phys(pos_of(nd, d.i)),
-                                    lat_.to_phys(pos_of(nd, d.j)),
-                                    lat_.to_phys(pos_of(nd, d.k)),
-                                    lat_.to_phys(pos_of(nd, d.l)),
-                                    sys_.box));
-      }
-      for (std::int32_t k : nd.exclusions) {
-        const ExclusionPair& e = top.exclusions[k];
-        const CorrectionResult cr = eval_correction_short(
-            np_, e, pos_of(nd, e.i), pos_of(nd, e.j), false);
-        if (!cr.computed) continue;
-        touch_partial(nd, e.i);
-        acc3(nd.partial[e.i], cr.f);
-        touch_partial(nd, e.j);
-        sub3(nd.partial[e.j], cr.f);
-      }
-    } else {
-      for (std::int32_t k : nd.exclusions) {
-        const ExclusionPair& e = top.exclusions[k];
-        ++nc.correction_pairs;
-        const CorrectionResult cr = eval_correction_long(
-            np_, e, pos_of(nd, e.i), pos_of(nd, e.j), false);
-        touch_partial(nd, e.i);
-        acc3(nd.partial[e.i], cr.f);
-        touch_partial(nd, e.j);
-        sub3(nd.partial[e.j], cr.f);
-      }
-    }
-  }
-}
-
-void VirtualMachine::force_return(bool long_range) {
-  obs::Tracer::Span phase_span(tracer_, "vm.force_return");
-  const int nnodes = node_count();
-  for (int n = 0; n < nnodes; ++n) {
-    obs::Tracer::Span node_span(tracer_, "vm.node.force_return", n + 1);
-    NodeState& nd = nodes_[n];
-    std::sort(nd.plist.begin(), nd.plist.end());
-    std::vector<std::vector<wire::ForceRec>> out(nnodes);
-    for (std::int32_t id : nd.plist) {
-      out[directory_[id]].push_back({id, nd.partial[id]});
-      nd.partial[id] = {0, 0, 0};
-      nd.ptouched[id] = 0;
-    }
-    nd.plist.clear();
-    for (int dst = 0; dst < nnodes; ++dst) {
-      if (out[dst].empty()) continue;
-      deliver(ledger_.force, kChForce, n, dst,
-              wire::ForceBatch{long_range, std::move(out[dst])});
-    }
-  }
-  transport_.flush();  // the vsite round reads the home accumulators
-}
-
-void VirtualMachine::vsite_force_round(bool long_range) {
-  const Topology& top = sys_.top;
-  if (top.virtual_sites.empty()) return;
-  const int nnodes = node_count();
-  for (int n = 0; n < nnodes; ++n) {
-    NodeState& nd = nodes_[n];
-    if (nd.vsites.empty()) continue;
-    std::vector<std::vector<wire::ForceRec>> out(nnodes);
-    auto share = [&](std::int32_t target, const Vec3l& f) {
-      out[directory_[target]].push_back({target, f});
-    };
-    for (std::int32_t k : nd.vsites) {
-      const VirtualSite& v = top.virtual_sites[k];
-      AtomState& site = nd.atoms.at(v.site);
-      Vec3l& f = long_range ? site.f_long : site.f_short;
-      const VsiteForceShare s = split_virtual_site_force(v, f);
-      f = {0, 0, 0};
-      share(v.h1, s.fh);
-      share(v.h2, s.fh);
-      share(v.o, s.fo);
-    }
-    for (int dst = 0; dst < nnodes; ++dst) {
-      if (out[dst].empty()) continue;
-      deliver(ledger_.force, kChForce, n, dst,
-              wire::ForceBatch{long_range, std::move(out[dst])});
-    }
-  }
-  transport_.flush();
-}
-
-void VirtualMachine::compute_short_forces() {
-  for (NodeState& nd : nodes_)
-    for (auto& [id, st] : nd.atoms) st.f_short = {0, 0, 0};
-  position_multicast();
-  pair_phase();
-  bond_dispatch_and_terms(false);
-  force_return(false);
-  vsite_force_round(false);
-}
-
-// ---------------------------------------------------------------------------
-// Long-range (GSE) choreography.
-// ---------------------------------------------------------------------------
-
-void VirtualMachine::spread_and_halo() {
-  obs::Tracer::Span sp(tracer_, "vm.gse.spread");
-  const Topology& top = sys_.top;
-  const int nnodes = node_count();
-  const int M = gse_params_.mesh;
-  const Vec3i pg = geom_->config().node_grid;
-
-  for (NodeState& nd : nodes_) {
-    for (std::int32_t idx : nd.touched) {
-      nd.spread_q[idx] = 0;
-      nd.stouched[idx] = 0;
-    }
-    nd.touched.clear();
-    for (auto& l : nd.halo_req) l.clear();
-    std::fill(nd.mesh_q.begin(), nd.mesh_q.end(), 0);
-  }
-
-  // Node-local spreading of each node's home atoms.
-  for (int n = 0; n < nnodes; ++n) {
-    obs::Tracer::Span node_span(tracer_, "vm.node.spread", n + 1);
-    NodeState& nd = nodes_[n];
-    core::NodeCounters& nc = workload_.nodes[n];
-    for (const auto& [sb, ids] : nd.bins) {
-      for (std::int32_t a : ids) {
-        const double qi = top.charge[a];
-        if (qi == 0.0) continue;
-        const Vec3d r = lat_.to_phys(nd.atoms.at(a).pos);
-        spread_atom(np_, qi, r, [&](std::size_t idx, std::int64_t dq) {
-          ++nc.spread_ops;
-          const auto i32 = static_cast<std::int32_t>(idx);
-          if (!nd.stouched[idx]) {
-            nd.stouched[idx] = 1;
-            nd.touched.push_back(i32);
-          }
-          nd.spread_q[idx] = fixed::wrap_add(nd.spread_q[idx], dq);
-        });
-      }
-    }
-  }
-
-  // Charge halo: each node's touched mesh points, grouped by owning node,
-  // are wrap-added into the owners' block accumulators. The owner records
-  // which points each source touched -- the same lists route the
-  // potential halo back after the convolution.
-  auto owner_of_mesh = [&](std::int32_t idx) {
-    const int x = idx % M;
-    const int y = (idx / M) % M;
-    const int z = idx / (M * M);
-    return (mesh_owner_[2][z] * pg.y + mesh_owner_[1][y]) * pg.x +
-           mesh_owner_[0][x];
-  };
-  for (int n = 0; n < nnodes; ++n) {
-    NodeState& nd = nodes_[n];
-    std::sort(nd.touched.begin(), nd.touched.end());
-    std::map<int, std::vector<std::int32_t>> by_owner;
-    for (std::int32_t idx : nd.touched)
-      by_owner[owner_of_mesh(idx)].push_back(idx);
-    for (auto& [o, list] : by_owner) {
-      std::vector<std::int64_t> charge;
-      charge.reserve(list.size());
-      for (std::int32_t idx : list) charge.push_back(nd.spread_q[idx]);
-      deliver(ledger_.mesh, kChMesh, n, o,
-              wire::MeshCharge{std::move(list), std::move(charge)});
-    }
-  }
-  transport_.flush();  // the owned-block accumulators are read below
-
-  for (NodeState& nd : nodes_) {
-    for (std::size_t l = 0; l < nd.mesh_q.size(); ++l) {
-      nd.scratch_q[l] =
-          static_cast<double>(nd.mesh_q[l]) / kMeshChargeScale;
-      nd.fft_grid[l] = fft::cplx{nd.scratch_q[l], 0.0};
-    }
-  }
-}
-
-void VirtualMachine::distributed_fft_stage(int axis, bool inverse) {
-  // One axis pass of the distributed 3D FFT (the fft::DistFftPlan
-  // pattern): every mesh line along `axis` is assigned round-robin to one
-  // node of the torus row holding its segments; the owner gathers the
-  // segments, runs the shared 1-D plan, and scatters them back. The
-  // gathered line is contiguous in ascending axis coordinate, so the
-  // arithmetic is bitwise identical to fft::Fft3D's strided transform.
-  const int M = gse_params_.mesh;
-  const Vec3i pg = geom_->config().node_grid;
-  const int pa = axis == 0 ? pg.x : axis == 1 ? pg.y : pg.z;
-  std::vector<int> row_ord;
-  if (axis == 0)
-    row_ord.assign(static_cast<std::size_t>(pg.y) * pg.z, 0);
-  else if (axis == 1)
-    row_ord.assign(static_cast<std::size_t>(pg.x) * pg.z, 0);
-  else
-    row_ord.assign(static_cast<std::size_t>(pg.x) * pg.y, 0);
-  for (int a = 0; a < M; ++a) {
-    for (int b = 0; b < M; ++b) {
-      // axis 0: (y, z) = (a, b); axis 1: (x, z) = (a, b);
-      // axis 2: (x, y) = (a, b).
-      int rid, owner;
-      if (axis == 0) {
-        const int gy = mesh_owner_[1][a], gz = mesh_owner_[2][b];
-        rid = gz * pg.y + gy;
-        const int oc = row_ord[rid]++ % pa;
-        owner = (gz * pg.y + gy) * pg.x + oc;
-      } else if (axis == 1) {
-        const int gx = mesh_owner_[0][a], gz = mesh_owner_[2][b];
-        rid = gz * pg.x + gx;
-        const int oc = row_ord[rid]++ % pa;
-        owner = (gz * pg.y + oc) * pg.x + gx;
-      } else {
-        const int gx = mesh_owner_[0][a], gy = mesh_owner_[1][b];
-        rid = gy * pg.x + gx;
-        const int oc = row_ord[rid]++ % pa;
-        owner = (oc * pg.y + gy) * pg.x + gx;
-      }
-
-      auto point = [&](const NodeState& nd, int k) -> std::size_t {
-        int x, y, z;
-        if (axis == 0) {
-          x = k; y = a; z = b;
-        } else if (axis == 1) {
-          x = a; y = k; z = b;
-        } else {
-          x = a; y = b; z = k;
-        }
-        return (static_cast<std::size_t>(z - nd.block_lo.z) * nd.block_sz.y +
-                (y - nd.block_lo.y)) *
-                   nd.block_sz.x +
-               (x - nd.block_lo.x);
-      };
-      auto holder_index = [&](int hc) {
-        if (axis == 0) return owner - owner % pg.x + hc;
-        if (axis == 1) {
-          const int gx = owner % pg.x;
-          const int gz = owner / (pg.x * pg.y);
-          return (gz * pg.y + hc) * pg.x + gx;
-        }
-        const int gx = owner % pg.x;
-        const int gy = (owner / pg.x) % pg.y;
-        return (hc * pg.y + gy) * pg.x + gx;
-      };
-
-      // Gather segments to the owner's assembled line.
-      for (int hc = 0; hc < pa; ++hc) {
-        const int s0 = mesh_start_[axis][hc];
-        const int s1 = mesh_start_[axis][hc + 1];
-        if (s0 == s1) continue;
-        const int holder = holder_index(hc);
-        const NodeState& hd = nodes_[holder];
-        std::vector<fft::cplx> seg(static_cast<std::size_t>(s1 - s0));
-        for (int k = s0; k < s1; ++k)
-          seg[static_cast<std::size_t>(k - s0)] = hd.fft_grid[point(hd, k)];
-        deliver(ledger_.fft, kChFft, holder, owner,
-                wire::FftSegment{static_cast<std::uint8_t>(axis), 0, a, b,
-                                 s0, std::move(seg)});
-      }
-      transport_.flush();  // the owner transforms the assembled line
-
-      std::vector<fft::cplx>& line = nodes_[owner].fft_line;
-      if (inverse)
-        fft1_->inverse(line.data());
-      else
-        fft1_->forward(line.data());
-
-      // Scatter segments back to their holders.
-      for (int hc = 0; hc < pa; ++hc) {
-        const int s0 = mesh_start_[axis][hc];
-        const int s1 = mesh_start_[axis][hc + 1];
-        if (s0 == s1) continue;
-        const int holder = holder_index(hc);
-        std::vector<fft::cplx> seg(line.begin() + s0, line.begin() + s1);
-        deliver(ledger_.fft, kChFft, owner, holder,
-                wire::FftSegment{static_cast<std::uint8_t>(axis), 1, a, b,
-                                 s0, std::move(seg)});
-      }
-      // The next line may read any holder's slab: settle this one first.
-      transport_.flush();
-    }
-  }
-}
-
-void VirtualMachine::convolve_and_energy() {
-  // Quantize the block-owned potentials, then gather (Q, phi) to the
-  // master node for the ordered reciprocal-energy reduction -- the sum
-  // must run in global mesh-index order to match the engine's serial
-  // convolve bit for bit.
-  const int M = gse_params_.mesh;
-  const int nnodes = node_count();
-  const std::size_t mesh_total = static_cast<std::size_t>(M) * M * M;
-  for (int n = 0; n < nnodes; ++n) {
-    NodeState& nd = nodes_[n];
-    // Local quantization of the owned potentials, plus the (q, phi) block
-    // payload for the master's ordered energy reduction.
-    std::vector<std::uint64_t> gidx;
-    std::vector<double> qv, phiv;
-    gidx.reserve(nd.mesh_q.size());
-    qv.reserve(nd.mesh_q.size());
-    phiv.reserve(nd.mesh_q.size());
-    std::size_t l = 0;
-    for (int z = nd.block_lo.z; z < nd.block_lo.z + nd.block_sz.z; ++z)
-      for (int y = nd.block_lo.y; y < nd.block_lo.y + nd.block_sz.y; ++y)
-        for (int x = nd.block_lo.x; x < nd.block_lo.x + nd.block_sz.x;
-             ++x, ++l) {
-          const double phi = nd.fft_grid[l].real();
-          nd.mesh_phi[l] = fixed::quantize(phi, kPhiScale);
-          gidx.push_back((static_cast<std::uint64_t>(z) * M + y) * M + x);
-          qv.push_back(nd.scratch_q[l]);
-          phiv.push_back(phi);
-        }
-    if (gidx.empty()) continue;
-    deliver(ledger_.reduce, kChReduce, n, 0,
-            wire::MeshEnergyBlock{std::move(gidx), std::move(qv),
-                                  std::move(phiv)});
-  }
-  transport_.flush();  // the ordered reduction reads the gathered blocks
-  double energy = 0.0;
-  for (std::size_t i = 0; i < mesh_total; ++i)
-    energy += master_phi_full_[i] * master_q_full_[i];
-  const double h = gse_->mesh_spacing();
-  e_recip_ = 0.5 * h * h * h * energy;
-}
-
-void VirtualMachine::phi_halo_back_and_interpolate() {
-  obs::Tracer::Span sp(tracer_, "vm.gse.interpolate");
-  const Topology& top = sys_.top;
-  const int nnodes = node_count();
-  const int M = gse_params_.mesh;
-
-  // Potential halo-back: every owner returns phi at exactly the points
-  // each source spread to (recorded in halo_req during the charge halo).
-  for (int o = 0; o < nnodes; ++o) {
-    NodeState& od = nodes_[o];
-    for (int src = 0; src < nnodes; ++src) {
-      const auto& list = od.halo_req[src];
-      if (list.empty()) continue;
-      std::vector<std::int64_t> phis;
-      phis.reserve(list.size());
-      for (std::int32_t idx : list) {
-        const int x = idx % M;
-        const int y = (idx / M) % M;
-        const int z = idx / (M * M);
-        const std::size_t l =
-            (static_cast<std::size_t>(z - od.block_lo.z) * od.block_sz.y +
-             (y - od.block_lo.y)) *
-                od.block_sz.x +
-            (x - od.block_lo.x);
-        phis.push_back(od.mesh_phi[l]);
-      }
-      deliver(ledger_.mesh, kChMesh, o, src,
-              wire::MeshPhi{list, std::move(phis)});
-    }
-  }
-  transport_.flush();  // interpolation reads the node-local phi halos
-
-  // Force interpolation against the node-local phi halo; each atom's
-  // contribution lands directly on the home atom.
-  for (int n = 0; n < nnodes; ++n) {
-    obs::Tracer::Span node_span(tracer_, "vm.node.interpolate", n + 1);
-    NodeState& nd = nodes_[n];
-    core::NodeCounters& nc = workload_.nodes[n];
-    for (const auto& [sb, ids] : nd.bins) {
-      for (std::int32_t a : ids) {
-        const double qi = top.charge[a];
-        if (qi == 0.0) continue;
-        AtomState& st = nd.atoms.at(a);
-        const Vec3l acc = interpolate_atom(
-            np_, qi, lat_.to_phys(st.pos),
-            [&](std::size_t idx) { return nd.halo_phi[idx]; },
-            &nc.interp_ops);
-        acc3(st.f_long, acc);
-      }
-    }
-  }
-}
-
-void VirtualMachine::compute_long_forces() {
-  for (NodeState& nd : nodes_)
-    for (auto& [id, st] : nd.atoms) st.f_long = {0, 0, 0};
-  spread_and_halo();
-  {
-    obs::Tracer::Span sp(tracer_, "vm.gse.fft");
-    distributed_fft_stage(0, false);
-    distributed_fft_stage(1, false);
-    distributed_fft_stage(2, false);
-    const int M = gse_params_.mesh;
-    const std::vector<double>& green = gse_->green();
-    for (NodeState& nd : nodes_) {
-      std::size_t l = 0;
-      for (int z = nd.block_lo.z; z < nd.block_lo.z + nd.block_sz.z; ++z)
-        for (int y = nd.block_lo.y; y < nd.block_lo.y + nd.block_sz.y; ++y)
-          for (int x = nd.block_lo.x; x < nd.block_lo.x + nd.block_sz.x;
-               ++x, ++l)
-            nd.fft_grid[l] *=
-                green[(static_cast<std::size_t>(z) * M + y) * M + x];
-    }
-    distributed_fft_stage(2, true);
-    distributed_fft_stage(1, true);
-    distributed_fft_stage(0, true);
-    convolve_and_energy();
-  }
-  phi_halo_back_and_interpolate();
-  bond_dispatch_and_terms(true);
-  force_return(true);
-  vsite_force_round(true);
-}
-
-// ---------------------------------------------------------------------------
-// Integration, constraints, thermostat.
-// ---------------------------------------------------------------------------
-
-void VirtualMachine::kick_all(bool long_kick) {
-  const auto& coef = long_kick ? coefs_.kick_long : coefs_.kick_short;
-  for (NodeState& nd : nodes_)
-    for (auto& [id, st] : nd.atoms)
-      kick_atom(st.vel, long_kick ? st.f_long : st.f_short, coef[id]);
-}
-
-void VirtualMachine::drift_and_constrain() {
-  const bool constrained = !sys_.top.constraints.empty();
-  for (NodeState& nd : nodes_) {
-    // Pre-drift references for the co-resident constraint units.
-    std::vector<std::int32_t> cunits;
-    std::vector<std::vector<Vec3d>> refs;
-    if (constrained) {
-      for (std::int32_t u : nd.units) {
-        if (group_constraints_[u].empty()) continue;
-        cunits.push_back(u);
-        std::vector<Vec3d> ref(units_[u].size());
-        for (std::size_t k = 0; k < units_[u].size(); ++k)
-          ref[k] = lat_.to_phys(nd.atoms.at(units_[u][k]).pos);
-        refs.push_back(std::move(ref));
-      }
-    }
-    for (auto& [id, st] : nd.atoms)
-      st.pos = drift_atom(st.pos, st.vel, coefs_.drift);
-    for (std::size_t c = 0; c < cunits.size(); ++c) {
-      const std::int32_t u = cunits[c];
-      const auto& unit = units_[u];
-      const std::size_t nu = unit.size();
-      std::vector<Vec3d> upos(nu);
-      std::vector<Vec3i> ulat(nu);
-      std::vector<Vec3l> uvel(nu);
-      for (std::size_t k = 0; k < nu; ++k) {
-        AtomState& st = nd.atoms.at(unit[k]);
-        ulat[k] = st.pos;
-        upos[k] = lat_.to_phys(st.pos);
-        uvel[k] = st.vel;
-      }
-      if (!shake_unit(np_, unit, group_constraints_[u], acfg_.sim.dt,
-                      refs[c], upos, ulat, uvel))
-        throw std::runtime_error("VirtualMachine: SHAKE failed to converge");
-      for (std::size_t k = 0; k < nu; ++k) {
-        AtomState& st = nd.atoms.at(unit[k]);
-        st.pos = ulat[k];
-        st.vel = uvel[k];
-      }
-    }
-  }
-}
-
-void VirtualMachine::finish_drift() {
-  const Topology& top = sys_.top;
-  if (top.virtual_sites.empty()) return;
-  const int nnodes = node_count();
-  // Parent position dispatch for off-node virtual sites.
-  for (int n = 0; n < nnodes; ++n) {
-    NodeState& nd = nodes_[n];
-    std::vector<std::vector<AtomRecord>> out(nnodes);
-    std::vector<int> dsts;
-    for (const auto& [sb, ids] : nd.bins) {
-      for (std::int32_t a : ids) {
-        if (vsite_feed_[a].empty()) continue;
-        dsts.clear();
-        for (std::int32_t site : vsite_feed_[a]) {
-          const int dst = directory_[site];
-          if (dst == n) continue;
-          if (std::find(dsts.begin(), dsts.end(), dst) == dsts.end())
-            dsts.push_back(dst);
-        }
-        const Vec3i p = nd.atoms.at(a).pos;
-        for (int dst : dsts) out[dst].push_back({a, p});
-      }
-    }
-    for (int dst = 0; dst < nnodes; ++dst) {
-      if (out[dst].empty()) continue;
-      deliver(ledger_.bond, kChBond, n, dst,
-              wire::BondPositions{std::move(out[dst])});
-    }
-  }
-  transport_.flush();  // site rebuild reads the parent positions
-  for (int n = 0; n < nnodes; ++n) {
-    NodeState& nd = nodes_[n];
-    for (std::int32_t k : nd.vsites) {
-      const VirtualSite& v = top.virtual_sites[k];
-      AtomState& st = nd.atoms.at(v.site);
-      st.pos = rebuild_virtual_site(np_, v, lat_.to_phys(pos_of(nd, v.o)),
-                                    lat_.to_phys(pos_of(nd, v.h1)),
-                                    lat_.to_phys(pos_of(nd, v.h2)));
-      st.vel = {0, 0, 0};
-    }
-  }
-}
-
-void VirtualMachine::rattle_groups() {
-  if (sys_.top.constraints.empty()) return;
-  for (NodeState& nd : nodes_) {
-    for (std::int32_t u : nd.units) {
-      if (group_constraints_[u].empty()) continue;
-      const auto& unit = units_[u];
-      const std::size_t nu = unit.size();
-      std::vector<Vec3d> upos(nu);
-      std::vector<Vec3l> uvel(nu);
-      for (std::size_t k = 0; k < nu; ++k) {
-        const AtomState& st = nd.atoms.at(unit[k]);
-        upos[k] = lat_.to_phys(st.pos);
-        uvel[k] = st.vel;
-      }
-      if (!rattle_unit(np_, unit, group_constraints_[u], upos, uvel))
-        throw std::runtime_error("VirtualMachine: RATTLE failed to converge");
-      for (std::size_t k = 0; k < nu; ++k)
-        nd.atoms.at(unit[k]).vel = uvel[k];
-    }
-  }
-}
-
-void VirtualMachine::apply_thermostat() {
-  // The one order-sensitive double reduction of the cycle: per-atom
-  // kinetic terms are gathered to the master node and summed in global
-  // atom-index order, exactly the engine's loop order.
-  const Topology& top = sys_.top;
-  const int nnodes = node_count();
-  for (int n = 0; n < nnodes; ++n) {
-    const NodeState& nd = nodes_[n];
-    wire::KineticTerms out;
-    out.id.reserve(nd.atoms.size());
-    out.term.reserve(nd.atoms.size());
-    for (const auto& [id, st] : nd.atoms) {
-      out.id.push_back(id);
-      out.term.push_back(kinetic_term(top.mass[id], st.vel));
-    }
-    if (out.id.empty()) continue;
-    deliver(ledger_.reduce, kChReduce, n, 0, std::move(out));
-  }
-  transport_.flush();  // the master sums in global atom-index order
-  double mv2 = 0.0;
-  for (std::int32_t i = 0; i < top.natoms; ++i) mv2 += red_kin_[i];
-  const int k = std::max(1, acfg_.sim.long_range_every);
-  const double lambda = thermostat_lambda(top, mv2, k * acfg_.sim.dt,
-                                          acfg_.sim.target_temperature,
-                                          acfg_.sim.berendsen_tau);
-  for (int n = 0; n < nnodes; ++n)
-    deliver(ledger_.reduce, kChReduce, 0, n, wire::ScaleVelocities{lambda});
-  transport_.flush();
-}
-
-// ---------------------------------------------------------------------------
-// Migration by message.
-// ---------------------------------------------------------------------------
-
-void VirtualMachine::migrate_by_message() {
-  const int nnodes = node_count();
-  for (int n = 0; n < nnodes; ++n) {
-    NodeState& nd = nodes_[n];
-    std::vector<std::vector<std::int32_t>> move_units(nnodes);
-    std::int64_t moved_atoms = 0;
-    for (std::int32_t u : nd.units) {
-      const std::int32_t head = units_[u][0];
-      const Vec3i sb = geom_->subbox_of(lat_.to_phys(nd.atoms.at(head).pos));
-      unit_sb_[u] = geom_->index_of(sb);
-      const int dst = geom_->node_index_of(sb);
-      if (dst != n) move_units[dst].push_back(u);
-    }
-    wire::DirectoryUpdate moved;
-    for (int dst = 0; dst < nnodes; ++dst) {
-      if (move_units[dst].empty()) continue;
-      // The sender evicts the unit and updates the (replicated) directory
-      // immediately; the receiver's copy lands via the reliable channel.
-      wire::MigrationBatch payload;
-      for (std::int32_t u : move_units[dst]) {
-        for (std::int32_t a : units_[u]) {
-          payload.id.push_back(a);
-          payload.atoms.push_back(nd.atoms.at(a));
-          nd.atoms.erase(a);
-          directory_[a] = dst;
-          moved.id.push_back(a);
-          moved.home.push_back(dst);
-        }
-      }
-      moved_atoms += static_cast<std::int64_t>(payload.id.size());
-      deliver(ledger_.migration, kChMigration, n, dst, std::move(payload));
-    }
-    // Directory announcement: every other node learns the new homes
-    // (idempotent on the replicated directory -- the sender already wrote
-    // the same entries).
-    if (moved_atoms > 0)
-      for (int o = 0; o < nnodes; ++o)
-        if (o != n)
-          deliver(ledger_.migration, kChMigration, n, o, moved);
-  }
-  transport_.flush();  // unit reassignment reads the migrated atom states
-  for (NodeState& nd : nodes_) nd.units.clear();
-  for (std::size_t u = 0; u < units_.size(); ++u)
-    nodes_[directory_[units_[u][0]]].units.push_back(
-        static_cast<std::int32_t>(u));
   rebuild_bins_and_terms();
 }
 
+void VirtualMachine::merge_state_block(int src, const wire::StateBlock& b) {
+  steps_ = static_cast<std::int64_t>(b.steps);
+  if (src == 0) e_recip_ = b.e_recip;
+  // The directory is a full replica, identical on every rank at a sync
+  // point; unit_sb is authoritative only for the sender's own units.
+  directory_ = b.directory;
+  for (std::int32_t u : b.unit_id)
+    unit_sb_[static_cast<std::size_t>(u)] =
+        b.unit_sb[static_cast<std::size_t>(u)];
+  NodeState& nd = nodes_[static_cast<std::size_t>(src)];
+  nd.units = b.unit_id;
+  nd.atoms.clear();
+  for (std::size_t i = 0; i < b.atom_id.size(); ++i)
+    nd.atoms.emplace(b.atom_id[i], b.atoms[i]);
+}
+
 // ---------------------------------------------------------------------------
-// The distributed MTS cycle.
+// The distributed MTS cycle (coordinator side: command + fold).
 // ---------------------------------------------------------------------------
 
 void VirtualMachine::run_one_cycle() {
   const int k = std::max(1, acfg_.sim.long_range_every);
-  obs::Tracer::Span cycle_span(tracer_, "vm.mts_cycle");
-  for (NodeState& nd : nodes_) nd.sent = 0;
-  if (acfg_.migration_interval > 0 &&
-      steps_ % acfg_.migration_interval == 0) {
-    obs::Tracer::Span sp(tracer_, "vm.migrate");
-    migrate_by_message();
-    if (metrics_) metrics_->count(mid_.migrations, 0, 1);
+  // Deterministic mirror of the workers' migration predicate, evaluated
+  // before the step counter advances.
+  const bool migrates = acfg_.migration_interval > 0 &&
+                        steps_ % acfg_.migration_interval == 0;
+  wire::Control c;
+  c.op = wire::CtrlOp::kRunCycle;
+  broadcast_ctl(wire::Payload{c});
+  collect_reports(node_count());
+  steps_ += k;
+  workload_.steps_accumulated += k;
+  if (metrics_) {
+    metrics_->count(mid_.steps, 0, k);
+    if (migrates) metrics_->count(mid_.migrations, 0, 1);
   }
-  {
-    obs::Tracer::Span sp(tracer_, "vm.integrate");
-    kick_all(true);
-  }
-  for (int s = 0; s < k; ++s) {
-    obs::Tracer::Span step_span(tracer_, "vm.step");
-    {
-      obs::Tracer::Span sp(tracer_, "vm.integrate");
-      kick_all(false);
-      drift_and_constrain();
-      finish_drift();
-    }
-    compute_short_forces();
-    {
-      obs::Tracer::Span sp(tracer_, "vm.integrate");
-      kick_all(false);
-      rattle_groups();
-    }
-    ++steps_;
-    ++workload_.steps_accumulated;
-    if (metrics_) metrics_->count(mid_.steps, 0, 1);
-  }
-  compute_long_forces();
-  {
-    obs::Tracer::Span sp(tracer_, "vm.integrate");
-    kick_all(true);
-    rattle_groups();
-    if (acfg_.sim.thermostat) apply_thermostat();
-  }
-  std::int64_t mx = 0;
-  for (const NodeState& nd : nodes_) mx = std::max(mx, nd.sent);
-  ledger_.max_messages_per_node =
-      std::max(ledger_.max_messages_per_node, mx);
-  sync_retransmit_ledger();
   publish_metrics();
 }
 
@@ -1295,37 +613,34 @@ void VirtualMachine::run_cycles(int ncycles) {
   const std::int64_t target = steps_ / k + ncycles;
   while (steps_ / k < target) {
     const std::int64_t cycle = steps_ / k;
-    if (injector_) {
-      std::vector<int> dead;
-      for (int n = 0; n < node_count(); ++n)
-        if (injector_->crash_due(n, cycle)) dead.push_back(n);
-      if (!dead.empty()) {
-        // A node died at this cycle boundary: its volatile state (and
-        // every in-flight message) is gone. On a forked wire the worker
-        // process is genuinely SIGKILLed and a fresh one forked. Recovery
-        // is coordinated rollback -- all nodes restore the last
-        // distributed checkpoint, every channel restarts from sequence
-        // zero, and the replay is bitwise identical to the fault-free
-        // execution by the determinism invariants.
-        obs::Tracer::Span sp(tracer_, "vm.rollback");
-        for (int n : dead) {
-          wire_->kill_node(n);
-          wire_->restart_node(n);
-        }
-        FaultCounters& fc = transport_.counters();
-        ++fc.crashes;
-        ++fc.rollbacks;
-        const std::int64_t restored_cycle = ckpt_.steps / k;
-        restore_vm_checkpoint();
-        fc.replayed_cycles += cycle - restored_cycle;
-        continue;
-      }
-      const int cadence =
-          std::max(1, injector_->config().checkpoint_cycles);
-      if (ft_enabled_ && (!have_ckpt_ || cycle % cadence == 0))
-        capture_vm_checkpoint();
-    }
     try {
+      if (injector_) {
+        std::vector<int> dead;
+        for (int n = 0; n < node_count(); ++n)
+          if (injector_->crash_due(n, cycle)) dead.push_back(n);
+        if (!dead.empty()) {
+          // A rank died at this cycle boundary: its volatile state (and
+          // every in-flight message) is gone. On a forked wire the worker
+          // process is genuinely SIGKILLed and a fresh one forked.
+          // Recovery is coordinated rollback -- all ranks restore the
+          // last distributed checkpoint, every channel restarts from
+          // sequence zero, and the replay is bitwise identical to the
+          // fault-free execution by the determinism invariants.
+          obs::Tracer::Span sp(tracer_, "vm.rollback");
+          const std::int64_t restored_cycle = ckpt_.steps / k;
+          rollback(dead, /*restart=*/true);
+          ++merged_fc_.crashes;
+          ++merged_fc_.rollbacks;
+          merged_fc_.replayed_cycles += cycle - restored_cycle;
+          continue;
+        }
+        const int cadence =
+            std::max(1, injector_->config().checkpoint_cycles);
+        if (ft_enabled_ && (!have_ckpt_ || cycle % cadence == 0)) {
+          state_sync();
+          capture_vm_checkpoint();
+        }
+      }
       run_one_cycle();
     } catch (const TransportError& te) {
       // A worker endpoint died mid-cycle without being scheduled (e.g. an
@@ -1333,14 +648,35 @@ void VirtualMachine::run_cycles(int ncycles) {
       // the endpoint and roll everyone back to the last checkpoint.
       if (!ft_enabled_ || !have_ckpt_) throw;
       obs::Tracer::Span sp(tracer_, "vm.rollback");
-      wire_->restart_node(te.node());
-      FaultCounters& fc = transport_.counters();
-      ++fc.crashes;
-      ++fc.rollbacks;
       const std::int64_t restored_cycle = ckpt_.steps / k;
-      restore_vm_checkpoint();
-      fc.replayed_cycles += cycle - restored_cycle;
+      rollback({te.node()}, /*restart=*/true);
+      ++merged_fc_.crashes;
+      ++merged_fc_.rollbacks;
+      merged_fc_.replayed_cycles += cycle - restored_cycle;
+    } catch (const WorkerErrorSignal& we) {
+      // A rank surfaced a typed wire error (e.g. a corrupted frame). The
+      // worker survives; recovery is rollback without a re-fork.
+      if (!ft_enabled_ || !have_ckpt_)
+        throw wire::WireError(
+            we.code > 0 ? static_cast<wire::WireError::Kind>(we.code - 1)
+                        : wire::WireError::Kind::kBadPayload,
+            "rank " + std::to_string(we.rank) + " reported a wire error");
+      obs::Tracer::Span sp(tracer_, "vm.rollback");
+      const std::int64_t restored_cycle = ckpt_.steps / k;
+      rollback({}, /*restart=*/false);
+      ++merged_fc_.rollbacks;
+      merged_fc_.replayed_cycles += cycle - restored_cycle;
     }
+  }
+  // Refresh the coordinator mirror so diagnostics gathers (state_hash,
+  // export_checkpoint, workload) see the post-run rank state.
+  try {
+    state_sync();
+  } catch (const WorkerErrorSignal& we) {
+    throw wire::WireError(
+        we.code > 0 ? static_cast<wire::WireError::Kind>(we.code - 1)
+                    : wire::WireError::Kind::kBadPayload,
+        "rank " + std::to_string(we.rank) + " reported a wire error");
   }
   if (tracer_ && ncycles > 0) tracer_->capture_workload(workload());
 }
@@ -1378,19 +714,79 @@ void VirtualMachine::restore_vm_checkpoint() {
     nd.units = ckpt_.nodes[n].units;
     nd.atoms.clear();
     for (const auto& [id, st] : ckpt_.nodes[n].atoms) nd.atoms.emplace(id, st);
-    // Scrub per-step mailbox residue (checkpoints are taken at quiescent
-    // cycle boundaries, but the replay must not see partial sums).
-    nd.recs.clear();
-    for (std::int32_t id : nd.plist) {
-      nd.partial[id] = {0, 0, 0};
-      nd.ptouched[id] = 0;
-    }
-    nd.plist.clear();
   }
-  // Both ends of every channel restart from sequence zero; anything the
-  // wire still held is gone with the crashed node.
-  transport_.reset_channels();
   rebuild_bins_and_terms();
+}
+
+void VirtualMachine::rollback(const std::vector<int>& dead, bool restart) {
+  const int nnodes = node_count();
+  for (int n : dead) {
+    wire_->kill_node(n);
+    wire_->clear_pending(n);
+    if (restart) wire_->restart_node(n);
+  }
+  // Abort everyone: survivors unwind whatever phase they are in back to
+  // the event loop and acknowledge; freshly restarted ranks acknowledge
+  // from idle. The drain discards every stale frame in flight.
+  wire::Control abort;
+  abort.op = wire::CtrlOp::kAbort;
+  for (int n = 0; n < nnodes; ++n) send_ctl_to(n, wire::Payload{abort});
+  std::vector<char> acked(nnodes, 0);
+  int got = 0;
+  while (got < nnodes) {
+    int src = -1;
+    std::vector<std::uint8_t> bytes;
+    try {
+      bytes = wire_->recv_any(&src);
+    } catch (const TransportError& te) {
+      // Another rank died while the abort drained: bring it back. A fresh
+      // rank has nothing in flight, which is all the ack certifies.
+      wire_->kill_node(te.node());
+      wire_->clear_pending(te.node());
+      wire_->restart_node(te.node());
+      if (!acked[te.node()]) {
+        acked[te.node()] = 1;
+        ++got;
+      }
+      continue;
+    }
+    if (peek_dst(bytes) != wire::kCoordinator) continue;
+    wire::Frame f;
+    try {
+      f = wire::decode_frame(bytes);
+    } catch (const wire::WireError&) {
+      continue;  // corrupt residue dies with the aborted cycle
+    }
+    if (f.header.msg_type != wire::MsgType::kControl) continue;
+    if (std::get<wire::Control>(f.payload).op == wire::CtrlOp::kAbortAck &&
+        src >= 0 && !acked[src]) {
+      acked[src] = 1;
+      ++got;
+    }
+  }
+  // All channels are quiet. Restore the coordinator mirror and push the
+  // authoritative state back out; per-link FIFO puts each StateBlock
+  // ahead of any later command.
+  bar_count_.clear();
+  restore_vm_checkpoint();
+  for (int n = 0; n < nnodes; ++n) send_restore_block(n);
+}
+
+void VirtualMachine::send_restore_block(int rank) {
+  wire::StateBlock b;
+  b.steps = static_cast<std::uint64_t>(ckpt_.steps);
+  b.e_recip = ckpt_.e_recip;
+  b.directory = ckpt_.directory;
+  b.unit_sb = ckpt_.unit_sb;
+  const NodeSnapshot& s = ckpt_.nodes[static_cast<std::size_t>(rank)];
+  b.unit_id = s.units;
+  b.atom_id.reserve(s.atoms.size());
+  b.atoms.reserve(s.atoms.size());
+  for (const auto& [id, st] : s.atoms) {
+    b.atom_id.push_back(id);
+    b.atoms.push_back(st);
+  }
+  send_ctl_to(rank, wire::Payload{std::move(b)});
 }
 
 void VirtualMachine::set_fault_config(const FaultConfig& cfg) {
@@ -1399,15 +795,30 @@ void VirtualMachine::set_fault_config(const FaultConfig& cfg) {
         "VirtualMachine::set_fault_config: requires the dynamics-mode "
         "constructor");
   injector_ = std::make_unique<FaultInjector>(cfg);
-  transport_.set_injector(injector_.get());
   ft_enabled_ = true;
+  // Each rank arms its own injector with a seed derived from (cfg.seed,
+  // rank); the crash schedule stays coordinator-side.
+  wire::Control c;
+  c.op = wire::CtrlOp::kSetFault;
+  c.i0 = static_cast<std::int64_t>(cfg.seed);
+  c.i1 = cfg.max_attempts;
+  c.f0 = cfg.drop;
+  c.f1 = cfg.duplicate;
+  c.f2 = cfg.reorder;
+  c.f3 = cfg.delay;
+  broadcast_ctl(wire::Payload{c});
   // Arm-time capture: a crash scheduled before the first cadence boundary
   // still has a rollback target.
+  state_sync();
   capture_vm_checkpoint();
 }
 
 void VirtualMachine::clear_fault_config() {
-  transport_.set_injector(nullptr);
+  if (wire_) {
+    wire::Control c;
+    c.op = wire::CtrlOp::kClearFault;
+    broadcast_ctl(wire::Payload{c});
+  }
   injector_.reset();
   ft_enabled_ = false;
   have_ckpt_ = false;
@@ -1423,7 +834,8 @@ io::Checkpoint VirtualMachine::export_checkpoint() const {
 }
 
 // ---------------------------------------------------------------------------
-// Diagnostics (global gathers; not part of the choreography).
+// Diagnostics (global gathers from the mirror; not part of the
+// choreography).
 // ---------------------------------------------------------------------------
 
 std::vector<Vec3i> VirtualMachine::lattice_positions() const {
@@ -1445,6 +857,11 @@ std::uint64_t VirtualMachine::state_hash() const {
 }
 
 void VirtualMachine::negate_velocities() {
+  if (wire_) {
+    wire::Control c;
+    c.op = wire::CtrlOp::kNegateVelocities;
+    broadcast_ctl(wire::Payload{c});
+  }
   for (NodeState& nd : nodes_) {
     for (auto& [id, st] : nd.atoms) {
       st.vel.x = fixed::wrap_sub(0, st.vel.x);
@@ -1522,14 +939,14 @@ void VirtualMachine::set_metrics(obs::MetricsRegistry* m) {
   mid_.wire_roundtrips = m->counter("vm.wire.roundtrips");
   mid_.wire_bytes = m->counter("vm.wire.bytes");
   pub_base_ = ledger_;
-  fc_base_ = transport_.counters();
+  fc_base_ = merged_fc_;
   if (wire_) ws_base_ = wire_->stats();
 }
 
 void VirtualMachine::publish_metrics() {
   if (!metrics_) {
     pub_base_ = ledger_;
-    fc_base_ = transport_.counters();
+    fc_base_ = merged_fc_;
     if (wire_) ws_base_ = wire_->stats();
     return;
   }
@@ -1549,7 +966,7 @@ void VirtualMachine::publish_metrics() {
       pub_base_.migration);
   pub(mid_.reduce_messages, mid_.reduce_bytes, ledger_.reduce,
       pub_base_.reduce);
-  const FaultCounters& fc = transport_.counters();
+  const FaultCounters& fc = merged_fc_;
   auto pubc = [&](int id, std::int64_t cur, std::int64_t base) {
     metrics_->count(id, 0, cur - base);
   };

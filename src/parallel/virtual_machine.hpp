@@ -1,40 +1,36 @@
-// An explicit message-passing execution of Anton's time step.
+// The coordinator of the SPMD virtual-node runtime.
 //
 // The AntonEngine computes with global arrays (its bitwise invariants make
 // the decomposition unobservable). This runtime is the stricter
-// demonstration: every virtual node gets its OWN storage, holding only the
-// atoms it owns plus what arrives in messages, and the time step's data
-// choreography (Section 3.2) happens through explicit mailboxes. Two modes:
+// demonstration: every virtual node is a real rank -- a thread under the
+// in-process transport, a forked OS process under shm-fork/tcp -- running
+// its own parallel::WorkerRuntime event loop against its own private
+// memory, and the time step's data choreography (Section 3.2) happens
+// through genuine one-way wire frames. Two modes:
 //
 //  * the legacy one-shot evaluate(): a single distributed range-limited
 //    force evaluation (position multicast -> NT pair phase -> force
-//    return), kept as the minimal demonstration and unit-test surface;
+//    return) modeled inside one process, kept as the minimal demonstration
+//    and unit-test surface;
 //
 //  * the full distributed time-step runtime (construct from a
-//    core::AntonConfig, then run_cycles()): each node owns its home atoms'
-//    positions/velocities/forces and advances the complete MTS cycle --
-//      - subbox position multicast to tower/plate consumers,
-//      - node-local match/PPIP pair phase over home + imported subboxes,
-//      - bond-destination position dispatch, bonded + correction terms
-//        evaluated where their destination atom lives,
-//      - GSE charge spreading into node-local mesh accumulators, a charge
-//        halo exchange into block-owned FFT slabs, the distributed 3D FFT
-//        (per-torus-row line exchange, the fft::DistFftPlan pattern),
-//        k-space convolution, potential halo-back, force interpolation,
-//      - force return to home nodes, virtual-site force splitting,
-//      - fixed-point kick/drift with SHAKE/RATTLE solved on co-resident
-//        constraint units, ordered thermostat reduction,
-//      - migration-by-message every migration_interval steps with
-//        directory announcements.
-//    Every phase drives the SAME parallel::NodeProgram kernels the engine
-//    runs, and every accumulation is quantize-then-wrapping-add, so the
+//    core::AntonConfig, then run_cycles()): since the full-SPMD split
+//    (DESIGN.md section 5h) the physics runs in the workers. This class is
+//    only the coordinator: it builds the static world, spawns one worker
+//    per rank, broadcasts Control commands, routes rank-to-rank frames
+//    (hub-and-spoke), sequences phase barriers, folds per-rank RankReport
+//    diagnostics, collects checkpoints and drives coordinated rollback.
+//    It executes no per-phase physics. Every phase in the workers drives
+//    the SAME parallel::NodeProgram kernels the engine runs, so the
 //    distributed trajectory is bitwise identical to AntonEngine's on any
-//    node grid -- asserted step for step on the golden fixtures.
+//    node grid and any backend -- asserted step for step on the golden
+//    fixtures.
 //
 // All message and byte counts are measured into a parallel::CommLedger
-// (per phase), substantiating the paper's "a typical time step on Anton
-// involves thousands of inter-node messages per ASIC", and cross-validated
-// in tests against the comm_stats estimators and fft::DistFftPlan.
+// (per phase, folded from the ranks' reports), substantiating the paper's
+// "a typical time step on Anton involves thousands of inter-node messages
+// per ASIC", and cross-validated in tests against the comm_stats
+// estimators and fft::DistFftPlan.
 #pragma once
 
 #include <cstdint>
@@ -60,6 +56,7 @@
 #include "parallel/node_program.hpp"
 #include "parallel/transport.hpp"
 #include "parallel/wire.hpp"
+#include "parallel/worker_runtime.hpp"
 
 namespace anton::parallel {
 
@@ -80,17 +77,23 @@ class VirtualMachine {
 
   /// Full distributed time-step runtime, configured exactly like the
   /// engine (same kernels, geometry, integrator and migration cadence).
-  /// Every inter-node delivery is serialized into a wire frame and
-  /// traverses the selected byte transport (in-process by default).
+  /// Spawns one WorkerRuntime per rank on the selected byte transport
+  /// (in-process by default); every inter-node delivery is a serialized
+  /// one-way frame consumed by the destination rank.
   VirtualMachine(System sys, const core::AntonConfig& cfg);
   VirtualMachine(System sys, const core::AntonConfig& cfg,
                  const TransportOptions& topts);
+
+  /// Shuts the worker ranks down (Shutdown broadcast, then join/reap).
+  ~VirtualMachine();
+  VirtualMachine(const VirtualMachine&) = delete;
+  VirtualMachine& operator=(const VirtualMachine&) = delete;
 
   int node_count() const;
 
   /// One distributed range-limited force evaluation from the given
   /// lattice positions (legacy mode; usable in dynamics mode too, but
-  /// does not touch the per-node dynamic state). Returns per-atom
+  /// does not touch the per-rank dynamic state). Returns per-atom
   /// fixed-point forces in global indexing for the caller's convenience;
   /// internally every node only ever touched its own mailbox.
   std::vector<Vec3l> evaluate(const std::vector<Vec3i>& positions,
@@ -99,17 +102,18 @@ class VirtualMachine {
   // --- distributed time-step runtime (dynamics mode only) ---
 
   /// Runs n MTS cycles (n * long_range_every inner time steps) through
-  /// the mailbox choreography. Bitwise identical to AntonEngine.
+  /// the SPMD choreography. Bitwise identical to AntonEngine.
   void run_cycles(int ncycles);
   std::int64_t steps_done() const { return steps_; }
 
   /// FNV-1a hash over the fixed-point state in global atom order
-  /// (diagnostic gather; equal to AntonEngine::state_hash() on the same
-  /// trajectory).
+  /// (diagnostic gather from the coordinator's mirror, refreshed from the
+  /// ranks at every run_cycles boundary; equal to
+  /// AntonEngine::state_hash() on the same trajectory).
   std::uint64_t state_hash() const;
 
-  /// Raw fixed-point state assembled from the node memories in global
-  /// atom order (diagnostic gather, not part of the choreography).
+  /// Raw fixed-point state assembled from the rank mirror in global atom
+  /// order (diagnostic gather, not part of the choreography).
   std::vector<Vec3i> lattice_positions() const;
   std::vector<Vec3l> fixed_velocities() const;
 
@@ -118,10 +122,11 @@ class VirtualMachine {
   void negate_velocities();
 
   /// Reciprocal-space energy from the most recent long-range phase
-  /// (computed by the ordered reduce on the master node).
+  /// (computed by the ordered reduce on rank 0, reported per cycle).
   double reciprocal_energy() const { return e_recip_; }
 
-  /// Measured message/byte accounting accumulated since the last reset.
+  /// Measured message/byte accounting accumulated since the last reset
+  /// (folded from the ranks' per-cycle reports).
   const CommLedger& ledger() const { return ledger_; }
   void reset_ledger() { ledger_ = CommLedger{}; }
 
@@ -132,11 +137,12 @@ class VirtualMachine {
   const core::WorkloadProfile& workload();
   void reset_workload();
 
-  /// Attaches a phase tracer (nullptr detaches). Phases emit spans on
-  /// track 0 plus one child span per virtual node on track (node index
-  /// + 1), making the per-node comm pattern visible in the exported
-  /// trace. Tracing never touches the node memories: the trajectory with
-  /// a tracer attached is bitwise identical to without.
+  /// Attaches a phase tracer (nullptr detaches). Worker ranks time their
+  /// choreography phases and report them per cycle; the coordinator
+  /// appends them as spans on track (rank + 1), making the per-rank comm
+  /// pattern visible in the exported trace. Tracing never touches the
+  /// rank memories: the trajectory with a tracer attached is bitwise
+  /// identical to without.
   void set_tracer(obs::Tracer* t) { tracer_ = t; }
   obs::Tracer* tracer() const { return tracer_; }
 
@@ -149,81 +155,37 @@ class VirtualMachine {
 
   // --- fault tolerance (dynamics mode only) ---
 
-  /// Arms the seeded fault injector and the distributed checkpoint /
-  /// rollback machinery. Every inter-node message already flows through
-  /// the reliable transport; this attaches the adversary to its wire and
-  /// starts per-node state capture every cfg.checkpoint_cycles cycle
-  /// boundaries. With all probabilities zero and no crash schedule the
-  /// trajectory is bitwise identical to an unarmed run and every
-  /// vm.retry.* counter stays zero.
+  /// Arms the seeded fault injectors (each rank derives its own stream
+  /// from cfg.seed) and the distributed checkpoint / rollback machinery.
+  /// Every inter-node message already flows through each rank's reliable
+  /// link; this attaches the adversary to its wire and starts per-rank
+  /// state capture every cfg.checkpoint_cycles cycle boundaries. With all
+  /// probabilities zero and no crash schedule the trajectory is bitwise
+  /// identical to an unarmed run and every vm.retry.* counter stays zero.
   void set_fault_config(const FaultConfig& cfg);
 
-  /// Detaches the injector and stops checkpoint capture.
+  /// Detaches the injectors and stops checkpoint capture.
   void clear_fault_config();
 
-  /// Injected-fault and recovery-work counters since construction.
-  const FaultCounters& fault_counters() const {
-    return transport_.counters();
-  }
+  /// Injected-fault and recovery-work counters since construction
+  /// (merged across the ranks' reports).
+  const FaultCounters& fault_counters() const { return merged_fc_; }
 
-  /// Gathers the distributed per-node state into a host-format checkpoint
+  /// Gathers the distributed per-rank state into a host-format checkpoint
   /// (bit-exact: Simulation could resume an engine from it). Diagnostic
   /// gather, not part of the choreography.
   io::Checkpoint export_checkpoint() const;
 
-  /// The byte-level wire under the reliable layer (dynamics mode only;
-  /// null in legacy mode). Tests reach through this to inspect measured
-  /// traffic or SIGKILL a forked worker.
+  /// The byte-level wire under the ranks (dynamics mode only; null in
+  /// legacy mode). Tests reach through this to inspect measured traffic
+  /// or SIGKILL a forked worker.
   ByteTransport* wire() const { return wire_.get(); }
   const TransportOptions& transport_options() const { return topts_; }
 
  private:
-  /// One position record (id + lattice position) -- exactly the wire
-  /// record, so mailboxes hold what the frames carry.
+  /// One position record, as in the legacy evaluate() path.
   using AtomRecord = wire::PosRec;
-
-  /// Dynamic state of one home atom, owned by exactly one node at a time
-  /// and moved whole during migration; the wire's migration record.
   using AtomState = wire::AtomDyn;
-
-  /// One virtual node's private memory. Nothing here is ever read by
-  /// another node: inter-node data flow happens only through the
-  /// deliver_* helpers, which model messages (count/bytes into the
-  /// ledger) and append into the RECEIVER's mailbox fields.
-  struct NodeState {
-    // Home ownership.
-    std::vector<std::int32_t> units;  // unit ids homed here
-    std::unordered_map<std::int32_t, AtomState> atoms;
-    std::map<std::int32_t, std::vector<std::int32_t>> bins;  // sb -> ids
-
-    // Mailboxes (refilled every step).
-    std::map<std::int32_t, std::vector<AtomRecord>> recs;  // pair phase
-    std::vector<Vec3i> rpos;         // dispatched positions, by atom id
-    std::vector<Vec3l> partial;      // force partials, by atom id
-    std::vector<char> ptouched;      // partial[i] valid flags
-    std::vector<std::int32_t> plist; // touched partial ids
-
-    // Term ownership (rebuilt at migration; destination atom lives here).
-    std::vector<std::int32_t> bonds, angles, dihedrals, exclusions, vsites;
-
-    // Mesh state: node-local spread accumulator over the full mesh plus
-    // the block-owned FFT slab (block origin/extent in the members below).
-    std::vector<std::int64_t> spread_q;   // full mesh, wrapping accum
-    std::vector<char> stouched;           // spread_q[i] touched flags
-    std::vector<std::int32_t> touched;    // touched mesh indices
-    std::vector<std::int64_t> mesh_q;     // owned block, quantized charge
-    std::vector<double> scratch_q;        // owned block, double charge
-    std::vector<fft::cplx> fft_grid;      // owned block, transform state
-    std::vector<std::int64_t> mesh_phi;   // owned block, quantized phi
-    std::vector<std::int64_t> halo_phi;   // full mesh, phi at touched pts
-    std::vector<std::vector<std::int32_t>> halo_req;  // per src: indices
-    std::vector<fft::cplx> fft_line;      // assembled line (as FFT owner)
-
-    Vec3i block_lo{0, 0, 0};  // owned mesh block origin
-    Vec3i block_sz{0, 0, 0};  // owned mesh block extent
-
-    std::int64_t sent = 0;  // messages sent in the current cycle window
-  };
 
   // --- construction helpers ---
   void init_pair_tables(double cutoff, double beta, double sigma_s,
@@ -236,8 +198,9 @@ class VirtualMachine {
   void initial_distribution(const std::vector<Vec3i>& gpos,
                             const std::vector<Vec3l>& gvel);
   void rebuild_bins_and_terms();
+  void spawn_ranks();
 
-  /// Coordinated distributed checkpoint: every node's private state at
+  /// Coordinated distributed checkpoint: every rank's private state at
   /// one cycle boundary, plus the replicated directory/ownership tables.
   /// The rollback target after an injected node crash.
   struct NodeSnapshot {
@@ -252,65 +215,39 @@ class VirtualMachine {
     std::vector<NodeSnapshot> nodes;
   };
 
-  /// Channel tags for the reliable transport (one stream per
-  /// (src, dst, phase) triple).
-  enum Phase : int {
-    kChPosition = 0,
-    kChForce,
-    kChBond,
-    kChMesh,
-    kChFft,
-    kChMigration,
-    kChReduce,
-  };
+  // --- control plane (coordinator -> rank commands, raw frames) ---
+  void send_frame_raw(int dst, const std::vector<std::uint8_t>& bytes);
+  void send_ctl_to(int dst, const wire::Payload& p);
+  void broadcast_ctl(const wire::Payload& p);
 
-  // --- message accounting + reliable delivery ---
-  int torus_hops(int src, int dst) const;
-  void account(PhaseComm& phase, int src, int dst, std::int64_t bytes);
-  /// Delivers one typed message: local (src == dst) applies immediately
-  /// with no accounting; remote is serialized into a wire frame, routed
-  /// through the reliable transport over the byte wire (exactly-once,
-  /// per-channel FIFO, survives the fault injector) and accounted at its
-  /// measured frame size. Each phase barrier calls transport_.flush().
-  void deliver(PhaseComm& phase, int channel_phase, int src, int dst,
-               wire::Payload payload);
-  /// The reliable layer's sink: typed dispatch of one delivered frame.
-  void dispatch_frame(const wire::Frame& f);
-  /// Applies one decoded message to the destination node's state -- the
-  /// receiver-side half of every choreography phase.
-  void apply_payload(int src, int dst, const wire::Payload& p);
+  // --- hub routing + diagnostics folding ---
+  /// Receives frames, forwarding rank-to-rank traffic raw (the hub peeks
+  /// only the destination field) and counting/releasing barriers, until a
+  /// coordinator-bound non-barrier frame arrives; returns it decoded.
+  wire::Frame next_coordinator_frame(int* src);
+  void on_barrier(int src, std::uint32_t id);
+  /// Drains the hub until `n` RankReports arrived, folding each into the
+  /// ledger/workload/fault aggregates. A WorkerError frame surfaces as a
+  /// WorkerErrorSignal exception (caught by run_cycles -> rollback).
+  void collect_reports(int n);
+  void fold_report(int src, const wire::RankReport& r);
+  /// Collects a StateBlock from every rank and merges them into the
+  /// coordinator's mirror (directory/unit tables, per-rank atoms).
+  void state_sync();
+  void merge_state_block(int src, const wire::StateBlock& b);
 
   // --- fault tolerance ---
   void capture_vm_checkpoint();
   void restore_vm_checkpoint();
-  void sync_retransmit_ledger();
+  /// Coordinated rollback: restart dead ranks, Abort-drain every rank,
+  /// restore the coordinator mirror from the checkpoint and push
+  /// authoritative StateBlocks back out to all ranks.
+  void rollback(const std::vector<int>& dead, bool restart);
+  void send_restore_block(int rank);
   void run_one_cycle();
-
-  // --- choreography phases ---
-  std::vector<AtomRecord>& records_of(NodeState& nd, std::int32_t sb);
-  void position_multicast();
-  void pair_phase();
-  void bond_dispatch_and_terms(bool long_range);
-  void force_return(bool long_range);
-  void vsite_force_round(bool long_range);
-  void compute_short_forces();
-  void compute_long_forces();
-  void spread_and_halo();
-  void distributed_fft_stage(int axis, bool inverse);
-  void convolve_and_energy();
-  void phi_halo_back_and_interpolate();
-  void kick_all(bool long_kick);
-  void drift_and_constrain();
-  void finish_drift();
-  void rattle_groups();
-  void apply_thermostat();
-  void migrate_by_message();
   void publish_metrics();
 
-  void touch_partial(NodeState& nd, std::int32_t id);
-  Vec3i pos_of(const NodeState& nd, std::int32_t id) const;
-
-  // --- static replicated context (every node holds a copy) ---
+  // --- static replicated context (every rank holds a copy) ---
   System sys_;
   VmConfig cfg_;              // legacy mode parameters
   core::AntonConfig acfg_;    // dynamics mode parameters
@@ -321,7 +258,6 @@ class VirtualMachine {
   pairlist::ExclusionTable excl_;
   ewald::GseParams gse_params_;
   std::unique_ptr<ewald::Gse> gse_;
-  std::unique_ptr<fft::Fft1D> fft1_;
   NodeProgram np_;
   IntegrationCoefs coefs_;
   std::uint64_t r2_limit_lattice_ = 0;
@@ -345,36 +281,37 @@ class VirtualMachine {
   std::vector<int> mesh_owner_[3];
   std::vector<int> mesh_start_[3];
 
-  // The virtual nodes.
+  // The coordinator's mirror of the rank states: authoritative only at
+  // sync points (end of run_cycles, checkpoint cadence boundaries), used
+  // for diagnostics gathers, checkpoint capture and worker (re)spawn
+  // seeding. The ranks own the live state.
   std::vector<NodeState> nodes_;
 
   std::int64_t steps_ = 0;
   double e_recip_ = 0.0;
-  // Master-side gather scratch (node 0's convolution view and the global
-  // kinetic reduction); every index is rewritten each cycle before use.
-  std::vector<double> master_q_full_;
-  std::vector<double> master_phi_full_;
-  std::vector<double> red_kin_;
   CommLedger ledger_;
   CommLedger pub_base_;  // ledger snapshot at last metrics publish
   core::WorkloadProfile workload_;
 
-  // Reliable delivery + fault tolerance. The transport is always in the
-  // message path (pass-through when no injector is attached); the
-  // injector, checkpoint capture and rollback engage via
-  // set_fault_config. The byte wire underneath is selected at
-  // construction (dynamics mode only).
+  // The byte wire underneath the ranks plus the static world the spawn
+  // lambda seeds each WorkerRuntime from (dynamics mode only).
   TransportOptions topts_;
+  VmWorld world_;
   std::unique_ptr<ByteTransport> wire_;
-  ReliableTransport transport_;
+
+  // Fault tolerance: the coordinator keeps the crash schedule authority;
+  // the message-fault injectors live in the ranks (per-rank derived
+  // seeds) and their counters are merged here from the reports.
   std::unique_ptr<FaultInjector> injector_;
   bool ft_enabled_ = false;
   VmCheckpoint ckpt_;
   bool have_ckpt_ = false;
-  // Retransmit totals already folded into ledger_.retransmit (the
-  // transport counters are lifetime-monotonic; the ledger is resettable).
-  std::int64_t retrans_synced_msgs_ = 0;
-  std::int64_t retrans_synced_bytes_ = 0;
+  FaultCounters merged_fc_;
+
+  // Control-plane sequencing: barrier arrival counts per id, and the raw
+  // sequence for coordinator-originated frames.
+  std::map<std::uint32_t, int> bar_count_;
+  std::uint64_t ctl_seq_ = 0;
 
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;

@@ -353,6 +353,141 @@ DirectoryUpdate decode_directory_update(Reader& r) {
   return m;
 }
 
+void encode_payload(Writer& w, const Control& m) {
+  w.u8(static_cast<std::uint8_t>(m.op));
+  w.i64(m.i0);
+  w.i64(m.i1);
+  w.f64(m.f0);
+  w.f64(m.f1);
+  w.f64(m.f2);
+  w.f64(m.f3);
+}
+
+Control decode_control(Reader& r) {
+  Control m;
+  const std::uint8_t op = r.u8();
+  if (op < 1 || op > static_cast<std::uint8_t>(CtrlOp::kShutdown))
+    throw WireError(WireError::Kind::kBadPayload, "bad control op");
+  m.op = static_cast<CtrlOp>(op);
+  m.i0 = r.i64();
+  m.i1 = r.i64();
+  m.f0 = r.f64();
+  m.f1 = r.f64();
+  m.f2 = r.f64();
+  m.f3 = r.f64();
+  return m;
+}
+
+void encode_payload(Writer& w, const Barrier& m) { w.u32(m.id); }
+
+Barrier decode_barrier(Reader& r) {
+  Barrier m;
+  m.id = r.u32();
+  return m;
+}
+
+void encode_payload(Writer& w, const Ack& m) {
+  w.u8(m.phase);
+  w.u64(m.seq);
+}
+
+Ack decode_ack(Reader& r) {
+  Ack m;
+  m.phase = r.u8();
+  m.seq = r.u64();
+  return m;
+}
+
+void encode_payload(Writer& w, const RankReport& m) {
+  w.i64(m.pid);
+  w.i64(m.sent);
+  w.f64(m.e_recip);
+  w.count(m.counters.size());
+  for (std::int64_t v : m.counters) w.i64(v);
+  w.count(m.ledger.size());
+  for (std::int64_t v : m.ledger) w.i64(v);
+  w.count(m.faults.size());
+  for (std::int64_t v : m.faults) w.i64(v);
+  w.count(m.span_id.size());
+  for (std::uint16_t v : m.span_id) w.u32(v);
+  for (double v : m.span_us) w.f64(v);
+}
+
+RankReport decode_rank_report(Reader& r) {
+  RankReport m;
+  m.pid = r.i64();
+  m.sent = r.i64();
+  m.e_recip = r.f64();
+  m.counters.resize(r.count(8));
+  for (std::int64_t& v : m.counters) v = r.i64();
+  m.ledger.resize(r.count(8));
+  for (std::int64_t& v : m.ledger) v = r.i64();
+  m.faults.resize(r.count(8));
+  for (std::int64_t& v : m.faults) v = r.i64();
+  const std::size_t nspans = r.count(12);  // u32 id + f64 dur per span
+  m.span_id.resize(nspans);
+  for (std::uint16_t& v : m.span_id) v = static_cast<std::uint16_t>(r.u32());
+  m.span_us.resize(nspans);
+  for (double& v : m.span_us) v = r.f64();
+  return m;
+}
+
+void encode_payload(Writer& w, const StateBlock& m) {
+  w.u64(m.steps);
+  w.f64(m.e_recip);
+  w.count(m.directory.size());
+  for (std::int32_t v : m.directory) w.i32(v);
+  w.count(m.unit_sb.size());
+  for (std::int32_t v : m.unit_sb) w.i32(v);
+  w.count(m.unit_id.size());
+  for (std::int32_t v : m.unit_id) w.i32(v);
+  w.count(m.atom_id.size());
+  for (std::size_t k = 0; k < m.atom_id.size(); ++k) {
+    w.i32(m.atom_id[k]);
+    const AtomDyn& a = m.atoms[k];
+    w.vec3i(a.pos);
+    w.vec3l(a.vel);
+    w.vec3l(a.f_short);
+    w.vec3l(a.f_long);
+  }
+}
+
+StateBlock decode_state_block(Reader& r) {
+  StateBlock m;
+  m.steps = r.u64();
+  m.e_recip = r.f64();
+  m.directory.resize(r.count(4));
+  for (std::int32_t& v : m.directory) v = r.i32();
+  m.unit_sb.resize(r.count(4));
+  for (std::int32_t& v : m.unit_sb) v = r.i32();
+  m.unit_id.resize(r.count(4));
+  for (std::int32_t& v : m.unit_id) v = r.i32();
+  const std::size_t n = r.count(kMigrationRecBytes);
+  m.atom_id.resize(n);
+  m.atoms.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    m.atom_id[k] = r.i32();
+    AtomDyn& a = m.atoms[k];
+    a.pos = r.vec3i();
+    a.vel = r.vec3l();
+    a.f_short = r.vec3l();
+    a.f_long = r.vec3l();
+  }
+  return m;
+}
+
+void encode_payload(Writer& w, const WorkerError& m) {
+  w.u8(m.code);
+  w.u32(m.detail);
+}
+
+WorkerError decode_worker_error(Reader& r) {
+  WorkerError m;
+  m.code = r.u8();
+  m.detail = r.u32();
+  return m;
+}
+
 Payload decode_payload(MsgType t, const std::uint8_t* data, std::size_t len) {
   Reader r(data, len);
   Payload p;
@@ -368,6 +503,12 @@ Payload decode_payload(MsgType t, const std::uint8_t* data, std::size_t len) {
     case MsgType::kScaleVelocities: p = decode_scale_velocities(r); break;
     case MsgType::kMigrationBatch: p = decode_migration_batch(r); break;
     case MsgType::kDirectoryUpdate: p = decode_directory_update(r); break;
+    case MsgType::kControl: p = decode_control(r); break;
+    case MsgType::kBarrier: p = decode_barrier(r); break;
+    case MsgType::kAck: p = decode_ack(r); break;
+    case MsgType::kRankReport: p = decode_rank_report(r); break;
+    case MsgType::kStateBlock: p = decode_state_block(r); break;
+    case MsgType::kWorkerError: p = decode_worker_error(r); break;
     default:
       throw WireError(WireError::Kind::kBadMsgType,
                       "unknown message type " +
@@ -400,6 +541,12 @@ MsgType type_of(const Payload& p) {
     MsgType operator()(const DirectoryUpdate&) {
       return MsgType::kDirectoryUpdate;
     }
+    MsgType operator()(const Control&) { return MsgType::kControl; }
+    MsgType operator()(const Barrier&) { return MsgType::kBarrier; }
+    MsgType operator()(const Ack&) { return MsgType::kAck; }
+    MsgType operator()(const RankReport&) { return MsgType::kRankReport; }
+    MsgType operator()(const StateBlock&) { return MsgType::kStateBlock; }
+    MsgType operator()(const WorkerError&) { return MsgType::kWorkerError; }
   };
   return std::visit(V{}, p);
 }

@@ -61,6 +61,34 @@ enum class MsgType : std::uint16_t {
   kScaleVelocities = 9,  // thermostat lambda broadcast
   kMigrationBatch = 10,  // whole atom states changing home
   kDirectoryUpdate = 11, // new-home announcements after migration
+  // --- SPMD control plane (coordinator <-> worker ranks) ---
+  kControl = 12,         // commands + lifecycle (CtrlOp below)
+  kBarrier = 13,         // phase barrier arrival / release
+  kAck = 14,             // reliable-delivery ack riding the return path
+  kRankReport = 15,      // per-cycle worker diagnostics export
+  kStateBlock = 16,      // rank state (checkpoint collect / restore)
+  kWorkerError = 17,     // typed worker-side failure report
+};
+
+/// Virtual node id the coordinator uses in control-frame headers. Real
+/// ranks are dense [0, nnodes); this value can never collide.
+constexpr int kCoordinator = 0xFFFE;
+
+/// Channel-phase tag for control-plane frames (the data phases occupy
+/// VirtualMachine::Phase 0..6).
+constexpr int kChControl = 7;
+
+/// Operations carried by a Control frame.
+enum class CtrlOp : std::uint8_t {
+  kInitForces = 1,       // run the initial short+long force evaluation
+  kRunCycle = 2,         // execute one MTS cycle
+  kNegateVelocities = 3, // time-reversal support
+  kSetFault = 4,         // arm the rank-side injector (seed/probs in args)
+  kClearFault = 5,       // disarm the rank-side injector
+  kStateRequest = 6,     // reply with a StateBlock of your owned state
+  kAbort = 7,            // unwind to the event loop (coordinated rollback)
+  kAbortAck = 8,         // rank acknowledges the abort
+  kShutdown = 9,         // exit the worker event loop
 };
 
 /// Typed decode failure. `kind` names the first check that failed.
@@ -200,10 +228,82 @@ struct DirectoryUpdate {
                          const DirectoryUpdate&) = default;
 };
 
+/// Coordinator command / rank lifecycle message. The op decides which of
+/// the generic argument slots are meaningful (kSetFault: i0 = seed,
+/// i1 = max_attempts, f0..f3 = drop/duplicate/reorder/delay).
+struct Control {
+  CtrlOp op = CtrlOp::kRunCycle;
+  std::int64_t i0 = 0;
+  std::int64_t i1 = 0;
+  double f0 = 0.0;
+  double f1 = 0.0;
+  double f2 = 0.0;
+  double f3 = 0.0;
+  friend bool operator==(const Control&, const Control&) = default;
+};
+
+/// Phase-barrier token: rank -> coordinator announces arrival at barrier
+/// `id`; coordinator -> rank is the matching release. Ids are a monotonic
+/// per-cycle sequence identical on every rank.
+struct Barrier {
+  std::uint32_t id = 0;
+  friend bool operator==(const Barrier&, const Barrier&) = default;
+};
+
+/// Reliable-delivery acknowledgment on the return path: confirms receipt
+/// of the data frame with sequence `seq` on channel phase `phase` from the
+/// frame's destination back to its original sender.
+struct Ack {
+  std::uint8_t phase = 0;
+  std::uint64_t seq = 0;
+  friend bool operator==(const Ack&, const Ack&) = default;
+};
+
+/// Per-cycle diagnostics a rank exports to the coordinator: flat deltas of
+/// its workload counters, per-phase comm ledger, fault counters and span
+/// totals, in fixed orders the VirtualMachine packs/unpacks.
+struct RankReport {
+  std::int64_t pid = 0;    // OS pid of the reporting process
+  std::int64_t sent = 0;   // messages this rank sent this cycle
+  double e_recip = 0.0;    // reciprocal energy (meaningful from rank 0)
+  std::vector<std::int64_t> counters;  // NodeCounters fields, fixed order
+  std::vector<std::int64_t> ledger;    // 8 phases x {messages,bytes,hops}
+  std::vector<std::int64_t> faults;    // FaultCounters subset, fixed order
+  std::vector<std::uint16_t> span_id;  // per-phase span table indices
+  std::vector<double> span_us;         // matching durations
+  friend bool operator==(const RankReport&, const RankReport&) = default;
+};
+
+/// One rank's dynamic state: checkpoint collection (rank -> coordinator)
+/// and rollback restore (coordinator -> rank). `directory`/`unit_sb` are
+/// full per-unit tables (authoritative on restore; the sender's replica on
+/// collect); `unit_id` lists the subject rank's owned units and
+/// `atom_id`/`atoms` its owned atom states.
+struct StateBlock {
+  std::uint64_t steps = 0;
+  double e_recip = 0.0;
+  std::vector<std::int32_t> directory;
+  std::vector<std::int32_t> unit_sb;
+  std::vector<std::int32_t> unit_id;
+  std::vector<std::int32_t> atom_id;
+  std::vector<AtomDyn> atoms;
+  friend bool operator==(const StateBlock&, const StateBlock&) = default;
+};
+
+/// Typed worker-side failure (e.g. a corrupted frame surfaced as a
+/// WireError at the rank): reported to the coordinator, which answers with
+/// a coordinated rollback instead of letting the worker abort.
+struct WorkerError {
+  std::uint8_t code = 0;    // WireError::Kind + 1, or 0 for generic
+  std::uint32_t detail = 0;
+  friend bool operator==(const WorkerError&, const WorkerError&) = default;
+};
+
 using Payload =
     std::variant<PositionBatch, BondPositions, ForceBatch, MeshCharge,
                  MeshPhi, FftSegment, MeshEnergyBlock, KineticTerms,
-                 ScaleVelocities, MigrationBatch, DirectoryUpdate>;
+                 ScaleVelocities, MigrationBatch, DirectoryUpdate, Control,
+                 Barrier, Ack, RankReport, StateBlock, WorkerError>;
 
 /// Returns the MsgType tag of a payload alternative.
 MsgType type_of(const Payload& p);
@@ -231,6 +331,9 @@ constexpr std::int64_t kKineticTermsMeta = 4;    // u32 count
 constexpr std::int64_t kScaleVelocitiesBytes = 8;
 constexpr std::int64_t kMigrationMeta = 4;       // u32 count
 constexpr std::int64_t kDirectoryMeta = 4;       // u32 count
+constexpr std::int64_t kControlBytes = 49;       // u8 op + 2xi64 + 4xf64
+constexpr std::int64_t kBarrierBytes = 4;        // u32 id
+constexpr std::int64_t kAckBytes = 9;            // u8 phase + u64 seq
 
 // --- frame ------------------------------------------------------------------
 

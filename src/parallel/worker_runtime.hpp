@@ -1,0 +1,279 @@
+// The SPMD rank body of the virtual-node runtime.
+//
+// Since the full-SPMD split (DESIGN.md §5h) the physics no longer runs in
+// the coordinator: every rank -- a thread under the in-process transport,
+// a forked OS process under shm-fork/tcp -- executes its own WorkerRuntime
+// event loop against its own private memory (units, atoms, bins, mesh
+// slabs). Deliveries are genuine one-way frames consumed by the
+// destination rank; reliable-delivery acknowledgments ride the return
+// path as real kAck frames; end-of-phase synchronization is an explicit
+// Barrier exchange with the coordinator, which also routes rank-to-rank
+// frames (hub-and-spoke) and folds each rank's RankReport diagnostics.
+//
+// The choreography phases here are the SAME algorithms the coordinator
+// used to run over all nodes at once, restricted to `self`: every kernel
+// call, accumulation order and quantization is unchanged, so the
+// distributed trajectory stays bitwise identical to AntonEngine's on any
+// node grid and any backend.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/anton_engine.hpp"
+#include "fft/fft1d.hpp"
+#include "nt/nt_geometry.hpp"
+#include "parallel/comm_stats.hpp"
+#include "parallel/fault.hpp"
+#include "parallel/node_program.hpp"
+#include "parallel/transport.hpp"
+#include "parallel/wire.hpp"
+
+namespace anton::parallel {
+
+/// One position record (id + lattice position) -- exactly the wire
+/// record, so mailboxes hold what the frames carry.
+using AtomRecord = wire::PosRec;
+
+/// Dynamic state of one home atom, owned by exactly one rank at a time
+/// and moved whole during migration; the wire's migration record.
+using AtomState = wire::AtomDyn;
+
+/// One virtual node's private memory. Under SPMD this lives inside the
+/// rank that owns it (the coordinator keeps a mirror copy for diagnostics
+/// and checkpoint capture only). Nothing here is ever read by another
+/// rank: inter-node data flow happens only through wire frames, applied
+/// into the RECEIVER's mailbox fields.
+struct NodeState {
+  // Home ownership.
+  std::vector<std::int32_t> units;  // unit ids homed here
+  std::unordered_map<std::int32_t, AtomState> atoms;
+  std::map<std::int32_t, std::vector<std::int32_t>> bins;  // sb -> ids
+
+  // Mailboxes (refilled every step).
+  std::map<std::int32_t, std::vector<AtomRecord>> recs;  // pair phase
+  std::vector<Vec3i> rpos;         // dispatched positions, by atom id
+  std::vector<Vec3l> partial;      // force partials, by atom id
+  std::vector<char> ptouched;      // partial[i] valid flags
+  std::vector<std::int32_t> plist; // touched partial ids
+
+  // Term ownership (rebuilt at migration; destination atom lives here).
+  std::vector<std::int32_t> bonds, angles, dihedrals, exclusions, vsites;
+
+  // Mesh state: node-local spread accumulator over the full mesh plus
+  // the block-owned FFT slab (block origin/extent in the members below).
+  std::vector<std::int64_t> spread_q;   // full mesh, wrapping accum
+  std::vector<char> stouched;           // spread_q[i] touched flags
+  std::vector<std::int32_t> touched;    // touched mesh indices
+  std::vector<std::int64_t> mesh_q;     // owned block, quantized charge
+  std::vector<double> scratch_q;        // owned block, double charge
+  std::vector<fft::cplx> fft_grid;      // owned block, transform state
+  std::vector<std::int64_t> mesh_phi;   // owned block, quantized phi
+  std::vector<std::int64_t> halo_phi;   // full mesh, phi at touched pts
+  std::vector<std::vector<std::int32_t>> halo_req;  // per src: indices
+  std::vector<fft::cplx> fft_line;      // assembled line (as FFT owner)
+
+  Vec3i block_lo{0, 0, 0};  // owned mesh block origin
+  Vec3i block_sz{0, 0, 0};  // owned mesh block extent
+
+  std::int64_t sent = 0;  // messages sent in the current cycle window
+};
+
+/// Channel tags for the reliable layer (one stream per
+/// (src, dst, phase) triple; wire::kChControl = 7 is the control plane).
+enum Phase : int {
+  kChPosition = 0,
+  kChForce,
+  kChBond,
+  kChMesh,
+  kChFft,
+  kChMigration,
+  kChReduce,
+};
+
+/// Rebuilds one rank's subbox bins and owned term-index lists from the
+/// replicated directory/unit tables. Shared by the worker (after
+/// migration / restore) and the coordinator (for its diagnostic mirror);
+/// both must bin identically, so there is exactly one implementation.
+void rebuild_node_bins_and_terms(
+    const Topology& top, const std::vector<std::vector<std::int32_t>>& units,
+    const std::vector<std::int32_t>& unit_sb,
+    const std::vector<std::int32_t>& directory, int self, NodeState& nd);
+
+/// The immutable world a rank computes against: replicated static context
+/// built once by the coordinator before spawn_workers(). Under shm-fork /
+/// tcp the fork image carries it; under in-process transport the worker
+/// threads read it through these const pointers (never written after
+/// spawn, so the sharing is race-free).
+struct VmWorld {
+  const NodeProgram* np = nullptr;        // kernels + top/box/lat/gse
+  const nt::NtGeometry* geom = nullptr;
+  const IntegrationCoefs* coefs = nullptr;
+  const core::AntonConfig* acfg = nullptr;
+  const std::vector<std::vector<std::int32_t>>* units = nullptr;
+  const std::vector<std::vector<ConstraintBond>>* group_constraints = nullptr;
+  const std::vector<std::vector<int>>* consumers = nullptr;
+  const std::vector<std::vector<std::int32_t>>* node_subboxes = nullptr;
+  const std::vector<std::vector<std::int32_t>>* dest_feed = nullptr;
+  const std::vector<std::vector<std::int32_t>>* vsite_feed = nullptr;
+  const std::vector<int>* mesh_owner = nullptr;  // array of 3 (per axis)
+  const std::vector<int>* mesh_start = nullptr;  // array of 3 (per axis)
+  int nnodes = 0;
+};
+
+/// One rank's event loop: receives Control/data frames from its endpoint,
+/// executes the MTS-cycle choreography on command, and reports
+/// diagnostics (workload counters, comm ledger, fault counters, phase
+/// timings) back to the coordinator as RankReport frames.
+class WorkerRuntime {
+ public:
+  /// Span-table indices a RankReport's span_id entries refer to; the
+  /// coordinator maps them back to tracer span names.
+  enum SpanId : int {
+    kSpanPositionMulticast = 0,
+    kSpanCompute,
+    kSpanBondDispatch,
+    kSpanBondTerms,
+    kSpanForceReturn,
+    kSpanSpread,
+    kSpanFft,
+    kSpanInterpolate,
+    kSpanCorrection,
+    kSpanIntegrate,
+    kSpanMigrate,
+    kSpanMtsCycle,
+    kNumSpans,
+  };
+  static const char* const kSpanNames[kNumSpans];
+
+  /// Fixed element counts of the flat RankReport vectors (the coordinator
+  /// validates and unpacks against these).
+  static constexpr int kReportCounters = 7;  // NodeCounters deltas
+  static constexpr int kReportLedger = 23;   // 7 phases x 3 + 2 totals
+  static constexpr int kReportFaults = 8;    // FaultCounters deltas
+
+  WorkerRuntime(const VmWorld& w, int rank, WorkerEndpoint& ep,
+                NodeState initial, std::vector<std::int32_t> directory,
+                std::vector<std::int32_t> unit_sb, std::int64_t steps);
+
+  /// The worker event loop. Returns on Shutdown; TransportError (hub
+  /// gone) propagates to the transport's worker wrapper.
+  void run();
+
+ private:
+  /// RAII wall-clock accumulator feeding the RankReport span table
+  /// (microseconds; the coordinator rescales into tracer spans).
+  class SpanTimer {
+   public:
+    explicit SpanTimer(double& acc)
+        : acc_(acc), t0_(std::chrono::steady_clock::now()) {}
+    ~SpanTimer() {
+      acc_ += std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - t0_)
+                  .count();
+    }
+    SpanTimer(const SpanTimer&) = delete;
+    SpanTimer& operator=(const SpanTimer&) = delete;
+
+   private:
+    double& acc_;
+    std::chrono::steady_clock::time_point t0_;
+  };
+
+  const Topology& top() const { return *np_.top; }
+  const fixed::PositionLattice& lat() const { return *np_.lat; }
+
+  // --- event loop ---
+  wire::Frame recv_frame();
+  void handle(const wire::Frame& f);
+  void send_ctl(wire::Payload payload);
+  void send_report();
+  void send_state_block();
+  void report_error(const wire::WireError& we);
+  void await_rollback();
+  void ack_abort();
+  void restore(const wire::StateBlock& b);
+  void init_forces();
+  void run_cycle();
+
+  // --- delivery + barrier ---
+  int torus_hops(int dst) const;
+  /// Delivers one typed message: local (dst == self) applies immediately
+  /// with no accounting; remote goes through the reliable link as a
+  /// one-way frame and is accounted at its measured size.
+  void deliver(PhaseComm& phase, int channel_phase, int dst,
+               wire::Payload payload);
+  /// Applies one delivered message to this rank's state -- the
+  /// receiver-side half of every choreography phase.
+  void apply_payload(int src, const wire::Payload& p);
+  /// End-of-phase synchronization: announce arrival to the coordinator,
+  /// then consume inbound frames (applying data, pruning acks) until the
+  /// matching release. Abort/Shutdown controls unwind via exceptions.
+  void barrier();
+
+  // --- choreography phases (the coordinator's old bodies, self-only) ---
+  std::vector<AtomRecord>& records_of(std::int32_t sb);
+  void touch_partial(std::int32_t id);
+  Vec3i pos_of(std::int32_t id) const;
+  void position_multicast();
+  void pair_phase();
+  void bond_dispatch_and_terms(bool long_range);
+  void force_return(bool long_range);
+  void vsite_force_round(bool long_range);
+  void compute_short_forces();
+  void compute_long_forces();
+  void spread_and_halo();
+  void distributed_fft_stage(int axis, bool inverse);
+  void convolve_and_energy();
+  void phi_halo_back_and_interpolate();
+  void kick_all(bool long_kick);
+  void drift_and_constrain();
+  void finish_drift();
+  void rattle_groups();
+  void apply_thermostat();
+  void migrate_by_message();
+
+  // --- static world ---
+  VmWorld w_;
+  int rank_;
+  WorkerEndpoint& ep_;
+  NodeProgram np_;  // by-value copy: kernel calls look exactly like the
+                    // coordinator's old ones
+  fft::Fft1D fft1_;
+
+  // --- reliable delivery ---
+  ReliableLink link_;
+
+  // --- owned dynamic state ---
+  NodeState nd_;
+  std::vector<std::int32_t> directory_;  // atom -> home rank (replica)
+  std::vector<std::int32_t> unit_sb_;    // unit -> subbox (own units live)
+  std::int64_t steps_ = 0;
+  double e_recip_ = 0.0;
+  /// Assembled FFT lines this rank owns in the current stage, keyed by
+  /// the line's (a, b) coordinates on the stage axis.
+  std::map<std::pair<int, int>, std::vector<fft::cplx>> fft_lines_;
+
+  // Rank-0 reduction scratch (the ordered reduce destinations; only
+  // allocated on rank 0).
+  std::vector<double> red_kin_;
+  std::vector<double> master_q_full_;
+  std::vector<double> master_phi_full_;
+
+  // --- diagnostics (lifetime totals; bases advance at each report) ---
+  CommLedger led_, led_base_;
+  core::NodeCounters nc_, nc_base_;
+  FaultCounters fc_base_;
+  std::int64_t sent_ = 0;  // messages sent since cycle/init start
+  double span_acc_[kNumSpans] = {};
+
+  // --- control-plane sequencing ---
+  std::uint32_t bar_id_ = 0;   // next barrier id (resets on restore)
+  std::uint64_t ctl_seq_ = 0;  // raw control-frame sequence
+};
+
+}  // namespace anton::parallel

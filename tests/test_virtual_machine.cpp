@@ -3,6 +3,9 @@
 // messaging claims, and -- in dynamics mode -- a full distributed time
 // step whose trajectory matches AntonEngine bit for bit.
 #include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cerrno>
 
 #include <cstdint>
 #include <memory>
@@ -266,6 +269,13 @@ TEST(VirtualMachine, AllTransportBackendsMatchEngine) {
     // The wire was genuinely traversed: measured roundtrips and bytes.
     EXPECT_GT(vm->wire()->stats().roundtrips, 0) << be.tag;
     EXPECT_GT(vm->wire()->stats().bytes, 0) << be.tag;
+    // Deterministic reaping: destroying the VM joins and waits on every
+    // forked worker, so the test process is left with no children at all.
+    vm.reset();
+    int st = 0;
+    const pid_t r = waitpid(-1, &st, WNOHANG);
+    EXPECT_EQ(r, -1) << be.tag << ": unreaped child " << r;
+    if (r == -1) EXPECT_EQ(errno, ECHILD) << be.tag;
   }
 }
 

@@ -47,9 +47,54 @@ wire::AtomDyn rnd_atom(Xoshiro256& rng) {
   return {rnd_v3i(rng), rnd_v3l(rng), rnd_v3l(rng), rnd_v3l(rng)};
 }
 
-/// A random payload of message type index `t` (0..10) with `n` records.
+/// A random payload of message type index `t` (0..16) with `n` records.
 Payload rnd_payload(int t, std::size_t n, Xoshiro256& rng) {
   switch (t) {
+    case 11: {
+      wire::Control m;
+      m.op = static_cast<wire::CtrlOp>(1 + rng() % 9);
+      m.i0 = static_cast<std::int64_t>(rng());
+      m.i1 = static_cast<std::int64_t>(rng());
+      m.f0 = rnd_f64(rng);
+      m.f1 = rnd_f64(rng);
+      m.f2 = rnd_f64(rng);
+      m.f3 = rnd_f64(rng);
+      return m;
+    }
+    case 12:
+      return wire::Barrier{static_cast<std::uint32_t>(rng())};
+    case 13:
+      return wire::Ack{static_cast<std::uint8_t>(rng() % 8), rng()};
+    case 14: {
+      wire::RankReport m;
+      m.pid = static_cast<std::int64_t>(rng());
+      m.sent = static_cast<std::int64_t>(rng());
+      m.e_recip = rnd_f64(rng);
+      for (std::size_t i = 0; i < n; ++i) {
+        m.counters.push_back(static_cast<std::int64_t>(rng()));
+        m.ledger.push_back(static_cast<std::int64_t>(rng()));
+        m.faults.push_back(static_cast<std::int64_t>(rng()));
+        m.span_id.push_back(static_cast<std::uint16_t>(rng()));
+        m.span_us.push_back(rnd_f64(rng));
+      }
+      return m;
+    }
+    case 15: {
+      wire::StateBlock m;
+      m.steps = rng();
+      m.e_recip = rnd_f64(rng);
+      for (std::size_t i = 0; i < n; ++i) {
+        m.directory.push_back(static_cast<std::int32_t>(rng()));
+        m.unit_sb.push_back(static_cast<std::int32_t>(rng()));
+        m.unit_id.push_back(static_cast<std::int32_t>(rng()));
+        m.atom_id.push_back(static_cast<std::int32_t>(rng()));
+        m.atoms.push_back(rnd_atom(rng));
+      }
+      return m;
+    }
+    case 16:
+      return wire::WorkerError{static_cast<std::uint8_t>(rng() % 8),
+                               static_cast<std::uint32_t>(rng())};
     case 0: {
       wire::PositionBatch m;
       m.sb = static_cast<std::int32_t>(rng());
@@ -135,7 +180,7 @@ Payload rnd_payload(int t, std::size_t n, Xoshiro256& rng) {
   }
 }
 
-constexpr int kNumTypes = 11;
+constexpr int kNumTypes = 17;
 
 }  // namespace
 
