@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <ios>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,29 @@
 #include "obs/trace.hpp"
 
 namespace bench {
+
+/// Restores a stream's formatting state (flags, precision, fill) on scope
+/// exit. Same hygiene as io.cpp's write_xyz_frame / CsvWriter::row: a
+/// writer that sets fixed/setprecision must not leak that state into
+/// whatever the caller prints next.
+class StreamStateGuard {
+ public:
+  explicit StreamStateGuard(std::ios& s)
+      : s_(s), flags_(s.flags()), prec_(s.precision()), fill_(s.fill()) {}
+  ~StreamStateGuard() {
+    s_.flags(flags_);
+    s_.precision(prec_);
+    s_.fill(fill_);
+  }
+  StreamStateGuard(const StreamStateGuard&) = delete;
+  StreamStateGuard& operator=(const StreamStateGuard&) = delete;
+
+ private:
+  std::ios& s_;
+  std::ios::fmtflags flags_;
+  std::streamsize prec_;
+  char fill_;
+};
 
 /// ANTON_BENCH_SCALE scales the default (quick) step counts; 1 is the
 /// default, larger values tighten statistics.

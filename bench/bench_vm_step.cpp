@@ -199,7 +199,9 @@ std::vector<BackendResult> run_backends(const char* name, const System& sys,
 void write_json(const std::string& path, double scale,
                 const std::vector<BackendResult>& results) {
   std::string out = "{\n  \"bench\": \"vm_step\",\n";
-  char buf[512];
+  // Wide enough for the per-backend line (~400 chars) with headroom;
+  // snprintf truncation here would silently corrupt the JSON.
+  char buf[1024];
   std::snprintf(buf, sizeof(buf),
                 "  \"system\": \"peptide_solvated\",\n"
                 "  \"grid\": \"2x2x2\",\n  \"scale\": %.2f,\n"

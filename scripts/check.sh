@@ -3,7 +3,7 @@
 # ThreadSanitizer pass over the deterministic-parallelism surface (the
 # thread pool and the threaded engine tests).
 #
-# Usage: scripts/check.sh [--unit-only|--tier1-only|--tsan-only|--vm|--faults|--transport|--jobs|--spmd]
+# Usage: scripts/check.sh [--unit-only|--tier1-only|--tsan-only|--vm|--faults|--transport|--jobs|--spmd|--kernels]
 #   --vm           build + the VirtualMachine runtime surface only (the
 #                  distributed time-step tests and the VM golden matrix)
 #   --spmd         build + the full SPMD execution surface: every test
@@ -19,6 +19,10 @@
 #                  codec property/adversarial tests, the frame fuzzer, the
 #                  per-backend smoke tests, shm-fork/SIGKILL recovery, and
 #                  the slow cross-backend golden conformance matrix)
+#   --kernels      build + the SoA/SIMD kernel surface: the batched-vs-
+#                  scalar bitwise property tests, the pair-list reuse
+#                  suite, and the bench_kernels smoke run (which itself
+#                  asserts bitwise identity and writes BENCH_kernels.json)
 #   --jobs         build + the multi-tenant job runtime surface (scheduler
 #                  units, TaskGroup sharing, tenant-isolation/recovery
 #                  integration tests, and the jobs/hour + fairness bench,
@@ -96,6 +100,22 @@ jobs_gate() {
   ./build/bench/bench_jobs BENCH_jobs.json
 }
 
+# Kernel gate: the SoA batched datapaths against their scalar references.
+# The ctest filter covers the bitwise property tests (pair block, batched
+# tables, mesh kernels, pair-list reuse) plus the golden matrix that
+# gates the batched stepping path end to end; the bench then re-proves
+# scalar-vs-batched identity on a bigger system and records the measured
+# speedups in BENCH_kernels.json. Run after touching src/tables/,
+# src/htis/, src/pairlist/ or the node-program/engine pair loops.
+kernels() {
+  echo "== kernels gate: SoA batched datapaths vs scalar, bitwise =="
+  cmake -B build -S .
+  cmake --build build -j"$JOBS"
+  (cd build && ctest -R 'KernelsSimd|TieredTable|ErfcTableSpline|VerletList|CellGrid|GoldenTrajectory\.' \
+    --output-on-failure -j"$JOBS")
+  ./build/bench/bench_kernels BENCH_kernels.json
+}
+
 # SPMD gate: everything that proves the workers own the physics and the
 # coordinator only orchestrates -- the VM conformance + golden surface,
 # the fault/rollback matrix over real forked workers, and the wire codec
@@ -131,6 +151,7 @@ case "$MODE" in
   --transport) transport ;;
   --jobs) jobs_gate ;;
   --spmd) spmd ;;
+  --kernels) kernels ;;
   all|"") tier1; tsan ;;
   *) echo "unknown mode: $MODE" >&2; exit 2 ;;
 esac

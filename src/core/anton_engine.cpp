@@ -82,6 +82,8 @@ AntonEngine::AntonEngine(System sys, const AntonConfig& cfg,
   mesh_shards_.assign(lanes,
                       std::vector<std::int64_t>(gse_->mesh_total(), 0));
   acc_shards_.assign(lanes, LaneAccums{});
+  pair_scratch_.resize(lanes);
+  mesh_scratch_.resize(lanes);
 
   // Cutoff thresholds in lattice units (cubic box: lsb identical per axis).
   const double cut_lat = cfg_.sim.cutoff / lsb.x;
@@ -288,6 +290,30 @@ void AntonEngine::migrate() {
   // Keep bin contents sorted by atom index: deterministic and independent
   // of unit enumeration order.
   for (auto& b : bins_) std::sort(b.begin(), b.end());
+  pack_bin_soa();
+}
+
+void AntonEngine::pack_bin_soa() {
+  bin_soa_.resize(bins_.size());
+  for (std::size_t sb = 0; sb < bins_.size(); ++sb) {
+    parallel::BinSoA& s = bin_soa_[sb];
+    s.clear();
+    s.reserve(bins_[sb].size());
+    for (std::int32_t a : bins_[sb]) s.push_atom(sys_.top, a, pos_[a]);
+  }
+}
+
+void AntonEngine::refresh_bin_soa_positions() {
+  lanes_.parallel_for(
+      static_cast<std::int64_t>(bins_.size()),
+      [&](int, std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t sb = lo; sb < hi; ++sb) {
+          parallel::BinSoA& s = bin_soa_[sb];
+          const auto& ids = bins_[sb];
+          for (std::size_t k = 0; k < ids.size(); ++k)
+            s.set_pos(k, pos_[ids[k]]);
+        }
+      });
 }
 
 void AntonEngine::range_limited_pass(bool with_energy) {
@@ -295,6 +321,13 @@ void AntonEngine::range_limited_pass(bool with_energy) {
   // shard and an energy shard; a pair's quantized force is a pure function
   // of the two lattice positions, so which lane computes it cannot change
   // the value, and the wrapping shard reduction cannot change the sum.
+  //
+  // The stepping path (with_energy == false, gated by the golden
+  // fixtures) runs the SoA block datapath: positions refreshed into the
+  // bin lanes, then eval_pair_block per (tower, plate) bin pair -- bitwise
+  // identical to the scalar loop. The energy path (measure_energy only)
+  // keeps the scalar per-pair loop, which also evaluates energy tables.
+  if (!with_energy) refresh_bin_soa_positions();
   const std::int64_t nsub = geom_->subbox_count();
   lanes_.parallel_for(nsub, [&](int lane, std::int64_t h0, std::int64_t h1) {
     // Lane-tagged, lock-free: each lane writes only its own registry
@@ -317,6 +350,23 @@ void AntonEngine::range_limited_pass(bool with_energy) {
           const auto& plate = bins_[pidx];
           if (plate.empty()) continue;
           const bool same = tidx == pidx;
+          if (!with_energy) {
+            parallel::PairBlockCounters pc;
+            parallel::eval_pair_block(np_, bin_soa_[tidx], bin_soa_[pidx],
+                                      same, pair_scratch_[lane], pc);
+            nc.pairs_considered += pc.considered;
+            nc.ppip_queue += pc.queued;
+            nc.interactions += pc.computed;
+            for (const parallel::PairHit& ph : pair_scratch_[lane].hits) {
+              fsh[ph.lo].x = fixed::wrap_add(fsh[ph.lo].x, ph.f.x);
+              fsh[ph.lo].y = fixed::wrap_add(fsh[ph.lo].y, ph.f.y);
+              fsh[ph.lo].z = fixed::wrap_add(fsh[ph.lo].z, ph.f.z);
+              fsh[ph.hi].x = fixed::wrap_sub(fsh[ph.hi].x, ph.f.x);
+              fsh[ph.hi].y = fixed::wrap_sub(fsh[ph.hi].y, ph.f.y);
+              fsh[ph.hi].z = fixed::wrap_sub(fsh[ph.hi].z, ph.f.z);
+            }
+            continue;
+          }
           for (std::size_t a = 0; a < tower.size(); ++a) {
             const std::int32_t i0 = tower[a];
             const Vec3i pi = pos_[i0];
@@ -481,7 +531,7 @@ void AntonEngine::mesh_pass(bool with_energy) {
           if (qi == 0.0) continue;
           NodeCounters& nc = wl_shards_[lane][geom_->node_index_of(
               geom_->coords_of(assigned_subbox_[i]))];
-          parallel::spread_atom(np_, qi, pos_phys_[i],
+          parallel::spread_atom(np_, qi, pos_phys_[i], mesh_scratch_[lane],
                                 [&](std::size_t idx, std::int64_t dq) {
                                   ++nc.spread_ops;
                                   msh[idx] = fixed::wrap_add(msh[idx], dq);
@@ -530,7 +580,7 @@ void AntonEngine::mesh_pass(bool with_energy) {
           NodeCounters& nc = wl_shards_[lane][geom_->node_index_of(
               geom_->coords_of(assigned_subbox_[i]))];
           const Vec3l acc = parallel::interpolate_atom(
-              np_, qi, pos_phys_[i],
+              np_, qi, pos_phys_[i], mesh_scratch_[lane],
               [&](std::size_t idx) { return mesh_phi_[idx]; },
               &nc.interp_ops);
           fsh[i].x = fixed::wrap_add(fsh[i].x, acc.x);

@@ -173,6 +173,8 @@ class AntonEngine {
   void build_decomposition();
   void migrate();
   void refresh_phys_positions();
+  void pack_bin_soa();
+  void refresh_bin_soa_positions();
   void zero_force_shards();
   void reduce_force_shards(std::vector<Vec3l>& into);
   void reduce_energy_shards();
@@ -255,6 +257,13 @@ class AntonEngine {
   std::vector<std::vector<std::int64_t>> mesh_shards_;  // [lane][mesh pt]
   std::vector<std::vector<NodeCounters>> wl_shards_;    // [lane][node]
   std::vector<LaneAccums> acc_shards_;                  // [lane]
+
+  // SoA mirrors of bins_ (ids/charges/types packed at migration,
+  // positions refreshed per pass) plus per-lane batch scratch for the
+  // vectorized pair-block and mesh kernels.
+  std::vector<parallel::BinSoA> bin_soa_;               // [subbox]
+  std::vector<parallel::PairBlockScratch> pair_scratch_;  // [lane]
+  std::vector<parallel::MeshScratch> mesh_scratch_;       // [lane]
 
   // Energy accumulators (fixed point where summation order matters).
   fixed::Accum64 e_lj_acc_, e_coul_acc_, e_bonded_acc_, e_corr_acc_;

@@ -144,6 +144,13 @@ struct SimParams {
   double target_temperature = 300.0;  // K
   double berendsen_tau = 1000.0;      // fs
 
+  // Reference-engine pair-loop options (AntonEngine ignores both; its NT
+  // pipeline has no pair list and its erfc lives in the tiered tables).
+  // A positive skin enables Verlet-list reuse across steps: the list is
+  // rebuilt only when some atom has moved more than skin/2 since build.
+  double ref_skin = 1.0;       // A; 0 disables list reuse (rebin per call)
+  bool ref_erfc_table = true;  // spline erfc in the direct-space sum
+
   /// Resolves gse from cutoff/mesh when not explicitly set.
   ewald::GseParams resolved_gse() const {
     if (gse.mesh != 0) return gse;

@@ -61,6 +61,12 @@ ReferenceEngine::ReferenceEngine(System sys, const SimParams& p)
     }
   }
   grid_ = std::make_unique<pairlist::CellGrid>(sys_.box, p_.cutoff);
+  if (p_.ref_erfc_table) {
+    // Cover beta * r for every pair the skin-padded list can hold, with
+    // headroom so small post-construction parameter nudges stay in-table.
+    erfc_ = ewald::ErfcTable(
+        gse_params_.beta * (p_.cutoff + std::max(0.0, p_.ref_skin)) + 1.0);
+  }
   f_short_.assign(sys_.top.natoms, {0, 0, 0});
   f_long_.assign(sys_.top.natoms, {0, 0, 0});
   Q_.assign(gse_->mesh_total(), 0.0);
@@ -76,35 +82,52 @@ void ReferenceEngine::compute_short(bool with_energy) {
 
   {
     obs::PhaseTimer t(times_, Phase::kRangeLimited, tracer_);
-    grid_->bin(sys_.positions);
     const double beta = gse_params_.beta;
     const bool have_mol = !top.molecule.empty();
+    const bool use_table = !erfc_.empty();
     // Potential-shifted energies: zero at the cutoff, so pairs crossing
     // the cutoff cause no energy discontinuity (forces unchanged).
     const double rc = p_.cutoff;
     const double rc2 = rc * rc;
     const double e_elec_rc = ewald::coul_direct_energy(rc, beta);
-    grid_->for_each_pair(
-        sys_.positions, p_.cutoff,
-        [&](std::int32_t i, std::int32_t j, const Vec3d& dr, double r2) {
-          if (!have_mol || top.molecule[i] == top.molecule[j]) {
-            if (excl_.excluded(i, j)) return;
-          }
-          const double r = std::sqrt(r2);
-          const double A = lj_a(i, j);
-          const double B = lj_b(i, j);
-          const double qq = top.charge[i] * top.charge[j];
-          const double coef = qq * ewald::coul_direct_force(r, beta) +
-                              ewald::lj_force(r2, A, B);
-          const Vec3d f = dr * coef;
-          f_short_[i] += f;
-          f_short_[j] -= f;
-          if (with_energy) {
-            e_lj += ewald::lj_energy(r2, A, B) - ewald::lj_energy(rc2, A, B);
-            e_coul +=
-                qq * (ewald::coul_direct_energy(r, beta) - e_elec_rc);
-          }
-        });
+    auto pair = [&](std::int32_t i, std::int32_t j, const Vec3d& dr,
+                    double r2) {
+      if (!have_mol || top.molecule[i] == top.molecule[j]) {
+        if (excl_.excluded(i, j)) return;
+      }
+      const double r = std::sqrt(r2);
+      const double A = lj_a(i, j);
+      const double B = lj_b(i, j);
+      const double qq = top.charge[i] * top.charge[j];
+      const double coef =
+          (use_table ? qq * ewald::coul_direct_force_erfc(
+                                r, beta, erfc_.value(beta * r))
+                     : qq * ewald::coul_direct_force(r, beta)) +
+          ewald::lj_force(r2, A, B);
+      const Vec3d f = dr * coef;
+      f_short_[i] += f;
+      f_short_[j] -= f;
+      if (with_energy) {
+        e_lj += ewald::lj_energy(r2, A, B) - ewald::lj_energy(rc2, A, B);
+        const double e_elec =
+            use_table
+                ? ewald::coul_direct_energy_erfc(r, erfc_.value(beta * r))
+                : ewald::coul_direct_energy(r, beta);
+        e_coul += qq * (e_elec - e_elec_rc);
+      }
+    };
+    if (p_.ref_skin > 0.0) {
+      if (!vlist_valid_ ||
+          vlist_.needs_rebuild(sys_.box, sys_.positions)) {
+        vlist_ = pairlist::VerletList::build(sys_.box, sys_.positions,
+                                             p_.cutoff, p_.ref_skin);
+        vlist_valid_ = true;
+      }
+      vlist_.for_each_pair(sys_.box, sys_.positions, pair);
+    } else {
+      grid_->bin(sys_.positions);
+      grid_->for_each_pair(sys_.positions, p_.cutoff, pair);
+    }
   }
 
   double e_bonded;
@@ -279,6 +302,8 @@ void ReferenceEngine::set_positions(std::span<const Vec3d> pos) {
   for (std::int32_t i = 0; i < sys_.top.natoms; ++i)
     sys_.positions[i] = sys_.box.wrap(pos[i]);
   rebuild_vsites(sys_);
+  // Arbitrary teleports void the skin-displacement bound; force a rebuild.
+  vlist_valid_ = false;
 }
 
 std::vector<Vec3d> ReferenceEngine::compute_forces_now() {

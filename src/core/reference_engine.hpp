@@ -15,6 +15,7 @@
 
 #include "constraints/shake.hpp"
 #include "core/engine_types.hpp"
+#include "ewald/erfc_table.hpp"
 #include "ewald/gse.hpp"
 #include "ewald/spme.hpp"
 #include "ff/topology.hpp"
@@ -87,6 +88,12 @@ class ReferenceEngine {
   std::unique_ptr<ewald::Spme> spme_;  // used when long_range == kSpme
   pairlist::ExclusionTable excl_;
   std::unique_ptr<pairlist::CellGrid> grid_;
+
+  // Skin-based Verlet list (ref_skin > 0): rebuilt only when an atom has
+  // moved more than skin/2 since the list was taken, otherwise reused.
+  pairlist::VerletList vlist_;
+  bool vlist_valid_ = false;
+  ewald::ErfcTable erfc_;  // empty when ref_erfc_table is off
 
   std::vector<Vec3d> f_short_, f_long_;
   std::vector<double> Q_, phi_;

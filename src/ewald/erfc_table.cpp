@@ -1,0 +1,51 @@
+#include "ewald/erfc_table.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace anton::ewald {
+
+namespace {
+constexpr double kTwoOverSqrtPi = 1.1283791670955126;
+
+double erfc_deriv(double x) {
+  return -kTwoOverSqrtPi * std::exp(-x * x);
+}
+}  // namespace
+
+ErfcTable::ErfcTable(double x_max, double dx) {
+  if (x_max <= 0.0 || dx <= 0.0)
+    throw std::invalid_argument("ErfcTable: bad domain");
+  const int n = static_cast<int>(std::ceil(x_max / dx));
+  inv_dx_ = 1.0 / dx;
+  x_max_ = n * dx;
+  coef_.resize(4 * static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    const double x0 = k * dx;
+    const double x1 = x0 + dx;
+    const double f0 = std::erfc(x0);
+    const double f1 = std::erfc(x1);
+    // Derivatives in the local coordinate t = (x - x0)/dx.
+    const double d0 = erfc_deriv(x0) * dx;
+    const double d1 = erfc_deriv(x1) * dx;
+    double* c = &coef_[4 * static_cast<std::size_t>(k)];
+    // Cubic Hermite basis: p(0)=f0, p(1)=f1, p'(0)=d0, p'(1)=d1.
+    c[0] = f0;
+    c[1] = d0;
+    c[2] = 3.0 * (f1 - f0) - 2.0 * d0 - d1;
+    c[3] = 2.0 * (f0 - f1) + d0 + d1;
+  }
+  // Record the observed fit error (diagnostics + tests).
+  double worst = 0.0;
+  const int scan = 8 * n;
+  for (int i = 0; i < scan; ++i) {
+    const double x = (i + 0.5) * x_max_ / scan;
+    const double err = std::fabs(std::erfc(x) - value(x));
+    if (err > worst) worst = err;
+  }
+  max_error_ = worst;
+}
+
+double ErfcTable::slow_value(double x) const { return std::erfc(x); }
+
+}  // namespace anton::ewald

@@ -49,6 +49,22 @@ struct GseParams {
   static GseParams for_cutoff(double rc, int mesh);
 };
 
+/// Structure-of-arrays batch of mesh points within rs of one atom
+/// (indices, displacement components, squared distances in lanes).
+struct MeshPointBatch {
+  std::vector<std::size_t> idx;
+  std::vector<double> dx, dy, dz, r2;
+
+  std::size_t size() const { return idx.size(); }
+  void clear() {
+    idx.clear();
+    dx.clear();
+    dy.clear();
+    dz.clear();
+    r2.clear();
+  }
+};
+
 class Gse {
  public:
   Gse(const PeriodicBox& box, const GseParams& p);
@@ -116,6 +132,21 @@ class Gse {
         }
       }
     }
+  }
+
+  /// SoA batch of the mesh points for_each_mesh_point would visit, in the
+  /// same order with the same doubles. Gathering first lets callers run
+  /// the Gaussian table over all ~(2 rs/h)^3 points of an atom in one
+  /// vectorized eval_fixed_n sweep instead of a branchy per-point call.
+  void gather_mesh_points(const Vec3d& r, MeshPointBatch& out) const {
+    out.clear();
+    for_each_mesh_point(r, [&out](std::size_t idx, const Vec3d& d, double r2) {
+      out.idx.push_back(idx);
+      out.dx.push_back(d.x);
+      out.dy.push_back(d.y);
+      out.dz.push_back(d.z);
+      out.r2.push_back(r2);
+    });
   }
 
  private:

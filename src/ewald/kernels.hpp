@@ -36,6 +36,22 @@ inline double coul_direct_force(double r, double beta) {
           two_over_sqrt_pi * beta * std::exp(-beta * beta * r2) / r2);
 }
 
+/// coul_direct_energy with the caller supplying erfc(beta r) -- the hook
+/// for a spline lookup (ErfcTable) in the reference engine's pair loop.
+inline double coul_direct_energy_erfc(double r, double erfc_br) {
+  return units::kCoulomb * erfc_br / r;
+}
+
+/// coul_direct_force with the caller supplying erfc(beta r); the exp term
+/// stays exact (it is cheap next to libm's erfc).
+inline double coul_direct_force_erfc(double r, double beta, double erfc_br) {
+  const double r2 = r * r;
+  const double two_over_sqrt_pi = 1.1283791670955126;
+  return units::kCoulomb *
+         (erfc_br / (r2 * r) +
+          two_over_sqrt_pi * beta * std::exp(-beta * beta * r2) / r2);
+}
+
 /// Reciprocal-space (to be subtracted for excluded pairs) energy per unit
 /// charge product: erf(beta r)/r, times the Coulomb constant.
 inline double coul_recip_energy(double r, double beta) {

@@ -69,6 +69,18 @@ inline constexpr std::int64_t rshift_rne(std::int64_t v, int k) {
   return q;
 }
 
+/// Rounds a double to an integer-valued double with ties to even, via the
+/// classic magic-number trick: adding 2^52 + 2^51 pushes the value into a
+/// binade whose ULP is exactly 1, so the add itself performs the rounding
+/// (in the default IEEE mode), and the subtract is exact. Bitwise equal to
+/// (double)llrint(x) for |x| < 2^51 -- the domain every batched kernel in
+/// this codebase proves before using it. Unlike llrint this is a pure
+/// add/sub data operation, so compilers vectorize loops around it.
+inline double rne_round(double x) {
+  constexpr double kMagic = 6755399441055744.0;  // 2^52 + 2^51
+  return (x + kMagic) - kMagic;
+}
+
 /// Wraps a value into the range of a B-bit signed integer (the natural
 /// hardware behaviour of a B-bit datapath).
 inline constexpr std::int64_t wrap_to_bits(std::int64_t v, int bits) {

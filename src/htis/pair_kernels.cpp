@@ -94,12 +94,44 @@ PairForceEnergy PairKernels::eval_nonbonded(double r2, double qiqj, int ti,
   return out;
 }
 
+void PairKernels::eval_nonbonded_coef_n(std::size_t n, const double* r2,
+                                        const double* qq, const double* a,
+                                        const double* b, double* coef) const {
+  // Per-thread scratch: PairKernels is shared read-only across engine
+  // lanes, so batch intermediates cannot live in members.
+  thread_local std::vector<double> u, fe, f12, f6;
+  u.resize(n);
+  fe.resize(n);
+  f12.resize(n);
+  f6.resize(n);
+  for (std::size_t i = 0; i < n; ++i) u[i] = r2[i] * inv_cut2_;
+  f_elec_.eval_fixed_n(u.data(), fe.data(), n);
+  f_lj12_.eval_fixed_n(u.data(), f12.data(), n);
+  f_lj6_.eval_fixed_n(u.data(), f6.data(), n);
+  // Same association as eval_nonbonded: (qq*fe + A*f12) - B*f6.
+  for (std::size_t i = 0; i < n; ++i)
+    coef[i] = qq[i] * fe[i] + a[i] * f12[i] - b[i] * f6[i];
+}
+
 double PairKernels::eval_spread(double r2) const {
   return g_spread_.eval_fixed(r2 * inv_rs2_);
 }
 
+void PairKernels::eval_spread_n(std::size_t n, const double* r2,
+                                double* g) const {
+  thread_local std::vector<double> u;
+  u.resize(n);
+  for (std::size_t i = 0; i < n; ++i) u[i] = r2[i] * inv_rs2_;
+  g_spread_.eval_fixed_n(u.data(), g, n);
+}
+
 double PairKernels::eval_interp(double r2) const {
   return g_spread_.eval_fixed(r2 * inv_rs2_);
+}
+
+void PairKernels::eval_interp_n(std::size_t n, const double* r2,
+                                double* g) const {
+  eval_spread_n(n, r2, g);
 }
 
 double PairKernels::worst_force_table_error() const {

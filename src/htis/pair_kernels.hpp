@@ -64,12 +64,26 @@ class PairKernels {
   PairForceEnergy eval_nonbonded(double r2, double qiqj, int ti, int tj,
                                  bool with_energy) const;
 
+  /// Batched force-coefficient evaluation: coef[i] is bitwise equal to
+  /// eval_nonbonded(r2[i], qq[i], ti, tj, false).force_coef where the
+  /// caller has pre-gathered a[i] = lj_a(ti, tj), b[i] = lj_b(ti, tj).
+  /// All three tables run their vectorized eval_fixed_n path.
+  void eval_nonbonded_coef_n(std::size_t n, const double* r2,
+                             const double* qq, const double* a,
+                             const double* b, double* coef) const;
+
   /// Charge-spreading kernel: Gaussian density value at r2 (<= rs^2).
   double eval_spread(double r2) const;
+
+  /// Batched spreading kernel: g[i] == eval_spread(r2[i]) bitwise.
+  void eval_spread_n(std::size_t n, const double* r2, double* g) const;
 
   /// Force-interpolation kernel: the same Gaussian; the caller multiplies
   /// by q_i phi_m h^3 / sigma_s^2 and the displacement vector.
   double eval_interp(double r2) const;
+
+  /// Batched interpolation kernel: g[i] == eval_interp(r2[i]) bitwise.
+  void eval_interp_n(std::size_t n, const double* r2, double* g) const;
 
   /// Worst-case fit error across the force tables (diagnostics).
   double worst_force_table_error() const;

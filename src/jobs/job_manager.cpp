@@ -1,6 +1,7 @@
 #include "jobs/job_manager.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <stdexcept>
@@ -53,6 +54,7 @@ int JobManager::steps_per_cycle(const JobSpec& spec) {
 JobManager::JobManager(const RuntimeConfig& cfg)
     : cfg_(cfg), root_dir_(make_root_dir(cfg.root_dir)),
       pool_(std::max(1, cfg.threads)), fleet_(1, "jobs.") {
+  owns_root_ = cfg.root_dir.empty();
   cfg_.threads = pool_.lanes();
   if (cfg_.executors <= 0) cfg_.executors = cfg_.threads;
   if (cfg_.default_quantum < 1) cfg_.default_quantum = 1;
@@ -76,6 +78,22 @@ JobManager::~JobManager() {
   }
   cv_work_.notify_all();
   for (auto& t : executors_) t.join();
+  // Clean up a temp root we created ourselves. A configured root_dir
+  // belongs to the caller; and after any failed job we keep everything
+  // (checkpoints, partial trajectories) for post-mortem inspection.
+  if (owns_root_) {
+    if (any_failed_) {
+      std::fprintf(stderr,
+                   "JobManager: keeping %s (failed jobs left outputs)\n",
+                   root_dir_.c_str());
+    } else {
+      std::error_code ec;
+      fs::remove_all(root_dir_, ec);
+      if (ec)
+        std::fprintf(stderr, "JobManager: could not remove %s: %s\n",
+                     root_dir_.c_str(), ec.message().c_str());
+    }
+  }
 }
 
 JobId JobManager::submit(const JobSpec& spec) {
@@ -169,7 +187,10 @@ void JobManager::finalize_locked(Job& j, JobStatus status) {
   j.status = status;
   scheduler_.remove(j.id);
   if (status == JobStatus::kDone) fleet_.count(fid_.completed, 0);
-  if (status == JobStatus::kFailed) fleet_.count(fid_.failed, 0);
+  if (status == JobStatus::kFailed) {
+    fleet_.count(fid_.failed, 0);
+    any_failed_ = true;
+  }
   if (status == JobStatus::kCancelled) fleet_.count(fid_.cancelled, 0);
   cv_state_.notify_all();
 }

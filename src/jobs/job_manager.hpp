@@ -188,6 +188,11 @@ class JobManager {
 
   RuntimeConfig cfg_;
   std::string root_dir_;
+  /// True when root_dir_ was mkdtemp'd by this manager (cfg.root_dir
+  /// empty): the destructor removes it after a clean run, but keeps it
+  /// when any job failed so the outputs stay inspectable.
+  bool owns_root_ = false;
+  bool any_failed_ = false;  // written under mu_, read after joins
   util::ThreadPool pool_;
 
   mutable std::mutex mu_;

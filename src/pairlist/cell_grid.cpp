@@ -52,13 +52,27 @@ VerletList VerletList::build(const PeriodicBox& box,
                              std::span<const Vec3d> pos, double cutoff,
                              double skin) {
   VerletList list;
+  list.cutoff = cutoff;
+  list.skin = skin;
   list.list_cutoff = cutoff + skin;
+  list.ref_pos.assign(pos.begin(), pos.end());
   CellGrid grid(box, list.list_cutoff);
   grid.bin(pos);
   grid.for_each_pair(pos, list.list_cutoff,
                      [&](std::int32_t i, std::int32_t j, const Vec3d&,
                          double) { list.pairs.emplace_back(i, j); });
   return list;
+}
+
+double VerletList::max_displacement(const PeriodicBox& box,
+                                    std::span<const Vec3d> pos) const {
+  double worst2 = 0.0;
+  const std::size_t n = std::min(pos.size(), ref_pos.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d2 = box.min_image(pos[i], ref_pos[i]).norm2();
+    if (d2 > worst2) worst2 = d2;
+  }
+  return std::sqrt(worst2);
 }
 
 }  // namespace anton::pairlist

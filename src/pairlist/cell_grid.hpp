@@ -8,6 +8,7 @@
 // method's communication advantage is measured.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <utility>
@@ -108,12 +109,51 @@ class CellGrid {
 
 /// A stored Verlet pair list (cutoff + skin), for kernels that want random
 /// access to the pair set or reuse across steps.
+///
+/// The skin-reuse invariant: the list built at `ref_pos` contains every
+/// pair that can come within `cutoff` as long as no atom has moved more
+/// than skin/2 from its build-time position (two atoms approaching each
+/// other close the gap at most 2 * skin/2 = skin, which the list covers).
+/// Callers that reuse across steps must check needs_rebuild(); debug
+/// builds assert it on every reuse.
 struct VerletList {
   std::vector<std::pair<std::int32_t, std::int32_t>> pairs;
-  double list_cutoff = 0.0;
+  double cutoff = 0.0;       // interaction cutoff the list guarantees
+  double skin = 0.0;         // extra shell captured at build
+  double list_cutoff = 0.0;  // cutoff + skin
+  std::vector<Vec3d> ref_pos;  // positions the list was built from
 
   static VerletList build(const PeriodicBox& box, std::span<const Vec3d> pos,
                           double cutoff, double skin);
+
+  /// Largest minimum-image displacement of any atom from its build-time
+  /// position.
+  double max_displacement(const PeriodicBox& box,
+                          std::span<const Vec3d> pos) const;
+
+  /// True when the list may no longer cover every pair within `cutoff`.
+  bool needs_rebuild(double max_disp) const { return 2.0 * max_disp > skin; }
+  bool needs_rebuild(const PeriodicBox& box,
+                     std::span<const Vec3d> pos) const {
+    return needs_rebuild(max_displacement(box, pos));
+  }
+
+  /// Visits the stored pairs currently within `cutoff` at the given
+  /// positions: f(i, j, dr, r2) with dr = pos[i] - pos[j] (minimum
+  /// image), i < j. Reusing a stale list silently drops pairs, so debug
+  /// builds assert the skin invariant here.
+  template <typename F>
+  void for_each_pair(const PeriodicBox& box, std::span<const Vec3d> pos,
+                     F&& f) const {
+    assert(!needs_rebuild(box, pos) &&
+           "VerletList reused past skin/2 displacement; rebuild required");
+    const double cut2 = cutoff * cutoff;
+    for (const auto& [i, j] : pairs) {
+      const Vec3d dr = box.min_image(pos[i], pos[j]);
+      const double r2 = dr.norm2();
+      if (r2 <= cut2) f(i, j, dr, r2);
+    }
+  }
 };
 
 }  // namespace anton::pairlist

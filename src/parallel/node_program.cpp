@@ -60,6 +60,149 @@ PairResult eval_pair(const NodeProgram& np, std::int32_t i0, std::int32_t j0,
   return out;
 }
 
+void BinSoA::clear() {
+  id.clear();
+  x.clear();
+  y.clear();
+  z.clear();
+  charge.clear();
+  type.clear();
+}
+
+void BinSoA::reserve(std::size_t n) {
+  id.reserve(n);
+  x.reserve(n);
+  y.reserve(n);
+  z.reserve(n);
+  charge.reserve(n);
+  type.reserve(n);
+}
+
+void BinSoA::push_atom(const Topology& top, std::int32_t a, const Vec3i& p) {
+  id.push_back(a);
+  x.push_back(p.x);
+  y.push_back(p.y);
+  z.push_back(p.z);
+  charge.push_back(top.charge[a]);
+  type.push_back(top.type[a]);
+}
+
+void eval_pair_block(const NodeProgram& np, const BinSoA& tower,
+                     const BinSoA& plate, bool same_bin, PairBlockScratch& scr,
+                     PairBlockCounters& counters) {
+  const Topology& top = *np.top;
+  const std::uint64_t limit = np.r2_limit_lattice;
+  // The match unit's 8-bit operands have their low 24 bits zeroed, so the
+  // low-precision r^2 is S * 2^48 with S < 2^18; comparing S against
+  // limit >> 48 is exactly the u64 comparison, in pure 32-bit lanes.
+  const std::uint32_t limit48 = static_cast<std::uint32_t>(limit >> 48);
+  const Vec3d lsb = np.lat->lsb();
+  const std::size_t na = tower.size();
+  const std::size_t nb = plate.size();
+  counters = PairBlockCounters{};
+  scr.hits.clear();
+  scr.c_lo.clear();
+  scr.c_hi.clear();
+  scr.c_dx.clear();
+  scr.c_dy.clear();
+  scr.c_dz.clear();
+  scr.c_qq.clear();
+  scr.c_a.clear();
+  scr.c_b.clear();
+  scr.c_r2.clear();
+  scr.match.resize(nb);
+  scr.dx.resize(nb);
+  scr.dy.resize(nb);
+  scr.dz.resize(nb);
+
+  for (std::size_t a = 0; a < na; ++a) {
+    const std::size_t b0 = same_bin ? a + 1 : 0;
+    if (b0 >= nb) continue;
+    counters.considered += static_cast<std::int64_t>(nb - b0);
+    const std::int32_t i0 = tower.id[a];
+    const std::int32_t ix = tower.x[a];
+    const std::int32_t iy = tower.y[a];
+    const std::int32_t iz = tower.z[a];
+
+    // Phase 1 -- the match unit as flat 32-bit lanes (vectorizable).
+    // d = p_i - p_j; the match test and the exact r^2 are invariant under
+    // wrapping negation (|c| survives, INT32_MIN wraps to itself), so the
+    // canonical orientation is fixed up only for the survivors.
+    for (std::size_t b = b0; b < nb; ++b) {
+      const std::int32_t dx = fixed::wrap_sub32(ix, plate.x[b]);
+      const std::int32_t dy = fixed::wrap_sub32(iy, plate.y[b]);
+      const std::int32_t dz = fixed::wrap_sub32(iz, plate.z[b]);
+      const std::uint32_t ux =
+          (dx < 0 ? 0u - static_cast<std::uint32_t>(dx)
+                  : static_cast<std::uint32_t>(dx)) >> 24;
+      const std::uint32_t uy =
+          (dy < 0 ? 0u - static_cast<std::uint32_t>(dy)
+                  : static_cast<std::uint32_t>(dy)) >> 24;
+      const std::uint32_t uz =
+          (dz < 0 ? 0u - static_cast<std::uint32_t>(dz)
+                  : static_cast<std::uint32_t>(dz)) >> 24;
+      const std::uint32_t s2 = ux * ux + uy * uy + uz * uz;
+      scr.dx[b] = dx;
+      scr.dy[b] = dy;
+      scr.dz[b] = dz;
+      scr.match[b] = s2 <= limit48 ? 1 : 0;
+    }
+
+    // Phase 2 -- counters, exact cutoff, exclusions, compaction (scalar;
+    // only the sparse match survivors reach the 64-bit arithmetic).
+    for (std::size_t b = b0; b < nb; ++b) {
+      if (!scr.match[b]) continue;
+      ++counters.queued;
+      const Vec3i d{scr.dx[b], scr.dy[b], scr.dz[b]};
+      const std::uint64_t r2lat = htis::exact_r2_lattice(d);
+      if (r2lat > limit) continue;
+      const std::int32_t j0 = plate.id[b];
+      const bool in_order = i0 < j0;
+      const std::int32_t lo = in_order ? i0 : j0;
+      const std::int32_t hi = in_order ? j0 : i0;
+      if (np.have_molecules && top.molecule[lo] == top.molecule[hi] &&
+          np.excl->excluded(lo, hi))
+        continue;
+      ++counters.computed;
+      scr.c_lo.push_back(lo);
+      scr.c_hi.push_back(hi);
+      scr.c_dx.push_back(in_order ? d.x : fixed::wrap_sub32(0, d.x));
+      scr.c_dy.push_back(in_order ? d.y : fixed::wrap_sub32(0, d.y));
+      scr.c_dz.push_back(in_order ? d.z : fixed::wrap_sub32(0, d.z));
+      scr.c_r2.push_back(static_cast<double>(r2lat) * np.lat2_to_phys2);
+      scr.c_qq.push_back(tower.charge[a] * plate.charge[b]);
+      const std::int32_t t_lo = in_order ? tower.type[a] : plate.type[b];
+      const std::int32_t t_hi = in_order ? plate.type[b] : tower.type[a];
+      scr.c_a.push_back(np.kernels->lj_a(t_lo, t_hi));
+      scr.c_b.push_back(np.kernels->lj_b(t_lo, t_hi));
+    }
+  }
+
+  // Phase 3 -- one batched PPIP sweep over every candidate of the block.
+  const std::size_t m = scr.c_lo.size();
+  if (m == 0) return;
+  scr.c_coef.resize(m);
+  np.kernels->eval_nonbonded_coef_n(m, scr.c_r2.data(), scr.c_qq.data(),
+                                    scr.c_a.data(), scr.c_b.data(),
+                                    scr.c_coef.data());
+
+  // Phase 4 -- quantize onto the force grid, same expressions as
+  // eval_pair, hits in the scalar loop's (a, b) order.
+  scr.hits.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double coef = scr.c_coef[i];
+    const double drx = scr.c_dx[i] * lsb.x;
+    const double dry = scr.c_dy[i] * lsb.y;
+    const double drz = scr.c_dz[i] * lsb.z;
+    PairHit& h = scr.hits[i];
+    h.lo = scr.c_lo[i];
+    h.hi = scr.c_hi[i];
+    h.f = {fixed::quantize(coef * drx, fixed::kForceScale),
+           fixed::quantize(coef * dry, fixed::kForceScale),
+           fixed::quantize(coef * drz, fixed::kForceScale)};
+  }
+}
+
 CorrectionResult eval_correction_short(const NodeProgram& np,
                                        const ExclusionPair& e, const Vec3i& pi,
                                        const Vec3i& pj, bool with_energy) {

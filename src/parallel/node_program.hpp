@@ -85,6 +85,76 @@ PairResult eval_pair(const NodeProgram& np, std::int32_t i0, std::int32_t j0,
                      const Vec3i& p0, const Vec3i& p1, bool with_energy);
 
 // ---------------------------------------------------------------------------
+// SoA pair-block path: the same datapath over whole bins at once.
+// ---------------------------------------------------------------------------
+
+/// Structure-of-arrays view of one bin: atom ids, the three lattice
+/// coordinates, and the static per-pair parameters (charge, LJ type) in
+/// contiguous lanes. The match unit and exact-cutoff filter then run as
+/// flat branch-free loops over these lanes; ids/charges/types are packed
+/// once per migration, positions are refreshed in place each pass.
+struct BinSoA {
+  std::vector<std::int32_t> id;
+  std::vector<std::int32_t> x, y, z;
+  std::vector<double> charge;
+  std::vector<std::int32_t> type;
+
+  std::size_t size() const { return id.size(); }
+  bool empty() const { return id.empty(); }
+  void clear();
+  void reserve(std::size_t n);
+  /// Appends atom `a` at lattice position `p` (charge/type from `top`).
+  void push_atom(const Topology& top, std::int32_t a, const Vec3i& p);
+  /// Overwrites slot `s`'s position lanes (id/charge/type unchanged).
+  void set_pos(std::size_t s, const Vec3i& p) {
+    x[s] = p.x;
+    y[s] = p.y;
+    z[s] = p.z;
+  }
+};
+
+/// Workload counter deltas of one pair block, in the exact semantics of
+/// the scalar loop: `considered` counts every tower x plate candidate,
+/// `queued` those passing the match unit (including beyond-cutoff and
+/// excluded -- they enter the PPIP queue), `computed` the pairs that
+/// produced a force.
+struct PairBlockCounters {
+  std::int64_t considered = 0;
+  std::int64_t queued = 0;
+  std::int64_t computed = 0;
+};
+
+/// One computed pair: quantized force on `lo` (canonical lo < hi; the
+/// caller wrap-adds to lo's accumulator and wrap-subtracts from hi's).
+struct PairHit {
+  std::int32_t lo = 0, hi = 0;
+  Vec3l f{0, 0, 0};
+};
+
+/// Reusable lane buffers for eval_pair_block (one per engine lane / per
+/// worker; never shared across threads).
+struct PairBlockScratch {
+  std::vector<PairHit> hits;
+  // Per-plate-row filter lanes.
+  std::vector<unsigned char> match;
+  std::vector<std::int32_t> dx, dy, dz;
+  // Compacted candidates of the whole block.
+  std::vector<std::int32_t> c_lo, c_hi, c_dx, c_dy, c_dz;
+  std::vector<double> c_r2, c_qq, c_a, c_b, c_coef;
+};
+
+/// Evaluates every tower[a] x plate[b] pair of a bin pair (b starting at
+/// a+1 when same_bin) through the match unit -> PPIP datapath, batched:
+/// a vectorized filter over the SoA lanes, scalar compaction of the
+/// survivors, then one batched table sweep. Forces, counter deltas and
+/// hit order are bitwise identical to the scalar eval_pair loop with
+/// with_energy = false (the energy path stays scalar). Appends nothing
+/// but scr.hits; counters are overwritten.
+void eval_pair_block(const NodeProgram& np, const BinSoA& tower,
+                     const BinSoA& plate, bool same_bin, PairBlockScratch& scr,
+                     PairBlockCounters& counters);
+
+// ---------------------------------------------------------------------------
 // Correction pipeline (excluded/scaled pairs).
 // ---------------------------------------------------------------------------
 
@@ -131,45 +201,62 @@ QuantizedTerm quantize_term(const NodeProgram& np, const bonded::TermForces& t,
 // GSE mesh phases (HTIS atom-mesh interactions).
 // ---------------------------------------------------------------------------
 
+/// Reusable mesh-batch buffers (one per engine lane / per worker): the
+/// gathered mesh points of one atom and the batched Gaussian values.
+struct MeshScratch {
+  ewald::MeshPointBatch pts;
+  std::vector<double> g;
+};
+
 /// Spreads one atom's Gaussian charge onto nearby mesh points.
 /// `sink(mesh_index, dq)` receives each quantized contribution; the caller
 /// wrap-adds it into whatever storage it owns (lane shard or node slab).
+/// The mesh points are gathered in for_each_mesh_point order and the
+/// Gaussian runs as one batched table sweep; each emitted dq is bitwise
+/// what the per-point scalar path produced.
 template <typename Sink>
 void spread_atom(const NodeProgram& np, double qi, const Vec3d& r,
-                 Sink&& sink) {
-  np.gse->for_each_mesh_point(r, [&](std::size_t idx, const Vec3d&,
-                                     double r2) {
-    const double g = np.kernels->eval_spread(r2);
-    sink(idx, fixed::quantize(qi * g, kMeshChargeScale));
-  });
+                 MeshScratch& ms, Sink&& sink) {
+  np.gse->gather_mesh_points(r, ms.pts);
+  const std::size_t n = ms.pts.size();
+  ms.g.resize(n);
+  np.kernels->eval_spread_n(n, ms.pts.r2.data(), ms.g.data());
+  for (std::size_t i = 0; i < n; ++i)
+    sink(ms.pts.idx[i], fixed::quantize(qi * ms.g[i], kMeshChargeScale));
 }
 
 /// Interpolates the mesh force on one atom. `phi_q(mesh_index)` returns
 /// the quantized potential at a mesh point (the caller resolves it from
 /// its global array or from its halo mailbox); the whole contribution is
 /// accumulated locally and returned as one Vec3l. `ops`, if non-null, is
-/// incremented once per (atom, mesh point) interaction.
+/// incremented once per (atom, mesh point) interaction. Batched like
+/// spread_atom; bitwise identical to the per-point path (the wrap-adds
+/// commute, and the gather preserves the visit order anyway).
 template <typename PhiQ>
 Vec3l interpolate_atom(const NodeProgram& np, double qi, const Vec3d& r,
-                       PhiQ&& phi_q, std::int64_t* ops = nullptr) {
+                       MeshScratch& ms, PhiQ&& phi_q,
+                       std::int64_t* ops = nullptr) {
   const double h3 = std::pow(np.gse->mesh_spacing(), 3);
   const double inv_s2 =
       1.0 / (np.gse_params.sigma_s * np.gse_params.sigma_s);
   const double pref = qi * h3 * inv_s2;
+  np.gse->gather_mesh_points(r, ms.pts);
+  const std::size_t n = ms.pts.size();
+  ms.g.resize(n);
+  np.kernels->eval_interp_n(n, ms.pts.r2.data(), ms.g.data());
+  if (ops) *ops += static_cast<std::int64_t>(n);
   Vec3l acc{0, 0, 0};
-  np.gse->for_each_mesh_point(
-      r, [&](std::size_t idx, const Vec3d& dr, double r2) {
-        if (ops) ++*ops;
-        const double g = np.kernels->eval_interp(r2);
-        const double phi = static_cast<double>(phi_q(idx)) / kPhiScale;
-        const double c = pref * phi * g;
-        acc.x = fixed::wrap_add(acc.x,
-                                fixed::quantize(c * dr.x, fixed::kForceScale));
-        acc.y = fixed::wrap_add(acc.y,
-                                fixed::quantize(c * dr.y, fixed::kForceScale));
-        acc.z = fixed::wrap_add(acc.z,
-                                fixed::quantize(c * dr.z, fixed::kForceScale));
-      });
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phi =
+        static_cast<double>(phi_q(ms.pts.idx[i])) / kPhiScale;
+    const double c = pref * phi * ms.g[i];
+    acc.x = fixed::wrap_add(
+        acc.x, fixed::quantize(c * ms.pts.dx[i], fixed::kForceScale));
+    acc.y = fixed::wrap_add(
+        acc.y, fixed::quantize(c * ms.pts.dy[i], fixed::kForceScale));
+    acc.z = fixed::wrap_add(
+        acc.z, fixed::quantize(c * ms.pts.dz[i], fixed::kForceScale));
+  }
   return acc;
 }
 

@@ -583,6 +583,14 @@ void WorkerRuntime::pair_phase() {
   SpanTimer t(span_acc_[kSpanCompute]);
   NodeState& nd = nd_;
   core::NodeCounters& nc = nc_;
+  // Pack the delivered position records into SoA lanes (keyed on recs, so
+  // a bin absent from this step's mailboxes is never read stale).
+  for (const auto& [sb, v] : nd.recs) {
+    BinSoA& s = nd.soa[sb];
+    s.clear();
+    s.reserve(v.size());
+    for (const AtomRecord& r : v) s.push_atom(top(), r.id, r.pos);
+  }
   for (std::int32_t hidx : (*w_.node_subboxes)[rank_]) {
     const Vec3i h = w_.geom->coords_of(hidx);
     for (std::int32_t dz : w_.geom->tower_dz()) {
@@ -590,33 +598,30 @@ void WorkerRuntime::pair_phase() {
           w_.geom->index_of(w_.geom->wrap_coords({h.x, h.y, h.z + dz}));
       const auto t_it = nd.recs.find(tidx);
       if (t_it == nd.recs.end() || t_it->second.empty()) continue;
-      const auto& tower = t_it->second;
       for (const Vec3i& poff : w_.geom->plate_half()) {
         if (!w_.geom->owns_pair(h, dz, poff)) continue;
         const std::int32_t pidx = w_.geom->index_of(
             w_.geom->wrap_coords({h.x + poff.x, h.y + poff.y, h.z}));
         const auto p_it = nd.recs.find(pidx);
         if (p_it == nd.recs.end() || p_it->second.empty()) continue;
-        const auto& plate = p_it->second;
         const bool same = tidx == pidx;
-        for (std::size_t a = 0; a < tower.size(); ++a) {
-          const std::size_t b0 = same ? a + 1 : 0;
-          for (std::size_t b = b0; b < plate.size(); ++b) {
-            ++nc.pairs_considered;
-            ++led_.pairs_considered;
-            const PairResult pr =
-                eval_pair(np_, tower[a].id, plate[b].id, tower[a].pos,
-                          plate[b].pos, false);
-            if (pr.status == PairStatus::kFailedMatch) continue;
-            ++nc.ppip_queue;
-            if (pr.status != PairStatus::kComputed) continue;
-            ++nc.interactions;
-            ++led_.interactions;
-            touch_partial(pr.lo);
-            acc3(nd.partial[pr.lo], pr.f);
-            touch_partial(pr.hi);
-            sub3(nd.partial[pr.hi], pr.f);
-          }
+        // SoA block path: bitwise identical forces/counters to the scalar
+        // eval_pair loop, hits emitted in its (a, b) order (so the
+        // first-touch plist order -- and with it the force-return wire
+        // frames -- are unchanged).
+        PairBlockCounters pc;
+        eval_pair_block(np_, nd.soa.at(tidx), nd.soa.at(pidx), same, nd.pscr,
+                        pc);
+        nc.pairs_considered += pc.considered;
+        led_.pairs_considered += pc.considered;
+        nc.ppip_queue += pc.queued;
+        nc.interactions += pc.computed;
+        led_.interactions += pc.computed;
+        for (const PairHit& ph : nd.pscr.hits) {
+          touch_partial(ph.lo);
+          acc3(nd.partial[ph.lo], ph.f);
+          touch_partial(ph.hi);
+          sub3(nd.partial[ph.hi], ph.f);
         }
       }
     }
@@ -796,7 +801,7 @@ void WorkerRuntime::spread_and_halo() {
       const double qi = tp.charge[a];
       if (qi == 0.0) continue;
       const Vec3d r = lat().to_phys(nd.atoms.at(a).pos);
-      spread_atom(np_, qi, r, [&](std::size_t idx, std::int64_t dq) {
+      spread_atom(np_, qi, r, nd.mscr, [&](std::size_t idx, std::int64_t dq) {
         ++nc.spread_ops;
         const auto i32 = static_cast<std::int32_t>(idx);
         if (!nd.stouched[idx]) {
@@ -1051,7 +1056,7 @@ void WorkerRuntime::phi_halo_back_and_interpolate() {
       if (qi == 0.0) continue;
       AtomState& st = nd.atoms.at(a);
       const Vec3l acc = interpolate_atom(
-          np_, qi, lat().to_phys(st.pos),
+          np_, qi, lat().to_phys(st.pos), nd.mscr,
           [&](std::size_t idx) { return nd.halo_phi[idx]; }, &nc.interp_ops);
       acc3(st.f_long, acc);
     }

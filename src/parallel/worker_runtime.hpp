@@ -56,6 +56,11 @@ struct NodeState {
 
   // Mailboxes (refilled every step).
   std::map<std::int32_t, std::vector<AtomRecord>> recs;  // pair phase
+  // SoA mirror of recs plus batch scratch for the vectorized pair-block
+  // and mesh kernels (rank-private, rebuilt from recs each pair phase).
+  std::map<std::int32_t, BinSoA> soa;
+  PairBlockScratch pscr;
+  MeshScratch mscr;
   std::vector<Vec3i> rpos;         // dispatched positions, by atom id
   std::vector<Vec3l> partial;      // force partials, by atom id
   std::vector<char> ptouched;      // partial[i] valid flags

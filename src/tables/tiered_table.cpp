@@ -127,6 +127,7 @@ TieredTable TieredTable::build(std::function<double(double)> f,
     }
     tbl.segs_[k] = quantize_segment(d, mantissa_bits);
   }
+  tbl.build_batch_lanes(mantissa_bits);
 
   // Record the worst-case error of the quantized integer path over a scan.
   double worst = 0.0;
@@ -149,6 +150,43 @@ double TieredTable::eval(double u) const {
   return std::ldexp(acc, s.exponent);
 }
 
+void TieredTable::build_batch_lanes(int mantissa_bits) {
+  tier_lo_.clear();
+  tier_w_.clear();
+  tier_base_.clear();
+  tier_entries_.clear();
+  seg_scale_.clear();
+
+  std::int32_t base = 0;
+  for (std::size_t i = 0; i < layout_.tiers.size(); ++i) {
+    const double lo = layout_.tiers[i].lo;
+    const double hi =
+        (i + 1 < layout_.tiers.size()) ? layout_.tiers[i + 1].lo : 1.0;
+    tier_lo_.push_back(lo);
+    tier_w_.push_back((hi - lo) / layout_.tiers[i].entries);
+    tier_base_.push_back(base);
+    tier_entries_.push_back(layout_.tiers[i].entries);
+    base += layout_.tiers[i].entries;
+  }
+
+  // The batched path replaces eval_fixed's ldexp with a multiply by a
+  // precomputed 2^exponent, and carries the integer Horner in doubles.
+  // Both are exact only under provable bounds:
+  //  * |c_i| <= 2^(mb-1), so every Horner intermediate |acc| < 2^(mb+1)
+  //    and every product |acc * tf| < 2^(mb+25); for mb <= 26 that stays
+  //    below 2^51, where doubles represent integers exactly and the
+  //    magic-number RNE round equals llrint.
+  //  * acc * 2^e == ldexp(acc, e) bitwise iff the result is normal; with
+  //    |e| <= 960 and |acc| < 2^27 both the scale and the product are far
+  //    from the subnormal/overflow ranges.
+  fast_batch_ = mantissa_bits <= 26;
+  seg_scale_.reserve(segs_.size());
+  for (const Segment& s : segs_) {
+    if (s.exponent < -960 || s.exponent > 960) fast_batch_ = false;
+    seg_scale_.push_back(std::ldexp(1.0, s.exponent));
+  }
+}
+
 double TieredTable::eval_fixed(double u) const {
   double t;
   const int k = layout_.find_segment(std::max(u, u_min_), t);
@@ -161,6 +199,68 @@ double TieredTable::eval_fixed(double u) const {
   for (int i = 2; i >= 0; --i)
     acc = fixed::rshift_rne(acc * tf, 24) + s.c[i];
   return std::ldexp(static_cast<double>(acc), s.exponent);
+}
+
+void TieredTable::eval_fixed_n(const double* u, double* out,
+                               std::size_t n) const {
+  if (!fast_batch_) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = eval_fixed(u[i]);
+    return;
+  }
+  // Why carrying the "integer" PPIP pipeline in double lanes is exact:
+  //  * tf = llrint(t * 2^24) with t in [0,1) is an integer < 2^24; the
+  //    magic-number round (fixed::rne_round) equals llrint on |x| < 2^51.
+  //  * Each Horner stage computes rshift_rne(acc * tf, 24) + c. In doubles
+  //    that is rne_round((acc * tf) * 2^-24) + c: the product is an
+  //    integer < 2^51 (exact), the power-of-two scale only changes the
+  //    exponent (exact), and rne_round reproduces the shift's
+  //    round-to-nearest/even on the now-fractional value. Floor-shift +
+  //    half/even fixup over 24 bits and RNE on x/2^24 are the same
+  //    function, so every stage matches rshift_rne bit for bit.
+  //  * The final acc * seg_scale_ equals ldexp(acc, exponent) because the
+  //    result is normal (exponent range checked at build).
+  constexpr std::size_t kChunk = 64;
+  constexpr double kInv24 = 1.0 / 16777216.0;
+  const double one_below = std::nextafter(1.0, 0.0);
+  const int ntiers = static_cast<int>(tier_lo_.size());
+  double tf[kChunk];
+  std::int32_t seg[kChunk];
+
+  for (std::size_t i0 = 0; i0 < n; i0 += kChunk) {
+    const std::size_t m = std::min(kChunk, n - i0);
+    // Segment search as flat arithmetic: the tiers partition [0,1) in
+    // ascending order, so the tier index is the count of tier lower
+    // bounds <= u; the in-tier math then mirrors find_segment exactly
+    // (the divisions must stay divisions -- a reciprocal multiply would
+    // round differently and break bitwise identity with the scalar path).
+    for (std::size_t i = 0; i < m; ++i) {
+      double uu = std::max(u[i0 + i], u_min_);
+      if (uu < 0.0) uu = 0.0;
+      if (uu >= 1.0) uu = one_below;
+      int ti = 0;
+      for (int j = 1; j < ntiers; ++j) ti += uu >= tier_lo_[j] ? 1 : 0;
+      const double lo = tier_lo_[ti];
+      const double w = tier_w_[ti];
+      int k = static_cast<int>((uu - lo) / w);
+      if (k >= tier_entries_[ti]) k = tier_entries_[ti] - 1;
+      double t = (uu - (lo + k * w)) / w;
+      if (t < 0.0) t = 0.0;
+      if (t >= 1.0) t = one_below;
+      seg[i] = tier_base_[ti] + k;
+      double f = fixed::rne_round(t * 16777216.0);
+      if (f > 16777215.0) f = 16777215.0;
+      tf[i] = f;
+    }
+    // RNE Horner + block-exponent scale, gathered per segment.
+    for (std::size_t i = 0; i < m; ++i) {
+      const Segment& s = segs_[seg[i]];
+      double acc = s.c[3];
+      acc = fixed::rne_round(acc * tf[i] * kInv24) + s.c[2];
+      acc = fixed::rne_round(acc * tf[i] * kInv24) + s.c[1];
+      acc = fixed::rne_round(acc * tf[i] * kInv24) + s.c[0];
+      out[i0 + i] = acc * seg_scale_[seg[i]];
+    }
+  }
 }
 
 }  // namespace anton::tables

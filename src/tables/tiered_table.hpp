@@ -76,6 +76,15 @@ class TieredTable {
   /// Integer-datapath evaluation (PPIP emulation); bitwise deterministic.
   double eval_fixed(double u) const;
 
+  /// Batched eval_fixed over n inputs: out[i] == eval_fixed(u[i]) bitwise,
+  /// for every input. The hot path runs the whole PPIP pipeline (segment
+  /// search, 24-bit fraction, RNE Horner, block-exponent scale) in flat
+  /// branch-free lanes the compiler can vectorize; the integer Horner is
+  /// carried in doubles, which is exact because every intermediate is an
+  /// integer below 2^52 (see the proof at the implementation). Tables
+  /// whose parameters fall outside that proof fall back to scalar calls.
+  void eval_fixed_n(const double* u, double* out, std::size_t n) const;
+
   /// Largest |f - table| observed during the fit scan.
   double max_fit_error() const { return worst_fit_error_; }
 
@@ -83,10 +92,19 @@ class TieredTable {
   const std::vector<Segment>& segments() const { return segs_; }
 
  private:
+  void build_batch_lanes(int mantissa_bits);
+
   TieredLayout layout_;
   std::vector<Segment> segs_;
   double u_min_ = 0.0;
   double worst_fit_error_ = 0.0;
+
+  // Flattened lanes for eval_fixed_n: per-tier constants of the segment
+  // search and the per-segment scale 2^exponent, precomputed at build.
+  std::vector<double> tier_lo_, tier_w_;
+  std::vector<std::int32_t> tier_base_, tier_entries_;
+  std::vector<double> seg_scale_;
+  bool fast_batch_ = false;
 };
 
 }  // namespace anton::tables

@@ -609,3 +609,51 @@ TEST(JobsRuntime, BudgetedJobMatchesSoloRunAcrossBudgets) {
     EXPECT_EQ(fi.final_hash, solo_hash) << "budget " << budget;
   }
 }
+
+TEST(JobsRuntime, TempRootIsRemovedOnCleanShutdown) {
+  // A defaulted root_dir is mkdtemp'd by the manager; a clean run must
+  // not leak anton-jobs-* directories into the system temp dir.
+  std::string root;
+  {
+    JobManager mgr;
+    root = mgr.root_dir();
+    ASSERT_TRUE(std::filesystem::exists(root));
+    const JobId id = mgr.submit(small_job(1, /*cycles=*/2));
+    EXPECT_EQ(mgr.await(id).status, JobStatus::kDone);
+  }
+  EXPECT_FALSE(std::filesystem::exists(root)) << root;
+}
+
+TEST(JobsRuntime, TempRootIsKeptWhenAJobFailed) {
+  // Failed jobs leave checkpoints/partial trajectories worth inspecting;
+  // the destructor must keep the temp root (and say so on stderr).
+  std::string root;
+  {
+    RuntimeConfig rc;
+    rc.threads = 2;
+    rc.executors = 1;
+    rc.max_restarts = 0;  // first kill -> kFailed
+    JobManager mgr(rc);
+    root = mgr.root_dir();
+    const JobId id = mgr.submit(small_job(2, /*cycles=*/50));
+    mgr.kill(id);
+    EXPECT_EQ(mgr.await(id).status, JobStatus::kFailed);
+  }
+  EXPECT_TRUE(std::filesystem::exists(root)) << root;
+  std::filesystem::remove_all(root);  // don't leak from the test itself
+}
+
+TEST(JobsRuntime, ConfiguredRootIsNeverRemoved) {
+  // A caller-provided root_dir belongs to the caller, clean run or not.
+  TempDir tmp;
+  RuntimeConfig rc;
+  rc.threads = 2;
+  rc.executors = 1;
+  rc.root_dir = tmp.file("fleet");
+  {
+    JobManager mgr(rc);
+    const JobId id = mgr.submit(small_job(3, /*cycles=*/2));
+    EXPECT_EQ(mgr.await(id).status, JobStatus::kDone);
+  }
+  EXPECT_TRUE(std::filesystem::exists(rc.root_dir));
+}

@@ -104,6 +104,70 @@ TEST(VerletList, IncludesSkin) {
   EXPECT_DOUBLE_EQ(list.list_cutoff, 5.0);
 }
 
+TEST(VerletList, NeedsRebuildTracksDisplacement) {
+  const PeriodicBox box(20.0);
+  std::vector<Vec3d> pos = random_points(80, 20.0, 11);
+  const VerletList list = VerletList::build(box, pos, 4.0, 1.0);
+  // Untouched positions: zero displacement, reuse is valid.
+  EXPECT_DOUBLE_EQ(list.max_displacement(box, pos), 0.0);
+  EXPECT_FALSE(list.needs_rebuild(box, pos));
+  // Move one atom just under skin/2: still valid.
+  pos[17].x += 0.49;
+  EXPECT_NEAR(list.max_displacement(box, pos), 0.49, 1e-12);
+  EXPECT_FALSE(list.needs_rebuild(box, pos));
+  // Past skin/2: the list can no longer guarantee coverage.
+  pos[17].x += 0.02;
+  EXPECT_TRUE(list.needs_rebuild(box, pos));
+  // The scalar overload agrees with the precomputed-displacement one.
+  EXPECT_TRUE(list.needs_rebuild(list.max_displacement(box, pos)));
+}
+
+TEST(VerletList, DisplacementIsMinimumImage) {
+  const PeriodicBox box(10.0);
+  std::vector<Vec3d> pos = {{4.9, 0.0, 0.0}, {0.0, 0.0, 0.0}};
+  const VerletList list = VerletList::build(box, pos, 3.0, 1.0);
+  // Crossing the boundary is a short hop, not a box-length teleport.
+  pos[0].x = -4.9;
+  EXPECT_NEAR(list.max_displacement(box, pos), 0.2, 1e-12);
+  EXPECT_FALSE(list.needs_rebuild(box, pos));
+}
+
+// Property: across a random displacement history, reusing the skin-padded
+// list while 2*max_disp <= skin yields exactly the pairs a fresh rebuild
+// (or brute force) finds within the true cutoff.
+TEST(VerletList, ReuseEqualsFreshRebuildAcrossHistory) {
+  const double L = 18.0, cutoff = 4.0, skin = 1.2;
+  const PeriodicBox box(L);
+  std::vector<Vec3d> pos = random_points(120, L, 12);
+  anton::Xoshiro256 rng(13);
+  VerletList list = VerletList::build(box, pos, cutoff, skin);
+  int rebuilds = 0, reuses = 0;
+  for (int step = 0; step < 60; ++step) {
+    // Random per-atom jitter (occasionally large, forcing rebuilds).
+    const double amp = (step % 7 == 6) ? 0.9 : 0.05;
+    for (auto& r : pos) {
+      r.x += rng.uniform(-amp, amp);
+      r.y += rng.uniform(-amp, amp);
+      r.z += rng.uniform(-amp, amp);
+      r = box.wrap(r);
+    }
+    if (list.needs_rebuild(box, pos)) {
+      list = VerletList::build(box, pos, cutoff, skin);
+      ++rebuilds;
+    } else {
+      ++reuses;
+    }
+    std::set<std::pair<int, int>> got;
+    list.for_each_pair(box, pos,
+                       [&](std::int32_t i, std::int32_t j, const Vec3d&,
+                           double) { got.insert({i, j}); });
+    ASSERT_EQ(got, brute_force_pairs(pos, box, cutoff)) << "step " << step;
+  }
+  // The history must actually exercise both paths.
+  EXPECT_GT(rebuilds, 0);
+  EXPECT_GT(reuses, 0);
+}
+
 TEST(ExclusionTable, LookupBothDirections) {
   anton::Topology top;
   top.natoms = 4;

@@ -2,10 +2,14 @@
 // (Section 4: PPIP function evaluators).
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <functional>
+#include <vector>
 
 #include "tables/remez.hpp"
 #include "tables/tiered_table.hpp"
+#include "util/rng.hpp"
 
 using anton::tables::RemezResult;
 using anton::tables::TieredLayout;
@@ -187,4 +191,49 @@ TEST(TieredTable, UniformVsTieredForSteepFunctions) {
         std::max(worst_u, std::fabs(uniform.eval_fixed(u) - f(u)) / f(u));
   }
   EXPECT_LT(worst_t, 0.2 * worst_u);
+}
+
+// Property: the batched evaluator is the scalar fixed-point path run over
+// lanes -- bitwise identical for every input, across the full tier layout,
+// edge clamps and both the fast-batch and scalar-fallback regimes.
+TEST(TieredTable, BatchedMatchesScalarBitwise) {
+  const auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+  struct Case {
+    const char* name;
+    std::function<double(double)> f;
+    TieredLayout layout;
+    int mantissa_bits;
+    double u_min;
+  };
+  const std::vector<Case> cases = {
+      {"erfc-like", [](double u) { return std::exp(-3.0 * u) / (u + 0.01); },
+       TieredLayout::anton_default(), 22, 0.005},
+      {"steep-lj", [](double u) { return 1.0 / (u * u * u + 1e-4); },
+       TieredLayout::anton_default(), 26, 0.004},
+      {"uniform", [](double u) { return std::sin(6.0 * u) + 2.0; },
+       TieredLayout::uniform(64), 22, 0.0},
+      // mantissa_bits > 26 disables the fast batch; eval_fixed_n must
+      // fall back to the scalar path and still match.
+      {"wide-mantissa", [](double u) { return std::exp(-2.0 * u); },
+       TieredLayout::anton_default(), 28, 0.005}};
+  for (const Case& c : cases) {
+    const TieredTable t =
+        TieredTable::build(c.f, c.layout, c.mantissa_bits, c.u_min);
+    std::vector<double> u;
+    // Edge inputs: clamps, tier boundaries, the open upper end.
+    u.insert(u.end(), {-0.5, 0.0, c.u_min * 0.5, c.u_min,
+                       std::nextafter(1.0, 0.0), 1.0, 1.5});
+    for (const auto& tier : c.layout.tiers) {
+      u.push_back(tier.lo);
+      u.push_back(std::nextafter(tier.lo, 0.0));
+      u.push_back(std::nextafter(tier.lo, 2.0));
+    }
+    anton::Xoshiro256 rng(99);
+    for (int i = 0; i < 4000; ++i) u.push_back(rng.uniform(0.0, 1.0));
+    std::vector<double> batched(u.size());
+    t.eval_fixed_n(u.data(), batched.data(), u.size());
+    for (std::size_t i = 0; i < u.size(); ++i)
+      ASSERT_EQ(bits(t.eval_fixed(u[i])), bits(batched[i]))
+          << c.name << " u=" << u[i];
+  }
 }
